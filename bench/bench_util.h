@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table bench binaries.
+ *
+ * Every binary regenerates one table or figure of the paper's
+ * evaluation and prints the same rows/series the paper reports.  The
+ * dynamic instruction budget per run comes from FETCHSIM_DYN_INSTS
+ * (default 120000).
+ */
+
+#ifndef FETCHSIM_BENCH_BENCH_UTIL_H_
+#define FETCHSIM_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace fetchsim
+{
+
+/** The three machines, in the paper's order. */
+inline const std::vector<MachineModel> &
+allMachines()
+{
+    static const std::vector<MachineModel> machines = {
+        MachineModel::P14, MachineModel::P18, MachineModel::P112};
+    return machines;
+}
+
+/** The four real schemes plus perfect, in the paper's order. */
+inline const std::vector<SchemeKind> &
+allSchemes()
+{
+    static const std::vector<SchemeKind> schemes = {
+        SchemeKind::Sequential, SchemeKind::InterleavedSequential,
+        SchemeKind::BankedSequential, SchemeKind::CollapsingBuffer,
+        SchemeKind::Perfect};
+    return schemes;
+}
+
+/** Print the standard bench banner. */
+inline void
+benchBanner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "=== fetchsim bench: " << what << " ===\n"
+              << "Reproduces " << paper_ref
+              << " of Conte et al., ISCA 1995.\n"
+              << "Dynamic budget: " << defaultDynInsts()
+              << " retired instructions per run "
+                 "(override with FETCHSIM_DYN_INSTS).\n\n";
+}
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 3: harmonic-mean IPC of sequential vs perfect, for the
+ * integer and floating-point suites, across P14/P18/P112.  Also
+ * prints the Table 1 machine parameters for reference.
+ */
+
+#include "bench_util.h"
+
+using namespace fetchsim;
+
+namespace
+{
+
+void
+printMachineTable()
+{
+    TextTable table("Table 1: machine model parameters");
+    table.setHeader({"parameter", "P14", "P18", "P112"});
+    const MachineConfig cfgs[] = {makeP14(), makeP18(), makeP112()};
+    auto row = [&](const std::string &name, auto get) {
+        table.startRow();
+        table.addCell(name);
+        for (const auto &cfg : cfgs)
+            table.addCell(static_cast<std::uint64_t>(get(cfg)));
+    };
+    row("issue rate", [](const MachineConfig &c) { return c.issueRate; });
+    row("window entries",
+        [](const MachineConfig &c) { return c.windowSize; });
+    row("reorder buffer",
+        [](const MachineConfig &c) { return c.robSize; });
+    row("icache KB",
+        [](const MachineConfig &c) { return c.icacheBytes / 1024; });
+    row("block bytes",
+        [](const MachineConfig &c) { return c.blockBytes; });
+    row("FXUs", [](const MachineConfig &c) { return c.fxuCount; });
+    row("FPUs", [](const MachineConfig &c) { return c.fpuCount; });
+    row("branch units",
+        [](const MachineConfig &c) { return c.branchCount; });
+    row("speculation depth",
+        [](const MachineConfig &c) { return c.specDepth; });
+    row("BTB entries",
+        [](const MachineConfig &c) { return c.btbEntries; });
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    benchBanner("sequential vs perfect", "Figure 3 (and Table 1)");
+    printMachineTable();
+
+    for (bool fp : {false, true}) {
+        const auto names = fp ? fpNames() : integerNames();
+        TextTable table(std::string("Figure 3: harmonic-mean IPC, ") +
+                        (fp ? "floating-point" : "integer") +
+                        " benchmarks");
+        table.setHeader(
+            {"scheme", "P14", "P18", "P112"});
+        for (SchemeKind scheme :
+             {SchemeKind::Sequential, SchemeKind::Perfect}) {
+            table.startRow();
+            table.addCell(std::string(schemeName(scheme)));
+            for (MachineModel machine : allMachines()) {
+                SuiteResult suite = runSuite(names, machine, scheme);
+                table.addCell(suite.hmeanIpc, 3);
+            }
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Expected shape: a sequential-vs-perfect gap that "
+                 "widens from P14 to P112, larger for integer than "
+                 "floating-point code at P14.\n";
+    return 0;
+}

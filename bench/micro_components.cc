@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator components:
+ * executor throughput, I-cache and BTB lookup rates, fetch-group
+ * formation per scheme, the collapsing-buffer datapath models, and
+ * whole-processor simulation speed.  These are simulator-engineering
+ * benchmarks (not paper results); they guard against performance
+ * regressions that would make the figure benches impractically slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/btb.h"
+#include "cache/icache.h"
+#include "core/processor.h"
+#include "exec/executor.h"
+#include "fetch/hw_models.h"
+#include "sim/experiment.h"
+#include "workload/benchmark_suite.h"
+
+using namespace fetchsim;
+
+namespace
+{
+
+const Workload &
+cachedWorkload(const char *name)
+{
+    return preparedWorkload(name, LayoutKind::Unordered);
+}
+
+void
+BM_ExecutorThroughput(benchmark::State &state)
+{
+    const Workload &workload = cachedWorkload("gcc");
+    Executor exec(workload, kEvalInput);
+    DynInst di;
+    for (auto _ : state) {
+        exec.next(di);
+        benchmark::DoNotOptimize(di.pc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorThroughput);
+
+void
+BM_ICacheAccess(benchmark::State &state)
+{
+    ICache cache(32 * 1024, 16);
+    std::uint64_t addr = 0x10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        addr += 64; // mix of hits and misses
+        if (addr > 0x90000)
+            addr = 0x10000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ICacheAccess);
+
+void
+BM_BtbLookupUpdate(benchmark::State &state)
+{
+    Btb btb(1024, 4);
+    std::uint64_t pc = 0x10000;
+    bool taken = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(btb.lookup(pc));
+        btb.update(pc, taken, pc + 64);
+        pc += 4 * 7;
+        taken = !taken;
+        if (pc > 0x50000)
+            pc = 0x10000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtbLookupUpdate);
+
+void
+BM_CollapseNetwork(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    CollapsingBufferLogic logic(k, CollapsingBufferLogic::Impl::Crossbar);
+    std::vector<FetchSlot> slots(2 * static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        slots[i].word = static_cast<std::uint32_t>(i);
+        slots[i].valid = (i % 3) != 1; // scattered gaps
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(logic.apply(slots));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CollapseNetwork)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_ProcessorCycle(benchmark::State &state)
+{
+    const SchemeKind scheme = static_cast<SchemeKind>(state.range(0));
+    const Workload &workload = cachedWorkload("eqntott");
+    const MachineConfig cfg = makeP112();
+    Processor proc(workload, kEvalInput, cfg,
+                   makeFetchMechanism(scheme, cfg));
+    for (auto _ : state)
+        proc.step();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(proc.counters().retired));
+    state.counters["ipc"] = proc.counters().ipc();
+}
+BENCHMARK(BM_ProcessorCycle)
+    ->Arg(static_cast<int>(SchemeKind::Sequential))
+    ->Arg(static_cast<int>(SchemeKind::CollapsingBuffer))
+    ->Arg(static_cast<int>(SchemeKind::Perfect));
+
+void
+BM_EndToEndRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        RunConfig config;
+        config.benchmark = "compress";
+        config.machine = MachineModel::P14;
+        config.scheme = SchemeKind::CollapsingBuffer;
+        config.maxRetired = 20000;
+        RunResult result = runExperiment(config);
+        benchmark::DoNotOptimize(result.counters.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_EndToEndRun);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

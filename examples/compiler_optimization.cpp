@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Walk through the paper's compiler pipeline on one benchmark:
+ * profile with the five training inputs, select traces, reorder the
+ * layout, optionally pad, and report the static and dynamic effects
+ * at every step -- ending with the IPC impact on a chosen scheme.
+ *
+ * Usage: compiler_optimization [benchmark] [scheme-index 0..4]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "compiler/code_layout.h"
+#include "compiler/nop_padding.h"
+#include "exec/branch_census.h"
+#include "sim/experiment.h"
+#include "stats/table.h"
+#include "workload/benchmark_suite.h"
+
+using namespace fetchsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "compress";
+    const int scheme_index = argc > 2 ? std::atoi(argv[2]) : 1;
+    if (scheme_index < 0 || scheme_index > 4)
+        fatal("scheme index must be 0..4");
+    const auto scheme = static_cast<SchemeKind>(scheme_index);
+    const std::uint64_t insts = 100000;
+
+    std::cout << "Profile-driven optimization pipeline for "
+              << benchmark << " (scheme: " << schemeName(scheme)
+              << ")\n\n";
+
+    // --- Step 1: generate and profile --------------------------------
+    Workload workload = generateWorkload(benchmarkByName(benchmark));
+    std::cout << "Generated program: "
+              << workload.program.numFunctions() << " functions, "
+              << workload.program.numBlocks() << " blocks, "
+              << workload.program.totalInstructions()
+              << " static instructions ("
+              << workload.program.totalInstructions() * kInstBytes /
+                     1024
+              << " KB).\n";
+
+    EdgeProfile profile = collectProfile(workload);
+    std::uint64_t executed_blocks = 0;
+    for (std::uint64_t count : profile.blockCount)
+        executed_blocks += count > 0 ? 1 : 0;
+    std::cout << "Profiled with " << kNumTrainInputs
+              << " training inputs: " << executed_blocks << " of "
+              << workload.program.numBlocks()
+              << " blocks ever executed.\n\n";
+
+    // --- Step 2: trace selection --------------------------------------
+    std::vector<Trace> traces = selectTraces(workload.program, profile);
+    std::size_t hot_traces = 0, longest = 0;
+    for (const Trace &trace : traces) {
+        if (trace.seedWeight > 0)
+            ++hot_traces;
+        longest = std::max(longest, trace.blocks.size());
+    }
+    std::cout << "Trace selection: " << traces.size() << " traces ("
+              << hot_traces << " hot), longest " << longest
+              << " blocks.\n";
+
+    // --- Step 3: reorder ------------------------------------------------
+    BranchCensus before =
+        runBranchCensus(workload, kEvalInput, insts, 16);
+    ReorderStats rstats = applyTraceLayout(workload, traces);
+    BranchCensus after =
+        runBranchCensus(workload, kEvalInput, insts, 16);
+    std::cout << "Reordering: " << rstats.inverted
+              << " branches inverted, " << rstats.jumpsInserted
+              << " jumps inserted, " << rstats.jumpsRemoved
+              << " jumps removed.\n";
+    std::cout << "Dynamic taken branches: " << before.takenPer100()
+              << " -> " << after.takenPer100()
+              << " per 100 instructions ("
+              << 100.0 *
+                     (1.0 - static_cast<double>(after.takenTotal) /
+                                static_cast<double>(before.takenTotal))
+              << "% reduction, paper Table 3).\n\n";
+
+    // --- Step 4: pad-trace ----------------------------------------------
+    PaddingStats pstats = padTrace(workload, traces, 16);
+    std::cout << "pad-trace at 16B blocks: " << pstats.nopsInserted
+              << " nops = " << pstats.percent()
+              << "% static growth (paper Table 4).\n\n";
+
+    // --- Step 5: IPC impact ----------------------------------------------
+    TextTable table("IPC across layouts, " +
+                    std::string(schemeName(scheme)));
+    table.setHeader({"layout", "P14", "P18", "P112"});
+    const LayoutKind layouts[] = {
+        LayoutKind::Unordered, LayoutKind::Reordered,
+        LayoutKind::PadTrace};
+    for (LayoutKind layout : layouts) {
+        table.startRow();
+        table.addCell(std::string(layoutName(layout)));
+        for (MachineModel machine :
+             {MachineModel::P14, MachineModel::P18,
+              MachineModel::P112}) {
+            RunConfig config;
+            config.benchmark = benchmark;
+            config.machine = machine;
+            config.scheme = scheme;
+            config.layout = layout;
+            config.maxRetired = insts;
+            table.addCell(runExperiment(config).ipc(), 3);
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nThe paper's conclusion: reordering lifts every "
+                 "scheme, and a reordered simple scheme approaches "
+                 "an unordered collapsing buffer (Figure 12).\n";
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fetch-unit design-space exploration beyond the paper's three fixed
+ * machines: sweep the issue rate (with the paper's block-size and
+ * resource scaling rules) and report where each alignment mechanism
+ * runs out of steam -- the experiment an architect would run before
+ * committing to a fetch design.
+ *
+ * Usage: design_space [benchmark] [insts]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/processor.h"
+#include "stats/table.h"
+#include "workload/benchmark_suite.h"
+
+using namespace fetchsim;
+
+namespace
+{
+
+/** Scale a machine the way the paper scales P14 -> P18 -> P112. */
+MachineConfig
+scaledMachine(int issue_rate)
+{
+    MachineConfig cfg = makeP14();
+    cfg.name = "I" + std::to_string(issue_rate);
+    cfg.issueRate = issue_rate;
+    // One cache block holds one maximal fetch group (round the
+    // block up to a power of two of at least 4 instructions).
+    std::uint64_t insts_per_block = 4;
+    while (insts_per_block < static_cast<std::uint64_t>(issue_rate))
+        insts_per_block *= 2;
+    cfg.blockBytes = insts_per_block * kInstBytes;
+    cfg.icacheBytes = 2048 * cfg.blockBytes; // constant set count
+    cfg.windowSize = 8 + 2 * issue_rate;
+    cfg.robSize = 2 * cfg.windowSize;
+    cfg.fxuCount = (issue_rate + 1) / 2;
+    cfg.fpuCount = (issue_rate + 1) / 2;
+    cfg.branchCount = (issue_rate + 1) / 2;
+    cfg.loadCount = (issue_rate + 1) / 2;
+    cfg.storeBufferSize = 2 * issue_rate;
+    cfg.specDepth = (issue_rate + 1) / 2;
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "eqntott";
+    const std::uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 80000;
+
+    std::cout << "Issue-rate sweep on " << benchmark
+              << " (machines scaled with the paper's rules)\n\n";
+
+    const Workload workload =
+        generateWorkload(benchmarkByName(benchmark));
+    const int rates[] = {2, 4, 8, 12, 16};
+    const SchemeKind schemes[] = {
+        SchemeKind::Sequential, SchemeKind::InterleavedSequential,
+        SchemeKind::BankedSequential, SchemeKind::CollapsingBuffer,
+        SchemeKind::Perfect};
+
+    TextTable ipc_table("IPC by issue rate");
+    TextTable eff_table("EIR as % of perfect, by issue rate");
+    std::vector<std::string> header = {"scheme"};
+    for (int rate : rates)
+        header.push_back(std::to_string(rate) + "-issue");
+    ipc_table.setHeader(header);
+    eff_table.setHeader(header);
+
+    // Perfect EIR baseline per rate.
+    std::vector<double> perfect_eir;
+    for (int rate : rates) {
+        MachineConfig cfg = scaledMachine(rate);
+        Processor proc(workload, kEvalInput, cfg,
+                       makeFetchMechanism(SchemeKind::Perfect, cfg));
+        proc.run(insts);
+        perfect_eir.push_back(proc.counters().eir());
+    }
+
+    for (SchemeKind scheme : schemes) {
+        ipc_table.startRow();
+        eff_table.startRow();
+        ipc_table.addCell(std::string(schemeName(scheme)));
+        eff_table.addCell(std::string(schemeName(scheme)));
+        for (std::size_t r = 0; r < std::size(rates); ++r) {
+            MachineConfig cfg = scaledMachine(rates[r]);
+            Processor proc(workload, kEvalInput, cfg,
+                           makeFetchMechanism(scheme, cfg));
+            proc.run(insts);
+            ipc_table.addCell(proc.counters().ipc(), 3);
+            eff_table.addPercent(
+                perfect_eir[r] == 0.0
+                    ? 0.0
+                    : 100.0 * proc.counters().eir() / perfect_eir[r],
+                1);
+        }
+    }
+
+    ipc_table.print(std::cout);
+    std::cout << "\n";
+    eff_table.print(std::cout);
+    std::cout << "\nThe paper's scaling argument, extended: simple "
+                 "schemes decay steadily as width grows, while the "
+                 "collapsing buffer holds its efficiency -- the gap "
+                 "is the price of not aligning across branches.\n";
+    return 0;
+}

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * fetchsim_cli: the general-purpose command-line driver.
+ *
+ * Run any experiment point without writing code, record benchmark
+ * traces to disk, and replay them -- the full spike-trace workflow of
+ * the paper from one binary.
+ *
+ *   fetchsim_cli run    --benchmark gcc --machine P112
+ *                       --scheme collapsing [--layout reordered]
+ *                       [--insts N] [--predictor gshare] [--ras]
+ *                       [--spec-depth N] [--btb N]
+ *   fetchsim_cli record --benchmark gcc --out gcc.trace [--insts N]
+ *                       [--layout reordered]
+ *   fetchsim_cli replay --trace gcc.trace --machine P112
+ *                       --scheme banked [--insts N]
+ *   fetchsim_cli list
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/processor.h"
+#include "exec/trace_file.h"
+#include "sim/experiment.h"
+#include "workload/benchmark_suite.h"
+
+using namespace fetchsim;
+
+namespace
+{
+
+/** Minimal --key value argument map. */
+std::map<std::string, std::string>
+parseArgs(int argc, char **argv, int first)
+{
+    std::map<std::string, std::string> args;
+    for (int i = first; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0)
+            fatal("expected --option, got: " + key);
+        key = key.substr(2);
+        // Flags without values.
+        if (key == "ras") {
+            args[key] = "1";
+            continue;
+        }
+        if (i + 1 >= argc)
+            fatal("missing value for --" + key);
+        args[key] = argv[++i];
+    }
+    return args;
+}
+
+std::string
+getOr(const std::map<std::string, std::string> &args,
+      const std::string &key, const std::string &fallback)
+{
+    auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+}
+
+MachineModel
+parseMachine(const std::string &name)
+{
+    if (name == "P14")
+        return MachineModel::P14;
+    if (name == "P18")
+        return MachineModel::P18;
+    if (name == "P112")
+        return MachineModel::P112;
+    fatal("unknown machine: " + name + " (P14|P18|P112)");
+}
+
+SchemeKind
+parseScheme(const std::string &name)
+{
+    if (name == "sequential")
+        return SchemeKind::Sequential;
+    if (name == "interleaved")
+        return SchemeKind::InterleavedSequential;
+    if (name == "banked")
+        return SchemeKind::BankedSequential;
+    if (name == "collapsing")
+        return SchemeKind::CollapsingBuffer;
+    if (name == "perfect")
+        return SchemeKind::Perfect;
+    fatal("unknown scheme: " + name +
+          " (sequential|interleaved|banked|collapsing|perfect)");
+}
+
+LayoutKind
+parseLayout(const std::string &name)
+{
+    if (name == "unordered")
+        return LayoutKind::Unordered;
+    if (name == "reordered")
+        return LayoutKind::Reordered;
+    if (name == "pad-all")
+        return LayoutKind::PadAll;
+    if (name == "pad-trace")
+        return LayoutKind::PadTrace;
+    fatal("unknown layout: " + name +
+          " (unordered|reordered|pad-all|pad-trace)");
+}
+
+PredictorKind
+parsePredictor(const std::string &name)
+{
+    if (name == "btb")
+        return PredictorKind::BtbCounter;
+    if (name == "gshare")
+        return PredictorKind::Gshare;
+    if (name == "two-level")
+        return PredictorKind::TwoLevel;
+    if (name == "oracle")
+        return PredictorKind::OracleDirection;
+    fatal("unknown predictor: " + name +
+          " (btb|gshare|two-level|oracle)");
+}
+
+int
+cmdList()
+{
+    std::cout << "benchmarks:\n";
+    for (const auto &spec : fullSuite()) {
+        std::cout << "  " << spec.name
+                  << (spec.isFp ? "  (fp)" : "  (int)") << "\n";
+    }
+    std::cout << "machines:   P14 P18 P112\n"
+              << "schemes:    sequential interleaved banked "
+                 "collapsing perfect\n"
+              << "layouts:    unordered reordered pad-all pad-trace\n"
+              << "predictors: btb gshare two-level oracle\n";
+    return 0;
+}
+
+int
+cmdRun(const std::map<std::string, std::string> &args)
+{
+    RunConfig config;
+    config.benchmark = getOr(args, "benchmark", "eqntott");
+    config.machine = parseMachine(getOr(args, "machine", "P112"));
+    config.scheme = parseScheme(getOr(args, "scheme", "collapsing"));
+    config.layout = parseLayout(getOr(args, "layout", "unordered"));
+    config.predictorKind =
+        parsePredictor(getOr(args, "predictor", "btb"));
+    config.useRas = args.count("ras") > 0;
+    config.maxRetired = std::strtoull(
+        getOr(args, "insts", "120000").c_str(), nullptr, 10);
+    config.specDepthOverride =
+        std::atoi(getOr(args, "spec-depth", "-1").c_str());
+    config.btbEntriesOverride =
+        std::atoi(getOr(args, "btb", "-1").c_str());
+
+    RunResult result = runExperiment(config);
+    std::cout << config.benchmark << " on "
+              << machineName(config.machine) << ", "
+              << schemeName(config.scheme) << ", "
+              << layoutName(config.layout) << ", predictor "
+              << predictorName(config.predictorKind)
+              << (config.useRas ? "+RAS" : "") << ":\n"
+              << result.counters.format();
+    return 0;
+}
+
+int
+cmdRecord(const std::map<std::string, std::string> &args)
+{
+    const std::string name = getOr(args, "benchmark", "eqntott");
+    const std::string out = getOr(args, "out", name + ".trace");
+    const std::uint64_t insts = std::strtoull(
+        getOr(args, "insts", "200000").c_str(), nullptr, 10);
+    const LayoutKind layout =
+        parseLayout(getOr(args, "layout", "unordered"));
+
+    const Workload &workload = preparedWorkload(name, layout, 16);
+    Executor exec(workload, kEvalInput);
+    const std::uint64_t written = recordTrace(exec, out, insts);
+    std::cout << "recorded " << written << " instructions of " << name
+              << " (" << layoutName(layout) << " layout) to " << out
+              << "\n";
+    return 0;
+}
+
+int
+cmdReplay(const std::map<std::string, std::string> &args)
+{
+    const std::string path = getOr(args, "trace", "");
+    if (path.empty())
+        fatal("replay requires --trace <file>");
+    const MachineConfig cfg =
+        makeMachine(parseMachine(getOr(args, "machine", "P112")));
+    const SchemeKind scheme =
+        parseScheme(getOr(args, "scheme", "collapsing"));
+
+    TraceReader reader(path);
+    std::uint64_t insts = std::strtoull(
+        getOr(args, "insts", "0").c_str(), nullptr, 10);
+    if (insts == 0 || insts > reader.count())
+        insts = reader.count();
+
+    Processor proc(reader, cfg, makeFetchMechanism(scheme, cfg));
+    proc.run(insts);
+    std::cout << "replayed " << insts << " of " << reader.count()
+              << " trace instructions on " << cfg.name << "/"
+              << schemeName(scheme) << ":\n"
+              << proc.counters().format();
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cout << "usage: fetchsim_cli {run|record|replay|list} "
+                     "[--option value ...]\n"
+                     "(see the file header for full usage)\n";
+        return 1;
+    }
+    const std::string command = argv[1];
+    auto args = parseArgs(argc, argv, 2);
+    if (command == "list")
+        return cmdList();
+    if (command == "run")
+        return cmdRun(args);
+    if (command == "record")
+        return cmdRecord(args);
+    if (command == "replay")
+        return cmdReplay(args);
+    fatal("unknown command: " + command);
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Branch-target buffer with 2-bit counters and cached targets.
+ *
+ * All machine models share the same BTB organization (paper Table 1):
+ * 1024 entries, direct-mapped, a 2-bit counter and the branch target
+ * address per entry.  The buffer is interleaved into as many banks as
+ * there are instructions in a cache block so that one query per fetch
+ * block returns a prediction for every slot (paper Figure 5); since
+ * consecutive instruction addresses map to consecutive banks, those
+ * per-slot queries never conflict, and the model exposes a per-PC
+ * lookup plus the block-level valid-bit computation in the fetch unit.
+ */
+
+#ifndef FETCHSIM_BRANCH_BTB_H_
+#define FETCHSIM_BRANCH_BTB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/two_bit_counter.h"
+
+namespace fetchsim
+{
+
+/** Result of one BTB query. */
+struct BtbPrediction
+{
+    bool hit = false;          //!< entry present for this PC
+    bool predictTaken = false; //!< counter >= 2 (hit only)
+    std::uint64_t target = 0;  //!< cached target address (hit only)
+};
+
+/**
+ * Interleaved, direct-mapped branch-target buffer.
+ */
+class Btb
+{
+  public:
+    /**
+     * @param entries    total entry count (power of two)
+     * @param interleave bank count = instructions per cache block
+     */
+    explicit Btb(int entries = 1024, int interleave = 4);
+
+    /** Query the prediction for the instruction at @p pc. */
+    BtbPrediction lookup(std::uint64_t pc);
+
+    /** Query without statistics side effects (debug/testing). */
+    BtbPrediction probe(std::uint64_t pc) const;
+
+    /**
+     * Train with a resolved control instruction.
+     *
+     * Allocation policy: allocate on a taken branch (classic BTB);
+     * not-taken branches only train an existing entry.  The cached
+     * target is refreshed on every taken update, which makes returns
+     * behave as "predict last target" indirect predictions.
+     *
+     * @param pc     branch address
+     * @param taken  actual outcome
+     * @param target actual target (when taken)
+     */
+    void update(std::uint64_t pc, bool taken, std::uint64_t target);
+
+    /** Bank that the instruction at @p pc maps to. */
+    int bankOf(std::uint64_t pc) const;
+
+    int numEntries() const { return entries_; }
+    int interleave() const { return interleave_; }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+
+    /** Invalidate all entries. */
+    void flush();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+        TwoBitCounter counter;
+    };
+
+    std::uint64_t indexOf(std::uint64_t pc) const;
+    std::uint64_t tagOf(std::uint64_t pc) const;
+
+    int entries_;
+    int interleave_;
+    std::vector<Entry> table_;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_BRANCH_BTB_H_

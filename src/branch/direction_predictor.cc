@@ -1,0 +1,107 @@
+#include "branch/direction_predictor.h"
+
+#include "isa/opcode.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+const char *
+predictorName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::BtbCounter: return "btb-2bit";
+      case PredictorKind::Gshare:     return "gshare";
+      case PredictorKind::TwoLevel:   return "two-level";
+      case PredictorKind::OracleDirection: return "oracle-dir";
+      case PredictorKind::StaticBtfnt: return "static-btfnt";
+      default:                        return "???";
+    }
+}
+
+GsharePredictor::GsharePredictor(int table_bits, int history_bits)
+    : table_bits_(table_bits), history_bits_(history_bits),
+      table_(1ull << table_bits)
+{
+    if (table_bits < 1 || table_bits > 24)
+        fatal("GsharePredictor: table bits out of range");
+    if (history_bits < 0 || history_bits > table_bits)
+        fatal("GsharePredictor: history bits exceed table bits");
+}
+
+std::size_t
+GsharePredictor::indexOf(std::uint64_t pc) const
+{
+    const std::uint64_t mask = (1ull << table_bits_) - 1;
+    return static_cast<std::size_t>(
+        ((pc / kInstBytes) ^ history_) & mask);
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc) const
+{
+    return table_[indexOf(pc)].predictTaken();
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    table_[indexOf(pc)].update(taken);
+    const std::uint64_t mask = (1ull << history_bits_) - 1;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask;
+}
+
+TwoLevelPredictor::TwoLevelPredictor(int bht_bits, int history_bits)
+    : bht_bits_(bht_bits), history_bits_(history_bits),
+      bht_(1ull << bht_bits, 0),
+      pattern_(1ull << history_bits)
+{
+    if (bht_bits < 1 || bht_bits > 20)
+        fatal("TwoLevelPredictor: BHT bits out of range");
+    if (history_bits < 1 || history_bits > 20)
+        fatal("TwoLevelPredictor: history bits out of range");
+}
+
+std::uint64_t
+TwoLevelPredictor::historyOf(std::uint64_t pc) const
+{
+    const std::uint64_t mask = (1ull << bht_bits_) - 1;
+    return bht_[static_cast<std::size_t>((pc / kInstBytes) & mask)];
+}
+
+bool
+TwoLevelPredictor::predict(std::uint64_t pc) const
+{
+    return pattern_[static_cast<std::size_t>(historyOf(pc))]
+        .predictTaken();
+}
+
+void
+TwoLevelPredictor::update(std::uint64_t pc, bool taken)
+{
+    const std::uint64_t bht_mask = (1ull << bht_bits_) - 1;
+    const std::uint64_t hist_mask = (1ull << history_bits_) - 1;
+    auto slot = static_cast<std::size_t>((pc / kInstBytes) & bht_mask);
+    pattern_[static_cast<std::size_t>(bht_[slot])].update(taken);
+    bht_[slot] = ((bht_[slot] << 1) | (taken ? 1 : 0)) & hist_mask;
+}
+
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::BtbCounter:
+        return nullptr; // embedded in the BTB
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>();
+      case PredictorKind::TwoLevel:
+        return std::make_unique<TwoLevelPredictor>();
+      case PredictorKind::OracleDirection:
+      case PredictorKind::StaticBtfnt:
+        return nullptr; // handled inside PredictorSuite
+      default:
+        fatal("makeDirectionPredictor: bad kind");
+    }
+}
+
+} // namespace fetchsim

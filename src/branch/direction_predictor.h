@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Pluggable branch-direction predictors.
+ *
+ * The paper's machines predict direction with the BTB's embedded
+ * 2-bit counters; its concluding remarks point at the more
+ * sophisticated predictors of Yeh's two-level family and McFarling's
+ * gshare as future work ("other, more sophisticated predictors do
+ * exist that have been designed for machines with high misprediction
+ * penalty").  This module provides those predictors so the ablation
+ * benches can answer the paper's open question: does better
+ * prediction make the cheaper shifter-based collapsing buffer
+ * viable?
+ */
+
+#ifndef FETCHSIM_BRANCH_DIRECTION_PREDICTOR_H_
+#define FETCHSIM_BRANCH_DIRECTION_PREDICTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "branch/two_bit_counter.h"
+
+namespace fetchsim
+{
+
+/** Direction-prediction schemes available to the frontend. */
+enum class PredictorKind : std::uint8_t
+{
+    BtbCounter = 0, //!< the paper's 2-bit counter in the BTB entry
+    Gshare,         //!< global history XOR pc (McFarling)
+    TwoLevel,       //!< per-address history -> shared pattern table
+                    //!< (Yeh-style PAg)
+    OracleDirection,//!< perfect direction (target still needs the
+                    //!< BTB) -- upper bound for the accuracy study
+    StaticBtfnt     //!< static backward-taken/forward-not-taken
+                    //!< (POWER2-era; uses the BTB-cached target to
+                    //!< judge direction)
+};
+
+/** Name of a predictor kind. */
+const char *predictorName(PredictorKind kind);
+
+/**
+ * Interface of a standalone direction predictor (the BtbCounter
+ * scheme lives inside the BTB and needs no separate object).
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predicted direction of the conditional branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) const = 0;
+
+    /** Train with a resolved outcome. */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /** Scheme identity. */
+    virtual PredictorKind kind() const = 0;
+};
+
+/**
+ * gshare: a table of 2-bit counters indexed by (pc >> 2) XOR the
+ * global branch-history register.
+ */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param table_bits   log2 of the counter-table size
+     * @param history_bits global history length (<= table_bits)
+     */
+    explicit GsharePredictor(int table_bits = 12,
+                             int history_bits = 12);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    PredictorKind kind() const override { return PredictorKind::Gshare; }
+
+    /** Current global history (testing hook). */
+    std::uint64_t history() const { return history_; }
+
+  private:
+    std::size_t indexOf(std::uint64_t pc) const;
+
+    int table_bits_;
+    int history_bits_;
+    std::uint64_t history_ = 0;
+    std::vector<TwoBitCounter> table_;
+};
+
+/**
+ * Two-level PAg: a per-address branch-history table feeding one
+ * shared pattern table of 2-bit counters (Yeh & Patt).
+ */
+class TwoLevelPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param bht_bits     log2 of the per-address history table
+     * @param history_bits per-branch history length
+     */
+    explicit TwoLevelPredictor(int bht_bits = 10,
+                               int history_bits = 10);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    PredictorKind
+    kind() const override
+    {
+        return PredictorKind::TwoLevel;
+    }
+
+  private:
+    std::uint64_t historyOf(std::uint64_t pc) const;
+
+    int bht_bits_;
+    int history_bits_;
+    std::vector<std::uint64_t> bht_;
+    std::vector<TwoBitCounter> pattern_;
+};
+
+/** Factory for the standalone predictors (nullptr for BtbCounter). */
+std::unique_ptr<DirectionPredictor> makeDirectionPredictor(
+    PredictorKind kind);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_BRANCH_DIRECTION_PREDICTOR_H_

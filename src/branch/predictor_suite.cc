@@ -1,0 +1,168 @@
+#include "branch/predictor_suite.h"
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+InstPrediction
+predictInst(Btb &btb, const DynInst &di)
+{
+    InstPrediction pred;
+    if (!di.isControl())
+        return pred;
+
+    pred.control = true;
+    BtbPrediction lookup = btb.lookup(di.pc);
+    pred.btbHit = lookup.hit;
+
+    switch (di.si.op) {
+      case OpClass::CondBranch: {
+        pred.cond = true;
+        pred.predTaken = lookup.hit && lookup.predictTaken;
+        pred.predTarget = lookup.target;
+        if (pred.predTaken != di.taken) {
+            pred.mispredict = true;
+        } else if (pred.predTaken &&
+                   lookup.target != di.actualTarget) {
+            // Stale cached target (aliasing cannot happen -- full
+            // tags -- but the check keeps the model honest).
+            pred.mispredict = true;
+        }
+        break;
+      }
+      case OpClass::Jump:
+      case OpClass::Call: {
+        // Direct unconditional: the decoder can always compute the
+        // target, so a BTB miss costs one redirect bubble rather
+        // than a full misprediction.
+        if (lookup.hit) {
+            pred.predTaken = true;
+            pred.predTarget = lookup.target;
+            if (lookup.target != di.actualTarget)
+                pred.mispredict = true; // stale target
+        } else {
+            pred.decodeRedirect = true;
+        }
+        break;
+      }
+      case OpClass::Return: {
+        // Indirect: the BTB predicts "last target"; a miss or a
+        // wrong cached target must wait for execution.
+        if (lookup.hit && lookup.target == di.actualTarget) {
+            pred.predTaken = true;
+            pred.predTarget = lookup.target;
+        } else {
+            pred.mispredict = true;
+        }
+        break;
+      }
+      default:
+        panic("predictInst: unexpected control op");
+    }
+    return pred;
+}
+
+PredictorSuite::PredictorSuite(int btb_entries, int interleave,
+                               const PredictorConfig &config)
+    : config_(config), btb_(btb_entries, interleave),
+      dir_(makeDirectionPredictor(config.kind)),
+      ras_(config.rasDepth)
+{
+}
+
+InstPrediction
+PredictorSuite::predict(const DynInst &di)
+{
+    if (!di.isControl())
+        return InstPrediction{};
+
+    // RAS: calls push their return address at fetch/decode so a
+    // return inside the same fetch group still sees it.
+    if (config_.useRas && di.si.op == OpClass::Call)
+        ras_.push(di.nextPc());
+
+    if (config_.useRas && di.si.op == OpClass::Return &&
+        !ras_.empty()) {
+        InstPrediction pred;
+        pred.control = true;
+        pred.btbHit = true;
+        pred.predTaken = true;
+        pred.predTarget = ras_.pop();
+        pred.mispredict = pred.predTarget != di.actualTarget;
+        return pred;
+        // On underflow, fall through to the BTB's last-target
+        // prediction below, as real RAS designs do.
+    }
+
+    InstPrediction pred = predictInst(btb_, di);
+
+    if (config_.kind == PredictorKind::OracleDirection &&
+        di.isCondBranch()) {
+        // Perfect direction; fetch still needs the BTB for the
+        // target, so taken branches with cold BTB entries miss.
+        pred.predTaken = di.taken && pred.btbHit;
+        pred.mispredict = pred.predTaken != di.taken ||
+                          (pred.predTaken &&
+                           pred.predTarget != di.actualTarget);
+        return pred;
+    }
+
+    if (config_.kind == PredictorKind::StaticBtfnt &&
+        di.isCondBranch()) {
+        // Static BTFNT: backward targets predicted taken, forward
+        // not-taken.  The direction heuristic needs the target, so a
+        // BTB miss defaults to not-taken.
+        const bool backward =
+            pred.btbHit && pred.predTarget < di.pc;
+        pred.predTaken = backward;
+        pred.mispredict = false;
+        if (pred.predTaken != di.taken)
+            pred.mispredict = true;
+        else if (pred.predTaken && pred.predTarget != di.actualTarget)
+            pred.mispredict = true;
+        return pred;
+    }
+
+    if (dir_ && di.isCondBranch()) {
+        // Direction from the standalone predictor; the target still
+        // requires a BTB hit to redirect fetch in time.
+        const bool dir_taken = dir_->predict(di.pc);
+        pred.predTaken = dir_taken && pred.btbHit;
+        pred.mispredict = false;
+        if (pred.predTaken != di.taken)
+            pred.mispredict = true;
+        else if (pred.predTaken && pred.predTarget != di.actualTarget)
+            pred.mispredict = true;
+    }
+    return pred;
+}
+
+void
+PredictorSuite::onDecode(const DynInst &di)
+{
+    if (di.si.op == OpClass::Jump || di.si.op == OpClass::Call)
+        btb_.update(di.pc, true, di.actualTarget);
+}
+
+void
+PredictorSuite::onResolve(const DynInst &di)
+{
+    switch (di.si.op) {
+      case OpClass::CondBranch:
+        btb_.update(di.pc, di.taken, di.actualTarget);
+        if (dir_)
+            dir_->update(di.pc, di.taken);
+        break;
+      case OpClass::Return:
+        // With a RAS the BTB entry is not used for returns; keep it
+        // trained anyway so disabling the RAS mid-experiment (never
+        // done in practice) would not start cold.
+        btb_.update(di.pc, di.taken, di.actualTarget);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace fetchsim

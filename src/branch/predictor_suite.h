@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The frontend's complete prediction machinery: BTB (targets +
+ * default 2-bit direction), optional standalone direction predictor
+ * (gshare / two-level), and optional return-address stack.
+ *
+ * The paper's machines use exactly the default configuration (BTB
+ * counters, no RAS); the alternatives implement its concluding-
+ * remarks future work and feed the predictor ablation bench.
+ */
+
+#ifndef FETCHSIM_BRANCH_PREDICTOR_SUITE_H_
+#define FETCHSIM_BRANCH_PREDICTOR_SUITE_H_
+
+#include <memory>
+
+#include "branch/btb.h"
+#include "branch/direction_predictor.h"
+#include "branch/ras.h"
+#include "exec/dyn_inst.h"
+
+namespace fetchsim
+{
+
+/**
+ * Prediction verdict for one instruction, against its actual
+ * outcome.
+ */
+struct InstPrediction
+{
+    bool control = false;     //!< instruction transfers control
+    bool cond = false;        //!< conditional branch
+    bool btbHit = false;      //!< a target prediction was available
+    bool predTaken = false;   //!< fetch-time prediction
+    std::uint64_t predTarget = 0; //!< predicted target (predTaken)
+    bool mispredict = false;  //!< outcome disagrees; resolve at execute
+    bool decodeRedirect = false; //!< direct uncond absent from BTB;
+                                 //!< decoder redirects (1 bubble)
+};
+
+/**
+ * The paper's default prediction path: direction and target both
+ * from the interleaved BTB with 2-bit counters.  Performs one
+ * (stat-counted) BTB lookup for control instructions; non-control
+ * instructions cannot hit (only control instructions allocate and
+ * tags are full).
+ */
+InstPrediction predictInst(Btb &btb, const DynInst &di);
+
+/** Frontend prediction configuration. */
+struct PredictorConfig
+{
+    PredictorKind kind = PredictorKind::BtbCounter;
+    bool useRas = false;
+    int rasDepth = 16;
+};
+
+/**
+ * BTB + optional direction predictor + optional RAS, with the
+ * training hooks the processor calls at decode and resolution time.
+ */
+class PredictorSuite
+{
+  public:
+    /**
+     * @param btb_entries BTB entry count (power of two)
+     * @param interleave  BTB banks = instructions per cache block
+     * @param config      direction/RAS configuration
+     */
+    PredictorSuite(int btb_entries, int interleave,
+                   const PredictorConfig &config = {});
+
+    PredictorSuite(const PredictorSuite &) = delete;
+    PredictorSuite &operator=(const PredictorSuite &) = delete;
+
+    /**
+     * Predict the next instruction on the fetch path.  Calls with
+     * control instructions mutate speculative state (RAS push/pop),
+     * so the caller must invoke this exactly once per delivered
+     * instruction, in order -- which is what the fetch walk does.
+     */
+    InstPrediction predict(const DynInst &di);
+
+    /**
+     * Decode-time training: direct unconditional transfers (jumps
+     * and calls) always reveal their target at decode.
+     */
+    void onDecode(const DynInst &di);
+
+    /**
+     * Resolution-time training: conditional branches and returns
+     * train the BTB (and the direction predictor) when the branch
+     * unit resolves them.
+     */
+    void onResolve(const DynInst &di);
+
+    /** The underlying BTB (tests train through this). */
+    Btb &btb() { return btb_; }
+    const Btb &btb() const { return btb_; }
+
+    /** The standalone direction predictor, if configured. */
+    const DirectionPredictor *direction() const { return dir_.get(); }
+
+    /** The RAS (empty object when disabled). */
+    const ReturnAddressStack &ras() const { return ras_; }
+
+    /** Active configuration. */
+    const PredictorConfig &config() const { return config_; }
+
+  private:
+    PredictorConfig config_;
+    Btb btb_;
+    std::unique_ptr<DirectionPredictor> dir_;
+    ReturnAddressStack ras_;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_BRANCH_PREDICTOR_SUITE_H_

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Return-address stack.
+ *
+ * The paper's BTB predicts returns as "last taken target", which
+ * mispredicts whenever a function is called from a new site.  A RAS
+ * (as in contemporaries like the PowerPC 604) fixes this; it is an
+ * optional frontend extension here, exercised by the predictor
+ * ablation bench.
+ */
+
+#ifndef FETCHSIM_BRANCH_RAS_H_
+#define FETCHSIM_BRANCH_RAS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fetchsim
+{
+
+/**
+ * Fixed-depth circular return-address stack.  Overflow silently
+ * wraps (oldest entry lost), underflow predicts nothing -- both are
+ * the standard hardware behaviours.
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(int depth = 16)
+        : entries_(static_cast<std::size_t>(depth > 0 ? depth : 1))
+    {
+    }
+
+    /** Push a return address (on a call). */
+    void
+    push(std::uint64_t addr)
+    {
+        top_ = (top_ + 1) % entries_.size();
+        entries_[top_] = addr;
+        if (count_ < entries_.size())
+            ++count_;
+    }
+
+    /** True if a prediction is available. */
+    bool empty() const { return count_ == 0; }
+
+    /** Predict-and-pop the top return address (on a return). */
+    std::uint64_t
+    pop()
+    {
+        if (count_ == 0)
+            return 0;
+        std::uint64_t addr = entries_[top_];
+        top_ = (top_ + entries_.size() - 1) % entries_.size();
+        --count_;
+        return addr;
+    }
+
+    /** Peek without popping (testing hook). */
+    std::uint64_t
+    top() const
+    {
+        return count_ == 0 ? 0 : entries_[top_];
+    }
+
+    /** Current live depth. */
+    std::size_t size() const { return count_; }
+
+    /** Capacity. */
+    std::size_t depth() const { return entries_.size(); }
+
+  private:
+    std::vector<std::uint64_t> entries_;
+    std::size_t top_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_BRANCH_RAS_H_

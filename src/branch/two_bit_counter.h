@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Saturating 2-bit prediction counter.
+ */
+
+#ifndef FETCHSIM_BRANCH_TWO_BIT_COUNTER_H_
+#define FETCHSIM_BRANCH_TWO_BIT_COUNTER_H_
+
+#include <cstdint>
+
+namespace fetchsim
+{
+
+/**
+ * Classic saturating 2-bit counter: 0-1 predict not-taken, 2-3
+ * predict taken.
+ */
+class TwoBitCounter
+{
+  public:
+    /** @param initial starting state, 0..3 (default weakly taken). */
+    explicit TwoBitCounter(std::uint8_t initial = 2)
+        : state_(initial > 3 ? 3 : initial)
+    {
+    }
+
+    /** Current prediction. */
+    bool predictTaken() const { return state_ >= 2; }
+
+    /** Train with an actual outcome. */
+    void
+    update(bool taken)
+    {
+        if (taken) {
+            if (state_ < 3)
+                ++state_;
+        } else {
+            if (state_ > 0)
+                --state_;
+        }
+    }
+
+    /** Raw state (testing hook). */
+    std::uint8_t state() const { return state_; }
+
+  private:
+    std::uint8_t state_;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_BRANCH_TWO_BIT_COUNTER_H_

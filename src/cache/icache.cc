@@ -1,0 +1,108 @@
+#include "cache/icache.h"
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+int
+log2u(std::uint64_t x)
+{
+    int shift = 0;
+    while ((1ULL << shift) < x)
+        ++shift;
+    return shift;
+}
+
+} // anonymous namespace
+
+ICache::ICache(std::uint64_t size_bytes, std::uint64_t block_bytes,
+               int banks, int ways)
+    : size_bytes_(size_bytes), block_bytes_(block_bytes),
+      banks_(banks), ways_(ways)
+{
+    if (!isPow2(size_bytes) || !isPow2(block_bytes) ||
+        block_bytes > size_bytes)
+        fatal("ICache: size/block must be powers of two with "
+              "block <= size");
+    if (banks < 1)
+        fatal("ICache: need at least one bank");
+    if (ways < 1 || !isPow2(static_cast<std::uint64_t>(ways)) ||
+        static_cast<std::uint64_t>(ways) * block_bytes > size_bytes)
+        fatal("ICache: associativity must be a power of two with "
+              "ways*block <= size");
+    block_shift_ = log2u(block_bytes_);
+    num_sets_ = size_bytes_ / block_bytes_ /
+                static_cast<std::uint64_t>(ways_);
+    lines_.resize(num_sets_ * static_cast<std::uint64_t>(ways_));
+}
+
+bool
+ICache::access(std::uint64_t addr)
+{
+    ++accesses_;
+    ++use_clock_;
+    const std::uint64_t block = blockNumber(addr);
+    const std::uint64_t set = block & (num_sets_ - 1);
+    const std::uint64_t tag = block >> log2u(num_sets_);
+    Line *base = &lines_[set * static_cast<std::uint64_t>(ways_)];
+    Line *victim = base;
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = use_clock_;
+            return true;
+        }
+        // Victim: prefer any invalid way, else the least recently
+        // used one.
+        const bool line_better =
+            victim->valid &&
+            (!line.valid || line.lastUse < victim->lastUse);
+        if (line_better)
+            victim = &line;
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = use_clock_;
+    return false;
+}
+
+bool
+ICache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t block = blockNumber(addr);
+    const std::uint64_t set = block & (num_sets_ - 1);
+    const std::uint64_t tag = block >> log2u(num_sets_);
+    const Line *base =
+        &lines_[set * static_cast<std::uint64_t>(ways_)];
+    for (int w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+ICache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+int
+ICache::bankOf(std::uint64_t addr) const
+{
+    return static_cast<int>(blockNumber(addr) %
+                            static_cast<std::uint64_t>(banks_));
+}
+
+} // namespace fetchsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Direct-mapped instruction cache model.
+ *
+ * All three machine models use direct-mapped I-caches whose block size
+ * holds exactly one maximum-width fetch group: 32KB/16B (P14),
+ * 64KB/32B (P18), 128KB/64B (P112).  Only hit/miss behaviour is
+ * modeled; contents are instruction addresses (the simulator reads
+ * instruction bytes from the Program image).
+ */
+
+#ifndef FETCHSIM_CACHE_ICACHE_H_
+#define FETCHSIM_CACHE_ICACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fetchsim
+{
+
+/**
+ * Direct-mapped instruction cache.
+ */
+class ICache
+{
+  public:
+    /**
+     * @param size_bytes  total capacity (power of two)
+     * @param block_bytes block size (power of two, <= size)
+     * @param banks       number of independently addressable banks;
+     *                    consecutive blocks map to consecutive banks
+     * @param ways        associativity (power of two; 1 = the
+     *                    paper's direct-mapped caches; >1 uses LRU)
+     */
+    ICache(std::uint64_t size_bytes, std::uint64_t block_bytes,
+           int banks = 2, int ways = 1);
+
+    /**
+     * Probe-and-fill: returns true on hit; on miss, fills the block
+     * and returns false.
+     */
+    bool access(std::uint64_t addr);
+
+    /** Probe without side effects. */
+    bool probe(std::uint64_t addr) const;
+
+    /** Invalidate all blocks. */
+    void flush();
+
+    /** Bank that holds the block containing @p addr. */
+    int bankOf(std::uint64_t addr) const;
+
+    /** Block-aligned address of @p addr. */
+    std::uint64_t
+    blockAlign(std::uint64_t addr) const
+    {
+        return addr & ~(block_bytes_ - 1);
+    }
+
+    /** Block number (address / block size). */
+    std::uint64_t
+    blockNumber(std::uint64_t addr) const
+    {
+        return addr >> block_shift_;
+    }
+
+    std::uint64_t sizeBytes() const { return size_bytes_; }
+    std::uint64_t blockBytes() const { return block_bytes_; }
+    int numBanks() const { return banks_; }
+    int numWays() const { return ways_; }
+    std::uint64_t numSets() const { return num_sets_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0; //!< LRU stamp (ways > 1)
+    };
+
+    std::uint64_t size_bytes_;
+    std::uint64_t block_bytes_;
+    int block_shift_;
+    int banks_;
+    int ways_;
+    std::uint64_t num_sets_;
+    std::vector<Line> lines_; //!< set-major: lines_[set*ways + way]
+    std::uint64_t use_clock_ = 0;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_CACHE_ICACHE_H_

@@ -1,0 +1,113 @@
+#include "compiler/code_layout.h"
+
+#include "program/layout.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+ReorderStats
+applyTraceLayout(Workload &workload, const std::vector<Trace> &traces)
+{
+    Program &prog = workload.program;
+    ReorderStats stats;
+    stats.numTraces = traces.size();
+
+    // New global layout order: traces back to back.
+    std::vector<BlockId> order;
+    order.reserve(prog.numBlocks());
+    for (const Trace &trace : traces)
+        for (BlockId b : trace.blocks)
+            order.insert(order.end(), b);
+    simAssert(order.size() == prog.numBlocks(),
+              "traces cover every block exactly once");
+    prog.layoutOrder() = order;
+
+    // Patch terminators against the new adjacency.
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        BasicBlock &bb = prog.block(order[pos]);
+        const BlockId next =
+            (pos + 1 < order.size() &&
+             prog.block(order[pos + 1]).func == bb.func)
+                ? order[pos + 1]
+                : kNoBlock;
+
+        switch (bb.term) {
+          case TermKind::CondBranch:
+          case TermKind::CondBranchJump: {
+            // Normalize an existing CondBranchJump back to a plain
+            // branch first (drop the trailing jump), then re-derive.
+            if (bb.term == TermKind::CondBranchJump) {
+                bb.body.pop_back();
+                bb.term = TermKind::CondBranch;
+            }
+            if (bb.fallThrough == next)
+                break; // already falls through
+            if (bb.takenTarget == next) {
+                // Invert: the branch now falls into its old taken
+                // target and jumps to its old fall-through.
+                std::swap(bb.takenTarget, bb.fallThrough);
+                bb.invertedSense = !bb.invertedSense;
+                ++stats.inverted;
+                break;
+            }
+            // Neither target is adjacent: branch + explicit jump.
+            bb.body.push_back(makeJump());
+            bb.term = TermKind::CondBranchJump;
+            ++stats.jumpsInserted;
+            break;
+          }
+          case TermKind::FallThrough: {
+            if (bb.fallThrough == next)
+                break;
+            bb.body.push_back(makeJump());
+            bb.term = TermKind::Jump;
+            bb.takenTarget = bb.fallThrough;
+            bb.fallThrough = kNoBlock;
+            ++stats.jumpsInserted;
+            break;
+          }
+          case TermKind::Jump: {
+            if (bb.takenTarget != next)
+                break;
+            // The jump target moved right behind us: delete the jump.
+            simAssert(!bb.body.empty() &&
+                          bb.body.back().op == OpClass::Jump,
+                      "jump block shape");
+            bb.body.pop_back();
+            bb.term = TermKind::FallThrough;
+            bb.fallThrough = bb.takenTarget;
+            bb.takenTarget = kNoBlock;
+            ++stats.jumpsRemoved;
+            break;
+          }
+          case TermKind::CallFall:
+          case TermKind::Return:
+            // Returns are indirect; the post-call continuation is
+            // reached via the return address, not adjacency.
+            break;
+        }
+    }
+
+    assignAddresses(prog);
+    prog.validate();
+    checkEncodable(prog);
+    return stats;
+}
+
+ReorderStats
+reorderWorkload(Workload &workload,
+                const ProfileOptions &profile_options,
+                const TraceOptions &trace_options,
+                std::vector<Trace> *out_traces)
+{
+    EdgeProfile profile = collectProfile(workload, profile_options);
+    std::vector<Trace> traces =
+        selectTraces(workload.program, profile, trace_options);
+    ReorderStats stats = applyTraceLayout(workload, traces);
+    if (out_traces)
+        *out_traces = std::move(traces);
+    return stats;
+}
+
+} // namespace fetchsim

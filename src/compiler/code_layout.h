@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Profile-driven code reordering (trace layout).
+ *
+ * Lays the program out in selected-trace order and patches
+ * terminators so the hot path falls through:
+ *
+ *  - a conditional branch whose taken target becomes the next block
+ *    is *inverted* (sense flip recorded on the block, applied by the
+ *    executor), converting a taken branch into a fall-through;
+ *  - a conditional branch neither of whose targets is next gains a
+ *    trailing unconditional jump (CondBranchJump);
+ *  - a fall-through whose successor moved away becomes a jump;
+ *  - a jump whose target becomes the next block is *removed*
+ *    (becomes a fall-through).
+ *
+ * This is the optimization the paper evaluates in Section 4/Figure 12
+ * and Table 3 (taken-branch reduction).
+ */
+
+#ifndef FETCHSIM_COMPILER_CODE_LAYOUT_H_
+#define FETCHSIM_COMPILER_CODE_LAYOUT_H_
+
+#include <vector>
+
+#include "compiler/trace_selection.h"
+#include "workload/generator.h"
+
+namespace fetchsim
+{
+
+/** Outcome of a reordering pass (static fix-up census). */
+struct ReorderStats
+{
+    std::uint64_t inverted = 0;      //!< branches sense-flipped
+    std::uint64_t jumpsInserted = 0; //!< new unconditional jumps
+    std::uint64_t jumpsRemoved = 0;  //!< jumps turned fall-through
+    std::size_t numTraces = 0;
+};
+
+/**
+ * Reorder @p workload's program into @p traces order and patch
+ * terminators.  Re-assigns addresses and validates.  The traces must
+ * have been selected on this exact program.
+ */
+ReorderStats applyTraceLayout(Workload &workload,
+                              const std::vector<Trace> &traces);
+
+/**
+ * Convenience: profile with the training inputs, select traces, and
+ * apply the layout.  Returns the traces (for pad-trace) via
+ * @p out_traces when non-null.
+ */
+ReorderStats reorderWorkload(Workload &workload,
+                             const ProfileOptions &profile_options = {},
+                             const TraceOptions &trace_options = {},
+                             std::vector<Trace> *out_traces = nullptr);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_COMPILER_CODE_LAYOUT_H_

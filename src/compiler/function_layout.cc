@@ -1,0 +1,133 @@
+#include "compiler/function_layout.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "program/layout.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+std::vector<std::vector<std::uint64_t>>
+callEdgeWeights(const Program &prog, const EdgeProfile &profile)
+{
+    const std::size_t n = prog.numFunctions();
+    std::vector<std::vector<std::uint64_t>> weights(
+        n, std::vector<std::uint64_t>(n, 0));
+    for (std::size_t b = 0; b < prog.numBlocks(); ++b) {
+        const BasicBlock &bb = prog.block(static_cast<BlockId>(b));
+        if (bb.term != TermKind::CallFall)
+            continue;
+        weights[bb.func][bb.callee] += profile.blockCount[bb.id];
+    }
+    return weights;
+}
+
+FunctionLayoutStats
+placeFunctions(Workload &workload, const EdgeProfile &profile)
+{
+    Program &prog = workload.program;
+    const std::size_t n = prog.numFunctions();
+    FunctionLayoutStats stats;
+    stats.numFunctions = n;
+
+    const auto weights = callEdgeWeights(prog, profile);
+
+    // Collect weighted call edges, heaviest first.
+    struct Edge
+    {
+        std::uint64_t weight;
+        FuncId from;
+        FuncId to;
+    };
+    std::vector<Edge> edges;
+    for (std::size_t f = 0; f < n; ++f) {
+        for (std::size_t g = 0; g < n; ++g) {
+            stats.totalCallWeight += weights[f][g];
+            if (weights[f][g] > 0 && f != g) {
+                edges.push_back({weights[f][g],
+                                 static_cast<FuncId>(f),
+                                 static_cast<FuncId>(g)});
+            }
+        }
+    }
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const Edge &a, const Edge &b) {
+                         return a.weight > b.weight;
+                     });
+
+    // Greedy chain merging (Pettis-Hansen): each function starts as
+    // a singleton chain; the heaviest edge whose endpoints are the
+    // tail of one chain and the head of another glues them.
+    std::vector<std::vector<FuncId>> chains(n);
+    std::vector<int> chain_of(n);
+    for (std::size_t f = 0; f < n; ++f) {
+        chains[f] = {static_cast<FuncId>(f)};
+        chain_of[f] = static_cast<int>(f);
+    }
+    for (const Edge &edge : edges) {
+        const int cf = chain_of[edge.from];
+        const int cg = chain_of[edge.to];
+        if (cf == cg)
+            continue;
+        // Glue only tail-of(cf) -> head-of(cg) so the call site ends
+        // up physically before (and near) the callee entry.
+        if (chains[static_cast<std::size_t>(cf)].back() != edge.from)
+            continue;
+        if (chains[static_cast<std::size_t>(cg)].front() != edge.to)
+            continue;
+        stats.adjacentCallWeight += edge.weight;
+        auto &dst = chains[static_cast<std::size_t>(cf)];
+        auto &src = chains[static_cast<std::size_t>(cg)];
+        for (FuncId f : src)
+            chain_of[f] = cf;
+        dst.insert(dst.end(), src.begin(), src.end());
+        src.clear();
+    }
+
+    // Chain order: by total dynamic weight, main's chain first.
+    std::vector<int> chain_ids;
+    for (std::size_t c = 0; c < n; ++c)
+        if (!chains[c].empty())
+            chain_ids.push_back(static_cast<int>(c));
+    stats.chains = chain_ids.size();
+
+    auto chainWeight = [&](int c) {
+        std::uint64_t total = 0;
+        for (FuncId f : chains[static_cast<std::size_t>(c)])
+            for (BlockId b : prog.function(f).blocks)
+                total += profile.blockCount[b];
+        return total;
+    };
+    const int main_chain = chain_of[prog.mainFunction()];
+    std::stable_sort(chain_ids.begin(), chain_ids.end(),
+                     [&](int a, int b) {
+                         if (a == main_chain || b == main_chain)
+                             return a == main_chain;
+                         return chainWeight(a) > chainWeight(b);
+                     });
+
+    // Rebuild the global layout: functions in chain order, each
+    // function's blocks in their current layout-relative order.
+    std::vector<std::vector<BlockId>> fn_blocks(n);
+    for (BlockId id : prog.layoutOrder())
+        fn_blocks[prog.block(id).func].push_back(id);
+
+    std::vector<BlockId> order;
+    order.reserve(prog.numBlocks());
+    for (int c : chain_ids)
+        for (FuncId f : chains[static_cast<std::size_t>(c)])
+            order.insert(order.end(), fn_blocks[f].begin(),
+                         fn_blocks[f].end());
+    simAssert(order.size() == prog.numBlocks(),
+              "function placement covers every block");
+    prog.layoutOrder() = order;
+
+    assignAddresses(prog);
+    prog.validate();
+    checkEncodable(prog);
+    return stats;
+}
+
+} // namespace fetchsim

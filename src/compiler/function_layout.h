@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Profile-guided function placement (Pettis & Hansen, the paper's
+ * reference [8]).
+ *
+ * Trace layout (code_layout.h) orders blocks *within* functions; this
+ * pass orders the functions themselves so that callers and their
+ * hottest callees sit adjacent in memory, shrinking the I-cache
+ * working set.  The paper applies its reference's intra-procedural
+ * half; this pass supplies the inter-procedural half as an extension,
+ * evaluated in the hardware ablation bench.
+ */
+
+#ifndef FETCHSIM_COMPILER_FUNCTION_LAYOUT_H_
+#define FETCHSIM_COMPILER_FUNCTION_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/profile.h"
+#include "workload/generator.h"
+
+namespace fetchsim
+{
+
+/** Static census of a function-placement pass. */
+struct FunctionLayoutStats
+{
+    std::size_t numFunctions = 0;
+    std::size_t chains = 0;          //!< affinity chains formed
+    std::uint64_t adjacentCallWeight = 0; //!< call weight between
+                                          //!< now-adjacent functions
+    std::uint64_t totalCallWeight = 0;    //!< all dynamic call weight
+};
+
+/**
+ * Dynamic call-edge weights: weight[caller][callee] = executions of
+ * caller blocks that call callee.  Derived from an EdgeProfile.
+ */
+std::vector<std::vector<std::uint64_t>> callEdgeWeights(
+    const Program &prog, const EdgeProfile &profile);
+
+/**
+ * Reorder @p workload's functions by greedy call-affinity chaining
+ * (heaviest call edges merge their endpoints' chains first), keeping
+ * each function's internal block order.  Re-lays-out and validates.
+ */
+FunctionLayoutStats placeFunctions(Workload &workload,
+                                   const EdgeProfile &profile);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_COMPILER_FUNCTION_LAYOUT_H_

@@ -1,0 +1,123 @@
+#include "compiler/nop_padding.h"
+
+#include <unordered_set>
+
+#include "program/layout.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/**
+ * Walk the current layout; after every block selected by
+ * @p pad_after, insert a filler block of nops that rounds the running
+ * instruction offset up to a block boundary.  The filler is wired
+ * into the fall-through chain when the padded block can fall through
+ * (so the nops genuinely execute on that path); otherwise it is dead
+ * code that only occupies cache space.
+ */
+PaddingStats
+padLayout(Workload &workload, std::uint64_t block_bytes,
+          const std::unordered_set<BlockId> &pad_after)
+{
+    if (block_bytes == 0 || (block_bytes & (block_bytes - 1)) != 0)
+        fatal("padLayout: block size must be a power of two");
+    Program &prog = workload.program;
+
+    PaddingStats stats;
+    stats.originalInsts = prog.totalInstructions();
+
+    const std::uint64_t insts_per_block = block_bytes / kInstBytes;
+    const std::vector<BlockId> old_order = prog.layoutOrder();
+    std::vector<BlockId> new_order;
+    new_order.reserve(old_order.size() * 2);
+
+    std::uint64_t offset = 0; // running instruction offset
+    for (std::size_t pos = 0; pos < old_order.size(); ++pos) {
+        const BlockId id = old_order[pos];
+        new_order.push_back(id);
+        offset += static_cast<std::uint64_t>(prog.block(id).size());
+
+        if (pad_after.find(id) == pad_after.end())
+            continue;
+        const std::uint64_t rem = offset % insts_per_block;
+        if (rem == 0)
+            continue;
+        const std::uint64_t pad = insts_per_block - rem;
+
+        // Create the filler block.  addBlock() appends to the
+        // program's layout order; we rebuild the order wholesale at
+        // the end, so that side effect is harmless.
+        const FuncId func = prog.block(id).func;
+        const BlockId filler = prog.addBlock(func);
+        BasicBlock &fb = prog.block(filler);
+        fb.body.assign(static_cast<std::size_t>(pad), makeNop());
+        fb.term = TermKind::FallThrough;
+
+        BasicBlock &bb = prog.block(id);
+        switch (bb.term) {
+          case TermKind::FallThrough:
+          case TermKind::CondBranch:
+          case TermKind::CallFall:
+            // The fall-through (or post-call) path physically runs
+            // into the filler nops before reaching the old successor.
+            fb.fallThrough = bb.fallThrough;
+            bb.fallThrough = filler;
+            break;
+          case TermKind::CondBranchJump:
+          case TermKind::Jump:
+          case TermKind::Return:
+            // No fall-through path: the filler is never executed.
+            // Give it a valid successor for CFG validity.
+            fb.fallThrough =
+                prog.function(func).entry == filler
+                    ? id
+                    : prog.function(func).entry;
+            break;
+        }
+
+        new_order.push_back(filler);
+        offset += pad;
+        stats.nopsInserted += pad;
+    }
+
+    prog.layoutOrder() = new_order;
+    assignAddresses(prog);
+    prog.validate();
+    checkEncodable(prog);
+    return stats;
+}
+
+} // anonymous namespace
+
+PaddingStats
+padAll(Workload &workload, std::uint64_t block_bytes)
+{
+    std::unordered_set<BlockId> all;
+    for (BlockId id : workload.program.layoutOrder())
+        all.insert(id);
+    return padLayout(workload, block_bytes, all);
+}
+
+PaddingStats
+padTrace(Workload &workload, const std::vector<Trace> &traces,
+         std::uint64_t block_bytes)
+{
+    std::unordered_set<BlockId> ends;
+    for (const Trace &trace : traces) {
+        simAssert(!trace.blocks.empty(), "non-empty trace");
+        // Only executed traces are aligned: never-executed blocks are
+        // not traces, just cold code dumped after them, and aligning
+        // each of them would only bloat the image (the paper's
+        // pad-trace overheads are far below pad-all's for exactly
+        // this reason).
+        if (trace.seedWeight > 0)
+            ends.insert(trace.blocks.back());
+    }
+    return padLayout(workload, block_bytes, ends);
+}
+
+} // namespace fetchsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Nop insertion for branch-target alignment (paper Section 4.1).
+ *
+ * Two schemes:
+ *  - *pad-all*: after every block, insert nops so the next block
+ *    starts at a cache-block boundary (no profile needed);
+ *  - *pad-trace*: insert nops only at the end of each selected trace
+ *    so the following trace starts block-aligned.  Since trace
+ *    selection puts likely-taken branches at trace ends, the nops are
+ *    seldom executed.
+ *
+ * Padding is modeled faithfully as filler blocks in the layout: a
+ * padded block's fall-through path executes the nops (exactly as the
+ * hardware would fall into them), while taken branches skip them.
+ */
+
+#ifndef FETCHSIM_COMPILER_NOP_PADDING_H_
+#define FETCHSIM_COMPILER_NOP_PADDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/trace_selection.h"
+#include "workload/generator.h"
+
+namespace fetchsim
+{
+
+/** Static code-growth census of a padding pass (paper Table 4). */
+struct PaddingStats
+{
+    std::uint64_t originalInsts = 0; //!< static size before padding
+    std::uint64_t nopsInserted = 0;  //!< nops added
+
+    /** Nop overhead as a percentage of original code size. */
+    double
+    percent() const
+    {
+        return originalInsts == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(nopsInserted) /
+                         static_cast<double>(originalInsts);
+    }
+};
+
+/**
+ * Pad after every block so each block's successor starts at a
+ * @p block_bytes boundary.  Re-lays-out and validates.
+ */
+PaddingStats padAll(Workload &workload, std::uint64_t block_bytes);
+
+/**
+ * Pad only at the last block of each trace (apply after
+ * applyTraceLayout with the same traces).  Re-lays-out and validates.
+ */
+PaddingStats padTrace(Workload &workload,
+                      const std::vector<Trace> &traces,
+                      std::uint64_t block_bytes);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_COMPILER_NOP_PADDING_H_

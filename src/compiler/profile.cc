@@ -1,0 +1,95 @@
+#include "compiler/profile.h"
+
+#include "exec/executor.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** Accumulates counts while an Executor runs. */
+class ProfileObserver : public ExecObserver
+{
+  public:
+    explicit ProfileObserver(EdgeProfile &profile) : profile_(profile)
+    {
+    }
+
+    void onBlock(BlockId block) override
+    {
+        ++profile_.blockCount[block];
+    }
+
+    void
+    onCondBranch(BlockId block, bool taken) override
+    {
+        if (taken)
+            ++profile_.takenCount[block];
+        else
+            ++profile_.notTakenCount[block];
+    }
+
+  private:
+    EdgeProfile &profile_;
+};
+
+} // anonymous namespace
+
+std::uint64_t
+EdgeProfile::edgeWeight(const BasicBlock &bb, BlockId succ) const
+{
+    switch (bb.term) {
+      case TermKind::CondBranch:
+      case TermKind::CondBranchJump: {
+        std::uint64_t weight = 0;
+        if (bb.takenTarget == succ)
+            weight += takenCount[bb.id];
+        if (bb.fallThrough == succ)
+            weight += notTakenCount[bb.id];
+        return weight;
+      }
+      case TermKind::FallThrough:
+        return bb.fallThrough == succ ? blockCount[bb.id] : 0;
+      case TermKind::Jump:
+        return bb.takenTarget == succ ? blockCount[bb.id] : 0;
+      case TermKind::CallFall:
+        // The post-call continuation executes once per call.
+        return bb.fallThrough == succ ? blockCount[bb.id] : 0;
+      case TermKind::Return:
+        return 0;
+    }
+    return 0;
+}
+
+double
+EdgeProfile::edgeProb(const BasicBlock &bb, BlockId succ) const
+{
+    const std::uint64_t total = blockCount[bb.id];
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(edgeWeight(bb, succ)) /
+           static_cast<double>(total);
+}
+
+EdgeProfile
+collectProfile(const Workload &workload, const ProfileOptions &options)
+{
+    if (options.numInputs < 1 || options.numInputs > kNumTrainInputs)
+        fatal("collectProfile: bad training-input count");
+
+    EdgeProfile profile(workload.program.numBlocks());
+    ProfileObserver observer(profile);
+
+    for (int input = 0; input < options.numInputs; ++input) {
+        Executor exec(workload, input);
+        exec.setObserver(&observer);
+        DynInst di;
+        for (std::uint64_t i = 0; i < options.instsPerInput; ++i)
+            exec.next(di);
+    }
+    return profile;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Profile collection for profile-driven code reordering.
+ *
+ * The paper profiles each benchmark with five distinct training
+ * inputs and evaluates with a sixth; this module replays that
+ * methodology: the executor is run once per training input and
+ * block/edge execution counts are accumulated.
+ */
+
+#ifndef FETCHSIM_COMPILER_PROFILE_H_
+#define FETCHSIM_COMPILER_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace fetchsim
+{
+
+/**
+ * Block- and edge-execution counts over one or more profiling runs.
+ */
+struct EdgeProfile
+{
+    std::vector<std::uint64_t> blockCount;    //!< executions per block
+    std::vector<std::uint64_t> takenCount;    //!< cond-taken per block
+    std::vector<std::uint64_t> notTakenCount; //!< cond-fall per block
+
+    /** Size the vectors for @p num_blocks. */
+    explicit EdgeProfile(std::size_t num_blocks = 0)
+        : blockCount(num_blocks), takenCount(num_blocks),
+          notTakenCount(num_blocks)
+    {
+    }
+
+    /**
+     * Weight of the control-flow edge from @p bb to its successor
+     * @p succ, under the current terminator semantics.  Returns 0 for
+     * non-successors.
+     */
+    std::uint64_t edgeWeight(const BasicBlock &bb, BlockId succ) const;
+
+    /** Probability of the edge bb -> succ (0 when bb never ran). */
+    double edgeProb(const BasicBlock &bb, BlockId succ) const;
+};
+
+/** Options for profile collection. */
+struct ProfileOptions
+{
+    std::uint64_t instsPerInput = 200000; //!< dynamic length per run
+    int numInputs = kNumTrainInputs;      //!< training inputs used
+};
+
+/**
+ * Run @p workload once per training input and accumulate block/edge
+ * counts.  The evaluation input (kEvalInput) is never profiled.
+ */
+EdgeProfile collectProfile(const Workload &workload,
+                           const ProfileOptions &options = {});
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_COMPILER_PROFILE_H_

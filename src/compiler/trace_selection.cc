@@ -1,0 +1,198 @@
+#include "compiler/trace_selection.h"
+
+#include <algorithm>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** Intra-function CFG successors of @p bb (call edges excluded). */
+void
+successorsOf(const BasicBlock &bb, std::vector<BlockId> &out)
+{
+    out.clear();
+    switch (bb.term) {
+      case TermKind::CondBranch:
+      case TermKind::CondBranchJump:
+        out.push_back(bb.takenTarget);
+        if (bb.fallThrough != bb.takenTarget)
+            out.push_back(bb.fallThrough);
+        break;
+      case TermKind::FallThrough:
+      case TermKind::CallFall:
+        out.push_back(bb.fallThrough);
+        break;
+      case TermKind::Jump:
+        out.push_back(bb.takenTarget);
+        break;
+      case TermKind::Return:
+        break;
+    }
+}
+
+} // anonymous namespace
+
+std::vector<Trace>
+selectTraces(const Program &prog, const EdgeProfile &profile,
+             const TraceOptions &options)
+{
+    const std::size_t n = prog.numBlocks();
+    simAssert(profile.blockCount.size() == n,
+              "profile matches program");
+
+    // Predecessor lists.
+    std::vector<std::vector<BlockId>> preds(n);
+    std::vector<BlockId> succs;
+    for (std::size_t i = 0; i < n; ++i) {
+        const BasicBlock &bb = prog.block(static_cast<BlockId>(i));
+        successorsOf(bb, succs);
+        for (BlockId s : succs)
+            preds[s].push_back(bb.id);
+    }
+
+    std::vector<bool> visited(n, false);
+    std::vector<Trace> traces;
+
+    auto bestSuccessor = [&](BlockId b) -> BlockId {
+        const BasicBlock &bb = prog.block(b);
+        successorsOf(bb, succs);
+        BlockId best = kNoBlock;
+        std::uint64_t best_weight = 0;
+        for (BlockId s : succs) {
+            const std::uint64_t w = profile.edgeWeight(bb, s);
+            if (w > best_weight) {
+                best_weight = w;
+                best = s;
+            }
+        }
+        if (best == kNoBlock)
+            return kNoBlock;
+        if (profile.edgeProb(bb, best) < options.threshold)
+            return kNoBlock;
+        return best;
+    };
+
+    auto bestPredecessor = [&](BlockId h) -> BlockId {
+        BlockId best = kNoBlock;
+        std::uint64_t best_weight = 0;
+        for (BlockId p : preds[h]) {
+            const std::uint64_t w =
+                profile.edgeWeight(prog.block(p), h);
+            if (w > best_weight) {
+                best_weight = w;
+                best = p;
+            }
+        }
+        if (best == kNoBlock)
+            return kNoBlock;
+        if (profile.edgeProb(prog.block(best), h) < options.threshold)
+            return kNoBlock;
+        // Only attach if the trace head is also where this
+        // predecessor most wants to go, so we do not steal it from a
+        // better placement.
+        successorsOf(prog.block(best), succs);
+        for (BlockId s : succs) {
+            if (s != h && profile.edgeWeight(prog.block(best), s) >
+                              profile.edgeWeight(prog.block(best), h))
+                return kNoBlock;
+        }
+        return best;
+    };
+
+    // Process functions in original order; within each, seed from the
+    // hottest unvisited block.
+    for (std::size_t f = 0; f < prog.numFunctions(); ++f) {
+        const Function &fn = prog.function(static_cast<FuncId>(f));
+        std::vector<BlockId> order = fn.blocks;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](BlockId a, BlockId b) {
+                             return profile.blockCount[a] >
+                                    profile.blockCount[b];
+                         });
+
+        std::size_t first_trace = traces.size();
+        for (BlockId seed : order) {
+            if (visited[seed])
+                continue;
+            Trace trace;
+            trace.func = fn.id;
+            trace.seedWeight = profile.blockCount[seed];
+            trace.blocks.push_back(seed);
+            visited[seed] = true;
+
+            // Grow forward from the tail.
+            for (;;) {
+                BlockId next = bestSuccessor(trace.blocks.back());
+                if (next == kNoBlock || visited[next] ||
+                    prog.block(next).func != fn.id)
+                    break;
+                trace.blocks.push_back(next);
+                visited[next] = true;
+            }
+            // Grow backward from the head.
+            for (;;) {
+                BlockId prev = bestPredecessor(trace.blocks.front());
+                if (prev == kNoBlock || visited[prev] ||
+                    prog.block(prev).func != fn.id)
+                    break;
+                trace.blocks.insert(trace.blocks.begin(), prev);
+                visited[prev] = true;
+            }
+            traces.push_back(std::move(trace));
+        }
+
+        // Chain the function's traces (Pettis-Hansen style): after
+        // the hottest trace, prefer the trace whose head is the most
+        // likely successor of the current trace's tail, so trace-end
+        // fall-throughs connect without inserted jumps.  Fall back to
+        // the next-hottest trace when no successor connects.
+        std::vector<Trace> pool(
+            std::make_move_iterator(
+                traces.begin() +
+                static_cast<std::ptrdiff_t>(first_trace)),
+            std::make_move_iterator(traces.end()));
+        traces.resize(first_trace);
+        std::stable_sort(pool.begin(), pool.end(),
+                         [](const Trace &a, const Trace &b) {
+                             return a.seedWeight > b.seedWeight;
+                         });
+        std::vector<bool> placed(pool.size(), false);
+        std::size_t placed_count = 0;
+        std::size_t hottest = 0;
+        while (placed_count < pool.size()) {
+            // Next unplaced hottest trace starts a new chain.
+            while (hottest < pool.size() && placed[hottest])
+                ++hottest;
+            std::size_t current = hottest;
+            for (;;) {
+                placed[current] = true;
+                ++placed_count;
+                traces.push_back(std::move(pool[current]));
+                const BasicBlock &tail =
+                    prog.block(traces.back().blocks.back());
+                std::size_t best = pool.size();
+                std::uint64_t best_weight = 0;
+                for (std::size_t t = 0; t < pool.size(); ++t) {
+                    if (placed[t])
+                        continue;
+                    const std::uint64_t w = profile.edgeWeight(
+                        tail, pool[t].blocks.front());
+                    if (w > best_weight) {
+                        best_weight = w;
+                        best = t;
+                    }
+                }
+                if (best == pool.size())
+                    break; // no successor connects; new chain
+                current = best;
+            }
+        }
+    }
+    return traces;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fisher-style trace selection over profiled control-flow graphs.
+ *
+ * Implements the trace-selection step of profile-driven code
+ * reordering (paper Section 4, following Fisher's algorithm as used
+ * by Hwu & Chang): traces are grown from unvisited seed blocks in
+ * decreasing execution-count order, extending forward through the
+ * most likely successor and backward through the most likely
+ * predecessor as long as the transition probability clears a
+ * threshold and the neighbour is unvisited and in the same function.
+ */
+
+#ifndef FETCHSIM_COMPILER_TRACE_SELECTION_H_
+#define FETCHSIM_COMPILER_TRACE_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/profile.h"
+#include "program/program.h"
+
+namespace fetchsim
+{
+
+/** One selected trace: blocks in execution order. */
+struct Trace
+{
+    std::vector<BlockId> blocks;
+    std::uint64_t seedWeight = 0; //!< execution count of the seed
+    FuncId func = kNoFunc;
+};
+
+/** Options for trace selection. */
+struct TraceOptions
+{
+    /** Minimum successor/predecessor probability to extend a trace. */
+    double threshold = 0.60;
+};
+
+/**
+ * Select traces for every function of @p prog using @p profile.
+ * Every block (including never-executed ones) lands in exactly one
+ * trace; cold blocks form singleton traces.  Traces are returned
+ * grouped by function (functions in original order) and, within a
+ * function, in decreasing seed weight.
+ */
+std::vector<Trace> selectTraces(const Program &prog,
+                                const EdgeProfile &profile,
+                                const TraceOptions &options = {});
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_COMPILER_TRACE_SELECTION_H_

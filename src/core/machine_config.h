@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Machine-model parameters (paper Table 1): P14, P18, P112.
+ *
+ * Header-only so both the fetch mechanisms and the core can consume
+ * configurations without a link-time cycle.
+ */
+
+#ifndef FETCHSIM_CORE_MACHINE_CONFIG_H_
+#define FETCHSIM_CORE_MACHINE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "branch/direction_predictor.h"
+#include "isa/opcode.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+/** The three machine models studied in the paper. */
+enum class MachineModel : std::uint8_t
+{
+    P14 = 0, //!< 4-issue
+    P18,     //!< 8-issue
+    P112,    //!< 12-issue
+    NumMachineModels
+};
+
+/** Number of machine models. */
+constexpr int kNumMachineModels =
+    static_cast<int>(MachineModel::NumMachineModels);
+
+/**
+ * Full parameter set of one simulated machine.
+ */
+struct MachineConfig
+{
+    std::string name;           //!< "P14" / "P18" / "P112"
+    int issueRate = 4;          //!< instructions per cycle
+    int windowSize = 16;        //!< scheduling-window entries
+    int robSize = 32;           //!< reorder-buffer entries
+
+    std::uint64_t icacheBytes = 32 * 1024; //!< I-cache capacity
+    std::uint64_t blockBytes = 16;         //!< I-cache block size
+    int icacheBanks = 2;        //!< banks (interleaved/banked schemes)
+    int icacheWays = 1;         //!< associativity (paper: direct-mapped)
+    int icacheMissPenalty = 10; //!< refill latency in cycles (the
+                                //!< paper leaves this unspecified; see
+                                //!< DESIGN.md)
+
+    int fxuCount = 2;           //!< fixed-point units (1-cycle)
+    int fpuCount = 2;           //!< floating-point units (2-cycle)
+    int branchCount = 2;        //!< branch units (1-cycle)
+    int loadCount = 2;          //!< load units (2-cycle; see DESIGN.md)
+    int storeBufferSize = 8;    //!< store-buffer entries
+
+    int specDepth = 2;          //!< max unresolved predicted cond
+                                //!< branches in flight
+    int fetchPenalty = 2;       //!< fetch misprediction penalty
+                                //!< (3-stage pipeline with bypass)
+    int btbEntries = 1024;      //!< branch-target-buffer entries
+
+    // Frontend extensions (paper future work; defaults = the paper).
+    PredictorKind predictorKind = PredictorKind::BtbCounter;
+    bool useRas = false;        //!< return-address stack
+    int rasDepth = 16;          //!< RAS entries when enabled
+
+    /** Instructions per I-cache block (= BTB interleave factor). */
+    int
+    instsPerBlock() const
+    {
+        return static_cast<int>(blockBytes / kInstBytes);
+    }
+
+    /** Total function-unit count (= number of result buses). */
+    int
+    totalUnits() const
+    {
+        return fxuCount + fpuCount + branchCount + loadCount;
+    }
+
+    /** Number of units of a given kind. */
+    int
+    unitCount(UnitKind kind) const
+    {
+        switch (kind) {
+          case UnitKind::Fxu:        return fxuCount;
+          case UnitKind::Fpu:        return fpuCount;
+          case UnitKind::BranchUnit: return branchCount;
+          case UnitKind::LoadUnit:   return loadCount;
+          case UnitKind::StorePort:  return storeBufferSize;
+          default:                   panic("unitCount: bad kind");
+        }
+    }
+};
+
+/** The P14 machine model: 4-issue (Table 1). */
+inline MachineConfig
+makeP14()
+{
+    MachineConfig cfg;
+    cfg.name = "P14";
+    cfg.issueRate = 4;
+    cfg.windowSize = 16;
+    cfg.robSize = 32;
+    cfg.icacheBytes = 32 * 1024;
+    cfg.blockBytes = 16;
+    cfg.fxuCount = 2;
+    cfg.fpuCount = 2;
+    cfg.branchCount = 2;
+    cfg.loadCount = 2;
+    cfg.storeBufferSize = 8;
+    cfg.specDepth = 2;
+    return cfg;
+}
+
+/** The P18 machine model: 8-issue (Table 1). */
+inline MachineConfig
+makeP18()
+{
+    MachineConfig cfg;
+    cfg.name = "P18";
+    cfg.issueRate = 8;
+    cfg.windowSize = 24;
+    cfg.robSize = 48;
+    cfg.icacheBytes = 64 * 1024;
+    cfg.blockBytes = 32;
+    cfg.fxuCount = 4;
+    cfg.fpuCount = 4;
+    cfg.branchCount = 4;
+    cfg.loadCount = 4;
+    cfg.storeBufferSize = 16;
+    cfg.specDepth = 4;
+    return cfg;
+}
+
+/** The P112 machine model: 12-issue (Table 1). */
+inline MachineConfig
+makeP112()
+{
+    MachineConfig cfg;
+    cfg.name = "P112";
+    cfg.issueRate = 12;
+    cfg.windowSize = 32;
+    cfg.robSize = 64;
+    cfg.icacheBytes = 128 * 1024;
+    cfg.blockBytes = 64;
+    cfg.fxuCount = 6;
+    cfg.fpuCount = 6;
+    cfg.branchCount = 6;
+    cfg.loadCount = 6;
+    cfg.storeBufferSize = 24;
+    cfg.specDepth = 6;
+    return cfg;
+}
+
+/** Configuration for a machine model enumerator. */
+inline MachineConfig
+makeMachine(MachineModel model)
+{
+    switch (model) {
+      case MachineModel::P14:  return makeP14();
+      case MachineModel::P18:  return makeP18();
+      case MachineModel::P112: return makeP112();
+      default:                 panic("makeMachine: bad model");
+    }
+}
+
+/** Name of a machine model. */
+inline const char *
+machineName(MachineModel model)
+{
+    switch (model) {
+      case MachineModel::P14:  return "P14";
+      case MachineModel::P18:  return "P18";
+      case MachineModel::P112: return "P112";
+      default:                 return "???";
+    }
+}
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_CORE_MACHINE_CONFIG_H_

@@ -1,0 +1,340 @@
+#include "core/processor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+constexpr std::uint64_t kNeverResume =
+    std::numeric_limits<std::uint64_t>::max();
+
+} // anonymous namespace
+
+Processor::Processor(const Workload &workload, int input,
+                     const MachineConfig &cfg,
+                     std::unique_ptr<FetchMechanism> fetch)
+    : cfg_(cfg),
+      own_exec_(std::make_unique<Executor>(workload, input)),
+      source_(own_exec_.get()), fetch_(std::move(fetch)),
+      predictor_(cfg.btbEntries, cfg.instsPerBlock(),
+                 PredictorConfig{cfg.predictorKind, cfg.useRas,
+                                 cfg.rasDepth}),
+      icache_(cfg.icacheBytes, cfg.blockBytes, cfg.icacheBanks,
+              cfg.icacheWays)
+{
+    simAssert(fetch_ != nullptr, "fetch mechanism supplied");
+    stream_.reserve(static_cast<std::size_t>(cfg_.issueRate) * 8);
+}
+
+Processor::Processor(InstSource &source, const MachineConfig &cfg,
+                     std::unique_ptr<FetchMechanism> fetch)
+    : cfg_(cfg), source_(&source), fetch_(std::move(fetch)),
+      predictor_(cfg.btbEntries, cfg.instsPerBlock(),
+                 PredictorConfig{cfg.predictorKind, cfg.useRas,
+                                 cfg.rasDepth}),
+      icache_(cfg.icacheBytes, cfg.blockBytes, cfg.icacheBanks,
+              cfg.icacheWays)
+{
+    simAssert(fetch_ != nullptr, "fetch mechanism supplied");
+    stream_.reserve(static_cast<std::size_t>(cfg_.issueRate) * 8);
+}
+
+void
+Processor::refillStream()
+{
+    const std::size_t want =
+        static_cast<std::size_t>(cfg_.issueRate) * 4;
+    // Compact consumed prefix once it dominates the buffer.
+    if (stream_head_ > want) {
+        stream_.erase(stream_.begin(),
+                      stream_.begin() +
+                          static_cast<std::ptrdiff_t>(stream_head_));
+        stream_head_ = 0;
+    }
+    while (stream_.size() - stream_head_ < want) {
+        DynInst di;
+        if (!source_->next(di))
+            break;
+        stream_.push_back(di);
+    }
+}
+
+InFlight &
+Processor::entryOf(std::int64_t seq)
+{
+    const auto useq = static_cast<std::uint64_t>(seq);
+    simAssert(useq >= rob_base_seq_ &&
+                  useq < rob_base_seq_ + rob_.size(),
+              "sequence number in flight");
+    return rob_[static_cast<std::size_t>(useq - rob_base_seq_)];
+}
+
+bool
+Processor::sourceReady(std::int64_t tag) const
+{
+    if (tag == RegisterState::kReady)
+        return true;
+    const auto useq = static_cast<std::uint64_t>(tag);
+    if (useq < rob_base_seq_)
+        return true; // producer already retired
+    const InFlight &producer =
+        rob_[static_cast<std::size_t>(useq - rob_base_seq_)];
+    return producer.completed;
+}
+
+std::uint64_t
+Processor::sourceValue(std::int64_t tag, std::uint8_t reg) const
+{
+    if (tag == RegisterState::kReady)
+        return regs_.readMessy(reg);
+    const auto useq = static_cast<std::uint64_t>(tag);
+    if (useq < rob_base_seq_)
+        return regs_.readMessy(reg); // retired into Messy already
+    const InFlight &producer =
+        rob_[static_cast<std::size_t>(useq - rob_base_seq_)];
+    simAssert(producer.completed, "forwarded source completed");
+    return producer.value;
+}
+
+void
+Processor::doComplete()
+{
+    auto &bucket = ring_[cycle_ % kRingSize];
+    if (bucket.empty())
+        return;
+
+    const int buses = cfg_.totalUnits();
+    std::vector<std::uint64_t> deferred;
+    int broadcast = 0;
+    for (std::uint64_t seq : bucket) {
+        if (broadcast >= buses) {
+            // Result-bus contention: retry next cycle.
+            deferred.push_back(seq);
+            continue;
+        }
+        ++broadcast;
+        InFlight &entry = entryOf(static_cast<std::int64_t>(seq));
+        entry.completed = true;
+        entry.completeCycle = cycle_;
+        if (entry.di.si.writesRegister()) {
+            regs_.complete(entry.di.si.dest, entry.value);
+        }
+        // Control instructions resolve here (branch-unit writeback).
+        if (entry.di.isControl()) {
+            predictor_.onResolve(entry.di);
+            if (entry.di.isCondBranch())
+                --unresolved_cond_;
+            if (entry.flaggedMispredict) {
+                ++counters_.controlMispredicts;
+                if (entry.di.isCondBranch())
+                    ++counters_.mispredicts;
+                if (blocked_on_seq_ ==
+                    static_cast<std::int64_t>(seq)) {
+                    blocked_on_seq_ = -1;
+                    fetch_resume_cycle_ =
+                        cycle_ + static_cast<std::uint64_t>(
+                                     fetch_->mispredictPenalty());
+                }
+            }
+        }
+    }
+    bucket.clear();
+    if (!deferred.empty()) {
+        auto &next = ring_[(cycle_ + 1) % kRingSize];
+        next.insert(next.begin(), deferred.begin(), deferred.end());
+    }
+}
+
+void
+Processor::doRetire()
+{
+    int retired = 0;
+    while (retired < cfg_.issueRate && !rob_.empty() &&
+           rob_.front().completed) {
+        InFlight &head = rob_.front();
+        if (head.di.si.writesRegister()) {
+            regs_.retire(head.di.si.dest, head.value,
+                         static_cast<std::int64_t>(head.di.seq));
+        }
+        if (head.di.si.op == OpClass::Store)
+            --store_buffer_occ_;
+        if (head.di.si.op == OpClass::Nop)
+            ++counters_.nopsRetired;
+        if (head.di.isCondBranch())
+            ++counters_.condBranches;
+        if (head.di.isControl() && head.di.taken) {
+            ++counters_.takenBranches;
+            const std::uint64_t mask = ~(cfg_.blockBytes - 1);
+            if ((head.di.pc & mask) == (head.di.actualTarget & mask))
+                ++counters_.intraBlockTaken;
+        }
+        ++counters_.retired;
+        ++retired;
+        rob_.pop_front();
+        ++rob_base_seq_;
+    }
+}
+
+void
+Processor::doFire()
+{
+    // Per-cycle functional-unit quotas (units are fully pipelined).
+    std::array<int, kNumUnitKinds> quota{};
+    quota[static_cast<int>(UnitKind::Fxu)] = cfg_.fxuCount;
+    quota[static_cast<int>(UnitKind::Fpu)] = cfg_.fpuCount;
+    quota[static_cast<int>(UnitKind::BranchUnit)] = cfg_.branchCount;
+    quota[static_cast<int>(UnitKind::LoadUnit)] = cfg_.loadCount;
+    quota[static_cast<int>(UnitKind::StorePort)] =
+        cfg_.storeBufferSize - store_buffer_occ_;
+
+    int window_left = window_occ_;
+    for (auto &entry : rob_) {
+        if (window_left == 0)
+            break;
+        if (!entry.inWindow)
+            continue;
+        --window_left;
+        if (entry.dispatchCycle >= cycle_)
+            continue; // dispatched this very cycle; fires next
+        if (!sourceReady(entry.srcTag1) ||
+            !sourceReady(entry.srcTag2))
+            continue;
+        const UnitKind kind = unitFor(entry.di.si.op);
+        int &slots = quota[static_cast<int>(kind)];
+        if (slots <= 0)
+            continue;
+        --slots;
+        if (entry.di.si.op == OpClass::Store)
+            ++store_buffer_occ_;
+
+        const std::uint64_t v1 =
+            sourceValue(entry.srcTag1, entry.di.si.src1);
+        const std::uint64_t v2 =
+            sourceValue(entry.srcTag2, entry.di.si.src2);
+        entry.value = computeValue(entry.di.si.op, v1, v2,
+                                   entry.di.si.imm, entry.di.pc);
+        entry.fired = true;
+        entry.fireCycle = cycle_;
+        entry.inWindow = false;
+        --window_occ_;
+
+        const int latency = latencyOf(entry.di.si.op);
+        ring_[(cycle_ + static_cast<std::uint64_t>(latency)) %
+              kRingSize]
+            .push_back(entry.di.seq);
+    }
+}
+
+void
+Processor::doFetch()
+{
+    if (cycle_ < fetch_resume_cycle_) {
+        ++counters_.stallCycles;
+        return;
+    }
+    refillStream();
+
+    FetchContext ctx;
+    ctx.stream = stream_.data() + stream_head_;
+    ctx.streamLen =
+        static_cast<int>(stream_.size() - stream_head_);
+    ctx.predictor = &predictor_;
+    ctx.icache = &icache_;
+    ctx.cfg = &cfg_;
+    ctx.specHeadroom = cfg_.specDepth - unresolved_cond_;
+    ctx.windowSpace =
+        std::min(cfg_.windowSize - window_occ_,
+                 cfg_.robSize - static_cast<int>(rob_.size()));
+
+    FetchOutcome outcome = fetch_->formGroup(ctx);
+    counters_.noteStop(outcome.stop);
+
+    // Dispatch the delivered group into the window + ROB.
+    for (int i = 0; i < outcome.delivered; ++i) {
+        const DynInst &di = stream_[stream_head_ + i];
+        InFlight entry;
+        entry.di = di;
+        entry.dispatchCycle = cycle_;
+        // Rename sources before binding the destination so an
+        // instruction reading its own output register sees the
+        // previous producer.
+        entry.srcTag1 = regs_.producerOf(di.si.src1);
+        entry.srcTag2 = regs_.producerOf(di.si.src2);
+        if (di.si.writesRegister()) {
+            regs_.setProducer(di.si.dest,
+                              static_cast<std::int64_t>(di.seq));
+        }
+        if (di.si.op == OpClass::Nop)
+            ++counters_.nopsDelivered;
+        if (di.isCondBranch())
+            ++unresolved_cond_;
+        // Direct unconditional transfers train the BTB at decode:
+        // the decoder always knows their target.
+        predictor_.onDecode(di);
+        if (outcome.mispredict && i == outcome.delivered - 1)
+            entry.flaggedMispredict = true;
+        rob_.push_back(entry);
+        ++window_occ_;
+    }
+    stream_head_ += static_cast<std::size_t>(outcome.delivered);
+    counters_.delivered += static_cast<std::uint64_t>(outcome.delivered);
+    if (outcome.delivered > 0)
+        ++counters_.fetchGroups;
+    else
+        ++counters_.stallCycles;
+
+    // Fetch-unit stall bookkeeping.
+    if (outcome.mispredict) {
+        blocked_on_seq_ = static_cast<std::int64_t>(
+            rob_.back().di.seq);
+        fetch_resume_cycle_ = kNeverResume; // until resolution
+    } else if (outcome.decodeRedirect) {
+        fetch_resume_cycle_ = cycle_ + 2; // one redirect bubble
+    } else if (outcome.stallAfter > 0) {
+        fetch_resume_cycle_ =
+            cycle_ + 1 + static_cast<std::uint64_t>(outcome.stallAfter);
+    } else {
+        fetch_resume_cycle_ = cycle_ + 1;
+    }
+}
+
+void
+Processor::step()
+{
+    doComplete();
+    doRetire();
+    doFire();
+    doFetch();
+    ++cycle_;
+    counters_.cycles = cycle_;
+    counters_.icacheAccesses = icache_.accesses();
+    counters_.icacheMisses = icache_.misses();
+    counters_.btbLookups = predictor_.btb().lookups();
+    counters_.btbHits = predictor_.btb().hits();
+}
+
+void
+Processor::run(std::uint64_t max_retired)
+{
+    std::uint64_t last_retired = counters_.retired;
+    std::uint64_t stagnant_cycles = 0;
+    while (counters_.retired < max_retired) {
+        step();
+        if (counters_.retired == last_retired) {
+            if (++stagnant_cycles > 100000)
+                panic("Processor::run: no retirement progress for "
+                      "100000 cycles (deadlock)");
+        } else {
+            last_retired = counters_.retired;
+            stagnant_cycles = 0;
+        }
+    }
+}
+
+} // namespace fetchsim

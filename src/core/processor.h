@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The cycle-level processor: fetch mechanism + out-of-order core.
+ *
+ * Implements the microarchitecture of paper Figure 1 / Table 1:
+ * a fetch unit (pluggable FetchMechanism), a Tomasulo scheduling
+ * window with tag renaming that decouples fetch from execution,
+ * fixed-point/floating-point/branch/load units with Table 1
+ * latencies, result buses equal to the total unit count, a store
+ * buffer, a reorder buffer for precise state, Messy and Future
+ * register files, and bounded branch speculation depth.
+ *
+ * The simulation is trace-driven and prediction-aware: the Executor
+ * supplies the correct path; mispredicted branches stall fetch until
+ * they resolve in a branch unit plus the fetch-pipeline refill
+ * penalty (paper footnote 1's decomposition).
+ */
+
+#ifndef FETCHSIM_CORE_PROCESSOR_H_
+#define FETCHSIM_CORE_PROCESSOR_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "branch/predictor_suite.h"
+#include "cache/icache.h"
+#include "core/machine_config.h"
+#include "core/register_state.h"
+#include "exec/executor.h"
+#include "exec/trace_file.h"
+#include "fetch/fetch_mechanism.h"
+#include "stats/counters.h"
+
+namespace fetchsim
+{
+
+/**
+ * One in-flight instruction (a reorder-buffer entry; while waiting to
+ * fire it also occupies a scheduling-window slot).
+ */
+struct InFlight
+{
+    DynInst di;
+    std::int64_t srcTag1 = RegisterState::kReady;
+    std::int64_t srcTag2 = RegisterState::kReady;
+    std::uint64_t value = 0;
+
+    bool inWindow = true;   //!< occupies a reservation station
+    bool fired = false;     //!< issued to a functional unit
+    bool completed = false; //!< result broadcast on a result bus
+    bool flaggedMispredict = false; //!< fetch is blocked on this inst
+
+    std::uint64_t dispatchCycle = 0;
+    std::uint64_t fireCycle = 0;
+    std::uint64_t completeCycle = 0;
+};
+
+/**
+ * The simulated processor.
+ */
+class Processor
+{
+  public:
+    /**
+     * @param workload the benchmark to execute (must outlive this)
+     * @param input    executor input id (usually kEvalInput)
+     * @param cfg      machine model parameters
+     * @param fetch    the fetch mechanism under study
+     */
+    Processor(const Workload &workload, int input,
+              const MachineConfig &cfg,
+              std::unique_ptr<FetchMechanism> fetch);
+
+    /**
+     * Trace-driven construction: stream instructions from an
+     * external source (e.g. a TraceReader) instead of a live
+     * Executor -- the paper's exact spike-trace workflow.
+     * @param source must outlive this processor
+     */
+    Processor(InstSource &source, const MachineConfig &cfg,
+              std::unique_ptr<FetchMechanism> fetch);
+
+    /**
+     * Simulate until @p max_retired instructions retire.
+     * May be called repeatedly to extend a run.
+     */
+    void run(std::uint64_t max_retired);
+
+    /** Advance exactly one cycle (testing hook). */
+    void step();
+
+    /** Collected statistics. */
+    const RunCounters &counters() const { return counters_; }
+
+    /** Current cycle. */
+    std::uint64_t cycle() const { return cycle_; }
+
+    /** The fetch mechanism in use. */
+    const FetchMechanism &fetch() const { return *fetch_; }
+
+    /** Register state (testing hook). */
+    const RegisterState &registers() const { return regs_; }
+
+    /** In-flight instruction count (testing hook). */
+    std::size_t robOccupancy() const { return rob_.size(); }
+
+    /** Scheduling-window occupancy (testing hook). */
+    int windowOccupancy() const { return window_occ_; }
+
+    /** Unresolved predicted conditional branches (testing hook). */
+    int unresolvedBranches() const { return unresolved_cond_; }
+
+    /** The I-cache (testing hook). */
+    const ICache &icache() const { return icache_; }
+
+    /** The branch-target buffer (testing hook). */
+    const Btb &btb() const { return predictor_.btb(); }
+
+    /** The full predictor suite (testing hook). */
+    const PredictorSuite &predictorSuite() const
+    {
+        return predictor_;
+    }
+
+  private:
+    static constexpr int kRingSize = 32; //!< > max latency + penalty
+
+    void refillStream();
+    void doComplete();
+    void doRetire();
+    void doFire();
+    void doFetch();
+
+    InFlight &entryOf(std::int64_t seq);
+    bool sourceReady(std::int64_t tag) const;
+    std::uint64_t sourceValue(std::int64_t tag, std::uint8_t reg) const;
+
+    MachineConfig cfg_;
+    std::unique_ptr<Executor> own_exec_; //!< live-workload mode only
+    InstSource *source_;                 //!< never null
+    std::unique_ptr<FetchMechanism> fetch_;
+    PredictorSuite predictor_;
+    ICache icache_;
+    RegisterState regs_;
+    RunCounters counters_;
+
+    // Lookahead buffer of upcoming correct-path instructions.
+    std::vector<DynInst> stream_;
+    std::size_t stream_head_ = 0;
+
+    // Reorder buffer: in-flight instructions in dispatch order.
+    // rob_[i] has sequence number rob_base_seq_ + i.
+    std::deque<InFlight> rob_;
+    std::uint64_t rob_base_seq_ = 0;
+    int window_occ_ = 0;
+    int store_buffer_occ_ = 0;
+    int unresolved_cond_ = 0;
+
+    // Completion-event ring: seq numbers finishing at cycle c are in
+    // ring_[c % kRingSize]; result buses bound per-cycle drains.
+    std::array<std::vector<std::uint64_t>, kRingSize> ring_;
+
+    std::uint64_t cycle_ = 0;
+    std::uint64_t fetch_resume_cycle_ = 0;
+    std::int64_t blocked_on_seq_ = -1; //!< mispredicted branch gate
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_CORE_PROCESSOR_H_

@@ -1,0 +1,29 @@
+#include "core/register_state.h"
+
+namespace fetchsim
+{
+
+std::uint64_t
+computeValue(OpClass op, std::uint64_t v1, std::uint64_t v2,
+             std::int32_t imm, std::uint64_t pc)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+        return v1 + v2 + static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(imm));
+      case OpClass::FpAlu:
+        return (v1 ^ v2) * 0x100000001b3ULL + 1;
+      case OpClass::Load:
+        // No data memory is modeled; loads return a hash of their
+        // effective address so dependent chains stay deterministic.
+        return (v1 + static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(imm))) *
+               0x9e3779b97f4a7c15ULL;
+      case OpClass::Call:
+        return pc + kInstBytes; // link value
+      default:
+        return 0;
+    }
+}
+
+} // namespace fetchsim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Register state: rename table, Messy file, Future file.
+ *
+ * The paper's microarchitecture keeps two register files: the Messy
+ * file holds out-of-order (speculatively completed) values, while the
+ * Future file holds the precise architectural state maintained by the
+ * reorder buffer.  Renaming is tag-based (Tomasulo): the rename table
+ * maps each architectural register to the sequence number of its
+ * in-flight producer, or to "ready" when the latest value has
+ * completed into the Messy file.
+ */
+
+#ifndef FETCHSIM_CORE_REGISTER_STATE_H_
+#define FETCHSIM_CORE_REGISTER_STATE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "isa/opcode.h"
+
+namespace fetchsim
+{
+
+/**
+ * Rename table plus Messy/Future register files.
+ */
+class RegisterState
+{
+  public:
+    /** Tag value meaning "no in-flight producer". */
+    static constexpr std::int64_t kReady = -1;
+
+    RegisterState()
+    {
+        rename_.fill(kReady);
+        messy_.fill(0);
+        future_.fill(0);
+    }
+
+    /**
+     * Sequence number of the in-flight producer of @p reg, or kReady.
+     * r0 is hard-wired zero and never has a producer.
+     */
+    std::int64_t
+    producerOf(std::uint8_t reg) const
+    {
+        return reg == kZeroReg ? kReady : rename_[reg];
+    }
+
+    /** Record @p seq as the newest producer of @p reg. */
+    void
+    setProducer(std::uint8_t reg, std::int64_t seq)
+    {
+        if (reg != kZeroReg)
+            rename_[reg] = seq;
+    }
+
+    /** A producer completed: write the Messy (speculative) file. */
+    void
+    complete(std::uint8_t reg, std::uint64_t value)
+    {
+        if (reg != kZeroReg)
+            messy_[reg] = value;
+    }
+
+    /**
+     * A producer retired: commit to the Future (precise) file and
+     * clear the rename entry if it still names this producer.
+     */
+    void
+    retire(std::uint8_t reg, std::uint64_t value, std::int64_t seq)
+    {
+        if (reg == kZeroReg)
+            return;
+        future_[reg] = value;
+        if (rename_[reg] == seq)
+            rename_[reg] = kReady;
+    }
+
+    /** Read the speculative (Messy) value of @p reg. */
+    std::uint64_t
+    readMessy(std::uint8_t reg) const
+    {
+        return reg == kZeroReg ? 0 : messy_[reg];
+    }
+
+    /** Read the precise (Future) value of @p reg. */
+    std::uint64_t
+    readFuture(std::uint8_t reg) const
+    {
+        return reg == kZeroReg ? 0 : future_[reg];
+    }
+
+    /** True if no register has an in-flight producer. */
+    bool
+    allReady() const
+    {
+        for (std::int64_t tag : rename_)
+            if (tag != kReady)
+                return false;
+        return true;
+    }
+
+  private:
+    std::array<std::int64_t, kNumArchRegs> rename_;
+    std::array<std::uint64_t, kNumArchRegs> messy_;
+    std::array<std::uint64_t, kNumArchRegs> future_;
+};
+
+/**
+ * Deterministic "ALU" used to give the dataflow real values (tests
+ * check Messy/Future coherence through it).
+ */
+std::uint64_t computeValue(OpClass op, std::uint64_t v1,
+                           std::uint64_t v2, std::int32_t imm,
+                           std::uint64_t pc);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_CORE_REGISTER_STATE_H_

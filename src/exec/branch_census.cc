@@ -1,0 +1,41 @@
+#include "exec/branch_census.h"
+
+#include "exec/executor.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+BranchCensus
+runBranchCensus(const Workload &workload, int input,
+                std::uint64_t num_insts, int block_bytes)
+{
+    if (block_bytes <= 0 ||
+        (block_bytes & (block_bytes - 1)) != 0)
+        fatal("runBranchCensus: block size must be a power of two");
+
+    Executor exec(workload, input);
+    BranchCensus census;
+    DynInst di;
+    const std::uint64_t block_mask =
+        ~static_cast<std::uint64_t>(block_bytes - 1);
+
+    while (census.instructions < num_insts && exec.next(di)) {
+        ++census.instructions;
+        if (di.si.op == OpClass::Nop)
+            ++census.nops;
+        if (di.isCondBranch()) {
+            ++census.condBranches;
+            if (di.taken)
+                ++census.condTaken;
+        }
+        if (di.isControl() && di.taken) {
+            ++census.takenTotal;
+            if ((di.pc & block_mask) == (di.actualTarget & block_mask))
+                ++census.intraBlock;
+        }
+    }
+    return census;
+}
+
+} // namespace fetchsim

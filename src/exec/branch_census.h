@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Pipeline-free dynamic branch census.
+ *
+ * Tables 2 and 3 of the paper are properties of the dynamic
+ * instruction stream alone (no timing involved), so this utility runs
+ * the Executor stand-alone and tallies control-transfer statistics,
+ * including the share of taken branches whose target lies in the same
+ * cache block (the intra-block branches that motivate the collapsing
+ * buffer).
+ */
+
+#ifndef FETCHSIM_EXEC_BRANCH_CENSUS_H_
+#define FETCHSIM_EXEC_BRANCH_CENSUS_H_
+
+#include <cstdint>
+
+#include "workload/generator.h"
+
+namespace fetchsim
+{
+
+/** Result of one census run. */
+struct BranchCensus
+{
+    std::uint64_t instructions = 0;  //!< dynamic instructions examined
+    std::uint64_t condBranches = 0;  //!< dynamic conditional branches
+    std::uint64_t condTaken = 0;     //!< conditional branches taken
+    std::uint64_t takenTotal = 0;    //!< all taken control transfers
+    std::uint64_t intraBlock = 0;    //!< taken with same-block target
+    std::uint64_t nops = 0;          //!< executed padding nops
+
+    /** Intra-block share of all taken control transfers (Table 2). */
+    double
+    intraBlockPercent() const
+    {
+        return takenTotal == 0 ? 0.0
+                               : 100.0 * static_cast<double>(intraBlock) /
+                                     static_cast<double>(takenTotal);
+    }
+
+    /** Taken control transfers per 100 dynamic instructions. */
+    double
+    takenPer100() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(takenTotal) /
+                         static_cast<double>(instructions);
+    }
+};
+
+/**
+ * Run @p workload for @p num_insts dynamic instructions on @p input
+ * and tally branch statistics against @p block_bytes cache blocks.
+ */
+BranchCensus runBranchCensus(const Workload &workload, int input,
+                             std::uint64_t num_insts, int block_bytes);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_EXEC_BRANCH_CENSUS_H_

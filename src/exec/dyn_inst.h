@@ -1,0 +1,54 @@
+/**
+ * @file
+ * One dynamic (executed) instruction, as produced by the Executor and
+ * consumed by the fetch unit and the out-of-order core.
+ */
+
+#ifndef FETCHSIM_EXEC_DYN_INST_H_
+#define FETCHSIM_EXEC_DYN_INST_H_
+
+#include <cstdint>
+
+#include "isa/static_inst.h"
+#include "program/basic_block.h"
+
+namespace fetchsim
+{
+
+/**
+ * A dynamic instruction instance: the static instruction plus its
+ * address and, for control instructions, the *actual* outcome.  The
+ * simulator is trace-driven: predictions are made against this actual
+ * outcome and mispredictions are charged as stalls (the paper's own
+ * methodology with spike traces).
+ */
+struct DynInst
+{
+    std::uint64_t pc = 0;          //!< instruction address
+    std::uint64_t seq = 0;         //!< dynamic sequence number
+    StaticInst si;                 //!< decoded static instruction
+    BlockId block = kNoBlock;      //!< owning basic block (debugging)
+
+    bool taken = false;            //!< actual control outcome
+    std::uint64_t actualTarget = 0; //!< actual target when taken
+
+    /** Address of the next sequential instruction. */
+    std::uint64_t nextPc() const { return pc + kInstBytes; }
+
+    /** Address execution actually continues at after this inst. */
+    std::uint64_t
+    actualNextPc() const
+    {
+        return taken ? actualTarget : nextPc();
+    }
+
+    /** True if this is any control-transfer instruction. */
+    bool isControl() const { return si.isControl(); }
+
+    /** True for conditional branches. */
+    bool isCondBranch() const { return si.isCondBranch(); }
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_EXEC_DYN_INST_H_

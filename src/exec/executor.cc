@@ -1,0 +1,146 @@
+#include "exec/executor.h"
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** Generous bound: the generated call graph is acyclic. */
+constexpr std::size_t kMaxCallDepth = 512;
+
+} // anonymous namespace
+
+Executor::Executor(const Workload &workload, int input)
+    : workload_(workload), input_(input),
+      states_(workload.behaviors.size())
+{
+    if (input < 0 || input > kEvalInput)
+        fatal("Executor: input id out of range");
+    const Program &prog = workload_.program;
+    cur_block_ = prog.function(prog.mainFunction()).entry;
+    cur_idx_ = 0;
+}
+
+void
+Executor::moveTo(BlockId block)
+{
+    cur_block_ = block;
+    cur_idx_ = 0;
+}
+
+void
+Executor::skipEmptyBlocks()
+{
+    const Program &prog = workload_.program;
+    while (prog.block(cur_block_).body.empty()) {
+        const BasicBlock &bb = prog.block(cur_block_);
+        simAssert(bb.term == TermKind::FallThrough,
+                  "only fall-through blocks may be empty");
+        if (observer_)
+            observer_->onBlock(bb.id);
+        moveTo(bb.fallThrough);
+    }
+}
+
+bool
+Executor::next(DynInst &out)
+{
+    const Program &prog = workload_.program;
+    skipEmptyBlocks();
+
+    const BasicBlock &bb = prog.block(cur_block_);
+    if (cur_idx_ == 0 && observer_)
+        observer_->onBlock(bb.id);
+
+    simAssert(cur_idx_ < bb.size(), "instruction index in block");
+    out.pc = bb.instAddr(cur_idx_);
+    out.seq = seq_++;
+    out.si = bb.body[cur_idx_];
+    out.block = bb.id;
+    out.taken = false;
+    out.actualTarget = 0;
+
+    const bool is_last = cur_idx_ == bb.size() - 1;
+    const bool at_cond =
+        bb.hasCondBranch() && cur_idx_ == bb.controlIndex();
+
+    if (at_cond) {
+        bool raw = states_[bb.behavior].evaluate(
+            workload_.behaviors.get(bb.behavior), bb.behavior,
+            workload_.spec.seed, input_);
+        bool taken = raw != bb.invertedSense;
+        if (observer_)
+            observer_->onCondBranch(bb.id, taken);
+        out.taken = taken;
+        if (taken) {
+            out.actualTarget = prog.block(bb.takenTarget).address;
+            moveTo(bb.takenTarget);
+        } else if (bb.term == TermKind::CondBranch) {
+            moveTo(bb.fallThrough);
+        } else {
+            // CondBranchJump: fall into the trailing jump.
+            ++cur_idx_;
+        }
+        return true;
+    }
+
+    if (is_last) {
+        switch (bb.term) {
+          case TermKind::FallThrough:
+            moveTo(bb.fallThrough);
+            break;
+          case TermKind::CondBranchJump:
+            // Trailing unconditional jump of the not-taken path.
+            out.taken = true;
+            out.actualTarget = prog.block(bb.fallThrough).address;
+            moveTo(bb.fallThrough);
+            break;
+          case TermKind::Jump:
+            out.taken = true;
+            out.actualTarget = prog.block(bb.takenTarget).address;
+            moveTo(bb.takenTarget);
+            break;
+          case TermKind::CallFall: {
+            const Function &callee = prog.function(bb.callee);
+            out.taken = true;
+            out.actualTarget = prog.block(callee.entry).address;
+            simAssert(call_stack_.size() < kMaxCallDepth,
+                      "call depth bounded");
+            call_stack_.push_back(bb.fallThrough);
+            moveTo(callee.entry);
+            break;
+          }
+          case TermKind::Return: {
+            out.taken = true;
+            BlockId cont;
+            if (call_stack_.empty()) {
+                // Main returned: the program restarts (implicit
+                // outer loop keeps the stream unbounded).
+                cont = prog.function(prog.mainFunction()).entry;
+            } else {
+                cont = call_stack_.back();
+                call_stack_.pop_back();
+            }
+            // Report the address of the first real instruction at
+            // the continuation (empty blocks occupy no space).
+            BlockId scan = cont;
+            while (prog.block(scan).body.empty())
+                scan = prog.block(scan).fallThrough;
+            out.actualTarget = prog.block(scan).address;
+            moveTo(cont);
+            break;
+          }
+          case TermKind::CondBranch:
+            panic("cond branch handled above");
+        }
+        return true;
+    }
+
+    ++cur_idx_;
+    return true;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CFG interpreter: produces the dynamic instruction stream.
+ *
+ * The Executor walks a Workload's control-flow graph, evaluating each
+ * conditional branch's behaviour model to decide its outcome, and
+ * emits DynInsts one at a time.  When the main function returns with
+ * an empty call stack the program restarts (an implicit outer loop),
+ * so the stream is unbounded.  The same class drives both profiling
+ * runs (via an observer) and measured simulation runs.
+ */
+
+#ifndef FETCHSIM_EXEC_EXECUTOR_H_
+#define FETCHSIM_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/dyn_inst.h"
+#include "exec/inst_source.h"
+#include "workload/generator.h"
+
+namespace fetchsim
+{
+
+/**
+ * Observer hooks for profiling.  Callbacks fire as the stream is
+ * generated; the edge profiler in src/compiler implements this.
+ */
+class ExecObserver
+{
+  public:
+    virtual ~ExecObserver() = default;
+
+    /** A basic block begins executing. */
+    virtual void onBlock(BlockId block) = 0;
+
+    /**
+     * A conditional branch resolved.
+     * @param block the block whose terminator branched
+     * @param taken the actual (post-inversion) outcome
+     */
+    virtual void onCondBranch(BlockId block, bool taken) = 0;
+};
+
+/**
+ * The CFG interpreter.
+ */
+class Executor : public InstSource
+{
+  public:
+    /**
+     * @param workload the generated benchmark (must outlive this)
+     * @param input    input id: 0..4 are profiling inputs, 5 is the
+     *                 evaluation input (kEvalInput)
+     */
+    Executor(const Workload &workload, int input);
+
+    /** Attach a profiling observer (may be nullptr to detach). */
+    void setObserver(ExecObserver *observer) { observer_ = observer; }
+
+    /**
+     * Produce the next dynamic instruction.
+     * @return always true (the stream is unbounded; trace files are
+     *         the bounded InstSource).
+     */
+    bool next(DynInst &out) override;
+
+    /** Number of instructions emitted so far. */
+    std::uint64_t emitted() const { return seq_; }
+
+    /** Current call-stack depth (testing hook). */
+    std::size_t callDepth() const { return call_stack_.size(); }
+
+  private:
+    void moveTo(BlockId block);
+    void skipEmptyBlocks();
+
+    const Workload &workload_;
+    int input_;
+    ExecObserver *observer_ = nullptr;
+
+    std::vector<BehaviorState> states_;
+    std::vector<BlockId> call_stack_;
+    BlockId cur_block_ = kNoBlock;
+    int cur_idx_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_EXEC_EXECUTOR_H_

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Abstract source of the dynamic instruction stream.
+ *
+ * The paper's methodology is trace-driven: instruction streams came
+ * from files captured with the spike tracing tool.  This interface
+ * decouples the Processor from where its stream comes from -- the
+ * live CFG interpreter (Executor) or a recorded trace file
+ * (TraceReader in trace_file.h), which is the exact analogue of the
+ * paper's setup.
+ */
+
+#ifndef FETCHSIM_EXEC_INST_SOURCE_H_
+#define FETCHSIM_EXEC_INST_SOURCE_H_
+
+#include "exec/dyn_inst.h"
+
+namespace fetchsim
+{
+
+/**
+ * A producer of dynamic instructions in program order.
+ */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /**
+     * Produce the next dynamic instruction.
+     * @return false when the stream is exhausted (bounded sources
+     *         only; the Executor never exhausts).
+     */
+    virtual bool next(DynInst &out) = 0;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_EXEC_INST_SOURCE_H_

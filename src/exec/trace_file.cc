@@ -1,0 +1,154 @@
+#include "exec/trace_file.h"
+
+#include <cstring>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** On-disk record layout (32 bytes, little-endian host assumed). */
+struct TraceRecord
+{
+    std::uint64_t pc;
+    std::uint64_t target;
+    std::uint8_t op;
+    std::uint8_t dest;
+    std::uint8_t src1;
+    std::uint8_t src2;
+    std::int32_t imm;
+    std::uint8_t taken;
+    std::uint8_t pad[7];
+};
+static_assert(sizeof(TraceRecord) == 32, "stable trace record size");
+
+struct TraceHeader
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+};
+static_assert(sizeof(TraceHeader) == 16, "stable trace header size");
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("TraceWriter: cannot open " + path);
+    TraceHeader header{kTraceMagic, kTraceVersion, 0};
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        fatal("TraceWriter: header write failed");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const DynInst &di)
+{
+    simAssert(file_ != nullptr, "writer open");
+    TraceRecord record{};
+    record.pc = di.pc;
+    record.target = di.actualTarget;
+    record.op = static_cast<std::uint8_t>(di.si.op);
+    record.dest = di.si.dest;
+    record.src1 = di.si.src1;
+    record.src2 = di.si.src2;
+    record.imm = di.si.imm;
+    record.taken = di.taken ? 1 : 0;
+    if (std::fwrite(&record, sizeof(record), 1, file_) != 1)
+        fatal("TraceWriter: record write failed");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    // Patch the record count into the header.
+    TraceHeader header{kTraceMagic, kTraceVersion, count_};
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        fatal("TraceWriter: header finalize failed");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("TraceReader: cannot open " + path);
+    TraceHeader header{};
+    if (std::fread(&header, sizeof(header), 1, file_) != 1)
+        fatal("TraceReader: header read failed");
+    if (header.magic != kTraceMagic)
+        fatal("TraceReader: not a fetchsim trace: " + path);
+    if (header.version != kTraceVersion)
+        fatal("TraceReader: unsupported trace version");
+    count_ = header.count;
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(DynInst &out)
+{
+    if (consumed_ >= count_)
+        return false;
+    TraceRecord record{};
+    if (std::fread(&record, sizeof(record), 1, file_) != 1)
+        fatal("TraceReader: truncated trace");
+    if (record.op >= static_cast<std::uint8_t>(OpClass::NumOpClasses))
+        fatal("TraceReader: corrupt record (bad op class)");
+    out = DynInst{};
+    out.pc = record.pc;
+    out.seq = consumed_;
+    out.si.op = static_cast<OpClass>(record.op);
+    out.si.dest = record.dest;
+    out.si.src1 = record.src1;
+    out.si.src2 = record.src2;
+    out.si.imm = record.imm;
+    out.taken = record.taken != 0;
+    out.actualTarget = record.target;
+    ++consumed_;
+    return true;
+}
+
+void
+TraceReader::rewind()
+{
+    simAssert(file_ != nullptr, "reader open");
+    if (std::fseek(file_, sizeof(TraceHeader), SEEK_SET) != 0)
+        fatal("TraceReader: rewind failed");
+    consumed_ = 0;
+}
+
+std::uint64_t
+recordTrace(InstSource &source, const std::string &path,
+            std::uint64_t num_insts)
+{
+    TraceWriter writer(path);
+    DynInst di;
+    for (std::uint64_t i = 0; i < num_insts; ++i) {
+        if (!source.next(di))
+            break;
+        writer.append(di);
+    }
+    writer.close();
+    return writer.count();
+}
+
+} // namespace fetchsim

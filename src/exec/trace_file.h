@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Binary dynamic-instruction trace files.
+ *
+ * The paper captured benchmark traces with the spike tool and fed
+ * them to the processor simulation; this module provides the same
+ * workflow: record any instruction stream to a compact binary file
+ * and replay it through the Processor later (or on another machine),
+ * with no dependence on the workload generator.
+ *
+ * Format (little-endian, fixed-width):
+ *   header : magic "FSTR" | u32 version | u64 record count
+ *   record : u64 pc | u64 actualTarget | u8 op | u8 dest | u8 src1 |
+ *            u8 src2 | i32 imm | u8 taken | u8[3] pad   (32 bytes)
+ *
+ * Sequence numbers are implicit (record order); BlockIds are not
+ * preserved (traces are program-agnostic, exactly like spike's).
+ */
+
+#ifndef FETCHSIM_EXEC_TRACE_FILE_H_
+#define FETCHSIM_EXEC_TRACE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "exec/inst_source.h"
+
+namespace fetchsim
+{
+
+/** Trace-file magic and version. */
+constexpr std::uint32_t kTraceMagic = 0x52545346; // "FSTR"
+constexpr std::uint32_t kTraceVersion = 1;
+
+/**
+ * Streams dynamic instructions into a trace file.
+ */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one instruction. */
+    void append(const DynInst &di);
+
+    /** Finalize the header and close.  Implied by destruction. */
+    void close();
+
+    /** Records written so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Replays a trace file as an InstSource.
+ */
+class TraceReader : public InstSource
+{
+  public:
+    /** Open and validate @p path; fatal() on failure or bad header. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(DynInst &out) override;
+
+    /** Total records in the file. */
+    std::uint64_t count() const { return count_; }
+
+    /** Records consumed so far. */
+    std::uint64_t consumed() const { return consumed_; }
+
+    /** Rewind to the first record. */
+    void rewind();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t consumed_ = 0;
+};
+
+/**
+ * Convenience: record @p num_insts instructions of @p source into
+ * @p path.  Returns the number written (== num_insts unless the
+ * source ends early).
+ */
+std::uint64_t recordTrace(InstSource &source, const std::string &path,
+                          std::uint64_t num_insts);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_EXEC_TRACE_FILE_H_

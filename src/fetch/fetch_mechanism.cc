@@ -1,0 +1,115 @@
+#include "fetch/fetch_mechanism.h"
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+SequentialFetch::SequentialFetch(const MachineConfig &cfg)
+    : FetchMechanism(cfg), rules_(rulesFor(SchemeKind::Sequential))
+{
+}
+
+FetchOutcome
+SequentialFetch::formGroup(FetchContext &ctx)
+{
+    return runWalk(rules_, ctx);
+}
+
+InterleavedSequentialFetch::InterleavedSequentialFetch(
+    const MachineConfig &cfg)
+    : FetchMechanism(cfg),
+      rules_(rulesFor(SchemeKind::InterleavedSequential))
+{
+}
+
+FetchOutcome
+InterleavedSequentialFetch::formGroup(FetchContext &ctx)
+{
+    return runWalk(rules_, ctx);
+}
+
+BankedSequentialFetch::BankedSequentialFetch(const MachineConfig &cfg)
+    : FetchMechanism(cfg),
+      rules_(rulesFor(SchemeKind::BankedSequential))
+{
+}
+
+FetchOutcome
+BankedSequentialFetch::formGroup(FetchContext &ctx)
+{
+    return runWalk(rules_, ctx);
+}
+
+CollapsingBufferFetch::CollapsingBufferFetch(const MachineConfig &cfg,
+                                             Impl impl,
+                                             bool allow_backward)
+    : FetchMechanism(cfg),
+      rules_(rulesFor(SchemeKind::CollapsingBuffer)), impl_(impl),
+      allow_backward_(allow_backward),
+      penalty_(impl == Impl::Crossbar ? cfg.fetchPenalty
+                                      : cfg.fetchPenalty + 1)
+{
+    if (allow_backward && impl != Impl::Crossbar)
+        fatal("backward collapsing requires the crossbar "
+              "implementation (paper Section 3.3)");
+    rules_.collapseIntraBackward = allow_backward;
+}
+
+FetchOutcome
+CollapsingBufferFetch::formGroup(FetchContext &ctx)
+{
+    return runWalk(rules_, ctx);
+}
+
+MultiBankedFetch::MultiBankedFetch(const MachineConfig &cfg)
+    : FetchMechanism(cfg), rules_(rulesFor(SchemeKind::MultiBanked))
+{
+}
+
+FetchOutcome
+MultiBankedFetch::formGroup(FetchContext &ctx)
+{
+    return runWalk(rules_, ctx);
+}
+
+PerfectFetch::PerfectFetch(const MachineConfig &cfg)
+    : FetchMechanism(cfg), rules_(rulesFor(SchemeKind::Perfect))
+{
+}
+
+FetchOutcome
+PerfectFetch::formGroup(FetchContext &ctx)
+{
+    return runWalk(rules_, ctx);
+}
+
+std::unique_ptr<FetchMechanism>
+makeFetchMechanism(SchemeKind kind, const MachineConfig &cfg)
+{
+    switch (kind) {
+      case SchemeKind::Sequential:
+        return std::make_unique<SequentialFetch>(cfg);
+      case SchemeKind::InterleavedSequential:
+        return std::make_unique<InterleavedSequentialFetch>(cfg);
+      case SchemeKind::BankedSequential:
+        return std::make_unique<BankedSequentialFetch>(cfg);
+      case SchemeKind::CollapsingBuffer:
+        return std::make_unique<CollapsingBufferFetch>(cfg);
+      case SchemeKind::Perfect:
+        return std::make_unique<PerfectFetch>(cfg);
+      case SchemeKind::MultiBanked:
+        return std::make_unique<MultiBankedFetch>(cfg);
+      default:
+        fatal("makeFetchMechanism: bad scheme kind");
+    }
+}
+
+std::unique_ptr<FetchMechanism>
+makeCollapsingBuffer(const MachineConfig &cfg,
+                     CollapsingBufferFetch::Impl impl)
+{
+    return std::make_unique<CollapsingBufferFetch>(cfg, impl);
+}
+
+} // namespace fetchsim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Abstract fetch mechanism plus the five concrete schemes.
+ *
+ * Each scheme corresponds to one of the paper's designs (Sections
+ * 3-3.3) and is exercised by the Processor once per cycle.  The
+ * classes are deliberately thin: the per-cycle walk is shared
+ * (fetch/walker.h) and parameterized by each scheme's WalkRules; the
+ * class carries the scheme identity, its fetch-misprediction penalty
+ * and, for the collapsing buffer, the implementation choice (crossbar
+ * vs shifter) that determines that penalty.
+ */
+
+#ifndef FETCHSIM_FETCH_FETCH_MECHANISM_H_
+#define FETCHSIM_FETCH_FETCH_MECHANISM_H_
+
+#include <memory>
+
+#include "fetch/walker.h"
+
+namespace fetchsim
+{
+
+/**
+ * Base class of all fetch mechanisms.
+ */
+class FetchMechanism
+{
+  public:
+    explicit FetchMechanism(const MachineConfig &cfg) : cfg_(cfg) {}
+    virtual ~FetchMechanism() = default;
+
+    FetchMechanism(const FetchMechanism &) = delete;
+    FetchMechanism &operator=(const FetchMechanism &) = delete;
+
+    /** Form this cycle's fetch group. */
+    virtual FetchOutcome formGroup(FetchContext &ctx) = 0;
+
+    /** Scheme identity. */
+    virtual SchemeKind kind() const = 0;
+
+    /** Display name (paper terminology). */
+    const char *name() const { return schemeName(kind()); }
+
+    /**
+     * Fetch-side misprediction penalty in cycles: the fetch pipeline
+     * is three stages (BTB, Cache, Interchange/Valid or Collapse)
+     * with a BTB->Cache bypass, giving two cycles; the shifter-based
+     * collapsing buffer pays three (paper Section 3.3 / Figure 11).
+     */
+    virtual int mispredictPenalty() const { return cfg_.fetchPenalty; }
+
+  protected:
+    /** Private copy: mechanisms never dangle on a caller's config. */
+    MachineConfig cfg_;
+};
+
+/** Section 3: single-block fetch with masking (lower bound). */
+class SequentialFetch : public FetchMechanism
+{
+  public:
+    explicit SequentialFetch(const MachineConfig &cfg);
+    FetchOutcome formGroup(FetchContext &ctx) override;
+    SchemeKind kind() const override { return SchemeKind::Sequential; }
+
+  private:
+    WalkRules rules_;
+};
+
+/** Section 3.1: two banks, one sequential prefetch block. */
+class InterleavedSequentialFetch : public FetchMechanism
+{
+  public:
+    explicit InterleavedSequentialFetch(const MachineConfig &cfg);
+    FetchOutcome formGroup(FetchContext &ctx) override;
+    SchemeKind
+    kind() const override
+    {
+        return SchemeKind::InterleavedSequential;
+    }
+
+  private:
+    WalkRules rules_;
+};
+
+/** Section 3.2: fetch block + BTB-predicted successor block. */
+class BankedSequentialFetch : public FetchMechanism
+{
+  public:
+    explicit BankedSequentialFetch(const MachineConfig &cfg);
+    FetchOutcome formGroup(FetchContext &ctx) override;
+    SchemeKind
+    kind() const override
+    {
+        return SchemeKind::BankedSequential;
+    }
+
+  private:
+    WalkRules rules_;
+};
+
+/** Section 3.3: the collapsing buffer. */
+class CollapsingBufferFetch : public FetchMechanism
+{
+  public:
+    /** Crossbar vs shifter implementation (paper Figure 8). */
+    enum class Impl
+    {
+        Crossbar, //!< 2-cycle fetch misprediction penalty
+        Shifter   //!< 3-cycle penalty (Figure 11's sensitivity study)
+    };
+
+    /**
+     * @param cfg   machine parameters
+     * @param impl  crossbar (2-cycle penalty) or shifter (3-cycle)
+     * @param allow_backward extended crossbar controller that also
+     *        follows backward intra-block targets (the capability
+     *        the paper mentions but did not model; crossbar only)
+     */
+    CollapsingBufferFetch(const MachineConfig &cfg,
+                          Impl impl = Impl::Crossbar,
+                          bool allow_backward = false);
+    FetchOutcome formGroup(FetchContext &ctx) override;
+    SchemeKind
+    kind() const override
+    {
+        return SchemeKind::CollapsingBuffer;
+    }
+    int mispredictPenalty() const override { return penalty_; }
+
+    Impl impl() const { return impl_; }
+
+    /** True when backward intra-block collapsing is enabled. */
+    bool allowsBackward() const { return allow_backward_; }
+
+  private:
+    WalkRules rules_;
+    Impl impl_;
+    bool allow_backward_;
+    int penalty_;
+};
+
+/**
+ * Related-work comparator (paper Section 1): a POWER2-style fetch
+ * unit whose I-cache has eight independently addressable banks, so
+ * several non-sequential blocks can be read per cycle; its paper-
+ * described weakness -- static branch prediction -- is modeled by
+ * pairing it with PredictorKind::StaticBtfnt in the ablation bench.
+ */
+class MultiBankedFetch : public FetchMechanism
+{
+  public:
+    explicit MultiBankedFetch(const MachineConfig &cfg);
+    FetchOutcome formGroup(FetchContext &ctx) override;
+    SchemeKind kind() const override { return SchemeKind::MultiBanked; }
+
+  private:
+    WalkRules rules_;
+};
+
+/** The perfect upper bound: unlimited alignment. */
+class PerfectFetch : public FetchMechanism
+{
+  public:
+    explicit PerfectFetch(const MachineConfig &cfg);
+    FetchOutcome formGroup(FetchContext &ctx) override;
+    SchemeKind kind() const override { return SchemeKind::Perfect; }
+
+  private:
+    WalkRules rules_;
+};
+
+/**
+ * Factory.  @p penalty_override, when positive, replaces the scheme's
+ * fetch-misprediction penalty (used by the Figure 11 sensitivity
+ * study); it is honoured by selecting the shifter implementation for
+ * the collapsing buffer and by adjusting cfg-independent penalties
+ * otherwise.
+ */
+std::unique_ptr<FetchMechanism> makeFetchMechanism(
+    SchemeKind kind, const MachineConfig &cfg);
+
+/** Collapsing-buffer factory with explicit implementation choice. */
+std::unique_ptr<FetchMechanism> makeCollapsingBuffer(
+    const MachineConfig &cfg, CollapsingBufferFetch::Impl impl);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_FETCH_FETCH_MECHANISM_H_

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared types of the instruction-fetch subsystem.
+ */
+
+#ifndef FETCHSIM_FETCH_FETCH_TYPES_H_
+#define FETCHSIM_FETCH_FETCH_TYPES_H_
+
+#include <cstdint>
+
+#include "branch/predictor_suite.h"
+#include "cache/icache.h"
+#include "core/machine_config.h"
+#include "exec/dyn_inst.h"
+#include "stats/counters.h"
+
+namespace fetchsim
+{
+
+/** The fetch mechanisms studied in the paper, plus the bounds. */
+enum class SchemeKind : std::uint8_t
+{
+    Sequential = 0,        //!< single-block masked fetch (lower bound)
+    InterleavedSequential, //!< two-bank sequential prefetch
+    BankedSequential,      //!< fetch + BTB-predicted successor block
+    CollapsingBuffer,      //!< banked + intra-block collapsing
+    Perfect,               //!< unlimited alignment (upper bound)
+    MultiBanked,           //!< POWER2-style 8-bank fetch (related
+                           //!< work the paper compares against)
+    NumSchemes
+};
+
+/** Number of schemes. */
+constexpr int kNumSchemes = static_cast<int>(SchemeKind::NumSchemes);
+
+/** Display name of a scheme (paper's terminology). */
+const char *schemeName(SchemeKind kind);
+
+/**
+ * Everything a fetch mechanism sees in one cycle: the upcoming
+ * correct-path instructions, the predictor and cache it may query,
+ * and the backend's acceptance limits.
+ */
+struct FetchContext
+{
+    const DynInst *stream = nullptr; //!< upcoming correct-path insts
+    int streamLen = 0;               //!< how many are visible
+    PredictorSuite *predictor = nullptr;
+    ICache *icache = nullptr;
+    const MachineConfig *cfg = nullptr;
+    int specHeadroom = 0;  //!< additional unresolved cond branches
+                           //!< the machine may put in flight
+    int windowSpace = 0;   //!< window/ROB entries available
+};
+
+/**
+ * Result of one group-formation attempt.
+ */
+struct FetchOutcome
+{
+    int delivered = 0;          //!< stream insts delivered this cycle
+    FetchStop stop = FetchStop::IssueLimit; //!< why the group ended
+    int stallAfter = 0;         //!< extra idle cycles (cache refill)
+    bool mispredict = false;    //!< last delivered inst mispredicted;
+                                //!< fetch resumes at resolve+penalty
+    bool decodeRedirect = false; //!< BTB-miss unconditional direct
+                                 //!< jump: one redirect bubble
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_FETCH_FETCH_TYPES_H_

@@ -1,0 +1,164 @@
+#include "fetch/hw_models.h"
+
+#include <cmath>
+
+#include "isa/opcode.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+BtbBlockQuery
+queryBtbBlock(const Btb &btb, std::uint64_t fetch_addr,
+              int insts_per_block)
+{
+    simAssert(insts_per_block > 0 && insts_per_block <= 32,
+              "sane interleave factor");
+    const std::uint64_t block_bytes =
+        static_cast<std::uint64_t>(insts_per_block) * kInstBytes;
+    const std::uint64_t block_base = fetch_addr & ~(block_bytes - 1);
+    const int start_slot =
+        static_cast<int>((fetch_addr - block_base) / kInstBytes);
+
+    BtbBlockQuery query;
+    query.successorAddr = block_base + block_bytes;
+
+    // Comparator chain: walk slots in order; slots before the fetch
+    // slot are invalid, and the first predicted-taken slot terminates
+    // the valid run and supplies the successor address.
+    for (int slot = start_slot; slot < insts_per_block; ++slot) {
+        query.validMask |= 1u << slot;
+        const std::uint64_t pc =
+            block_base + static_cast<std::uint64_t>(slot) * kInstBytes;
+        BtbPrediction pred = btb.probe(pc);
+        if (pred.hit && pred.predictTaken) {
+            query.firstTakenSlot = slot;
+            query.successorAddr = pred.target;
+            query.successorIsSequential = false;
+            break;
+        }
+    }
+    return query;
+}
+
+InterchangeSwitch::InterchangeSwitch(int insts_per_block)
+    : k_(insts_per_block)
+{
+    simAssert(k_ > 0, "positive block width");
+}
+
+std::vector<FetchSlot>
+InterchangeSwitch::apply(const std::vector<FetchSlot> &bank0,
+                         const std::vector<FetchSlot> &bank1,
+                         bool fetch_in_bank1) const
+{
+    simAssert(static_cast<int>(bank0.size()) == k_ &&
+                  static_cast<int>(bank1.size()) == k_,
+              "bank width matches block width");
+    std::vector<FetchSlot> out;
+    out.reserve(2 * static_cast<std::size_t>(k_));
+    const auto &first = fetch_in_bank1 ? bank1 : bank0;
+    const auto &second = fetch_in_bank1 ? bank0 : bank1;
+    out.insert(out.end(), first.begin(), first.end());
+    out.insert(out.end(), second.begin(), second.end());
+    return out;
+}
+
+HwCost
+InterchangeSwitch::cost() const
+{
+    HwCost cost;
+    cost.transmissionGates = 64ull * static_cast<std::uint64_t>(k_);
+    cost.bestCaseDelay = 2;
+    cost.worstCaseDelay = 2;
+    return cost;
+}
+
+ValidSelectLogic::ValidSelectLogic(int insts_per_block)
+    : k_(insts_per_block)
+{
+    simAssert(k_ > 0, "positive block width");
+}
+
+std::vector<std::uint32_t>
+ValidSelectLogic::apply(const std::vector<FetchSlot> &slots) const
+{
+    simAssert(static_cast<int>(slots.size()) == 2 * k_,
+              "valid select consumes two blocks");
+    std::vector<std::uint32_t> out;
+    out.reserve(static_cast<std::size_t>(k_));
+    // The valid bits of each block form one contiguous run (the BTB
+    // comparator chain guarantees it); the mux array forwards the
+    // first k valid words in order.
+    for (const FetchSlot &slot : slots) {
+        if (!slot.valid)
+            continue;
+        out.push_back(slot.word);
+        if (static_cast<int>(out.size()) == k_)
+            break;
+    }
+    return out;
+}
+
+HwCost
+ValidSelectLogic::cost() const
+{
+    // Figure 6b: 3 k-to-1, 3 (k-1)-to-1 and 3 2-to-1 32-bit muxes.
+    HwCost cost;
+    cost.muxes = 9;
+    cost.bestCaseDelay = 4;
+    cost.worstCaseDelay = 4;
+    return cost;
+}
+
+CollapsingBufferLogic::CollapsingBufferLogic(int insts_per_block,
+                                             Impl impl)
+    : k_(insts_per_block), impl_(impl)
+{
+    simAssert(k_ > 0, "positive block width");
+}
+
+std::vector<std::uint32_t>
+CollapsingBufferLogic::apply(const std::vector<FetchSlot> &slots) const
+{
+    simAssert(static_cast<int>(slots.size()) == 2 * k_,
+              "collapsing buffer consumes two blocks");
+    std::vector<std::uint32_t> out;
+    out.reserve(static_cast<std::size_t>(k_));
+    // Unlike valid select, gaps may appear anywhere: the buffer
+    // left-compacts every valid word.
+    for (const FetchSlot &slot : slots) {
+        if (!slot.valid)
+            continue;
+        out.push_back(slot.word);
+        if (static_cast<int>(out.size()) == k_)
+            break;
+    }
+    return out;
+}
+
+HwCost
+CollapsingBufferLogic::cost() const
+{
+    HwCost cost;
+    const auto k = static_cast<std::uint64_t>(k_);
+    if (impl_ == Impl::Shifter) {
+        // Figure 8a: 64k 1-bit registers, 64k-32 transmission gates;
+        // best case one latch delay, worst (lg(k)-1) latch delays.
+        cost.latches = 64 * k;
+        cost.transmissionGates = 64 * k - 32;
+        cost.bestCaseDelay = 1;
+        int lg = 0;
+        while ((1u << lg) < static_cast<unsigned>(k_))
+            ++lg;
+        cost.worstCaseDelay = lg > 1 ? lg - 1 : 1;
+    } else {
+        // Figure 8b: 2k 1-to-k 32-bit demuxes, 1 gate + bus delay.
+        cost.muxes = 2 * k;
+        cost.bestCaseDelay = 1;
+        cost.worstCaseDelay = 2; // one gate plus bus propagation
+    }
+    return cost;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Structural models of the paper's fetch-datapath building blocks.
+ *
+ * These classes model, at the functional level plus gate-count/delay
+ * annotations, the hardware entities the paper details:
+ *
+ *  - the interleaved BTB block query with its comparator chain
+ *    producing per-slot valid bits and the successor block address
+ *    (Figure 5);
+ *  - the interchange switch that reorders the two fetched cache
+ *    blocks (Figure 6a);
+ *  - the valid-select logic that extracts the first k valid
+ *    instructions from the two blocks (Figure 6b);
+ *  - the collapsing buffer itself, in both the shifter and bus-based
+ *    crossbar implementations (Figure 8).
+ *
+ * The cycle-level simulator's group-formation walk (fetch/walker.h)
+ * is the timing abstraction of this datapath; these models are the
+ * datapath itself, and tests assert that the two agree on what a
+ * cycle can align.
+ */
+
+#ifndef FETCHSIM_FETCH_HW_MODELS_H_
+#define FETCHSIM_FETCH_HW_MODELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/btb.h"
+
+namespace fetchsim
+{
+
+/** Gate-count / delay annotation for one datapath structure. */
+struct HwCost
+{
+    std::uint64_t transmissionGates = 0;
+    std::uint64_t latches = 0;
+    std::uint64_t muxes = 0;
+    int bestCaseDelay = 0;  //!< gate delays
+    int worstCaseDelay = 0; //!< gate delays
+};
+
+/**
+ * One slot of a fetched cache block as the alignment datapath sees
+ * it: the 32-bit instruction word plus its validity bit.
+ */
+struct FetchSlot
+{
+    std::uint32_t word = 0;
+    bool valid = false;
+};
+
+/**
+ * Result of querying the interleaved BTB for one cache block
+ * (Figure 5): per-slot valid bits from the comparator chain, plus the
+ * predicted successor block address.
+ */
+struct BtbBlockQuery
+{
+    std::uint32_t validMask = 0;     //!< bit i = slot i valid
+    int firstTakenSlot = -1;         //!< predicted-taken slot, or -1
+    std::uint64_t successorAddr = 0; //!< predicted next fetch address
+    bool successorIsSequential = true; //!< no predicted-taken branch
+};
+
+/**
+ * Query the interleaved BTB for the block containing @p fetch_addr,
+ * beginning at that address's slot, for @p insts_per_block slots.
+ * Implements the comparator-chain semantics of Figure 5: a slot is
+ * valid iff it is at or after the fetch slot and no earlier valid
+ * slot holds a predicted-taken branch; the successor address is the
+ * first predicted-taken slot's cached target, else the next
+ * sequential block.
+ */
+BtbBlockQuery queryBtbBlock(const Btb &btb, std::uint64_t fetch_addr,
+                            int insts_per_block);
+
+/**
+ * Interchange switch (Figure 6a): presents the fetch block and the
+ * successor block to the merge datapath in predicted order,
+ * reversing them when the successor bank precedes the fetch bank.
+ */
+class InterchangeSwitch
+{
+  public:
+    /** @param insts_per_block the k of the paper's cost formulas. */
+    explicit InterchangeSwitch(int insts_per_block);
+
+    /**
+     * @param bank0 slots read from bank 0
+     * @param bank1 slots read from bank 1
+     * @param fetch_in_bank1 true when the fetch block came from
+     *        bank 1 (the two blocks must be swapped)
+     * @return 2k slots in fetch-block-first order
+     */
+    std::vector<FetchSlot> apply(const std::vector<FetchSlot> &bank0,
+                                 const std::vector<FetchSlot> &bank1,
+                                 bool fetch_in_bank1) const;
+
+    /** 64*k transmission gates, 2 gate delays (Figure 6a). */
+    HwCost cost() const;
+
+  private:
+    int k_;
+};
+
+/**
+ * Valid-select logic (Figure 6b): from 2k slots with valid bits,
+ * select the first k valid instructions in order.  Used by the
+ * interleaved and banked sequential schemes.
+ */
+class ValidSelectLogic
+{
+  public:
+    explicit ValidSelectLogic(int insts_per_block);
+
+    /**
+     * @param slots 2k slots in fetch-order (post interchange)
+     * @return up to k selected instruction words, in order
+     */
+    std::vector<std::uint32_t>
+    apply(const std::vector<FetchSlot> &slots) const;
+
+    /** Mux inventory and 4 gate delays (Figure 6b). */
+    HwCost cost() const;
+
+  private:
+    int k_;
+};
+
+/**
+ * The collapsing buffer (Figure 8): removes invalid gaps *anywhere*
+ * in the 2k input slots, producing a dense run of up to k valid
+ * instructions.  Functionally the shifter and crossbar produce the
+ * same result; they differ in cost and in the fetch pipeline depth
+ * (misprediction penalty), which the cycle model charges.
+ */
+class CollapsingBufferLogic
+{
+  public:
+    /** Implementation choice (cost model only; function identical). */
+    enum class Impl { Shifter, Crossbar };
+
+    CollapsingBufferLogic(int insts_per_block, Impl impl);
+
+    /** Collapse the gaps; returns up to k instruction words. */
+    std::vector<std::uint32_t>
+    apply(const std::vector<FetchSlot> &slots) const;
+
+    /** Figure 8's per-implementation cost. */
+    HwCost cost() const;
+
+    Impl impl() const { return impl_; }
+
+  private:
+    int k_;
+    Impl impl_;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_FETCH_HW_MODELS_H_

@@ -1,0 +1,29 @@
+#include "fetch/fetch_types.h"
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+const char *
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::Sequential:
+        return "sequential";
+      case SchemeKind::InterleavedSequential:
+        return "interleaved-sequential";
+      case SchemeKind::BankedSequential:
+        return "banked-sequential";
+      case SchemeKind::CollapsingBuffer:
+        return "collapsing-buffer";
+      case SchemeKind::Perfect:
+        return "perfect";
+      case SchemeKind::MultiBanked:
+        return "multi-banked";
+      default:
+        return "???";
+    }
+}
+
+} // namespace fetchsim

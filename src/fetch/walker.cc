@@ -1,0 +1,201 @@
+#include "fetch/walker.h"
+
+#include <algorithm>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+WalkRules
+rulesFor(SchemeKind kind)
+{
+    WalkRules rules;
+    switch (kind) {
+      case SchemeKind::Sequential:
+        rules.maxBlocks = 1;
+        break;
+      case SchemeKind::InterleavedSequential:
+        rules.maxBlocks = 2;
+        break;
+      case SchemeKind::BankedSequential:
+        rules.maxBlocks = 2;
+        rules.crossTakenInterBlock = true;
+        rules.checkBankConflict = true;
+        break;
+      case SchemeKind::CollapsingBuffer:
+        rules.maxBlocks = 2;
+        rules.crossTakenInterBlock = true;
+        rules.collapseIntraForward = true;
+        rules.checkBankConflict = true;
+        break;
+      case SchemeKind::Perfect:
+        rules.unlimitedAlignment = true;
+        break;
+      case SchemeKind::MultiBanked:
+        // Section 1's POWER2 comparator: eight independently
+        // addressable banks can serve several arbitrary blocks per
+        // cycle; alignment limited only by bank conflicts.
+        rules.maxBlocks = 4;
+        rules.crossTakenInterBlock = true;
+        rules.collapseIntraForward = true;
+        rules.checkBankConflict = true;
+        rules.banksOverride = 8;
+        break;
+      default:
+        panic("rulesFor: bad scheme");
+    }
+    return rules;
+}
+
+FetchOutcome
+runWalk(const WalkRules &rules, FetchContext &ctx)
+{
+    FetchOutcome out;
+    simAssert(ctx.cfg && ctx.predictor && ctx.icache,
+              "context wired");
+
+    if (ctx.streamLen == 0) {
+        out.stop = FetchStop::StreamEnd;
+        return out;
+    }
+    if (ctx.windowSpace <= 0) {
+        out.stop = FetchStop::WindowFull;
+        return out;
+    }
+
+    const MachineConfig &cfg = *ctx.cfg;
+    const std::uint64_t bsize = cfg.blockBytes;
+    auto align = [bsize](std::uint64_t a) { return a & ~(bsize - 1); };
+
+    // Demand access to the fetch block: a miss costs the full refill.
+    const std::uint64_t block_a = align(ctx.stream[0].pc);
+    if (!ctx.icache->access(block_a)) {
+        out.stop = FetchStop::CacheMiss;
+        out.stallAfter = cfg.icacheMissPenalty;
+        return out;
+    }
+
+    const int limit =
+        std::min({cfg.issueRate, ctx.windowSpace, ctx.streamLen});
+    std::uint64_t cur_block = block_a;
+    int blocks_used = 1;
+    int new_cond = 0;
+
+    // Bank-conflict tracking: two blocks fetched in one cycle must
+    // come from distinct banks.
+    const int banks = rules.banksOverride > 0
+                          ? rules.banksOverride
+                          : ctx.icache->numBanks();
+    auto bank_of = [&](std::uint64_t block_addr) {
+        return static_cast<int>(
+            (block_addr / bsize) % static_cast<std::uint64_t>(banks));
+    };
+    std::uint32_t used_banks = 0;
+    if (rules.checkBankConflict)
+        used_banks = 1u << bank_of(block_a);
+
+    for (int i = 0; i < limit; ++i) {
+        const DynInst &di = ctx.stream[i];
+        const std::uint64_t blk = align(di.pc);
+
+        if (blk != cur_block) {
+            // Predicted flow enters a new cache block (sequential
+            // fall-through or a crossed taken branch).
+            if (rules.unlimitedAlignment) {
+                if (!ctx.icache->access(blk)) {
+                    out.stop = FetchStop::CacheMiss;
+                    out.stallAfter = cfg.icacheMissPenalty;
+                    return out;
+                }
+                cur_block = blk;
+            } else {
+                if (blocks_used >= rules.maxBlocks) {
+                    out.stop = FetchStop::BlockEnd;
+                    return out;
+                }
+                if (rules.checkBankConflict) {
+                    const std::uint32_t bank_bit =
+                        1u << bank_of(blk);
+                    if (used_banks & bank_bit) {
+                        out.stop = FetchStop::BankConflict;
+                        return out;
+                    }
+                    used_banks |= bank_bit;
+                }
+                if (!ctx.icache->access(blk)) {
+                    out.stop = FetchStop::CacheMiss;
+                    out.stallAfter = cfg.icacheMissPenalty;
+                    return out;
+                }
+                cur_block = blk;
+                ++blocks_used;
+            }
+        }
+
+        // Speculation-depth gate: delivering another unresolved
+        // conditional branch beyond the machine limit must wait.
+        if (di.isCondBranch() && new_cond >= ctx.specHeadroom) {
+            out.stop = FetchStop::SpecDepth;
+            return out;
+        }
+
+        out.delivered = i + 1;
+
+        const InstPrediction pred = ctx.predictor->predict(di);
+        if (pred.cond)
+            ++new_cond;
+
+        if (pred.mispredict) {
+            out.stop = FetchStop::Mispredict;
+            out.mispredict = true;
+            return out;
+        }
+        if (pred.decodeRedirect) {
+            out.stop = FetchStop::BtbMissControl;
+            out.decodeRedirect = true;
+            return out;
+        }
+        if (!pred.control || !pred.predTaken)
+            continue; // sequential (or correctly not-taken) flow
+
+        // Correctly-predicted taken control transfer.
+        if (rules.unlimitedAlignment)
+            continue;
+
+        const std::uint64_t tblk = align(di.actualTarget);
+        if (tblk == blk) {
+            // Intra-block target.
+            const bool forward = di.actualTarget > di.pc;
+            if (forward && rules.collapseIntraForward)
+                continue; // the collapsing buffer removes the gap
+            if (!forward && rules.collapseIntraBackward)
+                continue; // extended crossbar controller
+            if (!rules.crossTakenInterBlock) {
+                out.stop = FetchStop::TakenBranch;
+            } else {
+                out.stop = forward ? FetchStop::IntraBlock
+                                   : FetchStop::BackwardIntra;
+            }
+            return out;
+        }
+        // Inter-block target.
+        if (!rules.crossTakenInterBlock) {
+            out.stop = FetchStop::TakenBranch;
+            return out;
+        }
+        // The block transition is validated (bank conflict, block
+        // budget, cache) when the target instruction is examined on
+        // the next iteration.
+    }
+
+    if (out.delivered >= cfg.issueRate)
+        out.stop = FetchStop::IssueLimit;
+    else if (out.delivered >= ctx.windowSpace)
+        out.stop = FetchStop::WindowFull;
+    else
+        out.stop = FetchStop::StreamEnd;
+    return out;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared group-formation walk used by all fetch mechanisms.
+ *
+ * Every scheme forms its per-cycle fetch group by walking the
+ * predicted instruction path from the fetch PC; they differ only in
+ * which cache blocks are reachable in one cycle and in their ability
+ * to continue past a predicted-taken branch.  WalkRules captures
+ * those differences; runWalk() executes the walk.
+ */
+
+#ifndef FETCHSIM_FETCH_WALKER_H_
+#define FETCHSIM_FETCH_WALKER_H_
+
+#include "fetch/fetch_types.h"
+
+namespace fetchsim
+{
+
+/**
+ * Scheme-specific group-formation capabilities.
+ */
+struct WalkRules
+{
+    /** How many distinct cache blocks one group may span. */
+    int maxBlocks = 1;
+
+    /**
+     * May the group continue past a correctly-predicted taken branch
+     * whose target is in a *different* block (consuming the second
+     * block)?  True for banked sequential and the collapsing buffer.
+     */
+    bool crossTakenInterBlock = false;
+
+    /**
+     * May the group collapse a correctly-predicted taken branch whose
+     * target is *forward in the same block*?  True for the collapsing
+     * buffer only.
+     */
+    bool collapseIntraForward = false;
+
+    /**
+     * May the group also follow *backward* intra-block targets?  The
+     * paper notes the bus-based crossbar is capable of this but the
+     * controller they modeled did not support it (Section 3.3); this
+     * flag enables that extension for the ablation study.
+     */
+    bool collapseIntraBackward = false;
+
+    /**
+     * Must the target block avoid the fetch block's bank?  True for
+     * banked sequential and the collapsing buffer, whose second cache
+     * access happens in parallel with the first.  (Interleaved
+     * sequential's second block is always the next sequential block,
+     * which lives in the other bank by construction.)
+     */
+    bool checkBankConflict = false;
+
+    /**
+     * Perfect fetch: no block or alignment bookkeeping at all; cache
+     * blocks are still accessed and misses still stall.
+     */
+    bool unlimitedAlignment = false;
+
+    /**
+     * Bank count used for conflict checking.  0 = the I-cache's own
+     * bank count (the paper's two-bank schemes).  The POWER2-style
+     * multi-banked comparator sets 8 independently addressable
+     * banks.
+     */
+    int banksOverride = 0;
+};
+
+/** Canonical rules for each scheme. */
+WalkRules rulesFor(SchemeKind kind);
+
+/**
+ * Form one fetch group under @p rules.  See FetchOutcome for the
+ * contract; the caller (Processor) applies stalls and penalties.
+ */
+FetchOutcome runWalk(const WalkRules &rules, FetchContext &ctx);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_FETCH_WALKER_H_

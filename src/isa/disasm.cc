@@ -1,0 +1,75 @@
+#include "isa/disasm.h"
+
+#include <cstdio>
+
+namespace fetchsim
+{
+
+std::string
+regName(std::uint8_t reg)
+{
+    char buf[8];
+    if (isFpReg(reg))
+        std::snprintf(buf, sizeof(buf), "f%d", reg - kFpRegBase);
+    else
+        std::snprintf(buf, sizeof(buf), "r%d", reg);
+    return buf;
+}
+
+std::string
+disassemble(const StaticInst &inst, std::uint64_t pc)
+{
+    char buf[96];
+    std::uint64_t target =
+        pc + static_cast<std::int64_t>(inst.imm) * kInstBytes;
+    switch (inst.op) {
+      case OpClass::IntAlu:
+        std::snprintf(buf, sizeof(buf), "add  %s, %s, %s, #%d",
+                      regName(inst.dest).c_str(),
+                      regName(inst.src1).c_str(),
+                      regName(inst.src2).c_str(), inst.imm);
+        break;
+      case OpClass::FpAlu:
+        std::snprintf(buf, sizeof(buf), "fadd %s, %s, %s",
+                      regName(inst.dest).c_str(),
+                      regName(inst.src1).c_str(),
+                      regName(inst.src2).c_str());
+        break;
+      case OpClass::Load:
+        std::snprintf(buf, sizeof(buf), "ld   %s, %d(%s)",
+                      regName(inst.dest).c_str(), inst.imm,
+                      regName(inst.src1).c_str());
+        break;
+      case OpClass::Store:
+        std::snprintf(buf, sizeof(buf), "st   %s, %d(%s)",
+                      regName(inst.src2).c_str(), inst.imm,
+                      regName(inst.src1).c_str());
+        break;
+      case OpClass::CondBranch:
+        std::snprintf(buf, sizeof(buf), "br   %s, %s, 0x%llx",
+                      regName(inst.src1).c_str(),
+                      regName(inst.src2).c_str(),
+                      static_cast<unsigned long long>(target));
+        break;
+      case OpClass::Jump:
+        std::snprintf(buf, sizeof(buf), "j    0x%llx",
+                      static_cast<unsigned long long>(target));
+        break;
+      case OpClass::Call:
+        std::snprintf(buf, sizeof(buf), "call 0x%llx",
+                      static_cast<unsigned long long>(target));
+        break;
+      case OpClass::Return:
+        std::snprintf(buf, sizeof(buf), "ret");
+        break;
+      case OpClass::Nop:
+        std::snprintf(buf, sizeof(buf), "nop");
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "???");
+        break;
+    }
+    return buf;
+}
+
+} // namespace fetchsim

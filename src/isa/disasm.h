@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Tiny disassembler for debugging dumps and the examples.
+ */
+
+#ifndef FETCHSIM_ISA_DISASM_H_
+#define FETCHSIM_ISA_DISASM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "isa/static_inst.h"
+
+namespace fetchsim
+{
+
+/** Render a register name ("r7" / "f3"). */
+std::string regName(std::uint8_t reg);
+
+/**
+ * Disassemble @p inst at address @p pc.  Control displacements are
+ * rendered as absolute target addresses when @p pc is non-zero.
+ */
+std::string disassemble(const StaticInst &inst, std::uint64_t pc = 0);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_ISA_DISASM_H_

@@ -1,0 +1,122 @@
+#include "isa/encoding.h"
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** Extract bits [hi:lo] of @p word. */
+std::uint32_t
+bits(std::uint32_t word, int hi, int lo)
+{
+    return (word >> lo) & ((1u << (hi - lo + 1)) - 1u);
+}
+
+/** Sign-extend the low @p width bits of @p value. */
+std::int32_t
+signExtend(std::uint32_t value, int width)
+{
+    std::uint32_t sign_bit = 1u << (width - 1);
+    std::uint32_t mask = (width == 32) ? ~0u : ((1u << width) - 1u);
+    value &= mask;
+    if (value & sign_bit)
+        value |= ~mask;
+    return static_cast<std::int32_t>(value);
+}
+
+/** Format classification for an op class. */
+enum class Format { R, B, J };
+
+Format
+formatOf(OpClass op)
+{
+    switch (op) {
+      case OpClass::CondBranch:
+        return Format::B;
+      case OpClass::Jump:
+      case OpClass::Call:
+      case OpClass::Return:
+        return Format::J;
+      default:
+        return Format::R;
+    }
+}
+
+} // anonymous namespace
+
+bool
+encodable(const StaticInst &inst)
+{
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        return inst.imm >= kImm10Min && inst.imm <= kImm10Max;
+      case Format::B:
+        return inst.imm >= kDisp16Min && inst.imm <= kDisp16Max;
+      case Format::J:
+        return inst.imm >= kDisp28Min && inst.imm <= kDisp28Max;
+    }
+    return false;
+}
+
+std::uint32_t
+encode(const StaticInst &inst)
+{
+    if (!encodable(inst))
+        fatal("encode: immediate out of range for format");
+
+    std::uint32_t op_field = static_cast<std::uint32_t>(inst.op) << 28;
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        return op_field |
+               (static_cast<std::uint32_t>(inst.dest & 0x3f) << 22) |
+               (static_cast<std::uint32_t>(inst.src1 & 0x3f) << 16) |
+               (static_cast<std::uint32_t>(inst.src2 & 0x3f) << 10) |
+               (static_cast<std::uint32_t>(inst.imm) & 0x3ff);
+      case Format::B:
+        return op_field |
+               (static_cast<std::uint32_t>(inst.src1 & 0x3f) << 22) |
+               (static_cast<std::uint32_t>(inst.src2 & 0x3f) << 16) |
+               (static_cast<std::uint32_t>(inst.imm) & 0xffff);
+      case Format::J:
+        return op_field |
+               (static_cast<std::uint32_t>(inst.imm) & 0x0fffffff);
+    }
+    panic("encode: unreachable");
+}
+
+StaticInst
+decode(std::uint32_t word)
+{
+    StaticInst inst;
+    std::uint32_t op_field = bits(word, 31, 28);
+    if (op_field >= static_cast<std::uint32_t>(OpClass::NumOpClasses))
+        fatal("decode: illegal opcode field");
+    inst.op = static_cast<OpClass>(op_field);
+
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        inst.dest = static_cast<std::uint8_t>(bits(word, 27, 22));
+        inst.src1 = static_cast<std::uint8_t>(bits(word, 21, 16));
+        inst.src2 = static_cast<std::uint8_t>(bits(word, 15, 10));
+        inst.imm = signExtend(bits(word, 9, 0), 10);
+        break;
+      case Format::B:
+        inst.src1 = static_cast<std::uint8_t>(bits(word, 27, 22));
+        inst.src2 = static_cast<std::uint8_t>(bits(word, 21, 16));
+        inst.imm = signExtend(bits(word, 15, 0), 16);
+        break;
+      case Format::J:
+        inst.imm = signExtend(bits(word, 27, 0), 28);
+        if (inst.op == OpClass::Call)
+            inst.dest = 31;
+        if (inst.op == OpClass::Return)
+            inst.src1 = 31;
+        break;
+    }
+    return inst;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bit-level encoder/decoder for the fixed 32-bit instruction format.
+ *
+ * Three formats share a 4-bit major opcode in bits [31:28]:
+ *
+ *   R-format (IntAlu, FpAlu, Load, Store, Nop):
+ *     [31:28] op | [27:22] dest | [21:16] src1 | [15:10] src2 |
+ *     [9:0]   imm10 (signed)
+ *
+ *   B-format (CondBranch):
+ *     [31:28] op | [27:22] src1 | [21:16] src2 | [15:0] disp16 (signed,
+ *     instruction units, relative to the branch's own address)
+ *
+ *   J-format (Jump, Call, Return):
+ *     [31:28] op | [27:0] disp28 (signed, instruction units; zero for
+ *     Return, whose target is indirect)
+ *
+ * The simulator operates on decoded StaticInst values; the encoder
+ * exists because the paper's instruction stream is a genuine fixed
+ * 32-bit format, and round-tripping through it is checked by tests.
+ */
+
+#ifndef FETCHSIM_ISA_ENCODING_H_
+#define FETCHSIM_ISA_ENCODING_H_
+
+#include <cstdint>
+
+#include "isa/static_inst.h"
+
+namespace fetchsim
+{
+
+/** Signed-immediate field limits. */
+constexpr std::int32_t kImm10Max = 511;
+constexpr std::int32_t kImm10Min = -512;
+constexpr std::int32_t kDisp16Max = 32767;
+constexpr std::int32_t kDisp16Min = -32768;
+constexpr std::int32_t kDisp28Max = (1 << 27) - 1;
+constexpr std::int32_t kDisp28Min = -(1 << 27);
+
+/**
+ * Encode @p inst into its 32-bit machine form.
+ * Calls fatal() if an immediate/displacement exceeds its field.
+ */
+std::uint32_t encode(const StaticInst &inst);
+
+/** Decode a 32-bit word back into a StaticInst. */
+StaticInst decode(std::uint32_t word);
+
+/** True if @p inst fits its format's immediate field. */
+bool encodable(const StaticInst &inst);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_ISA_ENCODING_H_

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Operation classes of the simulated 32-bit RISC ISA.
+ *
+ * The paper captures GCC's intermediate code after PA-RISC register
+ * allocation and encodes it in a fixed 32-bit format; the simulator
+ * only needs each instruction's class (which functional unit executes
+ * it, and whether it transfers control), its registers, and its
+ * address.  This header defines those classes and their unit/latency
+ * mapping.
+ */
+
+#ifndef FETCHSIM_ISA_OPCODE_H_
+#define FETCHSIM_ISA_OPCODE_H_
+
+#include <cstdint>
+
+namespace fetchsim
+{
+
+/** Size of every instruction in bytes (fixed 32-bit format). */
+constexpr std::uint64_t kInstBytes = 4;
+
+/** Operation classes. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu = 0,  //!< fixed-point ALU op (FXU, 1 cycle)
+    FpAlu,       //!< floating-point op (FPU, 2 cycles)
+    Load,        //!< data-cache load (load unit, 2 cycles)
+    Store,       //!< data-cache store (store buffer, 1 cycle)
+    CondBranch,  //!< conditional direct branch (branch unit)
+    Jump,        //!< unconditional direct jump
+    Call,        //!< direct call (pushes return address)
+    Return,      //!< indirect return
+    Nop,         //!< padding nop (FXU, 1 cycle)
+    NumOpClasses
+};
+
+/** Number of distinct op classes (array-sizing helper). */
+constexpr int kNumOpClasses = static_cast<int>(OpClass::NumOpClasses);
+
+/** Which kind of functional unit executes an op class. */
+enum class UnitKind : std::uint8_t
+{
+    Fxu = 0,     //!< fixed-point unit
+    Fpu,         //!< floating-point unit
+    BranchUnit,  //!< branch resolution unit
+    LoadUnit,    //!< data-cache load port
+    StorePort,   //!< store-buffer port
+    NumUnitKinds
+};
+
+/** Number of distinct unit kinds. */
+constexpr int kNumUnitKinds = static_cast<int>(UnitKind::NumUnitKinds);
+
+/** True if @p op redirects control flow (conditionally or not). */
+constexpr bool
+isControl(OpClass op)
+{
+    return op == OpClass::CondBranch || op == OpClass::Jump ||
+           op == OpClass::Call || op == OpClass::Return;
+}
+
+/** True if @p op is an *unconditional* control transfer. */
+constexpr bool
+isUnconditionalControl(OpClass op)
+{
+    return op == OpClass::Jump || op == OpClass::Call ||
+           op == OpClass::Return;
+}
+
+/** Functional-unit kind that executes @p op. */
+UnitKind unitFor(OpClass op);
+
+/** Execution latency in cycles of @p op (Table 1 latencies). */
+int latencyOf(OpClass op);
+
+/** Short mnemonic, e.g. "add", "br", "ld". */
+const char *mnemonic(OpClass op);
+
+/** Name of a unit kind, e.g. "FXU". */
+const char *unitName(UnitKind kind);
+
+/**
+ * Register identifiers: 0..31 are the fixed-point registers r0..r31,
+ * 32..63 are the floating-point registers f0..f31.  Register 0 (r0)
+ * is hard-wired to zero and never renamed, matching RISC convention.
+ */
+constexpr std::uint8_t kNumIntRegs = 32;
+constexpr std::uint8_t kNumFpRegs = 32;
+constexpr std::uint8_t kNumArchRegs = kNumIntRegs + kNumFpRegs;
+constexpr std::uint8_t kZeroReg = 0;
+constexpr std::uint8_t kFpRegBase = kNumIntRegs;
+
+/** True if @p reg names a floating-point register. */
+constexpr bool
+isFpReg(std::uint8_t reg)
+{
+    return reg >= kFpRegBase && reg < kNumArchRegs;
+}
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_ISA_OPCODE_H_

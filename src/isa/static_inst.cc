@@ -1,0 +1,94 @@
+#include "isa/static_inst.h"
+
+namespace fetchsim
+{
+
+StaticInst
+makeIntAlu(std::uint8_t dest, std::uint8_t src1, std::uint8_t src2,
+           std::int32_t imm)
+{
+    StaticInst inst;
+    inst.op = OpClass::IntAlu;
+    inst.dest = dest;
+    inst.src1 = src1;
+    inst.src2 = src2;
+    inst.imm = imm;
+    return inst;
+}
+
+StaticInst
+makeFpAlu(std::uint8_t dest, std::uint8_t src1, std::uint8_t src2)
+{
+    StaticInst inst;
+    inst.op = OpClass::FpAlu;
+    inst.dest = dest;
+    inst.src1 = src1;
+    inst.src2 = src2;
+    return inst;
+}
+
+StaticInst
+makeLoad(std::uint8_t dest, std::uint8_t base, std::int32_t offset)
+{
+    StaticInst inst;
+    inst.op = OpClass::Load;
+    inst.dest = dest;
+    inst.src1 = base;
+    inst.imm = offset;
+    return inst;
+}
+
+StaticInst
+makeStore(std::uint8_t value, std::uint8_t base, std::int32_t offset)
+{
+    StaticInst inst;
+    inst.op = OpClass::Store;
+    inst.src1 = base;
+    inst.src2 = value;
+    inst.imm = offset;
+    return inst;
+}
+
+StaticInst
+makeCondBranch(std::uint8_t src1, std::uint8_t src2)
+{
+    StaticInst inst;
+    inst.op = OpClass::CondBranch;
+    inst.src1 = src1;
+    inst.src2 = src2;
+    return inst;
+}
+
+StaticInst
+makeJump()
+{
+    StaticInst inst;
+    inst.op = OpClass::Jump;
+    return inst;
+}
+
+StaticInst
+makeCall()
+{
+    StaticInst inst;
+    inst.op = OpClass::Call;
+    inst.dest = 31; // link register r31, RISC convention
+    return inst;
+}
+
+StaticInst
+makeReturn()
+{
+    StaticInst inst;
+    inst.op = OpClass::Return;
+    inst.src1 = 31; // reads the link register
+    return inst;
+}
+
+StaticInst
+makeNop()
+{
+    return StaticInst{};
+}
+
+} // namespace fetchsim

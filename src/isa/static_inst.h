@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Decoded form of one static instruction.
+ *
+ * A StaticInst lives inside a basic block; the fields the pipeline
+ * consumes are the op class and the register operands.  Control
+ * instructions carry a displacement that is resolved (in instruction
+ * units, relative to the instruction's own address) once the program
+ * layout assigns addresses.
+ */
+
+#ifndef FETCHSIM_ISA_STATIC_INST_H_
+#define FETCHSIM_ISA_STATIC_INST_H_
+
+#include <cstdint>
+
+#include "isa/opcode.h"
+
+namespace fetchsim
+{
+
+/**
+ * One decoded instruction.  Plain aggregate; copied freely.
+ */
+struct StaticInst
+{
+    OpClass op = OpClass::Nop;   //!< operation class
+    std::uint8_t dest = 0;       //!< destination register (0 if none)
+    std::uint8_t src1 = 0;       //!< first source register
+    std::uint8_t src2 = 0;       //!< second source register
+    std::int32_t imm = 0;        //!< immediate / branch displacement
+
+    /** True if this instruction transfers control. */
+    bool isControl() const { return fetchsim::isControl(op); }
+
+    /** True for a conditional branch. */
+    bool isCondBranch() const { return op == OpClass::CondBranch; }
+
+    /** True if this instruction produces a register value. */
+    bool
+    writesRegister() const
+    {
+        switch (op) {
+          case OpClass::IntAlu:
+          case OpClass::FpAlu:
+          case OpClass::Load:
+            return dest != kZeroReg;
+          case OpClass::Call:
+            return true; // writes the link register
+          default:
+            return false;
+        }
+    }
+};
+
+/** Convenience factories used by the workload generator and tests. */
+StaticInst makeIntAlu(std::uint8_t dest, std::uint8_t src1,
+                      std::uint8_t src2, std::int32_t imm = 0);
+StaticInst makeFpAlu(std::uint8_t dest, std::uint8_t src1,
+                     std::uint8_t src2);
+StaticInst makeLoad(std::uint8_t dest, std::uint8_t base,
+                    std::int32_t offset);
+StaticInst makeStore(std::uint8_t value, std::uint8_t base,
+                     std::int32_t offset);
+StaticInst makeCondBranch(std::uint8_t src1, std::uint8_t src2);
+StaticInst makeJump();
+StaticInst makeCall();
+StaticInst makeReturn();
+StaticInst makeNop();
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_ISA_STATIC_INST_H_

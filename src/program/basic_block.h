@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Basic blocks and their terminators.
+ *
+ * A program is a set of functions, each a list of basic blocks.  The
+ * block body *includes* its terminating control instruction(s); block
+ * addresses are assigned by the layout pass (program/layout.h), so the
+ * same CFG can be laid out in source order, reordered trace order, or
+ * nop-padded order without rebuilding it.
+ */
+
+#ifndef FETCHSIM_PROGRAM_BASIC_BLOCK_H_
+#define FETCHSIM_PROGRAM_BASIC_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/static_inst.h"
+
+namespace fetchsim
+{
+
+/** Index of a basic block within its Program. */
+using BlockId = std::uint32_t;
+/** Index of a function within its Program. */
+using FuncId = std::uint32_t;
+/** Index of a branch-behaviour model in the workload's table. */
+using BehaviorId = std::uint32_t;
+
+constexpr BlockId kNoBlock = ~static_cast<BlockId>(0);
+constexpr FuncId kNoFunc = ~static_cast<FuncId>(0);
+constexpr BehaviorId kNoBehavior = ~static_cast<BehaviorId>(0);
+
+/** How a basic block transfers control when its body completes. */
+enum class TermKind : std::uint8_t
+{
+    FallThrough,    //!< no control inst; continues at fallThrough
+    CondBranch,     //!< cond branch; taken -> takenTarget,
+                    //!< not-taken -> fallThrough (next in layout)
+    CondBranchJump, //!< cond branch followed by an unconditional jump
+                    //!< to fallThrough (layout fix-up; both paths
+                    //!< leave the block explicitly)
+    Jump,           //!< unconditional jump to takenTarget
+    CallFall,       //!< call to callee; resumes at fallThrough
+    Return          //!< return to caller
+};
+
+/**
+ * One basic block.
+ */
+struct BasicBlock
+{
+    BlockId id = kNoBlock;          //!< this block's id
+    FuncId func = kNoFunc;          //!< owning function
+    std::vector<StaticInst> body;   //!< instructions, incl. terminator
+
+    TermKind term = TermKind::FallThrough;
+    BlockId takenTarget = kNoBlock; //!< branch/jump taken target
+    BlockId fallThrough = kNoBlock; //!< fall-through successor
+    FuncId callee = kNoFunc;        //!< CallFall callee function
+    BehaviorId behavior = kNoBehavior; //!< cond-branch behaviour model
+    bool invertedSense = false;     //!< behaviour polarity flipped by
+                                    //!< the code-reordering pass
+
+    std::uint64_t address = 0;      //!< assigned by the layout pass
+
+    /** Number of instructions in the block. */
+    int size() const { return static_cast<int>(body.size()); }
+
+    /** Address of instruction @p idx. */
+    std::uint64_t
+    instAddr(int idx) const
+    {
+        return address + static_cast<std::uint64_t>(idx) * kInstBytes;
+    }
+
+    /** One-past-the-end address of the block. */
+    std::uint64_t endAddr() const { return instAddr(size()); }
+
+    /** True if the block ends in a conditional branch. */
+    bool
+    hasCondBranch() const
+    {
+        return term == TermKind::CondBranch ||
+               term == TermKind::CondBranchJump;
+    }
+
+    /**
+     * Index of the primary control instruction within the body, or -1
+     * for FallThrough blocks.  For CondBranchJump this is the branch;
+     * the trailing jump sits at size()-1.
+     */
+    int
+    controlIndex() const
+    {
+        switch (term) {
+          case TermKind::FallThrough:
+            return -1;
+          case TermKind::CondBranchJump:
+            return size() - 2;
+          default:
+            return size() - 1;
+        }
+    }
+};
+
+/**
+ * One function: an entry block plus the blocks it owns, in source
+ * order.  Layout order may differ (see Program::layoutOrder).
+ */
+struct Function
+{
+    FuncId id = kNoFunc;
+    std::string name;
+    BlockId entry = kNoBlock;
+    std::vector<BlockId> blocks; //!< source order
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_PROGRAM_BASIC_BLOCK_H_

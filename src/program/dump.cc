@@ -1,0 +1,104 @@
+#include "program/dump.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+
+namespace fetchsim
+{
+
+std::uint64_t
+writeListing(const Program &prog, std::ostream &os,
+             const ListingOptions &options)
+{
+    std::uint64_t listed = 0;
+    for (BlockId id : prog.layoutOrder()) {
+        const BasicBlock &bb = prog.block(id);
+        if (options.showBlockHeaders) {
+            os << "; block " << bb.id << " ("
+               << prog.function(bb.func).name << ")";
+            if (bb.invertedSense)
+                os << " [branch sense inverted]";
+            os << "\n";
+        }
+        for (int i = 0; i < bb.size(); ++i) {
+            const std::uint64_t addr = bb.instAddr(i);
+            os << "0x" << std::hex << std::setw(8)
+               << std::setfill('0') << addr << std::dec
+               << std::setfill(' ') << ":  ";
+            if (options.showEncoding) {
+                os << std::hex << std::setw(8) << std::setfill('0')
+                   << encode(bb.body[i]) << std::dec
+                   << std::setfill(' ') << "  ";
+            }
+            os << disassemble(bb.body[i], addr) << "\n";
+            if (++listed == options.maxInsts && options.maxInsts)
+                return listed;
+        }
+    }
+    return listed;
+}
+
+void
+writeDot(const Program &prog, std::ostream &os)
+{
+    os << "digraph \"" << prog.name() << "\" {\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n";
+
+    for (std::size_t f = 0; f < prog.numFunctions(); ++f) {
+        const Function &fn = prog.function(static_cast<FuncId>(f));
+        os << "  subgraph cluster_fn" << f << " {\n"
+           << "    label=\"" << fn.name << "\";\n";
+        for (BlockId id : fn.blocks) {
+            const BasicBlock &bb = prog.block(id);
+            os << "    b" << id << " [label=\"B" << id << "\\n"
+               << bb.size() << " inst @0x" << std::hex << bb.address
+               << std::dec << "\"];\n";
+        }
+        os << "  }\n";
+    }
+
+    for (std::size_t b = 0; b < prog.numBlocks(); ++b) {
+        const BasicBlock &bb = prog.block(static_cast<BlockId>(b));
+        switch (bb.term) {
+          case TermKind::CondBranch:
+          case TermKind::CondBranchJump:
+            os << "  b" << bb.id << " -> b" << bb.takenTarget
+               << " [label=\"T\"];\n";
+            os << "  b" << bb.id << " -> b" << bb.fallThrough
+               << " [style=dashed, label=\"N\"];\n";
+            break;
+          case TermKind::FallThrough:
+            os << "  b" << bb.id << " -> b" << bb.fallThrough
+               << " [style=dashed];\n";
+            break;
+          case TermKind::Jump:
+            os << "  b" << bb.id << " -> b" << bb.takenTarget
+               << ";\n";
+            break;
+          case TermKind::CallFall: {
+            const Function &callee = prog.function(bb.callee);
+            os << "  b" << bb.id << " -> b" << callee.entry
+               << " [style=dotted, label=\"call\"];\n";
+            os << "  b" << bb.id << " -> b" << bb.fallThrough
+               << " [style=dashed, label=\"ret-to\"];\n";
+            break;
+          }
+          case TermKind::Return:
+            break;
+        }
+    }
+    os << "}\n";
+}
+
+std::string
+listingString(const Program &prog, const ListingOptions &options)
+{
+    std::ostringstream os;
+    writeListing(prog, os, options);
+    return os.str();
+}
+
+} // namespace fetchsim

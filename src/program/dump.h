@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Program inspection: full disassembly listings and Graphviz CFG
+ * export.  Debugging/teaching aids for the generated workloads and
+ * for verifying what the compiler passes did to a layout.
+ */
+
+#ifndef FETCHSIM_PROGRAM_DUMP_H_
+#define FETCHSIM_PROGRAM_DUMP_H_
+
+#include <ostream>
+#include <string>
+
+#include "program/program.h"
+
+namespace fetchsim
+{
+
+/** Options for the disassembly listing. */
+struct ListingOptions
+{
+    bool showBlockHeaders = true; //!< "-- block N (fn ...) --" rows
+    bool showEncoding = false;    //!< raw 32-bit words
+    std::uint64_t maxInsts = 0;   //!< 0 = unlimited
+};
+
+/**
+ * Write a layout-ordered disassembly listing of @p prog to @p os.
+ * Returns the number of instructions listed.
+ */
+std::uint64_t writeListing(const Program &prog, std::ostream &os,
+                           const ListingOptions &options = {});
+
+/**
+ * Write @p prog's control-flow graph in Graphviz dot syntax: one
+ * cluster per function, taken edges solid, fall-through edges dashed,
+ * call edges dotted.
+ */
+void writeDot(const Program &prog, std::ostream &os);
+
+/** Convenience: the listing as a string (tests, small programs). */
+std::string listingString(const Program &prog,
+                          const ListingOptions &options = {});
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_PROGRAM_DUMP_H_

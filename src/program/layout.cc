@@ -1,0 +1,107 @@
+#include "program/layout.h"
+
+#include "isa/encoding.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** Signed displacement, in instruction units, from @p from to @p to. */
+std::int32_t
+dispBetween(std::uint64_t from, std::uint64_t to)
+{
+    std::int64_t diff = static_cast<std::int64_t>(to) -
+                        static_cast<std::int64_t>(from);
+    simAssert(diff % static_cast<std::int64_t>(kInstBytes) == 0,
+              "targets are instruction aligned");
+    return static_cast<std::int32_t>(diff /
+                                     static_cast<std::int64_t>(
+                                         kInstBytes));
+}
+
+} // anonymous namespace
+
+std::uint64_t
+assignAddresses(Program &prog, std::uint64_t base)
+{
+    std::uint64_t addr = base;
+    for (BlockId id : prog.layoutOrder()) {
+        BasicBlock &bb = prog.block(id);
+        bb.address = addr;
+        addr += static_cast<std::uint64_t>(bb.size()) * kInstBytes;
+    }
+
+    // Second pass: patch displacement fields now that targets have
+    // addresses.
+    for (BlockId id : prog.layoutOrder()) {
+        BasicBlock &bb = prog.block(id);
+        switch (bb.term) {
+          case TermKind::FallThrough:
+            break;
+          case TermKind::CondBranch: {
+            int ci = bb.controlIndex();
+            bb.body[ci].imm = dispBetween(
+                bb.instAddr(ci), prog.block(bb.takenTarget).address);
+            break;
+          }
+          case TermKind::CondBranchJump: {
+            int ci = bb.controlIndex();
+            bb.body[ci].imm = dispBetween(
+                bb.instAddr(ci), prog.block(bb.takenTarget).address);
+            int ji = bb.size() - 1;
+            bb.body[ji].imm = dispBetween(
+                bb.instAddr(ji), prog.block(bb.fallThrough).address);
+            break;
+          }
+          case TermKind::Jump: {
+            int ci = bb.controlIndex();
+            bb.body[ci].imm = dispBetween(
+                bb.instAddr(ci), prog.block(bb.takenTarget).address);
+            break;
+          }
+          case TermKind::CallFall: {
+            int ci = bb.controlIndex();
+            const Function &callee = prog.function(bb.callee);
+            bb.body[ci].imm = dispBetween(
+                bb.instAddr(ci), prog.block(callee.entry).address);
+            break;
+          }
+          case TermKind::Return:
+            break;
+        }
+    }
+    return addr;
+}
+
+std::uint64_t
+controlTargetAddr(const Program &prog, const BasicBlock &bb)
+{
+    switch (bb.term) {
+      case TermKind::CondBranch:
+      case TermKind::CondBranchJump:
+      case TermKind::Jump:
+        return prog.block(bb.takenTarget).address;
+      case TermKind::CallFall:
+        return prog.block(prog.function(bb.callee).entry).address;
+      default:
+        return 0;
+    }
+}
+
+void
+checkEncodable(const Program &prog)
+{
+    for (BlockId id : prog.layoutOrder()) {
+        const BasicBlock &bb = prog.block(id);
+        for (const StaticInst &inst : bb.body) {
+            if (!encodable(inst))
+                panic("checkEncodable: displacement exceeds format in "
+                      "program " + prog.name());
+        }
+    }
+}
+
+} // namespace fetchsim

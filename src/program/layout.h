@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Address assignment over a Program's layout order.
+ *
+ * Layout walks Program::layoutOrder(), packs blocks contiguously from
+ * a base address, and then resolves every control instruction's
+ * displacement field so the static code is a real, encodable 32-bit
+ * instruction image.  Compiler passes permute the order (or insert
+ * nops) and re-run this.
+ */
+
+#ifndef FETCHSIM_PROGRAM_LAYOUT_H_
+#define FETCHSIM_PROGRAM_LAYOUT_H_
+
+#include <cstdint>
+
+#include "program/program.h"
+
+namespace fetchsim
+{
+
+/** Default code base address (page-aligned, nonzero to catch bugs). */
+constexpr std::uint64_t kDefaultCodeBase = 0x10000;
+
+/**
+ * Assign block addresses in layout order and resolve control
+ * displacements.  Returns the one-past-the-end address of the image.
+ */
+std::uint64_t assignAddresses(Program &prog,
+                              std::uint64_t base = kDefaultCodeBase);
+
+/**
+ * Resolve the actual (not predicted) target address of the primary
+ * control instruction of @p bb.  Requires addresses to be assigned.
+ * For Return the result is 0 (indirect; executor supplies it).
+ */
+std::uint64_t controlTargetAddr(const Program &prog,
+                                const BasicBlock &bb);
+
+/**
+ * Verify that every instruction in the laid-out program fits its
+ * encoding format (displacement ranges).  Calls panic() on violation.
+ */
+void checkEncodable(const Program &prog);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_PROGRAM_LAYOUT_H_

@@ -1,0 +1,171 @@
+#include "program/program.h"
+
+#include <algorithm>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+Program::Program(std::string name)
+    : name_(std::move(name))
+{
+}
+
+FuncId
+Program::addFunction(std::string fn_name)
+{
+    FuncId id = static_cast<FuncId>(functions_.size());
+    Function fn;
+    fn.id = id;
+    fn.name = std::move(fn_name);
+    functions_.push_back(std::move(fn));
+    return id;
+}
+
+BlockId
+Program::addBlock(FuncId func)
+{
+    simAssert(func < functions_.size(), "addBlock: function exists");
+    BlockId id = static_cast<BlockId>(blocks_.size());
+    BasicBlock bb;
+    bb.id = id;
+    bb.func = func;
+    blocks_.push_back(std::move(bb));
+    functions_[func].blocks.push_back(id);
+    layout_order_.push_back(id);
+    return id;
+}
+
+BasicBlock &
+Program::block(BlockId id)
+{
+    simAssert(id < blocks_.size(), "block id in range");
+    return blocks_[id];
+}
+
+const BasicBlock &
+Program::block(BlockId id) const
+{
+    simAssert(id < blocks_.size(), "block id in range");
+    return blocks_[id];
+}
+
+Function &
+Program::function(FuncId id)
+{
+    simAssert(id < functions_.size(), "function id in range");
+    return functions_[id];
+}
+
+const Function &
+Program::function(FuncId id) const
+{
+    simAssert(id < functions_.size(), "function id in range");
+    return functions_[id];
+}
+
+std::uint64_t
+Program::totalInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bb : blocks_)
+        total += bb.body.size();
+    return total;
+}
+
+std::uint64_t
+Program::totalNops() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bb : blocks_)
+        for (const auto &inst : bb.body)
+            if (inst.op == OpClass::Nop)
+                ++total;
+    return total;
+}
+
+void
+Program::validate() const
+{
+    simAssert(main_ < functions_.size(), "main function defined");
+
+    // Layout order must be a permutation of all block ids.
+    simAssert(layout_order_.size() == blocks_.size(),
+              "layout covers all blocks");
+    std::vector<bool> seen(blocks_.size(), false);
+    for (BlockId id : layout_order_) {
+        simAssert(id < blocks_.size(), "layout block id in range");
+        simAssert(!seen[id], "layout has no duplicates");
+        seen[id] = true;
+    }
+
+    for (const auto &fn : functions_) {
+        simAssert(fn.entry < blocks_.size(), "function entry exists");
+        simAssert(blocks_[fn.entry].func == fn.id,
+                  "entry owned by function");
+        for (BlockId id : fn.blocks)
+            simAssert(blocks_[id].func == fn.id,
+                      "block owned by its function");
+    }
+
+    for (const auto &bb : blocks_) {
+        simAssert(bb.func < functions_.size(), "block has a function");
+        const bool empty = bb.body.empty();
+        switch (bb.term) {
+          case TermKind::FallThrough:
+            simAssert(bb.fallThrough != kNoBlock,
+                      "fall-through successor set");
+            simAssert(block(bb.fallThrough).func == bb.func,
+                      "fall-through stays in function");
+            break;
+          case TermKind::CondBranch:
+            simAssert(!empty &&
+                          bb.body.back().op == OpClass::CondBranch,
+                      "cond block ends in branch");
+            simAssert(bb.takenTarget != kNoBlock &&
+                          bb.fallThrough != kNoBlock,
+                      "cond targets set");
+            simAssert(block(bb.takenTarget).func == bb.func &&
+                          block(bb.fallThrough).func == bb.func,
+                      "cond targets stay in function");
+            simAssert(bb.behavior != kNoBehavior,
+                      "cond branch has behaviour");
+            break;
+          case TermKind::CondBranchJump:
+            simAssert(bb.size() >= 2, "branch+jump fits in block");
+            simAssert(bb.body[bb.size() - 2].op == OpClass::CondBranch,
+                      "penultimate inst is the branch");
+            simAssert(bb.body.back().op == OpClass::Jump,
+                      "last inst is the jump");
+            simAssert(bb.takenTarget != kNoBlock &&
+                          bb.fallThrough != kNoBlock,
+                      "cond+jump targets set");
+            simAssert(bb.behavior != kNoBehavior,
+                      "cond branch has behaviour");
+            break;
+          case TermKind::Jump:
+            simAssert(!empty && bb.body.back().op == OpClass::Jump,
+                      "jump block ends in jump");
+            simAssert(bb.takenTarget != kNoBlock, "jump target set");
+            simAssert(block(bb.takenTarget).func == bb.func,
+                      "jump target stays in function");
+            break;
+          case TermKind::CallFall:
+            simAssert(!empty && bb.body.back().op == OpClass::Call,
+                      "call block ends in call");
+            simAssert(bb.callee < functions_.size(), "callee exists");
+            simAssert(bb.fallThrough != kNoBlock,
+                      "call has return-to successor");
+            simAssert(block(bb.fallThrough).func == bb.func,
+                      "return-to stays in function");
+            break;
+          case TermKind::Return:
+            simAssert(!empty && bb.body.back().op == OpClass::Return,
+                      "return block ends in ret");
+            break;
+        }
+    }
+}
+
+} // namespace fetchsim

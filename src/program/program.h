@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Whole-program container: functions, blocks, and the layout order.
+ */
+
+#ifndef FETCHSIM_PROGRAM_PROGRAM_H_
+#define FETCHSIM_PROGRAM_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program/basic_block.h"
+
+namespace fetchsim
+{
+
+/**
+ * A complete program over the simulated ISA.
+ *
+ * Blocks are owned flat (indexed by BlockId); functions reference
+ * them.  `layoutOrder` lists every block in memory order; the layout
+ * pass turns that order into concrete addresses.  Compiler passes
+ * (reordering, padding) permute `layoutOrder` and patch terminators
+ * but never change BlockIds, so profiles remain valid across layouts.
+ */
+class Program
+{
+  public:
+    /** Create an empty program with the given name. */
+    explicit Program(std::string name);
+
+    /** Program name (the benchmark name for generated workloads). */
+    const std::string &name() const { return name_; }
+
+    /** Append a new function; returns its id. */
+    FuncId addFunction(std::string fn_name);
+
+    /**
+     * Append a new (empty) block to function @p func; returns its id.
+     * The block is also appended to the function's source order and
+     * the global layout order.
+     */
+    BlockId addBlock(FuncId func);
+
+    /** Mutable access to a block. */
+    BasicBlock &block(BlockId id);
+    /** Immutable access to a block. */
+    const BasicBlock &block(BlockId id) const;
+
+    /** Mutable access to a function. */
+    Function &function(FuncId id);
+    /** Immutable access to a function. */
+    const Function &function(FuncId id) const;
+
+    /** Number of blocks / functions. */
+    std::size_t numBlocks() const { return blocks_.size(); }
+    std::size_t numFunctions() const { return functions_.size(); }
+
+    /** The function where execution starts. */
+    FuncId mainFunction() const { return main_; }
+    void setMainFunction(FuncId func) { main_ = func; }
+
+    /** Global memory order of blocks (mutated by compiler passes). */
+    std::vector<BlockId> &layoutOrder() { return layout_order_; }
+    const std::vector<BlockId> &layoutOrder() const
+    {
+        return layout_order_;
+    }
+
+    /** Total static instruction count over all blocks. */
+    std::uint64_t totalInstructions() const;
+
+    /** Count of static nops (padding overhead metric for Table 4). */
+    std::uint64_t totalNops() const;
+
+    /**
+     * Structural validation: every referenced block/function exists,
+     * terminators match their bodies, intra-function targets stay in
+     * the function, and the layout order is a permutation of all
+     * blocks.  Calls panic() on violation (programs are generated, so
+     * any breakage is a bug, not user input).
+     */
+    void validate() const;
+
+  private:
+    std::string name_;
+    std::vector<Function> functions_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<BlockId> layout_order_;
+    FuncId main_ = kNoFunc;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_PROGRAM_PROGRAM_H_

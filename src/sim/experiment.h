@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Experiment driver: one simulation run = benchmark x machine x
+ * fetch scheme x code layout.
+ *
+ * Every bench binary and example is built on this API.  Prepared
+ * workloads (generated programs, profiled/reordered/padded layouts)
+ * are cached per-process so sweeping schemes over a benchmark does
+ * not regenerate or re-profile it.
+ */
+
+#ifndef FETCHSIM_SIM_EXPERIMENT_H_
+#define FETCHSIM_SIM_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine_config.h"
+#include "core/processor.h"
+#include "fetch/fetch_mechanism.h"
+#include "workload/generator.h"
+
+namespace fetchsim
+{
+
+/** Code layouts studied in the paper. */
+enum class LayoutKind : std::uint8_t
+{
+    Unordered = 0, //!< generator (source) order
+    Reordered,     //!< profile-driven trace layout (Section 4)
+    PadAll,        //!< unordered + pad every block (Section 4.1)
+    PadTrace,      //!< reordered + pad trace ends (Section 4.1)
+    ReorderedPlaced, //!< reordered + Pettis-Hansen function
+                     //!< placement (extension; paper reference [8])
+    NumLayouts
+};
+
+/** Display name of a layout. */
+const char *layoutName(LayoutKind layout);
+
+/** One experiment description. */
+struct RunConfig
+{
+    std::string benchmark;        //!< suite benchmark name
+    MachineModel machine = MachineModel::P14;
+    SchemeKind scheme = SchemeKind::Sequential;
+    LayoutKind layout = LayoutKind::Unordered;
+    CollapsingBufferFetch::Impl cbImpl =
+        CollapsingBufferFetch::Impl::Crossbar;
+    std::uint64_t maxRetired = 0; //!< 0 = defaultDynInsts()
+    int input = kEvalInput;       //!< executor input id
+
+    // --- ablation overrides (negative / default = paper machine) ---
+    PredictorKind predictorKind = PredictorKind::BtbCounter;
+    bool useRas = false;          //!< return-address stack
+    bool cbAllowBackward = false; //!< extended crossbar controller
+    int specDepthOverride = -1;   //!< speculation depth
+    int btbEntriesOverride = -1;  //!< BTB size
+    int windowSizeOverride = -1;  //!< scheduling-window entries
+    int missPenaltyOverride = -1; //!< I-cache refill latency
+    int icacheWaysOverride = -1;  //!< I-cache associativity
+};
+
+/** One experiment result. */
+struct RunResult
+{
+    RunConfig config;
+    RunCounters counters;
+
+    double ipc() const { return counters.ipc(); }
+    double eir() const { return counters.eir(); }
+};
+
+/**
+ * Dynamic instruction budget for measured runs: the value of the
+ * FETCHSIM_DYN_INSTS environment variable, else 120000.
+ */
+std::uint64_t defaultDynInsts();
+
+/** Run one experiment (workloads cached per process). */
+RunResult runExperiment(const RunConfig &config);
+
+/**
+ * Prepared-workload access (benches that need censuses rather than
+ * pipeline runs, e.g. Tables 2-4, use this directly).  The returned
+ * reference is owned by the per-process cache and remains valid for
+ * the process lifetime.  @p block_bytes is only meaningful for the
+ * padded layouts (pass the machine's block size); use 0 otherwise.
+ */
+const Workload &preparedWorkload(const std::string &benchmark,
+                                 LayoutKind layout,
+                                 std::uint64_t block_bytes = 0);
+
+/** Aggregate over a benchmark list. */
+struct SuiteResult
+{
+    std::vector<RunResult> runs;
+    double hmeanIpc = 0.0;
+    double hmeanEir = 0.0;
+};
+
+/**
+ * Run every benchmark in @p names under one (machine, scheme,
+ * layout) point and compute harmonic means.
+ */
+SuiteResult runSuite(const std::vector<std::string> &names,
+                     MachineModel machine, SchemeKind scheme,
+                     LayoutKind layout = LayoutKind::Unordered,
+                     std::uint64_t max_retired = 0,
+                     CollapsingBufferFetch::Impl cb_impl =
+                         CollapsingBufferFetch::Impl::Crossbar);
+
+/**
+ * Run every benchmark in @p names under @p proto (its `benchmark`
+ * field is overwritten per run) -- the form the ablation benches use
+ * to sweep overrides.
+ */
+SuiteResult runSuite(const std::vector<std::string> &names,
+                     const RunConfig &proto);
+
+/** Benchmark-name list helpers for the benches. */
+std::vector<std::string> integerNames();
+std::vector<std::string> fpNames();
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_EXPERIMENT_H_

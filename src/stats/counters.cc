@@ -1,0 +1,113 @@
+#include "stats/counters.h"
+
+#include <cstdio>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+const char *
+fetchStopName(FetchStop reason)
+{
+    switch (reason) {
+      case FetchStop::IssueLimit:     return "issue-limit";
+      case FetchStop::BlockEnd:       return "block-end";
+      case FetchStop::TakenBranch:    return "taken-branch";
+      case FetchStop::IntraBlock:     return "intra-block";
+      case FetchStop::BackwardIntra:  return "backward-intra";
+      case FetchStop::BankConflict:   return "bank-conflict";
+      case FetchStop::Mispredict:     return "mispredict";
+      case FetchStop::BtbMissControl: return "btb-miss-control";
+      case FetchStop::CacheMiss:      return "cache-miss";
+      case FetchStop::SpecDepth:      return "spec-depth";
+      case FetchStop::WindowFull:     return "window-full";
+      case FetchStop::StreamEnd:      return "stream-end";
+      default:                        return "unknown";
+    }
+}
+
+double
+RunCounters::ipc() const
+{
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(retired - nopsRetired) /
+                             static_cast<double>(cycles);
+}
+
+double
+RunCounters::eir() const
+{
+    return cycles == 0
+               ? 0.0
+               : static_cast<double>(delivered - nopsDelivered) /
+                     static_cast<double>(cycles);
+}
+
+double
+RunCounters::rawIpc() const
+{
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(retired) /
+                             static_cast<double>(cycles);
+}
+
+double
+RunCounters::mispredictRate() const
+{
+    std::uint64_t resolved = condBranches;
+    return resolved == 0 ? 0.0
+                         : static_cast<double>(mispredicts) /
+                               static_cast<double>(resolved);
+}
+
+double
+RunCounters::icacheMissRatio() const
+{
+    return icacheAccesses == 0 ? 0.0
+                               : static_cast<double>(icacheMisses) /
+                                     static_cast<double>(icacheAccesses);
+}
+
+double
+RunCounters::intraBlockRatio() const
+{
+    return takenBranches == 0 ? 0.0
+                              : static_cast<double>(intraBlockTaken) /
+                                    static_cast<double>(takenBranches);
+}
+
+void
+RunCounters::noteStop(FetchStop reason)
+{
+    int idx = static_cast<int>(reason);
+    simAssert(idx >= 0 && idx < kNumFetchStops, "stop reason in range");
+    ++stops[idx];
+}
+
+std::string
+RunCounters::format() const
+{
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf),
+                  "cycles=%llu retired=%llu delivered=%llu\n"
+                  "IPC=%.3f EIR=%.3f mispredict=%.2f%% "
+                  "icache-miss=%.3f%% intra-block=%.2f%%\n",
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(retired),
+                  static_cast<unsigned long long>(delivered),
+                  ipc(), eir(), 100.0 * mispredictRate(),
+                  100.0 * icacheMissRatio(), 100.0 * intraBlockRatio());
+    std::string out(buf);
+    for (int i = 0; i < kNumFetchStops; ++i) {
+        if (stops[i] == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "  stop[%s]=%llu\n",
+                      fetchStopName(static_cast<FetchStop>(i)),
+                      static_cast<unsigned long long>(stops[i]));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Statistics counters collected by one processor-simulation run.
+ *
+ * Every counter is a plain integral value; derived quantities (IPC,
+ * EIR, ratios) are computed on demand so a half-finished run can still
+ * be inspected.  The counter set mirrors the quantities the paper
+ * reports: retired instructions (IPC), instructions delivered to the
+ * decoders (EIR), taken-branch census (Tables 2 and 3) and the fetch
+ * stall breakdown used in the analysis sections.
+ */
+
+#ifndef FETCHSIM_STATS_COUNTERS_H_
+#define FETCHSIM_STATS_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fetchsim
+{
+
+/** Why a fetch group was terminated before reaching the issue rate. */
+enum class FetchStop : std::uint8_t
+{
+    IssueLimit,       //!< group reached the machine issue rate
+    BlockEnd,         //!< scheme ran out of fetchable cache block(s)
+    TakenBranch,      //!< predicted-taken branch the scheme cannot cross
+    IntraBlock,       //!< intra-block branch (banked sequential limit)
+    BackwardIntra,    //!< backward intra-block target (collapsing limit)
+    BankConflict,     //!< successor block collides with fetch block bank
+    Mispredict,       //!< BTB disagreed with the actual outcome
+    BtbMissControl,   //!< unconditional control inst absent from BTB
+    CacheMiss,        //!< instruction cache miss on a needed block
+    SpecDepth,        //!< speculation depth limit reached
+    WindowFull,       //!< no free window/ROB entries
+    StreamEnd,        //!< dynamic instruction stream exhausted
+    NumStopReasons
+};
+
+/** Number of distinct FetchStop reasons (array-sizing helper). */
+constexpr int kNumFetchStops =
+    static_cast<int>(FetchStop::NumStopReasons);
+
+/** Human-readable name of a stop reason. */
+const char *fetchStopName(FetchStop reason);
+
+/**
+ * Aggregate statistics for one simulation run.
+ */
+struct RunCounters
+{
+    std::uint64_t cycles = 0;          //!< simulated clock cycles
+    std::uint64_t retired = 0;         //!< instructions leaving the ROB
+    std::uint64_t delivered = 0;       //!< instructions sent to decode
+    std::uint64_t fetchGroups = 0;     //!< non-empty fetch groups formed
+
+    std::uint64_t condBranches = 0;    //!< retired conditional branches
+    std::uint64_t takenBranches = 0;   //!< retired taken ctrl transfers
+    std::uint64_t intraBlockTaken = 0; //!< taken, target in same block
+    std::uint64_t mispredicts = 0;     //!< wrong conditional predictions
+    std::uint64_t controlMispredicts = 0; //!< all wrong predictions
+                                          //!< (cond + indirect/stale)
+
+    std::uint64_t icacheAccesses = 0;  //!< block lookups in the I-cache
+    std::uint64_t icacheMisses = 0;    //!< block lookups that missed
+    std::uint64_t btbLookups = 0;      //!< BTB queries
+    std::uint64_t btbHits = 0;         //!< BTB queries that hit
+
+    std::uint64_t stallCycles = 0;     //!< cycles fetch delivered nothing
+    std::uint64_t nopsRetired = 0;     //!< padding nops that retired
+    std::uint64_t nopsDelivered = 0;   //!< padding nops sent to decode
+
+    /** Histogram of group-termination reasons. */
+    std::uint64_t stops[kNumFetchStops] = {};
+
+    /** Instructions retired per cycle (the paper's headline metric).
+     *  Padding nops do no useful work and are excluded, so padded and
+     *  unpadded layouts are comparable. */
+    double ipc() const;
+
+    /** Effective issue rate: useful instructions delivered to
+     *  decode per cycle (padding nops excluded). */
+    double eir() const;
+
+    /** Raw retirement rate including padding nops. */
+    double rawIpc() const;
+
+    /** Fraction of resolved conditional branches predicted wrongly. */
+    double mispredictRate() const;
+
+    /** I-cache miss ratio over block accesses. */
+    double icacheMissRatio() const;
+
+    /** Taken branches with intra-block targets / all taken branches. */
+    double intraBlockRatio() const;
+
+    /** Record one group-stop event. */
+    void noteStop(FetchStop reason);
+
+    /** Multi-line human-readable dump (used by examples and tests). */
+    std::string format() const;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_STATS_COUNTERS_H_

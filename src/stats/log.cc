@@ -1,0 +1,40 @@
+#include "stats/log.h"
+
+#include <cstdio>
+
+namespace fetchsim
+{
+
+void
+logMessage(const char *label, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", label, msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage("fatal", msg);
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage("panic", msg);
+    std::abort();
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage("warn", msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage("info", msg);
+}
+
+} // namespace fetchsim

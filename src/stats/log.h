@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fetchsim::fatal() is for user errors (bad configuration, impossible
+ * experiment requests): it prints a message and exits with status 1.
+ * fetchsim::panic() is for internal invariant violations (simulator
+ * bugs): it prints a message and aborts so a core dump / debugger can
+ * capture the state.  warn() and inform() are purely informational.
+ */
+
+#ifndef FETCHSIM_STATS_LOG_H_
+#define FETCHSIM_STATS_LOG_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fetchsim
+{
+
+/** Print a formatted message prefixed with a severity label. */
+void logMessage(const char *label, const std::string &msg);
+
+/** Terminate with exit(1): the condition is the user's fault. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Terminate with abort(): the condition is a simulator bug. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Non-fatal warning about questionable but survivable conditions. */
+void warn(const std::string &msg);
+
+/** Status message with no connotation of incorrect behaviour. */
+void inform(const std::string &msg);
+
+/**
+ * Check an internal invariant.  Unlike assert(), this is active in all
+ * build types, because a silently-corrupt cycle-level simulation is
+ * worse than a slow one.
+ */
+inline void
+simAssert(bool condition, const char *what)
+{
+    if (!condition)
+        panic(std::string("assertion failed: ") + what);
+}
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_STATS_LOG_H_

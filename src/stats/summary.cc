@@ -1,0 +1,55 @@
+#include "stats/summary.h"
+
+#include <cmath>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("harmonicMean: non-positive rate");
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geometricMean: non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+percentOf(double a, double b)
+{
+    return b == 0.0 ? 0.0 : 100.0 * a / b;
+}
+
+} // namespace fetchsim

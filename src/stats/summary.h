@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Cross-benchmark summary statistics.
+ *
+ * The paper reports the harmonic mean of per-benchmark IPC values
+ * (appropriate for rates); this header provides that plus the
+ * arithmetic/geometric means used in sanity checks.
+ */
+
+#ifndef FETCHSIM_STATS_SUMMARY_H_
+#define FETCHSIM_STATS_SUMMARY_H_
+
+#include <vector>
+
+namespace fetchsim
+{
+
+/**
+ * Harmonic mean of a set of strictly-positive rates.
+ * Returns 0 for an empty input; calls fatal() on non-positive values,
+ * because a zero IPC would make the mean undefined and always
+ * indicates a broken run.
+ */
+double harmonicMean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for an empty input. */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Geometric mean of strictly-positive values; 0 for an empty input. */
+double geometricMean(const std::vector<double> &values);
+
+/**
+ * Percentage ratio helper: 100 * a / b, or 0 when b == 0.
+ * Used for the EIR/EIR(perfect) series of Figure 10.
+ */
+double percentOf(double a, double b);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_STATS_SUMMARY_H_

@@ -1,0 +1,131 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+const char *
+TextTable::separatorTag()
+{
+    return "\x01--";
+}
+
+TextTable::TextTable(std::string caption)
+    : caption_(std::move(caption))
+{
+}
+
+void
+TextTable::setHeader(const std::vector<std::string> &names)
+{
+    header_ = names;
+}
+
+void
+TextTable::startRow()
+{
+    rows_.emplace_back();
+    ++dataRows_;
+}
+
+void
+TextTable::addCell(const std::string &text)
+{
+    simAssert(!rows_.empty(), "startRow before addCell");
+    rows_.back().push_back(text);
+}
+
+void
+TextTable::addCell(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    addCell(std::string(buf));
+}
+
+void
+TextTable::addCell(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    addCell(std::string(buf));
+}
+
+void
+TextTable::addPercent(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, value);
+    addCell(std::string(buf));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({separatorTag()});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over the header and all data rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() == 1 && cells[0] == separatorTag())
+            return;
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string cell = i < cells.size() ? cells[i] : "";
+            line += "| ";
+            line += cell;
+            line.append(widths[i] - cell.size() + 1, ' ');
+        }
+        line += "|\n";
+        return line;
+    };
+
+    std::string rule = "+";
+    for (std::size_t w : widths)
+        rule += std::string(w + 2, '-') + "+";
+    rule += "\n";
+
+    std::string out;
+    if (!caption_.empty())
+        out += caption_ + "\n";
+    out += rule;
+    if (!header_.empty()) {
+        out += renderRow(header_);
+        out += rule;
+    }
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == separatorTag())
+            out += rule;
+        else
+            out += renderRow(row);
+    }
+    out += rule;
+    return out;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << render();
+}
+
+} // namespace fetchsim

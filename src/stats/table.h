@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer used by the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figure
+ * series; this class gives them a uniform, aligned text rendering with
+ * a caption, a header row, and typed cells (string / integer / fixed-
+ * point double / percentage).
+ */
+
+#ifndef FETCHSIM_STATS_TABLE_H_
+#define FETCHSIM_STATS_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fetchsim
+{
+
+/**
+ * A simple column-aligned table.  Cells are stored as formatted
+ * strings; numeric helpers control precision at insertion time.
+ */
+class TextTable
+{
+  public:
+    /** @param caption Title printed above the table. */
+    explicit TextTable(std::string caption);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(const std::vector<std::string> &names);
+
+    /** Begin a new row. */
+    void startRow();
+
+    /** Append a string cell to the current row. */
+    void addCell(const std::string &text);
+
+    /** Append an integer cell. */
+    void addCell(std::uint64_t value);
+
+    /** Append a fixed-point cell with @p precision decimals. */
+    void addCell(double value, int precision = 2);
+
+    /** Append a percentage cell rendered as "12.34%". */
+    void addPercent(double value, int precision = 2);
+
+    /** Insert a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table. */
+    std::string render() const;
+
+    /** Render to a stream (convenience for benches). */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far (separators excluded). */
+    std::size_t rowCount() const { return dataRows_; }
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::size_t dataRows_ = 0;
+
+    static const char *separatorTag();
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_STATS_TABLE_H_

@@ -1,0 +1,333 @@
+#include "workload/benchmark_suite.h"
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** Baseline integer-benchmark spec; per-benchmark fields override. */
+WorkloadSpec
+intBase(const char *name, std::uint64_t seed)
+{
+    WorkloadSpec s;
+    s.name = name;
+    s.isFp = false;
+    s.seed = seed;
+    s.numFunctions = 120;
+    s.minStmtsPerFunc = 6;
+    s.maxStmtsPerFunc = 14;
+    s.minBlockLen = 2;
+    s.maxBlockLen = 7;
+    s.fpFraction = 0.0;
+    s.loadFraction = 0.26;
+    s.storeFraction = 0.10;
+    s.hammockProb = 0.16;
+    s.ifElseProb = 0.14;
+    s.loopProb = 0.12;
+    s.callProb = 0.14;
+    s.hammockLenMin = 2;
+    s.hammockLenMax = 5;
+    s.hammockTakenProb = 0.85;
+    s.condBias = 0.82;
+    s.loopBodyStmtsMax = 3;
+    s.loopTripMin = 3;
+    s.loopTripMax = 24;
+    s.maxLoopNest = 2;
+    s.alternatingProb = 0.04;
+    return s;
+}
+
+/** Baseline floating-point spec: long blocks, deep counted loops. */
+WorkloadSpec
+fpBase(const char *name, std::uint64_t seed)
+{
+    WorkloadSpec s;
+    s.name = name;
+    s.isFp = true;
+    s.seed = seed;
+    s.numFunctions = 36;
+    s.minStmtsPerFunc = 5;
+    s.maxStmtsPerFunc = 10;
+    s.minBlockLen = 6;
+    s.maxBlockLen = 18;
+    s.fpFraction = 0.40;
+    s.loadFraction = 0.26;
+    s.storeFraction = 0.09;
+    s.hammockProb = 0.04;
+    s.ifElseProb = 0.05;
+    s.loopProb = 0.28;
+    s.callProb = 0.07;
+    s.hammockLenMin = 3;
+    s.hammockLenMax = 8;
+    s.hammockTakenProb = 0.84;
+    s.condBias = 0.84;
+    s.loopBodyStmtsMax = 4;
+    s.loopTripMin = 10;
+    s.loopTripMax = 60;
+    s.maxLoopNest = 2;
+    s.alternatingProb = 0.02;
+    return s;
+}
+
+std::vector<WorkloadSpec>
+makeIntegerSuite()
+{
+    std::vector<WorkloadSpec> suite;
+
+    // bison: parser tables -- branchy, short hammocks, modest loops.
+    {
+        WorkloadSpec s = intBase("bison", 0x6150);
+        s.hammockProb = 0.20;
+        s.hammockLenMin = 1;
+        s.hammockLenMax = 5;
+        suite.push_back(s);
+    }
+    // compress: tight dictionary loops with very short skip branches;
+    // intra-block branches appear even at 16B blocks (Table 2).
+    {
+        WorkloadSpec s = intBase("compress", 0xC03B);
+        s.numFunctions = 60;
+        s.hammockProb = 0.26;
+        s.hammockLenMin = 1;
+        s.hammockLenMax = 2;
+        s.hammockTakenProb = 0.88;
+        s.loopProb = 0.16;
+        s.loopTripMin = 8;
+        s.loopTripMax = 64;
+        suite.push_back(s);
+    }
+    // eqntott: dominated by short compare-and-skip sequences.
+    {
+        WorkloadSpec s = intBase("eqntott", 0xE611);
+        s.numFunctions = 80;
+        s.hammockProb = 0.34;
+        s.hammockLenMin = 1;
+        s.hammockLenMax = 4;
+        s.hammockTakenProb = 0.86;
+        s.loopProb = 0.14;
+        suite.push_back(s);
+    }
+    // espresso: hammocks with slightly longer clauses -- intra-block
+    // share explodes only at large block sizes.
+    {
+        WorkloadSpec s = intBase("espresso", 0xE590);
+        s.hammockProb = 0.30;
+        s.hammockLenMin = 2;
+        s.hammockLenMax = 8;
+        s.hammockTakenProb = 0.85;
+        suite.push_back(s);
+    }
+    // flex: scanner loops, longer skip distances.
+    {
+        WorkloadSpec s = intBase("flex", 0xF1E8);
+        s.hammockProb = 0.24;
+        s.hammockLenMin = 12;
+        s.hammockLenMax = 20;
+        s.loopHammockProb = 0.60;
+        s.loopHammockLenMin = 4;
+        s.loopHammockLenMax = 9;
+        s.loopProb = 0.15;
+        s.loopTripMin = 6;
+        s.loopTripMax = 48;
+        suite.push_back(s);
+    }
+    // gcc: large footprint, mixed branch distances.
+    {
+        WorkloadSpec s = intBase("gcc", 0x6CC0);
+        s.numFunctions = 220;
+        s.minStmtsPerFunc = 8;
+        s.maxStmtsPerFunc = 18;
+        s.hammockProb = 0.18;
+        s.hammockLenMin = 2;
+        s.hammockLenMax = 8;
+        s.callProb = 0.14;
+        suite.push_back(s);
+    }
+    // li: lisp interpreter -- call heavy, medium hammocks.
+    {
+        WorkloadSpec s = intBase("li", 0x1150);
+        s.numFunctions = 140;
+        s.hammockProb = 0.08;
+        s.loopHammockProb = 0.30;
+        s.hammockLenMin = 5;
+        s.hammockLenMax = 11;
+        s.callProb = 0.18;
+        s.ifElseProb = 0.18;
+        suite.push_back(s);
+    }
+    // mpeg_play: media kernel -- loopier than the others, few
+    // hammocks, so intra-block share stays low.
+    {
+        WorkloadSpec s = intBase("mpeg_play", 0x3E60);
+        s.numFunctions = 70;
+        s.minBlockLen = 3;
+        s.maxBlockLen = 10;
+        s.hammockProb = 0.10;
+        s.hammockLenMin = 18;
+        s.hammockLenMax = 30;
+        s.loopHammockProb = 0.40;
+        s.loopHammockLenMin = 18;
+        s.loopHammockLenMax = 30;
+        s.loopProb = 0.24;
+        s.loopTripMin = 8;
+        s.loopTripMax = 96;
+        suite.push_back(s);
+    }
+    // sc: spreadsheet -- mixed, medium-distance skips.
+    {
+        WorkloadSpec s = intBase("sc", 0x5C01);
+        s.hammockProb = 0.14;
+        s.hammockLenMin = 4;
+        s.hammockLenMax = 10;
+        suite.push_back(s);
+    }
+    return suite;
+}
+
+std::vector<WorkloadSpec>
+makeFpSuite()
+{
+    std::vector<WorkloadSpec> suite;
+
+    // doduc: branchy for an FP code -- Monte Carlo kernels.
+    {
+        WorkloadSpec s = fpBase("doduc", 0xD0D0);
+        s.hammockProb = 0.10;
+        s.loopHammockProb = 0.25;
+        s.ifElseProb = 0.10;
+        s.hammockLenMin = 3;
+        s.hammockLenMax = 8;
+        s.minBlockLen = 4;
+        s.maxBlockLen = 12;
+        s.loopTripMin = 6;
+        s.loopTripMax = 48;
+        suite.push_back(s);
+    }
+    // mdljdp2: short inner loops with small skip branches; almost all
+    // taken branches become intra-block at 64B blocks (Table 2).
+    {
+        WorkloadSpec s = fpBase("mdljdp2", 0x3D1D);
+        s.hammockProb = 0.30;
+        s.loopHammockProb = 0.80;
+        s.hammockLenMin = 2;
+        s.hammockLenMax = 5;
+        s.hammockTakenProb = 0.88;
+        s.minBlockLen = 4;
+        s.maxBlockLen = 10;
+        s.loopProb = 0.14;
+        s.loopTripMin = 8;
+        s.loopTripMax = 40;
+        suite.push_back(s);
+    }
+    // nasa7: pure long vector loops -- essentially no short branches.
+    {
+        WorkloadSpec s = fpBase("nasa7", 0x4A57);
+        s.numFunctions = 30;
+        s.hammockProb = 0.0;
+        s.ifElseProb = 0.02;
+        s.minBlockLen = 10;
+        s.maxBlockLen = 26;
+        s.loopProb = 0.34;
+        s.loopTripMin = 32;
+        s.loopTripMax = 128;
+        suite.push_back(s);
+    }
+    // ora: ray tracing -- long straight-line FP blocks, occasional
+    // medium skips.
+    {
+        WorkloadSpec s = fpBase("ora", 0x0A17);
+        s.hammockProb = 0.12;
+        s.loopHammockProb = 0.12;
+        s.hammockLenMin = 3;
+        s.hammockLenMax = 7;
+        s.minBlockLen = 8;
+        s.maxBlockLen = 22;
+        s.loopTripMin = 12;
+        s.loopTripMax = 48;
+        suite.push_back(s);
+    }
+    // tomcatv: mesh kernel -- long blocks; its few forward skips are
+    // long enough to be intra-block only at 64B.
+    {
+        WorkloadSpec s = fpBase("tomcatv", 0x70CA);
+        s.hammockProb = 0.10;
+        s.loopHammockProb = 0.40;
+        s.hammockLenMin = 8;
+        s.hammockLenMax = 13;
+        s.minBlockLen = 10;
+        s.maxBlockLen = 24;
+        s.loopProb = 0.30;
+        s.loopTripMin = 16;
+        s.loopTripMax = 64;
+        suite.push_back(s);
+    }
+    // wave5: particle loops with short conditional updates.
+    {
+        WorkloadSpec s = fpBase("wave5", 0x3A5E);
+        s.hammockProb = 0.18;
+        s.loopHammockProb = 0.55;
+        s.loopHammockLenMin = 2;
+        s.loopHammockLenMax = 4;
+        s.hammockLenMin = 2;
+        s.hammockLenMax = 6;
+        s.hammockTakenProb = 0.86;
+        s.minBlockLen = 5;
+        s.maxBlockLen = 14;
+        s.loopProb = 0.22;
+        s.loopTripMin = 10;
+        s.loopTripMax = 80;
+        suite.push_back(s);
+    }
+    return suite;
+}
+
+} // anonymous namespace
+
+const std::vector<WorkloadSpec> &
+integerSuite()
+{
+    static const std::vector<WorkloadSpec> suite = makeIntegerSuite();
+    return suite;
+}
+
+const std::vector<WorkloadSpec> &
+fpSuite()
+{
+    static const std::vector<WorkloadSpec> suite = makeFpSuite();
+    return suite;
+}
+
+const std::vector<WorkloadSpec> &
+fullSuite()
+{
+    static const std::vector<WorkloadSpec> suite = [] {
+        std::vector<WorkloadSpec> all = integerSuite();
+        const auto &fp = fpSuite();
+        all.insert(all.end(), fp.begin(), fp.end());
+        return all;
+    }();
+    return suite;
+}
+
+bool
+hasBenchmark(const std::string &name)
+{
+    for (const auto &spec : fullSuite())
+        if (spec.name == name)
+            return true;
+    return false;
+}
+
+const WorkloadSpec &
+benchmarkByName(const std::string &name)
+{
+    for (const auto &spec : fullSuite())
+        if (spec.name == name)
+            return spec;
+    fatal("unknown benchmark: " + name);
+}
+
+} // namespace fetchsim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The paper's 15-benchmark workload suite.
+ *
+ * Nine integer programs (the six SPECint92 benchmarks plus mpeg_play,
+ * bison and flex) and six SPECfp92 programs.  Each is a calibrated
+ * WorkloadSpec whose generated program matches the regime the paper
+ * reports for that benchmark: dynamic taken-branch density, hammock
+ * (short forward branch) frequency and skip distance (Table 2's
+ * intra-block percentages), loop behaviour and instruction mix.
+ */
+
+#ifndef FETCHSIM_WORKLOAD_BENCHMARK_SUITE_H_
+#define FETCHSIM_WORKLOAD_BENCHMARK_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/spec.h"
+
+namespace fetchsim
+{
+
+/** The nine integer benchmarks, in the paper's order. */
+const std::vector<WorkloadSpec> &integerSuite();
+
+/** The six floating-point benchmarks, in the paper's order. */
+const std::vector<WorkloadSpec> &fpSuite();
+
+/** All fifteen benchmarks (integer then floating-point). */
+const std::vector<WorkloadSpec> &fullSuite();
+
+/** Look up a benchmark by name; calls fatal() if unknown. */
+const WorkloadSpec &benchmarkByName(const std::string &name);
+
+/** True if a benchmark with this name exists. */
+bool hasBenchmark(const std::string &name);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_WORKLOAD_BENCHMARK_SUITE_H_

@@ -1,0 +1,85 @@
+#include "workload/branch_behavior.h"
+
+#include <algorithm>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+const BranchBehavior &
+BehaviorTable::get(BehaviorId id) const
+{
+    simAssert(id < entries_.size(), "behaviour id in range");
+    return entries_[id];
+}
+
+void
+BehaviorState::initialize(const BranchBehavior &behavior, BehaviorId id,
+                          std::uint64_t seed, int input)
+{
+    std::uint64_t stream = hashCombine(hashCombine(seed, id),
+                                       static_cast<std::uint64_t>(input));
+    rng_ = Rng(stream);
+
+    // Input-dependent jitter keeps training and evaluation inputs
+    // similar but not identical.
+    switch (behavior.kind) {
+      case BehaviorKind::Loop: {
+        int jitter_span = std::max(1, behavior.trip / 8);
+        int jitter = static_cast<int>(
+            rng_.range(-jitter_span, jitter_span));
+        effective_trip_ = std::max(1, behavior.trip + jitter);
+        counter_ = 0;
+        break;
+      }
+      case BehaviorKind::Bernoulli: {
+        if (behavior.takenProb <= 0.0 || behavior.takenProb >= 1.0) {
+            // Degenerate branches stay deterministic on every input.
+            effective_prob_ = behavior.takenProb;
+        } else {
+            double noise = (rng_.real() - 0.5) * 0.08;
+            effective_prob_ =
+                std::clamp(behavior.takenProb + noise, 0.01, 0.99);
+        }
+        break;
+      }
+      case BehaviorKind::Alternating: {
+        counter_ = static_cast<std::uint32_t>(
+            rng_.uniform(static_cast<std::uint64_t>(
+                std::max(1, behavior.period) * 2)));
+        break;
+      }
+    }
+    initialized_ = true;
+}
+
+bool
+BehaviorState::evaluate(const BranchBehavior &behavior, BehaviorId id,
+                        std::uint64_t seed, int input)
+{
+    if (!initialized_)
+        initialize(behavior, id, seed, input);
+
+    switch (behavior.kind) {
+      case BehaviorKind::Loop: {
+        bool taken = static_cast<int>(counter_) < effective_trip_ - 1;
+        ++counter_;
+        if (static_cast<int>(counter_) >= effective_trip_)
+            counter_ = 0;
+        return taken;
+      }
+      case BehaviorKind::Bernoulli:
+        return rng_.bernoulli(effective_prob_);
+      case BehaviorKind::Alternating: {
+        int period = std::max(1, behavior.period);
+        bool taken = static_cast<int>(counter_) < period;
+        counter_ = (counter_ + 1) % static_cast<std::uint32_t>(2 * period);
+        return taken;
+      }
+      default:
+        panic("BehaviorState::evaluate: bad behaviour kind");
+    }
+}
+
+} // namespace fetchsim

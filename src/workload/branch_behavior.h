@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Behavioural models for conditional branches.
+ *
+ * The workload generator attaches one behaviour to every conditional
+ * branch; the execution engine evaluates it to decide taken/not-taken.
+ * Behaviours are parameterized by the *input id* so that the five
+ * profiling inputs and the evaluation input exercise the same program
+ * with similar-but-not-identical branch statistics, mirroring the
+ * paper's profile/test input methodology.
+ */
+
+#ifndef FETCHSIM_WORKLOAD_BRANCH_BEHAVIOR_H_
+#define FETCHSIM_WORKLOAD_BRANCH_BEHAVIOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "program/basic_block.h"
+#include "workload/rng.h"
+
+namespace fetchsim
+{
+
+/** Number of profiling (training) inputs. */
+constexpr int kNumTrainInputs = 5;
+/** Input id used for the measured simulation runs. */
+constexpr int kEvalInput = kNumTrainInputs;
+
+/** Kinds of branch behaviour. */
+enum class BehaviorKind : std::uint8_t
+{
+    Loop,       //!< taken trip-1 times, then not-taken once (repeats)
+    Bernoulli,  //!< independently taken with probability takenProb
+    Alternating //!< taken for `period` evals, then not, repeating
+};
+
+/** Static description of one branch's behaviour. */
+struct BranchBehavior
+{
+    BehaviorKind kind = BehaviorKind::Bernoulli;
+    int trip = 0;           //!< Loop trip count
+    double takenProb = 0.5; //!< Bernoulli probability
+    int period = 1;         //!< Alternating half-period
+};
+
+/**
+ * Table of behaviours, indexed by BehaviorId.  Owned by the Workload
+ * alongside the Program.
+ */
+class BehaviorTable
+{
+  public:
+    /** Append a behaviour; returns its id. */
+    BehaviorId
+    add(const BranchBehavior &behavior)
+    {
+        entries_.push_back(behavior);
+        return static_cast<BehaviorId>(entries_.size() - 1);
+    }
+
+    /** Look up a behaviour. */
+    const BranchBehavior &get(BehaviorId id) const;
+
+    /** Number of behaviours. */
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<BranchBehavior> entries_;
+};
+
+/**
+ * Per-branch dynamic evaluation state.  One instance per behaviour id
+ * lives inside each Executor; it is (re)derived from the global seed,
+ * the behaviour id, and the input id, so two executors configured
+ * identically replay identical outcome sequences.
+ */
+class BehaviorState
+{
+  public:
+    BehaviorState() = default;
+
+    /**
+     * Evaluate the next dynamic outcome of this branch.
+     *
+     * @param behavior the static behaviour description
+     * @param id       the behaviour id (stream derivation)
+     * @param seed     the workload's global seed
+     * @param input    input id (0..kNumTrainInputs)
+     * @return true if the branch is taken (before sense inversion)
+     */
+    bool evaluate(const BranchBehavior &behavior, BehaviorId id,
+                  std::uint64_t seed, int input);
+
+  private:
+    void initialize(const BranchBehavior &behavior, BehaviorId id,
+                    std::uint64_t seed, int input);
+
+    bool initialized_ = false;
+    std::uint32_t counter_ = 0;    //!< loop / alternating position
+    int effective_trip_ = 0;       //!< input-jittered trip count
+    double effective_prob_ = 0.5;  //!< input-jittered probability
+    Rng rng_{0};
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_WORKLOAD_BRANCH_BEHAVIOR_H_

@@ -1,0 +1,431 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <array>
+
+#include "program/layout.h"
+#include "stats/log.h"
+#include "workload/rng.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/**
+ * Stateful builder that emits one function at a time.  Blocks are
+ * created in source order, which defines the unoptimized layout.
+ */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder(const WorkloadSpec &spec, Workload &out)
+        : spec_(spec), out_(out), rng_(hashCombine(spec.seed, 0xb111d))
+    {
+        for (std::size_t i = 0; i < recent_int_.size(); ++i) {
+            recent_int_[i] = static_cast<std::uint8_t>(1 + i % 30);
+            recent_fp_[i] = static_cast<std::uint8_t>(
+                kFpRegBase + i % kNumFpRegs);
+        }
+    }
+
+    void
+    build()
+    {
+        Program &prog = out_.program;
+        for (int i = 0; i < spec_.numFunctions; ++i)
+            prog.addFunction("fn" + std::to_string(i));
+        prog.setMainFunction(0);
+        for (int i = 0; i < spec_.numFunctions; ++i)
+            buildFunction(static_cast<FuncId>(i));
+        assignAddresses(prog);
+        prog.validate();
+        checkEncodable(prog);
+    }
+
+  private:
+    // ----- register-dependency bookkeeping ---------------------------
+
+    std::uint8_t
+    pickIntSrc()
+    {
+        // Read recently-produced values often enough to create
+        // dependency chains, but over a window wide enough that
+        // several chains stay independent (realistic ILP).
+        if (rng_.bernoulli(0.55))
+            return recent_int_[rng_.uniform(recent_int_.size())];
+        return static_cast<std::uint8_t>(rng_.range(1, 30));
+    }
+
+    std::uint8_t
+    pickFpSrc()
+    {
+        if (rng_.bernoulli(0.55))
+            return recent_fp_[rng_.uniform(recent_fp_.size())];
+        return static_cast<std::uint8_t>(
+            kFpRegBase + rng_.range(0, kNumFpRegs - 1));
+    }
+
+    std::uint8_t
+    newIntDest()
+    {
+        auto reg = static_cast<std::uint8_t>(rng_.range(1, 30));
+        recent_int_[recent_pos_int_++ % recent_int_.size()] = reg;
+        return reg;
+    }
+
+    std::uint8_t
+    newFpDest()
+    {
+        auto reg = static_cast<std::uint8_t>(
+            kFpRegBase + rng_.range(0, kNumFpRegs - 1));
+        recent_fp_[recent_pos_fp_++ % recent_fp_.size()] = reg;
+        return reg;
+    }
+
+    // ----- block plumbing --------------------------------------------
+
+    BasicBlock &cur() { return out_.program.block(cur_); }
+
+    BlockId
+    newBlock()
+    {
+        return out_.program.addBlock(cur_func_);
+    }
+
+    /** Append @p count random non-control instructions to cur(). */
+    void
+    emitPlain(int count)
+    {
+        for (int i = 0; i < count; ++i) {
+            double r = rng_.real();
+            StaticInst inst;
+            if (r < spec_.fpFraction) {
+                inst = makeFpAlu(newFpDest(), pickFpSrc(), pickFpSrc());
+            } else if (r < spec_.fpFraction + spec_.loadFraction) {
+                bool fp_load = spec_.isFp && rng_.bernoulli(0.5);
+                std::uint8_t dest =
+                    fp_load ? newFpDest() : newIntDest();
+                inst = makeLoad(dest, pickIntSrc(),
+                                static_cast<std::int32_t>(
+                                    rng_.range(-64, 64)) * 4);
+            } else if (r < spec_.fpFraction + spec_.loadFraction +
+                               spec_.storeFraction) {
+                std::uint8_t value =
+                    spec_.isFp && rng_.bernoulli(0.5) ? pickFpSrc()
+                                                      : pickIntSrc();
+                inst = makeStore(value, pickIntSrc(),
+                                 static_cast<std::int32_t>(
+                                     rng_.range(-64, 64)) * 4);
+            } else {
+                inst = makeIntAlu(newIntDest(), pickIntSrc(),
+                                  pickIntSrc(),
+                                  static_cast<std::int32_t>(
+                                      rng_.range(-16, 16)));
+            }
+            cur().body.push_back(inst);
+        }
+    }
+
+    int
+    plainLen()
+    {
+        return static_cast<int>(
+            rng_.range(spec_.minBlockLen, spec_.maxBlockLen));
+    }
+
+    /** Close cur() with a conditional branch; returns the block. */
+    BlockId
+    closeWithCondBranch(BehaviorId behavior)
+    {
+        BasicBlock &bb = cur();
+        bb.body.push_back(makeCondBranch(pickIntSrc(), pickIntSrc()));
+        bb.term = TermKind::CondBranch;
+        bb.behavior = behavior;
+        return bb.id;
+    }
+
+    // ----- statements --------------------------------------------------
+
+    void
+    genStatement(int loop_depth)
+    {
+        double r = rng_.real();
+        double acc = spec_.hammockProb;
+        if (r < acc) {
+            genHammock();
+            return;
+        }
+        acc += spec_.ifElseProb;
+        if (r < acc) {
+            genIfElse();
+            return;
+        }
+        acc += spec_.loopProb;
+        if (r < acc && loop_depth < spec_.maxLoopNest) {
+            genLoop(loop_depth);
+            return;
+        }
+        acc += spec_.callProb;
+        if (r < acc && genCall())
+            return;
+        emitPlain(plainLen());
+    }
+
+    /**
+     * Hammock: `if (p) skip clause;` — a mostly-taken short forward
+     * branch whose target lands a few instructions ahead.  This is
+     * the intra-block-branch generator that drives Table 2.
+     */
+    void
+    genHammock()
+    {
+        genHammockOfLength(static_cast<int>(
+            rng_.range(spec_.hammockLenMin, spec_.hammockLenMax)));
+    }
+
+    void
+    genHammockOfLength(int clause_len)
+    {
+        BranchBehavior b;
+        b.kind = BehaviorKind::Bernoulli;
+        b.takenProb = spec_.hammockTakenProb;
+        BlockId head = closeWithCondBranch(out_.behaviors.add(b));
+
+        BlockId clause = newBlock();
+        cur_ = clause;
+        emitPlain(clause_len);
+
+        BlockId join = newBlock();
+        Program &prog = out_.program;
+        prog.block(head).takenTarget = join;
+        prog.block(head).fallThrough = clause;
+        prog.block(clause).term = TermKind::FallThrough;
+        prog.block(clause).fallThrough = join;
+        cur_ = join;
+    }
+
+    /** If/else diamond with a jump from the then-part to the join. */
+    void
+    genIfElse()
+    {
+        BranchBehavior b;
+        if (rng_.bernoulli(spec_.alternatingProb)) {
+            b.kind = BehaviorKind::Alternating;
+            b.period = static_cast<int>(rng_.range(1, 4));
+        } else {
+            b.kind = BehaviorKind::Bernoulli;
+            b.takenProb = rng_.bernoulli(0.5)
+                              ? spec_.condBias
+                              : 1.0 - spec_.condBias;
+        }
+        BlockId head = closeWithCondBranch(out_.behaviors.add(b));
+
+        Program &prog = out_.program;
+        BlockId then_part = newBlock();
+        cur_ = then_part;
+        emitPlain(plainLen());
+        cur().body.push_back(makeJump());
+        cur().term = TermKind::Jump;
+
+        BlockId else_part = newBlock();
+        cur_ = else_part;
+        emitPlain(plainLen());
+
+        BlockId join = newBlock();
+        prog.block(head).takenTarget = else_part;
+        prog.block(head).fallThrough = then_part;
+        prog.block(then_part).takenTarget = join;
+        prog.block(else_part).term = TermKind::FallThrough;
+        prog.block(else_part).fallThrough = join;
+        cur_ = join;
+    }
+
+    /** Counted loop with a backward mostly-taken branch. */
+    void
+    genLoop(int loop_depth)
+    {
+        Program &prog = out_.program;
+        BlockId header = newBlock();
+        prog.block(cur_).term = TermKind::FallThrough;
+        prog.block(cur_).fallThrough = header;
+        cur_ = header;
+
+        emitPlain(plainLen());
+        int body_stmts = static_cast<int>(
+            rng_.range(1, std::max(1, spec_.loopBodyStmtsMax)));
+        for (int i = 0; i < body_stmts; ++i)
+            genStatement(loop_depth + 1);
+
+        // Optional latch-adjacent hammock, decided on a dedicated
+        // per-loop stream so every loop carries the same expected
+        // short-forward-branch density regardless of how the rest of
+        // the program shook out (keeps the Table 2 calibration stable
+        // under parameter changes).
+        if (spec_.loopHammockProb >= 0.0) {
+            Rng loop_rng(hashCombine(spec_.seed,
+                                     0x100F00ull +
+                                         static_cast<std::uint64_t>(
+                                             loop_counter_)));
+            if (loop_rng.bernoulli(spec_.loopHammockProb)) {
+                const int lo = spec_.loopHammockLenMin > 0
+                                   ? spec_.loopHammockLenMin
+                                   : spec_.hammockLenMin;
+                const int hi = spec_.loopHammockLenMax > 0
+                                   ? spec_.loopHammockLenMax
+                                   : spec_.hammockLenMax;
+                genHammockOfLength(
+                    static_cast<int>(loop_rng.range(lo, hi)));
+            }
+        }
+        ++loop_counter_;
+
+        BranchBehavior b;
+        b.kind = BehaviorKind::Loop;
+        if (loop_depth > 0) {
+            // Inner loops get short trips so no single nest's
+            // iteration product dwarfs every other region of the
+            // program (real codes spread their time over many loops).
+            b.trip = static_cast<int>(rng_.range(
+                std::min(spec_.loopTripMin, 3),
+                std::min(spec_.loopTripMax, 8)));
+        } else {
+            b.trip = static_cast<int>(
+                rng_.range(spec_.loopTripMin, spec_.loopTripMax));
+        }
+        BlockId latch = closeWithCondBranch(out_.behaviors.add(b));
+
+        BlockId exit = newBlock();
+        prog.block(latch).takenTarget = header;
+        prog.block(latch).fallThrough = exit;
+        cur_ = exit;
+    }
+
+    /** Call a later-indexed function (call graph stays acyclic). */
+    bool
+    genCall()
+    {
+        int callees = spec_.numFunctions - 1 -
+                      static_cast<int>(cur_func_);
+        if (callees <= 0)
+            return false;
+        auto callee = static_cast<FuncId>(
+            cur_func_ + 1 +
+            rng_.uniform(static_cast<std::uint64_t>(callees)));
+
+        Program &prog = out_.program;
+        cur().body.push_back(makeCall());
+        cur().term = TermKind::CallFall;
+        cur().callee = callee;
+        BlockId cont = newBlock();
+        prog.block(cur_).fallThrough = cont;
+        cur_ = cont;
+        ++calls_emitted_;
+        return true;
+    }
+
+    /**
+     * Main is a deterministic driver: it calls a spread of "phase"
+     * functions across the whole program.  This mirrors how real
+     * benchmarks run through distinct phases, and it keeps the
+     * dynamic profile spread over many independent regions instead of
+     * being dominated by whichever random loop happened to be
+     * hottest (which would make the calibration seed-brittle).
+     */
+    void
+    buildMainDriver()
+    {
+        cur_func_ = 0;
+        Program &prog = out_.program;
+        BlockId entry = newBlock();
+        prog.function(0).entry = entry;
+        cur_ = entry;
+
+        emitPlain(plainLen());
+        const int callable = spec_.numFunctions - 1;
+        const int phases = std::min(20, callable);
+        for (int i = 0; i < phases; ++i) {
+            auto callee = static_cast<FuncId>(
+                1 + (static_cast<long>(i) * callable) / phases);
+            BasicBlock &bb = cur();
+            bb.body.push_back(makeCall());
+            bb.term = TermKind::CallFall;
+            bb.callee = callee;
+            BlockId cont = newBlock();
+            prog.block(cur_).fallThrough = cont;
+            cur_ = cont;
+            emitPlain(static_cast<int>(rng_.range(1, 3)));
+        }
+        cur().body.push_back(makeReturn());
+        cur().term = TermKind::Return;
+    }
+
+    void
+    buildFunction(FuncId func)
+    {
+        if (func == 0) {
+            buildMainDriver();
+            return;
+        }
+        cur_func_ = func;
+        calls_emitted_ = 0;
+        Program &prog = out_.program;
+        BlockId entry = newBlock();
+        prog.function(func).entry = entry;
+        cur_ = entry;
+
+        emitPlain(plainLen());
+        int stmts = static_cast<int>(
+            rng_.range(spec_.minStmtsPerFunc, spec_.maxStmtsPerFunc));
+        for (int i = 0; i < stmts; ++i)
+            genStatement(0);
+
+        // Keep the call graph connected: most functions should reach
+        // deeper ones so the dynamic footprint spans the image.
+        if (calls_emitted_ == 0 &&
+            func + 1 < static_cast<FuncId>(spec_.numFunctions) &&
+            rng_.bernoulli(0.85)) {
+            genCall();
+            emitPlain(plainLen());
+        }
+
+        cur().body.push_back(makeReturn());
+        cur().term = TermKind::Return;
+    }
+
+    const WorkloadSpec &spec_;
+    Workload &out_;
+    Rng rng_;
+    FuncId cur_func_ = kNoFunc;
+    BlockId cur_ = kNoBlock;
+    int calls_emitted_ = 0;
+    int loop_counter_ = 0;
+    std::array<std::uint8_t, 12> recent_int_{};
+    std::array<std::uint8_t, 12> recent_fp_{};
+    std::size_t recent_pos_int_ = 0;
+    std::size_t recent_pos_fp_ = 0;
+};
+
+} // anonymous namespace
+
+Workload
+generateWorkload(const WorkloadSpec &spec)
+{
+    if (spec.numFunctions < 1)
+        fatal("generateWorkload: need at least one function");
+    if (spec.minBlockLen < 1 || spec.maxBlockLen < spec.minBlockLen)
+        fatal("generateWorkload: bad block-length range");
+    if (spec.hammockLenMin < 1 ||
+        spec.hammockLenMax < spec.hammockLenMin)
+        fatal("generateWorkload: bad hammock-length range");
+    if (spec.loopTripMin < 2 || spec.loopTripMax < spec.loopTripMin)
+        fatal("generateWorkload: bad loop-trip range");
+
+    Workload workload(spec);
+    ProgramBuilder builder(spec, workload);
+    builder.build();
+    return workload;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Synthetic-program generator.
+ *
+ * Turns a WorkloadSpec into a Workload: a structured, reducible CFG of
+ * functions built from plain blocks, hammocks (short forward skip
+ * branches), if/else diamonds, counted loops and calls, with a branch
+ * behaviour attached to every conditional branch.  The generated
+ * program is laid out in source order and fully addressed; compiler
+ * passes may later re-lay it out.
+ */
+
+#ifndef FETCHSIM_WORKLOAD_GENERATOR_H_
+#define FETCHSIM_WORKLOAD_GENERATOR_H_
+
+#include "program/program.h"
+#include "workload/branch_behavior.h"
+#include "workload/spec.h"
+
+namespace fetchsim
+{
+
+/**
+ * A generated benchmark: the program, its branch behaviours, and the
+ * spec it came from.
+ */
+struct Workload
+{
+    WorkloadSpec spec;
+    Program program;
+    BehaviorTable behaviors;
+
+    explicit Workload(const WorkloadSpec &s)
+        : spec(s), program(s.name)
+    {
+    }
+};
+
+/**
+ * Generate the benchmark described by @p spec.  Deterministic in
+ * spec.seed.  The returned program is validated and encodable.
+ */
+Workload generateWorkload(const WorkloadSpec &spec);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything random in the repository flows from named 64-bit seeds
+ * through these generators, so every experiment is bit-reproducible.
+ * SplitMix64 is used for seeding/hashing; xoshiro256** is the stream
+ * generator (fast, good equidistribution, tiny state).
+ */
+
+#ifndef FETCHSIM_WORKLOAD_RNG_H_
+#define FETCHSIM_WORKLOAD_RNG_H_
+
+#include <cstdint>
+
+namespace fetchsim
+{
+
+/** One SplitMix64 step: hash/seed-expansion primitive. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit values into a new seed (order-sensitive). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return splitMix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) +
+                           (a >> 2)));
+}
+
+/**
+ * xoshiro256** pseudo-random generator.
+ */
+class Rng
+{
+  public:
+    /** Seed via four SplitMix64 expansions of @p seed. */
+    explicit Rng(std::uint64_t seed = 0)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x = splitMix64(x);
+            word = x;
+        }
+        // xoshiro must not start from the all-zero state.
+        if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+            state_[0] = 0x9e3779b97f4a7c15ULL;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, n). @p n must be nonzero. */
+    std::uint64_t
+    uniform(std::uint64_t n)
+    {
+        // Rejection-free multiply-shift; bias is negligible for the
+        // small ranges used here but we debias anyway.
+        std::uint64_t threshold = (-n) % n;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % n;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool bernoulli(double p) { return real() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_WORKLOAD_RNG_H_

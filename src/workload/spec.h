@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Parameter set describing one synthetic benchmark.
+ *
+ * Each of the paper's 15 workloads (9 integer, 6 floating-point) is
+ * described by one WorkloadSpec.  The generator turns a spec into a
+ * whole program (CFG + instructions + branch behaviours); the spec
+ * parameters control exactly the properties the paper's results hinge
+ * on: basic-block lengths, taken-branch density, short-forward-branch
+ * (hammock) frequency and skip distance, loop structure, and
+ * instruction mix.
+ */
+
+#ifndef FETCHSIM_WORKLOAD_SPEC_H_
+#define FETCHSIM_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fetchsim
+{
+
+/** Generator parameters for one synthetic benchmark. */
+struct WorkloadSpec
+{
+    std::string name;        //!< benchmark name (paper's spelling)
+    bool isFp = false;       //!< member of the floating-point suite
+    std::uint64_t seed = 1;  //!< root of all randomness for this spec
+
+    // --- program shape -------------------------------------------------
+    int numFunctions = 12;       //!< functions incl. main
+    int minStmtsPerFunc = 6;     //!< top-level statements per function
+    int maxStmtsPerFunc = 14;
+    int minBlockLen = 2;         //!< plain-block instruction count
+    int maxBlockLen = 8;
+
+    // --- instruction mix (non-control instructions) --------------------
+    double fpFraction = 0.0;     //!< FPALU share
+    double loadFraction = 0.25;  //!< load share
+    double storeFraction = 0.10; //!< store share
+
+    // --- statement mix (remainder is a plain straight-line block) ------
+    double hammockProb = 0.15;   //!< short forward skip-branch
+    double ifElseProb = 0.12;    //!< diamond with a join jump
+    double loopProb = 0.12;      //!< counted loop
+    double callProb = 0.10;      //!< call to a later function
+
+    // --- hammock geometry (drives Table 2) ------------------------------
+    int hammockLenMin = 1;       //!< skipped-clause length (instrs)
+    int hammockLenMax = 4;
+    double hammockTakenProb = 0.70; //!< P(skip) == P(short fwd taken)
+    double loopHammockProb = -1.0;  //!< probability that a loop body
+                                    //!< carries a latch-adjacent
+                                    //!< hammock (the hot path);
+                                    //!< negative = none
+    int loopHammockLenMin = -1;     //!< latch-hammock clause length
+    int loopHammockLenMax = -1;     //!< (negative = hammockLen*)
+
+    // --- if/else and loops ----------------------------------------------
+    double condBias = 0.65;      //!< if/else taken bias
+    int loopBodyStmtsMax = 3;    //!< statements inside a loop body
+    int loopTripMin = 4;         //!< loop trip-count range
+    int loopTripMax = 40;
+    int maxLoopNest = 2;         //!< loop nesting depth limit
+    double alternatingProb = 0.10; //!< share of if/else branches that
+                                   //!< alternate instead of Bernoulli
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_WORKLOAD_SPEC_H_

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for branch-behaviour models and their evaluation state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/branch_behavior.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+constexpr std::uint64_t kSeed = 0xABCD;
+
+std::vector<bool>
+evaluateN(const BranchBehavior &beh, BehaviorId id, int input, int n)
+{
+    BehaviorState state;
+    std::vector<bool> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(state.evaluate(beh, id, kSeed, input));
+    return out;
+}
+
+TEST(BehaviorTable, AddAndGet)
+{
+    BehaviorTable table;
+    BranchBehavior b;
+    b.kind = BehaviorKind::Loop;
+    b.trip = 7;
+    BehaviorId id = table.add(b);
+    EXPECT_EQ(id, 0u);
+    EXPECT_EQ(table.get(id).trip, 7);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(Behavior, LoopPatternTakenThenNotTaken)
+{
+    BranchBehavior beh;
+    beh.kind = BehaviorKind::Loop;
+    beh.trip = 10;
+    auto outcomes = evaluateN(beh, 0, 0, 60);
+
+    // Determine the (jittered) effective trip from the first
+    // not-taken position, then check strict periodicity.
+    int trip = 0;
+    while (outcomes[static_cast<std::size_t>(trip)])
+        ++trip;
+    ++trip; // count the not-taken slot
+    ASSERT_GE(trip, 2);
+    for (std::size_t i = 0; i + 1 < outcomes.size(); ++i) {
+        bool expect_taken =
+            (i % static_cast<std::size_t>(trip)) !=
+            static_cast<std::size_t>(trip - 1);
+        ASSERT_EQ(outcomes[i], expect_taken) << "position " << i;
+    }
+}
+
+TEST(Behavior, LoopJitterStaysNearNominal)
+{
+    BranchBehavior beh;
+    beh.kind = BehaviorKind::Loop;
+    beh.trip = 32;
+    for (int input = 0; input <= kEvalInput; ++input) {
+        auto outcomes = evaluateN(beh, 3, input, 100);
+        int trip = 0;
+        while (outcomes[static_cast<std::size_t>(trip)])
+            ++trip;
+        ++trip;
+        EXPECT_GE(trip, 32 - 4);
+        EXPECT_LE(trip, 32 + 4);
+    }
+}
+
+TEST(Behavior, BernoulliFrequencyNearP)
+{
+    BranchBehavior beh;
+    beh.kind = BehaviorKind::Bernoulli;
+    beh.takenProb = 0.8;
+    auto outcomes = evaluateN(beh, 1, kEvalInput, 20000);
+    int taken = 0;
+    for (bool t : outcomes)
+        taken += t ? 1 : 0;
+    // Input jitter moves p by at most +-0.04.
+    EXPECT_NEAR(static_cast<double>(taken) / 20000.0, 0.8, 0.06);
+}
+
+TEST(Behavior, AlternatingHasExactPeriod)
+{
+    BranchBehavior beh;
+    beh.kind = BehaviorKind::Alternating;
+    beh.period = 3;
+    auto outcomes = evaluateN(beh, 2, 0, 60);
+    // Pattern repeats with period 6 (3 taken, 3 not) from any phase.
+    for (std::size_t i = 0; i + 6 < outcomes.size(); ++i)
+        ASSERT_EQ(outcomes[i], outcomes[i + 6]);
+    int taken = 0;
+    for (std::size_t i = 0; i < 6; ++i)
+        taken += outcomes[i] ? 1 : 0;
+    EXPECT_EQ(taken, 3);
+}
+
+TEST(Behavior, SameInputReplaysIdentically)
+{
+    BranchBehavior beh;
+    beh.kind = BehaviorKind::Bernoulli;
+    beh.takenProb = 0.5;
+    EXPECT_EQ(evaluateN(beh, 4, 2, 500), evaluateN(beh, 4, 2, 500));
+}
+
+TEST(Behavior, DifferentInputsDiffer)
+{
+    BranchBehavior beh;
+    beh.kind = BehaviorKind::Bernoulli;
+    beh.takenProb = 0.5;
+    EXPECT_NE(evaluateN(beh, 5, 0, 500), evaluateN(beh, 5, 1, 500));
+}
+
+TEST(Behavior, DifferentBranchIdsGetDifferentStreams)
+{
+    BranchBehavior beh;
+    beh.kind = BehaviorKind::Bernoulli;
+    beh.takenProb = 0.5;
+    EXPECT_NE(evaluateN(beh, 6, 0, 500), evaluateN(beh, 7, 0, 500));
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the 2-bit counter and the interleaved BTB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/btb.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(TwoBitCounter, SaturatesBothEnds)
+{
+    TwoBitCounter c(0);
+    EXPECT_FALSE(c.predictTaken());
+    c.update(false);
+    EXPECT_EQ(c.state(), 0); // saturated low
+    c.update(true);
+    c.update(true);
+    EXPECT_TRUE(c.predictTaken());
+    c.update(true);
+    c.update(true);
+    EXPECT_EQ(c.state(), 3); // saturated high
+}
+
+TEST(TwoBitCounter, HysteresisSurvivesOneAnomaly)
+{
+    TwoBitCounter c(3);
+    c.update(false); // 2: still predicts taken
+    EXPECT_TRUE(c.predictTaken());
+    c.update(false); // 1: now not-taken
+    EXPECT_FALSE(c.predictTaken());
+}
+
+TEST(TwoBitCounter, InitialClamped)
+{
+    TwoBitCounter c(9);
+    EXPECT_EQ(c.state(), 3);
+}
+
+TEST(Btb, MissOnColdLookup)
+{
+    Btb btb(1024, 4);
+    EXPECT_FALSE(btb.lookup(0x1000).hit);
+    EXPECT_EQ(btb.lookups(), 1u);
+    EXPECT_EQ(btb.hits(), 0u);
+}
+
+TEST(Btb, AllocatesOnTakenOnly)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1000, false, 0); // not taken: no allocation
+    EXPECT_FALSE(btb.lookup(0x1000).hit);
+    btb.update(0x1000, true, 0x2000);
+    BtbPrediction pred = btb.lookup(0x1000);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_TRUE(pred.predictTaken); // allocated weakly taken
+    EXPECT_EQ(pred.target, 0x2000u);
+}
+
+TEST(Btb, CounterTrainsTowardNotTaken)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1000, true, 0x2000);
+    btb.update(0x1000, false, 0);
+    // weakly-taken (2) -> 1: predict not taken, entry remains.
+    BtbPrediction pred = btb.lookup(0x1000);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_FALSE(pred.predictTaken);
+}
+
+TEST(Btb, TargetRefreshedOnTakenUpdate)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1000, true, 0x2000);
+    btb.update(0x1000, true, 0x3000); // e.g. a return's new target
+    EXPECT_EQ(btb.lookup(0x1000).target, 0x3000u);
+}
+
+TEST(Btb, DirectMappedReplacement)
+{
+    Btb btb(16, 4);
+    const std::uint64_t a = 0x1000;
+    const std::uint64_t b = a + 16 * 4; // same index, different tag
+    btb.update(a, true, 0xA);
+    btb.update(b, true, 0xB);
+    EXPECT_FALSE(btb.lookup(a).hit); // evicted
+    EXPECT_TRUE(btb.lookup(b).hit);
+}
+
+TEST(Btb, DistinctIndicesCoexist)
+{
+    Btb btb(1024, 4);
+    for (std::uint64_t i = 0; i < 512; ++i)
+        btb.update(0x4000 + i * 4, true, i);
+    for (std::uint64_t i = 0; i < 512; ++i) {
+        BtbPrediction pred = btb.lookup(0x4000 + i * 4);
+        ASSERT_TRUE(pred.hit);
+        ASSERT_EQ(pred.target, i);
+    }
+}
+
+TEST(Btb, InterleaveBankMapping)
+{
+    Btb btb(1024, 4);
+    // Consecutive instructions map to consecutive banks, wrapping at
+    // the interleave factor (= instructions per cache block).
+    EXPECT_EQ(btb.bankOf(0x1000), 0);
+    EXPECT_EQ(btb.bankOf(0x1004), 1);
+    EXPECT_EQ(btb.bankOf(0x1008), 2);
+    EXPECT_EQ(btb.bankOf(0x100c), 3);
+    EXPECT_EQ(btb.bankOf(0x1010), 0);
+}
+
+TEST(Btb, ProbeDoesNotCountStats)
+{
+    Btb btb(1024, 4);
+    btb.probe(0x1000);
+    EXPECT_EQ(btb.lookups(), 0u);
+}
+
+TEST(Btb, FlushClearsEntries)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1000, true, 0x2000);
+    btb.flush();
+    EXPECT_FALSE(btb.lookup(0x1000).hit);
+}
+
+TEST(BtbDeath, RejectsNonPowerOfTwoEntries)
+{
+    EXPECT_EXIT(Btb(1000, 4), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // anonymous namespace
+} // namespace fetchsim

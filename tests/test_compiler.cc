@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Tests for the compiler-side passes: edge profiling, trace
+ * selection, code reordering (trace layout), and nop padding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/code_layout.h"
+#include "compiler/nop_padding.h"
+#include "compiler/profile.h"
+#include "compiler/trace_selection.h"
+#include "exec/branch_census.h"
+#include "exec/executor.h"
+#include "test_util.h"
+#include "workload/benchmark_suite.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+ProfileOptions
+smallProfile(std::uint64_t insts = 5000)
+{
+    ProfileOptions options;
+    options.instsPerInput = insts;
+    return options;
+}
+
+/** Execute and record the visited-block sequence. */
+std::vector<BlockId>
+blockSequence(const Workload &wl, int input, int n)
+{
+    Executor exec(wl, input);
+    DynInst di;
+    std::vector<BlockId> seq;
+    BlockId last = kNoBlock;
+    for (int i = 0; i < n; ++i) {
+        exec.next(di);
+        if (di.block != last) {
+            seq.push_back(di.block);
+            last = di.block;
+        }
+    }
+    return seq;
+}
+
+TEST(Profile, CountsMatchHammockBias)
+{
+    Workload wl = test::hammockWorkload(2, 2, 0.9);
+    EdgeProfile profile = collectProfile(wl, smallProfile());
+    // Head is block 0, clause block 1, join block 2.
+    EXPECT_GT(profile.blockCount[0], 0u);
+    EXPECT_GT(profile.takenCount[0], profile.notTakenCount[0]);
+    // Clause executes once per not-taken outcome.
+    EXPECT_EQ(profile.blockCount[1], profile.notTakenCount[0]);
+}
+
+TEST(Profile, EdgeWeightsPartitionBlockCount)
+{
+    Workload wl = test::hammockWorkload(2, 2, 0.7);
+    EdgeProfile profile = collectProfile(wl, smallProfile());
+    const BasicBlock &head = wl.program.block(0);
+    // Each profiling input may end mid-block, so block entries can
+    // lead resolved branch outcomes by at most one per input.
+    const std::uint64_t resolved =
+        profile.edgeWeight(head, head.takenTarget) +
+        profile.edgeWeight(head, head.fallThrough);
+    EXPECT_LE(profile.blockCount[0] - resolved,
+              static_cast<std::uint64_t>(kNumTrainInputs));
+    EXPECT_NEAR(profile.edgeProb(head, head.takenTarget), 0.7, 0.1);
+}
+
+TEST(Profile, NonSuccessorHasZeroWeight)
+{
+    Workload wl = test::hammockWorkload(2, 2, 0.7);
+    EdgeProfile profile = collectProfile(wl, smallProfile());
+    const BasicBlock &clause = wl.program.block(1);
+    EXPECT_EQ(profile.edgeWeight(clause, 0), 0u);
+}
+
+TEST(Profile, UsesOnlyTrainingInputs)
+{
+    // Profiles from 1 vs 5 inputs differ (different behaviour
+    // streams), demonstrating per-input evaluation.
+    Workload wl = test::hammockWorkload(2, 2, 0.5);
+    ProfileOptions one = smallProfile();
+    one.numInputs = 1;
+    EdgeProfile p1 = collectProfile(wl, one);
+    EdgeProfile p5 = collectProfile(wl, smallProfile());
+    EXPECT_LT(p1.takenCount[0], p5.takenCount[0]);
+}
+
+TEST(TraceSelection, CoversEveryBlockExactlyOnce)
+{
+    Workload wl = generateWorkload(benchmarkByName("compress"));
+    EdgeProfile profile = collectProfile(wl, smallProfile(20000));
+    auto traces = selectTraces(wl.program, profile);
+    std::set<BlockId> seen;
+    std::size_t total = 0;
+    for (const Trace &trace : traces) {
+        EXPECT_FALSE(trace.blocks.empty());
+        for (BlockId b : trace.blocks) {
+            EXPECT_TRUE(seen.insert(b).second) << "duplicate " << b;
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, wl.program.numBlocks());
+}
+
+TEST(TraceSelection, TracesStayWithinOneFunction)
+{
+    Workload wl = generateWorkload(benchmarkByName("li"));
+    EdgeProfile profile = collectProfile(wl, smallProfile(20000));
+    auto traces = selectTraces(wl.program, profile);
+    for (const Trace &trace : traces)
+        for (BlockId b : trace.blocks)
+            EXPECT_EQ(wl.program.block(b).func, trace.func);
+}
+
+TEST(TraceSelection, HotHammockPathGroupsHeadAndJoin)
+{
+    Workload wl = test::hammockWorkload(2, 2, 0.95);
+    EdgeProfile profile = collectProfile(wl, smallProfile());
+    auto traces = selectTraces(wl.program, profile);
+    // The hot trace must contain head (0) directly followed by
+    // join (2); the cold clause (1) lives elsewhere.
+    bool found = false;
+    for (const Trace &trace : traces) {
+        for (std::size_t i = 0; i + 1 < trace.blocks.size(); ++i) {
+            if (trace.blocks[i] == 0 && trace.blocks[i + 1] == 2)
+                found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(TraceSelection, ThresholdSplitsBalancedBranches)
+{
+    Workload wl = test::hammockWorkload(2, 2, 0.5);
+    EdgeProfile profile = collectProfile(wl, smallProfile());
+    TraceOptions options;
+    options.threshold = 0.9; // neither edge reaches 90%
+    auto traces = selectTraces(wl.program, profile, options);
+    // Head cannot extend: it seeds a singleton or head-only trace.
+    for (const Trace &trace : traces) {
+        if (trace.blocks.front() == 0)
+            EXPECT_EQ(trace.blocks.size(), 1u);
+    }
+}
+
+TEST(Reorder, SemanticsPreservedExactly)
+{
+    // The visited-block sequence (per input) must be identical
+    // before and after reordering: layout changes timing, never
+    // semantics.  Two visibility caveats: inserted/removed jumps can
+    // make a formerly-empty block appear in the stream (or a
+    // jump-only block vanish), and a fixed instruction budget
+    // reaches slightly different depths.  So compare the common
+    // prefix, filtered to blocks that carry real work in both
+    // versions.
+    Workload original = generateWorkload(benchmarkByName("eqntott"));
+    Workload reordered = generateWorkload(benchmarkByName("eqntott"));
+    reorderWorkload(reordered, smallProfile(20000));
+
+    auto visibleInBoth = [&](BlockId b) {
+        auto meaningful = [](const BasicBlock &bb) {
+            for (const auto &inst : bb.body)
+                if (inst.op != OpClass::Jump &&
+                    inst.op != OpClass::Nop)
+                    return true;
+            return false;
+        };
+        return meaningful(original.program.block(b)) &&
+               meaningful(reordered.program.block(b));
+    };
+    auto filter = [&](std::vector<BlockId> seq) {
+        std::vector<BlockId> out;
+        for (BlockId b : seq)
+            if (visibleInBoth(b) &&
+                (out.empty() || out.back() != b))
+                out.push_back(b);
+        return out;
+    };
+
+    auto before = filter(blockSequence(original, kEvalInput, 20000));
+    auto after = filter(blockSequence(reordered, kEvalInput, 20000));
+    const std::size_t common = std::min(before.size(), after.size());
+    ASSERT_GT(common, 1000u);
+    for (std::size_t i = 0; i < common; ++i)
+        ASSERT_EQ(before[i], after[i]) << "at " << i;
+}
+
+TEST(Reorder, ReducesDynamicTakenBranches)
+{
+    Workload original = generateWorkload(benchmarkByName("sc"));
+    Workload reordered = generateWorkload(benchmarkByName("sc"));
+    reorderWorkload(reordered, smallProfile(30000));
+    BranchCensus before =
+        runBranchCensus(original, kEvalInput, 30000, 16);
+    BranchCensus after =
+        runBranchCensus(reordered, kEvalInput, 30000, 16);
+    EXPECT_LT(after.takenTotal, before.takenTotal);
+}
+
+TEST(Reorder, HotHammockBranchGetsInverted)
+{
+    Workload wl = test::hammockWorkload(2, 2, 0.95);
+    ReorderStats stats = reorderWorkload(wl, smallProfile());
+    EXPECT_GE(stats.inverted, 1u);
+    const BasicBlock &head = wl.program.block(0);
+    EXPECT_TRUE(head.invertedSense);
+    // After inversion the taken target is the (cold) clause.
+    EXPECT_EQ(head.takenTarget, 1u);
+}
+
+TEST(Reorder, FallThroughAdjacencyInvariant)
+{
+    // After reordering, every fall-through successor must be the
+    // next block in layout (that is what fall-through means).
+    Workload wl = generateWorkload(benchmarkByName("espresso"));
+    reorderWorkload(wl, smallProfile(20000));
+    const Program &prog = wl.program;
+    const auto &order = prog.layoutOrder();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const BasicBlock &bb = prog.block(order[i]);
+        const bool falls =
+            bb.term == TermKind::FallThrough ||
+            bb.term == TermKind::CondBranch;
+        if (!falls)
+            continue;
+        ASSERT_LT(i + 1, order.size());
+        EXPECT_EQ(bb.fallThrough, order[i + 1])
+            << "block " << bb.id << " layout pos " << i;
+    }
+}
+
+TEST(Reorder, ValidatesAndStaysEncodable)
+{
+    Workload wl = generateWorkload(benchmarkByName("gcc"));
+    reorderWorkload(wl, smallProfile(20000));
+    wl.program.validate();
+    checkEncodable(wl.program);
+}
+
+TEST(Reorder, IsIdempotentOnSemantics)
+{
+    Workload once = generateWorkload(benchmarkByName("bison"));
+    Workload twice = generateWorkload(benchmarkByName("bison"));
+    reorderWorkload(once, smallProfile(10000));
+    reorderWorkload(twice, smallProfile(10000));
+    reorderWorkload(twice, smallProfile(10000)); // second pass
+    auto a = blockSequence(once, kEvalInput, 10000);
+    auto b = blockSequence(twice, kEvalInput, 10000);
+    ASSERT_EQ(a, b);
+}
+
+TEST(Padding, PadAllAlignsEveryRealBlock)
+{
+    Workload wl = generateWorkload(benchmarkByName("compress"));
+    padAll(wl, 16);
+    const Program &prog = wl.program;
+    const auto &order = prog.layoutOrder();
+    // Every non-filler block must start at a block boundary.  Filler
+    // blocks are pure-nop blocks inserted by the pass.
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const BasicBlock &bb = prog.block(order[i]);
+        bool is_filler = !bb.body.empty();
+        for (const auto &inst : bb.body)
+            is_filler &= inst.op == OpClass::Nop;
+        if (!is_filler && !bb.body.empty())
+            EXPECT_EQ(bb.address % 16, 0u) << "block " << bb.id;
+    }
+}
+
+TEST(Padding, SemanticsPreserved)
+{
+    Workload original = generateWorkload(benchmarkByName("li"));
+    Workload padded = generateWorkload(benchmarkByName("li"));
+    PaddingStats stats = padAll(padded, 16);
+    EXPECT_GT(stats.nopsInserted, 0u);
+
+    // Non-nop dynamic instruction streams match exactly.
+    Executor ea(original, kEvalInput);
+    Executor eb(padded, kEvalInput);
+    DynInst da, db;
+    for (int i = 0; i < 20000; ++i) {
+        ea.next(da);
+        do {
+            eb.next(db);
+        } while (db.si.op == OpClass::Nop);
+        ASSERT_EQ(da.si.op, db.si.op) << "at " << i;
+        ASSERT_EQ(da.block, db.block);
+    }
+}
+
+TEST(Padding, StatsMatchProgramNopCount)
+{
+    Workload wl = generateWorkload(benchmarkByName("flex"));
+    const std::uint64_t before = wl.program.totalInstructions();
+    PaddingStats stats = padAll(wl, 32);
+    EXPECT_EQ(stats.originalInsts, before);
+    EXPECT_EQ(stats.nopsInserted, wl.program.totalNops());
+    EXPECT_EQ(wl.program.totalInstructions(),
+              before + stats.nopsInserted);
+}
+
+TEST(Padding, OverheadGrowsWithBlockSize)
+{
+    for (const char *name : {"compress", "espresso"}) {
+        double last = -1.0;
+        for (std::uint64_t bs : {16, 32, 64}) {
+            Workload wl = generateWorkload(benchmarkByName(name));
+            PaddingStats stats = padAll(wl, bs);
+            EXPECT_GT(stats.percent(), last);
+            last = stats.percent();
+        }
+    }
+}
+
+TEST(Padding, PadTraceIsMuchCheaperThanPadAll)
+{
+    Workload all = generateWorkload(benchmarkByName("eqntott"));
+    PaddingStats pa = padAll(all, 16);
+
+    Workload tr = generateWorkload(benchmarkByName("eqntott"));
+    std::vector<Trace> traces;
+    reorderWorkload(tr, smallProfile(20000), {}, &traces);
+    PaddingStats pt = padTrace(tr, traces, 16);
+
+    EXPECT_LT(pt.percent(), pa.percent() / 2.0);
+}
+
+TEST(Padding, ColdPathNopsRarelyExecute)
+{
+    // pad-trace: nops sit after trace-ending (likely-taken) exits,
+    // so the executed-nop share is far below the static share.
+    Workload wl = generateWorkload(benchmarkByName("compress"));
+    std::vector<Trace> traces;
+    reorderWorkload(wl, smallProfile(20000), {}, &traces);
+    PaddingStats stats = padTrace(wl, traces, 32);
+    ASSERT_GT(stats.nopsInserted, 0u);
+
+    BranchCensus census = runBranchCensus(wl, kEvalInput, 30000, 32);
+    const double executed_share =
+        static_cast<double>(census.nops) /
+        static_cast<double>(census.instructions);
+    EXPECT_LT(executed_share, stats.percent() / 100.0);
+}
+
+} // anonymous namespace
+} // namespace fetchsim

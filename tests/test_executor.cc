@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the CFG interpreter (execution engine).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/executor.h"
+#include "test_util.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+std::vector<DynInst>
+runN(const Workload &wl, int n, int input = kEvalInput)
+{
+    Executor exec(wl, input);
+    std::vector<DynInst> out;
+    DynInst di;
+    for (int i = 0; i < n; ++i) {
+        EXPECT_TRUE(exec.next(di));
+        out.push_back(di);
+    }
+    return out;
+}
+
+TEST(Executor, StraightLineSequentialAddresses)
+{
+    Workload wl = test::straightLineWorkload(5);
+    auto insts = runN(wl, 6);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(insts[static_cast<std::size_t>(i)].pc,
+                  kDefaultCodeBase + static_cast<std::uint64_t>(i) * 4);
+        EXPECT_FALSE(insts[static_cast<std::size_t>(i)].isControl());
+    }
+    EXPECT_EQ(insts[5].si.op, OpClass::Return);
+    EXPECT_TRUE(insts[5].taken);
+}
+
+TEST(Executor, MainRestartsAfterReturn)
+{
+    Workload wl = test::straightLineWorkload(2);
+    auto insts = runN(wl, 7); // two full iterations + 1
+    // Iteration length is 3 (2 alu + ret); pcs repeat.
+    EXPECT_EQ(insts[0].pc, insts[3].pc);
+    EXPECT_EQ(insts[2].si.op, OpClass::Return);
+    EXPECT_EQ(insts[2].actualTarget, kDefaultCodeBase);
+    EXPECT_EQ(insts[6].pc, insts[0].pc);
+}
+
+TEST(Executor, SequenceNumbersMonotone)
+{
+    Workload wl = test::loopWorkload(3, 5);
+    auto insts = runN(wl, 50);
+    for (std::size_t i = 0; i < insts.size(); ++i)
+        EXPECT_EQ(insts[i].seq, i);
+}
+
+TEST(Executor, LoopIteratesWithExactTrip)
+{
+    Workload wl = test::loopWorkload(2, 8);
+    // Count latch outcomes over several loop entries: per entry the
+    // latch is taken (trip-1) times then not-taken once.
+    Executor exec(wl, 0);
+    DynInst di;
+    int taken_run = 0;
+    std::vector<int> runs;
+    for (int i = 0; i < 400; ++i) {
+        exec.next(di);
+        if (!di.isCondBranch())
+            continue;
+        if (di.taken) {
+            ++taken_run;
+        } else {
+            runs.push_back(taken_run);
+            taken_run = 0;
+        }
+    }
+    ASSERT_GE(runs.size(), 2u);
+    // All complete runs have the same (jittered) trip.
+    for (std::size_t i = 1; i < runs.size(); ++i)
+        EXPECT_EQ(runs[i], runs[0]);
+    EXPECT_GE(runs[0], 5);
+    EXPECT_LE(runs[0], 10);
+}
+
+TEST(Executor, LoopBranchTargetsHeader)
+{
+    Workload wl = test::loopWorkload(1, 4);
+    Executor exec(wl, kEvalInput);
+    DynInst di;
+    const std::uint64_t header_addr = wl.program.block(1).address;
+    for (int i = 0; i < 60; ++i) {
+        exec.next(di);
+        if (di.isCondBranch() && di.taken)
+            EXPECT_EQ(di.actualTarget, header_addr);
+    }
+}
+
+TEST(Executor, HammockTakenSkipsClause)
+{
+    Workload wl = test::hammockWorkload(1, 3, 1.0); // always taken
+    Executor exec(wl, kEvalInput);
+    DynInst di;
+    const std::uint64_t clause_addr = wl.program.block(1).address;
+    for (int i = 0; i < 40; ++i) {
+        exec.next(di);
+        EXPECT_NE(di.pc, clause_addr) << "clause must never execute";
+    }
+}
+
+TEST(Executor, HammockNotTakenRunsClause)
+{
+    Workload wl = test::hammockWorkload(1, 3, 0.0); // never taken
+    Executor exec(wl, kEvalInput);
+    DynInst di;
+    const std::uint64_t clause_addr = wl.program.block(1).address;
+    bool saw_clause = false;
+    for (int i = 0; i < 40; ++i) {
+        exec.next(di);
+        saw_clause |= di.pc == clause_addr;
+        if (di.isCondBranch())
+            EXPECT_FALSE(di.taken);
+    }
+    EXPECT_TRUE(saw_clause);
+}
+
+TEST(Executor, CallAndReturnLinkCorrectly)
+{
+    Workload wl = test::callWorkload(2);
+    Executor exec(wl, kEvalInput);
+    const Program &prog = wl.program;
+    DynInst di;
+
+    // m0: alu, call -> callee entry.
+    exec.next(di);
+    exec.next(di);
+    ASSERT_EQ(di.si.op, OpClass::Call);
+    EXPECT_TRUE(di.taken);
+    EXPECT_EQ(di.actualTarget, prog.block(2).address);
+    EXPECT_EQ(exec.callDepth(), 1u);
+
+    // callee body then return to m1.
+    exec.next(di);
+    exec.next(di);
+    exec.next(di);
+    ASSERT_EQ(di.si.op, OpClass::Return);
+    EXPECT_EQ(di.actualTarget, prog.block(1).address);
+    EXPECT_EQ(exec.callDepth(), 0u);
+}
+
+TEST(Executor, CondBranchJumpSemantics)
+{
+    // Build: head with CondBranchJump; taken -> blockT; jump -> blockJ.
+    Workload wl(test::tinySpec("cbj"));
+    Program &prog = wl.program;
+    FuncId fn = prog.addFunction("main");
+    prog.setMainFunction(fn);
+    BlockId head = prog.addBlock(fn);
+    BlockId t = prog.addBlock(fn);
+    BlockId j = prog.addBlock(fn);
+    prog.function(fn).entry = head;
+
+    prog.block(head).body.push_back(makeCondBranch(1, 2));
+    prog.block(head).body.push_back(makeJump());
+    prog.block(head).term = TermKind::CondBranchJump;
+    prog.block(head).takenTarget = t;
+    prog.block(head).fallThrough = j;
+    BranchBehavior beh;
+    beh.kind = BehaviorKind::Alternating;
+    beh.period = 1;
+    prog.block(head).behavior = wl.behaviors.add(beh);
+
+    prog.block(t).body.push_back(makeReturn());
+    prog.block(t).term = TermKind::Return;
+    prog.block(j).body.push_back(makeReturn());
+    prog.block(j).term = TermKind::Return;
+    assignAddresses(prog);
+    prog.validate();
+
+    Executor exec(wl, 0);
+    DynInst di;
+    bool saw_taken_path = false, saw_jump_path = false;
+    for (int i = 0; i < 40; ++i) {
+        exec.next(di);
+        if (di.si.op == OpClass::CondBranch && di.taken) {
+            EXPECT_EQ(di.actualTarget, prog.block(t).address);
+            saw_taken_path = true;
+        }
+        if (di.si.op == OpClass::Jump) {
+            // Jump executes only on the not-taken path.
+            EXPECT_TRUE(di.taken);
+            EXPECT_EQ(di.actualTarget, prog.block(j).address);
+            saw_jump_path = true;
+        }
+    }
+    EXPECT_TRUE(saw_taken_path);
+    EXPECT_TRUE(saw_jump_path);
+}
+
+TEST(Executor, EmptyBlocksAreSkipped)
+{
+    Workload wl(test::tinySpec("empty"));
+    Program &prog = wl.program;
+    FuncId fn = prog.addFunction("main");
+    prog.setMainFunction(fn);
+    BlockId a = prog.addBlock(fn);
+    BlockId empty = prog.addBlock(fn);
+    BlockId b = prog.addBlock(fn);
+    prog.function(fn).entry = a;
+    prog.block(a).body.push_back(makeIntAlu(1, 1, 2));
+    prog.block(a).term = TermKind::FallThrough;
+    prog.block(a).fallThrough = empty;
+    prog.block(empty).term = TermKind::FallThrough;
+    prog.block(empty).fallThrough = b;
+    prog.block(b).body.push_back(makeReturn());
+    prog.block(b).term = TermKind::Return;
+    assignAddresses(prog);
+    prog.validate();
+
+    Executor exec(wl, 0);
+    DynInst di;
+    exec.next(di);
+    EXPECT_EQ(di.block, a);
+    exec.next(di);
+    EXPECT_EQ(di.block, b); // empty block contributed nothing
+    EXPECT_EQ(di.si.op, OpClass::Return);
+}
+
+TEST(Executor, SameInputIsReproducible)
+{
+    Workload wl = test::hammockWorkload(2, 2, 0.5);
+    auto a = runN(wl, 200, 3);
+    auto b = runN(wl, 200, 3);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].pc, b[i].pc);
+        ASSERT_EQ(a[i].taken, b[i].taken);
+    }
+}
+
+TEST(Executor, DifferentInputsDiverge)
+{
+    Workload wl = test::hammockWorkload(2, 2, 0.5);
+    auto a = runN(wl, 500, 0);
+    auto b = runN(wl, 500, kEvalInput);
+    bool diverged = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diverged |= a[i].pc != b[i].pc;
+    EXPECT_TRUE(diverged);
+}
+
+/** Observer counting, checked against direct stream inspection. */
+class CountingObserver : public ExecObserver
+{
+  public:
+    void onBlock(BlockId block) override { ++blocks[block]; }
+    void
+    onCondBranch(BlockId block, bool taken) override
+    {
+        if (taken)
+            ++taken_count[block];
+        else
+            ++not_taken[block];
+    }
+    std::map<BlockId, int> blocks, taken_count, not_taken;
+};
+
+TEST(Executor, ObserverCountsMatchStream)
+{
+    Workload wl = test::loopWorkload(2, 6);
+    Executor exec(wl, kEvalInput);
+    CountingObserver obs;
+    exec.setObserver(&obs);
+    DynInst di;
+    int cond_taken = 0, cond_not = 0;
+    for (int i = 0; i < 300; ++i) {
+        exec.next(di);
+        if (di.isCondBranch()) {
+            if (di.taken)
+                ++cond_taken;
+            else
+                ++cond_not;
+        }
+    }
+    EXPECT_EQ(obs.taken_count[1], cond_taken);
+    EXPECT_EQ(obs.not_taken[1], cond_not);
+    EXPECT_GT(obs.blocks[1], 0);
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the experiment driver (sim/experiment.h): caching,
+ * determinism, suite aggregation, and configuration plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "stats/summary.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+RunConfig
+smallConfig(const char *benchmark, MachineModel machine,
+            SchemeKind scheme)
+{
+    RunConfig config;
+    config.benchmark = benchmark;
+    config.machine = machine;
+    config.scheme = scheme;
+    config.maxRetired = 8000;
+    return config;
+}
+
+TEST(Experiment, LayoutNames)
+{
+    EXPECT_STREQ(layoutName(LayoutKind::Unordered), "unordered");
+    EXPECT_STREQ(layoutName(LayoutKind::Reordered), "reordered");
+    EXPECT_STREQ(layoutName(LayoutKind::PadAll), "pad-all");
+    EXPECT_STREQ(layoutName(LayoutKind::PadTrace), "pad-trace");
+}
+
+TEST(Experiment, DefaultBudgetPositive)
+{
+    EXPECT_GT(defaultDynInsts(), 0u);
+}
+
+TEST(Experiment, RunIsDeterministic)
+{
+    RunConfig config =
+        smallConfig("compress", MachineModel::P14,
+                    SchemeKind::CollapsingBuffer);
+    RunResult a = runExperiment(config);
+    RunResult b = runExperiment(config);
+    EXPECT_EQ(a.counters.cycles, b.counters.cycles);
+    EXPECT_EQ(a.counters.retired, b.counters.retired);
+    EXPECT_EQ(a.counters.mispredicts, b.counters.mispredicts);
+}
+
+TEST(Experiment, PreparedWorkloadIsCached)
+{
+    const Workload &a =
+        preparedWorkload("compress", LayoutKind::Unordered);
+    const Workload &b =
+        preparedWorkload("compress", LayoutKind::Unordered);
+    EXPECT_EQ(&a, &b); // same object: no regeneration
+}
+
+TEST(Experiment, PaddedLayoutsAreBlockSizeSpecific)
+{
+    const Workload &b16 =
+        preparedWorkload("compress", LayoutKind::PadAll, 16);
+    const Workload &b32 =
+        preparedWorkload("compress", LayoutKind::PadAll, 32);
+    EXPECT_NE(&b16, &b32);
+    EXPECT_NE(b16.program.totalNops(), b32.program.totalNops());
+}
+
+TEST(Experiment, ReorderedWorkloadDiffersFromUnordered)
+{
+    const Workload &u =
+        preparedWorkload("eqntott", LayoutKind::Unordered);
+    const Workload &r =
+        preparedWorkload("eqntott", LayoutKind::Reordered);
+    EXPECT_NE(u.program.layoutOrder(), r.program.layoutOrder());
+    // Same CFG size either way.
+    EXPECT_EQ(u.program.numBlocks(), r.program.numBlocks());
+}
+
+TEST(Experiment, ResultCarriesConfigBack)
+{
+    RunConfig config = smallConfig("li", MachineModel::P18,
+                                   SchemeKind::Sequential);
+    RunResult result = runExperiment(config);
+    EXPECT_EQ(result.config.benchmark, "li");
+    EXPECT_EQ(result.config.machine, MachineModel::P18);
+    EXPECT_GE(result.counters.retired, 8000u);
+    EXPECT_GT(result.ipc(), 0.0);
+}
+
+TEST(Experiment, SuiteAggregatesHarmonicMean)
+{
+    std::vector<std::string> names = {"compress", "eqntott"};
+    SuiteResult suite =
+        runSuite(names, MachineModel::P14, SchemeKind::Perfect,
+                 LayoutKind::Unordered, 8000);
+    ASSERT_EQ(suite.runs.size(), 2u);
+    std::vector<double> ipcs = {suite.runs[0].ipc(),
+                                suite.runs[1].ipc()};
+    EXPECT_NEAR(suite.hmeanIpc, harmonicMean(ipcs), 1e-12);
+}
+
+TEST(Experiment, NameListsMatchPaperSuites)
+{
+    EXPECT_EQ(integerNames().size(), 9u);
+    EXPECT_EQ(fpNames().size(), 6u);
+    EXPECT_EQ(integerNames().front(), "bison");
+    EXPECT_EQ(fpNames().front(), "doduc");
+}
+
+TEST(ExperimentDeath, UnknownBenchmarkIsFatal)
+{
+    RunConfig config = smallConfig("doom", MachineModel::P14,
+                                   SchemeKind::Sequential);
+    EXPECT_EXIT(runExperiment(config),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for Pettis-Hansen function placement and the set-associative
+ * I-cache extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/icache.h"
+#include "compiler/code_layout.h"
+#include "compiler/function_layout.h"
+#include "exec/executor.h"
+#include "test_util.h"
+#include "workload/benchmark_suite.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+ProfileOptions
+smallProfile()
+{
+    ProfileOptions options;
+    options.instsPerInput = 20000;
+    return options;
+}
+
+TEST(FunctionLayout, CallEdgeWeightsFollowProfile)
+{
+    Workload wl = test::callWorkload(3);
+    EdgeProfile profile = collectProfile(wl, smallProfile());
+    auto weights = callEdgeWeights(wl.program, profile);
+    ASSERT_EQ(weights.size(), 2u);
+    // main (0) calls callee (1) once per iteration.
+    EXPECT_GT(weights[0][1], 0u);
+    EXPECT_EQ(weights[1][0], 0u);
+}
+
+TEST(FunctionLayout, KeepsFunctionsContiguous)
+{
+    Workload wl = generateWorkload(benchmarkByName("li"));
+    EdgeProfile profile = collectProfile(wl, smallProfile());
+    placeFunctions(wl, profile);
+
+    const Program &prog = wl.program;
+    FuncId last = kNoFunc;
+    std::set<FuncId> seen;
+    for (BlockId id : prog.layoutOrder()) {
+        const FuncId func = prog.block(id).func;
+        if (func != last) {
+            EXPECT_TRUE(seen.insert(func).second)
+                << "function " << func << " split in layout";
+            last = func;
+        }
+    }
+    EXPECT_EQ(seen.size(), prog.numFunctions());
+}
+
+TEST(FunctionLayout, PreservesSemantics)
+{
+    Workload original = generateWorkload(benchmarkByName("sc"));
+    Workload placed = generateWorkload(benchmarkByName("sc"));
+    EdgeProfile profile = collectProfile(placed, smallProfile());
+    placeFunctions(placed, profile);
+
+    Executor ea(original, kEvalInput);
+    Executor eb(placed, kEvalInput);
+    DynInst da, db;
+    for (int i = 0; i < 20000; ++i) {
+        ea.next(da);
+        eb.next(db);
+        ASSERT_EQ(da.block, db.block) << "at " << i;
+        ASSERT_EQ(da.si.op, db.si.op);
+    }
+}
+
+TEST(FunctionLayout, MainChainLeadsTheImage)
+{
+    Workload wl = generateWorkload(benchmarkByName("compress"));
+    EdgeProfile profile = collectProfile(wl, smallProfile());
+    placeFunctions(wl, profile);
+    const Program &prog = wl.program;
+    // The first block in layout belongs to main's chain -- and since
+    // chains start at their head function, to main itself.
+    EXPECT_EQ(prog.block(prog.layoutOrder().front()).func,
+              prog.mainFunction());
+}
+
+TEST(FunctionLayout, ChainsCaptureCallWeight)
+{
+    Workload wl = generateWorkload(benchmarkByName("gcc"));
+    EdgeProfile profile = collectProfile(wl, smallProfile());
+    FunctionLayoutStats stats = placeFunctions(wl, profile);
+    EXPECT_EQ(stats.numFunctions, wl.program.numFunctions());
+    EXPECT_LT(stats.chains, stats.numFunctions); // some merging
+    EXPECT_GT(stats.adjacentCallWeight, 0u);
+    EXPECT_LE(stats.adjacentCallWeight, stats.totalCallWeight);
+}
+
+TEST(FunctionLayout, ComposesWithTraceLayout)
+{
+    Workload wl = generateWorkload(benchmarkByName("eqntott"));
+    EdgeProfile profile = collectProfile(wl, smallProfile());
+    std::vector<Trace> traces = selectTraces(wl.program, profile);
+    applyTraceLayout(wl, traces);
+    placeFunctions(wl, profile);
+    wl.program.validate();
+
+    // Fall-through adjacency must survive function placement.
+    const Program &prog = wl.program;
+    const auto &order = prog.layoutOrder();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const BasicBlock &bb = prog.block(order[i]);
+        if (bb.term != TermKind::FallThrough &&
+            bb.term != TermKind::CondBranch)
+            continue;
+        ASSERT_LT(i + 1, order.size());
+        ASSERT_EQ(bb.fallThrough, order[i + 1]);
+    }
+}
+
+TEST(ICacheAssoc, TwoWayAbsorbsDirectMappedConflict)
+{
+    // a and b conflict in a direct-mapped cache but coexist 2-way.
+    ICache dm(1024, 16, 2, 1);
+    ICache wa(1024, 16, 2, 2);
+    const std::uint64_t a = 0x0;
+    const std::uint64_t b = a + 1024;
+    for (int round = 0; round < 4; ++round) {
+        dm.access(a);
+        dm.access(b);
+        wa.access(a);
+        wa.access(b);
+    }
+    EXPECT_EQ(dm.misses(), dm.accesses()); // ping-pong
+    EXPECT_EQ(wa.misses(), 2u);            // cold misses only
+}
+
+TEST(ICacheAssoc, LruEvictsOldest)
+{
+    // 2-way, one set exercised with three conflicting blocks.
+    ICache cache(32, 16, 2, 2); // 1 set, 2 ways
+    const std::uint64_t a = 0x0, b = 0x10, c = 0x20;
+    cache.access(a);
+    cache.access(b);
+    cache.access(a); // a most recent
+    cache.access(c); // evicts b (LRU)
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST(ICacheAssoc, GeometryAccountsForWays)
+{
+    ICache cache(32 * 1024, 16, 2, 4);
+    EXPECT_EQ(cache.numWays(), 4);
+    EXPECT_EQ(cache.numSets(), 512u);
+}
+
+TEST(ICacheAssocDeath, RejectsBadWays)
+{
+    EXPECT_EXIT(ICache(1024, 16, 2, 3),
+                ::testing::ExitedWithCode(1), "associativity");
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the synthetic-program generator and the benchmark suite,
+ * including parameterized structural properties over all fifteen
+ * benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/encoding.h"
+#include "program/layout.h"
+#include "workload/benchmark_suite.h"
+#include "workload/generator.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(Suite, HasFifteenBenchmarks)
+{
+    EXPECT_EQ(integerSuite().size(), 9u);
+    EXPECT_EQ(fpSuite().size(), 6u);
+    EXPECT_EQ(fullSuite().size(), 15u);
+}
+
+TEST(Suite, PaperBenchmarkNamesPresent)
+{
+    for (const char *name :
+         {"bison", "compress", "eqntott", "espresso", "flex", "gcc",
+          "li", "mpeg_play", "sc", "doduc", "mdljdp2", "nasa7", "ora",
+          "tomcatv", "wave5"}) {
+        EXPECT_TRUE(hasBenchmark(name)) << name;
+    }
+    EXPECT_FALSE(hasBenchmark("quake"));
+}
+
+TEST(Suite, LookupReturnsMatchingSpec)
+{
+    const WorkloadSpec &spec = benchmarkByName("compress");
+    EXPECT_EQ(spec.name, "compress");
+    EXPECT_FALSE(spec.isFp);
+    EXPECT_TRUE(benchmarkByName("nasa7").isFp);
+}
+
+TEST(Suite, SeedsAreUnique)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &spec : fullSuite())
+        seeds.insert(spec.seed);
+    EXPECT_EQ(seeds.size(), fullSuite().size());
+}
+
+TEST(Generator, DeterministicForSameSpec)
+{
+    const WorkloadSpec &spec = benchmarkByName("compress");
+    Workload a = generateWorkload(spec);
+    Workload b = generateWorkload(spec);
+    ASSERT_EQ(a.program.numBlocks(), b.program.numBlocks());
+    ASSERT_EQ(a.program.totalInstructions(),
+              b.program.totalInstructions());
+    for (std::size_t i = 0; i < a.program.numBlocks(); ++i) {
+        const auto &ba = a.program.block(static_cast<BlockId>(i));
+        const auto &bb = b.program.block(static_cast<BlockId>(i));
+        ASSERT_EQ(ba.address, bb.address);
+        ASSERT_EQ(ba.term, bb.term);
+        ASSERT_EQ(ba.size(), bb.size());
+    }
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentPrograms)
+{
+    WorkloadSpec spec = benchmarkByName("compress");
+    Workload a = generateWorkload(spec);
+    spec.seed ^= 0x1234567;
+    Workload b = generateWorkload(spec);
+    EXPECT_NE(a.program.totalInstructions(),
+              b.program.totalInstructions());
+}
+
+TEST(Generator, RejectsBadSpecs)
+{
+    WorkloadSpec spec = benchmarkByName("compress");
+    spec.numFunctions = 0;
+    EXPECT_EXIT(generateWorkload(spec),
+                ::testing::ExitedWithCode(1), "function");
+}
+
+/** Structural properties that must hold for every benchmark. */
+class SuiteProperty : public ::testing::TestWithParam<WorkloadSpec>
+{
+};
+
+TEST_P(SuiteProperty, GeneratesValidEncodableProgram)
+{
+    Workload wl = generateWorkload(GetParam());
+    wl.program.validate();
+    checkEncodable(wl.program);
+    EXPECT_EQ(wl.program.numFunctions(),
+              static_cast<std::size_t>(GetParam().numFunctions));
+    EXPECT_GT(wl.program.totalInstructions(), 100u);
+    EXPECT_EQ(wl.program.totalNops(), 0u); // no padding yet
+}
+
+TEST_P(SuiteProperty, EveryFunctionEndsReachableReturn)
+{
+    Workload wl = generateWorkload(GetParam());
+    const Program &prog = wl.program;
+    for (std::size_t f = 0; f < prog.numFunctions(); ++f) {
+        const Function &fn = prog.function(static_cast<FuncId>(f));
+        bool has_return = false;
+        for (BlockId id : fn.blocks)
+            has_return |= prog.block(id).term == TermKind::Return;
+        EXPECT_TRUE(has_return) << "function " << fn.name;
+    }
+}
+
+TEST_P(SuiteProperty, CallGraphIsAcyclic)
+{
+    Workload wl = generateWorkload(GetParam());
+    const Program &prog = wl.program;
+    for (std::size_t b = 0; b < prog.numBlocks(); ++b) {
+        const BasicBlock &bb = prog.block(static_cast<BlockId>(b));
+        if (bb.term == TermKind::CallFall) {
+            EXPECT_GT(bb.callee, bb.func)
+                << "forward-only calls keep the graph acyclic";
+        }
+    }
+}
+
+TEST_P(SuiteProperty, CondBranchesHaveBehaviors)
+{
+    Workload wl = generateWorkload(GetParam());
+    const Program &prog = wl.program;
+    std::uint64_t cond_blocks = 0;
+    for (std::size_t b = 0; b < prog.numBlocks(); ++b) {
+        const BasicBlock &bb = prog.block(static_cast<BlockId>(b));
+        if (bb.hasCondBranch()) {
+            ++cond_blocks;
+            ASSERT_LT(bb.behavior, wl.behaviors.size());
+        }
+    }
+    EXPECT_GT(cond_blocks, 0u);
+}
+
+TEST_P(SuiteProperty, InstructionMixMatchesClass)
+{
+    const WorkloadSpec &spec = GetParam();
+    Workload wl = generateWorkload(spec);
+    std::uint64_t fp = 0, total = 0;
+    for (std::size_t b = 0; b < wl.program.numBlocks(); ++b) {
+        for (const auto &inst :
+             wl.program.block(static_cast<BlockId>(b)).body) {
+            ++total;
+            fp += inst.op == OpClass::FpAlu ? 1 : 0;
+        }
+    }
+    double fp_share = static_cast<double>(fp) /
+                      static_cast<double>(total);
+    if (spec.isFp)
+        EXPECT_GT(fp_share, 0.15) << "FP code should contain FP ops";
+    else
+        EXPECT_EQ(fp, 0u) << "integer code has no FP ops";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteProperty,
+    ::testing::ValuesIn(fullSuite()),
+    [](const ::testing::TestParamInfo<WorkloadSpec> &info) {
+        return info.param.name;
+    });
+
+} // anonymous namespace
+} // namespace fetchsim

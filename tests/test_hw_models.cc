@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the structural datapath models (paper Figures 5, 6, 8)
+ * and their agreement with the cycle-level walker's semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fetch/hw_models.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+std::vector<FetchSlot>
+slotsFromMask(int k2, std::uint32_t valid_mask)
+{
+    std::vector<FetchSlot> slots(static_cast<std::size_t>(k2));
+    for (int i = 0; i < k2; ++i) {
+        slots[static_cast<std::size_t>(i)].word =
+            static_cast<std::uint32_t>(100 + i);
+        slots[static_cast<std::size_t>(i)].valid =
+            (valid_mask >> i) & 1;
+    }
+    return slots;
+}
+
+TEST(BtbBlockQuery, SequentialBlockWhenNoTakenBranch)
+{
+    Btb btb(1024, 4);
+    BtbBlockQuery q = queryBtbBlock(btb, 0x1000, 4);
+    EXPECT_EQ(q.validMask, 0xFu);
+    EXPECT_EQ(q.firstTakenSlot, -1);
+    EXPECT_TRUE(q.successorIsSequential);
+    EXPECT_EQ(q.successorAddr, 0x1010u);
+}
+
+TEST(BtbBlockQuery, StartOffsetMasksEarlierSlots)
+{
+    Btb btb(1024, 4);
+    BtbBlockQuery q = queryBtbBlock(btb, 0x1008, 4);
+    EXPECT_EQ(q.validMask, 0b1100u);
+    EXPECT_EQ(q.successorAddr, 0x1010u);
+}
+
+TEST(BtbBlockQuery, TakenBranchTerminatesValidRun)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1004, true, 0x2000);
+    BtbBlockQuery q = queryBtbBlock(btb, 0x1000, 4);
+    EXPECT_EQ(q.validMask, 0b0011u);
+    EXPECT_EQ(q.firstTakenSlot, 1);
+    EXPECT_FALSE(q.successorIsSequential);
+    EXPECT_EQ(q.successorAddr, 0x2000u);
+}
+
+TEST(BtbBlockQuery, TakenBranchBeforeFetchSlotIgnored)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1000, true, 0x2000);
+    BtbBlockQuery q = queryBtbBlock(btb, 0x1004, 4);
+    EXPECT_EQ(q.validMask, 0b1110u);
+    EXPECT_EQ(q.firstTakenSlot, -1);
+    EXPECT_EQ(q.successorAddr, 0x1010u);
+}
+
+TEST(BtbBlockQuery, NotTakenCounterDoesNotTerminate)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1004, true, 0x2000);
+    btb.update(0x1004, false, 0); // counter drops to not-taken
+    BtbBlockQuery q = queryBtbBlock(btb, 0x1000, 4);
+    EXPECT_EQ(q.validMask, 0xFu);
+    EXPECT_EQ(q.firstTakenSlot, -1);
+}
+
+TEST(InterchangeSwitch, PassThroughWhenFetchInBank0)
+{
+    InterchangeSwitch sw(2);
+    auto b0 = slotsFromMask(2, 0b11);
+    auto b1 = slotsFromMask(2, 0b11);
+    b1[0].word = 200;
+    b1[1].word = 201;
+    auto out = sw.apply(b0, b1, false);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].word, 100u);
+    EXPECT_EQ(out[2].word, 200u);
+}
+
+TEST(InterchangeSwitch, SwapsWhenFetchInBank1)
+{
+    InterchangeSwitch sw(2);
+    auto b0 = slotsFromMask(2, 0b11);
+    auto b1 = slotsFromMask(2, 0b11);
+    b1[0].word = 200;
+    auto out = sw.apply(b0, b1, true);
+    EXPECT_EQ(out[0].word, 200u);
+    EXPECT_EQ(out[2].word, 100u);
+}
+
+TEST(InterchangeSwitch, PaperCostFormula)
+{
+    // Figure 6a: 64*k transmission gates, 2 gate delays.
+    for (int k : {4, 8, 16}) {
+        HwCost cost = InterchangeSwitch(k).cost();
+        EXPECT_EQ(cost.transmissionGates,
+                  64ull * static_cast<std::uint64_t>(k));
+        EXPECT_EQ(cost.worstCaseDelay, 2);
+    }
+}
+
+TEST(ValidSelect, PicksContiguousValidRun)
+{
+    ValidSelectLogic vs(4);
+    // Fetch block valid from slot 2; successor valid 0..1.
+    auto slots = slotsFromMask(8, 0b00111100);
+    auto out = vs.apply(slots);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 102u);
+    EXPECT_EQ(out[1], 103u);
+    EXPECT_EQ(out[2], 104u);
+    EXPECT_EQ(out[3], 105u);
+}
+
+TEST(ValidSelect, CapsAtBlockWidth)
+{
+    ValidSelectLogic vs(4);
+    auto slots = slotsFromMask(8, 0xFF);
+    EXPECT_EQ(vs.apply(slots).size(), 4u);
+}
+
+TEST(ValidSelect, EmptyMaskSelectsNothing)
+{
+    ValidSelectLogic vs(4);
+    auto slots = slotsFromMask(8, 0);
+    EXPECT_TRUE(vs.apply(slots).empty());
+}
+
+TEST(CollapsingLogic, RemovesScatteredGaps)
+{
+    CollapsingBufferLogic cb(4, CollapsingBufferLogic::Impl::Crossbar);
+    // Valid slots 0, 3, 5, 6 -- gaps inside the run (intra-block
+    // branches) get collapsed, unlike valid select's contiguous run.
+    auto slots = slotsFromMask(8, 0b01101001);
+    auto out = cb.apply(slots);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 100u);
+    EXPECT_EQ(out[1], 103u);
+    EXPECT_EQ(out[2], 105u);
+    EXPECT_EQ(out[3], 106u);
+}
+
+TEST(CollapsingLogic, ShifterAndCrossbarAgreeFunctionally)
+{
+    CollapsingBufferLogic sh(4, CollapsingBufferLogic::Impl::Shifter);
+    CollapsingBufferLogic xb(4, CollapsingBufferLogic::Impl::Crossbar);
+    for (std::uint32_t mask = 0; mask < 256; ++mask) {
+        auto slots = slotsFromMask(8, mask);
+        ASSERT_EQ(sh.apply(slots), xb.apply(slots)) << mask;
+    }
+}
+
+TEST(CollapsingLogic, PaperCostFormulas)
+{
+    // Figure 8a: 64k latches, 64k-32 transmission gates.
+    HwCost sh = CollapsingBufferLogic(
+                    4, CollapsingBufferLogic::Impl::Shifter)
+                    .cost();
+    EXPECT_EQ(sh.latches, 256u);
+    EXPECT_EQ(sh.transmissionGates, 224u);
+    EXPECT_EQ(sh.bestCaseDelay, 1);
+    // lg(4)-1 = 1 latch delay worst case for P14.
+    EXPECT_EQ(sh.worstCaseDelay, 1);
+
+    // Figure 8b: 2k demuxes, ~1 gate + bus delay.
+    HwCost xb = CollapsingBufferLogic(
+                    8, CollapsingBufferLogic::Impl::Crossbar)
+                    .cost();
+    EXPECT_EQ(xb.muxes, 16u);
+    EXPECT_EQ(xb.bestCaseDelay, 1);
+}
+
+TEST(CollapsingLogic, ShifterWorstCaseGrowsWithWidth)
+{
+    HwCost k16 = CollapsingBufferLogic(
+                     16, CollapsingBufferLogic::Impl::Shifter)
+                     .cost();
+    EXPECT_EQ(k16.worstCaseDelay, 3); // lg(16)-1
+}
+
+} // anonymous namespace
+} // namespace fetchsim

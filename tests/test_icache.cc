@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the direct-mapped instruction cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/icache.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(ICache, ColdMissThenHit)
+{
+    ICache cache(1024, 16);
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x100c)); // same block
+    EXPECT_EQ(cache.accesses(), 3u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ICache, BlockGranularity)
+{
+    ICache cache(1024, 16);
+    cache.access(0x1000);
+    EXPECT_FALSE(cache.access(0x1010)); // next block: separate line
+}
+
+TEST(ICache, DirectMappedConflictEviction)
+{
+    ICache cache(1024, 16); // 64 sets
+    const std::uint64_t a = 0x0;
+    const std::uint64_t b = a + 1024; // same set, different tag
+    EXPECT_FALSE(cache.access(a));
+    EXPECT_FALSE(cache.access(b)); // evicts a
+    EXPECT_FALSE(cache.access(a)); // a was evicted
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+}
+
+TEST(ICache, ProbeHasNoSideEffects)
+{
+    ICache cache(1024, 16);
+    EXPECT_FALSE(cache.probe(0x2000));
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_FALSE(cache.access(0x2000)); // still a miss: probe no fill
+}
+
+TEST(ICache, FlushInvalidatesEverything)
+{
+    ICache cache(1024, 16);
+    cache.access(0x3000);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0x3000));
+}
+
+TEST(ICache, ConsecutiveBlocksAlternateBanks)
+{
+    ICache cache(32 * 1024, 16, 2);
+    EXPECT_NE(cache.bankOf(0x1000), cache.bankOf(0x1010));
+    EXPECT_EQ(cache.bankOf(0x1000), cache.bankOf(0x1020));
+}
+
+TEST(ICache, GeometryHelpers)
+{
+    ICache cache(32 * 1024, 16);
+    EXPECT_EQ(cache.numSets(), 2048u);
+    EXPECT_EQ(cache.blockAlign(0x1234), 0x1230u);
+    EXPECT_EQ(cache.blockNumber(0x1234), 0x123u);
+    EXPECT_EQ(cache.sizeBytes(), 32u * 1024);
+    EXPECT_EQ(cache.blockBytes(), 16u);
+}
+
+TEST(ICache, PaperGeometries)
+{
+    // P14 32KB/16B, P18 64KB/32B, P112 128KB/64B all construct.
+    ICache p14(32 * 1024, 16);
+    ICache p18(64 * 1024, 32);
+    ICache p112(128 * 1024, 64);
+    EXPECT_EQ(p14.numSets(), 2048u);
+    EXPECT_EQ(p18.numSets(), 2048u);
+    EXPECT_EQ(p112.numSets(), 2048u);
+}
+
+TEST(ICache, WorkingSetBiggerThanCacheThrashes)
+{
+    ICache cache(1024, 16); // 64 blocks capacity
+    // Touch 128 distinct blocks twice: every access misses.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t b = 0; b < 128; ++b)
+            cache.access(b * 16);
+    EXPECT_EQ(cache.misses(), cache.accesses());
+}
+
+TEST(ICacheDeath, RejectsNonPowerOfTwo)
+{
+    EXPECT_EXIT(ICache(1000, 16), ::testing::ExitedWithCode(1),
+                "powers of two");
+    EXPECT_EXIT(ICache(1024, 24), ::testing::ExitedWithCode(1),
+                "powers of two");
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the ISA: op classes, factories, 32-bit encoding
+ * round-trips, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+#include "isa/static_inst.h"
+#include "workload/rng.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(OpClass, ControlClassification)
+{
+    EXPECT_FALSE(isControl(OpClass::IntAlu));
+    EXPECT_FALSE(isControl(OpClass::FpAlu));
+    EXPECT_FALSE(isControl(OpClass::Load));
+    EXPECT_FALSE(isControl(OpClass::Store));
+    EXPECT_FALSE(isControl(OpClass::Nop));
+    EXPECT_TRUE(isControl(OpClass::CondBranch));
+    EXPECT_TRUE(isControl(OpClass::Jump));
+    EXPECT_TRUE(isControl(OpClass::Call));
+    EXPECT_TRUE(isControl(OpClass::Return));
+}
+
+TEST(OpClass, UnconditionalClassification)
+{
+    EXPECT_FALSE(isUnconditionalControl(OpClass::CondBranch));
+    EXPECT_TRUE(isUnconditionalControl(OpClass::Jump));
+    EXPECT_TRUE(isUnconditionalControl(OpClass::Call));
+    EXPECT_TRUE(isUnconditionalControl(OpClass::Return));
+}
+
+TEST(OpClass, UnitMapping)
+{
+    EXPECT_EQ(unitFor(OpClass::IntAlu), UnitKind::Fxu);
+    EXPECT_EQ(unitFor(OpClass::Nop), UnitKind::Fxu);
+    EXPECT_EQ(unitFor(OpClass::FpAlu), UnitKind::Fpu);
+    EXPECT_EQ(unitFor(OpClass::Load), UnitKind::LoadUnit);
+    EXPECT_EQ(unitFor(OpClass::Store), UnitKind::StorePort);
+    EXPECT_EQ(unitFor(OpClass::CondBranch), UnitKind::BranchUnit);
+    EXPECT_EQ(unitFor(OpClass::Return), UnitKind::BranchUnit);
+}
+
+TEST(OpClass, TableOneLatencies)
+{
+    // Table 1: FXU 1 cycle, FPU 2 cycles, branch 1 cycle.
+    EXPECT_EQ(latencyOf(OpClass::IntAlu), 1);
+    EXPECT_EQ(latencyOf(OpClass::FpAlu), 2);
+    EXPECT_EQ(latencyOf(OpClass::CondBranch), 1);
+    EXPECT_EQ(latencyOf(OpClass::Load), 2);
+    EXPECT_EQ(latencyOf(OpClass::Store), 1);
+}
+
+TEST(StaticInst, WritesRegister)
+{
+    EXPECT_TRUE(makeIntAlu(5, 1, 2).writesRegister());
+    EXPECT_TRUE(makeLoad(5, 1, 0).writesRegister());
+    EXPECT_TRUE(makeCall().writesRegister()); // link register
+    EXPECT_FALSE(makeStore(5, 1, 0).writesRegister());
+    EXPECT_FALSE(makeCondBranch(1, 2).writesRegister());
+    EXPECT_FALSE(makeJump().writesRegister());
+    EXPECT_FALSE(makeNop().writesRegister());
+    // Writing r0 (hard-wired zero) is not a register write.
+    EXPECT_FALSE(makeIntAlu(0, 1, 2).writesRegister());
+}
+
+TEST(StaticInst, RegisterClassification)
+{
+    EXPECT_FALSE(isFpReg(0));
+    EXPECT_FALSE(isFpReg(31));
+    EXPECT_TRUE(isFpReg(32));
+    EXPECT_TRUE(isFpReg(63));
+}
+
+TEST(Encoding, RoundTripRFormat)
+{
+    StaticInst inst = makeIntAlu(17, 3, 29, -37);
+    StaticInst back = decode(encode(inst));
+    EXPECT_EQ(back.op, inst.op);
+    EXPECT_EQ(back.dest, inst.dest);
+    EXPECT_EQ(back.src1, inst.src1);
+    EXPECT_EQ(back.src2, inst.src2);
+    EXPECT_EQ(back.imm, inst.imm);
+}
+
+TEST(Encoding, RoundTripBranch)
+{
+    StaticInst inst = makeCondBranch(9, 22);
+    inst.imm = -1234;
+    StaticInst back = decode(encode(inst));
+    EXPECT_EQ(back.op, OpClass::CondBranch);
+    EXPECT_EQ(back.src1, 9);
+    EXPECT_EQ(back.src2, 22);
+    EXPECT_EQ(back.imm, -1234);
+}
+
+TEST(Encoding, RoundTripJumpFamily)
+{
+    for (OpClass op : {OpClass::Jump, OpClass::Call}) {
+        StaticInst inst;
+        inst.op = op;
+        inst.imm = 99999;
+        StaticInst back = decode(encode(inst));
+        EXPECT_EQ(back.op, op);
+        EXPECT_EQ(back.imm, 99999);
+    }
+    StaticInst ret = makeReturn();
+    StaticInst back = decode(encode(ret));
+    EXPECT_EQ(back.op, OpClass::Return);
+    EXPECT_EQ(back.src1, 31); // link register restored by decode
+}
+
+TEST(Encoding, ImmediateLimits)
+{
+    StaticInst inst = makeIntAlu(1, 2, 3, kImm10Max);
+    EXPECT_TRUE(encodable(inst));
+    inst.imm = kImm10Max + 1;
+    EXPECT_FALSE(encodable(inst));
+    inst.imm = kImm10Min;
+    EXPECT_TRUE(encodable(inst));
+    inst.imm = kImm10Min - 1;
+    EXPECT_FALSE(encodable(inst));
+
+    StaticInst br = makeCondBranch(1, 2);
+    br.imm = kDisp16Max;
+    EXPECT_TRUE(encodable(br));
+    br.imm = kDisp16Max + 1;
+    EXPECT_FALSE(encodable(br));
+}
+
+/** Property: random encodable instructions round-trip bit-exactly. */
+TEST(Encoding, RandomRoundTripProperty)
+{
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        StaticInst inst;
+        inst.op = static_cast<OpClass>(rng.uniform(kNumOpClasses));
+        switch (inst.op) {
+          case OpClass::CondBranch:
+            inst.src1 = static_cast<std::uint8_t>(rng.uniform(64));
+            inst.src2 = static_cast<std::uint8_t>(rng.uniform(64));
+            inst.imm = static_cast<std::int32_t>(
+                rng.range(kDisp16Min, kDisp16Max));
+            break;
+          case OpClass::Jump:
+          case OpClass::Call:
+          case OpClass::Return:
+            inst.imm = static_cast<std::int32_t>(
+                rng.range(-100000, 100000));
+            if (inst.op == OpClass::Call)
+                inst.dest = 31;
+            if (inst.op == OpClass::Return) {
+                inst.src1 = 31;
+                inst.imm = 0;
+            }
+            break;
+          default:
+            inst.dest = static_cast<std::uint8_t>(rng.uniform(64));
+            inst.src1 = static_cast<std::uint8_t>(rng.uniform(64));
+            inst.src2 = static_cast<std::uint8_t>(rng.uniform(64));
+            inst.imm = static_cast<std::int32_t>(
+                rng.range(kImm10Min, kImm10Max));
+            break;
+        }
+        ASSERT_TRUE(encodable(inst));
+        StaticInst back = decode(encode(inst));
+        ASSERT_EQ(back.op, inst.op);
+        ASSERT_EQ(back.dest, inst.dest);
+        ASSERT_EQ(back.src1, inst.src1);
+        ASSERT_EQ(back.src2, inst.src2);
+        ASSERT_EQ(back.imm, inst.imm);
+    }
+}
+
+TEST(Disasm, RegisterNames)
+{
+    EXPECT_EQ(regName(0), "r0");
+    EXPECT_EQ(regName(31), "r31");
+    EXPECT_EQ(regName(32), "f0");
+    EXPECT_EQ(regName(63), "f31");
+}
+
+TEST(Disasm, RendersEveryClass)
+{
+    EXPECT_NE(disassemble(makeIntAlu(1, 2, 3, 4)).find("add"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeFpAlu(33, 34, 35)).find("fadd"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeLoad(1, 2, 8)).find("ld"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeStore(1, 2, 8)).find("st"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeReturn()).find("ret"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeNop()).find("nop"), std::string::npos);
+}
+
+TEST(Disasm, BranchTargetRendersAbsolute)
+{
+    StaticInst br = makeCondBranch(1, 2);
+    br.imm = 4; // +4 instructions
+    std::string text = disassemble(br, 0x1000);
+    EXPECT_NE(text.find("0x1010"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for fetch-time prediction against actual outcomes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor_suite.h"
+#include "fetch/fetch_types.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+DynInst
+makeDyn(std::uint64_t pc, OpClass op, bool taken,
+        std::uint64_t target)
+{
+    DynInst di;
+    di.pc = pc;
+    di.si.op = op;
+    di.taken = taken;
+    di.actualTarget = target;
+    return di;
+}
+
+TEST(Prediction, NonControlIsTransparent)
+{
+    Btb btb(1024, 4);
+    InstPrediction pred =
+        predictInst(btb, makeDyn(0x1000, OpClass::IntAlu, false, 0));
+    EXPECT_FALSE(pred.control);
+    EXPECT_FALSE(pred.mispredict);
+    EXPECT_EQ(btb.lookups(), 0u); // no BTB query for non-control
+}
+
+TEST(Prediction, ColdCondNotTakenIsCorrect)
+{
+    Btb btb(1024, 4);
+    InstPrediction pred = predictInst(
+        btb, makeDyn(0x1000, OpClass::CondBranch, false, 0));
+    EXPECT_TRUE(pred.cond);
+    EXPECT_FALSE(pred.predTaken);
+    EXPECT_FALSE(pred.mispredict);
+}
+
+TEST(Prediction, ColdCondTakenMispredicts)
+{
+    Btb btb(1024, 4);
+    InstPrediction pred = predictInst(
+        btb, makeDyn(0x1000, OpClass::CondBranch, true, 0x2000));
+    EXPECT_TRUE(pred.mispredict);
+}
+
+TEST(Prediction, TrainedCondTakenPredictsCorrectly)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1000, true, 0x2000);
+    InstPrediction pred = predictInst(
+        btb, makeDyn(0x1000, OpClass::CondBranch, true, 0x2000));
+    EXPECT_TRUE(pred.predTaken);
+    EXPECT_EQ(pred.predTarget, 0x2000u);
+    EXPECT_FALSE(pred.mispredict);
+}
+
+TEST(Prediction, TrainedCondNotTakenNowMispredicts)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1000, true, 0x2000);
+    btb.update(0x1000, true, 0x2000); // strongly taken
+    InstPrediction pred = predictInst(
+        btb, makeDyn(0x1000, OpClass::CondBranch, false, 0));
+    EXPECT_TRUE(pred.predTaken);
+    EXPECT_TRUE(pred.mispredict);
+}
+
+TEST(Prediction, StaleCondTargetMispredicts)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1000, true, 0x2000);
+    InstPrediction pred = predictInst(
+        btb, makeDyn(0x1000, OpClass::CondBranch, true, 0x3000));
+    EXPECT_TRUE(pred.mispredict);
+}
+
+TEST(Prediction, JumpMissIsDecodeRedirectNotMispredict)
+{
+    Btb btb(1024, 4);
+    InstPrediction pred = predictInst(
+        btb, makeDyn(0x1000, OpClass::Jump, true, 0x2000));
+    EXPECT_TRUE(pred.decodeRedirect);
+    EXPECT_FALSE(pred.mispredict);
+}
+
+TEST(Prediction, JumpHitPredictsTarget)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1000, true, 0x2000);
+    InstPrediction pred = predictInst(
+        btb, makeDyn(0x1000, OpClass::Jump, true, 0x2000));
+    EXPECT_TRUE(pred.predTaken);
+    EXPECT_FALSE(pred.decodeRedirect);
+    EXPECT_FALSE(pred.mispredict);
+}
+
+TEST(Prediction, CallBehavesLikeJump)
+{
+    Btb btb(1024, 4);
+    InstPrediction cold = predictInst(
+        btb, makeDyn(0x1000, OpClass::Call, true, 0x4000));
+    EXPECT_TRUE(cold.decodeRedirect);
+    btb.update(0x1000, true, 0x4000);
+    InstPrediction warm = predictInst(
+        btb, makeDyn(0x1000, OpClass::Call, true, 0x4000));
+    EXPECT_TRUE(warm.predTaken);
+    EXPECT_FALSE(warm.mispredict);
+}
+
+TEST(Prediction, ReturnMissMispredicts)
+{
+    Btb btb(1024, 4);
+    InstPrediction pred = predictInst(
+        btb, makeDyn(0x1000, OpClass::Return, true, 0x5000));
+    EXPECT_TRUE(pred.mispredict);
+    EXPECT_FALSE(pred.decodeRedirect);
+}
+
+TEST(Prediction, ReturnPredictsLastTarget)
+{
+    Btb btb(1024, 4);
+    btb.update(0x1000, true, 0x5000);
+    // Same call site again: correct.
+    EXPECT_FALSE(predictInst(btb, makeDyn(0x1000, OpClass::Return,
+                                          true, 0x5000))
+                     .mispredict);
+    // Different return address: wrong.
+    EXPECT_TRUE(predictInst(btb, makeDyn(0x1000, OpClass::Return,
+                                         true, 0x6000))
+                    .mispredict);
+}
+
+TEST(SchemeNames, AreStable)
+{
+    EXPECT_STREQ(schemeName(SchemeKind::Sequential), "sequential");
+    EXPECT_STREQ(schemeName(SchemeKind::CollapsingBuffer),
+                 "collapsing-buffer");
+    EXPECT_STREQ(schemeName(SchemeKind::Perfect), "perfect");
+}
+
+} // anonymous namespace
+} // namespace fetchsim

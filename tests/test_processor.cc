@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Integration tests for the out-of-order processor core: renaming,
+ * retirement order, register-file coherence, speculation bounds,
+ * determinism, and timing sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.h"
+#include "test_util.h"
+#include "workload/benchmark_suite.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+std::unique_ptr<Processor>
+makeProc(const Workload &wl, const MachineConfig &cfg,
+         SchemeKind scheme = SchemeKind::Perfect)
+{
+    return std::make_unique<Processor>(
+        wl, kEvalInput, cfg, makeFetchMechanism(scheme, cfg));
+}
+
+TEST(Processor, RetiresRequestedInstructions)
+{
+    Workload wl = test::straightLineWorkload(10);
+    MachineConfig cfg = makeP14();
+    auto proc = makeProc(wl, cfg);
+    proc->run(500);
+    EXPECT_GE(proc->counters().retired, 500u);
+    EXPECT_GT(proc->counters().cycles, 0u);
+}
+
+TEST(Processor, IpcNeverExceedsIssueRate)
+{
+    for (MachineModel m :
+         {MachineModel::P14, MachineModel::P18, MachineModel::P112}) {
+        Workload wl = test::straightLineWorkload(32);
+        MachineConfig cfg = makeMachine(m);
+        auto proc = makeProc(wl, cfg);
+        proc->run(2000);
+        EXPECT_LE(proc->counters().ipc(),
+                  static_cast<double>(cfg.issueRate));
+    }
+}
+
+TEST(Processor, StraightLineIpcIsHigh)
+{
+    // Pure straight-line code with a perfect fetch unit should come
+    // close to the dependency-limited rate; far above 1.
+    Workload wl = test::straightLineWorkload(64);
+    MachineConfig cfg = makeP112();
+    auto proc = makeProc(wl, cfg);
+    proc->run(5000);
+    EXPECT_GT(proc->counters().ipc(), 2.0);
+}
+
+TEST(Processor, DeterministicAcrossRuns)
+{
+    Workload wl = test::loopWorkload(6, 9);
+    MachineConfig cfg = makeP18();
+    auto a = makeProc(wl, cfg, SchemeKind::BankedSequential);
+    auto b = makeProc(wl, cfg, SchemeKind::BankedSequential);
+    a->run(3000);
+    b->run(3000);
+    EXPECT_EQ(a->counters().cycles, b->counters().cycles);
+    EXPECT_EQ(a->counters().retired, b->counters().retired);
+    EXPECT_EQ(a->counters().mispredicts, b->counters().mispredicts);
+    EXPECT_EQ(a->counters().icacheMisses,
+              b->counters().icacheMisses);
+}
+
+TEST(Processor, MessyAndFutureFilesCohereForRetiredProducers)
+{
+    // Invariant: whenever a register has no in-flight producer, its
+    // speculative (Messy) and precise (Future) values agree -- the
+    // last completed write has retired.  Checked repeatedly mid-run.
+    Workload wl = test::straightLineWorkload(16);
+    MachineConfig cfg = makeP14();
+    auto proc = makeProc(wl, cfg);
+    for (int round = 0; round < 200; ++round) {
+        proc->step();
+        for (int r = 1; r < kNumIntRegs; ++r) {
+            const auto reg = static_cast<std::uint8_t>(r);
+            if (proc->registers().producerOf(reg) !=
+                RegisterState::kReady)
+                continue;
+            ASSERT_EQ(proc->registers().readMessy(reg),
+                      proc->registers().readFuture(reg))
+                << "register " << r << " round " << round;
+        }
+    }
+}
+
+TEST(Processor, SpeculationDepthRespectedEveryCycle)
+{
+    Workload wl = test::loopWorkload(2, 4); // branch-dense
+    MachineConfig cfg = makeP14();
+    auto proc = makeProc(wl, cfg);
+    for (int i = 0; i < 3000; ++i) {
+        proc->step();
+        ASSERT_LE(proc->unresolvedBranches(), cfg.specDepth);
+        ASSERT_GE(proc->unresolvedBranches(), 0);
+    }
+}
+
+TEST(Processor, WindowAndRobBoundsHold)
+{
+    Workload wl = test::loopWorkload(8, 12);
+    MachineConfig cfg = makeP18();
+    auto proc = makeProc(wl, cfg);
+    for (int i = 0; i < 3000; ++i) {
+        proc->step();
+        ASSERT_LE(proc->windowOccupancy(), cfg.windowSize);
+        ASSERT_LE(proc->robOccupancy(),
+                  static_cast<std::size_t>(cfg.robSize));
+    }
+}
+
+TEST(Processor, DeliveredCoversRetired)
+{
+    Workload wl = test::hammockWorkload(3, 2, 0.7);
+    MachineConfig cfg = makeP18();
+    auto proc = makeProc(wl, cfg, SchemeKind::CollapsingBuffer);
+    proc->run(4000);
+    // Trace-driven: nothing is squashed, so delivered instructions
+    // are exactly retired + still in flight.
+    EXPECT_EQ(proc->counters().delivered,
+              proc->counters().retired + proc->robOccupancy());
+}
+
+TEST(Processor, RegisterValuesFlowThroughDependencies)
+{
+    // r1 = r0 + r0 + 5;  r2 = r1 + r1 + 1;  check Future file.
+    Workload wl(test::tinySpec("dataflow"));
+    Program &prog = wl.program;
+    FuncId fn = prog.addFunction("main");
+    prog.setMainFunction(fn);
+    BlockId b = prog.addBlock(fn);
+    prog.function(fn).entry = b;
+    prog.block(b).body.push_back(makeIntAlu(1, 0, 0, 5));
+    prog.block(b).body.push_back(makeIntAlu(2, 1, 1, 1));
+    prog.block(b).body.push_back(makeReturn());
+    prog.block(b).term = TermKind::Return;
+    assignAddresses(prog);
+    prog.validate();
+
+    MachineConfig cfg = makeP14();
+    auto proc = makeProc(wl, cfg);
+    proc->run(3);
+    for (int i = 0; i < 50 && proc->robOccupancy() > 0; ++i)
+        proc->step();
+    EXPECT_EQ(proc->registers().readFuture(1), 5u);
+    EXPECT_EQ(proc->registers().readFuture(2), 11u);
+}
+
+TEST(Processor, MispredictsAreCountedOnLoopExits)
+{
+    // A counted loop mispredicts at least on each exit (2-bit
+    // counters stay taken-saturated inside the loop).
+    Workload wl = test::loopWorkload(4, 10);
+    MachineConfig cfg = makeP14();
+    auto proc = makeProc(wl, cfg);
+    proc->run(5000);
+    EXPECT_GT(proc->counters().mispredicts, 10u);
+    EXPECT_LT(proc->counters().mispredictRate(), 0.5);
+}
+
+TEST(Processor, AlwaysTakenHammockPredictsWell)
+{
+    Workload wl = test::hammockWorkload(2, 2, 1.0);
+    MachineConfig cfg = makeP14();
+    auto proc = makeProc(wl, cfg);
+    proc->run(5000);
+    // After warmup the 2-bit counter locks onto always-taken.
+    EXPECT_LT(proc->counters().mispredictRate(), 0.05);
+}
+
+TEST(Processor, IcacheStatsPropagate)
+{
+    Workload wl = test::straightLineWorkload(200);
+    MachineConfig cfg = makeP14();
+    auto proc = makeProc(wl, cfg);
+    proc->run(2000);
+    EXPECT_GT(proc->counters().icacheAccesses, 0u);
+    EXPECT_GT(proc->counters().icacheMisses, 0u); // cold misses
+    EXPECT_LT(proc->counters().icacheMissRatio(), 0.2);
+}
+
+TEST(Processor, TakenBranchCensusMatchesWorkloadShape)
+{
+    Workload wl = test::loopWorkload(5, 8);
+    MachineConfig cfg = makeP14();
+    auto proc = makeProc(wl, cfg);
+    proc->run(4000);
+    const RunCounters &c = proc->counters();
+    EXPECT_GT(c.condBranches, 0u);
+    EXPECT_GT(c.takenBranches, 0u);
+    // Loop latches dominate: most conditional branches are taken.
+    EXPECT_GT(static_cast<double>(c.takenBranches) /
+                  static_cast<double>(c.condBranches),
+              0.5);
+}
+
+TEST(Processor, EverySchemeCompletesOnEveryMicroWorkload)
+{
+    const SchemeKind schemes[] = {
+        SchemeKind::Sequential, SchemeKind::InterleavedSequential,
+        SchemeKind::BankedSequential, SchemeKind::CollapsingBuffer,
+        SchemeKind::Perfect};
+    Workload workloads[] = {
+        test::straightLineWorkload(9), test::loopWorkload(3, 7),
+        test::hammockWorkload(2, 3, 0.8), test::callWorkload(6)};
+    for (const Workload &wl : workloads) {
+        for (SchemeKind scheme : schemes) {
+            MachineConfig cfg = makeP112();
+            auto proc = makeProc(wl, cfg, scheme);
+            proc->run(1500);
+            EXPECT_GE(proc->counters().retired, 1500u);
+        }
+    }
+}
+
+TEST(Processor, ShifterCollapsingBufferIsSlower)
+{
+    // Same workload, same machine: the 3-cycle-penalty shifter
+    // implementation can never beat the 2-cycle crossbar.
+    Workload wl = test::loopWorkload(3, 6); // mispredict-rich
+    MachineConfig cfg = makeP112();
+    Processor crossbar(wl, kEvalInput, cfg,
+                       makeCollapsingBuffer(
+                           cfg, CollapsingBufferFetch::Impl::Crossbar));
+    Processor shifter(wl, kEvalInput, cfg,
+                      makeCollapsingBuffer(
+                          cfg, CollapsingBufferFetch::Impl::Shifter));
+    crossbar.run(5000);
+    shifter.run(5000);
+    EXPECT_LE(crossbar.counters().cycles, shifter.counters().cycles);
+}
+
+TEST(Processor, FetchPenaltyFieldsExposed)
+{
+    MachineConfig cfg = makeP14();
+    EXPECT_EQ(makeFetchMechanism(SchemeKind::Sequential, cfg)
+                  ->mispredictPenalty(),
+              2);
+    EXPECT_EQ(makeCollapsingBuffer(
+                  cfg, CollapsingBufferFetch::Impl::Shifter)
+                  ->mispredictPenalty(),
+              3);
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG (workload/rng.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/rng.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(SplitMix64, IsDeterministic)
+{
+    EXPECT_EQ(splitMix64(1), splitMix64(1));
+    EXPECT_NE(splitMix64(1), splitMix64(2));
+}
+
+TEST(SplitMix64, ZeroInputDoesNotYieldZero)
+{
+    EXPECT_NE(splitMix64(0), 0u);
+}
+
+TEST(HashCombine, OrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(HashCombine, Deterministic)
+{
+    EXPECT_EQ(hashCombine(123, 456), hashCombine(123, 456));
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedProducesOutput)
+{
+    Rng rng(0);
+    std::set<std::uint64_t> values;
+    for (int i = 0; i < 100; ++i)
+        values.insert(rng.next());
+    EXPECT_GT(values.size(), 90u);
+}
+
+TEST(Rng, UniformWithinBound)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformCoversRange)
+{
+    Rng rng(12);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniform(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        std::int64_t v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(14);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, RealMeanIsCentered)
+{
+    Rng rng(15);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.real();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP)
+{
+    Rng rng(16);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the statistics utilities: counters, summary means,
+ * and the ASCII table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stats/counters.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(Summary, HarmonicMeanKnownValues)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0, 1.0}), 1.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_NEAR(harmonicMean({2.0, 4.0, 8.0}), 24.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, HarmonicMeanDominatedBySmallest)
+{
+    EXPECT_LT(harmonicMean({0.1, 10.0, 10.0}),
+              arithmeticMean({0.1, 10.0, 10.0}));
+}
+
+TEST(Summary, EmptyInputsYieldZero)
+{
+    EXPECT_EQ(harmonicMean({}), 0.0);
+    EXPECT_EQ(arithmeticMean({}), 0.0);
+    EXPECT_EQ(geometricMean({}), 0.0);
+}
+
+TEST(Summary, MeanOrderingInequality)
+{
+    std::vector<double> v = {1.0, 3.0, 9.0, 27.0};
+    EXPECT_LE(harmonicMean(v), geometricMean(v));
+    EXPECT_LE(geometricMean(v), arithmeticMean(v));
+}
+
+TEST(Summary, GeometricMeanKnownValue)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Summary, PercentOf)
+{
+    EXPECT_DOUBLE_EQ(percentOf(1.0, 2.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentOf(1.0, 0.0), 0.0);
+}
+
+TEST(SummaryDeath, RejectsNonPositiveRates)
+{
+    EXPECT_EXIT(harmonicMean({1.0, 0.0}),
+                ::testing::ExitedWithCode(1), "non-positive");
+}
+
+TEST(Counters, DerivedRates)
+{
+    RunCounters c;
+    c.cycles = 100;
+    c.retired = 250;
+    c.delivered = 260;
+    c.nopsRetired = 50;
+    c.nopsDelivered = 52;
+    c.condBranches = 40;
+    c.mispredicts = 4;
+    c.icacheAccesses = 200;
+    c.icacheMisses = 10;
+    c.takenBranches = 50;
+    c.intraBlockTaken = 5;
+    EXPECT_DOUBLE_EQ(c.ipc(), 2.0);   // useful only
+    EXPECT_DOUBLE_EQ(c.rawIpc(), 2.5);
+    EXPECT_DOUBLE_EQ(c.eir(), 2.08);
+    EXPECT_DOUBLE_EQ(c.mispredictRate(), 0.1);
+    EXPECT_DOUBLE_EQ(c.icacheMissRatio(), 0.05);
+    EXPECT_DOUBLE_EQ(c.intraBlockRatio(), 0.1);
+}
+
+TEST(Counters, ZeroCyclesSafe)
+{
+    RunCounters c;
+    EXPECT_EQ(c.ipc(), 0.0);
+    EXPECT_EQ(c.eir(), 0.0);
+    EXPECT_EQ(c.mispredictRate(), 0.0);
+}
+
+TEST(Counters, StopHistogram)
+{
+    RunCounters c;
+    c.noteStop(FetchStop::TakenBranch);
+    c.noteStop(FetchStop::TakenBranch);
+    c.noteStop(FetchStop::CacheMiss);
+    EXPECT_EQ(c.stops[static_cast<int>(FetchStop::TakenBranch)], 2u);
+    EXPECT_EQ(c.stops[static_cast<int>(FetchStop::CacheMiss)], 1u);
+}
+
+TEST(Counters, FormatMentionsKeyRates)
+{
+    RunCounters c;
+    c.cycles = 10;
+    c.retired = 20;
+    c.delivered = 20;
+    std::string text = c.format();
+    EXPECT_NE(text.find("IPC=2.000"), std::string::npos);
+    EXPECT_NE(text.find("cycles=10"), std::string::npos);
+}
+
+TEST(Counters, StopNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < kNumFetchStops; ++i)
+        names.insert(fetchStopName(static_cast<FetchStop>(i)));
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumFetchStops));
+}
+
+TEST(Table, RendersAlignedGrid)
+{
+    TextTable table("Caption");
+    table.setHeader({"name", "value"});
+    table.startRow();
+    table.addCell(std::string("alpha"));
+    table.addCell(static_cast<std::uint64_t>(42));
+    table.startRow();
+    table.addCell(std::string("b"));
+    table.addCell(3.14159, 2);
+    std::string text = table.render();
+    EXPECT_NE(text.find("Caption"), std::string::npos);
+    EXPECT_NE(text.find("| alpha"), std::string::npos);
+    EXPECT_NE(text.find("| 42"), std::string::npos);
+    EXPECT_NE(text.find("| 3.14"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, PercentFormatting)
+{
+    TextTable table("");
+    table.setHeader({"v"});
+    table.startRow();
+    table.addPercent(12.345, 1);
+    EXPECT_NE(table.render().find("12.3%"), std::string::npos);
+}
+
+TEST(Table, SeparatorRowsRenderAsRules)
+{
+    TextTable table("t");
+    table.setHeader({"a"});
+    table.startRow();
+    table.addCell(std::string("x"));
+    table.addSeparator();
+    table.startRow();
+    table.addCell(std::string("y"));
+    std::string text = table.render();
+    // Horizontal rules: top, under-header, the separator, bottom.
+    std::size_t rules = 0;
+    for (std::size_t pos = text.find("+--");
+         pos != std::string::npos; pos = text.find("+--", pos + 1))
+        ++rules;
+    EXPECT_EQ(rules, 4u);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+} // anonymous namespace
+} // namespace fetchsim

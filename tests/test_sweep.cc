@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Parameterized invariant sweep: every (scheme x machine) point runs
+ * a real generated benchmark and must satisfy the simulator's global
+ * invariants.  Also: analytic checks for the stand-alone branch
+ * census.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exec/branch_census.h"
+#include "sim/experiment.h"
+#include "test_util.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(BranchCensus, HammockAnalytic)
+{
+    // head: 1 alu + branch (slots 0..1 from the base), clause: 2
+    // alu, join: 1 alu + ret.  Branch at offset 1, join at offset 4:
+    // same 32B block always (base is block-aligned), never the same
+    // 16B block (offsets 1 and 4 straddle the 4-slot boundary).
+    Workload wl = test::hammockWorkload(1, 2, 1.0);
+    BranchCensus c16 = runBranchCensus(wl, kEvalInput, 5000, 16);
+    BranchCensus c32 = runBranchCensus(wl, kEvalInput, 5000, 32);
+
+    // Taken transfers: the hammock branch (always) and the return.
+    EXPECT_GT(c16.condBranches, 0u);
+    EXPECT_EQ(c16.condTaken, c16.condBranches);
+    EXPECT_EQ(c16.intraBlock, 0u);
+    // The whole 6-instruction program fits in one 32B block, so at
+    // 32B every taken transfer (branch AND restart-return) is
+    // intra-block.
+    EXPECT_EQ(c32.intraBlock, c32.takenTotal);
+    EXPECT_GT(c32.intraBlockPercent(), 99.0);
+}
+
+TEST(BranchCensus, CountsAreInputStable)
+{
+    const Workload &wl =
+        preparedWorkload("compress", LayoutKind::Unordered);
+    BranchCensus a = runBranchCensus(wl, kEvalInput, 20000, 16);
+    BranchCensus b = runBranchCensus(wl, kEvalInput, 20000, 16);
+    EXPECT_EQ(a.takenTotal, b.takenTotal);
+    EXPECT_EQ(a.intraBlock, b.intraBlock);
+}
+
+TEST(BranchCensusDeath, RejectsBadBlockSize)
+{
+    const Workload &wl =
+        preparedWorkload("compress", LayoutKind::Unordered);
+    EXPECT_EXIT(runBranchCensus(wl, kEvalInput, 10, 24),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+/** Full cross product of schemes and machines on one benchmark. */
+class SchemeMachineSweep
+    : public ::testing::TestWithParam<
+          std::tuple<SchemeKind, MachineModel>>
+{
+};
+
+TEST_P(SchemeMachineSweep, GlobalInvariantsHold)
+{
+    const auto [scheme, machine] = GetParam();
+    RunConfig config;
+    config.benchmark = "espresso";
+    config.machine = machine;
+    config.scheme = scheme;
+    config.maxRetired = 10000;
+    RunResult result = runExperiment(config);
+    const RunCounters &c = result.counters;
+    const MachineConfig cfg = makeMachine(machine);
+
+    // Progress and rate bounds.
+    EXPECT_GE(c.retired, 10000u);
+    EXPECT_GT(c.cycles, 0u);
+    EXPECT_LE(result.ipc(), static_cast<double>(cfg.issueRate));
+    EXPECT_LE(result.eir(),
+              static_cast<double>(cfg.issueRate) * 1.0001);
+
+    // Conservation: everything delivered is retired or in flight;
+    // in-flight is bounded by the ROB.
+    EXPECT_GE(c.delivered, c.retired);
+    EXPECT_LE(c.delivered - c.retired,
+              static_cast<std::uint64_t>(cfg.robSize));
+
+    // Census sanity.
+    EXPECT_LE(c.takenBranches, c.delivered);
+    EXPECT_LE(c.intraBlockTaken, c.takenBranches);
+    EXPECT_LE(c.mispredicts, c.condBranches);
+    EXPECT_LE(c.icacheMisses, c.icacheAccesses);
+    EXPECT_LE(c.btbHits, c.btbLookups);
+
+    // Every cycle either delivered a group or counted as a stall.
+    EXPECT_EQ(c.fetchGroups + c.stallCycles, c.cycles);
+}
+
+TEST_P(SchemeMachineSweep, RunsAreBitReproducible)
+{
+    const auto [scheme, machine] = GetParam();
+    RunConfig config;
+    config.benchmark = "wave5";
+    config.machine = machine;
+    config.scheme = scheme;
+    config.maxRetired = 6000;
+    RunResult a = runExperiment(config);
+    RunResult b = runExperiment(config);
+    EXPECT_EQ(a.counters.cycles, b.counters.cycles);
+    EXPECT_EQ(a.counters.delivered, b.counters.delivered);
+    EXPECT_EQ(a.counters.mispredicts, b.counters.mispredicts);
+    EXPECT_EQ(a.counters.icacheMisses, b.counters.icacheMisses);
+    for (int i = 0; i < kNumFetchStops; ++i)
+        EXPECT_EQ(a.counters.stops[i], b.counters.stops[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoints, SchemeMachineSweep,
+    ::testing::Combine(
+        ::testing::Values(SchemeKind::Sequential,
+                          SchemeKind::InterleavedSequential,
+                          SchemeKind::BankedSequential,
+                          SchemeKind::CollapsingBuffer,
+                          SchemeKind::Perfect),
+        ::testing::Values(MachineModel::P14, MachineModel::P18,
+                          MachineModel::P112)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<SchemeKind, MachineModel>> &info) {
+        std::string name = schemeName(std::get<0>(info.param));
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name + "_" +
+               machineName(std::get<1>(info.param));
+    });
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the binary trace-file substrate: round-trip fidelity,
+ * bounded replay, and the headline property that a trace-driven
+ * Processor run is cycle-identical to the live-executor run it was
+ * recorded from (the paper's spike-trace workflow).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/processor.h"
+#include "exec/trace_file.h"
+#include "test_util.h"
+#include "workload/benchmark_suite.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+/** Unique-ish temp path per test. */
+std::string
+tempTracePath(const char *tag)
+{
+    return std::string("/tmp/fetchsim_test_") + tag + ".trace";
+}
+
+const Workload &
+compressWorkload()
+{
+    static const Workload wl =
+        generateWorkload(benchmarkByName("compress"));
+    return wl;
+}
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        if (!path_.empty())
+            std::remove(path_.c_str());
+    }
+
+    std::string path_;
+};
+
+TEST_F(TraceFileTest, RoundTripsEveryField)
+{
+    path_ = tempTracePath("roundtrip");
+    Workload wl = test::hammockWorkload(2, 3, 0.6);
+    Executor exec(wl, kEvalInput);
+
+    std::vector<DynInst> original;
+    {
+        TraceWriter writer(path_);
+        DynInst di;
+        for (int i = 0; i < 500; ++i) {
+            exec.next(di);
+            original.push_back(di);
+            writer.append(di);
+        }
+    }
+
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.count(), 500u);
+    DynInst di;
+    for (const DynInst &expect : original) {
+        ASSERT_TRUE(reader.next(di));
+        ASSERT_EQ(di.pc, expect.pc);
+        ASSERT_EQ(di.si.op, expect.si.op);
+        ASSERT_EQ(di.si.dest, expect.si.dest);
+        ASSERT_EQ(di.si.src1, expect.si.src1);
+        ASSERT_EQ(di.si.src2, expect.si.src2);
+        ASSERT_EQ(di.si.imm, expect.si.imm);
+        ASSERT_EQ(di.taken, expect.taken);
+        ASSERT_EQ(di.actualTarget, expect.actualTarget);
+        ASSERT_EQ(di.seq, expect.seq);
+    }
+    EXPECT_FALSE(reader.next(di)); // bounded
+}
+
+TEST_F(TraceFileTest, RewindReplaysFromStart)
+{
+    path_ = tempTracePath("rewind");
+    Workload wl = test::straightLineWorkload(5);
+    Executor exec(wl, 0);
+    EXPECT_EQ(recordTrace(exec, path_, 100), 100u);
+
+    TraceReader reader(path_);
+    DynInst first;
+    ASSERT_TRUE(reader.next(first));
+    while (reader.consumed() < reader.count()) {
+        DynInst di;
+        ASSERT_TRUE(reader.next(di));
+    }
+    reader.rewind();
+    DynInst again;
+    ASSERT_TRUE(reader.next(again));
+    EXPECT_EQ(again.pc, first.pc);
+}
+
+TEST_F(TraceFileTest, RejectsGarbageFiles)
+{
+    path_ = tempTracePath("garbage");
+    std::FILE *f = std::fopen(path_.c_str(), "wb");
+    std::fputs("definitely not a trace file, sorry", f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReader reader(path_),
+                ::testing::ExitedWithCode(1), "not a fetchsim trace");
+}
+
+TEST_F(TraceFileTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReader reader("/nonexistent/nope.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(TraceFileTest, TraceDrivenRunMatchesLiveRun)
+{
+    // Record 30k instructions of a real benchmark; the trace-driven
+    // Processor must produce cycle-identical results to the live
+    // one, for several schemes.
+    path_ = tempTracePath("equiv");
+    const Workload &wl = compressWorkload();
+    {
+        Executor exec(wl, kEvalInput);
+        recordTrace(exec, path_, 30000);
+    }
+
+    for (SchemeKind scheme :
+         {SchemeKind::Sequential, SchemeKind::CollapsingBuffer}) {
+        MachineConfig cfg = makeP18();
+        Processor live(wl, kEvalInput, cfg,
+                       makeFetchMechanism(scheme, cfg));
+        live.run(25000);
+
+        TraceReader reader(path_);
+        Processor replay(reader, cfg,
+                         makeFetchMechanism(scheme, cfg));
+        replay.run(25000);
+
+        EXPECT_EQ(live.counters().cycles, replay.counters().cycles)
+            << schemeName(scheme);
+        EXPECT_EQ(live.counters().delivered,
+                  replay.counters().delivered);
+        EXPECT_EQ(live.counters().mispredicts,
+                  replay.counters().mispredicts);
+        EXPECT_EQ(live.counters().icacheMisses,
+                  replay.counters().icacheMisses);
+    }
+}
+
+TEST_F(TraceFileTest, ExhaustedTraceStallsGracefully)
+{
+    // A processor fed a short trace must not deadlock-panic before
+    // retiring what the trace contains.
+    path_ = tempTracePath("short");
+    Workload wl = test::straightLineWorkload(7);
+    Executor exec(wl, 0);
+    recordTrace(exec, path_, 600);
+
+    TraceReader reader(path_);
+    MachineConfig cfg = makeP14();
+    Processor proc(reader, cfg,
+                   makeFetchMechanism(SchemeKind::Perfect, cfg));
+    proc.run(600);
+    EXPECT_GE(proc.counters().retired, 600u);
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Shared helpers for the unit tests: tiny hand-built workloads with
+ * exactly-known control flow, plus synthetic DynInst streams for
+ * driving the fetch walker directly.
+ */
+
+#ifndef FETCHSIM_TESTS_TEST_UTIL_H_
+#define FETCHSIM_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/dyn_inst.h"
+#include "program/layout.h"
+#include "workload/generator.h"
+
+namespace fetchsim
+{
+namespace test
+{
+
+/** A spec for hand-built workloads (name only; no generation). */
+inline WorkloadSpec
+tinySpec(const char *name, std::uint64_t seed = 42)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.seed = seed;
+    return spec;
+}
+
+/**
+ * Straight line: main = one block of @p len IntAlu instructions plus
+ * a return.  Exactly len+1 instructions per program iteration.
+ */
+inline Workload
+straightLineWorkload(int len)
+{
+    Workload wl(tinySpec("straight"));
+    Program &prog = wl.program;
+    FuncId fn = prog.addFunction("main");
+    prog.setMainFunction(fn);
+    BlockId b = prog.addBlock(fn);
+    prog.function(fn).entry = b;
+    for (int i = 0; i < len; ++i)
+        prog.block(b).body.push_back(
+            makeIntAlu(static_cast<std::uint8_t>(1 + i % 8), 1, 2));
+    prog.block(b).body.push_back(makeReturn());
+    prog.block(b).term = TermKind::Return;
+    assignAddresses(prog);
+    prog.validate();
+    return wl;
+}
+
+/**
+ * Counted loop: preheader -> body (backward branch, trip iterations)
+ * -> exit/return.  The loop behaviour has a fixed trip count; note
+ * the executor applies a small input-dependent jitter, so tests that
+ * need the exact trip should read it back via executed counts.
+ */
+inline Workload
+loopWorkload(int body_len, int trip)
+{
+    Workload wl(tinySpec("loop"));
+    Program &prog = wl.program;
+    FuncId fn = prog.addFunction("main");
+    prog.setMainFunction(fn);
+
+    BlockId pre = prog.addBlock(fn);
+    BlockId body = prog.addBlock(fn);
+    BlockId exit = prog.addBlock(fn);
+    prog.function(fn).entry = pre;
+
+    prog.block(pre).body.push_back(makeIntAlu(1, 1, 2));
+    prog.block(pre).term = TermKind::FallThrough;
+    prog.block(pre).fallThrough = body;
+
+    for (int i = 0; i < body_len; ++i)
+        prog.block(body).body.push_back(
+            makeIntAlu(static_cast<std::uint8_t>(2 + i % 8), 1, 2));
+    prog.block(body).body.push_back(makeCondBranch(3, 4));
+    prog.block(body).term = TermKind::CondBranch;
+    prog.block(body).takenTarget = body;
+    prog.block(body).fallThrough = exit;
+
+    BranchBehavior beh;
+    beh.kind = BehaviorKind::Loop;
+    beh.trip = trip;
+    prog.block(body).behavior = wl.behaviors.add(beh);
+
+    prog.block(exit).body.push_back(makeReturn());
+    prog.block(exit).term = TermKind::Return;
+
+    assignAddresses(prog);
+    prog.validate();
+    return wl;
+}
+
+/**
+ * Hammock: head (cond branch over clause) -> clause -> join ->
+ * return.  The branch takes with probability @p taken_prob.
+ * head has @p head_len plain insts before the branch; clause has
+ * @p clause_len plain insts.
+ */
+inline Workload
+hammockWorkload(int head_len, int clause_len, double taken_prob)
+{
+    Workload wl(tinySpec("hammock"));
+    Program &prog = wl.program;
+    FuncId fn = prog.addFunction("main");
+    prog.setMainFunction(fn);
+
+    BlockId head = prog.addBlock(fn);
+    BlockId clause = prog.addBlock(fn);
+    BlockId join = prog.addBlock(fn);
+    prog.function(fn).entry = head;
+
+    for (int i = 0; i < head_len; ++i)
+        prog.block(head).body.push_back(makeIntAlu(1, 1, 2));
+    prog.block(head).body.push_back(makeCondBranch(1, 2));
+    prog.block(head).term = TermKind::CondBranch;
+    prog.block(head).takenTarget = join;
+    prog.block(head).fallThrough = clause;
+
+    BranchBehavior beh;
+    beh.kind = BehaviorKind::Bernoulli;
+    beh.takenProb = taken_prob;
+    prog.block(head).behavior = wl.behaviors.add(beh);
+
+    for (int i = 0; i < clause_len; ++i)
+        prog.block(clause).body.push_back(makeIntAlu(2, 1, 2));
+    prog.block(clause).term = TermKind::FallThrough;
+    prog.block(clause).fallThrough = join;
+
+    prog.block(join).body.push_back(makeIntAlu(3, 1, 2));
+    prog.block(join).body.push_back(makeReturn());
+    prog.block(join).term = TermKind::Return;
+
+    assignAddresses(prog);
+    prog.validate();
+    return wl;
+}
+
+/**
+ * Call graph: main calls callee then returns; callee is a short
+ * straight-line function.
+ */
+inline Workload
+callWorkload(int callee_len)
+{
+    Workload wl(tinySpec("call"));
+    Program &prog = wl.program;
+    FuncId fmain = prog.addFunction("main");
+    FuncId fcallee = prog.addFunction("callee");
+    prog.setMainFunction(fmain);
+
+    BlockId m0 = prog.addBlock(fmain);
+    BlockId m1 = prog.addBlock(fmain);
+    prog.function(fmain).entry = m0;
+    prog.block(m0).body.push_back(makeIntAlu(1, 1, 2));
+    prog.block(m0).body.push_back(makeCall());
+    prog.block(m0).term = TermKind::CallFall;
+    prog.block(m0).callee = fcallee;
+    prog.block(m0).fallThrough = m1;
+    prog.block(m1).body.push_back(makeIntAlu(2, 1, 2));
+    prog.block(m1).body.push_back(makeReturn());
+    prog.block(m1).term = TermKind::Return;
+
+    BlockId c0 = prog.addBlock(fcallee);
+    prog.function(fcallee).entry = c0;
+    for (int i = 0; i < callee_len; ++i)
+        prog.block(c0).body.push_back(makeIntAlu(3, 1, 2));
+    prog.block(c0).body.push_back(makeReturn());
+    prog.block(c0).term = TermKind::Return;
+
+    assignAddresses(prog);
+    prog.validate();
+    return wl;
+}
+
+/**
+ * Build a synthetic correct-path DynInst stream for walker tests.
+ * Each element: (pc, op, taken, target).  Sequence numbers are
+ * assigned in order.
+ */
+struct StreamSpec
+{
+    std::uint64_t pc;
+    OpClass op = OpClass::IntAlu;
+    bool taken = false;
+    std::uint64_t target = 0;
+};
+
+inline std::vector<DynInst>
+makeStream(const std::vector<StreamSpec> &specs)
+{
+    std::vector<DynInst> stream;
+    std::uint64_t seq = 0;
+    for (const StreamSpec &s : specs) {
+        DynInst di;
+        di.pc = s.pc;
+        di.seq = seq++;
+        di.si.op = s.op;
+        if (s.op == OpClass::CondBranch) {
+            di.si = makeCondBranch(1, 2);
+        } else if (s.op == OpClass::Jump) {
+            di.si = makeJump();
+        } else if (s.op == OpClass::Call) {
+            di.si = makeCall();
+        } else if (s.op == OpClass::Return) {
+            di.si = makeReturn();
+        } else if (s.op == OpClass::IntAlu) {
+            di.si = makeIntAlu(1, 1, 2);
+        }
+        di.taken = s.taken;
+        di.actualTarget = s.target;
+        stream.push_back(di);
+    }
+    return stream;
+}
+
+} // namespace test
+} // namespace fetchsim
+
+#endif // FETCHSIM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Unit tests for per-scheme fetch-group formation: the heart of the
+ * paper's hardware study.  Each scenario pins the predicted path,
+ * BTB state and cache state, and checks exactly which instructions
+ * each mechanism can align into one cycle's fetch group.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fetch/walker.h"
+#include "test_util.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+/** Fixture: a 12-issue machine with tiny 16B (4-inst) blocks, so
+ *  multi-block scenarios fit in small streams. */
+class WalkerTest : public ::testing::Test
+{
+  protected:
+    WalkerTest()
+        : suite(1024, 4), icache(32 * 1024, 16, 2)
+    {
+        cfg = makeP14();
+        cfg.issueRate = 12;
+        cfg.blockBytes = 16;
+        cfg.specDepth = 8;
+        warmBlocks(0x10000, 64);
+    }
+
+    /** Fill the cache for @p count blocks starting at @p base. */
+    void
+    warmBlocks(std::uint64_t base, int count)
+    {
+        for (int i = 0; i < count; ++i)
+            icache.access(base + static_cast<std::uint64_t>(i) * 16);
+    }
+
+    /** Train the BTB so @p pc predicts taken to @p target. */
+    void
+    train(std::uint64_t pc, std::uint64_t target)
+    {
+        suite.btb().update(pc, true, target);
+    }
+
+    FetchOutcome
+    walk(SchemeKind kind, const std::vector<DynInst> &stream,
+         int window_space = 64, int spec_headroom = -1)
+    {
+        FetchContext ctx;
+        ctx.stream = stream.data();
+        ctx.streamLen = static_cast<int>(stream.size());
+        ctx.predictor = &suite;
+        ctx.icache = &icache;
+        ctx.cfg = &cfg;
+        ctx.specHeadroom =
+            spec_headroom < 0 ? cfg.specDepth : spec_headroom;
+        ctx.windowSpace = window_space;
+        return runWalk(rulesFor(kind), ctx);
+    }
+
+    MachineConfig cfg;
+    PredictorSuite suite;
+    ICache icache;
+};
+
+// Base address: 0x10000 is block-aligned (bank 0).
+constexpr std::uint64_t kA = 0x10000;          // block A
+constexpr std::uint64_t kB = kA + 16;          // block A+1 (bank 1)
+constexpr std::uint64_t kC = kA + 32;          // block A+2 (bank 0)
+constexpr std::uint64_t kD = kA + 48;          // block A+3 (bank 1)
+
+std::vector<DynInst>
+seqRun(std::uint64_t start, int count)
+{
+    std::vector<test::StreamSpec> specs;
+    for (int i = 0; i < count; ++i)
+        specs.push_back({start + static_cast<std::uint64_t>(i) * 4,
+                         OpClass::IntAlu, false, 0});
+    return test::makeStream(specs);
+}
+
+TEST_F(WalkerTest, SequentialFillsOneAlignedBlock)
+{
+    FetchOutcome out = walk(SchemeKind::Sequential, seqRun(kA, 8));
+    EXPECT_EQ(out.delivered, 4);
+    EXPECT_EQ(out.stop, FetchStop::BlockEnd);
+}
+
+TEST_F(WalkerTest, SequentialFromMidBlockDeliversRemainder)
+{
+    FetchOutcome out =
+        walk(SchemeKind::Sequential, seqRun(kA + 8, 8));
+    EXPECT_EQ(out.delivered, 2); // slots 2 and 3 only
+    EXPECT_EQ(out.stop, FetchStop::BlockEnd);
+}
+
+TEST_F(WalkerTest, SequentialStopsAtPredictedTakenBranch)
+{
+    train(kA + 4, kC);
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::CondBranch, true, kC},
+        {kC, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::Sequential, stream);
+    EXPECT_EQ(out.delivered, 2);
+    EXPECT_EQ(out.stop, FetchStop::TakenBranch);
+    EXPECT_FALSE(out.mispredict);
+}
+
+TEST_F(WalkerTest, SequentialContinuesPastNotTakenBranch)
+{
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::CondBranch, false, 0},
+        {kA + 8, OpClass::IntAlu, false, 0},
+        {kA + 12, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::Sequential, stream);
+    EXPECT_EQ(out.delivered, 4);
+}
+
+TEST_F(WalkerTest, MispredictStopsDeliveryAtBranch)
+{
+    // Cold BTB + actually-taken branch = mispredict.
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::CondBranch, true, kC},
+        {kC, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::Sequential, stream);
+    EXPECT_EQ(out.delivered, 2);
+    EXPECT_EQ(out.stop, FetchStop::Mispredict);
+    EXPECT_TRUE(out.mispredict);
+}
+
+TEST_F(WalkerTest, ColdJumpCausesDecodeRedirect)
+{
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::Jump, true, kC},
+        {kC, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::Perfect, stream);
+    EXPECT_EQ(out.delivered, 2);
+    EXPECT_EQ(out.stop, FetchStop::BtbMissControl);
+    EXPECT_TRUE(out.decodeRedirect);
+    EXPECT_FALSE(out.mispredict);
+}
+
+TEST_F(WalkerTest, InterleavedSpansTwoSequentialBlocks)
+{
+    FetchOutcome out =
+        walk(SchemeKind::InterleavedSequential, seqRun(kA, 12));
+    EXPECT_EQ(out.delivered, 8); // blocks A and B
+    EXPECT_EQ(out.stop, FetchStop::BlockEnd);
+}
+
+TEST_F(WalkerTest, InterleavedFromMidBlockStillGetsTwoBlocks)
+{
+    FetchOutcome out =
+        walk(SchemeKind::InterleavedSequential, seqRun(kA + 8, 12));
+    EXPECT_EQ(out.delivered, 6); // 2 from A, 4 from B
+    EXPECT_EQ(out.stop, FetchStop::BlockEnd);
+}
+
+TEST_F(WalkerTest, InterleavedCannotCrossTakenBranch)
+{
+    train(kA + 4, kB);
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::CondBranch, true, kB},
+        {kB, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out =
+        walk(SchemeKind::InterleavedSequential, stream);
+    EXPECT_EQ(out.delivered, 2);
+    EXPECT_EQ(out.stop, FetchStop::TakenBranch);
+}
+
+TEST_F(WalkerTest, BankedCrossesInterBlockTakenBranch)
+{
+    train(kA + 4, kB); // target in the other bank
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::CondBranch, true, kB},
+        {kB, OpClass::IntAlu, false, 0},
+        {kB + 4, OpClass::IntAlu, false, 0},
+        {kB + 8, OpClass::IntAlu, false, 0},
+        {kB + 12, OpClass::IntAlu, false, 0},
+        {kC, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::BankedSequential, stream);
+    EXPECT_EQ(out.delivered, 6); // 2 from A + 4 from B
+    EXPECT_EQ(out.stop, FetchStop::BlockEnd); // no third block
+}
+
+TEST_F(WalkerTest, BankedStopsOnBankConflict)
+{
+    train(kA + 4, kC); // block A+2: same bank as A
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::CondBranch, true, kC},
+        {kC, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::BankedSequential, stream);
+    EXPECT_EQ(out.delivered, 2);
+    EXPECT_EQ(out.stop, FetchStop::BankConflict);
+}
+
+TEST_F(WalkerTest, BankedCannotHandleIntraBlockBranch)
+{
+    train(kA + 4, kA + 12); // forward, same block
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::CondBranch, true, kA + 12},
+        {kA + 12, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::BankedSequential, stream);
+    EXPECT_EQ(out.delivered, 2);
+    EXPECT_EQ(out.stop, FetchStop::IntraBlock);
+}
+
+TEST_F(WalkerTest, BankedCrossesBackwardInterBlockBranch)
+{
+    // Backward taken branch to a different bank works in banked
+    // sequential (the paper only requires different banks).
+    train(kB + 4, kA);
+    auto stream = test::makeStream({
+        {kB, OpClass::IntAlu, false, 0},
+        {kB + 4, OpClass::CondBranch, true, kA},
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::BankedSequential, stream);
+    EXPECT_EQ(out.delivered, 4);
+}
+
+TEST_F(WalkerTest, CollapsingRemovesIntraBlockForwardGap)
+{
+    train(kA + 4, kA + 12);
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::CondBranch, true, kA + 12},
+        {kA + 12, OpClass::IntAlu, false, 0}, // gap collapsed
+        {kB, OpClass::IntAlu, false, 0},
+        {kB + 4, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::CollapsingBuffer, stream);
+    EXPECT_EQ(out.delivered, 5); // everything, incl. block B
+}
+
+TEST_F(WalkerTest, CollapsingStopsAtBackwardIntraBlockBranch)
+{
+    train(kA + 8, kA); // backward, same block
+    auto stream = test::makeStream({
+        {kA + 4, OpClass::IntAlu, false, 0},
+        {kA + 8, OpClass::CondBranch, true, kA},
+        {kA, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::CollapsingBuffer, stream);
+    EXPECT_EQ(out.delivered, 2);
+    EXPECT_EQ(out.stop, FetchStop::BackwardIntra);
+}
+
+TEST_F(WalkerTest, CollapsingHandlesMultipleIntraBlockBranches)
+{
+    train(kA, kA + 8);
+    train(kA + 8, kB + 4);
+    auto stream = test::makeStream({
+        {kA, OpClass::CondBranch, true, kA + 8},
+        {kA + 8, OpClass::CondBranch, true, kB + 4},
+        {kB + 4, OpClass::IntAlu, false, 0},
+        {kB + 8, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::CollapsingBuffer, stream);
+    EXPECT_EQ(out.delivered, 4);
+}
+
+TEST_F(WalkerTest, CollapsingStillLimitedToTwoBlocks)
+{
+    train(kA + 4, kB);
+    train(kB + 4, kD);
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::CondBranch, true, kB},
+        {kB, OpClass::IntAlu, false, 0},
+        {kB + 4, OpClass::CondBranch, true, kD},
+        {kD, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::CollapsingBuffer, stream);
+    EXPECT_EQ(out.delivered, 4);
+    EXPECT_EQ(out.stop, FetchStop::BlockEnd);
+}
+
+TEST_F(WalkerTest, ExtendedControllerCollapsesBackwardIntra)
+{
+    // The Section 3.3 extension: the crossbar may follow backward
+    // intra-block targets (a tiny loop inside one block).
+    train(kA + 8, kA);
+    WalkRules rules = rulesFor(SchemeKind::CollapsingBuffer);
+    rules.collapseIntraBackward = true;
+    auto stream = test::makeStream({
+        {kA + 4, OpClass::IntAlu, false, 0},
+        {kA + 8, OpClass::CondBranch, true, kA},
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::IntAlu, false, 0},
+    });
+    FetchContext ctx;
+    ctx.stream = stream.data();
+    ctx.streamLen = static_cast<int>(stream.size());
+    ctx.predictor = &suite;
+    ctx.icache = &icache;
+    ctx.cfg = &cfg;
+    ctx.specHeadroom = cfg.specDepth;
+    ctx.windowSpace = 64;
+    FetchOutcome out = runWalk(rules, ctx);
+    EXPECT_EQ(out.delivered, 4);
+}
+
+TEST_F(WalkerTest, PerfectCrossesEverything)
+{
+    train(kA + 4, kA + 12);
+    train(kA + 12, kC);
+    train(kC + 4, kB);
+    auto stream = test::makeStream({
+        {kA, OpClass::IntAlu, false, 0},
+        {kA + 4, OpClass::CondBranch, true, kA + 12},
+        {kA + 12, OpClass::CondBranch, true, kC},
+        {kC, OpClass::IntAlu, false, 0},
+        {kC + 4, OpClass::CondBranch, true, kB},
+        {kB, OpClass::IntAlu, false, 0},
+        {kB + 4, OpClass::IntAlu, false, 0},
+        {kB + 8, OpClass::IntAlu, false, 0},
+        {kB + 12, OpClass::IntAlu, false, 0},
+        {kC + 8, OpClass::IntAlu, false, 0},
+        {kC + 12, OpClass::IntAlu, false, 0},
+        {kD, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::Perfect, stream);
+    EXPECT_EQ(out.delivered, 12);
+    EXPECT_EQ(out.stop, FetchStop::IssueLimit);
+}
+
+TEST_F(WalkerTest, SpeculationDepthGatesCondBranches)
+{
+    // Not-taken branches so alignment never interferes.
+    auto stream = test::makeStream({
+        {kA, OpClass::CondBranch, false, 0},
+        {kA + 4, OpClass::CondBranch, false, 0},
+        {kA + 8, OpClass::CondBranch, false, 0},
+        {kA + 12, OpClass::IntAlu, false, 0},
+    });
+    FetchOutcome out =
+        walk(SchemeKind::Sequential, stream, 64, 2);
+    EXPECT_EQ(out.delivered, 2);
+    EXPECT_EQ(out.stop, FetchStop::SpecDepth);
+}
+
+TEST_F(WalkerTest, ZeroSpecHeadroomBlocksFirstBranch)
+{
+    auto stream = test::makeStream({
+        {kA, OpClass::CondBranch, false, 0},
+    });
+    FetchOutcome out = walk(SchemeKind::Perfect, stream, 64, 0);
+    EXPECT_EQ(out.delivered, 0);
+    EXPECT_EQ(out.stop, FetchStop::SpecDepth);
+}
+
+TEST_F(WalkerTest, WindowSpaceLimitsGroup)
+{
+    FetchOutcome out =
+        walk(SchemeKind::Sequential, seqRun(kA, 4), 3);
+    EXPECT_EQ(out.delivered, 3);
+    EXPECT_EQ(out.stop, FetchStop::WindowFull);
+}
+
+TEST_F(WalkerTest, NoWindowSpaceDeliversNothing)
+{
+    FetchOutcome out =
+        walk(SchemeKind::Sequential, seqRun(kA, 4), 0);
+    EXPECT_EQ(out.delivered, 0);
+    EXPECT_EQ(out.stop, FetchStop::WindowFull);
+}
+
+TEST_F(WalkerTest, ColdFetchBlockStalls)
+{
+    const std::uint64_t cold = 0x40000; // never warmed
+    FetchOutcome out =
+        walk(SchemeKind::Sequential, seqRun(cold, 4));
+    EXPECT_EQ(out.delivered, 0);
+    EXPECT_EQ(out.stop, FetchStop::CacheMiss);
+    EXPECT_EQ(out.stallAfter, cfg.icacheMissPenalty);
+    // The miss filled the block: the retry hits.
+    FetchOutcome retry =
+        walk(SchemeKind::Sequential, seqRun(cold, 4));
+    EXPECT_EQ(retry.delivered, 4);
+}
+
+TEST_F(WalkerTest, ColdSecondBlockDeliversPartialGroup)
+{
+    const std::uint64_t cold_base = 0x50000;
+    icache.access(cold_base); // warm only the first block
+    FetchOutcome out = walk(SchemeKind::InterleavedSequential,
+                            seqRun(cold_base, 8));
+    EXPECT_EQ(out.delivered, 4);
+    EXPECT_EQ(out.stop, FetchStop::CacheMiss);
+    EXPECT_EQ(out.stallAfter, cfg.icacheMissPenalty);
+}
+
+TEST_F(WalkerTest, EmptyStreamReturnsStreamEnd)
+{
+    std::vector<DynInst> empty;
+    FetchOutcome out = walk(SchemeKind::Perfect, empty);
+    EXPECT_EQ(out.delivered, 0);
+    EXPECT_EQ(out.stop, FetchStop::StreamEnd);
+}
+
+/**
+ * Dominance property over random streams: for identical predictor
+ * and cache state, perfect >= collapsing >= banked >= sequential and
+ * collapsing >= interleaved >= sequential in delivered count.
+ * (Banked vs interleaved is incomparable in rare bank-conflict
+ * cases, so it is not asserted.)
+ */
+TEST_F(WalkerTest, SchemeDominanceOnRandomStreams)
+{
+    Rng rng(2024);
+    for (int round = 0; round < 300; ++round) {
+        // Random predicted path over 8 blocks, all warmed.
+        std::vector<test::StreamSpec> specs;
+        std::uint64_t pc =
+            kA + rng.uniform(8) * 16 + rng.uniform(4) * 4;
+        for (int i = 0; i < 16; ++i) {
+            if (rng.bernoulli(0.3)) {
+                std::uint64_t target =
+                    kA + rng.uniform(8) * 16 + rng.uniform(4) * 4;
+                specs.push_back(
+                    {pc, OpClass::CondBranch, true, target});
+                train(pc, target);
+                pc = target;
+            } else {
+                specs.push_back({pc, OpClass::IntAlu, false, 0});
+                pc += 4;
+            }
+        }
+        auto stream = test::makeStream(specs);
+        const int seq =
+            walk(SchemeKind::Sequential, stream).delivered;
+        const int inter =
+            walk(SchemeKind::InterleavedSequential, stream).delivered;
+        const int banked =
+            walk(SchemeKind::BankedSequential, stream).delivered;
+        const int collapse =
+            walk(SchemeKind::CollapsingBuffer, stream).delivered;
+        const int perfect =
+            walk(SchemeKind::Perfect, stream).delivered;
+        ASSERT_LE(seq, inter);
+        ASSERT_LE(inter, collapse);
+        ASSERT_LE(banked, collapse);
+        ASSERT_LE(collapse, perfect);
+        ASSERT_LE(perfect, cfg.issueRate);
+    }
+}
+
+} // anonymous namespace
+} // namespace fetchsim
