@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fetch_hardware.dir/abl_fetch_hardware.cc.o"
+  "CMakeFiles/abl_fetch_hardware.dir/abl_fetch_hardware.cc.o.d"
+  "abl_fetch_hardware"
+  "abl_fetch_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fetch_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_speculation_depth.dir/abl_speculation_depth.cc.o"
+  "CMakeFiles/abl_speculation_depth.dir/abl_speculation_depth.cc.o.d"
+  "abl_speculation_depth"
+  "abl_speculation_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_speculation_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

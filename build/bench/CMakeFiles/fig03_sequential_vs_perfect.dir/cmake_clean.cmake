@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_sequential_vs_perfect.dir/fig03_sequential_vs_perfect.cc.o"
+  "CMakeFiles/fig03_sequential_vs_perfect.dir/fig03_sequential_vs_perfect.cc.o.d"
+  "fig03_sequential_vs_perfect"
+  "fig03_sequential_vs_perfect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_sequential_vs_perfect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_sequential_vs_perfect.
+# This may be replaced when dependencies are built.

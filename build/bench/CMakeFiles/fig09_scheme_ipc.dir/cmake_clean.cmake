@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scheme_ipc.dir/fig09_scheme_ipc.cc.o"
+  "CMakeFiles/fig09_scheme_ipc.dir/fig09_scheme_ipc.cc.o.d"
+  "fig09_scheme_ipc"
+  "fig09_scheme_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scheme_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

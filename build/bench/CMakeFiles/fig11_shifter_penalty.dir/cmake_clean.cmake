@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_shifter_penalty.dir/fig11_shifter_penalty.cc.o"
+  "CMakeFiles/fig11_shifter_penalty.dir/fig11_shifter_penalty.cc.o.d"
+  "fig11_shifter_penalty"
+  "fig11_shifter_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_shifter_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

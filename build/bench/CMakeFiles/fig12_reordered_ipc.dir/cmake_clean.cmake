@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_reordered_ipc.dir/fig12_reordered_ipc.cc.o"
+  "CMakeFiles/fig12_reordered_ipc.dir/fig12_reordered_ipc.cc.o.d"
+  "fig12_reordered_ipc"
+  "fig12_reordered_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_reordered_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_padding_ipc.dir/fig13_padding_ipc.cc.o"
+  "CMakeFiles/fig13_padding_ipc.dir/fig13_padding_ipc.cc.o.d"
+  "fig13_padding_ipc"
+  "fig13_padding_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_padding_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

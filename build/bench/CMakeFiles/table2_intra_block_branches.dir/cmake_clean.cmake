@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_intra_block_branches.dir/table2_intra_block_branches.cc.o"
+  "CMakeFiles/table2_intra_block_branches.dir/table2_intra_block_branches.cc.o.d"
+  "table2_intra_block_branches"
+  "table2_intra_block_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_intra_block_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_taken_branch_reduction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_nop_padding.dir/table4_nop_padding.cc.o"
+  "CMakeFiles/table4_nop_padding.dir/table4_nop_padding.cc.o.d"
+  "table4_nop_padding"
+  "table4_nop_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_nop_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

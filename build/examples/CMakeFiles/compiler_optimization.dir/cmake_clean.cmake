@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_optimization.dir/compiler_optimization.cpp.o"
+  "CMakeFiles/compiler_optimization.dir/compiler_optimization.cpp.o.d"
+  "compiler_optimization"
+  "compiler_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

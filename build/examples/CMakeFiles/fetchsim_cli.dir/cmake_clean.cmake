@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetchsim_cli.dir/fetchsim_cli.cpp.o"
+  "CMakeFiles/fetchsim_cli.dir/fetchsim_cli.cpp.o.d"
+  "fetchsim_cli"
+  "fetchsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetchsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

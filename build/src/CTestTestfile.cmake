@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("isa")
+subdirs("program")
+subdirs("workload")
+subdirs("exec")
+subdirs("cache")
+subdirs("branch")
+subdirs("fetch")
+subdirs("core")
+subdirs("compiler")
+subdirs("sim")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/btb.cc" "src/branch/CMakeFiles/fs_branch.dir/btb.cc.o" "gcc" "src/branch/CMakeFiles/fs_branch.dir/btb.cc.o.d"
+  "/root/repo/src/branch/direction_predictor.cc" "src/branch/CMakeFiles/fs_branch.dir/direction_predictor.cc.o" "gcc" "src/branch/CMakeFiles/fs_branch.dir/direction_predictor.cc.o.d"
+  "/root/repo/src/branch/predictor_suite.cc" "src/branch/CMakeFiles/fs_branch.dir/predictor_suite.cc.o" "gcc" "src/branch/CMakeFiles/fs_branch.dir/predictor_suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/fs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/fs_program.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

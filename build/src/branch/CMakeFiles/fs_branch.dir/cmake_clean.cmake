@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_branch.dir/btb.cc.o"
+  "CMakeFiles/fs_branch.dir/btb.cc.o.d"
+  "CMakeFiles/fs_branch.dir/direction_predictor.cc.o"
+  "CMakeFiles/fs_branch.dir/direction_predictor.cc.o.d"
+  "CMakeFiles/fs_branch.dir/predictor_suite.cc.o"
+  "CMakeFiles/fs_branch.dir/predictor_suite.cc.o.d"
+  "libfs_branch.a"
+  "libfs_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

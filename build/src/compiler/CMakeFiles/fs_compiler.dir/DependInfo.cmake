@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/code_layout.cc" "src/compiler/CMakeFiles/fs_compiler.dir/code_layout.cc.o" "gcc" "src/compiler/CMakeFiles/fs_compiler.dir/code_layout.cc.o.d"
+  "/root/repo/src/compiler/function_layout.cc" "src/compiler/CMakeFiles/fs_compiler.dir/function_layout.cc.o" "gcc" "src/compiler/CMakeFiles/fs_compiler.dir/function_layout.cc.o.d"
+  "/root/repo/src/compiler/nop_padding.cc" "src/compiler/CMakeFiles/fs_compiler.dir/nop_padding.cc.o" "gcc" "src/compiler/CMakeFiles/fs_compiler.dir/nop_padding.cc.o.d"
+  "/root/repo/src/compiler/profile.cc" "src/compiler/CMakeFiles/fs_compiler.dir/profile.cc.o" "gcc" "src/compiler/CMakeFiles/fs_compiler.dir/profile.cc.o.d"
+  "/root/repo/src/compiler/trace_selection.cc" "src/compiler/CMakeFiles/fs_compiler.dir/trace_selection.cc.o" "gcc" "src/compiler/CMakeFiles/fs_compiler.dir/trace_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/fs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/fs_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

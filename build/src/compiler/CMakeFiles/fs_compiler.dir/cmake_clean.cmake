@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_compiler.dir/code_layout.cc.o"
+  "CMakeFiles/fs_compiler.dir/code_layout.cc.o.d"
+  "CMakeFiles/fs_compiler.dir/function_layout.cc.o"
+  "CMakeFiles/fs_compiler.dir/function_layout.cc.o.d"
+  "CMakeFiles/fs_compiler.dir/nop_padding.cc.o"
+  "CMakeFiles/fs_compiler.dir/nop_padding.cc.o.d"
+  "CMakeFiles/fs_compiler.dir/profile.cc.o"
+  "CMakeFiles/fs_compiler.dir/profile.cc.o.d"
+  "CMakeFiles/fs_compiler.dir/trace_selection.cc.o"
+  "CMakeFiles/fs_compiler.dir/trace_selection.cc.o.d"
+  "libfs_compiler.a"
+  "libfs_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_core.dir/processor.cc.o"
+  "CMakeFiles/fs_core.dir/processor.cc.o.d"
+  "CMakeFiles/fs_core.dir/register_state.cc.o"
+  "CMakeFiles/fs_core.dir/register_state.cc.o.d"
+  "libfs_core.a"
+  "libfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/branch_census.cc" "src/exec/CMakeFiles/fs_exec.dir/branch_census.cc.o" "gcc" "src/exec/CMakeFiles/fs_exec.dir/branch_census.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/fs_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/fs_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/trace_file.cc" "src/exec/CMakeFiles/fs_exec.dir/trace_file.cc.o" "gcc" "src/exec/CMakeFiles/fs_exec.dir/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/fs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/fs_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

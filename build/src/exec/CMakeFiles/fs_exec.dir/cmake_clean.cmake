@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_exec.dir/branch_census.cc.o"
+  "CMakeFiles/fs_exec.dir/branch_census.cc.o.d"
+  "CMakeFiles/fs_exec.dir/executor.cc.o"
+  "CMakeFiles/fs_exec.dir/executor.cc.o.d"
+  "CMakeFiles/fs_exec.dir/trace_file.cc.o"
+  "CMakeFiles/fs_exec.dir/trace_file.cc.o.d"
+  "libfs_exec.a"
+  "libfs_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fetch/fetch_mechanism.cc" "src/fetch/CMakeFiles/fs_fetch.dir/fetch_mechanism.cc.o" "gcc" "src/fetch/CMakeFiles/fs_fetch.dir/fetch_mechanism.cc.o.d"
+  "/root/repo/src/fetch/hw_models.cc" "src/fetch/CMakeFiles/fs_fetch.dir/hw_models.cc.o" "gcc" "src/fetch/CMakeFiles/fs_fetch.dir/hw_models.cc.o.d"
+  "/root/repo/src/fetch/prediction.cc" "src/fetch/CMakeFiles/fs_fetch.dir/prediction.cc.o" "gcc" "src/fetch/CMakeFiles/fs_fetch.dir/prediction.cc.o.d"
+  "/root/repo/src/fetch/walker.cc" "src/fetch/CMakeFiles/fs_fetch.dir/walker.cc.o" "gcc" "src/fetch/CMakeFiles/fs_fetch.dir/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/branch/CMakeFiles/fs_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/fs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/fs_program.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

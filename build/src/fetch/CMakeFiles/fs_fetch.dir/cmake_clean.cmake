@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_fetch.dir/fetch_mechanism.cc.o"
+  "CMakeFiles/fs_fetch.dir/fetch_mechanism.cc.o.d"
+  "CMakeFiles/fs_fetch.dir/hw_models.cc.o"
+  "CMakeFiles/fs_fetch.dir/hw_models.cc.o.d"
+  "CMakeFiles/fs_fetch.dir/prediction.cc.o"
+  "CMakeFiles/fs_fetch.dir/prediction.cc.o.d"
+  "CMakeFiles/fs_fetch.dir/walker.cc.o"
+  "CMakeFiles/fs_fetch.dir/walker.cc.o.d"
+  "libfs_fetch.a"
+  "libfs_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_isa.dir/disasm.cc.o"
+  "CMakeFiles/fs_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/fs_isa.dir/encoding.cc.o"
+  "CMakeFiles/fs_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/fs_isa.dir/opcode.cc.o"
+  "CMakeFiles/fs_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/fs_isa.dir/static_inst.cc.o"
+  "CMakeFiles/fs_isa.dir/static_inst.cc.o.d"
+  "libfs_isa.a"
+  "libfs_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/dump.cc" "src/program/CMakeFiles/fs_program.dir/dump.cc.o" "gcc" "src/program/CMakeFiles/fs_program.dir/dump.cc.o.d"
+  "/root/repo/src/program/layout.cc" "src/program/CMakeFiles/fs_program.dir/layout.cc.o" "gcc" "src/program/CMakeFiles/fs_program.dir/layout.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/program/CMakeFiles/fs_program.dir/program.cc.o" "gcc" "src/program/CMakeFiles/fs_program.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/fs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

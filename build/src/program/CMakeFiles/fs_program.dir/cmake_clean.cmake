@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_program.dir/dump.cc.o"
+  "CMakeFiles/fs_program.dir/dump.cc.o.d"
+  "CMakeFiles/fs_program.dir/layout.cc.o"
+  "CMakeFiles/fs_program.dir/layout.cc.o.d"
+  "CMakeFiles/fs_program.dir/program.cc.o"
+  "CMakeFiles/fs_program.dir/program.cc.o.d"
+  "libfs_program.a"
+  "libfs_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/fs_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/fs_sim.dir/experiment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/fs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/fetch/CMakeFiles/fs_fetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/fs_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/fs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/fs_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fs_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

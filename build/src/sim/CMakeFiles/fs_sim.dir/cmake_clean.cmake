@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_sim.dir/experiment.cc.o"
+  "CMakeFiles/fs_sim.dir/experiment.cc.o.d"
+  "libfs_sim.a"
+  "libfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_stats.dir/counters.cc.o"
+  "CMakeFiles/fs_stats.dir/counters.cc.o.d"
+  "CMakeFiles/fs_stats.dir/log.cc.o"
+  "CMakeFiles/fs_stats.dir/log.cc.o.d"
+  "CMakeFiles/fs_stats.dir/summary.cc.o"
+  "CMakeFiles/fs_stats.dir/summary.cc.o.d"
+  "CMakeFiles/fs_stats.dir/table.cc.o"
+  "CMakeFiles/fs_stats.dir/table.cc.o.d"
+  "libfs_stats.a"
+  "libfs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

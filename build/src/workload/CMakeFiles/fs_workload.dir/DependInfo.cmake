@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark_suite.cc" "src/workload/CMakeFiles/fs_workload.dir/benchmark_suite.cc.o" "gcc" "src/workload/CMakeFiles/fs_workload.dir/benchmark_suite.cc.o.d"
+  "/root/repo/src/workload/branch_behavior.cc" "src/workload/CMakeFiles/fs_workload.dir/branch_behavior.cc.o" "gcc" "src/workload/CMakeFiles/fs_workload.dir/branch_behavior.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/fs_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/fs_workload.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/fs_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

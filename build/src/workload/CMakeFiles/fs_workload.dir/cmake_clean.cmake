@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_workload.dir/benchmark_suite.cc.o"
+  "CMakeFiles/fs_workload.dir/benchmark_suite.cc.o.d"
+  "CMakeFiles/fs_workload.dir/branch_behavior.cc.o"
+  "CMakeFiles/fs_workload.dir/branch_behavior.cc.o.d"
+  "CMakeFiles/fs_workload.dir/generator.cc.o"
+  "CMakeFiles/fs_workload.dir/generator.cc.o.d"
+  "libfs_workload.a"
+  "libfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_function_layout.dir/test_function_layout.cc.o"
+  "CMakeFiles/test_function_layout.dir/test_function_layout.cc.o.d"
+  "test_function_layout"
+  "test_function_layout.pdb"
+  "test_function_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_function_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

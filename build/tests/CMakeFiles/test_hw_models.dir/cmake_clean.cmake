@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_models.dir/test_hw_models.cc.o"
+  "CMakeFiles/test_hw_models.dir/test_hw_models.cc.o.d"
+  "test_hw_models"
+  "test_hw_models.pdb"
+  "test_hw_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_shape.dir/test_paper_shape.cc.o"
+  "CMakeFiles/test_paper_shape.dir/test_paper_shape.cc.o.d"
+  "test_paper_shape"
+  "test_paper_shape.pdb"
+  "test_paper_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor_suite.dir/test_predictor_suite.cc.o"
+  "CMakeFiles/test_predictor_suite.dir/test_predictor_suite.cc.o.d"
+  "test_predictor_suite"
+  "test_predictor_suite.pdb"
+  "test_predictor_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

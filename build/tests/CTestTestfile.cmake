@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_program[1]_include.cmake")
+include("/root/repo/build/tests/test_behavior[1]_include.cmake")
+include("/root/repo/build/tests/test_generator[1]_include.cmake")
+include("/root/repo/build/tests/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_icache[1]_include.cmake")
+include("/root/repo/build/tests/test_btb[1]_include.cmake")
+include("/root/repo/build/tests/test_prediction[1]_include.cmake")
+include("/root/repo/build/tests/test_walker[1]_include.cmake")
+include("/root/repo/build/tests/test_hw_models[1]_include.cmake")
+include("/root/repo/build/tests/test_processor[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shape[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_file[1]_include.cmake")
+include("/root/repo/build/tests/test_dump[1]_include.cmake")
+include("/root/repo/build/tests/test_function_layout[1]_include.cmake")
