@@ -3,6 +3,10 @@
  * Ablation: the remaining fetch-hardware design choices DESIGN.md
  * calls out -- BTB size, I-cache refill latency, scheduling-window
  * size, and the extended backward-collapsing crossbar controller.
+ *
+ * Each study expands its grid through an ExperimentPlan (override
+ * axes included) and runs it as one parallel batch on the shared
+ * engine.
  */
 
 #include "bench_util.h"
@@ -13,11 +17,24 @@ namespace
 {
 
 void
-btbSizeSweep(const std::vector<std::string> &names)
+btbSizeSweep(SweepEngine &engine, const std::vector<std::string> &names)
 {
+    const int sizes[] = {64, 256, 1024, 4096};
+    std::vector<RunConfig> batch;
+    for (int size : sizes) {
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .scheme(SchemeKind::CollapsingBuffer)
+            .override([size](RunConfig &config) {
+                config.btbEntriesOverride = size;
+            });
+        appendPlan(batch, plan);
+    }
+    SweepResult sweep = engine.run(batch);
+
     TextTable table("BTB entries vs integer IPC "
                     "(collapsing buffer)");
-    const int sizes[] = {64, 256, 1024, 4096};
     std::vector<std::string> header = {"machine"};
     for (int size : sizes)
         header.push_back(std::to_string(size));
@@ -26,11 +43,12 @@ btbSizeSweep(const std::vector<std::string> &names)
         table.startRow();
         table.addCell(std::string(machineName(machine)));
         for (int size : sizes) {
-            RunConfig proto;
-            proto.machine = machine;
-            proto.scheme = SchemeKind::CollapsingBuffer;
-            proto.btbEntriesOverride = size;
-            table.addCell(runSuite(names, proto).hmeanIpc, 3);
+            SuiteResult suite =
+                sweep.suiteWhere([&](const RunConfig &config) {
+                    return config.machine == machine &&
+                           config.btbEntriesOverride == size;
+                });
+            table.addCell(suite.hmeanIpc, 3);
         }
     }
     table.print(std::cout);
@@ -40,25 +58,41 @@ btbSizeSweep(const std::vector<std::string> &names)
 }
 
 void
-missPenaltySweep(const std::vector<std::string> &names)
+missPenaltySweep(SweepEngine &engine,
+                 const std::vector<std::string> &names)
 {
-    TextTable table("I-cache refill latency vs integer IPC, P112");
     const int penalties[] = {4, 10, 20, 40};
+    const std::vector<SchemeKind> schemes = {
+        SchemeKind::Sequential, SchemeKind::CollapsingBuffer,
+        SchemeKind::Perfect};
+    std::vector<RunConfig> batch;
+    for (int p : penalties) {
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machine(MachineModel::P112)
+            .schemes(schemes)
+            .override([p](RunConfig &config) {
+                config.missPenaltyOverride = p;
+            });
+        appendPlan(batch, plan);
+    }
+    SweepResult sweep = engine.run(batch);
+
+    TextTable table("I-cache refill latency vs integer IPC, P112");
     std::vector<std::string> header = {"scheme"};
     for (int p : penalties)
         header.push_back(std::to_string(p) + " cyc");
     table.setHeader(header);
-    for (SchemeKind scheme :
-         {SchemeKind::Sequential, SchemeKind::CollapsingBuffer,
-          SchemeKind::Perfect}) {
+    for (SchemeKind scheme : schemes) {
         table.startRow();
         table.addCell(std::string(schemeName(scheme)));
         for (int p : penalties) {
-            RunConfig proto;
-            proto.machine = MachineModel::P112;
-            proto.scheme = scheme;
-            proto.missPenaltyOverride = p;
-            table.addCell(runSuite(names, proto).hmeanIpc, 3);
+            SuiteResult suite =
+                sweep.suiteWhere([&](const RunConfig &config) {
+                    return config.scheme == scheme &&
+                           config.missPenaltyOverride == p;
+                });
+            table.addCell(suite.hmeanIpc, 3);
         }
     }
     table.print(std::cout);
@@ -68,11 +102,24 @@ missPenaltySweep(const std::vector<std::string> &names)
 }
 
 void
-windowSweep(const std::vector<std::string> &names)
+windowSweep(SweepEngine &engine, const std::vector<std::string> &names)
 {
+    const int windows[] = {8, 16, 32, 64, 128};
+    std::vector<RunConfig> batch;
+    for (int w : windows) {
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machine(MachineModel::P112)
+            .scheme(SchemeKind::CollapsingBuffer)
+            .override([w](RunConfig &config) {
+                config.windowSizeOverride = w;
+            });
+        appendPlan(batch, plan);
+    }
+    SweepResult sweep = engine.run(batch);
+
     TextTable table("Scheduling-window entries vs integer IPC, "
                     "P112, collapsing buffer");
-    const int windows[] = {8, 16, 32, 64, 128};
     std::vector<std::string> header = {"metric"};
     for (int w : windows)
         header.push_back(std::to_string(w));
@@ -80,11 +127,11 @@ windowSweep(const std::vector<std::string> &names)
     table.startRow();
     table.addCell(std::string("IPC"));
     for (int w : windows) {
-        RunConfig proto;
-        proto.machine = MachineModel::P112;
-        proto.scheme = SchemeKind::CollapsingBuffer;
-        proto.windowSizeOverride = w;
-        table.addCell(runSuite(names, proto).hmeanIpc, 3);
+        SuiteResult suite =
+            sweep.suiteWhere([&](const RunConfig &config) {
+                return config.windowSizeOverride == w;
+            });
+        table.addCell(suite.hmeanIpc, 3);
     }
     table.print(std::cout);
     std::cout << "Table 1's 32 entries for P112 sit near "
@@ -92,19 +139,35 @@ windowSweep(const std::vector<std::string> &names)
 }
 
 void
-backwardCollapse(const std::vector<std::string> &names)
+backwardCollapse(SweepEngine &engine,
+                 const std::vector<std::string> &names)
 {
+    std::vector<RunConfig> batch;
+    for (bool backward : {false, true}) {
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .scheme(SchemeKind::CollapsingBuffer)
+            .override([backward](RunConfig &config) {
+                config.cbAllowBackward = backward;
+            });
+        appendPlan(batch, plan);
+    }
+    SweepResult sweep = engine.run(batch);
+
     TextTable table("Extended crossbar controller: backward "
                     "intra-block collapsing (integer IPC)");
     table.setHeader({"machine", "paper controller",
                      "with backward collapsing", "gain"});
     for (MachineModel machine : allMachines()) {
-        RunConfig proto;
-        proto.machine = machine;
-        proto.scheme = SchemeKind::CollapsingBuffer;
-        SuiteResult base = runSuite(names, proto);
-        proto.cbAllowBackward = true;
-        SuiteResult ext = runSuite(names, proto);
+        auto cell = [&](bool backward) {
+            return sweep.suiteWhere([&](const RunConfig &config) {
+                return config.machine == machine &&
+                       config.cbAllowBackward == backward;
+            });
+        };
+        SuiteResult base = cell(false);
+        SuiteResult ext = cell(true);
         table.startRow();
         table.addCell(std::string(machineName(machine)));
         table.addCell(base.hmeanIpc, 3);
@@ -122,11 +185,25 @@ backwardCollapse(const std::vector<std::string> &names)
 }
 
 void
-associativitySweep(const std::vector<std::string> &names)
+associativitySweep(SweepEngine &engine,
+                   const std::vector<std::string> &names)
 {
+    const int ways[] = {1, 2, 4};
+    std::vector<RunConfig> batch;
+    for (int w : ways) {
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .scheme(SchemeKind::CollapsingBuffer)
+            .override([w](RunConfig &config) {
+                config.icacheWaysOverride = w;
+            });
+        appendPlan(batch, plan);
+    }
+    SweepResult sweep = engine.run(batch);
+
     TextTable table("I-cache associativity vs integer IPC "
                     "(collapsing buffer; paper uses direct-mapped)");
-    const int ways[] = {1, 2, 4};
     std::vector<std::string> header = {"machine"};
     for (int w : ways)
         header.push_back(std::to_string(w) + "-way");
@@ -135,11 +212,12 @@ associativitySweep(const std::vector<std::string> &names)
         table.startRow();
         table.addCell(std::string(machineName(machine)));
         for (int w : ways) {
-            RunConfig proto;
-            proto.machine = machine;
-            proto.scheme = SchemeKind::CollapsingBuffer;
-            proto.icacheWaysOverride = w;
-            table.addCell(runSuite(names, proto).hmeanIpc, 3);
+            SuiteResult suite =
+                sweep.suiteWhere([&](const RunConfig &config) {
+                    return config.machine == machine &&
+                           config.icacheWaysOverride == w;
+                });
+            table.addCell(suite.hmeanIpc, 3);
         }
     }
     table.print(std::cout);
@@ -151,21 +229,27 @@ associativitySweep(const std::vector<std::string> &names)
 }
 
 void
-functionPlacement(const std::vector<std::string> &names)
+functionPlacement(SweepEngine &engine,
+                  const std::vector<std::string> &names)
 {
+    ExperimentPlan plan;
+    plan.benchmarks(names)
+        .machines(allMachines())
+        .scheme(SchemeKind::Sequential)
+        .layouts({LayoutKind::Reordered, LayoutKind::ReorderedPlaced});
+    SweepResult sweep = engine.run(plan);
+
     TextTable table("Pettis-Hansen function placement on top of "
                     "trace reordering (integer IPC, sequential "
                     "scheme)");
     table.setHeader({"machine", "reordered", "reordered+placed",
                      "gain"});
     for (MachineModel machine : allMachines()) {
-        RunConfig proto;
-        proto.machine = machine;
-        proto.scheme = SchemeKind::Sequential;
-        proto.layout = LayoutKind::Reordered;
-        SuiteResult base = runSuite(names, proto);
-        proto.layout = LayoutKind::ReorderedPlaced;
-        SuiteResult placed = runSuite(names, proto);
+        SuiteResult base = sweep.suite(
+            machine, SchemeKind::Sequential, LayoutKind::Reordered);
+        SuiteResult placed =
+            sweep.suite(machine, SchemeKind::Sequential,
+                        LayoutKind::ReorderedPlaced);
         table.startRow();
         table.addCell(std::string(machineName(machine)));
         table.addCell(base.hmeanIpc, 3);
@@ -183,12 +267,9 @@ functionPlacement(const std::vector<std::string> &names)
 }
 
 void
-power2Comparator(const std::vector<std::string> &names)
+power2Comparator(SweepEngine &engine,
+                 const std::vector<std::string> &names)
 {
-    TextTable table("Related work (Section 1): POWER2-style 8-bank "
-                    "fetch vs the paper's schemes (integer IPC)");
-    table.setHeader({"configuration", "P14", "P18", "P112"});
-
     struct Row
     {
         const char *label;
@@ -205,15 +286,34 @@ power2Comparator(const std::vector<std::string> &names)
         {"multi-banked, BTB 2-bit", SchemeKind::MultiBanked,
          PredictorKind::BtbCounter},
     };
+
+    std::vector<RunConfig> batch;
+    for (const Row &row : rows) {
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .scheme(row.scheme)
+            .override([&row](RunConfig &config) {
+                config.predictorKind = row.predictor;
+            });
+        appendPlan(batch, plan);
+    }
+    SweepResult sweep = engine.run(batch);
+
+    TextTable table("Related work (Section 1): POWER2-style 8-bank "
+                    "fetch vs the paper's schemes (integer IPC)");
+    table.setHeader({"configuration", "P14", "P18", "P112"});
     for (const Row &row : rows) {
         table.startRow();
         table.addCell(std::string(row.label));
         for (MachineModel machine : allMachines()) {
-            RunConfig proto;
-            proto.machine = machine;
-            proto.scheme = row.scheme;
-            proto.predictorKind = row.predictor;
-            table.addCell(runSuite(names, proto).hmeanIpc, 3);
+            SuiteResult suite =
+                sweep.suiteWhere([&](const RunConfig &config) {
+                    return config.machine == machine &&
+                           config.scheme == row.scheme &&
+                           config.predictorKind == row.predictor;
+                });
+            table.addCell(suite.hmeanIpc, 3);
         }
     }
     table.print(std::cout);
@@ -230,15 +330,18 @@ power2Comparator(const std::vector<std::string> &names)
 int
 main()
 {
+    Session session;
+    SweepEngine engine = makeBenchEngine(session);
     benchBanner("fetch-hardware ablations",
-                "the design-choice studies DESIGN.md calls out");
+                "the design-choice studies DESIGN.md calls out",
+                &engine);
     const auto names = integerNames();
-    btbSizeSweep(names);
-    missPenaltySweep(names);
-    windowSweep(names);
-    backwardCollapse(names);
-    associativitySweep(names);
-    functionPlacement(names);
-    power2Comparator(names);
+    btbSizeSweep(engine, names);
+    missPenaltySweep(engine, names);
+    windowSweep(engine, names);
+    backwardCollapse(engine, names);
+    associativitySweep(engine, names);
+    functionPlacement(engine, names);
+    power2Comparator(engine, names);
     return 0;
 }

@@ -23,8 +23,10 @@ using namespace fetchsim;
 int
 main()
 {
+    Session session;
+    SweepEngine engine = makeBenchEngine(session);
     benchBanner("prediction accuracy vs collapsing-buffer pipeline",
-                "the concluding-remarks future-work study");
+                "the concluding-remarks future-work study", &engine);
 
     const auto names = integerNames();
     struct PredRow
@@ -42,6 +44,24 @@ main()
          true},
     };
 
+    // Whole study as one batch: machines x predictors x {crossbar,
+    // shifter} x benchmarks.
+    std::vector<RunConfig> batch;
+    for (const PredRow &pred : preds) {
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .scheme(SchemeKind::CollapsingBuffer)
+            .cbImpls({CollapsingBufferFetch::Impl::Crossbar,
+                      CollapsingBufferFetch::Impl::Shifter})
+            .override([pred](RunConfig &config) {
+                config.predictorKind = pred.kind;
+                config.useRas = pred.ras;
+            });
+        appendPlan(batch, plan);
+    }
+    SweepResult sweep = engine.run(batch);
+
     for (MachineModel machine : allMachines()) {
         TextTable table(std::string("Collapsing buffer on ") +
                         machineName(machine) +
@@ -52,17 +72,19 @@ main()
                          "shifter loss"});
 
         for (const PredRow &pred : preds) {
-            RunConfig proto;
-            proto.machine = machine;
-            proto.scheme = SchemeKind::CollapsingBuffer;
-            proto.predictorKind = pred.kind;
-            proto.useRas = pred.ras;
-
-            proto.cbImpl = CollapsingBufferFetch::Impl::Crossbar;
-            SuiteResult crossbar = runSuite(names, proto);
-
-            proto.cbImpl = CollapsingBufferFetch::Impl::Shifter;
-            SuiteResult shifter = runSuite(names, proto);
+            auto cell = [&](CollapsingBufferFetch::Impl impl) {
+                return sweep.suiteWhere(
+                    [&](const RunConfig &config) {
+                        return config.machine == machine &&
+                               config.predictorKind == pred.kind &&
+                               config.useRas == pred.ras &&
+                               config.cbImpl == impl;
+                    });
+            };
+            SuiteResult crossbar =
+                cell(CollapsingBufferFetch::Impl::Crossbar);
+            SuiteResult shifter =
+                cell(CollapsingBufferFetch::Impl::Shifter);
 
             // Aggregate misprediction rate over the suite.
             std::uint64_t wrong = 0, total = 0;

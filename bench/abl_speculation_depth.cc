@@ -17,15 +17,32 @@ using namespace fetchsim;
 int
 main()
 {
+    Session session;
+    SweepEngine engine = makeBenchEngine(session);
     benchBanner("speculation-depth sweep",
                 "the Section 2 design study behind Table 1's "
-                "speculation rows");
+                "speculation rows",
+                &engine);
 
     const auto names = integerNames();
     // Depth 0 (no speculation past any unresolved branch) is not
     // representable in a decoupled-fetch machine -- fetch could never
     // deliver a conditional branch -- so the sweep starts at 1.
     const int depths[] = {1, 2, 3, 4, 6, 8, 10};
+
+    // One plan per depth (the override axis), one parallel batch.
+    std::vector<RunConfig> batch;
+    for (int depth : depths) {
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .scheme(SchemeKind::CollapsingBuffer)
+            .override([depth](RunConfig &config) {
+                config.specDepthOverride = depth;
+            });
+        appendPlan(batch, plan);
+    }
+    SweepResult sweep = engine.run(batch);
 
     TextTable table("Harmonic-mean integer IPC, collapsing buffer, "
                     "by speculation depth");
@@ -39,11 +56,12 @@ main()
         table.startRow();
         table.addCell(std::string(machineName(machine)));
         for (int depth : depths) {
-            RunConfig proto;
-            proto.machine = machine;
-            proto.scheme = SchemeKind::CollapsingBuffer;
-            proto.specDepthOverride = depth;
-            table.addCell(runSuite(names, proto).hmeanIpc, 3);
+            SuiteResult suite =
+                sweep.suiteWhere([&](const RunConfig &config) {
+                    return config.machine == machine &&
+                           config.specDepthOverride == depth;
+                });
+            table.addCell(suite.hmeanIpc, 3);
         }
         table.addCell(static_cast<std::uint64_t>(
             makeMachine(machine).specDepth));

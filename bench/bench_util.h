@@ -3,19 +3,29 @@
  * Shared helpers for the per-figure/per-table bench binaries.
  *
  * Every binary regenerates one table or figure of the paper's
- * evaluation and prints the same rows/series the paper reports.  The
- * dynamic instruction budget per run comes from FETCHSIM_DYN_INSTS
- * (default 120000).
+ * evaluation and prints the same rows/series the paper reports.  Each
+ * binary owns one Session (the prepared-workload cache) and one
+ * SweepEngine; whole figures are expanded into a single config batch
+ * and executed in parallel across FETCHSIM_THREADS (default: all
+ * hardware threads) worker threads.  Results are deterministic and
+ * independent of the thread count.  The dynamic instruction budget
+ * per run comes from FETCHSIM_DYN_INSTS (default 120000).
  */
 
 #ifndef FETCHSIM_BENCH_BENCH_UTIL_H_
 #define FETCHSIM_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "sim/experiment.h"
+#include <unistd.h>
+
+#include "sim/plan.h"
+#include "sim/report.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
 #include "stats/summary.h"
 #include "stats/table.h"
 
@@ -42,16 +52,50 @@ allSchemes()
     return schemes;
 }
 
+/**
+ * The engine every bench uses: all hardware threads (or
+ * FETCHSIM_THREADS) and, on a terminal, a run-count ticker on stderr.
+ */
+inline SweepEngine
+makeBenchEngine(Session &session)
+{
+    SweepOptions options;
+    if (isatty(STDERR_FILENO)) {
+        options.progress = [](std::size_t done, std::size_t total,
+                              const RunResult &) {
+            std::fprintf(stderr, "\r  [%zu/%zu runs]%s", done, total,
+                         done == total ? "\r            \r" : "");
+        };
+    }
+    return SweepEngine(session, options);
+}
+
+/** Concatenate one plan's expansion onto a config batch. */
+inline void
+appendPlan(std::vector<RunConfig> &batch, const ExperimentPlan &plan)
+{
+    std::vector<RunConfig> expanded = plan.expand();
+    batch.insert(batch.end(),
+                 std::make_move_iterator(expanded.begin()),
+                 std::make_move_iterator(expanded.end()));
+}
+
 /** Print the standard bench banner. */
 inline void
-benchBanner(const std::string &what, const std::string &paper_ref)
+benchBanner(const std::string &what, const std::string &paper_ref,
+            const SweepEngine *engine = nullptr)
 {
     std::cout << "=== fetchsim bench: " << what << " ===\n"
               << "Reproduces " << paper_ref
               << " of Conte et al., ISCA 1995.\n"
               << "Dynamic budget: " << defaultDynInsts()
               << " retired instructions per run "
-                 "(override with FETCHSIM_DYN_INSTS).\n\n";
+                 "(override with FETCHSIM_DYN_INSTS).\n";
+    if (engine) {
+        std::cout << "Sweep threads: " << engine->threads()
+                  << " (override with FETCHSIM_THREADS).\n";
+    }
+    std::cout << "\n";
 }
 
 } // namespace fetchsim

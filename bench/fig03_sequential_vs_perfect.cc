@@ -50,11 +50,21 @@ printMachineTable()
 int
 main()
 {
-    benchBanner("sequential vs perfect", "Figure 3 (and Table 1)");
+    Session session;
+    SweepEngine engine = makeBenchEngine(session);
+    benchBanner("sequential vs perfect", "Figure 3 (and Table 1)",
+                &engine);
     printMachineTable();
 
     for (bool fp : {false, true}) {
         const auto names = fp ? fpNames() : integerNames();
+
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .schemes({SchemeKind::Sequential, SchemeKind::Perfect});
+        SweepResult sweep = engine.run(plan);
+
         TextTable table(std::string("Figure 3: harmonic-mean IPC, ") +
                         (fp ? "floating-point" : "integer") +
                         " benchmarks");
@@ -64,10 +74,8 @@ main()
              {SchemeKind::Sequential, SchemeKind::Perfect}) {
             table.startRow();
             table.addCell(std::string(schemeName(scheme)));
-            for (MachineModel machine : allMachines()) {
-                SuiteResult suite = runSuite(names, machine, scheme);
-                table.addCell(suite.hmeanIpc, 3);
-            }
+            for (MachineModel machine : allMachines())
+                table.addCell(sweep.suite(machine, scheme).hmeanIpc, 3);
         }
         table.print(std::cout);
         std::cout << "\n";

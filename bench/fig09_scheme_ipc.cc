@@ -12,10 +12,21 @@ using namespace fetchsim;
 int
 main()
 {
-    benchBanner("alignment-mechanism IPC", "Figure 9(a,b)");
+    Session session;
+    SweepEngine engine = makeBenchEngine(session);
+    benchBanner("alignment-mechanism IPC", "Figure 9(a,b)", &engine);
 
     for (bool fp : {false, true}) {
         const auto names = fp ? fpNames() : integerNames();
+
+        // One plan covers the whole sub-figure: every (scheme,
+        // machine, benchmark) point runs in one parallel batch.
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .schemes(allSchemes());
+        SweepResult sweep = engine.run(plan);
+
         TextTable table(std::string("Figure 9") + (fp ? "(b)" : "(a)") +
                         ": harmonic-mean IPC, " +
                         (fp ? "floating-point" : "integer") +
@@ -24,10 +35,8 @@ main()
         for (SchemeKind scheme : allSchemes()) {
             table.startRow();
             table.addCell(std::string(schemeName(scheme)));
-            for (MachineModel machine : allMachines()) {
-                SuiteResult suite = runSuite(names, machine, scheme);
-                table.addCell(suite.hmeanIpc, 3);
-            }
+            for (MachineModel machine : allMachines())
+                table.addCell(sweep.suite(machine, scheme).hmeanIpc, 3);
         }
         table.print(std::cout);
         std::cout << "\n";

@@ -12,23 +12,26 @@ using namespace fetchsim;
 int
 main()
 {
-    benchBanner("EIR relative to perfect", "Figure 10(a,b)");
+    Session session;
+    SweepEngine engine = makeBenchEngine(session);
+    benchBanner("EIR relative to perfect", "Figure 10(a,b)", &engine);
 
     for (bool fp : {false, true}) {
         const auto names = fp ? fpNames() : integerNames();
+
+        // All five schemes (perfect included, as the denominator) in
+        // one parallel batch.
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .schemes(allSchemes());
+        SweepResult sweep = engine.run(plan);
+
         TextTable table(std::string("Figure 10") +
                         (fp ? "(b)" : "(a)") + ": EIR/EIR(perfect), " +
                         (fp ? "floating-point" : "integer") +
                         " benchmarks");
         table.setHeader({"scheme", "P14", "P18", "P112"});
-
-        // EIR(perfect) per machine, reused for every scheme row.
-        std::vector<double> perfect_eir;
-        for (MachineModel machine : allMachines()) {
-            SuiteResult suite =
-                runSuite(names, machine, SchemeKind::Perfect);
-            perfect_eir.push_back(suite.hmeanEir);
-        }
 
         for (SchemeKind scheme :
              {SchemeKind::Sequential, SchemeKind::InterleavedSequential,
@@ -36,11 +39,12 @@ main()
               SchemeKind::CollapsingBuffer}) {
             table.startRow();
             table.addCell(std::string(schemeName(scheme)));
-            for (std::size_t m = 0; m < allMachines().size(); ++m) {
-                SuiteResult suite =
-                    runSuite(names, allMachines()[m], scheme);
-                table.addPercent(
-                    percentOf(suite.hmeanEir, perfect_eir[m]), 1);
+            for (MachineModel machine : allMachines()) {
+                const double perfect_eir =
+                    sweep.suite(machine, SchemeKind::Perfect).hmeanEir;
+                const double scheme_eir =
+                    sweep.suite(machine, scheme).hmeanEir;
+                table.addPercent(percentOf(scheme_eir, perfect_eir), 1);
             }
         }
         table.print(std::cout);

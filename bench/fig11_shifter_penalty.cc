@@ -14,10 +14,36 @@ using namespace fetchsim;
 int
 main()
 {
+    Session session;
+    SweepEngine engine = makeBenchEngine(session);
     benchBanner("collapsing buffer with shifter (penalty 3)",
-                "Figure 11");
+                "Figure 11", &engine);
 
     const auto names = integerNames();
+
+    // The grid is irregular (the impl axis only applies to the
+    // collapsing buffer), so concatenate two plans into one batch.
+    std::vector<RunConfig> batch;
+    {
+        ExperimentPlan others;
+        others.benchmarks(names)
+            .machines(allMachines())
+            .schemes({SchemeKind::Sequential,
+                      SchemeKind::InterleavedSequential,
+                      SchemeKind::BankedSequential,
+                      SchemeKind::Perfect});
+        appendPlan(batch, others);
+
+        ExperimentPlan collapsing;
+        collapsing.benchmarks(names)
+            .machines(allMachines())
+            .scheme(SchemeKind::CollapsingBuffer)
+            .cbImpls({CollapsingBufferFetch::Impl::Shifter,
+                      CollapsingBufferFetch::Impl::Crossbar});
+        appendPlan(batch, collapsing);
+    }
+    SweepResult sweep = engine.run(batch);
+
     TextTable table("Figure 11: harmonic-mean IPC, integer "
                     "benchmarks (collapsing buffer at penalty 3)");
     table.setHeader({"scheme", "P14", "P18", "P112"});
@@ -49,8 +75,13 @@ main()
         table.addCell(std::string(row.label));
         for (MachineModel machine : allMachines()) {
             SuiteResult suite =
-                runSuite(names, machine, row.scheme,
-                         LayoutKind::Unordered, 0, row.impl);
+                sweep.suiteWhere([&](const RunConfig &config) {
+                    return config.machine == machine &&
+                           config.scheme == row.scheme &&
+                           (config.scheme !=
+                                SchemeKind::CollapsingBuffer ||
+                            config.cbImpl == row.impl);
+                });
             table.addCell(suite.hmeanIpc, 3);
         }
     }

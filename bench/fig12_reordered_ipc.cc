@@ -12,12 +12,12 @@ using namespace fetchsim;
 int
 main()
 {
-    benchBanner("hardware schemes after code reordering", "Figure 12");
+    Session session;
+    SweepEngine engine = makeBenchEngine(session);
+    benchBanner("hardware schemes after code reordering", "Figure 12",
+                &engine);
 
     const auto names = integerNames();
-    TextTable table("Figure 12: harmonic-mean IPC, integer "
-                    "benchmarks, reordered code");
-    table.setHeader({"configuration", "P14", "P18", "P112"});
 
     struct Row
     {
@@ -41,13 +41,30 @@ main()
         {"perfect (unordered)", SchemeKind::Perfect,
          LayoutKind::Unordered},
     };
+
+    // The rows are (scheme, layout) pairs, not a full cross product;
+    // one plan per row, all concatenated into one parallel batch.
+    std::vector<RunConfig> batch;
+    for (const Row &row : rows) {
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .scheme(row.scheme)
+            .layout(row.layout);
+        appendPlan(batch, plan);
+    }
+    SweepResult sweep = engine.run(batch);
+
+    TextTable table("Figure 12: harmonic-mean IPC, integer "
+                    "benchmarks, reordered code");
+    table.setHeader({"configuration", "P14", "P18", "P112"});
     for (const Row &row : rows) {
         table.startRow();
         table.addCell(std::string(row.label));
         for (MachineModel machine : allMachines()) {
-            SuiteResult suite =
-                runSuite(names, machine, row.scheme, row.layout);
-            table.addCell(suite.hmeanIpc, 3);
+            table.addCell(
+                sweep.suite(machine, row.scheme, row.layout).hmeanIpc,
+                3);
         }
     }
     table.print(std::cout);

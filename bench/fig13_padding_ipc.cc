@@ -12,12 +12,12 @@ using namespace fetchsim;
 int
 main()
 {
-    benchBanner("pad-all and pad-trace for sequential", "Figure 13");
+    Session session;
+    SweepEngine engine = makeBenchEngine(session);
+    benchBanner("pad-all and pad-trace for sequential", "Figure 13",
+                &engine);
 
     const auto names = integerNames();
-    TextTable table("Figure 13: harmonic-mean IPC of sequential "
-                    "under nop padding, integer benchmarks");
-    table.setHeader({"configuration", "P14", "P18", "P112"});
 
     struct Row
     {
@@ -39,13 +39,28 @@ main()
         {"perfect (unordered)", SchemeKind::Perfect,
          LayoutKind::Unordered},
     };
+
+    std::vector<RunConfig> batch;
+    for (const Row &row : rows) {
+        ExperimentPlan plan;
+        plan.benchmarks(names)
+            .machines(allMachines())
+            .scheme(row.scheme)
+            .layout(row.layout);
+        appendPlan(batch, plan);
+    }
+    SweepResult sweep = engine.run(batch);
+
+    TextTable table("Figure 13: harmonic-mean IPC of sequential "
+                    "under nop padding, integer benchmarks");
+    table.setHeader({"configuration", "P14", "P18", "P112"});
     for (const Row &row : rows) {
         table.startRow();
         table.addCell(std::string(row.label));
         for (MachineModel machine : allMachines()) {
-            SuiteResult suite =
-                runSuite(names, machine, row.scheme, row.layout);
-            table.addCell(suite.hmeanIpc, 3);
+            table.addCell(
+                sweep.suite(machine, row.scheme, row.layout).hmeanIpc,
+                3);
         }
     }
     table.print(std::cout);

@@ -15,7 +15,7 @@
 #include "core/processor.h"
 #include "exec/executor.h"
 #include "fetch/hw_models.h"
-#include "sim/experiment.h"
+#include "sim/session.h"
 #include "workload/benchmark_suite.h"
 
 using namespace fetchsim;
@@ -23,10 +23,17 @@ using namespace fetchsim;
 namespace
 {
 
+Session &
+benchSession()
+{
+    static Session session;
+    return session;
+}
+
 const Workload &
 cachedWorkload(const char *name)
 {
-    return preparedWorkload(name, LayoutKind::Unordered);
+    return benchSession().workload(name, LayoutKind::Unordered);
 }
 
 void
@@ -120,7 +127,7 @@ BM_EndToEndRun(benchmark::State &state)
         config.machine = MachineModel::P14;
         config.scheme = SchemeKind::CollapsingBuffer;
         config.maxRetired = 20000;
-        RunResult result = runExperiment(config);
+        RunResult result = benchSession().run(config);
         benchmark::DoNotOptimize(result.counters.cycles);
     }
     state.SetItemsProcessed(state.iterations() * 20000);

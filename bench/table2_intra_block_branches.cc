@@ -15,6 +15,7 @@ using namespace fetchsim;
 int
 main()
 {
+    Session session;
     benchBanner("intra-block taken branches", "Table 2");
 
     const std::uint64_t insts = defaultDynInsts();
@@ -30,7 +31,7 @@ main()
             separator_done = true;
         }
         const Workload &workload =
-            preparedWorkload(spec.name, LayoutKind::Unordered);
+            session.workload(spec.name, LayoutKind::Unordered);
         table.startRow();
         table.addCell(std::string(spec.isFp ? "FP" : "Int"));
         table.addCell(spec.name);

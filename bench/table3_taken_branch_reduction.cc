@@ -17,6 +17,7 @@ using namespace fetchsim;
 int
 main()
 {
+    Session session;
     benchBanner("taken-branch reduction from code reordering",
                 "Table 3");
 
@@ -28,9 +29,9 @@ main()
 
     for (const std::string &name : integerNames()) {
         const Workload &unordered =
-            preparedWorkload(name, LayoutKind::Unordered);
+            session.workload(name, LayoutKind::Unordered);
         const Workload &reordered =
-            preparedWorkload(name, LayoutKind::Reordered);
+            session.workload(name, LayoutKind::Reordered);
 
         BranchCensus before =
             runBranchCensus(unordered, kEvalInput, insts, 16);

@@ -15,7 +15,9 @@
 #include "compiler/code_layout.h"
 #include "compiler/nop_padding.h"
 #include "exec/branch_census.h"
-#include "sim/experiment.h"
+#include "sim/plan.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/benchmark_suite.h"
 
@@ -92,25 +94,41 @@ main(int argc, char **argv)
               << "% static growth (paper Table 4).\n\n";
 
     // --- Step 5: IPC impact ----------------------------------------------
+    // The measured runs go through the Session API: one plan over the
+    // layout x machine grid, swept in parallel.  (The Session prepares
+    // its own workloads; the hand-transformed copy above was for the
+    // step-by-step statistics.)
+    Session session;
+    ExperimentPlan plan;
+    plan.benchmark(benchmark)
+        .machines({MachineModel::P14, MachineModel::P18,
+                   MachineModel::P112})
+        .scheme(scheme)
+        .layouts({LayoutKind::Unordered, LayoutKind::Reordered,
+                  LayoutKind::PadTrace})
+        .override([insts](RunConfig &config) {
+            config.maxRetired = insts;
+        });
+    SweepEngine engine(session);
+    SweepResult sweep = engine.run(plan);
+
     TextTable table("IPC across layouts, " +
                     std::string(schemeName(scheme)));
     table.setHeader({"layout", "P14", "P18", "P112"});
-    const LayoutKind layouts[] = {
-        LayoutKind::Unordered, LayoutKind::Reordered,
-        LayoutKind::PadTrace};
-    for (LayoutKind layout : layouts) {
+    for (LayoutKind layout :
+         {LayoutKind::Unordered, LayoutKind::Reordered,
+          LayoutKind::PadTrace}) {
         table.startRow();
         table.addCell(std::string(layoutName(layout)));
         for (MachineModel machine :
              {MachineModel::P14, MachineModel::P18,
               MachineModel::P112}) {
-            RunConfig config;
-            config.benchmark = benchmark;
-            config.machine = machine;
-            config.scheme = scheme;
-            config.layout = layout;
-            config.maxRetired = insts;
-            table.addCell(runExperiment(config).ipc(), 3);
+            const RunResult &run =
+                sweep.find([&](const RunConfig &config) {
+                    return config.machine == machine &&
+                           config.layout == layout;
+                });
+            table.addCell(run.ipc(), 3);
         }
     }
     table.print(std::cout);

@@ -2,14 +2,21 @@
  * @file
  * fetchsim_cli: the general-purpose command-line driver.
  *
- * Run any experiment point without writing code, record benchmark
- * traces to disk, and replay them -- the full spike-trace workflow of
- * the paper from one binary.
+ * Run any experiment point without writing code, sweep whole config
+ * grids in parallel with JSON/CSV output, record benchmark traces to
+ * disk, and replay them -- the full spike-trace workflow of the paper
+ * from one binary.
  *
  *   fetchsim_cli run    --benchmark gcc --machine P112
  *                       --scheme collapsing [--layout reordered]
  *                       [--insts N] [--predictor gshare] [--ras]
- *                       [--spec-depth N] [--btb N]
+ *                       [--spec-depth N] [--btb N] [--json]
+ *   fetchsim_cli sweep  [--benchmarks gcc,compress|int|fp|all]
+ *                       [--machines P14,P112|all]
+ *                       [--schemes sequential,collapsing|all]
+ *                       [--layouts unordered,reordered]
+ *                       [--insts N] [--threads N]
+ *                       [--json out.json] [--csv out.csv]
  *   fetchsim_cli record --benchmark gcc --out gcc.trace [--insts N]
  *                       [--layout reordered]
  *   fetchsim_cli replay --trace gcc.trace --machine P112
@@ -19,13 +26,19 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/processor.h"
 #include "exec/trace_file.h"
-#include "sim/experiment.h"
+#include "sim/plan.h"
+#include "sim/report.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
+#include "stats/table.h"
 #include "workload/benchmark_suite.h"
 
 using namespace fetchsim;
@@ -44,8 +57,15 @@ parseArgs(int argc, char **argv, int first)
             fatal("expected --option, got: " + key);
         key = key.substr(2);
         // Flags without values.
-        if (key == "ras") {
-            args[key] = "1";
+        if (key == "ras" || key == "json") {
+            // --json doubles as a valued option (sweep output file);
+            // treat it as a flag only when no value follows.
+            if (key == "json" && i + 1 < argc &&
+                std::strncmp(argv[i + 1], "--", 2) != 0) {
+                args[key] = argv[++i];
+                continue;
+            }
+            args[key] = "";
             continue;
         }
         if (i + 1 >= argc)
@@ -61,6 +81,23 @@ getOr(const std::map<std::string, std::string> &args,
 {
     auto it = args.find(key);
     return it == args.end() ? fallback : it->second;
+}
+
+/** Split "a,b,c" into its fields. */
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> fields;
+    std::string::size_type start = 0;
+    while (start <= list.size()) {
+        std::string::size_type comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (comma > start)
+            fields.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return fields;
 }
 
 MachineModel
@@ -122,6 +159,23 @@ parsePredictor(const std::string &name)
           " (btb|gshare|two-level|oracle)");
 }
 
+/** Expand a --benchmarks value ("int", "fp", "all" or a list). */
+std::vector<std::string>
+parseBenchmarks(const std::string &value)
+{
+    if (value == "int")
+        return integerNames();
+    if (value == "fp")
+        return fpNames();
+    if (value == "all") {
+        std::vector<std::string> names = integerNames();
+        for (const std::string &name : fpNames())
+            names.push_back(name);
+        return names;
+    }
+    return splitList(value);
+}
+
 int
 cmdList()
 {
@@ -156,7 +210,12 @@ cmdRun(const std::map<std::string, std::string> &args)
     config.btbEntriesOverride =
         std::atoi(getOr(args, "btb", "-1").c_str());
 
-    RunResult result = runExperiment(config);
+    Session session;
+    RunResult result = session.run(config);
+    if (args.count("json") > 0) {
+        std::cout << result.toJson() << "\n";
+        return 0;
+    }
     std::cout << config.benchmark << " on "
               << machineName(config.machine) << ", "
               << schemeName(config.scheme) << ", "
@@ -164,6 +223,102 @@ cmdRun(const std::map<std::string, std::string> &args)
               << predictorName(config.predictorKind)
               << (config.useRas ? "+RAS" : "") << ":\n"
               << result.counters.format();
+    return 0;
+}
+
+int
+cmdSweep(const std::map<std::string, std::string> &args)
+{
+    ExperimentPlan plan;
+    plan.benchmarks(parseBenchmarks(getOr(args, "benchmarks", "int")));
+
+    const std::string machines = getOr(args, "machines", "all");
+    if (machines == "all") {
+        plan.machines({MachineModel::P14, MachineModel::P18,
+                       MachineModel::P112});
+    } else {
+        std::vector<MachineModel> axis;
+        for (const std::string &name : splitList(machines))
+            axis.push_back(parseMachine(name));
+        plan.machines(std::move(axis));
+    }
+
+    const std::string schemes = getOr(args, "schemes", "all");
+    if (schemes == "all") {
+        plan.schemes({SchemeKind::Sequential,
+                      SchemeKind::InterleavedSequential,
+                      SchemeKind::BankedSequential,
+                      SchemeKind::CollapsingBuffer,
+                      SchemeKind::Perfect});
+    } else {
+        std::vector<SchemeKind> axis;
+        for (const std::string &name : splitList(schemes))
+            axis.push_back(parseScheme(name));
+        plan.schemes(std::move(axis));
+    }
+
+    std::vector<LayoutKind> layout_axis;
+    for (const std::string &name :
+         splitList(getOr(args, "layouts", "unordered")))
+        layout_axis.push_back(parseLayout(name));
+    plan.layouts(std::move(layout_axis));
+
+    const std::uint64_t insts = std::strtoull(
+        getOr(args, "insts", "0").c_str(), nullptr, 10);
+    if (insts > 0) {
+        plan.override(
+            [insts](RunConfig &config) { config.maxRetired = insts; });
+    }
+
+    SweepOptions options;
+    options.threads = std::atoi(getOr(args, "threads", "0").c_str());
+
+    Session session;
+    SweepEngine engine(session, options);
+    std::cerr << "sweeping " << plan.size() << " configs on "
+              << engine.threads() << " threads\n";
+    SweepResult sweep = engine.run(plan);
+
+    bool wrote = false;
+    auto it = args.find("json");
+    if (it != args.end()) {
+        if (it->second.empty()) {
+            writeRunsJson(std::cout, sweep.runs);
+        } else {
+            std::ofstream os(it->second);
+            if (!os)
+                fatal("cannot open " + it->second);
+            writeRunsJson(os, sweep.runs);
+            std::cerr << "wrote " << it->second << "\n";
+        }
+        wrote = true;
+    }
+    it = args.find("csv");
+    if (it != args.end()) {
+        std::ofstream os(it->second);
+        if (!os)
+            fatal("cannot open " + it->second);
+        writeRunsCsv(os, sweep.runs);
+        std::cerr << "wrote " << it->second << "\n";
+        wrote = true;
+    }
+    if (wrote)
+        return 0;
+
+    // No structured output requested: print a summary table.
+    TextTable table("Sweep results");
+    table.setHeader({"benchmark", "machine", "scheme", "layout", "IPC",
+                     "EIR"});
+    for (const RunResult &run : sweep.runs) {
+        table.startRow();
+        table.addCell(run.config.benchmark);
+        table.addCell(std::string(machineName(run.config.machine)));
+        table.addCell(std::string(schemeName(run.config.scheme)));
+        table.addCell(std::string(layoutName(run.config.layout)));
+        table.addCell(run.ipc(), 3);
+        table.addCell(run.eir(), 3);
+    }
+    table.print(std::cout);
     return 0;
 }
 
@@ -177,7 +332,8 @@ cmdRecord(const std::map<std::string, std::string> &args)
     const LayoutKind layout =
         parseLayout(getOr(args, "layout", "unordered"));
 
-    const Workload &workload = preparedWorkload(name, layout, 16);
+    Session session;
+    const Workload &workload = session.workload(name, layout, 16);
     Executor exec(workload, kEvalInput);
     const std::uint64_t written = recordTrace(exec, out, insts);
     std::cout << "recorded " << written << " instructions of " << name
@@ -218,8 +374,8 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cout << "usage: fetchsim_cli {run|record|replay|list} "
-                     "[--option value ...]\n"
+        std::cout << "usage: fetchsim_cli {run|sweep|record|replay|"
+                     "list} [--option value ...]\n"
                      "(see the file header for full usage)\n";
         return 1;
     }
@@ -229,6 +385,8 @@ main(int argc, char **argv)
         return cmdList();
     if (command == "run")
         return cmdRun(args);
+    if (command == "sweep")
+        return cmdSweep(args);
     if (command == "record")
         return cmdRecord(args);
     if (command == "replay")

@@ -16,6 +16,7 @@
 
 #include "core/processor.h"
 #include "isa/disasm.h"
+#include "sim/session.h"
 #include "workload/benchmark_suite.h"
 
 using namespace fetchsim;
@@ -96,8 +97,9 @@ main(int argc, char **argv)
         parseMachine(argc > 2 ? argv[2] : "P112");
     const int cycles = argc > 3 ? std::atoi(argv[3]) : 12;
 
-    const Workload workload =
-        generateWorkload(benchmarkByName(benchmark));
+    Session session;
+    const Workload &workload =
+        session.workload(benchmark, LayoutKind::Unordered);
     const MachineConfig cfg = makeMachine(machine);
 
     std::cout << "Fetch-group trace: " << benchmark << " on "

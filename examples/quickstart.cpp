@@ -11,7 +11,9 @@
 #include <iostream>
 #include <string>
 
-#include "sim/experiment.h"
+#include "sim/plan.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 
 using namespace fetchsim;
@@ -41,22 +43,25 @@ main(int argc, char **argv)
     table.setHeader({"scheme", "IPC", "EIR", "mispredict",
                      "icache-miss", "stall-cycles"});
 
-    const SchemeKind schemes[] = {
-        SchemeKind::Sequential,
-        SchemeKind::InterleavedSequential,
-        SchemeKind::BankedSequential,
-        SchemeKind::CollapsingBuffer,
-        SchemeKind::Perfect,
-    };
-    for (SchemeKind scheme : schemes) {
-        RunConfig config;
-        config.benchmark = benchmark;
-        config.machine = machine;
-        config.scheme = scheme;
-        config.maxRetired = insts;
-        RunResult result = runExperiment(config);
+    // One Session (the prepared-workload cache), one plan expanding
+    // the scheme axis, one parallel sweep over it.
+    Session session;
+    ExperimentPlan plan;
+    plan.benchmark(benchmark)
+        .machine(machine)
+        .schemes({SchemeKind::Sequential,
+                  SchemeKind::InterleavedSequential,
+                  SchemeKind::BankedSequential,
+                  SchemeKind::CollapsingBuffer, SchemeKind::Perfect})
+        .override([insts](RunConfig &config) {
+            config.maxRetired = insts;
+        });
+    SweepEngine engine(session);
+    SweepResult sweep = engine.run(plan);
+
+    for (const RunResult &result : sweep.runs) {
         table.startRow();
-        table.addCell(std::string(schemeName(scheme)));
+        table.addCell(std::string(schemeName(result.config.scheme)));
         table.addCell(result.ipc(), 3);
         table.addCell(result.eir(), 3);
         table.addPercent(100.0 * result.counters.mispredictRate());

@@ -17,7 +17,9 @@
 #include <iostream>
 #include <string>
 
-#include "sim/experiment.h"
+#include "sim/plan.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 
 using namespace fetchsim;
@@ -61,17 +63,22 @@ main(int argc, char **argv)
         header.push_back(fetchStopName(static_cast<FetchStop>(i)));
     stops.setHeader(header);
 
-    const SchemeKind schemes[] = {
-        SchemeKind::Sequential, SchemeKind::InterleavedSequential,
-        SchemeKind::BankedSequential, SchemeKind::CollapsingBuffer,
-        SchemeKind::Perfect};
-    for (SchemeKind scheme : schemes) {
-        RunConfig config;
-        config.benchmark = benchmark;
-        config.machine = machine;
-        config.scheme = scheme;
-        config.maxRetired = insts;
-        RunResult result = runExperiment(config);
+    Session session;
+    ExperimentPlan plan;
+    plan.benchmark(benchmark)
+        .machine(machine)
+        .schemes({SchemeKind::Sequential,
+                  SchemeKind::InterleavedSequential,
+                  SchemeKind::BankedSequential,
+                  SchemeKind::CollapsingBuffer, SchemeKind::Perfect})
+        .override([insts](RunConfig &config) {
+            config.maxRetired = insts;
+        });
+    SweepEngine engine(session);
+    SweepResult sweep = engine.run(plan);
+
+    for (const RunResult &result : sweep.runs) {
+        const SchemeKind scheme = result.config.scheme;
         const RunCounters &c = result.counters;
 
         summary.startRow();

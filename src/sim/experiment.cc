@@ -1,14 +1,11 @@
 #include "sim/experiment.h"
 
 #include <cstdlib>
-#include <map>
-#include <tuple>
 
-#include "compiler/code_layout.h"
-#include "compiler/function_layout.h"
-#include "compiler/nop_padding.h"
+#include "sim/plan.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
 #include "stats/log.h"
-#include "stats/summary.h"
 #include "workload/benchmark_suite.h"
 
 namespace fetchsim
@@ -43,169 +40,6 @@ defaultDynInsts()
     return value;
 }
 
-namespace
-{
-
-using WorkloadKey = std::tuple<std::string, LayoutKind, std::uint64_t>;
-
-/**
- * Per-process cache of prepared workloads.  Values are heap-owned so
- * references stay valid as the map grows.
- */
-std::map<WorkloadKey, std::unique_ptr<Workload>> &
-workloadCache()
-{
-    static std::map<WorkloadKey, std::unique_ptr<Workload>> cache;
-    return cache;
-}
-
-std::unique_ptr<Workload>
-prepare(const std::string &benchmark, LayoutKind layout,
-        std::uint64_t block_bytes)
-{
-    const WorkloadSpec &spec = benchmarkByName(benchmark);
-    auto workload = std::make_unique<Workload>(spec);
-    *workload = generateWorkload(spec);
-
-    switch (layout) {
-      case LayoutKind::Unordered:
-        break;
-      case LayoutKind::Reordered:
-        reorderWorkload(*workload);
-        break;
-      case LayoutKind::PadAll:
-        if (block_bytes == 0)
-            fatal("pad-all layout needs a block size");
-        padAll(*workload, block_bytes);
-        break;
-      case LayoutKind::PadTrace: {
-        if (block_bytes == 0)
-            fatal("pad-trace layout needs a block size");
-        std::vector<Trace> traces;
-        reorderWorkload(*workload, {}, {}, &traces);
-        padTrace(*workload, traces, block_bytes);
-        break;
-      }
-      case LayoutKind::ReorderedPlaced: {
-        EdgeProfile profile = collectProfile(*workload);
-        std::vector<Trace> traces =
-            selectTraces(workload->program, profile);
-        applyTraceLayout(*workload, traces);
-        placeFunctions(*workload, profile);
-        break;
-      }
-      default:
-        fatal("prepare: bad layout kind");
-    }
-    return workload;
-}
-
-} // anonymous namespace
-
-const Workload &
-preparedWorkload(const std::string &benchmark, LayoutKind layout,
-                 std::uint64_t block_bytes)
-{
-    // Padded layouts depend on the block size; the others do not.
-    const std::uint64_t key_block =
-        (layout == LayoutKind::PadAll || layout == LayoutKind::PadTrace)
-            ? block_bytes
-            : 0;
-    WorkloadKey key{benchmark, layout, key_block};
-    auto &cache = workloadCache();
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        it = cache.emplace(key, prepare(benchmark, layout, key_block))
-                 .first;
-    }
-    return *it->second;
-}
-
-RunResult
-runExperiment(const RunConfig &config)
-{
-    MachineConfig cfg = makeMachine(config.machine);
-    cfg.predictorKind = config.predictorKind;
-    cfg.useRas = config.useRas;
-    if (config.specDepthOverride >= 0)
-        cfg.specDepth = config.specDepthOverride;
-    if (config.btbEntriesOverride > 0)
-        cfg.btbEntries = config.btbEntriesOverride;
-    if (config.windowSizeOverride > 0)
-        cfg.windowSize = config.windowSizeOverride;
-    if (config.missPenaltyOverride >= 0)
-        cfg.icacheMissPenalty = config.missPenaltyOverride;
-    if (config.icacheWaysOverride > 0)
-        cfg.icacheWays = config.icacheWaysOverride;
-
-    const Workload &workload = preparedWorkload(
-        config.benchmark, config.layout, cfg.blockBytes);
-
-    std::unique_ptr<FetchMechanism> mechanism;
-    if (config.scheme == SchemeKind::CollapsingBuffer) {
-        mechanism = std::make_unique<CollapsingBufferFetch>(
-            cfg, config.cbImpl, config.cbAllowBackward);
-    } else {
-        mechanism = makeFetchMechanism(config.scheme, cfg);
-    }
-
-    Processor proc(workload, config.input, cfg, std::move(mechanism));
-    const std::uint64_t budget =
-        config.maxRetired ? config.maxRetired : defaultDynInsts();
-    proc.run(budget);
-
-    RunResult result;
-    result.config = config;
-    result.counters = proc.counters();
-    return result;
-}
-
-SuiteResult
-runSuite(const std::vector<std::string> &names, MachineModel machine,
-         SchemeKind scheme, LayoutKind layout,
-         std::uint64_t max_retired,
-         CollapsingBufferFetch::Impl cb_impl)
-{
-    SuiteResult suite;
-    std::vector<double> ipcs;
-    std::vector<double> eirs;
-    for (const auto &name : names) {
-        RunConfig config;
-        config.benchmark = name;
-        config.machine = machine;
-        config.scheme = scheme;
-        config.layout = layout;
-        config.maxRetired = max_retired;
-        config.cbImpl = cb_impl;
-        RunResult result = runExperiment(config);
-        ipcs.push_back(result.ipc());
-        eirs.push_back(result.eir());
-        suite.runs.push_back(std::move(result));
-    }
-    suite.hmeanIpc = harmonicMean(ipcs);
-    suite.hmeanEir = harmonicMean(eirs);
-    return suite;
-}
-
-SuiteResult
-runSuite(const std::vector<std::string> &names, const RunConfig &proto)
-{
-    SuiteResult suite;
-    std::vector<double> ipcs;
-    std::vector<double> eirs;
-    for (const auto &name : names) {
-        RunConfig config = proto;
-        config.benchmark = name;
-        RunResult result = runExperiment(config);
-        ipcs.push_back(result.ipc());
-        eirs.push_back(result.eir());
-        suite.runs.push_back(std::move(result));
-    }
-    suite.hmeanIpc = harmonicMean(ipcs);
-    suite.hmeanEir = harmonicMean(eirs);
-    return suite;
-}
-
 std::vector<std::string>
 integerNames()
 {
@@ -222,6 +56,55 @@ fpNames()
     for (const auto &spec : fpSuite())
         names.push_back(spec.name);
     return names;
+}
+
+// --------------------------------------------------------------------
+// Deprecated wrappers.  Each delegates to the process-wide Session;
+// the serial runSuite forms run their grid through a single-threaded
+// SweepEngine so old and new API share one execution path.
+// --------------------------------------------------------------------
+
+RunResult
+runExperiment(const RunConfig &config)
+{
+    return defaultSession().run(config);
+}
+
+const Workload &
+preparedWorkload(const std::string &benchmark, LayoutKind layout,
+                 std::uint64_t block_bytes)
+{
+    return defaultSession().workload(benchmark, layout, block_bytes);
+}
+
+SuiteResult
+runSuite(const std::vector<std::string> &names, MachineModel machine,
+         SchemeKind scheme, LayoutKind layout,
+         std::uint64_t max_retired,
+         CollapsingBufferFetch::Impl cb_impl)
+{
+    ExperimentPlan plan;
+    plan.benchmarks(names)
+        .machine(machine)
+        .scheme(scheme)
+        .layout(layout)
+        .cbImpl(cb_impl)
+        .maxRetired(max_retired);
+    SweepOptions options;
+    options.threads = 1;
+    SweepEngine engine(defaultSession(), options);
+    return makeSuite(engine.run(plan).runs);
+}
+
+SuiteResult
+runSuite(const std::vector<std::string> &names, const RunConfig &proto)
+{
+    ExperimentPlan plan;
+    plan.proto(proto).benchmarks(names);
+    SweepOptions options;
+    options.threads = 1;
+    SweepEngine engine(defaultSession(), options);
+    return makeSuite(engine.run(plan).runs);
 }
 
 } // namespace fetchsim

@@ -1,12 +1,23 @@
 /**
  * @file
- * Experiment driver: one simulation run = benchmark x machine x
+ * Experiment vocabulary: one simulation run = benchmark x machine x
  * fetch scheme x code layout.
  *
- * Every bench binary and example is built on this API.  Prepared
- * workloads (generated programs, profiled/reordered/padded layouts)
- * are cached per-process so sweeping schemes over a benchmark does
- * not regenerate or re-profile it.
+ * This header defines the config/result types shared by the whole
+ * driver layer.  The modern entry points are:
+ *
+ *  - Session       (sim/session.h)  -- owns the prepared-workload
+ *                                      cache; thread-safe
+ *  - ExperimentPlan (sim/plan.h)    -- expands config grids
+ *  - SweepEngine   (sim/sweep.h)    -- runs plans on a thread pool,
+ *                                      deterministically
+ *  - report helpers (sim/report.h)  -- JSON/CSV result output
+ *
+ * The free functions at the bottom (runExperiment, runSuite,
+ * preparedWorkload) are the pre-Session API.  They are deprecated
+ * thin wrappers over a hidden process-wide Session kept so existing
+ * callers keep compiling; they remain safe to call from multiple
+ * threads but offer no control over cache lifetime or parallelism.
  */
 
 #ifndef FETCHSIM_SIM_EXPERIMENT_H_
@@ -71,6 +82,9 @@ struct RunResult
 
     double ipc() const { return counters.ipc(); }
     double eir() const { return counters.eir(); }
+
+    /** Compact single-line JSON (config, counters, derived rates). */
+    std::string toJson() const;
 };
 
 /**
@@ -79,21 +93,7 @@ struct RunResult
  */
 std::uint64_t defaultDynInsts();
 
-/** Run one experiment (workloads cached per process). */
-RunResult runExperiment(const RunConfig &config);
-
-/**
- * Prepared-workload access (benches that need censuses rather than
- * pipeline runs, e.g. Tables 2-4, use this directly).  The returned
- * reference is owned by the per-process cache and remains valid for
- * the process lifetime.  @p block_bytes is only meaningful for the
- * padded layouts (pass the machine's block size); use 0 otherwise.
- */
-const Workload &preparedWorkload(const std::string &benchmark,
-                                 LayoutKind layout,
-                                 std::uint64_t block_bytes = 0);
-
-/** Aggregate over a benchmark list. */
+/** Aggregate over a run list (see makeSuite() in sim/sweep.h). */
 struct SuiteResult
 {
     std::vector<RunResult> runs;
@@ -101,10 +101,42 @@ struct SuiteResult
     double hmeanEir = 0.0;
 };
 
+/** Benchmark-name list helpers for the benches. */
+std::vector<std::string> integerNames();
+std::vector<std::string> fpNames();
+
+// --------------------------------------------------------------------
+// Deprecated pre-Session API.  Thin wrappers over an internal
+// process-wide Session (defaultSession() in sim/session.h).
+// --------------------------------------------------------------------
+
+/**
+ * Run one experiment against the process-wide Session.
+ * @deprecated Create a Session and call Session::run() instead.
+ */
+[[deprecated("use Session::run (sim/session.h)")]]
+RunResult runExperiment(const RunConfig &config);
+
+/**
+ * Prepared-workload access against the process-wide Session.  The
+ * returned reference is owned by that Session and remains valid --
+ * including under concurrent callers -- for the process lifetime.
+ * @p block_bytes is only meaningful for the padded layouts (pass the
+ * machine's block size); use 0 otherwise.
+ * @deprecated Create a Session and call Session::workload() instead.
+ */
+[[deprecated("use Session::workload (sim/session.h)")]]
+const Workload &preparedWorkload(const std::string &benchmark,
+                                 LayoutKind layout,
+                                 std::uint64_t block_bytes = 0);
+
 /**
  * Run every benchmark in @p names under one (machine, scheme,
- * layout) point and compute harmonic means.
+ * layout) point and compute harmonic means, serially.
+ * @deprecated Build an ExperimentPlan and run it through a
+ *             SweepEngine (sim/sweep.h) instead.
  */
+[[deprecated("use ExperimentPlan + SweepEngine (sim/sweep.h)")]]
 SuiteResult runSuite(const std::vector<std::string> &names,
                      MachineModel machine, SchemeKind scheme,
                      LayoutKind layout = LayoutKind::Unordered,
@@ -114,15 +146,13 @@ SuiteResult runSuite(const std::vector<std::string> &names,
 
 /**
  * Run every benchmark in @p names under @p proto (its `benchmark`
- * field is overwritten per run) -- the form the ablation benches use
- * to sweep overrides.
+ * field is overwritten per run), serially.
+ * @deprecated Build an ExperimentPlan and run it through a
+ *             SweepEngine (sim/sweep.h) instead.
  */
+[[deprecated("use ExperimentPlan + SweepEngine (sim/sweep.h)")]]
 SuiteResult runSuite(const std::vector<std::string> &names,
                      const RunConfig &proto);
-
-/** Benchmark-name list helpers for the benches. */
-std::vector<std::string> integerNames();
-std::vector<std::string> fpNames();
 
 } // namespace fetchsim
 

@@ -1,0 +1,159 @@
+#include "sim/plan.h"
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+ExperimentPlan &
+ExperimentPlan::proto(const RunConfig &base)
+{
+    proto_ = base;
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::benchmarks(std::vector<std::string> names)
+{
+    benchmarks_ = std::move(names);
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::benchmark(const std::string &name)
+{
+    benchmarks_ = {name};
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::machines(std::vector<MachineModel> machines)
+{
+    machines_ = std::move(machines);
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::machine(MachineModel machine)
+{
+    machines_ = {machine};
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::schemes(std::vector<SchemeKind> schemes)
+{
+    schemes_ = std::move(schemes);
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::scheme(SchemeKind scheme)
+{
+    schemes_ = {scheme};
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::layouts(std::vector<LayoutKind> layouts)
+{
+    layouts_ = std::move(layouts);
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::layout(LayoutKind layout)
+{
+    layouts_ = {layout};
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::cbImpls(std::vector<CollapsingBufferFetch::Impl> impls)
+{
+    cb_impls_ = std::move(impls);
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::cbImpl(CollapsingBufferFetch::Impl impl)
+{
+    cb_impls_ = {impl};
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::maxRetired(std::uint64_t budget)
+{
+    proto_.maxRetired = budget;
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::input(int input_id)
+{
+    proto_.input = input_id;
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::override(Override fn)
+{
+    overrides_.push_back(std::move(fn));
+    return *this;
+}
+
+std::size_t
+ExperimentPlan::size() const
+{
+    auto axis = [](std::size_t n) { return n ? n : 1; };
+    return axis(benchmarks_.size()) * axis(machines_.size()) *
+           axis(schemes_.size()) * axis(layouts_.size()) *
+           axis(cb_impls_.size());
+}
+
+std::vector<RunConfig>
+ExperimentPlan::expand() const
+{
+    if (benchmarks_.empty() && proto_.benchmark.empty())
+        fatal("ExperimentPlan: no benchmark set (use .benchmarks() "
+              "or a proto with a benchmark name)");
+
+    // Unset axes contribute the proto's field: model that as a
+    // single-element axis holding a sentinel meaning "keep proto".
+    const std::size_t nb = benchmarks_.empty() ? 1 : benchmarks_.size();
+    const std::size_t nm = machines_.empty() ? 1 : machines_.size();
+    const std::size_t ns = schemes_.empty() ? 1 : schemes_.size();
+    const std::size_t nl = layouts_.empty() ? 1 : layouts_.size();
+    const std::size_t nc = cb_impls_.empty() ? 1 : cb_impls_.size();
+
+    std::vector<RunConfig> configs;
+    configs.reserve(nb * nm * ns * nl * nc);
+    for (std::size_t m = 0; m < nm; ++m) {
+        for (std::size_t s = 0; s < ns; ++s) {
+            for (std::size_t l = 0; l < nl; ++l) {
+                for (std::size_t c = 0; c < nc; ++c) {
+                    for (std::size_t b = 0; b < nb; ++b) {
+                        RunConfig config = proto_;
+                        if (!machines_.empty())
+                            config.machine = machines_[m];
+                        if (!schemes_.empty())
+                            config.scheme = schemes_[s];
+                        if (!layouts_.empty())
+                            config.layout = layouts_[l];
+                        if (!cb_impls_.empty())
+                            config.cbImpl = cb_impls_[c];
+                        if (!benchmarks_.empty())
+                            config.benchmark = benchmarks_[b];
+                        for (const Override &fn : overrides_)
+                            fn(config);
+                        configs.push_back(std::move(config));
+                    }
+                }
+            }
+        }
+    }
+    return configs;
+}
+
+} // namespace fetchsim

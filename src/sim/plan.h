@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ExperimentPlan: a builder that expands configuration grids.
+ *
+ * Every figure and table in the paper is a cross product -- benchmarks
+ * x machines x schemes x layouts, sometimes with per-point overrides.
+ * An ExperimentPlan describes that grid declaratively and expands it
+ * into a flat, deterministically ordered vector of RunConfigs that a
+ * SweepEngine can execute in parallel:
+ *
+ * @code
+ *   ExperimentPlan plan;
+ *   plan.benchmarks(integerNames())
+ *       .machines({MachineModel::P14, MachineModel::P18})
+ *       .schemes({SchemeKind::Sequential, SchemeKind::Perfect})
+ *       .maxRetired(20000);
+ *   std::vector<RunConfig> grid = plan.expand(); // 2*2*9 configs
+ * @endcode
+ *
+ * Expansion order is row-major over (machine, scheme, layout, cbImpl,
+ * benchmark) with the benchmark axis innermost, so the runs belonging
+ * to one suite aggregation cell are contiguous.  Precedence, lowest
+ * to highest: proto() fields, axis values, then override() functors
+ * in registration order.
+ */
+
+#ifndef FETCHSIM_SIM_PLAN_H_
+#define FETCHSIM_SIM_PLAN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace fetchsim
+{
+
+class ExperimentPlan
+{
+  public:
+    /** Mutator applied to each expanded config (highest precedence). */
+    using Override = std::function<void(RunConfig &)>;
+
+    ExperimentPlan() = default;
+
+    /** Base config copied into every grid point (lowest precedence). */
+    ExperimentPlan &proto(const RunConfig &base);
+
+    /** @name Axes
+     * Setting an axis replaces any previous value for that axis; an
+     * unset axis contributes the proto's field unchanged.
+     */
+    ///@{
+    ExperimentPlan &benchmarks(std::vector<std::string> names);
+    ExperimentPlan &benchmark(const std::string &name);
+    ExperimentPlan &machines(std::vector<MachineModel> machines);
+    ExperimentPlan &machine(MachineModel machine);
+    ExperimentPlan &schemes(std::vector<SchemeKind> schemes);
+    ExperimentPlan &scheme(SchemeKind scheme);
+    ExperimentPlan &layouts(std::vector<LayoutKind> layouts);
+    ExperimentPlan &layout(LayoutKind layout);
+    ExperimentPlan &
+    cbImpls(std::vector<CollapsingBufferFetch::Impl> impls);
+    ExperimentPlan &cbImpl(CollapsingBufferFetch::Impl impl);
+    ///@}
+
+    /** Dynamic-instruction budget for every point (0 = default). */
+    ExperimentPlan &maxRetired(std::uint64_t budget);
+
+    /** Executor input id for every point. */
+    ExperimentPlan &input(int input_id);
+
+    /**
+     * Register a mutator run on every expanded config, after proto
+     * and axis fields are applied.  Multiple overrides run in
+     * registration order, so later ones win on conflict.
+     */
+    ExperimentPlan &override(Override fn);
+
+    /** Number of configs expand() will produce. */
+    std::size_t size() const;
+
+    /**
+     * Expand the grid.  Deterministic: same plan, same vector.
+     * Fatal if no benchmark is available (neither an axis nor a
+     * proto benchmark name).
+     */
+    std::vector<RunConfig> expand() const;
+
+  private:
+    RunConfig proto_;
+    std::vector<std::string> benchmarks_;
+    std::vector<MachineModel> machines_;
+    std::vector<SchemeKind> schemes_;
+    std::vector<LayoutKind> layouts_;
+    std::vector<CollapsingBufferFetch::Impl> cb_impls_;
+    std::vector<Override> overrides_;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_PLAN_H_

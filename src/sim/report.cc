@@ -1,0 +1,187 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include "stats/summary.h"
+
+namespace fetchsim
+{
+
+const char *
+cbImplName(CollapsingBufferFetch::Impl impl)
+{
+    switch (impl) {
+      case CollapsingBufferFetch::Impl::Crossbar: return "crossbar";
+      case CollapsingBufferFetch::Impl::Shifter:  return "shifter";
+      default:                                    return "???";
+    }
+}
+
+namespace
+{
+
+void
+writeConfigJson(JsonWriter &json, const RunConfig &config)
+{
+    json.beginObject();
+    json.key("benchmark").value(config.benchmark);
+    json.key("machine").value(machineName(config.machine));
+    json.key("scheme").value(schemeName(config.scheme));
+    json.key("layout").value(layoutName(config.layout));
+    json.key("cb_impl").value(cbImplName(config.cbImpl));
+    json.key("max_retired").value(config.maxRetired);
+    json.key("input").value(config.input);
+    json.key("predictor").value(predictorName(config.predictorKind));
+    json.key("use_ras").value(config.useRas);
+    json.key("cb_allow_backward").value(config.cbAllowBackward);
+    json.key("spec_depth_override").value(config.specDepthOverride);
+    json.key("btb_entries_override").value(config.btbEntriesOverride);
+    json.key("window_size_override").value(config.windowSizeOverride);
+    json.key("miss_penalty_override")
+        .value(config.missPenaltyOverride);
+    json.key("icache_ways_override").value(config.icacheWaysOverride);
+    json.endObject();
+}
+
+void
+writeCountersJson(JsonWriter &json, const RunCounters &c)
+{
+    json.beginObject();
+    json.key("cycles").value(c.cycles);
+    json.key("retired").value(c.retired);
+    json.key("delivered").value(c.delivered);
+    json.key("fetch_groups").value(c.fetchGroups);
+    json.key("cond_branches").value(c.condBranches);
+    json.key("taken_branches").value(c.takenBranches);
+    json.key("intra_block_taken").value(c.intraBlockTaken);
+    json.key("mispredicts").value(c.mispredicts);
+    json.key("control_mispredicts").value(c.controlMispredicts);
+    json.key("icache_accesses").value(c.icacheAccesses);
+    json.key("icache_misses").value(c.icacheMisses);
+    json.key("btb_lookups").value(c.btbLookups);
+    json.key("btb_hits").value(c.btbHits);
+    json.key("stall_cycles").value(c.stallCycles);
+    json.key("nops_retired").value(c.nopsRetired);
+    json.key("nops_delivered").value(c.nopsDelivered);
+    json.key("stops").beginObject();
+    for (int i = 0; i < kNumFetchStops; ++i) {
+        json.key(fetchStopName(static_cast<FetchStop>(i)))
+            .value(c.stops[i]);
+    }
+    json.endObject();
+    json.endObject();
+}
+
+} // anonymous namespace
+
+void
+writeRunJson(JsonWriter &json, const RunResult &result)
+{
+    json.beginObject();
+    json.key("config");
+    writeConfigJson(json, result.config);
+    json.key("counters");
+    writeCountersJson(json, result.counters);
+    json.key("ipc").value(result.ipc());
+    json.key("eir").value(result.eir());
+    json.endObject();
+}
+
+void
+writeRunsJson(std::ostream &os, const std::vector<RunResult> &runs,
+              int indent)
+{
+    JsonWriter json(os, indent);
+    json.beginObject();
+    json.key("runs").beginArray();
+    bool all_positive = !runs.empty();
+    std::vector<double> ipcs, eirs;
+    for (const RunResult &run : runs) {
+        writeRunJson(json, run);
+        if (run.ipc() <= 0.0 || run.eir() <= 0.0)
+            all_positive = false;
+        ipcs.push_back(run.ipc());
+        eirs.push_back(run.eir());
+    }
+    json.endArray();
+    // Harmonic means are only defined over positive rates; a partial
+    // or broken run set simply omits them.
+    if (all_positive) {
+        json.key("hmean_ipc").value(harmonicMean(ipcs));
+        json.key("hmean_eir").value(harmonicMean(eirs));
+    }
+    json.endObject();
+    os << '\n';
+}
+
+const std::vector<std::string> &
+runCsvHeader()
+{
+    static const std::vector<std::string> header = {
+        "benchmark",       "machine",
+        "scheme",          "layout",
+        "cb_impl",         "predictor",
+        "use_ras",         "max_retired",
+        "cycles",          "retired",
+        "delivered",       "fetch_groups",
+        "cond_branches",   "taken_branches",
+        "intra_block_taken", "mispredicts",
+        "icache_accesses", "icache_misses",
+        "btb_lookups",     "btb_hits",
+        "stall_cycles",    "nops_retired",
+        "ipc",             "eir",
+    };
+    return header;
+}
+
+void
+writeRunCsv(CsvWriter &csv, const RunResult &result)
+{
+    const RunConfig &config = result.config;
+    const RunCounters &c = result.counters;
+    csv.field(config.benchmark)
+        .field(machineName(config.machine))
+        .field(schemeName(config.scheme))
+        .field(layoutName(config.layout))
+        .field(cbImplName(config.cbImpl))
+        .field(predictorName(config.predictorKind))
+        .field(config.useRas)
+        .field(config.maxRetired)
+        .field(c.cycles)
+        .field(c.retired)
+        .field(c.delivered)
+        .field(c.fetchGroups)
+        .field(c.condBranches)
+        .field(c.takenBranches)
+        .field(c.intraBlockTaken)
+        .field(c.mispredicts)
+        .field(c.icacheAccesses)
+        .field(c.icacheMisses)
+        .field(c.btbLookups)
+        .field(c.btbHits)
+        .field(c.stallCycles)
+        .field(c.nopsRetired)
+        .field(result.ipc())
+        .field(result.eir())
+        .endRow();
+}
+
+void
+writeRunsCsv(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    CsvWriter csv(os);
+    csv.header(runCsvHeader());
+    for (const RunResult &run : runs)
+        writeRunCsv(csv, run);
+}
+
+std::string
+RunResult::toJson() const
+{
+    std::ostringstream os;
+    JsonWriter json(os, 0);
+    writeRunJson(json, *this);
+    return os.str();
+}
+
+} // namespace fetchsim

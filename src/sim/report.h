@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Structured result output: JSON and CSV serialization of runs and
+ * sweeps (built on the generic writers in stats/json.h, stats/csv.h).
+ *
+ * The JSON document for a sweep is:
+ * @code
+ *   {
+ *     "runs": [ { "config": {...}, "counters": {...},
+ *                 "ipc": ..., "eir": ... }, ... ],
+ *     "hmean_ipc": ...,     // only when every run has positive IPC
+ *     "hmean_eir": ...
+ *   }
+ * @endcode
+ * and the CSV is one row per run with a fixed header, so files from
+ * different sweeps concatenate cleanly.
+ */
+
+#ifndef FETCHSIM_SIM_REPORT_H_
+#define FETCHSIM_SIM_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.h"
+#include "stats/csv.h"
+#include "stats/json.h"
+
+namespace fetchsim
+{
+
+/** Display name of a collapsing-buffer implementation. */
+const char *cbImplName(CollapsingBufferFetch::Impl impl);
+
+/** Serialize one run (config + counters + derived rates) to JSON. */
+void writeRunJson(JsonWriter &json, const RunResult &result);
+
+/** Serialize a run list as the sweep document described above. */
+void writeRunsJson(std::ostream &os, const std::vector<RunResult> &runs,
+                   int indent = 2);
+
+/** The fixed CSV column set, in order. */
+const std::vector<std::string> &runCsvHeader();
+
+/** Append one run as a CSV row (header must match runCsvHeader()). */
+void writeRunCsv(CsvWriter &csv, const RunResult &result);
+
+/** Serialize a run list as a CSV table with header. */
+void writeRunsCsv(std::ostream &os,
+                  const std::vector<RunResult> &runs);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_REPORT_H_

@@ -1,0 +1,153 @@
+#include "sim/session.h"
+
+#include "compiler/code_layout.h"
+#include "compiler/function_layout.h"
+#include "compiler/nop_padding.h"
+#include "stats/log.h"
+#include "workload/benchmark_suite.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** Generate and lay out one workload (slow path, run exactly once). */
+std::unique_ptr<Workload>
+prepare(const std::string &benchmark, LayoutKind layout,
+        std::uint64_t block_bytes)
+{
+    const WorkloadSpec &spec = benchmarkByName(benchmark);
+    auto workload = std::make_unique<Workload>(spec);
+    *workload = generateWorkload(spec);
+
+    switch (layout) {
+      case LayoutKind::Unordered:
+        break;
+      case LayoutKind::Reordered:
+        reorderWorkload(*workload);
+        break;
+      case LayoutKind::PadAll:
+        if (block_bytes == 0)
+            fatal("pad-all layout needs a block size");
+        padAll(*workload, block_bytes);
+        break;
+      case LayoutKind::PadTrace: {
+        if (block_bytes == 0)
+            fatal("pad-trace layout needs a block size");
+        std::vector<Trace> traces;
+        reorderWorkload(*workload, {}, {}, &traces);
+        padTrace(*workload, traces, block_bytes);
+        break;
+      }
+      case LayoutKind::ReorderedPlaced: {
+        EdgeProfile profile = collectProfile(*workload);
+        std::vector<Trace> traces =
+            selectTraces(workload->program, profile);
+        applyTraceLayout(*workload, traces);
+        placeFunctions(*workload, profile);
+        break;
+      }
+      default:
+        fatal("prepare: bad layout kind");
+    }
+    return workload;
+}
+
+} // anonymous namespace
+
+const Workload &
+Session::workload(const std::string &benchmark, LayoutKind layout,
+                  std::uint64_t block_bytes)
+{
+    // Padded layouts depend on the block size; the others do not.
+    const std::uint64_t key_block =
+        (layout == LayoutKind::PadAll || layout == LayoutKind::PadTrace)
+            ? block_bytes
+            : 0;
+    const Key key{benchmark, layout, key_block};
+
+    Entry *entry = nullptr;
+    {
+        std::shared_lock<std::shared_mutex> read(mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            entry = it->second.get();
+    }
+    if (!entry) {
+        std::unique_lock<std::shared_mutex> write(mutex_);
+        auto &slot = cache_[key];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+
+    // Populate outside the map lock so concurrent requests for other
+    // keys are never serialized behind a slow generation, and
+    // concurrent requests for the same key each get the one prepared
+    // object.
+    std::call_once(entry->once, [&] {
+        entry->workload = prepare(benchmark, layout, key_block);
+    });
+    simAssert(entry->workload != nullptr,
+              "Session workload populated");
+    return *entry->workload;
+}
+
+RunResult
+Session::run(const RunConfig &config)
+{
+    MachineConfig cfg = makeMachine(config.machine);
+    cfg.predictorKind = config.predictorKind;
+    cfg.useRas = config.useRas;
+    if (config.specDepthOverride >= 0)
+        cfg.specDepth = config.specDepthOverride;
+    if (config.btbEntriesOverride > 0)
+        cfg.btbEntries = config.btbEntriesOverride;
+    if (config.windowSizeOverride > 0)
+        cfg.windowSize = config.windowSizeOverride;
+    if (config.missPenaltyOverride >= 0)
+        cfg.icacheMissPenalty = config.missPenaltyOverride;
+    if (config.icacheWaysOverride > 0)
+        cfg.icacheWays = config.icacheWaysOverride;
+
+    const Workload &wl =
+        workload(config.benchmark, config.layout, cfg.blockBytes);
+
+    std::unique_ptr<FetchMechanism> mechanism;
+    if (config.scheme == SchemeKind::CollapsingBuffer) {
+        mechanism = std::make_unique<CollapsingBufferFetch>(
+            cfg, config.cbImpl, config.cbAllowBackward);
+    } else {
+        mechanism = makeFetchMechanism(config.scheme, cfg);
+    }
+
+    Processor proc(wl, config.input, cfg, std::move(mechanism));
+    const std::uint64_t budget =
+        config.maxRetired ? config.maxRetired : defaultDynInsts();
+    proc.run(budget);
+
+    RunResult result;
+    result.config = config;
+    result.counters = proc.counters();
+    return result;
+}
+
+std::size_t
+Session::cachedWorkloads() const
+{
+    std::shared_lock<std::shared_mutex> read(mutex_);
+    std::size_t prepared = 0;
+    for (const auto &[key, entry] : cache_)
+        prepared += entry && entry->workload ? 1 : 0;
+    return prepared;
+}
+
+Session &
+defaultSession()
+{
+    static Session session;
+    return session;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Session: an explicit, thread-safe owner of experiment state.
+ *
+ * The historical API (sim/experiment.h) kept the prepared-workload
+ * cache in hidden per-process globals, which made the driver layer
+ * impossible to thread.  A Session makes that state explicit: it owns
+ * the cache of prepared workloads (generated programs plus the
+ * profiled/reordered/padded layout variants) and hands out
+ * stable references that remain valid -- including across concurrent
+ * use from many threads -- for the lifetime of the Session.
+ *
+ * Concurrency contract:
+ *  - workload() and run() may be called from any number of threads
+ *    concurrently on the same Session.
+ *  - Each distinct (benchmark, layout, block) key is prepared exactly
+ *    once (per-entry std::call_once); other threads requesting the
+ *    same key block until preparation finishes.
+ *  - Returned Workload references are never invalidated or mutated:
+ *    entries are heap-owned, the cache only grows, and simulation
+ *    reads workloads through const references only.  This is asserted
+ *    (not just documented): debug-checked in tests and guarded by a
+ *    simAssert in workload().
+ *  - run() is deterministic: the same RunConfig produces bit-identical
+ *    RunCounters on every call, on any thread, regardless of what else
+ *    runs concurrently.  All per-run state (processor, caches,
+ *    predictors, behaviour RNG streams seeded from the workload seed
+ *    and input id) is private to the call.
+ */
+
+#ifndef FETCHSIM_SIM_SESSION_H_
+#define FETCHSIM_SIM_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <tuple>
+
+#include "sim/experiment.h"
+
+namespace fetchsim
+{
+
+/**
+ * Owner of prepared-workload state for a family of experiments.
+ *
+ * Create one Session per logical experiment campaign (a bench binary,
+ * a test fixture, a CLI invocation) and share it across threads; the
+ * SweepEngine does exactly that.
+ */
+class Session
+{
+  public:
+    Session() = default;
+    ~Session() = default;
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /**
+     * The prepared workload for (benchmark, layout), generating and
+     * transforming it on first use.
+     *
+     * @param benchmark   suite benchmark name (fatal if unknown)
+     * @param layout      code layout to prepare
+     * @param block_bytes cache-block size; only meaningful for the
+     *                    padded layouts (pass the machine's block
+     *                    size), ignored otherwise
+     * @return a reference owned by this Session, valid for the
+     *         Session's lifetime and safe to read concurrently
+     */
+    const Workload &workload(const std::string &benchmark,
+                             LayoutKind layout,
+                             std::uint64_t block_bytes = 0);
+
+    /** Run one experiment against this Session's workload cache. */
+    RunResult run(const RunConfig &config);
+
+    /** Number of prepared workloads currently cached. */
+    std::size_t cachedWorkloads() const;
+
+  private:
+    using Key = std::tuple<std::string, LayoutKind, std::uint64_t>;
+
+    /**
+     * Heap-owned cache slot.  The once_flag gates preparation so the
+     * map's mutex is never held while a workload is generated (which
+     * can take milliseconds); the slot address is stable because the
+     * map owns it through a unique_ptr.
+     */
+    struct Entry
+    {
+        std::once_flag once;
+        std::unique_ptr<Workload> workload;
+    };
+
+    mutable std::shared_mutex mutex_; //!< guards cache_ map structure
+    std::map<Key, std::unique_ptr<Entry>> cache_;
+};
+
+/**
+ * The process-wide Session behind the deprecated free functions
+ * (runExperiment / runSuite / preparedWorkload).  New code should
+ * create its own Session instead.
+ */
+Session &defaultSession();
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_SESSION_H_

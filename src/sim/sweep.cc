@@ -1,0 +1,172 @@
+#include "sim/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "stats/log.h"
+#include "stats/summary.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+int
+resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const char *env = std::getenv("FETCHSIM_THREADS");
+    if (env) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0)
+            return parsed;
+        warn("ignoring bad FETCHSIM_THREADS");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+} // anonymous namespace
+
+std::vector<RunResult>
+SweepResult::where(
+    const std::function<bool(const RunConfig &)> &pred) const
+{
+    std::vector<RunResult> matched;
+    for (const RunResult &run : runs)
+        if (pred(run.config))
+            matched.push_back(run);
+    return matched;
+}
+
+SuiteResult
+SweepResult::suiteWhere(
+    const std::function<bool(const RunConfig &)> &pred) const
+{
+    return makeSuite(where(pred));
+}
+
+SuiteResult
+SweepResult::suite(MachineModel machine, SchemeKind scheme) const
+{
+    return suiteWhere([&](const RunConfig &config) {
+        return config.machine == machine && config.scheme == scheme;
+    });
+}
+
+SuiteResult
+SweepResult::suite(MachineModel machine, SchemeKind scheme,
+                   LayoutKind layout) const
+{
+    return suiteWhere([&](const RunConfig &config) {
+        return config.machine == machine && config.scheme == scheme &&
+               config.layout == layout;
+    });
+}
+
+const RunResult &
+SweepResult::find(
+    const std::function<bool(const RunConfig &)> &pred) const
+{
+    for (const RunResult &run : runs)
+        if (pred(run.config))
+            return run;
+    fatal("SweepResult::find: no matching run");
+}
+
+SweepEngine::SweepEngine(Session &session, SweepOptions options)
+    : session_(session), options_(std::move(options)),
+      threads_(resolveThreads(options_.threads))
+{
+}
+
+SweepResult
+SweepEngine::run(const ExperimentPlan &plan)
+{
+    return run(plan.expand());
+}
+
+SweepResult
+SweepEngine::run(const std::vector<RunConfig> &configs)
+{
+    SweepResult sweep;
+    sweep.runs.resize(configs.size());
+    if (configs.empty())
+        return sweep;
+
+    const std::size_t total = configs.size();
+    const int workers = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(threads_),
+                              total));
+
+    // Dynamic work-stealing by atomic index: results land at their
+    // plan index, so completion order never shows in the output.
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                return;
+            try {
+                sweep.runs[i] = session_.run(configs[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                return;
+            }
+            const std::size_t finished =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (options_.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                options_.progress(finished, total, sweep.runs[i]);
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return sweep;
+}
+
+SuiteResult
+makeSuite(std::vector<RunResult> runs)
+{
+    SuiteResult suite;
+    std::vector<double> ipcs;
+    std::vector<double> eirs;
+    ipcs.reserve(runs.size());
+    eirs.reserve(runs.size());
+    for (const RunResult &run : runs) {
+        ipcs.push_back(run.ipc());
+        eirs.push_back(run.eir());
+    }
+    suite.runs = std::move(runs);
+    suite.hmeanIpc = harmonicMean(ipcs);
+    suite.hmeanEir = harmonicMean(eirs);
+    return suite;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SweepEngine: parallel, deterministic execution of experiment plans.
+ *
+ * Experiment points are embarrassingly parallel -- each run reads a
+ * shared immutable Workload and keeps all mutable state (processor,
+ * caches, predictors, behaviour RNG streams) private -- so a sweep
+ * scales with cores.  The engine executes the expanded configs of an
+ * ExperimentPlan on an N-worker thread pool and merges results *by
+ * plan index*, which makes the output order-stable and bit-identical
+ * whether the sweep runs on 1 thread or 64.
+ *
+ * Determinism contract: for a fixed plan, SweepResult::runs[i] is the
+ * same RunResult (identical counters, not merely close) for any
+ * thread count, because runs never share mutable state and the merge
+ * position is the plan index, never the completion order.
+ */
+
+#ifndef FETCHSIM_SIM_SWEEP_H_
+#define FETCHSIM_SIM_SWEEP_H_
+
+#include <functional>
+#include <vector>
+
+#include "sim/plan.h"
+#include "sim/session.h"
+
+namespace fetchsim
+{
+
+/** Options controlling a SweepEngine. */
+struct SweepOptions
+{
+    /**
+     * Worker threads.  0 = automatic: the FETCHSIM_THREADS
+     * environment variable if set, else the hardware concurrency.
+     */
+    int threads = 0;
+
+    /**
+     * Called after each run completes, with the number of finished
+     * runs, the total, and the just-finished result.  Invocations are
+     * serialized (safe to print from) but may arrive out of plan
+     * order under parallel execution.
+     */
+    std::function<void(std::size_t done, std::size_t total,
+                       const RunResult &result)>
+        progress;
+};
+
+/** Results of one sweep, in plan-expansion order. */
+struct SweepResult
+{
+    std::vector<RunResult> runs;
+
+    /** Runs matching a config predicate, in plan order. */
+    std::vector<RunResult>
+    where(const std::function<bool(const RunConfig &)> &pred) const;
+
+    /** Harmonic-mean aggregation over runs matching @p pred. */
+    SuiteResult
+    suiteWhere(const std::function<bool(const RunConfig &)> &pred) const;
+
+    /** Aggregation over one (machine, scheme) cell. */
+    SuiteResult suite(MachineModel machine, SchemeKind scheme) const;
+
+    /** Aggregation over one (machine, scheme, layout) cell. */
+    SuiteResult suite(MachineModel machine, SchemeKind scheme,
+                      LayoutKind layout) const;
+
+    /**
+     * The unique run matching @p pred; fatal if none matches.  (Use
+     * where() when several may.)
+     */
+    const RunResult &
+    find(const std::function<bool(const RunConfig &)> &pred) const;
+};
+
+/**
+ * Executes plans against one shared Session.
+ */
+class SweepEngine
+{
+  public:
+    /**
+     * @param session workload cache shared by all runs (must outlive
+     *                the engine)
+     * @param options thread count and progress callback
+     */
+    explicit SweepEngine(Session &session, SweepOptions options = {});
+
+    /** Expand @p plan and execute it. */
+    SweepResult run(const ExperimentPlan &plan);
+
+    /**
+     * Execute an explicit config list (for grids too irregular for
+     * one plan -- concatenate several plans' expansions and submit
+     * them as one parallel batch).
+     */
+    SweepResult run(const std::vector<RunConfig> &configs);
+
+    /** The resolved worker-thread count. */
+    int threads() const { return threads_; }
+
+  private:
+    Session &session_;
+    SweepOptions options_;
+    int threads_;
+};
+
+/**
+ * Harmonic-mean aggregation of a run list (the SuiteResult the
+ * deprecated runSuite() returned, computed from any run set).
+ */
+SuiteResult makeSuite(std::vector<RunResult> runs);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_SWEEP_H_

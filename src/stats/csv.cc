@@ -1,0 +1,130 @@
+#include "stats/csv.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+std::string
+csvEscape(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(std::ostream &os) : os_(os) {}
+
+CsvWriter::~CsvWriter()
+{
+    if (in_row_ != 0)
+        warn("CsvWriter destroyed mid-row");
+}
+
+CsvWriter &
+CsvWriter::header(const std::vector<std::string> &names)
+{
+    if (header_done_)
+        panic("CsvWriter: header emitted twice");
+    if (names.empty())
+        panic("CsvWriter: empty header");
+    header_done_ = true;
+    columns_ = names.size();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << csvEscape(names[i]);
+    }
+    os_ << '\n';
+    return *this;
+}
+
+void
+CsvWriter::rawField(const std::string &text)
+{
+    if (!header_done_)
+        panic("CsvWriter: field before header");
+    if (in_row_ >= columns_)
+        panic("CsvWriter: too many fields in row");
+    if (in_row_)
+        os_ << ',';
+    os_ << text;
+    ++in_row_;
+}
+
+CsvWriter &
+CsvWriter::field(const std::string &text)
+{
+    rawField(csvEscape(text));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(const char *text)
+{
+    return field(std::string(text));
+}
+
+CsvWriter &
+CsvWriter::field(std::uint64_t number)
+{
+    rawField(std::to_string(number));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(std::int64_t number)
+{
+    rawField(std::to_string(number));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(int number)
+{
+    rawField(std::to_string(number));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(double number)
+{
+    if (!std::isfinite(number))
+        panic("CsvWriter: non-finite value");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
+    rawField(buf);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(bool flag)
+{
+    rawField(flag ? "true" : "false");
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::endRow()
+{
+    if (in_row_ != columns_)
+        panic("CsvWriter: row is missing fields");
+    os_ << '\n';
+    in_row_ = 0;
+    ++rows_;
+    return *this;
+}
+
+} // namespace fetchsim

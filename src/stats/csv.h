@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal CSV writer (RFC 4180 quoting) for sweep result export.
+ *
+ * Counterpart of stats/json.h for spreadsheet-bound output: a header
+ * row followed by typed data rows.  The writer enforces that every
+ * row has exactly as many fields as the header, so a sweep CSV is
+ * always rectangular.
+ */
+
+#ifndef FETCHSIM_STATS_CSV_H_
+#define FETCHSIM_STATS_CSV_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fetchsim
+{
+
+/** Quote a field if it contains commas, quotes or newlines. */
+std::string csvEscape(const std::string &field);
+
+/**
+ * Row-oriented CSV writer.
+ *
+ * Usage:
+ * @code
+ *   CsvWriter csv(os);
+ *   csv.header({"benchmark", "ipc"});
+ *   csv.field("gcc").field(2.31).endRow();
+ * @endcode
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os);
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Emit the header row; defines the column count. */
+    CsvWriter &header(const std::vector<std::string> &names);
+
+    CsvWriter &field(const std::string &text);
+    CsvWriter &field(const char *text);
+    CsvWriter &field(std::uint64_t number);
+    CsvWriter &field(std::int64_t number);
+    CsvWriter &field(int number);
+    CsvWriter &field(double number);
+    CsvWriter &field(bool flag);
+
+    /** Finish the current row; panics if it is not column-complete. */
+    CsvWriter &endRow();
+
+    /** Data rows completed so far (header excluded). */
+    std::size_t rowCount() const { return rows_; }
+
+  private:
+    void rawField(const std::string &text);
+
+    std::ostream &os_;
+    std::size_t columns_ = 0;
+    std::size_t in_row_ = 0;
+    std::size_t rows_ = 0;
+    bool header_done_ = false;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_STATS_CSV_H_

@@ -1,0 +1,225 @@
+#include "stats/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char ch : text) {
+        switch (ch) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b";  break;
+          case '\f': out += "\\f";  break;
+          case '\n': out += "\\n";  break;
+          case '\r': out += "\\r";  break;
+          case '\t': out += "\\t";  break;
+          default:
+            if (ch < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += static_cast<char>(ch);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    // JSON has no NaN/Inf; emit null-compatible 0 and warn loudly via
+    // panic, since a non-finite statistic is always a simulator bug.
+    if (!std::isfinite(value))
+        panic("jsonNumber: non-finite value");
+    char buf[32];
+    // %.17g round-trips every IEEE-754 double.
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    // Unbalanced writers are a caller bug, but destructors must not
+    // panic during exception unwinding; flag via stderr only.
+    if (!stack_.empty())
+        warn("JsonWriter destroyed with open containers");
+}
+
+void
+JsonWriter::newline()
+{
+    if (indent_ <= 0)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        for (int s = 0; s < indent_; ++s)
+            os_ << ' ';
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (done_)
+        panic("JsonWriter: write after document end");
+    if (!stack_.empty() && stack_.back() == Frame::Object &&
+        !key_pending_) {
+        panic("JsonWriter: object value without a key");
+    }
+    if (!stack_.empty() && stack_.back() == Frame::Array) {
+        if (has_items_.back())
+            os_ << ',';
+        newline();
+        has_items_.back() = true;
+    }
+    key_pending_ = false;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    if (stack_.empty() || stack_.back() != Frame::Object)
+        panic("JsonWriter: key outside an object");
+    if (key_pending_)
+        panic("JsonWriter: two keys in a row");
+    if (has_items_.back())
+        os_ << ',';
+    newline();
+    has_items_.back() = true;
+    os_ << '"' << jsonEscape(name) << (indent_ > 0 ? "\": " : "\":");
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back(Frame::Object);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Frame::Object ||
+        key_pending_) {
+        panic("JsonWriter: mismatched endObject");
+    }
+    const bool had = has_items_.back();
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (had)
+        newline();
+    os_ << '}';
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back(Frame::Array);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Frame::Array)
+        panic("JsonWriter: mismatched endArray");
+    const bool had = has_items_.back();
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (had)
+        newline();
+    os_ << ']';
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    beforeValue();
+    os_ << '"' << jsonEscape(text) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    beforeValue();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    beforeValue();
+    os_ << jsonNumber(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    os_ << (flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    os_ << "null";
+    return *this;
+}
+
+} // namespace fetchsim

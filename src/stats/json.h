@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for structured result output.
+ *
+ * The experiment layer serializes RunResults and whole sweeps to JSON
+ * for downstream tooling (plotting scripts, regression dashboards).
+ * This writer is deliberately tiny: objects, arrays, string/number/
+ * bool/null scalars, correct escaping, and round-trip-safe double
+ * formatting.  No parsing -- fetchsim only ever emits JSON.
+ */
+
+#ifndef FETCHSIM_STATS_JSON_H_
+#define FETCHSIM_STATS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fetchsim
+{
+
+/** Escape a string for inclusion inside JSON double quotes. */
+std::string jsonEscape(const std::string &text);
+
+/** Format a double so that it parses back to the same value. */
+std::string jsonNumber(double value);
+
+/**
+ * Streaming JSON writer with automatic comma/indentation handling.
+ *
+ * Usage:
+ * @code
+ *   JsonWriter json(os);
+ *   json.beginObject();
+ *   json.key("ipc").value(3.14);
+ *   json.key("runs").beginArray();
+ *   json.value("a").value("b");
+ *   json.endArray();
+ *   json.endObject();
+ * @endcode
+ *
+ * The writer panics (simulator bug) on structural misuse such as a
+ * key outside an object or unbalanced begin/end calls.
+ */
+class JsonWriter
+{
+  public:
+    /**
+     * @param os     destination stream
+     * @param indent spaces per nesting level; 0 = compact one-line
+     */
+    explicit JsonWriter(std::ostream &os, int indent = 2);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next call must emit its value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(int number);
+    JsonWriter &value(double number);
+    JsonWriter &value(bool flag);
+    JsonWriter &null();
+
+    /** Depth of currently open containers (testing hook). */
+    std::size_t depth() const { return stack_.size(); }
+
+  private:
+    enum class Frame : std::uint8_t { Object, Array };
+
+    void beforeValue();
+    void newline();
+
+    std::ostream &os_;
+    int indent_;
+    std::vector<Frame> stack_;
+    std::vector<bool> has_items_;
+    bool key_pending_ = false;
+    bool done_ = false;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_STATS_JSON_H_

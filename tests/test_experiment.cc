@@ -1,12 +1,15 @@
 /**
  * @file
- * Tests for the experiment driver (sim/experiment.h): caching,
- * determinism, suite aggregation, and configuration plumbing.
+ * Tests for the experiment driver: the Session workload cache,
+ * run determinism, configuration plumbing, and the deprecated
+ * free-function wrappers (which must behave exactly like the Session
+ * API they delegate to).
  */
 
 #include <gtest/gtest.h>
 
-#include "sim/experiment.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
 #include "stats/summary.h"
 
 namespace fetchsim
@@ -39,60 +42,196 @@ TEST(Experiment, DefaultBudgetPositive)
     EXPECT_GT(defaultDynInsts(), 0u);
 }
 
-TEST(Experiment, RunIsDeterministic)
+TEST(Session, RunIsDeterministic)
 {
+    Session session;
     RunConfig config =
         smallConfig("compress", MachineModel::P14,
                     SchemeKind::CollapsingBuffer);
-    RunResult a = runExperiment(config);
-    RunResult b = runExperiment(config);
+    RunResult a = session.run(config);
+    RunResult b = session.run(config);
     EXPECT_EQ(a.counters.cycles, b.counters.cycles);
     EXPECT_EQ(a.counters.retired, b.counters.retired);
     EXPECT_EQ(a.counters.mispredicts, b.counters.mispredicts);
 }
 
-TEST(Experiment, PreparedWorkloadIsCached)
+TEST(Session, RunsAreSessionIndependent)
 {
-    const Workload &a =
-        preparedWorkload("compress", LayoutKind::Unordered);
-    const Workload &b =
-        preparedWorkload("compress", LayoutKind::Unordered);
-    EXPECT_EQ(&a, &b); // same object: no regeneration
+    // Two separate Sessions (separate caches) produce bit-identical
+    // results: nothing about a run depends on cache history.
+    Session first, second;
+    RunConfig config = smallConfig("eqntott", MachineModel::P18,
+                                   SchemeKind::Sequential);
+    RunResult a = first.run(config);
+    RunResult b = second.run(config);
+    EXPECT_EQ(a.counters.cycles, b.counters.cycles);
+    EXPECT_EQ(a.counters.delivered, b.counters.delivered);
 }
 
-TEST(Experiment, PaddedLayoutsAreBlockSizeSpecific)
+TEST(Session, WorkloadIsCached)
 {
+    Session session;
+    EXPECT_EQ(session.cachedWorkloads(), 0u);
+    const Workload &a =
+        session.workload("compress", LayoutKind::Unordered);
+    const Workload &b =
+        session.workload("compress", LayoutKind::Unordered);
+    EXPECT_EQ(&a, &b); // same object: no regeneration
+    EXPECT_EQ(session.cachedWorkloads(), 1u);
+}
+
+TEST(Session, ReferencesStayStableAsCacheGrows)
+{
+    // The documented lifetime contract: references returned by
+    // workload() remain valid (same address) for the Session's
+    // lifetime, however many entries are added after them.
+    Session session;
+    const Workload &first =
+        session.workload("compress", LayoutKind::Unordered);
+    const Program *program = &first.program;
+    session.workload("eqntott", LayoutKind::Unordered);
+    session.workload("li", LayoutKind::Reordered);
+    session.workload("compress", LayoutKind::PadAll, 16);
+    const Workload &again =
+        session.workload("compress", LayoutKind::Unordered);
+    EXPECT_EQ(&first, &again);
+    EXPECT_EQ(program, &again.program);
+    EXPECT_EQ(session.cachedWorkloads(), 4u);
+}
+
+TEST(Session, PaddedLayoutsAreBlockSizeSpecific)
+{
+    Session session;
     const Workload &b16 =
-        preparedWorkload("compress", LayoutKind::PadAll, 16);
+        session.workload("compress", LayoutKind::PadAll, 16);
     const Workload &b32 =
-        preparedWorkload("compress", LayoutKind::PadAll, 32);
+        session.workload("compress", LayoutKind::PadAll, 32);
     EXPECT_NE(&b16, &b32);
     EXPECT_NE(b16.program.totalNops(), b32.program.totalNops());
 }
 
-TEST(Experiment, ReorderedWorkloadDiffersFromUnordered)
+TEST(Session, BlockSizeIgnoredForUnpaddedLayouts)
 {
+    // Only the padded layouts key on the block size; for the others
+    // any block_bytes value maps to the same entry.
+    Session session;
+    const Workload &plain =
+        session.workload("compress", LayoutKind::Unordered);
+    const Workload &with_block =
+        session.workload("compress", LayoutKind::Unordered, 64);
+    EXPECT_EQ(&plain, &with_block);
+    EXPECT_EQ(session.cachedWorkloads(), 1u);
+}
+
+TEST(Session, ReorderedWorkloadDiffersFromUnordered)
+{
+    Session session;
     const Workload &u =
-        preparedWorkload("eqntott", LayoutKind::Unordered);
+        session.workload("eqntott", LayoutKind::Unordered);
     const Workload &r =
-        preparedWorkload("eqntott", LayoutKind::Reordered);
+        session.workload("eqntott", LayoutKind::Reordered);
     EXPECT_NE(u.program.layoutOrder(), r.program.layoutOrder());
     // Same CFG size either way.
     EXPECT_EQ(u.program.numBlocks(), r.program.numBlocks());
 }
 
-TEST(Experiment, ResultCarriesConfigBack)
+TEST(Session, ResultCarriesConfigBack)
 {
+    Session session;
     RunConfig config = smallConfig("li", MachineModel::P18,
                                    SchemeKind::Sequential);
-    RunResult result = runExperiment(config);
+    RunResult result = session.run(config);
     EXPECT_EQ(result.config.benchmark, "li");
     EXPECT_EQ(result.config.machine, MachineModel::P18);
     EXPECT_GE(result.counters.retired, 8000u);
     EXPECT_GT(result.ipc(), 0.0);
 }
 
-TEST(Experiment, SuiteAggregatesHarmonicMean)
+TEST(Experiment, NameListsMatchPaperSuites)
+{
+    EXPECT_EQ(integerNames().size(), 9u);
+    EXPECT_EQ(fpNames().size(), 6u);
+    EXPECT_EQ(integerNames().front(), "bison");
+    EXPECT_EQ(fpNames().front(), "doduc");
+}
+
+TEST(SessionDeath, UnknownBenchmarkIsFatal)
+{
+    RunConfig config = smallConfig("doom", MachineModel::P14,
+                                   SchemeKind::Sequential);
+    EXPECT_EXIT(
+        {
+            Session session;
+            session.run(config);
+        },
+        ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+// --------------------------------------------------------------------
+// Deprecated wrapper coverage.  The old free functions must keep
+// working (they delegate to a process-wide Session) and agree with
+// the Session API bit for bit.
+// --------------------------------------------------------------------
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedApi, RunExperimentMatchesSessionRun)
+{
+    RunConfig config =
+        smallConfig("compress", MachineModel::P14,
+                    SchemeKind::CollapsingBuffer);
+    RunResult wrapped = runExperiment(config);
+    Session session;
+    RunResult direct = session.run(config);
+    EXPECT_EQ(wrapped.counters.cycles, direct.counters.cycles);
+    EXPECT_EQ(wrapped.counters.retired, direct.counters.retired);
+    EXPECT_EQ(wrapped.counters.mispredicts,
+              direct.counters.mispredicts);
+    EXPECT_EQ(wrapped.counters.icacheMisses,
+              direct.counters.icacheMisses);
+}
+
+TEST(DeprecatedApi, PreparedWorkloadIsCached)
+{
+    const Workload &a =
+        preparedWorkload("compress", LayoutKind::Unordered);
+    const Workload &b =
+        preparedWorkload("compress", LayoutKind::Unordered);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(DeprecatedApi, RunSuiteMatchesPlanAndEngine)
+{
+    const std::vector<std::string> names = {"compress", "eqntott"};
+    SuiteResult wrapped =
+        runSuite(names, MachineModel::P14, SchemeKind::Perfect,
+                 LayoutKind::Unordered, 8000);
+
+    Session session;
+    ExperimentPlan plan;
+    plan.benchmarks(names)
+        .machine(MachineModel::P14)
+        .scheme(SchemeKind::Perfect)
+        .layout(LayoutKind::Unordered)
+        .maxRetired(8000);
+    SweepEngine engine(session);
+    SuiteResult direct = makeSuite(engine.run(plan).runs);
+
+    ASSERT_EQ(wrapped.runs.size(), direct.runs.size());
+    for (std::size_t i = 0; i < wrapped.runs.size(); ++i) {
+        EXPECT_EQ(wrapped.runs[i].config.benchmark,
+                  direct.runs[i].config.benchmark);
+        EXPECT_EQ(wrapped.runs[i].counters.cycles,
+                  direct.runs[i].counters.cycles);
+        EXPECT_EQ(wrapped.runs[i].counters.retired,
+                  direct.runs[i].counters.retired);
+    }
+    EXPECT_DOUBLE_EQ(wrapped.hmeanIpc, direct.hmeanIpc);
+    EXPECT_DOUBLE_EQ(wrapped.hmeanEir, direct.hmeanEir);
+}
+
+TEST(DeprecatedApi, SuiteAggregatesHarmonicMean)
 {
     std::vector<std::string> names = {"compress", "eqntott"};
     SuiteResult suite =
@@ -104,21 +243,7 @@ TEST(Experiment, SuiteAggregatesHarmonicMean)
     EXPECT_NEAR(suite.hmeanIpc, harmonicMean(ipcs), 1e-12);
 }
 
-TEST(Experiment, NameListsMatchPaperSuites)
-{
-    EXPECT_EQ(integerNames().size(), 9u);
-    EXPECT_EQ(fpNames().size(), 6u);
-    EXPECT_EQ(integerNames().front(), "bison");
-    EXPECT_EQ(fpNames().front(), "doduc");
-}
-
-TEST(ExperimentDeath, UnknownBenchmarkIsFatal)
-{
-    RunConfig config = smallConfig("doom", MachineModel::P14,
-                                   SchemeKind::Sequential);
-    EXPECT_EXIT(runExperiment(config),
-                ::testing::ExitedWithCode(1), "unknown benchmark");
-}
+#pragma GCC diagnostic pop
 
 } // anonymous namespace
 } // namespace fetchsim

@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "exec/branch_census.h"
-#include "sim/experiment.h"
+#include "sim/session.h"
 
 namespace fetchsim
 {
@@ -18,6 +18,14 @@ namespace
 {
 
 constexpr std::uint64_t kBudget = 15000;
+
+/** One Session for the whole binary, so workloads prepare once. */
+Session &
+testSession()
+{
+    static Session session;
+    return session;
+}
 
 double
 ipcOf(const char *benchmark, MachineModel machine, SchemeKind scheme,
@@ -29,7 +37,7 @@ ipcOf(const char *benchmark, MachineModel machine, SchemeKind scheme,
     config.scheme = scheme;
     config.layout = layout;
     config.maxRetired = kBudget;
-    return runExperiment(config).ipc();
+    return testSession().run(config).ipc();
 }
 
 /** Scheme ordering per benchmark and machine (paper Figure 9). */
@@ -134,7 +142,7 @@ TEST(PaperShape, IntraBlockShareGrowsWithBlockSize)
 {
     // Table 2's headline: larger blocks capture more branch targets.
     const Workload &wl =
-        preparedWorkload("eqntott", LayoutKind::Unordered);
+        testSession().workload("eqntott", LayoutKind::Unordered);
     BranchCensus c16 = runBranchCensus(wl, kEvalInput, 30000, 16);
     BranchCensus c64 = runBranchCensus(wl, kEvalInput, 30000, 64);
     EXPECT_GT(c64.intraBlockPercent(), c16.intraBlockPercent());
@@ -144,7 +152,7 @@ TEST(PaperShape, IntraBlockShareGrowsWithBlockSize)
 TEST(PaperShape, NasaSevenHasNoIntraBlockBranches)
 {
     const Workload &wl =
-        preparedWorkload("nasa7", LayoutKind::Unordered);
+        testSession().workload("nasa7", LayoutKind::Unordered);
     BranchCensus census = runBranchCensus(wl, kEvalInput, 30000, 64);
     EXPECT_LT(census.intraBlockPercent(), 2.0);
 }
@@ -165,9 +173,9 @@ TEST(PaperShape, ReorderingCutsTakenBranches)
     // Table 3 over two representative benchmarks.
     for (const char *name : {"compress", "li"}) {
         const Workload &u =
-            preparedWorkload(name, LayoutKind::Unordered);
+            testSession().workload(name, LayoutKind::Unordered);
         const Workload &r =
-            preparedWorkload(name, LayoutKind::Reordered);
+            testSession().workload(name, LayoutKind::Reordered);
         BranchCensus before =
             runBranchCensus(u, kEvalInput, 30000, 16);
         BranchCensus after =
@@ -187,14 +195,14 @@ TEST(PaperShape, ShifterPenaltyErasesCollapsingEdge)
     config.maxRetired = kBudget;
 
     config.scheme = SchemeKind::BankedSequential;
-    const double banked = runExperiment(config).ipc();
+    const double banked = testSession().run(config).ipc();
 
     config.scheme = SchemeKind::CollapsingBuffer;
     config.cbImpl = CollapsingBufferFetch::Impl::Shifter;
-    const double shifter = runExperiment(config).ipc();
+    const double shifter = testSession().run(config).ipc();
 
     config.cbImpl = CollapsingBufferFetch::Impl::Crossbar;
-    const double crossbar = runExperiment(config).ipc();
+    const double crossbar = testSession().run(config).ipc();
 
     EXPECT_LT(shifter, crossbar);
     EXPECT_LT(shifter, banked * 1.05);

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the ExperimentPlan builder: grid expansion (size, order,
+ * axis semantics) and precedence (proto < axes < overrides).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/plan.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(Plan, SingleBenchmarkExpandsToOneConfig)
+{
+    ExperimentPlan plan;
+    plan.benchmark("gcc");
+    EXPECT_EQ(plan.size(), 1u);
+    std::vector<RunConfig> grid = plan.expand();
+    ASSERT_EQ(grid.size(), 1u);
+    EXPECT_EQ(grid[0].benchmark, "gcc");
+    // Unset axes leave the proto defaults untouched.
+    EXPECT_EQ(grid[0].machine, MachineModel::P14);
+    EXPECT_EQ(grid[0].scheme, SchemeKind::Sequential);
+    EXPECT_EQ(grid[0].layout, LayoutKind::Unordered);
+}
+
+TEST(Plan, GridSizeIsAxisProduct)
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"gcc", "li", "sc"})
+        .machines({MachineModel::P14, MachineModel::P112})
+        .schemes({SchemeKind::Sequential, SchemeKind::Perfect})
+        .layouts({LayoutKind::Unordered, LayoutKind::Reordered});
+    EXPECT_EQ(plan.size(), 3u * 2u * 2u * 2u);
+    EXPECT_EQ(plan.expand().size(), plan.size());
+}
+
+TEST(Plan, BenchmarkAxisIsInnermost)
+{
+    // Runs of one suite cell (fixed machine/scheme) are contiguous, so
+    // suite aggregation maps onto contiguous slices of the expansion.
+    ExperimentPlan plan;
+    plan.benchmarks({"gcc", "li"})
+        .machines({MachineModel::P14, MachineModel::P18});
+    std::vector<RunConfig> grid = plan.expand();
+    ASSERT_EQ(grid.size(), 4u);
+    EXPECT_EQ(grid[0].machine, MachineModel::P14);
+    EXPECT_EQ(grid[0].benchmark, "gcc");
+    EXPECT_EQ(grid[1].machine, MachineModel::P14);
+    EXPECT_EQ(grid[1].benchmark, "li");
+    EXPECT_EQ(grid[2].machine, MachineModel::P18);
+    EXPECT_EQ(grid[2].benchmark, "gcc");
+    EXPECT_EQ(grid[3].machine, MachineModel::P18);
+    EXPECT_EQ(grid[3].benchmark, "li");
+}
+
+TEST(Plan, SettingAnAxisReplacesIt)
+{
+    ExperimentPlan plan;
+    plan.benchmark("gcc")
+        .machines({MachineModel::P14, MachineModel::P18})
+        .machine(MachineModel::P112); // replaces, not appends
+    std::vector<RunConfig> grid = plan.expand();
+    ASSERT_EQ(grid.size(), 1u);
+    EXPECT_EQ(grid[0].machine, MachineModel::P112);
+}
+
+TEST(Plan, ProtoSuppliesDefaults)
+{
+    RunConfig proto;
+    proto.benchmark = "eqntott";
+    proto.machine = MachineModel::P112;
+    proto.useRas = true;
+    proto.maxRetired = 4242;
+
+    ExperimentPlan plan;
+    plan.proto(proto).schemes(
+        {SchemeKind::Sequential, SchemeKind::Perfect});
+    std::vector<RunConfig> grid = plan.expand();
+    ASSERT_EQ(grid.size(), 2u);
+    for (const RunConfig &config : grid) {
+        EXPECT_EQ(config.benchmark, "eqntott");
+        EXPECT_EQ(config.machine, MachineModel::P112);
+        EXPECT_TRUE(config.useRas);
+        EXPECT_EQ(config.maxRetired, 4242u);
+    }
+    EXPECT_EQ(grid[0].scheme, SchemeKind::Sequential);
+    EXPECT_EQ(grid[1].scheme, SchemeKind::Perfect);
+}
+
+TEST(Plan, AxisBeatsProto)
+{
+    RunConfig proto;
+    proto.benchmark = "eqntott";
+    proto.machine = MachineModel::P14;
+
+    ExperimentPlan plan;
+    plan.proto(proto).machine(MachineModel::P112);
+    std::vector<RunConfig> grid = plan.expand();
+    ASSERT_EQ(grid.size(), 1u);
+    EXPECT_EQ(grid[0].machine, MachineModel::P112);
+}
+
+TEST(Plan, OverrideBeatsAxis)
+{
+    ExperimentPlan plan;
+    plan.benchmark("gcc")
+        .machines({MachineModel::P14, MachineModel::P18})
+        .override([](RunConfig &config) {
+            config.machine = MachineModel::P112;
+        });
+    std::vector<RunConfig> grid = plan.expand();
+    ASSERT_EQ(grid.size(), 2u);
+    EXPECT_EQ(grid[0].machine, MachineModel::P112);
+    EXPECT_EQ(grid[1].machine, MachineModel::P112);
+}
+
+TEST(Plan, LaterOverrideWins)
+{
+    ExperimentPlan plan;
+    plan.benchmark("gcc")
+        .override(
+            [](RunConfig &config) { config.specDepthOverride = 3; })
+        .override(
+            [](RunConfig &config) { config.specDepthOverride = 7; });
+    std::vector<RunConfig> grid = plan.expand();
+    ASSERT_EQ(grid.size(), 1u);
+    EXPECT_EQ(grid[0].specDepthOverride, 7);
+}
+
+TEST(Plan, BudgetAndInputApplyToEveryPoint)
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"gcc", "li"}).maxRetired(999).input(2);
+    for (const RunConfig &config : plan.expand()) {
+        EXPECT_EQ(config.maxRetired, 999u);
+        EXPECT_EQ(config.input, 2);
+    }
+}
+
+TEST(Plan, ExpansionIsDeterministic)
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"gcc", "li"})
+        .machines({MachineModel::P14, MachineModel::P112})
+        .schemes({SchemeKind::Sequential, SchemeKind::Perfect});
+    std::vector<RunConfig> a = plan.expand();
+    std::vector<RunConfig> b = plan.expand();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].benchmark, b[i].benchmark);
+        EXPECT_EQ(a[i].machine, b[i].machine);
+        EXPECT_EQ(a[i].scheme, b[i].scheme);
+        EXPECT_EQ(a[i].layout, b[i].layout);
+    }
+}
+
+TEST(PlanDeath, ExpandWithoutBenchmarkIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            ExperimentPlan plan;
+            plan.machines({MachineModel::P14});
+            plan.expand();
+        },
+        ::testing::ExitedWithCode(1), "benchmark");
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for structured result output: the generic JSON/CSV writers in
+ * src/stats/ and the RunResult serialization built on them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.h"
+#include "sim/session.h"
+#include "stats/csv.h"
+#include "stats/json.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, EscapesControlAndSpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(Json, NumbersRoundTrip)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(std::stod(jsonNumber(1.0 / 3.0)), 1.0 / 3.0);
+    EXPECT_EQ(std::stod(jsonNumber(2.875)), 2.875);
+}
+
+TEST(Json, CompactObjectStructure)
+{
+    std::ostringstream os;
+    {
+        JsonWriter json(os, 0);
+        json.beginObject();
+        json.key("name").value("gcc");
+        json.key("ipc").value(2.5);
+        json.key("ok").value(true);
+        json.key("tags").beginArray();
+        json.value(std::uint64_t{1}).value(std::uint64_t{2});
+        json.endArray();
+        json.endObject();
+        EXPECT_EQ(json.depth(), 0u);
+    }
+    EXPECT_EQ(os.str(), "{\"name\":\"gcc\",\"ipc\":2.5,\"ok\":true,"
+                        "\"tags\":[1,2]}");
+}
+
+TEST(Json, IndentedOutputNests)
+{
+    std::ostringstream os;
+    {
+        JsonWriter json(os, 2);
+        json.beginObject();
+        json.key("a").value(1);
+        json.endObject();
+    }
+    EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonDeath, KeyOutsideObjectPanics)
+{
+    EXPECT_DEATH(
+        {
+            std::ostringstream os;
+            JsonWriter json(os, 0);
+            json.key("oops");
+        },
+        "");
+}
+
+// ----------------------------------------------------------------- CSV
+
+TEST(Csv, EscapesOnlyWhenNeeded)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, WritesRectangularTable)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.header({"benchmark", "ipc", "ok"});
+    csv.field("gcc").field(2.5).field(true).endRow();
+    csv.field("a,b").field(0.25).field(false).endRow();
+    EXPECT_EQ(csv.rowCount(), 2u);
+    EXPECT_EQ(os.str(), "benchmark,ipc,ok\n"
+                        "gcc,2.5,true\n"
+                        "\"a,b\",0.25,false\n");
+}
+
+TEST(CsvDeath, ShortRowPanics)
+{
+    EXPECT_DEATH(
+        {
+            std::ostringstream os;
+            CsvWriter csv(os);
+            csv.header({"a", "b"});
+            csv.field("only-one").endRow();
+        },
+        "");
+}
+
+// -------------------------------------------------------------- results
+
+RunResult
+sampleResult()
+{
+    Session session;
+    RunConfig config;
+    config.benchmark = "compress";
+    config.machine = MachineModel::P14;
+    config.scheme = SchemeKind::CollapsingBuffer;
+    config.maxRetired = 5000;
+    return session.run(config);
+}
+
+TEST(Report, RunToJsonCarriesConfigAndCounters)
+{
+    RunResult result = sampleResult();
+    const std::string json = result.toJson();
+    EXPECT_NE(json.find("\"benchmark\":\"compress\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"machine\":\"P14\""), std::string::npos);
+    EXPECT_NE(json.find("\"scheme\":\"collapsing-buffer\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cycles\":" +
+                        std::to_string(result.counters.cycles)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ipc\":"), std::string::npos);
+    // Compact form: single line.
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(Report, RunsJsonDocumentHasRunsAndMeans)
+{
+    RunResult result = sampleResult();
+    std::ostringstream os;
+    writeRunsJson(os, {result, result});
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"runs\""), std::string::npos);
+    // Both runs have positive rates, so the suite means are present.
+    EXPECT_NE(doc.find("\"hmean_ipc\""), std::string::npos);
+    EXPECT_NE(doc.find("\"hmean_eir\""), std::string::npos);
+}
+
+TEST(Report, EmptyRunsJsonOmitsMeans)
+{
+    std::ostringstream os;
+    writeRunsJson(os, {});
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"runs\""), std::string::npos);
+    EXPECT_EQ(doc.find("\"hmean_ipc\""), std::string::npos);
+}
+
+TEST(Report, RunsCsvIsRectangular)
+{
+    RunResult result = sampleResult();
+    std::ostringstream os;
+    writeRunsCsv(os, {result, result, result});
+    // Header + 3 rows, all with the full column count.
+    std::istringstream lines(os.str());
+    std::string line;
+    std::size_t line_count = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        ++line_count;
+        std::size_t commas = 0;
+        for (char ch : line)
+            commas += ch == ',' ? 1 : 0;
+        EXPECT_EQ(commas + 1, runCsvHeader().size()) << line;
+    }
+    EXPECT_EQ(line_count, 4u);
+    EXPECT_EQ(os.str().rfind("benchmark,machine,scheme", 0), 0u);
+}
+
+TEST(Report, CbImplNames)
+{
+    EXPECT_STREQ(cbImplName(CollapsingBufferFetch::Impl::Crossbar),
+                 "crossbar");
+    EXPECT_STREQ(cbImplName(CollapsingBufferFetch::Impl::Shifter),
+                 "shifter");
+}
+
+} // anonymous namespace
+} // namespace fetchsim

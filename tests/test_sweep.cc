@@ -11,13 +11,20 @@
 #include <tuple>
 
 #include "exec/branch_census.h"
-#include "sim/experiment.h"
+#include "sim/session.h"
 #include "test_util.h"
 
 namespace fetchsim
 {
 namespace
 {
+
+Session &
+testSession()
+{
+    static Session session;
+    return session;
+}
 
 TEST(BranchCensus, HammockAnalytic)
 {
@@ -43,7 +50,7 @@ TEST(BranchCensus, HammockAnalytic)
 TEST(BranchCensus, CountsAreInputStable)
 {
     const Workload &wl =
-        preparedWorkload("compress", LayoutKind::Unordered);
+        testSession().workload("compress", LayoutKind::Unordered);
     BranchCensus a = runBranchCensus(wl, kEvalInput, 20000, 16);
     BranchCensus b = runBranchCensus(wl, kEvalInput, 20000, 16);
     EXPECT_EQ(a.takenTotal, b.takenTotal);
@@ -53,7 +60,7 @@ TEST(BranchCensus, CountsAreInputStable)
 TEST(BranchCensusDeath, RejectsBadBlockSize)
 {
     const Workload &wl =
-        preparedWorkload("compress", LayoutKind::Unordered);
+        testSession().workload("compress", LayoutKind::Unordered);
     EXPECT_EXIT(runBranchCensus(wl, kEvalInput, 10, 24),
                 ::testing::ExitedWithCode(1), "power of two");
 }
@@ -73,7 +80,7 @@ TEST_P(SchemeMachineSweep, GlobalInvariantsHold)
     config.machine = machine;
     config.scheme = scheme;
     config.maxRetired = 10000;
-    RunResult result = runExperiment(config);
+    RunResult result = testSession().run(config);
     const RunCounters &c = result.counters;
     const MachineConfig cfg = makeMachine(machine);
 
@@ -109,8 +116,8 @@ TEST_P(SchemeMachineSweep, RunsAreBitReproducible)
     config.machine = machine;
     config.scheme = scheme;
     config.maxRetired = 6000;
-    RunResult a = runExperiment(config);
-    RunResult b = runExperiment(config);
+    RunResult a = testSession().run(config);
+    RunResult b = testSession().run(config);
     EXPECT_EQ(a.counters.cycles, b.counters.cycles);
     EXPECT_EQ(a.counters.delivered, b.counters.delivered);
     EXPECT_EQ(a.counters.mispredicts, b.counters.mispredicts);

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The SweepEngine determinism contract: one plan executed at 1, 2 and
+ * 8 worker threads must produce bit-identical counters, in the same
+ * (plan) order.  Also exercises the Session cache under real
+ * concurrency: many threads requesting the same workload must get the
+ * same object, prepared exactly once.
+ *
+ * This test is the designated ThreadSanitizer target (configure with
+ * -DFETCHSIM_SANITIZE=thread and run ctest -R Sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sim/plan.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+/** A small but heterogeneous plan: 2 benchmarks x 2 machines x 3
+ * schemes x 2 layouts = 24 runs, more runs than the widest pool. */
+ExperimentPlan
+testPlan()
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"compress", "eqntott"})
+        .machines({MachineModel::P14, MachineModel::P112})
+        .schemes({SchemeKind::Sequential, SchemeKind::CollapsingBuffer,
+                  SchemeKind::Perfect})
+        .layouts({LayoutKind::Unordered, LayoutKind::Reordered})
+        .maxRetired(5000);
+    return plan;
+}
+
+SweepResult
+runWithThreads(int threads)
+{
+    Session session;
+    SweepOptions options;
+    options.threads = threads;
+    SweepEngine engine(session, options);
+    EXPECT_EQ(engine.threads(), threads);
+    return engine.run(testPlan());
+}
+
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        // Same config at the same index: order is plan order, never
+        // completion order.
+        EXPECT_EQ(a.runs[i].config.benchmark,
+                  b.runs[i].config.benchmark);
+        EXPECT_EQ(a.runs[i].config.machine, b.runs[i].config.machine);
+        EXPECT_EQ(a.runs[i].config.scheme, b.runs[i].config.scheme);
+        EXPECT_EQ(a.runs[i].config.layout, b.runs[i].config.layout);
+
+        // Bit-identical counters.
+        const RunCounters &ca = a.runs[i].counters;
+        const RunCounters &cb = b.runs[i].counters;
+        EXPECT_EQ(ca.cycles, cb.cycles) << "run " << i;
+        EXPECT_EQ(ca.retired, cb.retired) << "run " << i;
+        EXPECT_EQ(ca.delivered, cb.delivered) << "run " << i;
+        EXPECT_EQ(ca.mispredicts, cb.mispredicts) << "run " << i;
+        EXPECT_EQ(ca.icacheMisses, cb.icacheMisses) << "run " << i;
+        EXPECT_EQ(ca.icacheAccesses, cb.icacheAccesses)
+            << "run " << i;
+        EXPECT_EQ(ca.btbHits, cb.btbHits) << "run " << i;
+        EXPECT_EQ(ca.stallCycles, cb.stallCycles) << "run " << i;
+        for (int s = 0; s < kNumFetchStops; ++s)
+            EXPECT_EQ(ca.stops[s], cb.stops[s])
+                << "run " << i << " stop " << s;
+    }
+}
+
+TEST(SweepParallel, ThreadCountDoesNotChangeResults)
+{
+    const SweepResult serial = runWithThreads(1);
+    const SweepResult two = runWithThreads(2);
+    const SweepResult eight = runWithThreads(8);
+    ASSERT_EQ(serial.runs.size(), 24u);
+    expectIdentical(serial, two);
+    expectIdentical(serial, eight);
+}
+
+TEST(SweepParallel, ResultsArriveInPlanOrder)
+{
+    const std::vector<RunConfig> expanded = testPlan().expand();
+    const SweepResult sweep = runWithThreads(8);
+    ASSERT_EQ(sweep.runs.size(), expanded.size());
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+        EXPECT_EQ(sweep.runs[i].config.benchmark,
+                  expanded[i].benchmark);
+        EXPECT_EQ(sweep.runs[i].config.machine, expanded[i].machine);
+        EXPECT_EQ(sweep.runs[i].config.scheme, expanded[i].scheme);
+        EXPECT_EQ(sweep.runs[i].config.layout, expanded[i].layout);
+    }
+}
+
+TEST(SweepParallel, ProgressSeesEveryRunExactlyOnce)
+{
+    Session session;
+    SweepOptions options;
+    options.threads = 4;
+    std::atomic<std::size_t> calls{0};
+    std::size_t last_done = 0;
+    options.progress = [&](std::size_t done, std::size_t total,
+                           const RunResult &result) {
+        // Serialized: no lock needed for last_done.
+        ++calls;
+        EXPECT_EQ(total, 24u);
+        EXPECT_EQ(done, last_done + 1);
+        last_done = done;
+        EXPECT_GT(result.counters.retired, 0u);
+    };
+    SweepEngine engine(session, options);
+    engine.run(testPlan());
+    EXPECT_EQ(calls.load(), 24u);
+}
+
+TEST(SweepParallel, EmptyBatchIsFine)
+{
+    Session session;
+    SweepEngine engine(session);
+    SweepResult sweep = engine.run(std::vector<RunConfig>{});
+    EXPECT_TRUE(sweep.runs.empty());
+}
+
+TEST(SessionConcurrency, WorkloadPreparedOnceUnderContention)
+{
+    // 8 threads race for the same keys; everyone must observe the
+    // same Workload addresses and the cache must hold exactly the
+    // distinct keys requested.
+    Session session;
+    constexpr int kThreads = 8;
+    std::vector<const Workload *> unordered(kThreads, nullptr);
+    std::vector<const Workload *> reordered(kThreads, nullptr);
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            pool.emplace_back([&session, &unordered, &reordered, t] {
+                unordered[static_cast<std::size_t>(t)] =
+                    &session.workload("compress",
+                                      LayoutKind::Unordered);
+                reordered[static_cast<std::size_t>(t)] =
+                    &session.workload("compress",
+                                      LayoutKind::Reordered);
+            });
+        }
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(unordered[static_cast<std::size_t>(t)],
+                  unordered[0]);
+        EXPECT_EQ(reordered[static_cast<std::size_t>(t)],
+                  reordered[0]);
+    }
+    EXPECT_NE(unordered[0], reordered[0]);
+    EXPECT_EQ(session.cachedWorkloads(), 2u);
+}
+
+TEST(SessionConcurrency, ReferencesSurviveConcurrentGrowth)
+{
+    // The lifetime satellite: a reference taken early stays valid
+    // (same address, readable) while other threads grow the cache.
+    Session session;
+    const Workload &early =
+        session.workload("li", LayoutKind::Unordered);
+    const std::size_t blocks = early.program.numBlocks();
+
+    const char *names[] = {"compress", "eqntott", "espresso", "gcc"};
+    std::vector<std::thread> pool;
+    for (const char *name : names) {
+        pool.emplace_back([&session, name] {
+            session.workload(name, LayoutKind::Unordered);
+            session.workload(name, LayoutKind::Reordered);
+        });
+    }
+    for (std::thread &thread : pool)
+        thread.join();
+
+    const Workload &again =
+        session.workload("li", LayoutKind::Unordered);
+    EXPECT_EQ(&early, &again);
+    EXPECT_EQ(early.program.numBlocks(), blocks);
+    EXPECT_EQ(session.cachedWorkloads(), 9u);
+}
+
+} // anonymous namespace
+} // namespace fetchsim
