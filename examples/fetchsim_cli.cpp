@@ -11,6 +11,9 @@
  *                       --scheme collapsing [--layout reordered]
  *                       [--insts N] [--predictor gshare] [--ras]
  *                       [--spec-depth N] [--btb N] [--json]
+ *                       [--metrics] [--trace events.jsonl]
+ *   fetchsim_cli report [--out docs/RESULTS.md] [--insts N]
+ *                       [--threads N]
  *   fetchsim_cli sweep  [--benchmarks gcc,compress|int|fp|all]
  *                       [--machines P14,P112|all]
  *                       [--schemes sequential,collapsing|all]
@@ -29,13 +32,17 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "core/processor.h"
 #include "exec/trace_file.h"
 #include "sim/plan.h"
 #include "sim/report.h"
+#include "sim/repro_report.h"
 #include "sim/session.h"
 #include "sim/sweep.h"
 #include "stats/table.h"
@@ -57,7 +64,7 @@ parseArgs(int argc, char **argv, int first)
             fatal("expected --option, got: " + key);
         key = key.substr(2);
         // Flags without values.
-        if (key == "ras" || key == "json") {
+        if (key == "ras" || key == "metrics" || key == "json") {
             // --json doubles as a valued option (sweep output file);
             // treat it as a flag only when no value follows.
             if (key == "json" && i + 1 < argc &&
@@ -211,7 +218,30 @@ cmdRun(const std::map<std::string, std::string> &args)
         std::atoi(getOr(args, "btb", "-1").c_str());
 
     Session session;
-    RunResult result = session.run(config);
+
+    // Optional observability: --metrics prints the hierarchical
+    // registry after the run; --trace FILE streams per-cycle JSONL
+    // fetch events.  Neither perturbs the simulation results.
+    MetricRegistry metrics;
+    std::ofstream trace_file;
+    std::unique_ptr<TraceSink> trace;
+    RunInstrumentation inst;
+    if (args.count("metrics") > 0)
+        inst.metrics = &metrics;
+    const std::string trace_path = getOr(args, "trace", "");
+    if (!trace_path.empty()) {
+        trace_file.open(trace_path);
+        if (!trace_file)
+            fatal("cannot open " + trace_path);
+        trace = std::make_unique<TraceSink>(trace_file);
+        inst.trace = trace.get();
+    }
+
+    RunResult result = session.run(config, inst);
+    if (trace) {
+        std::cerr << "wrote " << trace->events()
+                  << " trace events to " << trace_path << "\n";
+    }
     if (args.count("json") > 0) {
         std::cout << result.toJson() << "\n";
         return 0;
@@ -223,6 +253,41 @@ cmdRun(const std::map<std::string, std::string> &args)
               << predictorName(config.predictorKind)
               << (config.useRas ? "+RAS" : "") << ":\n"
               << result.counters.format();
+    if (inst.metrics) {
+        std::cout << "\nmetrics:\n" << metrics.formatText();
+    }
+    return 0;
+}
+
+int
+cmdReport(const std::map<std::string, std::string> &args)
+{
+    ReproReportOptions options;
+    options.threads = std::atoi(getOr(args, "threads", "0").c_str());
+    options.dynInsts = std::strtoull(
+        getOr(args, "insts", "0").c_str(), nullptr, 10);
+    if (isatty(STDERR_FILENO)) {
+        options.progress = [](std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "\r  [%zu/%zu runs]%s", done, total,
+                         done == total ? "\r            \r" : "");
+        };
+    }
+
+    Session session;
+    const std::string report = generateReproReport(session, options);
+
+    const std::string out = getOr(args, "out", "");
+    if (out.empty()) {
+        std::cout << report;
+        return 0;
+    }
+    std::ofstream os(out, std::ios::binary);
+    if (!os)
+        fatal("cannot open " + out);
+    os << report;
+    if (!os)
+        fatal("error writing " + out);
+    std::cerr << "wrote " << out << "\n";
     return 0;
 }
 
@@ -374,8 +439,8 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cout << "usage: fetchsim_cli {run|sweep|record|replay|"
-                     "list} [--option value ...]\n"
+        std::cout << "usage: fetchsim_cli {run|sweep|report|record|"
+                     "replay|list} [--option value ...]\n"
                      "(see the file header for full usage)\n";
         return 1;
     }
@@ -387,6 +452,8 @@ main(int argc, char **argv)
         return cmdRun(args);
     if (command == "sweep")
         return cmdSweep(args);
+    if (command == "report")
+        return cmdReport(args);
     if (command == "record")
         return cmdRecord(args);
     if (command == "replay")

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Regenerate docs/RESULTS.md into a temp directory and diff it against
+# the checked-in copy.  Fails (exit 1) when the document is stale,
+# i.e. when simulator behaviour changed without `fetchsim_cli report`
+# being re-run.  Wired into ctest as `docs_fresh`.
+#
+# Usage: check_docs_fresh.sh <fetchsim_cli> <repo_root>
+set -eu
+
+cli=${1:?usage: check_docs_fresh.sh <fetchsim_cli> <repo_root>}
+repo=${2:?usage: check_docs_fresh.sh <fetchsim_cli> <repo_root>}
+checked_in="$repo/docs/RESULTS.md"
+
+[ -x "$cli" ] || { echo "not executable: $cli" >&2; exit 2; }
+[ -f "$checked_in" ] || { echo "missing: $checked_in" >&2; exit 2; }
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# The checked-in report is generated at the default budget; strip any
+# environment overrides so the regeneration is comparable.
+env -u FETCHSIM_DYN_INSTS -u FETCHSIM_THREADS \
+    "$cli" report --out "$tmpdir/RESULTS.md" 2>/dev/null
+
+if ! diff -u "$checked_in" "$tmpdir/RESULTS.md"; then
+    cat >&2 <<EOF
+
+docs/RESULTS.md is stale: the simulator no longer reproduces the
+checked-in report.  Regenerate it with
+
+    ./build/examples/fetchsim_cli report --out docs/RESULTS.md
+
+and commit the result alongside your change.
+EOF
+    exit 1
+fi
+echo "docs/RESULTS.md is fresh"

@@ -1,6 +1,7 @@
 #include "branch/predictor_suite.h"
 
 #include "stats/log.h"
+#include "stats/metrics.h"
 
 namespace fetchsim
 {
@@ -76,7 +77,15 @@ PredictorSuite::predict(const DynInst &di)
 {
     if (!di.isControl())
         return InstPrediction{};
+    InstPrediction pred = predictImpl(di);
+    if (m_predictions_)
+        noteVerdict(pred);
+    return pred;
+}
 
+InstPrediction
+PredictorSuite::predictImpl(const DynInst &di)
+{
     // RAS: calls push their return address at fetch/decode so a
     // return inside the same fetch group still sees it.
     if (config_.useRas && di.si.op == OpClass::Call)
@@ -90,6 +99,8 @@ PredictorSuite::predict(const DynInst &di)
         pred.predTaken = true;
         pred.predTarget = ras_.pop();
         pred.mispredict = pred.predTarget != di.actualTarget;
+        if (m_ras_pops_)
+            m_ras_pops_->inc();
         return pred;
         // On underflow, fall through to the BTB's last-target
         // prediction below, as real RAS designs do.
@@ -136,6 +147,35 @@ PredictorSuite::predict(const DynInst &di)
             pred.mispredict = true;
     }
     return pred;
+}
+
+void
+PredictorSuite::attachMetrics(MetricRegistry &registry)
+{
+    m_predictions_ = &registry.counter(
+        "branch.predictions", "control instructions predicted");
+    m_btb_hits_ =
+        &registry.counter("branch.btb_hits",
+                          "predictions with a BTB target available");
+    m_mispredicts_ = &registry.counter(
+        "branch.mispredicts", "predictions the outcome disproved");
+    m_redirects_ = &registry.counter(
+        "branch.decode_redirects",
+        "BTB-miss direct unconditionals (1-bubble redirects)");
+    m_ras_pops_ = &registry.counter(
+        "branch.ras_pops", "returns predicted from the RAS");
+}
+
+void
+PredictorSuite::noteVerdict(const InstPrediction &pred)
+{
+    m_predictions_->inc();
+    if (pred.btbHit)
+        m_btb_hits_->inc();
+    if (pred.mispredict)
+        m_mispredicts_->inc();
+    if (pred.decodeRedirect)
+        m_redirects_->inc();
 }
 
 void

@@ -22,6 +22,9 @@
 namespace fetchsim
 {
 
+class MetricRegistry;
+class Counter;
+
 /**
  * Prediction verdict for one instruction, against its actual
  * outcome.
@@ -107,11 +110,29 @@ class PredictorSuite
     /** Active configuration. */
     const PredictorConfig &config() const { return config_; }
 
+    /**
+     * Register prediction-event counters into @p registry under the
+     * "branch." prefix (predictions, BTB hits, mispredicts, decode
+     * redirects, RAS pops).  The registry must outlive the suite;
+     * unattached suites pay one null-check per control instruction.
+     */
+    void attachMetrics(MetricRegistry &registry);
+
   private:
     PredictorConfig config_;
     Btb btb_;
     std::unique_ptr<DirectionPredictor> dir_;
     ReturnAddressStack ras_;
+
+    // Observability hooks (null until attachMetrics()).
+    Counter *m_predictions_ = nullptr;
+    Counter *m_btb_hits_ = nullptr;
+    Counter *m_mispredicts_ = nullptr;
+    Counter *m_redirects_ = nullptr;
+    Counter *m_ras_pops_ = nullptr;
+
+    InstPrediction predictImpl(const DynInst &di);
+    void noteVerdict(const InstPrediction &pred);
 };
 
 } // namespace fetchsim

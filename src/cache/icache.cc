@@ -1,6 +1,7 @@
 #include "cache/icache.h"
 
 #include "stats/log.h"
+#include "stats/metrics.h"
 
 namespace fetchsim
 {
@@ -51,6 +52,8 @@ ICache::access(std::uint64_t addr)
 {
     ++accesses_;
     ++use_clock_;
+    if (m_accesses_)
+        m_accesses_->inc();
     const std::uint64_t block = blockNumber(addr);
     const std::uint64_t set = block & (num_sets_ - 1);
     const std::uint64_t tag = block >> log2u(num_sets_);
@@ -71,6 +74,8 @@ ICache::access(std::uint64_t addr)
             victim = &line;
     }
     ++misses_;
+    if (m_misses_)
+        m_misses_->inc();
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = use_clock_;
@@ -96,6 +101,20 @@ ICache::flush()
 {
     for (auto &line : lines_)
         line.valid = false;
+}
+
+void
+ICache::attachMetrics(MetricRegistry &registry,
+                      const std::string &prefix)
+{
+    m_accesses_ = &registry.counter(prefix + ".accesses",
+                                    "block lookups in the I-cache");
+    m_misses_ = &registry.counter(prefix + ".misses",
+                                  "block lookups that missed");
+    // Report events observed before attachment too, so the registry
+    // and the legacy accessors agree at any attach time.
+    m_accesses_->inc(accesses_);
+    m_misses_->inc(misses_);
 }
 
 int

@@ -13,10 +13,14 @@
 #define FETCHSIM_CACHE_ICACHE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fetchsim
 {
+
+class MetricRegistry;
+class Counter;
 
 /**
  * Direct-mapped instruction cache.
@@ -73,6 +77,15 @@ class ICache
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t misses() const { return misses_; }
 
+    /**
+     * Register this cache's event counters into @p registry under
+     * @p prefix (e.g. "icache.accesses", "icache.misses").  The
+     * registry must outlive the cache; unattached caches pay one
+     * null-check per access.
+     */
+    void attachMetrics(MetricRegistry &registry,
+                       const std::string &prefix = "icache");
+
   private:
     struct Line
     {
@@ -92,6 +105,10 @@ class ICache
 
     std::uint64_t accesses_ = 0;
     std::uint64_t misses_ = 0;
+
+    // Observability hooks (null until attachMetrics()).
+    Counter *m_accesses_ = nullptr;
+    Counter *m_misses_ = nullptr;
 };
 
 } // namespace fetchsim

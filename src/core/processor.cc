@@ -14,6 +14,17 @@ namespace
 constexpr std::uint64_t kNeverResume =
     std::numeric_limits<std::uint64_t>::max();
 
+/** "bank-conflict" -> "bank_conflict" (metric-path segment). */
+std::string
+metricSegment(const char *name)
+{
+    std::string seg(name);
+    for (char &c : seg)
+        if (c == '-')
+            c = '_';
+    return seg;
+}
+
 } // anonymous namespace
 
 Processor::Processor(const Workload &workload, int input,
@@ -43,6 +54,48 @@ Processor::Processor(InstSource &source, const MachineConfig &cfg,
 {
     simAssert(fetch_ != nullptr, "fetch mechanism supplied");
     stream_.reserve(static_cast<std::size_t>(cfg_.issueRate) * 8);
+}
+
+void
+Processor::attachMetrics(MetricRegistry &registry)
+{
+    m_cycles_delivering_ = &registry.counter(
+        "fetch.cycles.delivering",
+        "cycles a non-empty fetch group was dispatched");
+    m_cycles_stalled_penalty_ = &registry.counter(
+        "fetch.cycles.stalled_penalty",
+        "cycles fetch sat out a misprediction/redirect/refill "
+        "penalty");
+    m_cycles_stalled_empty_ = &registry.counter(
+        "fetch.cycles.stalled_empty",
+        "cycles a group formation attempt delivered nothing");
+    m_collapse_events_ = &registry.counter(
+        "fetch.collapse_events",
+        "intra-block taken branches collapsed inside fetch groups");
+    for (int i = 0; i < kNumFetchStops; ++i) {
+        m_stop_[static_cast<std::size_t>(i)] = &registry.counter(
+            "fetch.stop." +
+                metricSegment(fetchStopName(static_cast<FetchStop>(i))),
+            "fetch groups terminated by this reason");
+    }
+    m_group_size_ = &registry.histogram(
+        "fetch.group_size", {0, 1, 2, 4, 6, 8, 12, 16},
+        "instructions delivered per group-formation attempt");
+    m_run_length_ = &registry.histogram(
+        "fetch.run_length", {1, 2, 4, 8, 16, 32, 64, 128},
+        "retired instructions between taken control transfers");
+    m_branch_distance_ = &registry.histogram(
+        "fetch.branch_distance_bytes",
+        {4, 8, 16, 32, 64, 128, 256, 1024, 4096, 65536},
+        "|target - pc| of retired taken control transfers");
+    icache_.attachMetrics(registry);
+    predictor_.attachMetrics(registry);
+}
+
+void
+Processor::attachTrace(TraceSink &sink)
+{
+    trace_ = &sink;
 }
 
 void
@@ -174,6 +227,18 @@ Processor::doRetire()
             if ((head.di.pc & mask) == (head.di.actualTarget & mask))
                 ++counters_.intraBlockTaken;
         }
+        if (m_run_length_) {
+            ++run_length_;
+            if (head.di.isControl() && head.di.taken) {
+                m_run_length_->record(run_length_);
+                run_length_ = 0;
+                const std::uint64_t distance =
+                    head.di.actualTarget > head.di.pc
+                        ? head.di.actualTarget - head.di.pc
+                        : head.di.pc - head.di.actualTarget;
+                m_branch_distance_->record(distance);
+            }
+        }
         ++counters_.retired;
         ++retired;
         rob_.pop_front();
@@ -236,6 +301,8 @@ Processor::doFetch()
 {
     if (cycle_ < fetch_resume_cycle_) {
         ++counters_.stallCycles;
+        if (m_cycles_stalled_penalty_)
+            m_cycles_stalled_penalty_->inc();
         return;
     }
     refillStream();
@@ -254,6 +321,30 @@ Processor::doFetch()
 
     FetchOutcome outcome = fetch_->formGroup(ctx);
     counters_.noteStop(outcome.stop);
+
+    if (m_cycles_delivering_) {
+        m_stop_[static_cast<std::size_t>(outcome.stop)]->inc();
+        m_group_size_->record(
+            static_cast<std::uint64_t>(outcome.delivered));
+        if (outcome.collapsed > 0)
+            m_collapse_events_->inc(
+                static_cast<std::uint64_t>(outcome.collapsed));
+        if (outcome.delivered > 0)
+            m_cycles_delivering_->inc();
+        else
+            m_cycles_stalled_empty_->inc();
+    }
+    if (trace_) {
+        trace_->begin("fetch", cycle_);
+        trace_->field("pc", ctx.streamLen > 0 ? ctx.stream[0].pc : 0)
+            .field("delivered", outcome.delivered)
+            .field("stop", fetchStopName(outcome.stop))
+            .field("collapsed", outcome.collapsed)
+            .field("mispredict", outcome.mispredict)
+            .field("redirect", outcome.decodeRedirect)
+            .field("stall_after", outcome.stallAfter);
+        trace_->end();
+    }
 
     // Dispatch the delivered group into the window + ROB.
     for (int i = 0; i < outcome.delivered; ++i) {

@@ -33,6 +33,8 @@
 #include "exec/trace_file.h"
 #include "fetch/fetch_mechanism.h"
 #include "stats/counters.h"
+#include "stats/metrics.h"
+#include "stats/trace_sink.h"
 
 namespace fetchsim
 {
@@ -125,6 +127,37 @@ class Processor
         return predictor_;
     }
 
+    /**
+     * Register this processor's observability metrics into
+     * @p registry and forward to the I-cache and predictor suite.
+     * Registered metrics (see docs/ARCHITECTURE.md for the full
+     * namespace):
+     *
+     *  - fetch.cycles.{delivering,stalled_penalty,stalled_empty}:
+     *    the per-cycle fetch breakdown;
+     *  - fetch.stop.<reason>: group-termination histogram
+     *    (misalignment, bank conflicts, mispredictions, ...);
+     *  - fetch.collapse_events: intra-block branches the collapsing
+     *    buffer continued past;
+     *  - fetch.group_size, fetch.run_length,
+     *    fetch.branch_distance_bytes: distribution metrics;
+     *  - icache.*, branch.*: component counters.
+     *
+     * The registry must outlive the processor.  Attach before the
+     * first step() for complete data; an unattached processor pays
+     * one null-check per cycle.
+     */
+    void attachMetrics(MetricRegistry &registry);
+
+    /**
+     * Stream per-cycle fetch events into @p sink as JSON Lines (one
+     * "fetch" event per group-formation attempt: pc, delivered
+     * count, stop reason, collapse count, penalty flags).  The sink
+     * must outlive the processor; a disabled or unattached sink
+     * costs one null-check per cycle (asserted by test_metrics).
+     */
+    void attachTrace(TraceSink &sink);
+
   private:
     static constexpr int kRingSize = 32; //!< > max latency + penalty
 
@@ -166,6 +199,21 @@ class Processor
     std::uint64_t cycle_ = 0;
     std::uint64_t fetch_resume_cycle_ = 0;
     std::int64_t blocked_on_seq_ = -1; //!< mispredicted branch gate
+
+    // Observability hooks (stats/metrics.h, stats/trace_sink.h).
+    // All null until attachMetrics()/attachTrace(); the hot paths
+    // gate on one pointer each.
+    Counter *m_cycles_delivering_ = nullptr;
+    Counter *m_cycles_stalled_penalty_ = nullptr;
+    Counter *m_cycles_stalled_empty_ = nullptr;
+    Counter *m_collapse_events_ = nullptr;
+    std::array<Counter *, kNumFetchStops> m_stop_{};
+    Histogram *m_group_size_ = nullptr;
+    Histogram *m_run_length_ = nullptr;
+    Histogram *m_branch_distance_ = nullptr;
+    TraceSink *trace_ = nullptr;
+    std::uint64_t run_length_ = 0; //!< retired insts since last
+                                   //!< taken control transfer
 };
 
 } // namespace fetchsim

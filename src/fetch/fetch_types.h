@@ -65,6 +65,9 @@ struct FetchOutcome
                                 //!< fetch resumes at resolve+penalty
     bool decodeRedirect = false; //!< BTB-miss unconditional direct
                                  //!< jump: one redirect bubble
+    int collapsed = 0;          //!< intra-block taken branches the
+                                //!< group continued past (collapse
+                                //!< network events; observability)
 };
 
 } // namespace fetchsim

@@ -167,10 +167,14 @@ runWalk(const WalkRules &rules, FetchContext &ctx)
         if (tblk == blk) {
             // Intra-block target.
             const bool forward = di.actualTarget > di.pc;
-            if (forward && rules.collapseIntraForward)
-                continue; // the collapsing buffer removes the gap
-            if (!forward && rules.collapseIntraBackward)
-                continue; // extended crossbar controller
+            if (forward && rules.collapseIntraForward) {
+                ++out.collapsed; // collapse network removes the gap
+                continue;
+            }
+            if (!forward && rules.collapseIntraBackward) {
+                ++out.collapsed; // extended crossbar controller
+                continue;
+            }
             if (!rules.crossTakenInterBlock) {
                 out.stop = FetchStop::TakenBranch;
             } else {

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Self-regenerating reproduction report.
+ *
+ * generateReproReport() runs the paper's whole evaluation grid --
+ * Figures 3 and 9-13 plus the branch-census Tables 2 and 3 -- through
+ * one Session/SweepEngine batch and renders a Markdown document
+ * (docs/RESULTS.md) containing:
+ *
+ *  - the measured tables for every figure (harmonic-mean IPC, EIR
+ *    ratios, census percentages), with ASCII bar charts,
+ *  - the paper's published values where the paper prints numbers
+ *    (Tables 2 and 3), and
+ *  - the paper's qualitative claims as *computed* verdicts: each
+ *    claim is re-evaluated against the measured data every time the
+ *    report is generated, so the document can never silently drift
+ *    out of sync with the simulator.
+ *
+ * Determinism contract: for a fixed dynamic-instruction budget the
+ * output is byte-identical on every invocation at any thread count
+ * (the SweepEngine merges by plan index; the document embeds no
+ * timestamps, hostnames or thread counts).  This is what lets the
+ * generated document be checked in and its freshness enforced by a
+ * test (scripts/check_docs_fresh.sh).
+ */
+
+#ifndef FETCHSIM_SIM_REPRO_REPORT_H_
+#define FETCHSIM_SIM_REPRO_REPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/session.h"
+
+namespace fetchsim
+{
+
+/** Options for generateReproReport(). */
+struct ReproReportOptions
+{
+    /**
+     * Sweep worker threads; 0 = automatic (FETCHSIM_THREADS or the
+     * hardware concurrency).  Never affects the report's bytes.
+     */
+    int threads = 0;
+
+    /**
+     * Retired-instruction budget per run; 0 = defaultDynInsts().
+     * The resolved value is embedded in the report header, so two
+     * reports are comparable only at equal budgets.
+     */
+    std::uint64_t dynInsts = 0;
+
+    /**
+     * Called after each processor run completes with (done, total).
+     * Invocations are serialized; may arrive out of plan order.
+     */
+    std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/**
+ * Run the paper's experiment grid and render the reproduction report.
+ *
+ * @param session workload cache the runs share (reused across calls)
+ * @param options thread count, budget and progress callback
+ * @return the complete Markdown document
+ */
+std::string generateReproReport(Session &session,
+                                const ReproReportOptions &options = {});
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_REPRO_REPORT_H_

@@ -97,6 +97,12 @@ Session::workload(const std::string &benchmark, LayoutKind layout,
 RunResult
 Session::run(const RunConfig &config)
 {
+    return run(config, RunInstrumentation{});
+}
+
+RunResult
+Session::run(const RunConfig &config, const RunInstrumentation &inst)
+{
     MachineConfig cfg = makeMachine(config.machine);
     cfg.predictorKind = config.predictorKind;
     cfg.useRas = config.useRas;
@@ -123,6 +129,10 @@ Session::run(const RunConfig &config)
     }
 
     Processor proc(wl, config.input, cfg, std::move(mechanism));
+    if (inst.metrics)
+        proc.attachMetrics(*inst.metrics);
+    if (inst.trace)
+        proc.attachTrace(*inst.trace);
     const std::uint64_t budget =
         config.maxRetired ? config.maxRetired : defaultDynInsts();
     proc.run(budget);

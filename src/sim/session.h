@@ -39,9 +39,27 @@
 #include <tuple>
 
 #include "sim/experiment.h"
+#include "stats/metrics.h"
+#include "stats/trace_sink.h"
 
 namespace fetchsim
 {
+
+/**
+ * Optional observability outputs for one Session::run() call.  Both
+ * pointers may be null; a null field simply disables that output.
+ * The pointed-to objects must outlive the call and are written from
+ * the calling thread only, so per-run instrumentation composes with
+ * parallel sweeps (one RunInstrumentation per run).
+ */
+struct RunInstrumentation
+{
+    /** Registry the run's Processor registers its metrics into. */
+    MetricRegistry *metrics = nullptr;
+
+    /** Sink receiving the run's per-cycle JSONL fetch events. */
+    TraceSink *trace = nullptr;
+};
 
 /**
  * Owner of prepared-workload state for a family of experiments.
@@ -77,6 +95,16 @@ class Session
 
     /** Run one experiment against this Session's workload cache. */
     RunResult run(const RunConfig &config);
+
+    /**
+     * Run one experiment with observability attached: the run's
+     * hierarchical metrics land in @p inst.metrics and its per-cycle
+     * fetch events in @p inst.trace (null fields disable either).
+     * Counters and derived rates are identical to the plain
+     * overload -- instrumentation never perturbs simulation state.
+     */
+    RunResult run(const RunConfig &config,
+                  const RunInstrumentation &inst);
 
     /** Number of prepared workloads currently cached. */
     std::size_t cachedWorkloads() const;

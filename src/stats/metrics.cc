@@ -1,0 +1,282 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+// ------------------------------------------------------------------
+// Histogram
+// ------------------------------------------------------------------
+
+Histogram::Histogram(std::string path, std::string desc,
+                     std::vector<std::uint64_t> bounds)
+    : path_(std::move(path)), desc_(std::move(desc)),
+      bounds_(std::move(bounds))
+{
+    if (bounds_.empty())
+        fatal("Histogram " + path_ + ": needs at least one bound");
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+        if (bounds_[i] <= bounds_[i - 1])
+            fatal("Histogram " + path_ +
+                  ": bounds must be strictly increasing");
+    }
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+Histogram::record(std::uint64_t sample)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    if (count_ == 0 || sample < min_)
+        min_ = sample;
+    if (sample > max_)
+        max_ = sample;
+    ++count_;
+    sum_ += sample;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t bucket) const
+{
+    if (bucket >= counts_.size())
+        fatal("Histogram " + path_ + ": bucket out of range");
+    return counts_[bucket];
+}
+
+std::string
+Histogram::bucketLabel(std::size_t bucket) const
+{
+    if (bucket >= counts_.size())
+        fatal("Histogram " + path_ + ": bucket out of range");
+    std::ostringstream label;
+    if (bucket == 0) {
+        label << "[0," << bounds_[0] << "]";
+    } else if (bucket == bounds_.size()) {
+        label << "(" << bounds_.back() << ",inf)";
+    } else {
+        label << "(" << bounds_[bucket - 1] << "," << bounds_[bucket]
+              << "]";
+    }
+    return label.str();
+}
+
+// ------------------------------------------------------------------
+// MetricRegistry
+// ------------------------------------------------------------------
+
+bool
+MetricRegistry::validPath(const std::string &path)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (char c : path) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &path,
+                        const std::string &description)
+{
+    if (!validPath(path))
+        fatal("MetricRegistry: invalid metric path: '" + path + "'");
+    if (histograms_.count(path) != 0)
+        fatal("MetricRegistry: " + path +
+              " already registered as a histogram");
+    auto &slot = counters_[path];
+    if (!slot)
+        slot.reset(new Counter(path, description));
+    return *slot;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &path,
+                          const std::vector<std::uint64_t> &bounds,
+                          const std::string &description)
+{
+    if (!validPath(path))
+        fatal("MetricRegistry: invalid metric path: '" + path + "'");
+    if (counters_.count(path) != 0)
+        fatal("MetricRegistry: " + path +
+              " already registered as a counter");
+    auto &slot = histograms_[path];
+    if (!slot) {
+        slot.reset(new Histogram(path, description, bounds));
+    } else if (slot->bounds() != bounds) {
+        fatal("MetricRegistry: " + path +
+              " re-registered with different bounds");
+    }
+    return *slot;
+}
+
+const Counter *
+MetricRegistry::findCounter(const std::string &path) const
+{
+    auto it = counters_.find(path);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram *
+MetricRegistry::findHistogram(const std::string &path) const
+{
+    auto it = histograms_.find(path);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Counter *>
+MetricRegistry::counters() const
+{
+    std::vector<const Counter *> out;
+    out.reserve(counters_.size());
+    for (const auto &[path, ctr] : counters_)
+        out.push_back(ctr.get());
+    return out;
+}
+
+std::vector<const Histogram *>
+MetricRegistry::histograms() const
+{
+    std::vector<const Histogram *> out;
+    out.reserve(histograms_.size());
+    for (const auto &[path, hist] : histograms_)
+        out.push_back(hist.get());
+    return out;
+}
+
+std::vector<std::string>
+MetricRegistry::children(const std::string &prefix) const
+{
+    const std::string want =
+        prefix.empty() ? std::string() : prefix + ".";
+    std::set<std::string> kids;
+    auto visit = [&](const std::string &path) {
+        if (path.size() <= want.size() ||
+            path.compare(0, want.size(), want) != 0)
+            return;
+        const std::string rest = path.substr(want.size());
+        kids.insert(rest.substr(0, rest.find('.')));
+    };
+    for (const auto &[path, ctr] : counters_)
+        visit(path);
+    for (const auto &[path, hist] : histograms_)
+        visit(path);
+    return {kids.begin(), kids.end()};
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &other)
+{
+    for (const auto &[path, ctr] : other.counters_)
+        counter(path, ctr->description()).inc(ctr->value());
+    for (const auto &[path, hist] : other.histograms_) {
+        Histogram &mine =
+            histogram(path, hist->bounds(), hist->description());
+        if (hist->count_ == 0)
+            continue;
+        for (std::size_t b = 0; b < hist->counts_.size(); ++b)
+            mine.counts_[b] += hist->counts_[b];
+        if (mine.count_ == 0 || hist->min_ < mine.min_)
+            mine.min_ = hist->min_;
+        if (hist->max_ > mine.max_)
+            mine.max_ = hist->max_;
+        mine.count_ += hist->count_;
+        mine.sum_ += hist->sum_;
+    }
+}
+
+void
+MetricRegistry::reset()
+{
+    for (auto &[path, ctr] : counters_)
+        ctr->value_ = 0;
+    for (auto &[path, hist] : histograms_) {
+        std::fill(hist->counts_.begin(), hist->counts_.end(), 0);
+        hist->count_ = hist->sum_ = hist->min_ = hist->max_ = 0;
+    }
+}
+
+void
+MetricRegistry::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.key("counters").beginObject();
+    for (const auto &[path, ctr] : counters_)
+        json.key(path).value(ctr->value());
+    json.endObject();
+    json.key("histograms").beginObject();
+    for (const auto &[path, hist] : histograms_) {
+        json.key(path).beginObject();
+        json.key("count").value(hist->count());
+        json.key("sum").value(hist->sum());
+        json.key("min").value(hist->min());
+        json.key("max").value(hist->max());
+        json.key("buckets").beginArray();
+        for (std::size_t b = 0; b < hist->numBuckets(); ++b) {
+            json.beginObject();
+            if (b < hist->bounds().size())
+                json.key("le").value(hist->bounds()[b]);
+            else
+                json.key("le").value("inf");
+            json.key("count").value(hist->bucketCount(b));
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+}
+
+std::string
+MetricRegistry::formatText() const
+{
+    std::ostringstream os;
+    for (const auto &[path, ctr] : counters_) {
+        os << path << " = " << ctr->value();
+        if (!ctr->description().empty())
+            os << "  # " << ctr->description();
+        os << "\n";
+    }
+    for (const auto &[path, hist] : histograms_) {
+        os << path << " (histogram) count=" << hist->count()
+           << " mean=" << hist->mean() << " min=" << hist->min()
+           << " max=" << hist->max();
+        if (!hist->description().empty())
+            os << "  # " << hist->description();
+        os << "\n";
+        for (std::size_t b = 0; b < hist->numBuckets(); ++b) {
+            os << "  " << hist->bucketLabel(b) << " = "
+               << hist->bucketCount(b) << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace fetchsim

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Hierarchical metric registry: named counters and histograms that
+ * simulator components register into.
+ *
+ * RunCounters (stats/counters.h) is the fixed, paper-facing counter
+ * block every run produces.  The MetricRegistry is the open-ended
+ * observability layer on top of it: Processor, the fetch mechanisms,
+ * the I-cache and the predictor suite register counters and
+ * histograms under dot-separated hierarchical names
+ * ("fetch.stop.bank_conflict", "icache.misses",
+ * "fetch.run_length"), and tools walk the registry generically --
+ * text dumps, JSON export, cross-run aggregation -- without knowing
+ * any metric by name.
+ *
+ * Determinism contract: a registry's contents depend only on the
+ * registrations and record/inc calls made against it.  Iteration is
+ * in sorted path order, and merge() is commutative and associative,
+ * so merging the per-run registries of a parallel sweep produces a
+ * bit-identical aggregate regardless of thread count or completion
+ * order (asserted by test_metrics).
+ *
+ * Cost contract: a registered Counter is a plain 64-bit increment
+ * through a stable pointer; components instrument hot paths with a
+ * null-guarded pointer that costs one predictable branch when no
+ * registry is attached.
+ */
+
+#ifndef FETCHSIM_STATS_METRICS_H_
+#define FETCHSIM_STATS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/json.h"
+
+namespace fetchsim
+{
+
+/**
+ * A monotonically increasing 64-bit event counter owned by a
+ * MetricRegistry.  The address is stable for the registry's lifetime,
+ * so components cache `Counter *` and increment without lookups.
+ */
+class Counter
+{
+  public:
+    /** Add @p n events (the hot-path operation). */
+    void inc(std::uint64_t n = 1) { value_ += n; }
+
+    /** Current value. */
+    std::uint64_t value() const { return value_; }
+
+    /** Full dot-separated registration path. */
+    const std::string &path() const { return path_; }
+
+    /** One-line human description (may be empty). */
+    const std::string &description() const { return desc_; }
+
+  private:
+    friend class MetricRegistry;
+    Counter(std::string path, std::string desc)
+        : path_(std::move(path)), desc_(std::move(desc))
+    {
+    }
+
+    std::string path_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A fixed-bucket histogram of unsigned samples owned by a
+ * MetricRegistry.
+ *
+ * Buckets are defined by strictly increasing *inclusive* upper
+ * bounds; one implicit overflow bucket catches everything above the
+ * last bound, so bounds {1, 2, 4} yield the four buckets
+ * [0,1], (1,2], (2,4], (4,inf).
+ */
+class Histogram
+{
+  public:
+    /** Record one sample (the hot-path operation). */
+    void record(std::uint64_t sample);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Smallest sample (0 when empty). */
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+
+    /** Largest sample (0 when empty). */
+    std::uint64_t max() const { return max_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** The inclusive upper bounds the histogram was registered with. */
+    const std::vector<std::uint64_t> &bounds() const { return bounds_; }
+
+    /** Number of buckets, overflow bucket included. */
+    std::size_t numBuckets() const { return counts_.size(); }
+
+    /** Samples in bucket @p bucket (fatal on out-of-range). */
+    std::uint64_t bucketCount(std::size_t bucket) const;
+
+    /** Render bucket @p bucket's range, e.g. "(2,4]" or "(4,inf)". */
+    std::string bucketLabel(std::size_t bucket) const;
+
+    /** Full dot-separated registration path. */
+    const std::string &path() const { return path_; }
+
+    /** One-line human description (may be empty). */
+    const std::string &description() const { return desc_; }
+
+  private:
+    friend class MetricRegistry;
+    Histogram(std::string path, std::string desc,
+              std::vector<std::uint64_t> bounds);
+
+    std::string path_;
+    std::string desc_;
+    std::vector<std::uint64_t> bounds_;  //!< inclusive upper bounds
+    std::vector<std::uint64_t> counts_;  //!< bounds_.size() + 1 buckets
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Registry of hierarchically named metrics.
+ *
+ * Paths are dot-separated, non-empty, lower-case segments matching
+ * [a-z0-9_]+ ("fetch.stop.bank_conflict"); registration with an
+ * invalid path, or the same path as both a counter and a histogram,
+ * is fatal.  Registering an existing path again returns the existing
+ * object (idempotent), so components may re-attach freely; a
+ * histogram re-registration must repeat the original bounds.
+ *
+ * The registry is single-threaded by design: parallel sweeps give
+ * each run its own registry and merge() them afterwards, which keeps
+ * the hot increment path free of atomics and makes aggregation
+ * deterministic (merge is commutative: counters add, histograms add
+ * bucket-wise).
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /**
+     * The counter registered at @p path, creating it on first use.
+     * @param path dot-separated hierarchical name (fatal if invalid)
+     * @param description one-line description, recorded on first
+     *        registration and ignored afterwards
+     * @return a reference owned by this registry, address-stable for
+     *         the registry's lifetime
+     */
+    Counter &counter(const std::string &path,
+                     const std::string &description = "");
+
+    /**
+     * The histogram registered at @p path, creating it on first use.
+     * @param path   dot-separated hierarchical name (fatal if invalid)
+     * @param bounds strictly increasing inclusive bucket upper
+     *               bounds; fatal if empty, not increasing, or
+     *               different from an earlier registration of the
+     *               same path
+     * @param description recorded on first registration
+     */
+    Histogram &histogram(const std::string &path,
+                         const std::vector<std::uint64_t> &bounds,
+                         const std::string &description = "");
+
+    /** The counter at @p path, or nullptr if never registered. */
+    const Counter *findCounter(const std::string &path) const;
+
+    /** The histogram at @p path, or nullptr if never registered. */
+    const Histogram *findHistogram(const std::string &path) const;
+
+    /** All counters, sorted by path. */
+    std::vector<const Counter *> counters() const;
+
+    /** All histograms, sorted by path. */
+    std::vector<const Histogram *> histograms() const;
+
+    /**
+     * The immediate child segments below @p prefix, sorted and
+     * deduplicated.  An empty prefix lists the roots: with counters
+     * "fetch.stop.mispredict" and "icache.misses",
+     * children("") is {"fetch", "icache"} and children("fetch") is
+     * {"stop"}.
+     */
+    std::vector<std::string>
+    children(const std::string &prefix) const;
+
+    /** Total number of registered metrics. */
+    std::size_t size() const
+    {
+        return counters_.size() + histograms_.size();
+    }
+
+    /**
+     * Fold @p other into this registry: counters add, histograms add
+     * bucket-wise (bounds must match), metrics missing here are
+     * created.  Commutative and associative, so any merge tree over
+     * the same per-run registries yields the same aggregate.
+     */
+    void merge(const MetricRegistry &other);
+
+    /** Zero every counter and histogram, keeping registrations. */
+    void reset();
+
+    /**
+     * Serialize as one JSON object:
+     * @code
+     *   { "counters":   { "path": value, ... },
+     *     "histograms": { "path": { "count":..., "sum":..., "min":...,
+     *                               "max":..., "buckets":
+     *                               [ {"le":..., "count":...}, ...,
+     *                                 {"le":"inf", "count":...} ] } } }
+     * @endcode
+     * Keys are in sorted path order (deterministic output).
+     */
+    void writeJson(JsonWriter &json) const;
+
+    /** Multi-line human-readable dump, sorted by path. */
+    std::string formatText() const;
+
+    /** True when @p path is a valid hierarchical metric name. */
+    static bool validPath(const std::string &path);
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_STATS_METRICS_H_

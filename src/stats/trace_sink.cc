@@ -1,0 +1,101 @@
+#include "stats/trace_sink.h"
+
+#include "stats/json.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+void
+TraceSink::begin(const char *type, std::uint64_t cycle)
+{
+    if (!os_)
+        return;
+    if (open_)
+        panic("TraceSink::begin: previous event still open");
+    open_ = true;
+    line_.clear();
+    line_ += "{\"ev\":\"";
+    line_ += jsonEscape(type);
+    line_ += "\",\"cycle\":";
+    line_ += std::to_string(cycle);
+}
+
+void
+TraceSink::rawField(const char *key, const std::string &rendered)
+{
+    if (!os_)
+        return;
+    if (!open_)
+        panic("TraceSink::field: no open event");
+    line_ += ",\"";
+    line_ += jsonEscape(key);
+    line_ += "\":";
+    line_ += rendered;
+}
+
+TraceSink &
+TraceSink::field(const char *key, std::uint64_t value)
+{
+    rawField(key, std::to_string(value));
+    return *this;
+}
+
+TraceSink &
+TraceSink::field(const char *key, std::int64_t value)
+{
+    rawField(key, std::to_string(value));
+    return *this;
+}
+
+TraceSink &
+TraceSink::field(const char *key, int value)
+{
+    rawField(key, std::to_string(value));
+    return *this;
+}
+
+TraceSink &
+TraceSink::field(const char *key, double value)
+{
+    rawField(key, jsonNumber(value));
+    return *this;
+}
+
+TraceSink &
+TraceSink::field(const char *key, bool value)
+{
+    rawField(key, value ? "true" : "false");
+    return *this;
+}
+
+TraceSink &
+TraceSink::field(const char *key, const char *value)
+{
+    return field(key, std::string(value));
+}
+
+TraceSink &
+TraceSink::field(const char *key, const std::string &value)
+{
+    std::string rendered = "\"";
+    rendered += jsonEscape(value);
+    rendered += '"';
+    rawField(key, rendered);
+    return *this;
+}
+
+void
+TraceSink::end()
+{
+    if (!os_)
+        return;
+    if (!open_)
+        panic("TraceSink::end: no open event");
+    open_ = false;
+    line_ += "}\n";
+    *os_ << line_;
+    ++events_;
+}
+
+} // namespace fetchsim

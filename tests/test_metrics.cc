@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Unit tests for the observability layer: MetricRegistry (hierarchical
+ * counters/histograms, merge determinism), TraceSink (JSONL events,
+ * zero-cost disabled path), and the Session::run instrumentation
+ * overload (attaching metrics/trace must not perturb simulation
+ * results).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/session.h"
+#include "stats/metrics.h"
+#include "stats/trace_sink.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+std::string jsonOf(const MetricRegistry &reg)
+{
+    std::ostringstream os;
+    {
+        JsonWriter json(os, 0);
+        reg.writeJson(json);
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------- paths
+
+TEST(MetricPath, AcceptsHierarchicalLowerCaseNames)
+{
+    EXPECT_TRUE(MetricRegistry::validPath("fetch"));
+    EXPECT_TRUE(MetricRegistry::validPath("fetch.stop.bank_conflict"));
+    EXPECT_TRUE(MetricRegistry::validPath("icache.misses"));
+    EXPECT_TRUE(MetricRegistry::validPath("a0.b_1.c"));
+}
+
+TEST(MetricPath, RejectsMalformedNames)
+{
+    EXPECT_FALSE(MetricRegistry::validPath(""));
+    EXPECT_FALSE(MetricRegistry::validPath("."));
+    EXPECT_FALSE(MetricRegistry::validPath("a..b"));
+    EXPECT_FALSE(MetricRegistry::validPath(".a"));
+    EXPECT_FALSE(MetricRegistry::validPath("a."));
+    EXPECT_FALSE(MetricRegistry::validPath("Fetch.stop"));
+    EXPECT_FALSE(MetricRegistry::validPath("fetch-stop"));
+    EXPECT_FALSE(MetricRegistry::validPath("fetch stop"));
+}
+
+TEST(MetricPathDeath, InvalidRegistrationIsFatal)
+{
+    MetricRegistry reg;
+    EXPECT_DEATH(reg.counter("Bad.Path"), "metric path");
+}
+
+// ------------------------------------------------------------- counters
+
+TEST(Metrics, CounterRegistrationAndIncrement)
+{
+    MetricRegistry reg;
+    Counter &c = reg.counter("fetch.collapse_events", "collapses");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_EQ(c.path(), "fetch.collapse_events");
+    EXPECT_EQ(c.description(), "collapses");
+}
+
+TEST(Metrics, CounterRegistrationIsIdempotent)
+{
+    MetricRegistry reg;
+    Counter &a = reg.counter("icache.misses", "first");
+    Counter &b = reg.counter("icache.misses", "ignored");
+    EXPECT_EQ(&a, &b);               // address-stable, same object
+    EXPECT_EQ(b.description(), "first");
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsDeath, CounterVsHistogramPathCollisionIsFatal)
+{
+    MetricRegistry reg;
+    reg.counter("fetch.group_size");
+    EXPECT_DEATH(reg.histogram("fetch.group_size", {1, 2}), "");
+}
+
+// ----------------------------------------------------------- histograms
+
+TEST(Metrics, HistogramBucketSemantics)
+{
+    MetricRegistry reg;
+    // bounds {1,2,4} => buckets [0,1], (1,2], (2,4], (4,inf)
+    Histogram &h = reg.histogram("fetch.group_size", {1, 2, 4});
+    for (std::uint64_t s : {0u, 1u, 2u, 3u, 4u, 5u})
+        h.record(s);
+    ASSERT_EQ(h.numBuckets(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u); // 0, 1
+    EXPECT_EQ(h.bucketCount(1), 1u); // 2
+    EXPECT_EQ(h.bucketCount(2), 2u); // 3, 4
+    EXPECT_EQ(h.bucketCount(3), 1u); // 5
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.sum(), 15u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(Metrics, HistogramEmptyAndLabels)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("fetch.run_length", {1, 4});
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.bucketLabel(0), "[0,1]");
+    EXPECT_EQ(h.bucketLabel(1), "(1,4]");
+    EXPECT_EQ(h.bucketLabel(2), "(4,inf)");
+}
+
+TEST(MetricsDeath, HistogramBoundsMustMatchOnReregistration)
+{
+    MetricRegistry reg;
+    reg.histogram("fetch.group_size", {1, 2, 4});
+    EXPECT_DEATH(reg.histogram("fetch.group_size", {1, 2, 8}), "");
+}
+
+// --------------------------------------------------- hierarchical names
+
+TEST(Metrics, ChildrenWalksTheHierarchy)
+{
+    MetricRegistry reg;
+    reg.counter("fetch.stop.mispredict");
+    reg.counter("fetch.stop.cache_miss");
+    reg.counter("fetch.cycles.delivering");
+    reg.counter("icache.misses");
+    reg.histogram("fetch.group_size", {1});
+
+    std::vector<std::string> roots = reg.children("");
+    EXPECT_EQ(roots, (std::vector<std::string>{"fetch", "icache"}));
+    std::vector<std::string> fetch = reg.children("fetch");
+    EXPECT_EQ(fetch, (std::vector<std::string>{"cycles", "group_size",
+                                               "stop"}));
+    std::vector<std::string> stop = reg.children("fetch.stop");
+    EXPECT_EQ(stop, (std::vector<std::string>{"cache_miss",
+                                              "mispredict"}));
+    EXPECT_TRUE(reg.children("icache.misses").empty());
+}
+
+TEST(Metrics, FindAndSortedIteration)
+{
+    MetricRegistry reg;
+    reg.counter("b.two");
+    reg.counter("a.one");
+    reg.histogram("c.three", {1});
+
+    EXPECT_NE(reg.findCounter("a.one"), nullptr);
+    EXPECT_EQ(reg.findCounter("a.missing"), nullptr);
+    EXPECT_NE(reg.findHistogram("c.three"), nullptr);
+    EXPECT_EQ(reg.findHistogram("a.one"), nullptr);
+
+    std::vector<const Counter *> cs = reg.counters();
+    ASSERT_EQ(cs.size(), 2u);
+    EXPECT_EQ(cs[0]->path(), "a.one"); // sorted, not insertion order
+    EXPECT_EQ(cs[1]->path(), "b.two");
+}
+
+// ---------------------------------------------------------------- merge
+
+MetricRegistry &fill(MetricRegistry &reg, std::uint64_t base)
+{
+    reg.counter("fetch.stop.mispredict").inc(base);
+    reg.counter("icache.misses").inc(2 * base);
+    Histogram &h = reg.histogram("fetch.group_size", {1, 2, 4});
+    for (std::uint64_t s = 0; s < base % 7 + 3; ++s)
+        h.record(s);
+    return reg;
+}
+
+TEST(Metrics, MergeAddsCountersAndBuckets)
+{
+    MetricRegistry a, b;
+    fill(a, 10);
+    fill(b, 32);
+    b.counter("branch.ras_pops").inc(5); // missing in a: created
+
+    a.merge(b);
+    EXPECT_EQ(a.findCounter("fetch.stop.mispredict")->value(), 42u);
+    EXPECT_EQ(a.findCounter("icache.misses")->value(), 84u);
+    EXPECT_EQ(a.findCounter("branch.ras_pops")->value(), 5u);
+    EXPECT_EQ(a.findHistogram("fetch.group_size")->count(),
+              (10u % 7 + 3) + (32u % 7 + 3));
+}
+
+TEST(Metrics, MergeIsCommutativeAndAssociative)
+{
+    // Simulates sweep aggregation: any merge tree over the same
+    // per-run registries must produce a bit-identical aggregate.
+    auto make = [](int salt) {
+        auto reg = std::make_unique<MetricRegistry>();
+        fill(*reg, 7 + 13 * static_cast<std::uint64_t>(salt));
+        if (salt % 2)
+            reg->counter("branch.predictions").inc(salt);
+        return reg;
+    };
+
+    MetricRegistry left;  // ((0+1)+2)+3
+    for (int i = 0; i < 4; ++i)
+        left.merge(*make(i));
+
+    MetricRegistry right; // 3+(2+(1+0)) built via pairwise trees
+    MetricRegistry pair01, pair23;
+    pair01.merge(*make(1));
+    pair01.merge(*make(0));
+    pair23.merge(*make(3));
+    pair23.merge(*make(2));
+    right.merge(pair23);
+    right.merge(pair01);
+
+    EXPECT_EQ(jsonOf(left), jsonOf(right));
+}
+
+TEST(Metrics, MergeAcrossThreadsIsDeterministic)
+{
+    // Each worker fills a private registry (the SweepEngine pattern:
+    // no shared mutable state); merging in index order afterwards must
+    // equal the serial single-registry result regardless of how the
+    // threads interleaved.
+    constexpr int kWorkers = 8;
+    std::vector<std::unique_ptr<MetricRegistry>> regs(kWorkers);
+    std::vector<std::thread> threads;
+    threads.reserve(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+        regs[w] = std::make_unique<MetricRegistry>();
+        threads.emplace_back([&regs, w] {
+            fill(*regs[w], static_cast<std::uint64_t>(w) * 3 + 1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    MetricRegistry merged;
+    for (int w = 0; w < kWorkers; ++w)
+        merged.merge(*regs[w]);
+
+    MetricRegistry serial;
+    for (int w = 0; w < kWorkers; ++w)
+        fill(serial, static_cast<std::uint64_t>(w) * 3 + 1);
+
+    EXPECT_EQ(jsonOf(merged), jsonOf(serial));
+}
+
+TEST(Metrics, ResetZeroesButKeepsRegistrations)
+{
+    MetricRegistry reg;
+    fill(reg, 9);
+    reg.reset();
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_EQ(reg.findCounter("icache.misses")->value(), 0u);
+    EXPECT_EQ(reg.findHistogram("fetch.group_size")->count(), 0u);
+}
+
+// ------------------------------------------------------------ rendering
+
+TEST(Metrics, WriteJsonShape)
+{
+    MetricRegistry reg;
+    reg.counter("icache.misses").inc(3);
+    reg.histogram("fetch.group_size", {2}).record(1);
+
+    std::string json = jsonOf(reg);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"icache.misses\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"fetch.group_size\""), std::string::npos);
+    EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos);
+}
+
+TEST(Metrics, FormatTextListsEveryMetric)
+{
+    MetricRegistry reg;
+    reg.counter("icache.misses", "block lookups that missed").inc(7);
+    reg.histogram("fetch.group_size", {2}).record(1);
+    std::string text = reg.formatText();
+    EXPECT_NE(text.find("icache.misses"), std::string::npos);
+    EXPECT_NE(text.find("7"), std::string::npos);
+    EXPECT_NE(text.find("fetch.group_size"), std::string::npos);
+}
+
+// ------------------------------------------------------------ TraceSink
+
+TEST(TraceSink, DisabledSinkIsInertAndCountsNothing)
+{
+    TraceSink sink;
+    EXPECT_FALSE(sink.enabled());
+    sink.begin("fetch", 1);
+    sink.field("pc", std::uint64_t{4096})
+        .field("stop", "issue_limit")
+        .field("ipc", 3.5)
+        .field("ok", true);
+    sink.end();
+    sink.begin("retire", 2);
+    sink.end();
+    EXPECT_EQ(sink.events(), 0u);
+}
+
+TEST(TraceSink, EnabledSinkWritesOneJsonLinePerEvent)
+{
+    std::ostringstream os;
+    TraceSink sink(os);
+    EXPECT_TRUE(sink.enabled());
+
+    sink.begin("fetch", 12);
+    sink.field("pc", std::uint64_t{4096})
+        .field("delivered", 4)
+        .field("stop", "issue_limit");
+    sink.end();
+    sink.begin("fetch", 13);
+    sink.field("note", std::string("a\"b"));
+    sink.end();
+
+    EXPECT_EQ(sink.events(), 2u);
+    std::istringstream lines(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line, "{\"ev\":\"fetch\",\"cycle\":12,\"pc\":4096,"
+                    "\"delivered\":4,\"stop\":\"issue_limit\"}");
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line, "{\"ev\":\"fetch\",\"cycle\":13,"
+                    "\"note\":\"a\\\"b\"}");
+    EXPECT_FALSE(std::getline(lines, line));
+}
+
+// --------------------------------------------- run instrumentation hook
+
+RunConfig smallConfig()
+{
+    RunConfig config;
+    config.benchmark = "eqntott";
+    config.machine = MachineModel::P18;
+    config.scheme = SchemeKind::CollapsingBuffer;
+    config.maxRetired = 4000;
+    return config;
+}
+
+TEST(RunInstrumentationTest, MetricsDoNotPerturbResults)
+{
+    Session session;
+    RunConfig config = smallConfig();
+    RunResult plain = session.run(config);
+
+    MetricRegistry metrics;
+    TraceSink disabled_trace; // attached but disabled
+    RunInstrumentation inst;
+    inst.metrics = &metrics;
+    inst.trace = &disabled_trace;
+    RunResult observed = session.run(config, inst);
+
+    // The RunCounters block must be bit-identical: instrumentation
+    // observes the simulation, it never participates in it.
+    EXPECT_EQ(std::memcmp(&plain.counters, &observed.counters,
+                          sizeof(RunCounters)),
+              0);
+
+    // ...and the disabled trace sink must have emitted nothing.
+    EXPECT_EQ(disabled_trace.events(), 0u);
+
+    // The registry, meanwhile, saw the run: cycle breakdown totals
+    // the simulated cycles, and the stop census matches RunCounters.
+    const Counter *delivering =
+        metrics.findCounter("fetch.cycles.delivering");
+    const Counter *penalty =
+        metrics.findCounter("fetch.cycles.stalled_penalty");
+    const Counter *empty =
+        metrics.findCounter("fetch.cycles.stalled_empty");
+    ASSERT_NE(delivering, nullptr);
+    ASSERT_NE(penalty, nullptr);
+    ASSERT_NE(empty, nullptr);
+    EXPECT_EQ(delivering->value() + penalty->value() + empty->value(),
+              observed.counters.cycles);
+    EXPECT_EQ(delivering->value(),
+              observed.counters.cycles - observed.counters.stallCycles);
+
+    const Histogram *groups = metrics.findHistogram("fetch.group_size");
+    ASSERT_NE(groups, nullptr);
+    EXPECT_EQ(groups->sum(), observed.counters.delivered);
+}
+
+TEST(RunInstrumentationTest, TraceSinkSeesFetchEvents)
+{
+    Session session;
+    RunConfig config = smallConfig();
+    config.maxRetired = 1000;
+
+    std::ostringstream os;
+    MetricRegistry metrics;
+    TraceSink trace(os);
+    RunInstrumentation inst;
+    inst.metrics = &metrics;
+    inst.trace = &trace;
+    RunResult result = session.run(config, inst);
+
+    EXPECT_GT(trace.events(), 0u);
+    EXPECT_NE(os.str().find("\"ev\":\"fetch\""), std::string::npos);
+
+    // Tracing must not perturb results either.
+    RunResult plain = session.run(config);
+    EXPECT_EQ(std::memcmp(&plain.counters, &result.counters,
+                          sizeof(RunCounters)),
+              0);
+}
+
+} // namespace
+} // namespace fetchsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the reproduction-report generator (sim/repro_report.h):
+ * the report must be byte-identical at any thread count (the docs
+ * freshness contract) and contain every paper-artifact section.
+ *
+ * Runs at a tiny instruction budget -- the determinism and structure
+ * of the document are budget-independent, only the numbers change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "sim/repro_report.h"
+#include "sim/session.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+constexpr std::uint64_t kTestBudget = 2000;
+
+TEST(ReproReport, ByteStableAcrossThreadCounts)
+{
+    Session session; // shared workload cache; runs stay independent
+    ReproReportOptions serial;
+    serial.threads = 1;
+    serial.dynInsts = kTestBudget;
+    ReproReportOptions parallel;
+    parallel.threads = 8;
+    parallel.dynInsts = kTestBudget;
+
+    std::string one = generateReproReport(session, serial);
+    std::string eight = generateReproReport(session, parallel);
+    EXPECT_EQ(one, eight);
+}
+
+TEST(ReproReport, ContainsEveryPaperArtifactSection)
+{
+    Session session;
+    ReproReportOptions options;
+    options.threads = 0; // hardware default
+    options.dynInsts = kTestBudget;
+    std::string report = generateReproReport(session, options);
+
+    for (const char *heading : {
+             "## Figure 3", "## Table 2", "## Figure 9", "## Figure 10",
+             "## Figure 11", "## Table 3", "## Figure 12",
+             "## Figure 13", "## Appendix",
+         }) {
+        EXPECT_NE(report.find(heading), std::string::npos)
+            << "missing section: " << heading;
+    }
+
+    // The budget is stated (reports at different budgets are not
+    // comparable).
+    EXPECT_NE(report.find("Budget: **2000"), std::string::npos);
+}
+
+TEST(ReproReport, ProgressCallbackCoversTheGrid)
+{
+    Session session;
+    std::size_t calls = 0;
+    std::size_t last_done = 0;
+    std::size_t total = 0;
+    ReproReportOptions options;
+    options.threads = 1;
+    options.dynInsts = kTestBudget;
+    options.progress = [&](std::size_t done, std::size_t n) {
+        ++calls;
+        last_done = done;
+        total = n;
+    };
+    generateReproReport(session, options);
+    EXPECT_GT(calls, 0u);
+    EXPECT_GT(total, 0u);
+    EXPECT_EQ(last_done, total);
+}
+
+} // namespace
+} // namespace fetchsim
