@@ -13,18 +13,34 @@
  *                       [--spec-depth N] [--btb N] [--json]
  *                       [--metrics] [--trace events.jsonl]
  *   fetchsim_cli report [--out docs/RESULTS.md] [--insts N]
- *                       [--threads N]
+ *                       [--threads N] [--fail-fast|--keep-going]
+ *                       [--retry N] [--checkpoint FILE] [--resume]
  *   fetchsim_cli sweep  [--benchmarks gcc,compress|int|fp|all]
  *                       [--machines P14,P112|all]
  *                       [--schemes sequential,collapsing|all]
  *                       [--layouts unordered,reordered]
  *                       [--insts N] [--threads N]
+ *                       [--fail-fast|--keep-going] [--retry N]
+ *                       [--checkpoint FILE] [--resume]
  *                       [--json out.json] [--csv out.csv]
  *   fetchsim_cli record --benchmark gcc --out gcc.trace [--insts N]
  *                       [--layout reordered]
  *   fetchsim_cli replay --trace gcc.trace --machine P112
  *                       --scheme banked [--insts N]
  *   fetchsim_cli list
+ *
+ * Exit codes (sysexits-style, so scripts can branch on the failure
+ * class without parsing stderr):
+ *
+ *   0   success
+ *   64  usage error (bad flag syntax, unknown command)
+ *   65  configuration rejected (unknown benchmark/machine/..., plan
+ *       validation failure)
+ *   70  simulation failure (watchdog trip, internal error)
+ *   74  I/O failure (unwritable output, unreadable checkpoint)
+ *   130 interrupted (SIGINT drained the sweep; completed cells are
+ *       checkpointed when --checkpoint is given -- rerun with
+ *       --resume to finish)
  */
 
 #include <cstdlib>
@@ -33,11 +49,13 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
+#include "core/error.h"
 #include "core/processor.h"
 #include "exec/trace_file.h"
 #include "sim/plan.h"
@@ -53,6 +71,22 @@ using namespace fetchsim;
 namespace
 {
 
+// Sysexits-style exit codes (see the file header).
+constexpr int kExitUsage = 64;
+constexpr int kExitConfig = 65;
+constexpr int kExitSimulation = 70;
+constexpr int kExitIo = 74;
+constexpr int kExitInterrupted = 130;
+
+/** Bad command-line syntax (exit 64, distinct from config errors). */
+struct UsageError : std::runtime_error
+{
+    explicit UsageError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
 /** Minimal --key value argument map. */
 std::map<std::string, std::string>
 parseArgs(int argc, char **argv, int first)
@@ -61,10 +95,12 @@ parseArgs(int argc, char **argv, int first)
     for (int i = first; i < argc; ++i) {
         std::string key = argv[i];
         if (key.rfind("--", 0) != 0)
-            fatal("expected --option, got: " + key);
+            throw UsageError("expected --option, got: " + key);
         key = key.substr(2);
         // Flags without values.
-        if (key == "ras" || key == "metrics" || key == "json") {
+        if (key == "ras" || key == "metrics" || key == "json" ||
+            key == "fail-fast" || key == "keep-going" ||
+            key == "resume") {
             // --json doubles as a valued option (sweep output file);
             // treat it as a flag only when no value follows.
             if (key == "json" && i + 1 < argc &&
@@ -76,7 +112,7 @@ parseArgs(int argc, char **argv, int first)
             continue;
         }
         if (i + 1 >= argc)
-            fatal("missing value for --" + key);
+            throw UsageError("missing value for --" + key);
         args[key] = argv[++i];
     }
     return args;
@@ -116,7 +152,8 @@ parseMachine(const std::string &name)
         return MachineModel::P18;
     if (name == "P112")
         return MachineModel::P112;
-    fatal("unknown machine: " + name + " (P14|P18|P112)");
+    throw SimException(ErrorKind::Config,
+                       "unknown machine: " + name + " (P14|P18|P112)");
 }
 
 SchemeKind
@@ -132,8 +169,10 @@ parseScheme(const std::string &name)
         return SchemeKind::CollapsingBuffer;
     if (name == "perfect")
         return SchemeKind::Perfect;
-    fatal("unknown scheme: " + name +
-          " (sequential|interleaved|banked|collapsing|perfect)");
+    throw SimException(
+        ErrorKind::Config,
+        "unknown scheme: " + name +
+            " (sequential|interleaved|banked|collapsing|perfect)");
 }
 
 LayoutKind
@@ -147,8 +186,9 @@ parseLayout(const std::string &name)
         return LayoutKind::PadAll;
     if (name == "pad-trace")
         return LayoutKind::PadTrace;
-    fatal("unknown layout: " + name +
-          " (unordered|reordered|pad-all|pad-trace)");
+    throw SimException(ErrorKind::Config,
+                       "unknown layout: " + name +
+                           " (unordered|reordered|pad-all|pad-trace)");
 }
 
 PredictorKind
@@ -162,8 +202,9 @@ parsePredictor(const std::string &name)
         return PredictorKind::TwoLevel;
     if (name == "oracle")
         return PredictorKind::OracleDirection;
-    fatal("unknown predictor: " + name +
-          " (btb|gshare|two-level|oracle)");
+    throw SimException(ErrorKind::Config,
+                       "unknown predictor: " + name +
+                           " (btb|gshare|two-level|oracle)");
 }
 
 /** Expand a --benchmarks value ("int", "fp", "all" or a list). */
@@ -181,6 +222,87 @@ parseBenchmarks(const std::string &value)
         return names;
     }
     return splitList(value);
+}
+
+/**
+ * The failure policy requested by --fail-fast / --keep-going /
+ * --retry N (fail-fast is the default; the flags are mutually
+ * exclusive).
+ */
+FailurePolicy
+parseFailurePolicy(const std::map<std::string, std::string> &args)
+{
+    if (args.count("fail-fast") && args.count("keep-going"))
+        throw UsageError(
+            "--fail-fast and --keep-going are mutually exclusive");
+    FailurePolicy policy;
+    if (args.count("keep-going"))
+        policy.mode = FailureMode::KeepGoing;
+    const std::string retry = getOr(args, "retry", "0");
+    policy.maxRetries = std::atoi(retry.c_str());
+    if (policy.maxRetries < 0)
+        throw UsageError("--retry wants a non-negative count, got " +
+                         retry);
+    policy.backoffMs =
+        std::atoi(getOr(args, "retry-backoff-ms", "100").c_str());
+    return policy;
+}
+
+/**
+ * Print the per-cell failure summary for a keep-going sweep and
+ * return the exit code the command should use (0 when everything
+ * completed Ok).
+ */
+int
+reportSweepFailures(const SweepResult &sweep)
+{
+    const std::vector<std::size_t> failed = sweep.failedCells();
+    if (failed.empty() && !sweep.stopped)
+        return 0;
+
+    if (!failed.empty()) {
+        TextTable table("Failed cells");
+        table.setHeader({"cell", "benchmark", "machine", "scheme",
+                         "layout", "attempts", "error"});
+        for (std::size_t i : failed) {
+            const RunConfig &config = sweep.runs[i].config;
+            const RunStatus &status = sweep.statuses[i];
+            table.startRow();
+            table.addCell(std::to_string(i));
+            table.addCell(config.benchmark);
+            table.addCell(std::string(machineName(config.machine)));
+            table.addCell(std::string(schemeName(config.scheme)));
+            table.addCell(std::string(layoutName(config.layout)));
+            table.addCell(std::to_string(status.attempts));
+            table.addCell(status.error.format());
+        }
+        table.print(std::cerr);
+    }
+    std::cerr << "sweep: " << sweep.countWith(RunOutcome::Ok)
+              << " ok, " << failed.size() << " failed, "
+              << sweep.countWith(RunOutcome::Skipped) << " skipped\n";
+
+    if (sweep.stopped)
+        return kExitInterrupted;
+    // The worst failure's kind picks the exit code: Io beats nothing,
+    // simulation-class errors beat Io, config beats both (it means
+    // the request itself was bad).
+    int exit_code = 0;
+    for (std::size_t i : failed) {
+        switch (sweep.statuses[i].error.kind) {
+          case ErrorKind::Config:
+            return kExitConfig;
+          case ErrorKind::Workload:
+          case ErrorKind::Internal:
+            exit_code = kExitSimulation;
+            break;
+          case ErrorKind::Io:
+            if (exit_code == 0)
+                exit_code = kExitIo;
+            break;
+        }
+    }
+    return exit_code;
 }
 
 int
@@ -232,7 +354,8 @@ cmdRun(const std::map<std::string, std::string> &args)
     if (!trace_path.empty()) {
         trace_file.open(trace_path);
         if (!trace_file)
-            fatal("cannot open " + trace_path);
+            throw SimException(ErrorKind::Io,
+                               "cannot open " + trace_path);
         trace = std::make_unique<TraceSink>(trace_file);
         inst.trace = trace.get();
     }
@@ -266,6 +389,11 @@ cmdReport(const std::map<std::string, std::string> &args)
     options.threads = std::atoi(getOr(args, "threads", "0").c_str());
     options.dynInsts = std::strtoull(
         getOr(args, "insts", "0").c_str(), nullptr, 10);
+    options.failure = parseFailurePolicy(args);
+    options.checkpointPath = getOr(args, "checkpoint", "");
+    options.resume = args.count("resume") > 0;
+    if (options.resume && options.checkpointPath.empty())
+        throw UsageError("--resume requires --checkpoint FILE");
     if (isatty(STDERR_FILENO)) {
         options.progress = [](std::size_t done, std::size_t total) {
             std::fprintf(stderr, "\r  [%zu/%zu runs]%s", done, total,
@@ -273,22 +401,26 @@ cmdReport(const std::map<std::string, std::string> &args)
         };
     }
 
+    installSweepSigintHandler();
     Session session;
-    const std::string report = generateReproReport(session, options);
+    SweepResult grid;
+    const std::string report =
+        generateReproReport(session, options, &grid);
+    const int failure_exit = reportSweepFailures(grid);
 
     const std::string out = getOr(args, "out", "");
     if (out.empty()) {
         std::cout << report;
-        return 0;
+        return failure_exit;
     }
     std::ofstream os(out, std::ios::binary);
     if (!os)
-        fatal("cannot open " + out);
+        throw SimException(ErrorKind::Io, "cannot open " + out);
     os << report;
     if (!os)
-        fatal("error writing " + out);
+        throw SimException(ErrorKind::Io, "error writing " + out);
     std::cerr << "wrote " << out << "\n";
-    return 0;
+    return failure_exit;
 }
 
 int
@@ -337,12 +469,19 @@ cmdSweep(const std::map<std::string, std::string> &args)
 
     SweepOptions options;
     options.threads = std::atoi(getOr(args, "threads", "0").c_str());
+    options.failure = parseFailurePolicy(args);
+    options.checkpointPath = getOr(args, "checkpoint", "");
+    options.resume = args.count("resume") > 0;
+    if (options.resume && options.checkpointPath.empty())
+        throw UsageError("--resume requires --checkpoint FILE");
 
+    installSweepSigintHandler();
     Session session;
     SweepEngine engine(session, options);
     std::cerr << "sweeping " << plan.size() << " configs on "
               << engine.threads() << " threads\n";
     SweepResult sweep = engine.run(plan);
+    const int failure_exit = reportSweepFailures(sweep);
 
     bool wrote = false;
     auto it = args.find("json");
@@ -352,7 +491,8 @@ cmdSweep(const std::map<std::string, std::string> &args)
         } else {
             std::ofstream os(it->second);
             if (!os)
-                fatal("cannot open " + it->second);
+                throw SimException(ErrorKind::Io,
+                                   "cannot open " + it->second);
             writeRunsJson(os, sweep.runs);
             std::cerr << "wrote " << it->second << "\n";
         }
@@ -362,19 +502,24 @@ cmdSweep(const std::map<std::string, std::string> &args)
     if (it != args.end()) {
         std::ofstream os(it->second);
         if (!os)
-            fatal("cannot open " + it->second);
+            throw SimException(ErrorKind::Io,
+                               "cannot open " + it->second);
         writeRunsCsv(os, sweep.runs);
         std::cerr << "wrote " << it->second << "\n";
         wrote = true;
     }
     if (wrote)
-        return 0;
+        return failure_exit;
 
-    // No structured output requested: print a summary table.
+    // No structured output requested: print a summary table of the
+    // completed cells.
     TextTable table("Sweep results");
     table.setHeader({"benchmark", "machine", "scheme", "layout", "IPC",
                      "EIR"});
-    for (const RunResult &run : sweep.runs) {
+    for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
+        if (!sweep.cellOk(i))
+            continue;
+        const RunResult &run = sweep.runs[i];
         table.startRow();
         table.addCell(run.config.benchmark);
         table.addCell(std::string(machineName(run.config.machine)));
@@ -384,7 +529,7 @@ cmdSweep(const std::map<std::string, std::string> &args)
         table.addCell(run.eir(), 3);
     }
     table.print(std::cout);
-    return 0;
+    return failure_exit;
 }
 
 int
@@ -412,7 +557,7 @@ cmdReplay(const std::map<std::string, std::string> &args)
 {
     const std::string path = getOr(args, "trace", "");
     if (path.empty())
-        fatal("replay requires --trace <file>");
+        throw UsageError("replay requires --trace <file>");
     const MachineConfig cfg =
         makeMachine(parseMachine(getOr(args, "machine", "P112")));
     const SchemeKind scheme =
@@ -433,6 +578,24 @@ cmdReplay(const std::map<std::string, std::string> &args)
     return 0;
 }
 
+/** Map a structured error to the documented exit-code scheme. */
+int
+exitCodeFor(const SimException &e)
+{
+    if (e.error().context == "interrupted")
+        return kExitInterrupted;
+    switch (e.kind()) {
+      case ErrorKind::Config:
+        return kExitConfig;
+      case ErrorKind::Workload:
+      case ErrorKind::Internal:
+        return kExitSimulation;
+      case ErrorKind::Io:
+        return kExitIo;
+    }
+    return kExitSimulation;
+}
+
 } // anonymous namespace
 
 int
@@ -442,21 +605,33 @@ main(int argc, char **argv)
         std::cout << "usage: fetchsim_cli {run|sweep|report|record|"
                      "replay|list} [--option value ...]\n"
                      "(see the file header for full usage)\n";
-        return 1;
+        return kExitUsage;
     }
     const std::string command = argv[1];
-    auto args = parseArgs(argc, argv, 2);
-    if (command == "list")
-        return cmdList();
-    if (command == "run")
-        return cmdRun(args);
-    if (command == "sweep")
-        return cmdSweep(args);
-    if (command == "report")
-        return cmdReport(args);
-    if (command == "record")
-        return cmdRecord(args);
-    if (command == "replay")
-        return cmdReplay(args);
-    fatal("unknown command: " + command);
+    try {
+        auto args = parseArgs(argc, argv, 2);
+        if (command == "list")
+            return cmdList();
+        if (command == "run")
+            return cmdRun(args);
+        if (command == "sweep")
+            return cmdSweep(args);
+        if (command == "report")
+            return cmdReport(args);
+        if (command == "record")
+            return cmdRecord(args);
+        if (command == "replay")
+            return cmdReplay(args);
+        throw UsageError("unknown command: " + command);
+    } catch (const UsageError &e) {
+        std::cerr << "fetchsim_cli: " << e.what() << "\n";
+        return kExitUsage;
+    } catch (const SimException &e) {
+        std::cerr << "fetchsim_cli: " << e.what() << "\n";
+        return exitCodeFor(e);
+    } catch (const std::exception &e) {
+        std::cerr << "fetchsim_cli: internal error: " << e.what()
+                  << "\n";
+        return kExitSimulation;
+    }
 }

@@ -1,11 +1,11 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerate docs/RESULTS.md into a temp directory and diff it against
 # the checked-in copy.  Fails (exit 1) when the document is stale,
 # i.e. when simulator behaviour changed without `fetchsim_cli report`
 # being re-run.  Wired into ctest as `docs_fresh`.
 #
 # Usage: check_docs_fresh.sh <fetchsim_cli> <repo_root>
-set -eu
+set -euo pipefail
 
 cli=${1:?usage: check_docs_fresh.sh <fetchsim_cli> <repo_root>}
 repo=${2:?usage: check_docs_fresh.sh <fetchsim_cli> <repo_root>}
@@ -15,18 +15,25 @@ checked_in="$repo/docs/RESULTS.md"
 [ -f "$checked_in" ] || { echo "missing: $checked_in" >&2; exit 2; }
 
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+cleanup() { rm -rf "$tmpdir"; }
+trap cleanup EXIT INT TERM
 
 # The checked-in report is generated at the default budget; strip any
-# environment overrides so the regeneration is comparable.
-env -u FETCHSIM_DYN_INSTS -u FETCHSIM_THREADS \
-    "$cli" report --out "$tmpdir/RESULTS.md" 2>/dev/null
+# environment overrides (and any fault-injection schedule) so the
+# regeneration is comparable.  The report command exits nonzero on
+# any failed grid cell, which set -e turns into a test failure with
+# its structured error on stderr.
+env -u FETCHSIM_DYN_INSTS -u FETCHSIM_THREADS -u FETCHSIM_FAULT \
+    "$cli" report --out "$tmpdir/RESULTS.md"
 
-if ! diff -u "$checked_in" "$tmpdir/RESULTS.md"; then
+if ! diff -u --label "docs/RESULTS.md (checked in)" \
+        --label "RESULTS.md (regenerated)" \
+        "$checked_in" "$tmpdir/RESULTS.md"; then
     cat >&2 <<EOF
 
 docs/RESULTS.md is stale: the simulator no longer reproduces the
-checked-in report.  Regenerate it with
+checked-in report (unified diff above, checked-in = '-',
+regenerated = '+').  Regenerate it with
 
     ./build/examples/fetchsim_cli report --out docs/RESULTS.md
 

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Build and run the test suite under the sanitizers the build system
+# already knows about (-DFETCHSIM_SANITIZE=address|undefined|thread).
+#
+# Each sanitizer gets its own build tree (build-asan, build-ubsan,
+# build-tsan) next to the source so sanitized and plain objects never
+# mix.  Opt-in by design: this script is wired into ctest as the
+# `sanitizers` test under the Sanitize configuration, so a plain
+# `ctest` never pays for it -- run it explicitly:
+#
+#     ./scripts/run_sanitizers.sh [address] [undefined] [thread]
+#     ctest --test-dir build -C Sanitize -R sanitizers
+#
+# With no arguments all three sanitizers run.  Exit code is nonzero
+# when any build or any test fails.
+set -euo pipefail
+
+repo=$(cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=$(nproc 2>/dev/null || echo 2)
+sanitizers=("$@")
+[ ${#sanitizers[@]} -gt 0 ] || sanitizers=(address undefined thread)
+
+# TSan needs the test binaries to start threads the way the suite
+# does; ASan's leak checker and UBSan both work with the stock flags
+# baked into CMakeLists.txt.
+failures=0
+for san in "${sanitizers[@]}"; do
+    case "$san" in
+      address)   dir="$repo/build-asan" ;;
+      undefined) dir="$repo/build-ubsan" ;;
+      thread)    dir="$repo/build-tsan" ;;
+      *) echo "unknown sanitizer: $san (address|undefined|thread)" >&2
+         exit 2 ;;
+    esac
+    echo "=== $san sanitizer: configuring $dir ==="
+    cmake -B "$dir" -S "$repo" -DFETCHSIM_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    echo "=== $san sanitizer: building ==="
+    cmake --build "$dir" -j "$jobs"
+    echo "=== $san sanitizer: testing ==="
+    if ! ctest --test-dir "$dir" --output-on-failure -E docs_fresh; then
+        echo "*** $san sanitizer run FAILED ***" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures sanitizer run(s) failed" >&2
+    exit 1
+fi
+echo "all sanitizer runs passed"

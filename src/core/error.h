@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Structured error taxonomy for recoverable failures.
+ *
+ * Historically every user-visible failure went through fatal()
+ * (stats/log.h), which prints and exits -- acceptable for a
+ * single-run CLI, lethal for a multi-hundred-cell sweep where one bad
+ * RunConfig should cost one cell, not the whole grid.  This header is
+ * the recoverable-error vocabulary that replaces fatal() on every
+ * path a caller can meaningfully handle:
+ *
+ *  - ErrorKind     -- the four-way taxonomy the tooling keys off
+ *                     (exit codes, retry policy, failure tables):
+ *                     Config   = the request was invalid,
+ *                     Workload = the simulated program misbehaved
+ *                                (watchdog trips, invariant breaks),
+ *                     Io       = the outside world failed (files,
+ *                                streams, checkpoints) -- the only
+ *                                kind presumed transient/retryable,
+ *                     Internal = a simulator bug surfaced as an
+ *                                exception rather than a panic().
+ *  - SimError      -- one violation: kind + message + optional
+ *                     context ("benchmark=gcc machine=P112").
+ *  - SimException  -- the throwable carrier of a SimError.
+ *  - Expected<T>   -- a value-or-SimError return type for interfaces
+ *                     that prefer explicit results over exceptions
+ *                     (validation, checkpoint loading).
+ *
+ * fatal() remains for true dead-ends in leaf tools and panic() for
+ * internal invariants; library code that a SweepEngine isolates must
+ * throw SimException (or return Expected) instead.
+ */
+
+#ifndef FETCHSIM_CORE_ERROR_H_
+#define FETCHSIM_CORE_ERROR_H_
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace fetchsim
+{
+
+/** The recoverable-failure taxonomy. */
+enum class ErrorKind : std::uint8_t
+{
+    Config,   //!< invalid request (bad RunConfig, unknown name)
+    Workload, //!< simulated program misbehaved (watchdog, invariants)
+    Io,       //!< file/stream/checkpoint failure (maybe transient)
+    Internal, //!< simulator bug escaping as an exception
+};
+
+/** Lower-case display name of an error kind ("config", "io", ...). */
+inline const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config:
+        return "config";
+      case ErrorKind::Workload:
+        return "workload";
+      case ErrorKind::Io:
+        return "io";
+      case ErrorKind::Internal:
+        return "internal";
+    }
+    return "internal";
+}
+
+/** One structured violation. */
+struct SimError
+{
+    ErrorKind kind = ErrorKind::Internal;
+    std::string message; //!< human-readable, single line
+    std::string context; //!< optional locus, e.g. "benchmark=gcc"
+
+    /** "[kind] message (context)" -- the canonical rendering. */
+    std::string
+    format() const
+    {
+        std::string out = "[";
+        out += errorKindName(kind);
+        out += "] ";
+        out += message;
+        if (!context.empty()) {
+            out += " (";
+            out += context;
+            out += ")";
+        }
+        return out;
+    }
+};
+
+/** Render a violation list, one per line (for multi-error reports). */
+inline std::string
+formatErrors(const std::vector<SimError> &errors)
+{
+    std::string out;
+    for (const SimError &error : errors) {
+        if (!out.empty())
+            out += "\n";
+        out += error.format();
+    }
+    return out;
+}
+
+/** The throwable carrier of one SimError. */
+class SimException : public std::exception
+{
+  public:
+    explicit SimException(SimError error)
+        : error_(std::move(error)), what_(error_.format())
+    {
+    }
+
+    SimException(ErrorKind kind, std::string message,
+                 std::string context = "")
+        : SimException(SimError{kind, std::move(message),
+                                std::move(context)})
+    {
+    }
+
+    const SimError &error() const { return error_; }
+    ErrorKind kind() const { return error_.kind; }
+
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    SimError error_;
+    std::string what_;
+};
+
+/**
+ * A value-or-error result.  Holds either a T or the SimError that
+ * prevented producing one; value() on an error throws the error as a
+ * SimException, so callers may either branch on ok() or let the
+ * exception propagate into a sweep isolation boundary.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : state_(std::move(value)) {}
+    Expected(SimError error) : state_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const { return ok(); }
+
+    /** The held value; throws the held error when !ok(). */
+    T &
+    value()
+    {
+        if (!ok())
+            throw SimException(std::get<SimError>(state_));
+        return std::get<T>(state_);
+    }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            throw SimException(std::get<SimError>(state_));
+        return std::get<T>(state_);
+    }
+
+    /** The held error (must not be called when ok()). */
+    const SimError &error() const { return std::get<SimError>(state_); }
+
+  private:
+    std::variant<T, SimError> state_;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_CORE_ERROR_H_

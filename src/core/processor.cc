@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/error.h"
 #include "stats/log.h"
 
 namespace fetchsim
@@ -416,6 +417,15 @@ Processor::run(std::uint64_t max_retired)
     std::uint64_t last_retired = counters_.retired;
     std::uint64_t stagnant_cycles = 0;
     while (counters_.retired < max_retired) {
+        if (cycle_limit_ != 0 && cycle_ >= cycle_limit_) {
+            throw SimException(
+                ErrorKind::Workload,
+                "watchdog: " + std::to_string(cycle_) +
+                    " cycles elapsed with only " +
+                    std::to_string(counters_.retired) + " of " +
+                    std::to_string(max_retired) +
+                    " instructions retired");
+        }
         step();
         if (counters_.retired == last_retired) {
             if (++stagnant_cycles > 100000)

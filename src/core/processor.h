@@ -91,6 +91,19 @@ class Processor
      */
     void run(std::uint64_t max_retired);
 
+    /**
+     * Arm the runaway-workload watchdog: run() throws a
+     * SimException(ErrorKind::Workload) once the cycle counter
+     * reaches @p max_cycles with the retirement budget still unmet.
+     * 0 (the default) disarms it.  Complements the built-in
+     * no-progress deadlock panic: the watchdog bounds total runtime
+     * of a workload that *is* retiring, just pathologically slowly.
+     */
+    void setCycleLimit(std::uint64_t max_cycles)
+    {
+        cycle_limit_ = max_cycles;
+    }
+
     /** Advance exactly one cycle (testing hook). */
     void step();
 
@@ -197,6 +210,7 @@ class Processor
     std::array<std::vector<std::uint64_t>, kRingSize> ring_;
 
     std::uint64_t cycle_ = 0;
+    std::uint64_t cycle_limit_ = 0; //!< watchdog; 0 = disarmed
     std::uint64_t fetch_resume_cycle_ = 0;
     std::int64_t blocked_on_seq_ = -1; //!< mispredicted branch gate
 

@@ -1,0 +1,294 @@
+#include "sim/checkpoint.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "stats/log.h"
+#include "workload/benchmark_suite.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** The scalar RunCounters fields, in journal order. */
+struct CounterField
+{
+    const char *name;
+    std::uint64_t RunCounters::*member;
+};
+
+const CounterField kCounterFields[] = {
+    {"cycles", &RunCounters::cycles},
+    {"retired", &RunCounters::retired},
+    {"delivered", &RunCounters::delivered},
+    {"fetch_groups", &RunCounters::fetchGroups},
+    {"cond_branches", &RunCounters::condBranches},
+    {"taken_branches", &RunCounters::takenBranches},
+    {"intra_block_taken", &RunCounters::intraBlockTaken},
+    {"mispredicts", &RunCounters::mispredicts},
+    {"control_mispredicts", &RunCounters::controlMispredicts},
+    {"icache_accesses", &RunCounters::icacheAccesses},
+    {"icache_misses", &RunCounters::icacheMisses},
+    {"btb_lookups", &RunCounters::btbLookups},
+    {"btb_hits", &RunCounters::btbHits},
+    {"stall_cycles", &RunCounters::stallCycles},
+    {"nops_retired", &RunCounters::nopsRetired},
+    {"nops_delivered", &RunCounters::nopsDelivered},
+};
+
+std::uint64_t
+fnv1a(std::uint64_t hash, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1aU64(std::uint64_t hash, std::uint64_t value)
+{
+    return fnv1a(hash, &value, sizeof(value));
+}
+
+/** Parse an unsigned decimal at @p pos, advancing it. */
+bool
+parseU64(const std::string &line, std::size_t &pos,
+         std::uint64_t &out)
+{
+    if (pos >= line.size() ||
+        !std::isdigit(static_cast<unsigned char>(line[pos])))
+        return false;
+    std::uint64_t value = 0;
+    while (pos < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[pos]))) {
+        value = value * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+        ++pos;
+    }
+    out = value;
+    return true;
+}
+
+/** Expect the literal @p want at @p pos, advancing past it. */
+bool
+expect(const std::string &line, std::size_t &pos, const char *want)
+{
+    const std::size_t len = std::strlen(want);
+    if (line.compare(pos, len, want) != 0)
+        return false;
+    pos += len;
+    return true;
+}
+
+SimError
+tornLine(const std::string &why)
+{
+    return SimError{ErrorKind::Io, "unusable checkpoint line: " + why,
+                    ""};
+}
+
+} // anonymous namespace
+
+std::uint64_t
+runKey(const RunConfig &config)
+{
+    // FNV-1a offset basis.
+    std::uint64_t hash = 14695981039346656037ull;
+
+    // The workload's root seed: the journal must not survive a
+    // recalibration of the benchmark specs.
+    const std::uint64_t seed = hasBenchmark(config.benchmark)
+                                   ? benchmarkByName(config.benchmark).seed
+                                   : 0;
+    hash = fnv1aU64(hash, seed);
+    hash = fnv1a(hash, config.benchmark.data(),
+                 config.benchmark.size());
+    hash = fnv1aU64(hash, static_cast<std::uint64_t>(config.machine));
+    hash = fnv1aU64(hash, static_cast<std::uint64_t>(config.scheme));
+    hash = fnv1aU64(hash, static_cast<std::uint64_t>(config.layout));
+    hash = fnv1aU64(hash, static_cast<std::uint64_t>(config.cbImpl));
+    const std::uint64_t budget =
+        config.maxRetired ? config.maxRetired : defaultDynInsts();
+    hash = fnv1aU64(hash, budget);
+    hash = fnv1aU64(hash, static_cast<std::uint64_t>(config.input));
+    hash = fnv1aU64(hash,
+                    static_cast<std::uint64_t>(config.predictorKind));
+    hash = fnv1aU64(hash, config.useRas ? 1 : 0);
+    hash = fnv1aU64(hash, config.cbAllowBackward ? 1 : 0);
+    hash = fnv1aU64(
+        hash, static_cast<std::uint64_t>(config.specDepthOverride));
+    hash = fnv1aU64(
+        hash, static_cast<std::uint64_t>(config.btbEntriesOverride));
+    hash = fnv1aU64(
+        hash, static_cast<std::uint64_t>(config.windowSizeOverride));
+    hash = fnv1aU64(
+        hash, static_cast<std::uint64_t>(config.missPenaltyOverride));
+    hash = fnv1aU64(
+        hash, static_cast<std::uint64_t>(config.icacheWaysOverride));
+    return hash;
+}
+
+std::string
+runKeyHex(std::uint64_t key)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        hex[static_cast<std::size_t>(i)] = digits[key & 0xf];
+        key >>= 4;
+    }
+    return hex;
+}
+
+std::string
+checkpointLine(std::uint64_t key, const RunCounters &c)
+{
+    std::ostringstream os;
+    os << "{\"key\":\"" << runKeyHex(key) << "\"";
+    for (const CounterField &field : kCounterFields)
+        os << ",\"" << field.name << "\":" << c.*(field.member);
+    os << ",\"stops\":[";
+    for (int i = 0; i < kNumFetchStops; ++i)
+        os << (i ? "," : "") << c.stops[i];
+    os << "]}";
+    return os.str();
+}
+
+Expected<std::pair<std::uint64_t, RunCounters>>
+parseCheckpointLine(const std::string &line)
+{
+    std::size_t pos = 0;
+    if (!expect(line, pos, "{\"key\":\""))
+        return tornLine("missing key prefix");
+
+    std::uint64_t key = 0;
+    for (int i = 0; i < 16; ++i, ++pos) {
+        if (pos >= line.size())
+            return tornLine("truncated key");
+        const char ch = line[pos];
+        int digit;
+        if (ch >= '0' && ch <= '9')
+            digit = ch - '0';
+        else if (ch >= 'a' && ch <= 'f')
+            digit = ch - 'a' + 10;
+        else
+            return tornLine("non-hex key digit");
+        key = (key << 4) | static_cast<std::uint64_t>(digit);
+    }
+    if (!expect(line, pos, "\""))
+        return tornLine("unterminated key");
+
+    RunCounters counters;
+    for (const CounterField &field : kCounterFields) {
+        if (!expect(line, pos, ",\"") ||
+            !expect(line, pos, field.name) ||
+            !expect(line, pos, "\":"))
+            return tornLine(std::string("missing field ") + field.name);
+        if (!parseU64(line, pos, counters.*(field.member)))
+            return tornLine(std::string("bad value for ") + field.name);
+    }
+
+    if (!expect(line, pos, ",\"stops\":["))
+        return tornLine("missing stops array");
+    for (int i = 0; i < kNumFetchStops; ++i) {
+        if (i != 0 && !expect(line, pos, ","))
+            return tornLine("short stops array");
+        if (!parseU64(line, pos, counters.stops[i]))
+            return tornLine("bad stops value");
+    }
+    if (!expect(line, pos, "]}") || pos != line.size())
+        return tornLine("trailing garbage");
+
+    return std::make_pair(key, counters);
+}
+
+Expected<std::map<std::uint64_t, RunCounters>>
+loadCheckpoint(const std::string &path)
+{
+    std::map<std::uint64_t, RunCounters> entries;
+    std::ifstream is(path);
+    if (!is) {
+        // Resuming before the first checkpoint was ever written is
+        // an empty resume, not a failure.
+        if (::access(path.c_str(), F_OK) != 0)
+            return entries;
+        return SimError{ErrorKind::Io,
+                        "cannot read checkpoint: " + path, ""};
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        auto parsed = parseCheckpointLine(line);
+        if (!parsed.ok()) {
+            warn("checkpoint " + path + " line " +
+                 std::to_string(lineno) + " skipped: " +
+                 parsed.error().message);
+            continue;
+        }
+        // Last write wins: a cell journaled twice (e.g. two sweeps
+        // appending to one journal) resolves deterministically.
+        entries[parsed.value().first] = parsed.value().second;
+    }
+    return entries;
+}
+
+CheckpointJournal::CheckpointJournal(const std::string &path,
+                                     bool append)
+    : path_(path)
+{
+    const int flags =
+        O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0) {
+        throw SimException(ErrorKind::Io,
+                           "cannot open checkpoint journal: " + path +
+                               ": " + std::strerror(errno));
+    }
+}
+
+CheckpointJournal::~CheckpointJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+CheckpointJournal::record(std::uint64_t key,
+                          const RunCounters &counters)
+{
+    const std::string line = checkpointLine(key, counters) + "\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!healthy_)
+        return;
+    std::size_t written = 0;
+    while (written < line.size()) {
+        const ssize_t n = ::write(fd_, line.data() + written,
+                                  line.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            healthy_ = false;
+            warn("checkpoint journal " + path_ +
+                 " disabled after write error: " +
+                 std::strerror(errno));
+            return;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    ++recorded_;
+}
+
+} // namespace fetchsim

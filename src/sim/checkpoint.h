@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Sweep checkpointing: a JSONL journal of completed runs.
+ *
+ * A long sweep (the full report grid is several hundred cells) must
+ * survive interruption -- SIGINT, a crash, a power cut -- without
+ * redoing finished work.  The mechanism is an append-only journal:
+ * every completed run appends one self-contained JSON line
+ *
+ * @code
+ *   {"key":"1f3a...","cycles":...,"retired":...,...,"stops":[...]}
+ * @endcode
+ *
+ * keyed by runKey(), a 64-bit FNV-1a content hash over the workload
+ * seed and every RunConfig field that can change the counters
+ * (including the *resolved* retirement budget, so a journal written
+ * under one FETCHSIM_DYN_INSTS never satisfies a sweep run under
+ * another).  On --resume the journal is loaded into a key->counters
+ * map and cells whose key is present are filled without running.
+ *
+ * Why this is safe to resume from: Session::run is bit-deterministic
+ * for a fixed RunConfig (sim/session.h), so journaled counters are
+ * exactly the counters a re-run would produce, and a resumed sweep's
+ * output -- including a byte-identical docs/RESULTS.md -- matches an
+ * uninterrupted one.  Each line is written under a lock and flushed
+ * whole; a torn final line from a hard kill is detected and skipped
+ * on load (the affected cell simply re-runs).
+ */
+
+#ifndef FETCHSIM_SIM_CHECKPOINT_H_
+#define FETCHSIM_SIM_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "core/error.h"
+#include "sim/experiment.h"
+
+namespace fetchsim
+{
+
+/**
+ * Content hash identifying one run: FNV-1a over the workload seed
+ * (looked up from the benchmark name; 0 when unknown) and every
+ * counter-affecting RunConfig field.  maxRetired is hashed in its
+ * resolved form (0 becomes defaultDynInsts()), so journals are only
+ * reused at the budget they were written under.
+ */
+std::uint64_t runKey(const RunConfig &config);
+
+/** runKey() rendered as fixed-width lower-case hex. */
+std::string runKeyHex(std::uint64_t key);
+
+/** Serialize one journal line (no trailing newline). */
+std::string checkpointLine(std::uint64_t key, const RunCounters &c);
+
+/**
+ * Parse one journal line.  Returns the (key, counters) pair or a
+ * structured Io error describing why the line is unusable (torn
+ * write, wrong field count, non-numeric payload).
+ */
+Expected<std::pair<std::uint64_t, RunCounters>>
+parseCheckpointLine(const std::string &line);
+
+/**
+ * Load a journal into a key->counters map.  A missing file is an
+ * empty (successful) load -- resuming a sweep that never started is
+ * a no-op, not an error.  Unparseable lines are skipped with a
+ * warn(); only an unreadable file is an Io error.
+ */
+Expected<std::map<std::uint64_t, RunCounters>>
+loadCheckpoint(const std::string &path);
+
+/**
+ * Append-only, thread-safe journal writer.  record() serializes the
+ * line under an internal mutex and flushes, so concurrent sweep
+ * workers interleave whole lines and an interrupt loses at most the
+ * line being written.
+ */
+class CheckpointJournal
+{
+  public:
+    /**
+     * Open @p path for appending (@p append true, the resume case)
+     * or truncating (false, a fresh sweep).  Throws
+     * SimException(ErrorKind::Io) when the file cannot be opened.
+     */
+    CheckpointJournal(const std::string &path, bool append);
+    ~CheckpointJournal();
+
+    CheckpointJournal(const CheckpointJournal &) = delete;
+    CheckpointJournal &operator=(const CheckpointJournal &) = delete;
+
+    /**
+     * Append one completed run.  A write failure disables the
+     * journal with a warn() instead of throwing: losing resumability
+     * must never take down the sweep that checkpointing exists to
+     * protect.
+     */
+    void record(std::uint64_t key, const RunCounters &counters);
+
+    /** False after a write failure disabled the journal. */
+    bool healthy() const { return healthy_; }
+
+    /** Lines successfully appended. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::mutex mutex_;
+    int fd_ = -1;
+    bool healthy_ = true;
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_CHECKPOINT_H_

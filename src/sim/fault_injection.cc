@@ -1,0 +1,143 @@
+#include "sim/fault_injection.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::string::size_type start = 0;
+    while (start <= text.size()) {
+        std::string::size_type end = text.find(sep, start);
+        if (end == std::string::npos)
+            end = text.size();
+        if (end > start)
+            parts.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return parts;
+}
+
+Expected<std::uint64_t>
+parseNumber(const std::string &text, const std::string &what)
+{
+    if (text.empty())
+        return SimError{ErrorKind::Config,
+                        "fault plan: empty value for " + what, ""};
+    std::uint64_t value = 0;
+    for (char ch : text) {
+        if (ch < '0' || ch > '9')
+            return SimError{ErrorKind::Config,
+                            "fault plan: bad number '" + text +
+                                "' for " + what,
+                            ""};
+        value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    return value;
+}
+
+Expected<ErrorKind>
+parseKind(const std::string &name)
+{
+    if (name == "config")
+        return ErrorKind::Config;
+    if (name == "workload")
+        return ErrorKind::Workload;
+    if (name == "io")
+        return ErrorKind::Io;
+    if (name == "internal")
+        return ErrorKind::Internal;
+    return SimError{ErrorKind::Config,
+                    "fault plan: unknown error kind '" + name +
+                        "' (config|workload|io|internal)",
+                    ""};
+}
+
+} // anonymous namespace
+
+void
+FaultPlan::checkThrow(std::size_t cell, int attempt) const
+{
+    if (!shouldFail(cell, attempt))
+        return;
+    throw SimException(
+        failKind,
+        "injected fault at cell " + std::to_string(cell) +
+            ", attempt " + std::to_string(attempt),
+        "fault-injection");
+}
+
+Expected<FaultPlan>
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const std::string &segment : split(spec, ';')) {
+        if (segment.rfind("watchdog=", 0) == 0) {
+            auto cycles =
+                parseNumber(segment.substr(9), "watchdog");
+            if (!cycles.ok())
+                return cycles.error();
+            plan.watchdogCycles = cycles.value();
+            continue;
+        }
+        // A cell segment: comma-separated key=value pairs.
+        for (const std::string &field : split(segment, ',')) {
+            const std::string::size_type eq = field.find('=');
+            if (eq == std::string::npos)
+                return SimError{ErrorKind::Config,
+                                "fault plan: expected key=value, "
+                                "got '" + field + "'",
+                                ""};
+            const std::string key = field.substr(0, eq);
+            const std::string value = field.substr(eq + 1);
+            if (key == "cell") {
+                auto cell = parseNumber(value, "cell");
+                if (!cell.ok())
+                    return cell.error();
+                plan.failCell =
+                    static_cast<long long>(cell.value());
+            } else if (key == "times") {
+                auto times = parseNumber(value, "times");
+                if (!times.ok())
+                    return times.error();
+                plan.failTimes = static_cast<int>(times.value());
+            } else if (key == "kind") {
+                auto kind = parseKind(value);
+                if (!kind.ok())
+                    return kind.error();
+                plan.failKind = kind.value();
+            } else {
+                return SimError{ErrorKind::Config,
+                                "fault plan: unknown key '" + key +
+                                    "'",
+                                ""};
+            }
+        }
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    const char *env = std::getenv("FETCHSIM_FAULT");
+    if (!env || !*env)
+        return FaultPlan{};
+    auto parsed = parse(env);
+    if (!parsed.ok()) {
+        warn("ignoring FETCHSIM_FAULT: " + parsed.error().message);
+        return FaultPlan{};
+    }
+    return parsed.value();
+}
+
+} // namespace fetchsim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising recovery paths.
+ *
+ * Every fault-tolerance mechanism in the sweep layer -- keep-going
+ * isolation, retry-with-backoff, the runaway-workload watchdog, the
+ * checkpoint/resume cycle, I/O error propagation -- must be
+ * *testable*, not trusted on faith.  This harness injects failures at
+ * exactly reproducible points:
+ *
+ *  - nth-cell throw: the run at a chosen plan index throws a
+ *    SimException of a chosen kind.  A `times` budget makes the
+ *    fault transient (the first T attempts fail, attempt T+1
+ *    succeeds), which is how the retry policy is exercised.
+ *  - watchdog: arm the per-run cycle watchdog so a runaway workload
+ *    (or, under test, any workload at an absurdly small limit) trips
+ *    a structured Workload error instead of spinning.
+ *  - sink faults: FailAfterBuf is a streambuf that accepts N bytes
+ *    and then fails, turning TraceSink/report writes into the Io
+ *    errors the recovery paths must survive.
+ *
+ * Faults are driven either programmatically (SweepOptions::faults)
+ * or from the environment for end-to-end CLI tests:
+ *
+ * @code
+ *   FETCHSIM_FAULT="cell=5,times=2,kind=io;watchdog=100000"
+ * @endcode
+ *
+ * Segments are ';'-separated; the cell segment takes ','-separated
+ * key=value pairs (cell index is 0-based in plan order).  Injection
+ * is deterministic by construction -- it keys off the plan index and
+ * the attempt number, never off timing or thread identity.
+ */
+
+#ifndef FETCHSIM_SIM_FAULT_INJECTION_H_
+#define FETCHSIM_SIM_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <streambuf>
+#include <string>
+
+#include "core/error.h"
+
+namespace fetchsim
+{
+
+/** A deterministic fault schedule for one sweep. */
+struct FaultPlan
+{
+    /** Plan index whose run throws; negative = no injected throw. */
+    long long failCell = -1;
+
+    /**
+     * Number of attempts at failCell that fail (1 = permanent under
+     * a no-retry policy, < maxRetries+1 = transient).
+     */
+    int failTimes = 1;
+
+    /** Kind of the injected error. */
+    ErrorKind failKind = ErrorKind::Internal;
+
+    /** Per-run cycle watchdog armed for every cell; 0 = off. */
+    std::uint64_t watchdogCycles = 0;
+
+    /** True when any injection is configured. */
+    bool
+    active() const
+    {
+        return failCell >= 0 || watchdogCycles != 0;
+    }
+
+    /**
+     * Whether the attempt at (@p cell, @p attempt) must fail
+     * (attempts are 1-based).
+     */
+    bool
+    shouldFail(std::size_t cell, int attempt) const
+    {
+        return failCell >= 0 &&
+               cell == static_cast<std::size_t>(failCell) &&
+               attempt <= failTimes;
+    }
+
+    /**
+     * Throw the configured SimException for (@p cell, @p attempt)
+     * when the schedule says so; otherwise return.
+     */
+    void checkThrow(std::size_t cell, int attempt) const;
+
+    /**
+     * Parse a schedule string (see the file header for the syntax).
+     * An empty string parses to an inactive plan; a malformed string
+     * is a Config error listing the offending segment.
+     */
+    static Expected<FaultPlan> parse(const std::string &spec);
+
+    /**
+     * The FETCHSIM_FAULT environment schedule, or an inactive plan
+     * when the variable is unset.  A malformed value warns and is
+     * ignored (a typo in a debugging aid must not alter results
+     * silently -- the warn makes it visible).
+     */
+    static FaultPlan fromEnv();
+};
+
+/**
+ * A streambuf that accepts @p limit bytes, then fails every write --
+ * the deterministic stand-in for a disk filling up mid-stream.  Wrap
+ * it in an std::ostream and hand that to a TraceSink or a report
+ * writer to exercise their Io-error paths.
+ */
+class FailAfterBuf : public std::streambuf
+{
+  public:
+    explicit FailAfterBuf(std::size_t limit) : remaining_(limit) {}
+
+    /** Bytes successfully accepted so far. */
+    std::size_t accepted() const { return accepted_; }
+
+  protected:
+    int_type
+    overflow(int_type ch) override
+    {
+        if (remaining_ == 0)
+            return traits_type::eof();
+        --remaining_;
+        ++accepted_;
+        return traits_type::not_eof(ch);
+    }
+
+    std::streamsize
+    xsputn(const char *, std::streamsize n) override
+    {
+        if (static_cast<std::size_t>(n) > remaining_) {
+            const std::streamsize took =
+                static_cast<std::streamsize>(remaining_);
+            accepted_ += remaining_;
+            remaining_ = 0;
+            return took;
+        }
+        remaining_ -= static_cast<std::size_t>(n);
+        accepted_ += static_cast<std::size_t>(n);
+        return n;
+    }
+
+  private:
+    std::size_t remaining_;
+    std::size_t accepted_ = 0;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_FAULT_INJECTION_H_

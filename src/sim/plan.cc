@@ -1,6 +1,7 @@
 #include "sim/plan.h"
 
-#include "stats/log.h"
+#include "workload/benchmark_suite.h"
+#include "workload/branch_behavior.h"
 
 namespace fetchsim
 {
@@ -112,12 +113,52 @@ ExperimentPlan::size() const
            axis(cb_impls_.size());
 }
 
+std::vector<SimError>
+ExperimentPlan::validate() const
+{
+    std::vector<SimError> errors;
+    if (benchmarks_.empty() && proto_.benchmark.empty()) {
+        errors.push_back(SimError{
+            ErrorKind::Config,
+            "ExperimentPlan: no benchmark set (use .benchmarks() "
+            "or a proto with a benchmark name)",
+            ""});
+    }
+    // Validate the names the expansion will actually use: the axis
+    // when set, the proto's single name otherwise.
+    if (!benchmarks_.empty()) {
+        for (const std::string &name : benchmarks_) {
+            if (!hasBenchmark(name))
+                errors.push_back(SimError{
+                    ErrorKind::Config,
+                    "unknown benchmark '" + name + "'",
+                    "ExperimentPlan"});
+        }
+    } else if (!proto_.benchmark.empty() &&
+               !hasBenchmark(proto_.benchmark)) {
+        errors.push_back(SimError{
+            ErrorKind::Config,
+            "unknown benchmark '" + proto_.benchmark + "'",
+            "ExperimentPlan"});
+    }
+    if (proto_.input < 0 || proto_.input > kEvalInput) {
+        errors.push_back(SimError{
+            ErrorKind::Config,
+            "input id " + std::to_string(proto_.input) +
+                " out of range [0, " + std::to_string(kEvalInput) +
+                "]",
+            "ExperimentPlan"});
+    }
+    return errors;
+}
+
 std::vector<RunConfig>
 ExperimentPlan::expand() const
 {
-    if (benchmarks_.empty() && proto_.benchmark.empty())
-        fatal("ExperimentPlan: no benchmark set (use .benchmarks() "
-              "or a proto with a benchmark name)");
+    const std::vector<SimError> errors = validate();
+    if (!errors.empty())
+        throw SimException(SimError{ErrorKind::Config,
+                                    formatErrors(errors), ""});
 
     // Unset axes contribute the proto's field: model that as a
     // single-element axis holding a sentinel meaning "keep proto".

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "core/error.h"
 #include "sim/experiment.h"
 
 namespace fetchsim
@@ -82,9 +83,17 @@ class ExperimentPlan
     std::size_t size() const;
 
     /**
+     * Every violation in the plan, as structured Config errors
+     * (empty = valid): a missing benchmark axis, unknown benchmark
+     * names, bad input ids.  Collects ALL problems so a sweep driver
+     * can report the whole grid's damage before running anything.
+     */
+    std::vector<SimError> validate() const;
+
+    /**
      * Expand the grid.  Deterministic: same plan, same vector.
-     * Fatal if no benchmark is available (neither an axis nor a
-     * proto benchmark name).
+     * Throws SimException(Config) listing every validate() violation
+     * when the plan is invalid.
      */
     std::vector<RunConfig> expand() const;
 

@@ -218,7 +218,8 @@ configKey(const RunConfig &config)
 
 std::string
 generateReproReport(Session &session,
-                    const ReproReportOptions &options)
+                    const ReproReportOptions &options,
+                    SweepResult *grid)
 {
     const std::uint64_t budget =
         options.dynInsts ? options.dynInsts : defaultDynInsts();
@@ -284,6 +285,9 @@ generateReproReport(Session &session,
 
     SweepOptions sweep_options;
     sweep_options.threads = options.threads;
+    sweep_options.failure = options.failure;
+    sweep_options.checkpointPath = options.checkpointPath;
+    sweep_options.resume = options.resume;
     if (options.progress) {
         sweep_options.progress = [&](std::size_t done,
                                      std::size_t total,
@@ -293,6 +297,21 @@ generateReproReport(Session &session,
     }
     SweepEngine engine(session, sweep_options);
     SweepResult sweep = engine.run(batch);
+    if (sweep.stopped) {
+        // Completed cells are already journaled; rendering a partial
+        // grid would produce a document that looks complete but is
+        // not, so refuse and let the caller resume.
+        std::string detail = "report interrupted with " +
+                             std::to_string(
+                                 sweep.countWith(RunOutcome::Skipped)) +
+                             " of " + std::to_string(batch.size()) +
+                             " cells unfinished";
+        if (!options.checkpointPath.empty())
+            detail += "; resume from " + options.checkpointPath;
+        throw SimException(ErrorKind::Io, detail, "interrupted");
+    }
+    if (grid)
+        *grid = sweep;
 
     // --------------------------------------------------------------
     // Aggregation helpers over the one shared batch.
@@ -429,6 +448,33 @@ generateReproReport(Session &session,
           "is re-evaluated against the measured data each\ntime this "
           "report is generated, and the verdict column is computed, "
           "not\ntranscribed.\n\n";
+
+    // ---------------- Failed cells (only when any exist) ----------
+    // A clean grid renders nothing here, preserving the byte-identity
+    // the docs_fresh test enforces; under a keep-going policy a
+    // failed cell is excluded from every aggregate above and called
+    // out here with its structured error.
+    if (const std::vector<std::size_t> failed = sweep.failedCells();
+        !failed.empty()) {
+        os << "## ⚠ Failed cells\n\n"
+           << failed.size() << " of " << batch.size()
+           << " grid cells failed and are excluded from every "
+              "aggregate below:\n\n";
+        MarkdownTable table;
+        table.header = {"cell", "benchmark", "machine", "scheme",
+                        "layout", "attempts", "error"};
+        for (std::size_t i : failed) {
+            const RunStatus &status = sweep.statuses[i];
+            const RunConfig &config = sweep.runs[i].config;
+            table.rows.push_back(
+                {std::to_string(i), config.benchmark,
+                 machineName(config.machine),
+                 schemeName(config.scheme), layoutName(config.layout),
+                 std::to_string(status.attempts),
+                 status.error.format()});
+        }
+        table.render(os);
+    }
 
     // ---------------- Figure 3 ----------------
     os << "## Figure 3 — sequential vs perfect fetching\n\n";

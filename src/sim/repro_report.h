@@ -32,6 +32,7 @@
 #include <string>
 
 #include "sim/session.h"
+#include "sim/sweep.h"
 
 namespace fetchsim
 {
@@ -57,17 +58,46 @@ struct ReproReportOptions
      * Invocations are serialized; may arrive out of plan order.
      */
     std::function<void(std::size_t done, std::size_t total)> progress;
+
+    /**
+     * Failure handling for the grid sweep.  Under KeepGoing a failed
+     * cell is excluded from the aggregates and listed in a "Failed
+     * cells" section appended to the report (the section exists only
+     * when failures exist, so clean reports stay byte-identical).
+     */
+    FailurePolicy failure;
+
+    /**
+     * JSONL checkpoint journal for the grid sweep (empty = off).
+     * With `resume`, cells already journaled are loaded instead of
+     * re-run; because runs are bit-deterministic, a resumed report is
+     * byte-identical to an uninterrupted one.
+     */
+    std::string checkpointPath;
+    bool resume = false;
 };
 
 /**
  * Run the paper's experiment grid and render the reproduction report.
  *
+ * Interruption: when a sweep stop request (e.g. SIGINT through
+ * installSweepSigintHandler()) drains the grid early, the completed
+ * cells are already checkpointed and this function throws
+ * SimException(Io) with context "interrupted" instead of rendering a
+ * partial document.
+ *
  * @param session workload cache the runs share (reused across calls)
- * @param options thread count, budget and progress callback
+ * @param options thread count, budget, progress callback, failure
+ *                policy and checkpointing
+ * @param grid    when non-null, receives the grid sweep's per-cell
+ *                statuses (so a driver can print failure summaries
+ *                and pick an exit code without re-parsing the
+ *                document)
  * @return the complete Markdown document
  */
 std::string generateReproReport(Session &session,
-                                const ReproReportOptions &options = {});
+                                const ReproReportOptions &options = {},
+                                SweepResult *grid = nullptr);
 
 } // namespace fetchsim
 

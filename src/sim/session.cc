@@ -3,8 +3,10 @@
 #include "compiler/code_layout.h"
 #include "compiler/function_layout.h"
 #include "compiler/nop_padding.h"
+#include "core/error.h"
 #include "stats/log.h"
 #include "workload/benchmark_suite.h"
+#include "workload/branch_behavior.h"
 
 namespace fetchsim
 {
@@ -17,6 +19,9 @@ std::unique_ptr<Workload>
 prepare(const std::string &benchmark, LayoutKind layout,
         std::uint64_t block_bytes)
 {
+    if (!hasBenchmark(benchmark))
+        throw SimException(ErrorKind::Config,
+                           "unknown benchmark '" + benchmark + "'");
     const WorkloadSpec &spec = benchmarkByName(benchmark);
     auto workload = std::make_unique<Workload>(spec);
     *workload = generateWorkload(spec);
@@ -29,12 +34,14 @@ prepare(const std::string &benchmark, LayoutKind layout,
         break;
       case LayoutKind::PadAll:
         if (block_bytes == 0)
-            fatal("pad-all layout needs a block size");
+            throw SimException(ErrorKind::Config,
+                               "pad-all layout needs a block size");
         padAll(*workload, block_bytes);
         break;
       case LayoutKind::PadTrace: {
         if (block_bytes == 0)
-            fatal("pad-trace layout needs a block size");
+            throw SimException(ErrorKind::Config,
+                               "pad-trace layout needs a block size");
         std::vector<Trace> traces;
         reorderWorkload(*workload, {}, {}, &traces);
         padTrace(*workload, traces, block_bytes);
@@ -49,12 +56,64 @@ prepare(const std::string &benchmark, LayoutKind layout,
         break;
       }
       default:
-        fatal("prepare: bad layout kind");
+        throw SimException(ErrorKind::Internal,
+                           "prepare: bad layout kind");
     }
     return workload;
 }
 
 } // anonymous namespace
+
+std::vector<SimError>
+validateRunConfig(const RunConfig &config)
+{
+    std::vector<SimError> errors;
+    const std::string context = config.benchmark.empty()
+                                    ? std::string("run config")
+                                    : config.benchmark;
+    if (config.benchmark.empty()) {
+        errors.push_back(SimError{ErrorKind::Config,
+                                  "no benchmark set", context});
+    } else if (!hasBenchmark(config.benchmark)) {
+        errors.push_back(SimError{
+            ErrorKind::Config,
+            "unknown benchmark '" + config.benchmark + "'", context});
+    }
+    if (config.layout >= LayoutKind::NumLayouts) {
+        errors.push_back(SimError{
+            ErrorKind::Config,
+            "bad layout kind " +
+                std::to_string(static_cast<int>(config.layout)),
+            context});
+    }
+    if (config.input < 0 || config.input > kEvalInput) {
+        errors.push_back(SimError{
+            ErrorKind::Config,
+            "input id " + std::to_string(config.input) +
+                " out of range [0, " + std::to_string(kEvalInput) +
+                "]",
+            context});
+    }
+    if (config.btbEntriesOverride == 0) {
+        errors.push_back(SimError{ErrorKind::Config,
+                                  "btbEntriesOverride must be "
+                                  "positive (or negative = default)",
+                                  context});
+    }
+    if (config.windowSizeOverride == 0) {
+        errors.push_back(SimError{ErrorKind::Config,
+                                  "windowSizeOverride must be "
+                                  "positive (or negative = default)",
+                                  context});
+    }
+    if (config.icacheWaysOverride == 0) {
+        errors.push_back(SimError{ErrorKind::Config,
+                                  "icacheWaysOverride must be "
+                                  "positive (or negative = default)",
+                                  context});
+    }
+    return errors;
+}
 
 const Workload &
 Session::workload(const std::string &benchmark, LayoutKind layout,
@@ -101,8 +160,14 @@ Session::run(const RunConfig &config)
 }
 
 RunResult
-Session::run(const RunConfig &config, const RunInstrumentation &inst)
+Session::run(const RunConfig &config, const RunInstrumentation &inst,
+             std::uint64_t watchdog_cycles)
 {
+    const std::vector<SimError> errors = validateRunConfig(config);
+    if (!errors.empty())
+        throw SimException(SimError{ErrorKind::Config,
+                                    formatErrors(errors), ""});
+
     MachineConfig cfg = makeMachine(config.machine);
     cfg.predictorKind = config.predictorKind;
     cfg.useRas = config.useRas;
@@ -133,6 +198,8 @@ Session::run(const RunConfig &config, const RunInstrumentation &inst)
         proc.attachMetrics(*inst.metrics);
     if (inst.trace)
         proc.attachTrace(*inst.trace);
+    if (watchdog_cycles != 0)
+        proc.setCycleLimit(watchdog_cycles);
     const std::uint64_t budget =
         config.maxRetired ? config.maxRetired : defaultDynInsts();
     proc.run(budget);

@@ -38,12 +38,24 @@
 #include <string>
 #include <tuple>
 
+#include <vector>
+
+#include "core/error.h"
 #include "sim/experiment.h"
 #include "stats/metrics.h"
 #include "stats/trace_sink.h"
 
 namespace fetchsim
 {
+
+/**
+ * Every violation in @p config, as structured Config errors (empty =
+ * valid).  Collects ALL problems instead of stopping at the first, so
+ * a sweep over a malformed grid reports the full damage in one pass.
+ * Session::run() calls this up front and throws the combined list as
+ * one SimException(Config).
+ */
+std::vector<SimError> validateRunConfig(const RunConfig &config);
 
 /**
  * Optional observability outputs for one Session::run() call.  Both
@@ -81,7 +93,8 @@ class Session
      * The prepared workload for (benchmark, layout), generating and
      * transforming it on first use.
      *
-     * @param benchmark   suite benchmark name (fatal if unknown)
+     * @param benchmark   suite benchmark name (throws
+     *                    SimException(Config) if unknown)
      * @param layout      code layout to prepare
      * @param block_bytes cache-block size; only meaningful for the
      *                    padded layouts (pass the machine's block
@@ -93,7 +106,11 @@ class Session
                              LayoutKind layout,
                              std::uint64_t block_bytes = 0);
 
-    /** Run one experiment against this Session's workload cache. */
+    /**
+     * Run one experiment against this Session's workload cache.
+     * Validates @p config first and throws SimException(Config)
+     * listing every violation before any simulation state is built.
+     */
     RunResult run(const RunConfig &config);
 
     /**
@@ -102,9 +119,16 @@ class Session
      * fetch events in @p inst.trace (null fields disable either).
      * Counters and derived rates are identical to the plain
      * overload -- instrumentation never perturbs simulation state.
+     *
+     * @p watchdog_cycles arms the processor's cycle watchdog: a run
+     * still short of its retirement budget after that many cycles
+     * throws SimException(Workload) instead of spinning (0 = off).
+     * The watchdog never affects counters when it does not trip, so
+     * it is deliberately excluded from checkpoint content keys.
      */
     RunResult run(const RunConfig &config,
-                  const RunInstrumentation &inst);
+                  const RunInstrumentation &inst,
+                  std::uint64_t watchdog_cycles = 0);
 
     /** Number of prepared workloads currently cached. */
     std::size_t cachedWorkloads() const;

@@ -1,11 +1,15 @@
 #include "sim/sweep.h"
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "sim/checkpoint.h"
 #include "stats/log.h"
 #include "stats/summary.h"
 
@@ -31,16 +35,101 @@ resolveThreads(int requested)
     return hw ? static_cast<int>(hw) : 1;
 }
 
+// Process-wide cooperative stop flag.  Written from a signal handler,
+// so it must be an async-signal-safe lock-free atomic.
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void
+sweepSigintHandler(int)
+{
+    g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
 } // anonymous namespace
+
+void
+requestSweepStop()
+{
+    g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+bool
+sweepStopRequested()
+{
+    return g_stop_requested.load(std::memory_order_relaxed);
+}
+
+void
+clearSweepStop()
+{
+    g_stop_requested.store(false, std::memory_order_relaxed);
+}
+
+void
+installSweepSigintHandler()
+{
+    std::signal(SIGINT, sweepSigintHandler);
+}
+
+const char *
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Ok:
+        return "ok";
+      case RunOutcome::Failed:
+        return "failed";
+      case RunOutcome::Skipped:
+        return "skipped";
+    }
+    return "skipped";
+}
+
+bool
+SweepResult::cellOk(std::size_t index) const
+{
+    // Hand-assembled results (no statuses) predate fault tolerance
+    // and are all-Ok by construction.
+    return statuses.empty() ||
+           statuses[index].outcome == RunOutcome::Ok;
+}
+
+bool
+SweepResult::allOk() const
+{
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        if (!cellOk(i))
+            return false;
+    return true;
+}
+
+std::size_t
+SweepResult::countWith(RunOutcome outcome) const
+{
+    std::size_t count = 0;
+    for (const RunStatus &status : statuses)
+        count += status.outcome == outcome ? 1 : 0;
+    return count;
+}
+
+std::vector<std::size_t>
+SweepResult::failedCells() const
+{
+    std::vector<std::size_t> cells;
+    for (std::size_t i = 0; i < statuses.size(); ++i)
+        if (statuses[i].outcome == RunOutcome::Failed)
+            cells.push_back(i);
+    return cells;
+}
 
 std::vector<RunResult>
 SweepResult::where(
     const std::function<bool(const RunConfig &)> &pred) const
 {
     std::vector<RunResult> matched;
-    for (const RunResult &run : runs)
-        if (pred(run.config))
-            matched.push_back(run);
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        if (cellOk(i) && pred(runs[i].config))
+            matched.push_back(runs[i]);
     return matched;
 }
 
@@ -69,14 +158,25 @@ SweepResult::suite(MachineModel machine, SchemeKind scheme,
     });
 }
 
+const RunResult *
+SweepResult::tryFind(
+    const std::function<bool(const RunConfig &)> &pred) const
+{
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        if (cellOk(i) && pred(runs[i].config))
+            return &runs[i];
+    return nullptr;
+}
+
 const RunResult &
 SweepResult::find(
     const std::function<bool(const RunConfig &)> &pred) const
 {
-    for (const RunResult &run : runs)
-        if (pred(run.config))
-            return run;
-    fatal("SweepResult::find: no matching run");
+    const RunResult *run = tryFind(pred);
+    if (!run)
+        throw SimException(ErrorKind::Config,
+                           "SweepResult::find: no matching run");
+    return *run;
 }
 
 SweepEngine::SweepEngine(Session &session, SweepOptions options)
@@ -96,45 +196,136 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
 {
     SweepResult sweep;
     sweep.runs.resize(configs.size());
+    sweep.statuses.resize(configs.size());
+    // Every cell carries its config even when it never runs, so
+    // failure tables can name the cell.
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        sweep.runs[i].config = configs[i];
     if (configs.empty())
         return sweep;
 
     const std::size_t total = configs.size();
-    const int workers = static_cast<int>(
-        std::min<std::size_t>(static_cast<std::size_t>(threads_),
-                              total));
+    const FailurePolicy &policy = options_.failure;
+    const FaultPlan &faults = options_.faults;
 
-    // Dynamic work-stealing by atomic index: results land at their
-    // plan index, so completion order never shows in the output.
+    // ---------------- checkpoint/resume -------------------------
+    std::unique_ptr<CheckpointJournal> journal;
+    std::vector<std::uint64_t> keys;
+    std::size_t resumed = 0;
+    if (!options_.checkpointPath.empty()) {
+        keys.resize(total);
+        for (std::size_t i = 0; i < total; ++i)
+            keys[i] = runKey(configs[i]);
+        if (options_.resume) {
+            auto loaded = loadCheckpoint(options_.checkpointPath);
+            if (!loaded.ok())
+                throw SimException(loaded.error());
+            for (std::size_t i = 0; i < total; ++i) {
+                auto it = loaded.value().find(keys[i]);
+                if (it == loaded.value().end())
+                    continue;
+                sweep.runs[i].counters = it->second;
+                sweep.statuses[i].outcome = RunOutcome::Ok;
+                sweep.statuses[i].fromCheckpoint = true;
+                ++resumed;
+            }
+        }
+        journal = std::make_unique<CheckpointJournal>(
+            options_.checkpointPath, options_.resume);
+    }
+
+    // ---------------- parallel execution ------------------------
     std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> done{resumed};
+    std::atomic<bool> draining{false};
     std::mutex progress_mutex;
     std::exception_ptr first_error;
     std::mutex error_mutex;
 
+    const int max_attempts = 1 + std::max(0, policy.maxRetries);
+
+    // Run one cell inside the isolation boundary: inject, validate,
+    // execute, retry.  Returns true when the cell ended Ok.
+    auto runCell = [&](std::size_t i) {
+        RunStatus &status = sweep.statuses[i];
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+            if (attempt > 1 && policy.backoffMs > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(policy.backoffMs
+                                              << (attempt - 2)));
+            }
+            status.attempts = attempt;
+            try {
+                faults.checkThrow(i, attempt);
+                sweep.runs[i] = session_.run(
+                    configs[i], RunInstrumentation{},
+                    faults.watchdogCycles);
+                status.outcome = RunOutcome::Ok;
+                status.error = SimError{};
+                return true;
+            } catch (const SimException &e) {
+                status.outcome = RunOutcome::Failed;
+                status.error = e.error();
+                if (attempt == max_attempts) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            } catch (const std::exception &e) {
+                status.outcome = RunOutcome::Failed;
+                status.error =
+                    SimError{ErrorKind::Internal, e.what(), ""};
+                if (attempt == max_attempts) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            } catch (...) {
+                status.outcome = RunOutcome::Failed;
+                status.error = SimError{ErrorKind::Internal,
+                                        "unknown exception", ""};
+                if (attempt == max_attempts) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            }
+        }
+        return false;
+    };
+
     auto worker = [&] {
         for (;;) {
+            if (draining.load(std::memory_order_relaxed) ||
+                sweepStopRequested())
+                return;
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= total)
                 return;
-            try {
-                sweep.runs[i] = session_.run(configs[i]);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
+            if (sweep.statuses[i].fromCheckpoint)
+                continue;
+            if (runCell(i)) {
+                if (journal)
+                    journal->record(keys[i],
+                                    sweep.runs[i].counters);
+                const std::size_t finished =
+                    done.fetch_add(1, std::memory_order_relaxed) + 1;
+                if (options_.progress) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    options_.progress(finished, total,
+                                      sweep.runs[i]);
+                }
+            } else if (policy.mode == FailureMode::FailFast) {
+                // Stop claiming; peers drain their in-flight cells.
+                draining.store(true, std::memory_order_relaxed);
                 return;
-            }
-            const std::size_t finished =
-                done.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (options_.progress) {
-                std::lock_guard<std::mutex> lock(progress_mutex);
-                options_.progress(finished, total, sweep.runs[i]);
             }
         }
     };
 
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(threads_), total));
     if (workers <= 1) {
         worker();
     } else {
@@ -146,7 +337,10 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
             thread.join();
     }
 
-    if (first_error)
+    sweep.stopped = sweepStopRequested() &&
+                    sweep.countWith(RunOutcome::Skipped) > 0;
+
+    if (policy.mode == FailureMode::FailFast && first_error)
         std::rethrow_exception(first_error);
     return sweep;
 }

@@ -1,6 +1,7 @@
 /**
  * @file
- * SweepEngine: parallel, deterministic execution of experiment plans.
+ * SweepEngine: parallel, deterministic, fault-tolerant execution of
+ * experiment plans.
  *
  * Experiment points are embarrassingly parallel -- each run reads a
  * shared immutable Workload and keeps all mutable state (processor,
@@ -14,19 +15,86 @@
  * same RunResult (identical counters, not merely close) for any
  * thread count, because runs never share mutable state and the merge
  * position is the plan index, never the completion order.
+ *
+ * Fault tolerance (the failure-domain extension of that contract):
+ * every run executes inside an isolation boundary.  A throwing cell
+ * is recorded as a per-run RunStatus carrying the structured SimError
+ * instead of taking down the pool; the FailurePolicy decides whether
+ * the sweep stops claiming new cells (fail-fast, the default, which
+ * rethrows the first error after draining) or completes every other
+ * cell (keep-going), optionally retrying failed attempts with
+ * exponential backoff for transient I/O faults.  Completed runs can
+ * be journaled to a JSONL checkpoint (sim/checkpoint.h) keyed by a
+ * content hash of (workload seed, RunConfig); a resumed sweep fills
+ * journaled cells without re-running them and -- because runs are
+ * bit-deterministic -- produces output byte-identical to an
+ * uninterrupted sweep.  SIGINT (via installSweepSigintHandler) or a
+ * programmatic stop request triggers a graceful drain: in-flight
+ * runs finish and are checkpointed, unclaimed cells are marked
+ * Skipped, and SweepResult::stopped is set.
  */
 
 #ifndef FETCHSIM_SIM_SWEEP_H_
 #define FETCHSIM_SIM_SWEEP_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "core/error.h"
+#include "sim/fault_injection.h"
 #include "sim/plan.h"
 #include "sim/session.h"
 
 namespace fetchsim
 {
+
+/** What happened to one cell of a sweep. */
+enum class RunOutcome : std::uint8_t
+{
+    Ok,      //!< counters are valid (run or resumed from checkpoint)
+    Failed,  //!< every attempt threw; `error` holds the last one
+    Skipped, //!< never claimed (fail-fast drain or stop request)
+};
+
+/** Display name of a run outcome ("ok", "failed", "skipped"). */
+const char *runOutcomeName(RunOutcome outcome);
+
+/** Per-cell execution record, parallel to SweepResult::runs. */
+struct RunStatus
+{
+    RunOutcome outcome = RunOutcome::Skipped;
+    SimError error;      //!< valid when outcome == Failed
+    int attempts = 0;    //!< run attempts made (retries included)
+    bool fromCheckpoint = false; //!< filled from the resume journal
+};
+
+/** When a cell's run throws, what does the sweep do? */
+enum class FailureMode : std::uint8_t
+{
+    FailFast,  //!< stop claiming cells, drain, rethrow first error
+    KeepGoing, //!< record the failure, complete every other cell
+};
+
+/** Failure handling for one sweep. */
+struct FailurePolicy
+{
+    FailureMode mode = FailureMode::FailFast;
+
+    /**
+     * Extra attempts per failing cell (0 = none).  Intended for
+     * transient I/O faults; every error kind is retried, because a
+     * deterministic failure simply fails identically N more times
+     * and is then recorded.
+     */
+    int maxRetries = 0;
+
+    /**
+     * Sleep before retry attempt k of a cell: backoffMs * 2^(k-1)
+     * milliseconds.  0 disables sleeping (the right value in tests).
+     */
+    int backoffMs = 0;
+};
 
 /** Options controlling a SweepEngine. */
 struct SweepOptions
@@ -41,11 +109,37 @@ struct SweepOptions
      * Called after each run completes, with the number of finished
      * runs, the total, and the just-finished result.  Invocations are
      * serialized (safe to print from) but may arrive out of plan
-     * order under parallel execution.
+     * order under parallel execution.  Cells resumed from a
+     * checkpoint count toward `done` but do not invoke the callback.
      */
     std::function<void(std::size_t done, std::size_t total,
                        const RunResult &result)>
         progress;
+
+    /** Failure handling (isolation, retries). */
+    FailurePolicy failure;
+
+    /**
+     * Fault-injection schedule.  Defaults to FaultPlan::fromEnv(),
+     * so FETCHSIM_FAULT drives end-to-end tests without code
+     * changes; tests set it directly.
+     */
+    FaultPlan faults = FaultPlan::fromEnv();
+
+    /**
+     * JSONL checkpoint journal path; empty disables checkpointing.
+     * Completed runs are appended as they finish.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Load `checkpointPath` before running and fill cells whose
+     * content key is journaled (their status reports fromCheckpoint)
+     * instead of re-running them.  New completions append to the
+     * same journal.  Without this flag an existing journal file is
+     * truncated (a fresh sweep).
+     */
+    bool resume = false;
 };
 
 /** Results of one sweep, in plan-expansion order. */
@@ -53,7 +147,33 @@ struct SweepResult
 {
     std::vector<RunResult> runs;
 
-    /** Runs matching a config predicate, in plan order. */
+    /**
+     * Per-cell outcomes, parallel to `runs` (empty only for
+     * hand-assembled results).  runs[i].counters is meaningful only
+     * when statuses[i].outcome == Ok.
+     */
+    std::vector<RunStatus> statuses;
+
+    /** True when a stop request drained the sweep early. */
+    bool stopped = false;
+
+    /** True when cell @p index holds valid counters. */
+    bool cellOk(std::size_t index) const;
+
+    /** True when every cell completed Ok and nothing was skipped. */
+    bool allOk() const;
+
+    /** Number of cells with the given outcome. */
+    std::size_t countWith(RunOutcome outcome) const;
+
+    /** Indices of failed cells, in plan order. */
+    std::vector<std::size_t> failedCells() const;
+
+    /**
+     * Runs matching a config predicate, in plan order.  Only Ok
+     * cells are returned: a failed or skipped cell has no counters
+     * and must not contaminate aggregates.
+     */
     std::vector<RunResult>
     where(const std::function<bool(const RunConfig &)> &pred) const;
 
@@ -69,12 +189,33 @@ struct SweepResult
                       LayoutKind layout) const;
 
     /**
-     * The unique run matching @p pred; fatal if none matches.  (Use
-     * where() when several may.)
+     * The unique Ok run matching @p pred; throws
+     * SimException(ErrorKind::Config) when none matches.  (Use
+     * where() when several may, tryFind() to branch without
+     * exceptions.)
      */
     const RunResult &
     find(const std::function<bool(const RunConfig &)> &pred) const;
+
+    /** The first Ok run matching @p pred, or nullptr. */
+    const RunResult *
+    tryFind(const std::function<bool(const RunConfig &)> &pred) const;
 };
+
+/** @name Cooperative sweep interruption
+ * A stop request makes every running SweepEngine drain gracefully:
+ * workers finish (and checkpoint) their in-flight runs, unclaimed
+ * cells are marked Skipped, and run() returns with
+ * SweepResult::stopped set.  installSweepSigintHandler() routes
+ * SIGINT here, which is how `fetchsim_cli report` turns ^C into a
+ * resumable checkpoint instead of a lost grid.
+ */
+///@{
+void requestSweepStop();
+bool sweepStopRequested();
+void clearSweepStop();
+void installSweepSigintHandler();
+///@}
 
 /**
  * Executes plans against one shared Session.
@@ -85,11 +226,16 @@ class SweepEngine
     /**
      * @param session workload cache shared by all runs (must outlive
      *                the engine)
-     * @param options thread count and progress callback
+     * @param options thread count, progress callback, failure
+     *                policy, checkpointing and fault injection
      */
     explicit SweepEngine(Session &session, SweepOptions options = {});
 
-    /** Expand @p plan and execute it. */
+    /**
+     * Expand @p plan and execute it.  Plan-level validation errors
+     * (no benchmark, unknown names) throw SimException(Config)
+     * before any run starts.
+     */
     SweepResult run(const ExperimentPlan &plan);
 
     /**

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "core/error.h"
 #include "stats/log.h"
 
 namespace fetchsim
@@ -19,11 +20,15 @@ Histogram::Histogram(std::string path, std::string desc,
       bounds_(std::move(bounds))
 {
     if (bounds_.empty())
-        fatal("Histogram " + path_ + ": needs at least one bound");
+        throw SimException(ErrorKind::Config,
+                           "Histogram " + path_ +
+                               ": needs at least one bound");
     for (std::size_t i = 1; i < bounds_.size(); ++i) {
         if (bounds_[i] <= bounds_[i - 1])
-            fatal("Histogram " + path_ +
-                  ": bounds must be strictly increasing");
+            throw SimException(
+                ErrorKind::Config,
+                "Histogram " + path_ +
+                    ": bounds must be strictly increasing");
     }
     counts_.assign(bounds_.size() + 1, 0);
 }
@@ -106,10 +111,13 @@ MetricRegistry::counter(const std::string &path,
                         const std::string &description)
 {
     if (!validPath(path))
-        fatal("MetricRegistry: invalid metric path: '" + path + "'");
+        throw SimException(ErrorKind::Config,
+                           "MetricRegistry: invalid metric path: '" +
+                               path + "'");
     if (histograms_.count(path) != 0)
-        fatal("MetricRegistry: " + path +
-              " already registered as a histogram");
+        throw SimException(ErrorKind::Config,
+                           "MetricRegistry: " + path +
+                               " already registered as a histogram");
     auto &slot = counters_[path];
     if (!slot)
         slot.reset(new Counter(path, description));
@@ -122,16 +130,21 @@ MetricRegistry::histogram(const std::string &path,
                           const std::string &description)
 {
     if (!validPath(path))
-        fatal("MetricRegistry: invalid metric path: '" + path + "'");
+        throw SimException(ErrorKind::Config,
+                           "MetricRegistry: invalid metric path: '" +
+                               path + "'");
     if (counters_.count(path) != 0)
-        fatal("MetricRegistry: " + path +
-              " already registered as a counter");
+        throw SimException(ErrorKind::Config,
+                           "MetricRegistry: " + path +
+                               " already registered as a counter");
     auto &slot = histograms_[path];
     if (!slot) {
         slot.reset(new Histogram(path, description, bounds));
     } else if (slot->bounds() != bounds) {
-        fatal("MetricRegistry: " + path +
-              " re-registered with different bounds");
+        throw SimException(
+            ErrorKind::Config,
+            "MetricRegistry: " + path +
+                " re-registered with different bounds");
     }
     return *slot;
 }

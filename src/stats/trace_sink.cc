@@ -1,5 +1,6 @@
 #include "stats/trace_sink.h"
 
+#include "core/error.h"
 #include "stats/json.h"
 #include "stats/log.h"
 
@@ -95,6 +96,11 @@ TraceSink::end()
     open_ = false;
     line_ += "}\n";
     *os_ << line_;
+    if (!*os_)
+        throw SimException(ErrorKind::Io,
+                           "TraceSink: event write failed (stream "
+                           "error after " + std::to_string(events_) +
+                           " events)");
     ++events_;
 }
 

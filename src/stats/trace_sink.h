@@ -75,7 +75,12 @@ class TraceSink
     TraceSink &field(const char *key, const std::string &value);
     ///@}
 
-    /** Close the open event and write the line. */
+    /**
+     * Close the open event and write the line.  A stream in a failed
+     * state afterwards (disk full, broken pipe) throws
+     * SimException(Io), which a sweep's isolation boundary records as
+     * that run's failure.
+     */
     void end();
 
   private:

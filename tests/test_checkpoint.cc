@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Checkpoint/resume tests: content-key stability, journal-line
+ * round-trips, torn-line handling, sweep-level resume determinism,
+ * and report-level byte-identity (a resumed report matches an
+ * uninterrupted one bit for bit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+#include "sim/checkpoint.h"
+#include "sim/plan.h"
+#include "sim/repro_report.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
+#include "stats/counters.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+Session &
+testSession()
+{
+    static Session session;
+    return session;
+}
+
+/** Unique scratch path per test (tests may run concurrently). */
+std::string
+scratchPath(const char *tag)
+{
+    return ::testing::TempDir() + "fetchsim_" + tag + "_" +
+           std::to_string(::getpid()) + ".jsonl";
+}
+
+RunConfig
+baseConfig()
+{
+    RunConfig config;
+    config.benchmark = "compress";
+    config.machine = MachineModel::P14;
+    config.scheme = SchemeKind::Sequential;
+    config.maxRetired = 2000;
+    return config;
+}
+
+ExperimentPlan
+smallPlan()
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"gcc", "compress", "eqntott"})
+        .machine(MachineModel::P14)
+        .schemes({SchemeKind::Sequential, SchemeKind::Perfect})
+        .maxRetired(2000);
+    return plan;
+}
+
+RunCounters
+sampleCounters()
+{
+    RunCounters c;
+    c.cycles = 1234;
+    c.retired = 2000;
+    c.delivered = 2345;
+    c.fetchGroups = 800;
+    c.condBranches = 300;
+    c.takenBranches = 210;
+    c.intraBlockTaken = 17;
+    c.mispredicts = 23;
+    c.controlMispredicts = 29;
+    c.icacheAccesses = 900;
+    c.icacheMisses = 31;
+    c.btbLookups = 880;
+    c.btbHits = 760;
+    c.stallCycles = 111;
+    c.nopsRetired = 5;
+    c.nopsDelivered = 7;
+    for (std::size_t i = 0; i < kNumFetchStops; ++i)
+        c.stops[i] = 40 + i;
+    return c;
+}
+
+// --------------------------------------------------- content keys
+
+TEST(RunKey, StableForIdenticalConfigs)
+{
+    EXPECT_EQ(runKey(baseConfig()), runKey(baseConfig()));
+}
+
+TEST(RunKey, SensitiveToEveryCounterAffectingField)
+{
+    const std::uint64_t base = runKey(baseConfig());
+
+    RunConfig c = baseConfig();
+    c.benchmark = "eqntott";
+    EXPECT_NE(runKey(c), base);
+
+    c = baseConfig();
+    c.machine = MachineModel::P18;
+    EXPECT_NE(runKey(c), base);
+
+    c = baseConfig();
+    c.scheme = SchemeKind::Perfect;
+    EXPECT_NE(runKey(c), base);
+
+    c = baseConfig();
+    c.layout = LayoutKind::Reordered;
+    EXPECT_NE(runKey(c), base);
+
+    c = baseConfig();
+    c.maxRetired = 4000;
+    EXPECT_NE(runKey(c), base);
+
+    c = baseConfig();
+    c.useRas = true;
+    EXPECT_NE(runKey(c), base);
+
+    c = baseConfig();
+    c.btbEntriesOverride = 64;
+    EXPECT_NE(runKey(c), base);
+}
+
+TEST(RunKey, BudgetIsHashedInResolvedForm)
+{
+    // A journal written at the default budget must satisfy a config
+    // that spells the same budget explicitly, and vice versa.
+    RunConfig implicit = baseConfig();
+    implicit.maxRetired = 0;
+    RunConfig explicit_budget = baseConfig();
+    explicit_budget.maxRetired = defaultDynInsts();
+    EXPECT_EQ(runKey(implicit), runKey(explicit_budget));
+}
+
+TEST(RunKey, HexIsFixedWidthLowercase)
+{
+    const std::string hex = runKeyHex(0x1fu);
+    EXPECT_EQ(hex.size(), 16u);
+    EXPECT_EQ(hex, "000000000000001f");
+}
+
+// ------------------------------------------------ line round-trip
+
+TEST(CheckpointLine, RoundTripsEveryField)
+{
+    const RunCounters c = sampleCounters();
+    const std::uint64_t key = runKey(baseConfig());
+    const std::string line = checkpointLine(key, c);
+
+    auto parsed = parseCheckpointLine(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().format();
+    EXPECT_EQ(parsed.value().first, key);
+
+    const RunCounters &r = parsed.value().second;
+    EXPECT_EQ(r.cycles, c.cycles);
+    EXPECT_EQ(r.retired, c.retired);
+    EXPECT_EQ(r.delivered, c.delivered);
+    EXPECT_EQ(r.fetchGroups, c.fetchGroups);
+    EXPECT_EQ(r.condBranches, c.condBranches);
+    EXPECT_EQ(r.takenBranches, c.takenBranches);
+    EXPECT_EQ(r.intraBlockTaken, c.intraBlockTaken);
+    EXPECT_EQ(r.mispredicts, c.mispredicts);
+    EXPECT_EQ(r.controlMispredicts, c.controlMispredicts);
+    EXPECT_EQ(r.icacheAccesses, c.icacheAccesses);
+    EXPECT_EQ(r.icacheMisses, c.icacheMisses);
+    EXPECT_EQ(r.btbLookups, c.btbLookups);
+    EXPECT_EQ(r.btbHits, c.btbHits);
+    EXPECT_EQ(r.stallCycles, c.stallCycles);
+    EXPECT_EQ(r.nopsRetired, c.nopsRetired);
+    EXPECT_EQ(r.nopsDelivered, c.nopsDelivered);
+    for (std::size_t i = 0; i < kNumFetchStops; ++i)
+        EXPECT_EQ(r.stops[i], c.stops[i]) << i;
+}
+
+TEST(CheckpointLine, TornAndGarbageLinesAreIoErrors)
+{
+    const std::string line =
+        checkpointLine(42, sampleCounters());
+    // A hard kill can tear the final line at any byte; every prefix
+    // must be rejected, never misparsed.
+    for (std::size_t cut : {line.size() - 1, line.size() / 2,
+                            std::size_t{1}}) {
+        auto parsed = parseCheckpointLine(line.substr(0, cut));
+        ASSERT_FALSE(parsed.ok()) << cut;
+        EXPECT_EQ(parsed.error().kind, ErrorKind::Io) << cut;
+    }
+    EXPECT_FALSE(parseCheckpointLine("not json").ok());
+    EXPECT_FALSE(parseCheckpointLine("").ok());
+}
+
+// ------------------------------------------------- journal + load
+
+TEST(Checkpoint, MissingFileLoadsEmpty)
+{
+    auto loaded =
+        loadCheckpoint(scratchPath("does_not_exist"));
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(Checkpoint, JournalRecordsAndReloads)
+{
+    const std::string path = scratchPath("journal");
+    std::remove(path.c_str());
+
+    const RunCounters c = sampleCounters();
+    {
+        CheckpointJournal journal(path, /*append=*/false);
+        journal.record(7, c);
+        journal.record(9, c);
+        EXPECT_TRUE(journal.healthy());
+        EXPECT_EQ(journal.recorded(), 2u);
+    }
+
+    auto loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().format();
+    ASSERT_EQ(loaded.value().size(), 2u);
+    EXPECT_EQ(loaded.value().at(7).cycles, c.cycles);
+    EXPECT_EQ(loaded.value().at(9).retired, c.retired);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FreshOpenTruncatesStaleJournal)
+{
+    const std::string path = scratchPath("truncate");
+    {
+        CheckpointJournal journal(path, /*append=*/false);
+        journal.record(1, sampleCounters());
+    }
+    {
+        CheckpointJournal journal(path, /*append=*/false);
+        journal.record(2, sampleCounters());
+    }
+    auto loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().size(), 1u);
+    EXPECT_EQ(loaded.value().count(2), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BadLinesAreSkippedNotFatal)
+{
+    const std::string path = scratchPath("badlines");
+    {
+        std::ofstream os(path);
+        os << checkpointLine(5, sampleCounters()) << "\n";
+        os << "garbage line\n";
+        // A torn final line (hard-kill artifact).
+        const std::string torn = checkpointLine(6, sampleCounters());
+        os << torn.substr(0, torn.size() / 2);
+    }
+    auto loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().size(), 1u);
+    EXPECT_EQ(loaded.value().count(5), 1u);
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------- sweep-level resumption
+
+TEST(CheckpointResume, ResumedSweepMatchesCleanSweepExactly)
+{
+    const std::string path = scratchPath("sweep_resume");
+    std::remove(path.c_str());
+
+    SweepOptions plain_options;
+    plain_options.threads = 1;
+    SweepEngine plain(testSession(), plain_options);
+    SweepResult expected = plain.run(smallPlan());
+    ASSERT_TRUE(expected.allOk());
+
+    // First pass journals every cell.
+    SweepOptions first_options;
+    first_options.threads = 1;
+    first_options.checkpointPath = path;
+    SweepEngine first(testSession(), first_options);
+    SweepResult journaled = first.run(smallPlan());
+    ASSERT_TRUE(journaled.allOk());
+
+    // Second pass resumes: every cell must come from the journal and
+    // carry bit-identical counters.
+    SweepOptions resume_options;
+    resume_options.threads = 1;
+    resume_options.checkpointPath = path;
+    resume_options.resume = true;
+    SweepEngine second(testSession(), resume_options);
+    SweepResult resumed = second.run(smallPlan());
+
+    ASSERT_TRUE(resumed.allOk());
+    ASSERT_EQ(resumed.runs.size(), expected.runs.size());
+    for (std::size_t i = 0; i < expected.runs.size(); ++i) {
+        EXPECT_TRUE(resumed.statuses[i].fromCheckpoint) << i;
+        EXPECT_EQ(resumed.runs[i].counters.cycles,
+                  expected.runs[i].counters.cycles)
+            << i;
+        EXPECT_EQ(resumed.runs[i].counters.retired,
+                  expected.runs[i].counters.retired)
+            << i;
+        EXPECT_EQ(resumed.runs[i].counters.mispredicts,
+                  expected.runs[i].counters.mispredicts)
+            << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, InterruptedSweepResumesWhereItStopped)
+{
+    const std::string path = scratchPath("sweep_interrupt");
+    std::remove(path.c_str());
+    clearSweepStop();
+
+    // Clean reference run.
+    SweepOptions plain_options;
+    plain_options.threads = 1;
+    SweepEngine plain(testSession(), plain_options);
+    SweepResult expected = plain.run(smallPlan());
+
+    // Interrupt after two cells: the stop request drains the sweep
+    // with the finished cells already journaled.
+    SweepOptions stop_options;
+    stop_options.threads = 1;
+    stop_options.checkpointPath = path;
+    std::size_t seen = 0;
+    stop_options.progress = [&](std::size_t, std::size_t,
+                                const RunResult &) {
+        if (++seen == 2)
+            requestSweepStop();
+    };
+    SweepEngine interrupted(testSession(), stop_options);
+    SweepResult partial = interrupted.run(smallPlan());
+    clearSweepStop();
+
+    ASSERT_TRUE(partial.stopped);
+    ASSERT_EQ(partial.countWith(RunOutcome::Ok), 2u);
+
+    // Resume completes only the unfinished cells and the merged
+    // result is bit-identical to the uninterrupted sweep.
+    SweepOptions resume_options;
+    resume_options.threads = 1;
+    resume_options.checkpointPath = path;
+    resume_options.resume = true;
+    SweepEngine resumer(testSession(), resume_options);
+    SweepResult resumed = resumer.run(smallPlan());
+
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_FALSE(resumed.stopped);
+    std::size_t from_checkpoint = 0;
+    for (const RunStatus &status : resumed.statuses)
+        from_checkpoint += status.fromCheckpoint ? 1 : 0;
+    EXPECT_EQ(from_checkpoint, 2u);
+    for (std::size_t i = 0; i < expected.runs.size(); ++i) {
+        EXPECT_EQ(resumed.runs[i].counters.cycles,
+                  expected.runs[i].counters.cycles)
+            << i;
+        EXPECT_EQ(resumed.runs[i].counters.delivered,
+                  expected.runs[i].counters.delivered)
+            << i;
+    }
+    std::remove(path.c_str());
+}
+
+// ------------------------------------- report-level byte identity
+
+TEST(CheckpointResume, ResumedReportIsByteIdentical)
+{
+    const std::string path = scratchPath("report_resume");
+    std::remove(path.c_str());
+    Session session;
+
+    // Plain report: no checkpointing at all.
+    ReproReportOptions plain;
+    plain.dynInsts = 2000;
+    const std::string reference = generateReproReport(session, plain);
+
+    // Same report while journaling: the journal must not perturb a
+    // single byte.
+    ReproReportOptions journaling = plain;
+    journaling.checkpointPath = path;
+    const std::string journaled =
+        generateReproReport(session, journaling);
+    EXPECT_EQ(journaled, reference);
+
+    // Resumed report: every grid cell loads from the journal, and the
+    // document is still byte-identical (the acceptance criterion for
+    // `fetchsim_cli report --resume`).
+    ReproReportOptions resuming = journaling;
+    resuming.resume = true;
+    SweepResult grid;
+    const std::string resumed =
+        generateReproReport(session, resuming, &grid);
+    EXPECT_EQ(resumed, reference);
+
+    std::size_t from_checkpoint = 0;
+    for (const RunStatus &status : grid.statuses)
+        from_checkpoint += status.fromCheckpoint ? 1 : 0;
+    EXPECT_EQ(from_checkpoint, grid.statuses.size());
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace fetchsim

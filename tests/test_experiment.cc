@@ -159,12 +159,16 @@ TEST(SessionDeath, UnknownBenchmarkIsFatal)
 {
     RunConfig config = smallConfig("doom", MachineModel::P14,
                                    SchemeKind::Sequential);
-    EXPECT_EXIT(
-        {
-            Session session;
-            session.run(config);
-        },
-        ::testing::ExitedWithCode(1), "unknown benchmark");
+    Session session;
+    EXPECT_THROW(session.run(config), SimException);
+    try {
+        session.run(config);
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("unknown benchmark"),
+                  std::string::npos);
+    }
 }
 
 // --------------------------------------------------------------------

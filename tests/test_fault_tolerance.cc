@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Fault-tolerance tests: the sweep isolation boundary (keep-going vs
+ * fail-fast), the retry policy against transient faults, the cycle
+ * watchdog, the fault-injection harness itself, and the structured
+ * error plumbing (validation collects all violations; sink write
+ * failures surface as Io errors).
+ */
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "sim/fault_injection.h"
+#include "sim/plan.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
+#include "stats/trace_sink.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+Session &
+testSession()
+{
+    static Session session;
+    return session;
+}
+
+/** A 6-cell plan small enough for unit-test budgets. */
+ExperimentPlan
+smallPlan()
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"gcc", "compress", "eqntott"})
+        .machine(MachineModel::P14)
+        .schemes({SchemeKind::Sequential, SchemeKind::Perfect})
+        .maxRetired(2000);
+    return plan;
+}
+
+// ------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, ParsesCellSegments)
+{
+    auto plan =
+        FaultPlan::parse("cell=5,times=2,kind=io;watchdog=100");
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan.value().failCell, 5);
+    EXPECT_EQ(plan.value().failTimes, 2);
+    EXPECT_EQ(plan.value().failKind, ErrorKind::Io);
+    EXPECT_EQ(plan.value().watchdogCycles, 100u);
+    EXPECT_TRUE(plan.value().active());
+    EXPECT_TRUE(plan.value().shouldFail(5, 1));
+    EXPECT_TRUE(plan.value().shouldFail(5, 2));
+    EXPECT_FALSE(plan.value().shouldFail(5, 3));
+    EXPECT_FALSE(plan.value().shouldFail(4, 1));
+}
+
+TEST(FaultPlan, EmptySpecIsInactive)
+{
+    auto plan = FaultPlan::parse("");
+    ASSERT_TRUE(plan.ok());
+    EXPECT_FALSE(plan.value().active());
+}
+
+TEST(FaultPlan, MalformedSpecsAreConfigErrors)
+{
+    for (const char *spec :
+         {"cell", "cell=abc", "kind=nuclear", "frobnicate=1"}) {
+        auto plan = FaultPlan::parse(spec);
+        ASSERT_FALSE(plan.ok()) << spec;
+        EXPECT_EQ(plan.error().kind, ErrorKind::Config) << spec;
+    }
+}
+
+// ------------------------------------------- keep-going isolation
+
+TEST(FaultTolerance, KeepGoingIsolatesTheFailedCell)
+{
+    SweepOptions options;
+    options.threads = 2;
+    options.failure.mode = FailureMode::KeepGoing;
+    options.faults.failCell = 3;
+    options.faults.failKind = ErrorKind::Workload;
+
+    SweepEngine engine(testSession(), options);
+    SweepResult sweep = engine.run(smallPlan());
+
+    ASSERT_EQ(sweep.runs.size(), 6u);
+    ASSERT_EQ(sweep.statuses.size(), 6u);
+    EXPECT_EQ(sweep.countWith(RunOutcome::Ok), 5u);
+    EXPECT_EQ(sweep.countWith(RunOutcome::Failed), 1u);
+    EXPECT_EQ(sweep.countWith(RunOutcome::Skipped), 0u);
+    EXPECT_FALSE(sweep.allOk());
+    EXPECT_FALSE(sweep.stopped);
+
+    // The failed cell carries the injected error, verbatim.
+    ASSERT_EQ(sweep.failedCells(), std::vector<std::size_t>{3});
+    const RunStatus &status = sweep.statuses[3];
+    EXPECT_EQ(status.outcome, RunOutcome::Failed);
+    EXPECT_EQ(status.error.kind, ErrorKind::Workload);
+    EXPECT_NE(status.error.message.find("injected fault at cell 3"),
+              std::string::npos);
+    EXPECT_EQ(status.attempts, 1);
+
+    // Every other cell completed with real counters.
+    for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
+        if (i == 3)
+            continue;
+        EXPECT_TRUE(sweep.cellOk(i)) << i;
+        EXPECT_GT(sweep.runs[i].counters.retired, 0u) << i;
+    }
+
+    // Aggregation views never see the failed cell: where() returns
+    // only the 5 Ok runs, and tryFind() cannot match the failed one.
+    EXPECT_EQ(sweep.where([](const RunConfig &) { return true; })
+                  .size(),
+              5u);
+    const RunConfig &failed_config = sweep.runs[3].config;
+    EXPECT_EQ(sweep.tryFind([&](const RunConfig &config) {
+        return config.benchmark == failed_config.benchmark &&
+               config.scheme == failed_config.scheme;
+    }),
+              nullptr);
+}
+
+TEST(FaultTolerance, KeepGoingMatchesCleanRunOnSurvivingCells)
+{
+    SweepOptions clean_options;
+    clean_options.threads = 2;
+    SweepEngine clean_engine(testSession(), clean_options);
+    SweepResult clean = clean_engine.run(smallPlan());
+    ASSERT_TRUE(clean.allOk());
+
+    SweepOptions fault_options = clean_options;
+    fault_options.failure.mode = FailureMode::KeepGoing;
+    fault_options.faults.failCell = 1;
+    SweepEngine fault_engine(testSession(), fault_options);
+    SweepResult faulted = fault_engine.run(smallPlan());
+
+    // Isolation means bit-identical counters for every cell the
+    // fault did not touch.
+    for (std::size_t i = 0; i < clean.runs.size(); ++i) {
+        if (i == 1)
+            continue;
+        EXPECT_EQ(clean.runs[i].counters.retired,
+                  faulted.runs[i].counters.retired)
+            << i;
+        EXPECT_EQ(clean.runs[i].counters.cycles,
+                  faulted.runs[i].counters.cycles)
+            << i;
+    }
+}
+
+// --------------------------------------------------- fail-fast
+
+TEST(FaultTolerance, FailFastRethrowsTheOriginalError)
+{
+    SweepOptions options;
+    options.threads = 1;
+    options.faults.failCell = 2;
+    options.faults.failKind = ErrorKind::Internal;
+
+    SweepEngine engine(testSession(), options);
+    try {
+        engine.run(smallPlan());
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Internal);
+        EXPECT_NE(std::string(e.what()).find("cell 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultTolerance, FindThrowsConfigOnNoMatch)
+{
+    SweepResult sweep;
+    EXPECT_THROW(
+        sweep.find([](const RunConfig &) { return true; }),
+        SimException);
+    EXPECT_EQ(sweep.tryFind([](const RunConfig &) { return true; }),
+              nullptr);
+}
+
+// ------------------------------------------------------- retries
+
+TEST(FaultTolerance, RetryRecoversTransientFault)
+{
+    SweepOptions options;
+    options.threads = 1;
+    options.failure.mode = FailureMode::KeepGoing;
+    options.failure.maxRetries = 2;
+    options.failure.backoffMs = 0;
+    options.faults.failCell = 0;
+    options.faults.failTimes = 2; // attempts 1 and 2 fail, 3 succeeds
+    options.faults.failKind = ErrorKind::Io;
+
+    SweepEngine engine(testSession(), options);
+    SweepResult sweep = engine.run(smallPlan());
+
+    EXPECT_TRUE(sweep.allOk());
+    EXPECT_EQ(sweep.statuses[0].outcome, RunOutcome::Ok);
+    EXPECT_EQ(sweep.statuses[0].attempts, 3);
+    EXPECT_GT(sweep.runs[0].counters.retired, 0u);
+}
+
+TEST(FaultTolerance, RetriesExhaustOnPermanentFault)
+{
+    SweepOptions options;
+    options.threads = 1;
+    options.failure.mode = FailureMode::KeepGoing;
+    options.failure.maxRetries = 1;
+    options.failure.backoffMs = 0;
+    options.faults.failCell = 0;
+    options.faults.failTimes = 5; // outlasts the retry budget
+
+    SweepEngine engine(testSession(), options);
+    SweepResult sweep = engine.run(smallPlan());
+
+    EXPECT_EQ(sweep.statuses[0].outcome, RunOutcome::Failed);
+    EXPECT_EQ(sweep.statuses[0].attempts, 2);
+    EXPECT_EQ(sweep.countWith(RunOutcome::Ok), 5u);
+}
+
+// ------------------------------------------------------ watchdog
+
+TEST(FaultTolerance, WatchdogTripsAsWorkloadError)
+{
+    // 10 cycles cannot retire a 2000-instruction budget on any
+    // machine, so every cell trips the watchdog.
+    SweepOptions options;
+    options.threads = 1;
+    options.failure.mode = FailureMode::KeepGoing;
+    options.faults.watchdogCycles = 10;
+
+    SweepEngine engine(testSession(), options);
+    SweepResult sweep = engine.run(smallPlan());
+
+    EXPECT_EQ(sweep.countWith(RunOutcome::Failed), 6u);
+    for (const RunStatus &status : sweep.statuses) {
+        EXPECT_EQ(status.error.kind, ErrorKind::Workload);
+        EXPECT_NE(status.error.message.find("watchdog"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultTolerance, WatchdogAtGenerousLimitNeverTrips)
+{
+    // The same grid under a limit no 2000-instruction run reaches:
+    // the watchdog must not perturb results (it is excluded from
+    // checkpoint keys on exactly this argument).
+    SweepOptions plain_options;
+    plain_options.threads = 1;
+    SweepEngine plain(testSession(), plain_options);
+    SweepResult expected = plain.run(smallPlan());
+
+    SweepOptions armed_options;
+    armed_options.threads = 1;
+    armed_options.faults.watchdogCycles = 100000000;
+    SweepEngine armed(testSession(), armed_options);
+    SweepResult actual = armed.run(smallPlan());
+
+    ASSERT_TRUE(actual.allOk());
+    for (std::size_t i = 0; i < expected.runs.size(); ++i) {
+        EXPECT_EQ(expected.runs[i].counters.cycles,
+                  actual.runs[i].counters.cycles)
+            << i;
+    }
+}
+
+// -------------------------------------------------- stop requests
+
+TEST(FaultTolerance, StopRequestDrainsAndMarksSkipped)
+{
+    clearSweepStop();
+    SweepOptions options;
+    options.threads = 1;
+    std::size_t seen = 0;
+    options.progress = [&](std::size_t, std::size_t,
+                           const RunResult &) {
+        if (++seen == 2)
+            requestSweepStop();
+    };
+
+    SweepEngine engine(testSession(), options);
+    SweepResult sweep = engine.run(smallPlan());
+    clearSweepStop();
+
+    EXPECT_TRUE(sweep.stopped);
+    EXPECT_EQ(sweep.countWith(RunOutcome::Ok), 2u);
+    EXPECT_EQ(sweep.countWith(RunOutcome::Skipped), 4u);
+    EXPECT_FALSE(sweep.allOk());
+    // Skipped cells still name their config for failure tables.
+    for (std::size_t i = 0; i < sweep.runs.size(); ++i)
+        EXPECT_FALSE(sweep.runs[i].config.benchmark.empty()) << i;
+}
+
+// ----------------------------------- structured validation errors
+
+TEST(Validation, SessionCollectsAllViolations)
+{
+    RunConfig config;
+    config.benchmark = "doom"; // unknown
+    config.input = 42;         // out of range
+    config.btbEntriesOverride = 0;
+
+    const std::vector<SimError> errors = validateRunConfig(config);
+    ASSERT_EQ(errors.size(), 3u);
+    for (const SimError &error : errors)
+        EXPECT_EQ(error.kind, ErrorKind::Config);
+
+    Session session;
+    try {
+        session.run(config);
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        // The thrown message carries every violation, not just the
+        // first.
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unknown benchmark"), std::string::npos);
+        EXPECT_NE(what.find("input id"), std::string::npos);
+        EXPECT_NE(what.find("btbEntriesOverride"), std::string::npos);
+    }
+}
+
+// -------------------------------------------- sink write failures
+
+TEST(FaultInjection, FailAfterBufTurnsWritesIntoIoErrors)
+{
+    FailAfterBuf buf(64);
+    std::ostream os(&buf);
+    TraceSink sink(os);
+
+    // Each event is well over 16 bytes, so the 64-byte budget fails
+    // within a few events and the stream enters its failed state.
+    bool threw = false;
+    for (int i = 0; i < 100 && !threw; ++i) {
+        try {
+            sink.begin("fetch", static_cast<std::uint64_t>(i));
+            sink.field("pc", static_cast<std::uint64_t>(4096 + i));
+            sink.field("delivered", 4);
+            sink.end();
+        } catch (const SimException &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Io);
+            threw = true;
+        }
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(buf.accepted(), 64u);
+}
+
+} // anonymous namespace
+} // namespace fetchsim

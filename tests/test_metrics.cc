@@ -56,10 +56,18 @@ TEST(MetricPath, RejectsMalformedNames)
     EXPECT_FALSE(MetricRegistry::validPath("fetch stop"));
 }
 
-TEST(MetricPathDeath, InvalidRegistrationIsFatal)
+TEST(MetricPathDeath, InvalidRegistrationThrows)
 {
     MetricRegistry reg;
-    EXPECT_DEATH(reg.counter("Bad.Path"), "metric path");
+    EXPECT_THROW(reg.counter("Bad.Path"), SimException);
+    try {
+        reg.counter("Bad.Path");
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("metric path"),
+                  std::string::npos);
+    }
 }
 
 // ------------------------------------------------------------- counters
@@ -86,11 +94,12 @@ TEST(Metrics, CounterRegistrationIsIdempotent)
     EXPECT_EQ(reg.size(), 1u);
 }
 
-TEST(MetricsDeath, CounterVsHistogramPathCollisionIsFatal)
+TEST(MetricsDeath, CounterVsHistogramPathCollisionThrows)
 {
     MetricRegistry reg;
     reg.counter("fetch.group_size");
-    EXPECT_DEATH(reg.histogram("fetch.group_size", {1, 2}), "");
+    EXPECT_THROW(reg.histogram("fetch.group_size", {1, 2}),
+                 SimException);
 }
 
 // ----------------------------------------------------------- histograms
@@ -131,7 +140,8 @@ TEST(MetricsDeath, HistogramBoundsMustMatchOnReregistration)
 {
     MetricRegistry reg;
     reg.histogram("fetch.group_size", {1, 2, 4});
-    EXPECT_DEATH(reg.histogram("fetch.group_size", {1, 2, 8}), "");
+    EXPECT_THROW(reg.histogram("fetch.group_size", {1, 2, 8}),
+                 SimException);
 }
 
 // --------------------------------------------------- hierarchical names

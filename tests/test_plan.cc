@@ -158,15 +158,36 @@ TEST(Plan, ExpansionIsDeterministic)
     }
 }
 
-TEST(PlanDeath, ExpandWithoutBenchmarkIsFatal)
+TEST(PlanDeath, ExpandWithoutBenchmarkThrows)
 {
-    EXPECT_EXIT(
-        {
-            ExperimentPlan plan;
-            plan.machines({MachineModel::P14});
-            plan.expand();
-        },
-        ::testing::ExitedWithCode(1), "benchmark");
+    ExperimentPlan plan;
+    plan.machines({MachineModel::P14});
+    EXPECT_THROW(plan.expand(), SimException);
+    try {
+        plan.expand();
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("benchmark"),
+                  std::string::npos);
+    }
+    // validate() reports the same violation without throwing.
+    const std::vector<SimError> errors = plan.validate();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].kind, ErrorKind::Config);
+}
+
+TEST(PlanValidate, CollectsAllViolations)
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"gcc", "doom", "quake"});
+    plan.input(99);
+    const std::vector<SimError> errors = plan.validate();
+    // Two unknown benchmarks plus one bad input id, all reported in
+    // one pass.
+    ASSERT_EQ(errors.size(), 3u);
+    for (const SimError &error : errors)
+        EXPECT_EQ(error.kind, ErrorKind::Config);
 }
 
 } // anonymous namespace
