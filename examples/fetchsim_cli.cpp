@@ -15,6 +15,7 @@
  *   fetchsim_cli report [--out docs/RESULTS.md] [--insts N]
  *                       [--threads N] [--fail-fast|--keep-going]
  *                       [--retry N] [--checkpoint FILE] [--resume]
+ *                       [--trace-out trace.json]
  *   fetchsim_cli sweep  [--benchmarks gcc,compress|int|fp|all]
  *                       [--machines P14,P112|all]
  *                       [--schemes sequential,collapsing|all]
@@ -23,11 +24,26 @@
  *                       [--fail-fast|--keep-going] [--retry N]
  *                       [--checkpoint FILE] [--resume]
  *                       [--json out.json] [--csv out.csv]
+ *                       [--trace-out trace.json]
+ *   fetchsim_cli bench  [--iterations N] [--threads N] [--insts N]
+ *                       [--out BENCH_sweep.json] [--smoke]
+ *                       [--baseline FILE] [--max-regress PCT]
+ *                       [--trace-out trace.json]
  *   fetchsim_cli record --benchmark gcc --out gcc.trace [--insts N]
  *                       [--layout reordered]
  *   fetchsim_cli replay --trace gcc.trace --machine P112
  *                       --scheme banked [--insts N]
  *   fetchsim_cli list
+ *
+ * Host telemetry (src/perf): `--trace-out FILE` profiles the
+ * simulator itself during a sweep/report/bench and writes a Chrome
+ * trace-event JSON (open in chrome://tracing or Perfetto) with one
+ * slice per sweep cell and nested session/cycle/fetch/checkpoint
+ * phases, one track per worker thread.  `bench` runs the pinned
+ * regression grid N times, writes median±MAD host throughput to a
+ * machine-readable BENCH JSON, and -- with --baseline -- exits 1
+ * when any cell's median simulated-cycles/sec dropped more than
+ * --max-regress percent (default 10) below the baseline.
  *
  * Exit codes (sysexits-style, so scripts can branch on the failure
  * class without parsing stderr):
@@ -41,8 +57,13 @@
  *   130 interrupted (SIGINT drained the sweep; completed cells are
  *       checkpointed when --checkpoint is given -- rerun with
  *       --resume to finish)
+ *
+ * `bench --baseline` additionally exits 1 (generic failure) when the
+ * run regressed against the baseline; the run itself succeeded, so
+ * none of the sysexits classes apply.
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -58,6 +79,9 @@
 #include "core/error.h"
 #include "core/processor.h"
 #include "exec/trace_file.h"
+#include "perf/profiler.h"
+#include "perf/trace_export.h"
+#include "sim/bench.h"
 #include "sim/plan.h"
 #include "sim/report.h"
 #include "sim/repro_report.h"
@@ -100,7 +124,7 @@ parseArgs(int argc, char **argv, int first)
         // Flags without values.
         if (key == "ras" || key == "metrics" || key == "json" ||
             key == "fail-fast" || key == "keep-going" ||
-            key == "resume") {
+            key == "resume" || key == "smoke") {
             // --json doubles as a valued option (sweep output file);
             // treat it as a flag only when no value follows.
             if (key == "json" && i + 1 < argc &&
@@ -246,6 +270,61 @@ parseFailurePolicy(const std::map<std::string, std::string> &args)
     policy.backoffMs =
         std::atoi(getOr(args, "retry-backoff-ms", "100").c_str());
     return policy;
+}
+
+/**
+ * Turn host profiling on when --trace-out FILE was requested and
+ * return the file path ("" when the flag is absent).
+ */
+std::string
+beginHostTrace(const std::map<std::string, std::string> &args)
+{
+    const std::string path = getOr(args, "trace-out", "");
+    if (!path.empty())
+        Profiler::setEnabled(true);
+    return path;
+}
+
+/** Export the Chrome trace started by beginHostTrace(). */
+void
+endHostTrace(const std::string &path)
+{
+    if (path.empty())
+        return;
+    Profiler::setEnabled(false);
+    const std::size_t events = exportChromeTrace(path);
+    std::cerr << "wrote " << events << " host-trace events to "
+              << path << "\n";
+}
+
+/**
+ * TTY-only live progress line for a parallel sweep: cells done,
+ * observed-rate ETA and retry count, overdrawn in place on stderr
+ * and blanked on completion so piped output is unchanged.
+ */
+void
+attachSweepProgress(SweepOptions &options)
+{
+    if (!isatty(STDERR_FILENO))
+        return;
+    options.tick = [](const SweepTick &tick) {
+        if (tick.done == tick.total) {
+            std::fprintf(stderr, "\r%*s\r", 64, "");
+            return;
+        }
+        const double elapsed_s =
+            static_cast<double>(tick.elapsedNs) / 1e9;
+        const double eta_s =
+            tick.done == 0
+                ? 0.0
+                : elapsed_s *
+                      static_cast<double>(tick.total - tick.done) /
+                      static_cast<double>(tick.done);
+        std::fprintf(stderr,
+                     "\r  [%zu/%zu cells] eta %.1fs, %llu retries ",
+                     tick.done, tick.total, eta_s,
+                     static_cast<unsigned long long>(tick.retries));
+    };
 }
 
 /**
@@ -401,11 +480,13 @@ cmdReport(const std::map<std::string, std::string> &args)
         };
     }
 
+    const std::string host_trace = beginHostTrace(args);
     installSweepSigintHandler();
     Session session;
     SweepResult grid;
     const std::string report =
         generateReproReport(session, options, &grid);
+    endHostTrace(host_trace);
     const int failure_exit = reportSweepFailures(grid);
 
     const std::string out = getOr(args, "out", "");
@@ -474,13 +555,18 @@ cmdSweep(const std::map<std::string, std::string> &args)
     options.resume = args.count("resume") > 0;
     if (options.resume && options.checkpointPath.empty())
         throw UsageError("--resume requires --checkpoint FILE");
+    attachSweepProgress(options);
 
+    const std::string host_trace = beginHostTrace(args);
     installSweepSigintHandler();
     Session session;
     SweepEngine engine(session, options);
     std::cerr << "sweeping " << plan.size() << " configs on "
               << engine.threads() << " threads\n";
     SweepResult sweep = engine.run(plan);
+    endHostTrace(host_trace);
+    std::cerr << "sweep wall " << sweep.wallNs / 1e9 << " s, peak RSS "
+              << sweep.peakRssBytes / (1024.0 * 1024.0) << " MB\n";
     const int failure_exit = reportSweepFailures(sweep);
 
     bool wrote = false;
@@ -512,14 +598,17 @@ cmdSweep(const std::map<std::string, std::string> &args)
         return failure_exit;
 
     // No structured output requested: print a summary table of the
-    // completed cells.
+    // completed cells.  The host columns (throughput, wall time) are
+    // nondeterministic and deliberately live only here and in BENCH
+    // output, never in the run JSON/CSV or docs/RESULTS.md.
     TextTable table("Sweep results");
     table.setHeader({"benchmark", "machine", "scheme", "layout", "IPC",
-                     "EIR"});
+                     "EIR", "Mcyc/s", "wall ms"});
     for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
         if (!sweep.cellOk(i))
             continue;
         const RunResult &run = sweep.runs[i];
+        const HostStats &host = sweep.host[i];
         table.startRow();
         table.addCell(run.config.benchmark);
         table.addCell(std::string(machineName(run.config.machine)));
@@ -527,9 +616,95 @@ cmdSweep(const std::map<std::string, std::string> &args)
         table.addCell(std::string(layoutName(run.config.layout)));
         table.addCell(run.ipc(), 3);
         table.addCell(run.eir(), 3);
+        table.addCell(host.cyclesPerSec() / 1e6, 2);
+        table.addCell(host.wallNs / 1e6, 1);
     }
     table.print(std::cout);
     return failure_exit;
+}
+
+int
+cmdBench(const std::map<std::string, std::string> &args)
+{
+    BenchOptions options;
+    options.iterations =
+        std::atoi(getOr(args, "iterations", "5").c_str());
+    if (options.iterations < 1)
+        throw UsageError("--iterations wants a positive count");
+    options.threads = std::atoi(getOr(args, "threads", "1").c_str());
+    if (options.threads < 1)
+        throw UsageError("--threads wants a positive count");
+    options.dynInsts = std::strtoull(
+        getOr(args, "insts", "0").c_str(), nullptr, 10);
+    options.smoke = args.count("smoke") > 0;
+    if (isatty(STDERR_FILENO)) {
+        options.progress = [](int iteration, int total) {
+            std::fprintf(stderr, "\r  [%d/%d iterations]%s", iteration,
+                         total,
+                         iteration == total ? "\r                  \r"
+                                            : "");
+        };
+    }
+
+    const std::string host_trace = beginHostTrace(args);
+    Session session;
+    const BenchReport report = runBench(session, options);
+    endHostTrace(host_trace);
+
+    const std::string out = getOr(args, "out", "BENCH_sweep.json");
+    std::ofstream os(out, std::ios::binary);
+    if (!os)
+        throw SimException(ErrorKind::Io, "cannot open " + out);
+    writeBenchJson(os, report);
+    if (!os)
+        throw SimException(ErrorKind::Io, "error writing " + out);
+    std::cerr << "wrote " << out << "\n";
+
+    TextTable table(options.smoke ? "Bench results (smoke)"
+                                  : "Bench results");
+    table.setHeader({"cell", "Mcyc/s", "±MAD", "Minst/s", "wall ms"});
+    for (const BenchCellStats &cell : report.cells) {
+        table.startRow();
+        table.addCell(cell.id);
+        table.addCell(cell.medianCyclesPerSec / 1e6, 2);
+        table.addCell(cell.madCyclesPerSec / 1e6, 2);
+        table.addCell(cell.medianInstsPerSec / 1e6, 2);
+        table.addCell(cell.medianWallNs / 1e6, 1);
+    }
+    table.print(std::cout);
+    std::cout << "bench: " << report.cells.size() << " cells x "
+              << report.iterations << " iterations, wall "
+              << report.totalWallNs / 1e9 << " s, peak RSS "
+              << report.peakRssBytes / (1024.0 * 1024.0) << " MB\n";
+
+    const std::string baseline_path = getOr(args, "baseline", "");
+    if (baseline_path.empty())
+        return 0;
+    const double max_regress = std::strtod(
+        getOr(args, "max-regress", "10").c_str(), nullptr);
+    const std::map<std::string, double> baseline =
+        loadBenchBaseline(baseline_path).value();
+    const std::vector<BenchRegression> regressions =
+        findBenchRegressions(report, baseline, max_regress);
+    if (regressions.empty()) {
+        std::cerr << "bench: no cell regressed more than "
+                  << max_regress << "% vs " << baseline_path << "\n";
+        return 0;
+    }
+    TextTable regressed("Regressions vs " + baseline_path);
+    regressed.setHeader(
+        {"cell", "baseline Mcyc/s", "now Mcyc/s", "slowdown %"});
+    for (const BenchRegression &regression : regressions) {
+        regressed.startRow();
+        regressed.addCell(regression.id);
+        regressed.addCell(regression.baselineCyclesPerSec / 1e6, 2);
+        regressed.addCell(regression.currentCyclesPerSec / 1e6, 2);
+        regressed.addCell(regression.slowdownPct, 1);
+    }
+    regressed.print(std::cerr);
+    std::cerr << "bench: " << regressions.size()
+              << " cell(s) regressed\n";
+    return 1;
 }
 
 int
@@ -602,8 +777,8 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cout << "usage: fetchsim_cli {run|sweep|report|record|"
-                     "replay|list} [--option value ...]\n"
+        std::cout << "usage: fetchsim_cli {run|sweep|report|bench|"
+                     "record|replay|list} [--option value ...]\n"
                      "(see the file header for full usage)\n";
         return kExitUsage;
     }
@@ -618,6 +793,8 @@ main(int argc, char **argv)
             return cmdSweep(args);
         if (command == "report")
             return cmdReport(args);
+        if (command == "bench")
+            return cmdBench(args);
         if (command == "record")
             return cmdRecord(args);
         if (command == "replay")

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Run the perf-regression bench harness (`fetchsim_cli bench`) and,
+# with --check, gate against the committed baseline: exits non-zero
+# when any grid cell's median simulated-cycles/sec dropped more than
+# the threshold below the baseline.
+#
+# Usage: run_bench.sh [options]
+#
+#   --check            compare against the baseline (default:
+#                      bench/BENCH_baseline.json) and fail on
+#                      regression
+#   --baseline FILE    baseline to compare against (implies --check)
+#   --threshold PCT    max allowed slowdown percent (default 10)
+#   --iterations N     measured repetitions (default 5)
+#   --out FILE         BENCH output path (default BENCH_sweep.json in
+#                      the repo root)
+#   --smoke            one iteration at a tiny budget -- schema/CI
+#                      validation only, numbers are meaningless
+#   --rebaseline       copy this run's output over the baseline file
+#
+# The CLI binary is taken from $FETCHSIM_CLI when set, else
+# build/examples/fetchsim_cli.  Baselines record absolute host
+# throughput and are machine-specific: regenerate (--rebaseline) on
+# the machine that checks them, and never --check a baseline from a
+# different machine.
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+cli=${FETCHSIM_CLI:-$repo/build/examples/fetchsim_cli}
+
+check=0
+smoke=0
+rebaseline=0
+baseline="$repo/bench/BENCH_baseline.json"
+threshold=10
+iterations=5
+out="$repo/BENCH_sweep.json"
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --check) check=1 ;;
+      --baseline) baseline=${2:?--baseline wants a file}; check=1; shift ;;
+      --threshold) threshold=${2:?--threshold wants a percent}; shift ;;
+      --iterations) iterations=${2:?--iterations wants a count}; shift ;;
+      --out) out=${2:?--out wants a file}; shift ;;
+      --smoke) smoke=1 ;;
+      --rebaseline) rebaseline=1 ;;
+      *) echo "run_bench.sh: unknown option: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+[ -x "$cli" ] || {
+    echo "run_bench.sh: not executable: $cli (build first:" \
+         "cmake --build build -j)" >&2
+    exit 2
+}
+
+args=(bench --out "$out" --iterations "$iterations")
+[ "$smoke" -eq 1 ] && args+=(--smoke)
+# --rebaseline replaces the baseline, so comparing against the old
+# one would be meaningless; it wins over --check.
+[ "$rebaseline" -eq 1 ] && check=0
+if [ "$check" -eq 1 ]; then
+    [ -f "$baseline" ] || {
+        echo "run_bench.sh: missing baseline: $baseline" \
+             "(generate one with --rebaseline)" >&2
+        exit 2
+    }
+    args+=(--baseline "$baseline" --max-regress "$threshold")
+fi
+
+"$cli" "${args[@]}"
+
+if [ "$rebaseline" -eq 1 ]; then
+    mkdir -p "$(dirname "$baseline")"
+    cp "$out" "$baseline"
+    echo "run_bench.sh: baseline updated: $baseline" >&2
+fi

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "core/error.h"
+#include "perf/profiler.h"
 #include "stats/log.h"
 
 namespace fetchsim
@@ -320,7 +322,18 @@ Processor::doFetch()
         std::min(cfg_.windowSize - window_occ_,
                  cfg_.robSize - static_cast<int>(rob_.size()));
 
-    FetchOutcome outcome = fetch_->formGroup(ctx);
+    // Sampled host-profiler slice around the fetch step: timing one
+    // call in 64 keeps the enabled-mode overhead of this per-cycle
+    // path inside the telemetry budget (DESIGN.md section 11) while
+    // still producing representative "fetch.<scheme>" slices.
+    if (Profiler::enabled() && perf_fetch_label_.empty())
+        perf_fetch_label_ = std::string("fetch.") + fetch_->name();
+    FetchOutcome outcome;
+    {
+        PerfSampledScope fetch_scope(perf_fetch_label_.c_str(), 64,
+                                     perf_fetch_sample_);
+        outcome = fetch_->formGroup(ctx);
+    }
     counters_.noteStop(outcome.stop);
 
     if (m_cycles_delivering_) {
@@ -414,9 +427,21 @@ Processor::step()
 void
 Processor::run(std::uint64_t max_retired)
 {
+    PERF_SCOPE("proc.run");
+    // Chunked cycle-loop slices: with profiling on, every 8192-cycle
+    // stretch of the loop becomes one "proc.cycles" trace event, so
+    // long runs render as a readable sequence instead of one opaque
+    // block or millions of per-cycle slices.
+    constexpr std::uint64_t kPerfChunkCycles = 8192;
+    std::optional<PerfScope> perf_chunk;
+    std::uint64_t perf_chunk_left = 0;
     std::uint64_t last_retired = counters_.retired;
     std::uint64_t stagnant_cycles = 0;
     while (counters_.retired < max_retired) {
+        if (Profiler::enabled() && perf_chunk_left == 0) {
+            perf_chunk.emplace("proc.cycles");
+            perf_chunk_left = kPerfChunkCycles;
+        }
         if (cycle_limit_ != 0 && cycle_ >= cycle_limit_) {
             throw SimException(
                 ErrorKind::Workload,
@@ -427,6 +452,8 @@ Processor::run(std::uint64_t max_retired)
                     " instructions retired");
         }
         step();
+        if (perf_chunk_left > 0 && --perf_chunk_left == 0)
+            perf_chunk.reset();
         if (counters_.retired == last_retired) {
             if (++stagnant_cycles > 100000)
                 panic("Processor::run: no retirement progress for "

@@ -228,6 +228,13 @@ class Processor
     TraceSink *trace_ = nullptr;
     std::uint64_t run_length_ = 0; //!< retired insts since last
                                    //!< taken control transfer
+
+    // Host-profiler state (perf/profiler.h).  The fetch-step label is
+    // built lazily on the first profiled cycle so unprofiled runs
+    // never allocate; the counter drives 1-in-N sampling of the
+    // fetch mechanism's group formation.
+    std::string perf_fetch_label_;
+    std::uint64_t perf_fetch_sample_ = 0;
 };
 
 } // namespace fetchsim

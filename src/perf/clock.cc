@@ -1,0 +1,76 @@
+#include "perf/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace fetchsim
+{
+
+namespace
+{
+
+class SystemClock : public Clock
+{
+  public:
+    std::uint64_t
+    nowNs() override
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    void
+    sleepNs(std::uint64_t ns) override
+    {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    }
+};
+
+} // anonymous namespace
+
+Clock &
+systemClock()
+{
+    static SystemClock clock;
+    return clock;
+}
+
+std::uint64_t
+ManualClock::nowNs()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_;
+}
+
+void
+ManualClock::sleepNs(std::uint64_t ns)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ += ns;
+    sleeps_.push_back(ns);
+}
+
+void
+ManualClock::advance(std::uint64_t ns)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ += ns;
+}
+
+std::vector<std::uint64_t>
+ManualClock::sleeps() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sleeps_;
+}
+
+std::size_t
+ManualClock::sleepCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sleeps_.size();
+}
+
+} // namespace fetchsim

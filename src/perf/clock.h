@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Injectable monotonic clock + sleep interface.
+ *
+ * Host-side timing code (the scoped profiler in perf/profiler.h, the
+ * SweepEngine's retry backoff) must be testable without real waiting
+ * and without wall-clock flakiness.  Everything that reads time or
+ * sleeps goes through this interface: production code uses
+ * systemClock() (steady_clock + this_thread::sleep_for), tests inject
+ * a ManualClock whose time only moves when the test says so and whose
+ * sleep() calls merely advance virtual time -- a retry-backoff test
+ * asserts the exact exponential sleep sequence in microseconds of
+ * real time.
+ */
+
+#ifndef FETCHSIM_PERF_CLOCK_H_
+#define FETCHSIM_PERF_CLOCK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fetchsim
+{
+
+/**
+ * Monotonic nanosecond clock with a sleep primitive.  Implementations
+ * must be safe to call from multiple threads concurrently (sweep
+ * workers share one clock).
+ */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Monotonic time in nanoseconds from an arbitrary epoch. */
+    virtual std::uint64_t nowNs() = 0;
+
+    /** Block the calling thread for @p ns nanoseconds. */
+    virtual void sleepNs(std::uint64_t ns) = 0;
+};
+
+/**
+ * The process-wide real clock: steady_clock now(), real sleep_for().
+ */
+Clock &systemClock();
+
+/**
+ * Deterministic test clock.  nowNs() returns a counter that only
+ * advance() and sleepNs() move; sleepNs() never blocks and records
+ * every requested duration so tests can assert backoff schedules.
+ */
+class ManualClock : public Clock
+{
+  public:
+    explicit ManualClock(std::uint64_t start_ns = 0) : now_(start_ns)
+    {
+    }
+
+    std::uint64_t nowNs() override;
+    void sleepNs(std::uint64_t ns) override;
+
+    /** Move virtual time forward without recording a sleep. */
+    void advance(std::uint64_t ns);
+
+    /** Every sleepNs() duration, in call order across all threads. */
+    std::vector<std::uint64_t> sleeps() const;
+
+    /** Number of sleepNs() calls so far. */
+    std::size_t sleepCount() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::uint64_t now_;
+    std::vector<std::uint64_t> sleeps_;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_PERF_CLOCK_H_

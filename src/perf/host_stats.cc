@@ -1,0 +1,65 @@
+#include "perf/host_stats.h"
+
+#include <ctime>
+
+#include <sys/resource.h>
+
+namespace fetchsim
+{
+
+namespace
+{
+
+std::uint64_t
+clockNowNs(clockid_t id)
+{
+    timespec ts{};
+    if (clock_gettime(id, &ts) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+} // anonymous namespace
+
+double
+HostStats::cyclesPerSec() const
+{
+    if (wallNs == 0)
+        return 0.0;
+    return static_cast<double>(simCycles) * 1e9 /
+           static_cast<double>(wallNs);
+}
+
+double
+HostStats::instsPerSec() const
+{
+    if (wallNs == 0)
+        return 0.0;
+    return static_cast<double>(retired) * 1e9 /
+           static_cast<double>(wallNs);
+}
+
+std::uint64_t
+threadCpuNowNs()
+{
+    return clockNowNs(CLOCK_THREAD_CPUTIME_ID);
+}
+
+std::uint64_t
+processCpuNowNs()
+{
+    return clockNowNs(CLOCK_PROCESS_CPUTIME_ID);
+}
+
+std::uint64_t
+processPeakRssBytes()
+{
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024ull;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-run host throughput counters.
+ *
+ * RunCounters measure the simulated machine; HostStats measure the
+ * simulator simulating it: wall and CPU nanoseconds spent on one
+ * sweep cell and the derived simulated-cycles-per-second /
+ * instructions-per-second rates.  The SweepEngine fills one HostStats
+ * per cell (SweepResult::host), the CLI surfaces them in its summary
+ * tables, and the bench harness (perf/bench.h) aggregates them into
+ * BENCH_sweep.json medians.
+ *
+ * Host stats are intentionally kept out of the run's JSON/CSV
+ * serialization and out of docs/RESULTS.md: they are nondeterministic
+ * by nature and must never break the byte-identity contracts of the
+ * reproduction pipeline.
+ */
+
+#ifndef FETCHSIM_PERF_HOST_STATS_H_
+#define FETCHSIM_PERF_HOST_STATS_H_
+
+#include <cstdint>
+
+namespace fetchsim
+{
+
+/** Host-side cost of one completed simulation run. */
+struct HostStats
+{
+    std::uint64_t wallNs = 0;    //!< wall time of the run
+    std::uint64_t cpuNs = 0;     //!< executing thread's CPU time
+    std::uint64_t simCycles = 0; //!< simulated cycles produced
+    std::uint64_t retired = 0;   //!< instructions retired
+
+    /** Simulated cycles per wall second (0 when unmeasured). */
+    double cyclesPerSec() const;
+
+    /** Retired instructions per wall second (0 when unmeasured). */
+    double instsPerSec() const;
+};
+
+/** CPU time of the calling thread, in nanoseconds. */
+std::uint64_t threadCpuNowNs();
+
+/** CPU time of the whole process, in nanoseconds. */
+std::uint64_t processCpuNowNs();
+
+/** Peak resident set size of the process, in bytes (0 if unknown). */
+std::uint64_t processPeakRssBytes();
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_PERF_HOST_STATS_H_

@@ -1,0 +1,118 @@
+#include "perf/profiler.h"
+
+#include <algorithm>
+
+namespace fetchsim
+{
+
+std::atomic<bool> Profiler::enabled_{false};
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Profiler::setClock(Clock *clock)
+{
+    clock_.store(clock, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Profiler::nowNs()
+{
+    Clock *clock = clock_.load(std::memory_order_relaxed);
+    return (clock ? *clock : systemClock()).nowNs();
+}
+
+Profiler::ThreadBuffer &
+Profiler::localBuffer()
+{
+    // The shared_ptr keeps a buffer alive in the registry even after
+    // its owning thread exits, so a drain after a pool join still
+    // sees every worker's events.
+    thread_local std::shared_ptr<ThreadBuffer> buffer;
+    if (!buffer) {
+        buffer = std::make_shared<ThreadBuffer>();
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+        buffers_.push_back(buffer);
+    }
+    return *buffer;
+}
+
+void
+Profiler::record(std::string name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns)
+{
+    ThreadBuffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(PerfEvent{std::move(name), start_ns,
+                                      dur_ns, buffer.tid,
+                                      buffer.next_seq++});
+}
+
+std::vector<PerfEvent>
+Profiler::drain()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        buffers = buffers_;
+    }
+    std::vector<PerfEvent> merged;
+    for (const auto &buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        merged.insert(merged.end(),
+                      std::make_move_iterator(buffer->events.begin()),
+                      std::make_move_iterator(buffer->events.end()));
+        buffer->events.clear();
+    }
+    // (startNs, tid, seq) is a total order over distinct events, so
+    // the merged list is identical however threads were scheduled.
+    std::sort(merged.begin(), merged.end(),
+              [](const PerfEvent &a, const PerfEvent &b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.seq < b.seq;
+              });
+    return merged;
+}
+
+std::size_t
+Profiler::threadBuffers() const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    return buffers_.size();
+}
+
+void
+PerfScope::arm(std::string name)
+{
+    armed_ = true;
+    name_ = std::move(name);
+    start_ns_ = Profiler::instance().nowNs();
+}
+
+void
+PerfScope::close()
+{
+    const std::uint64_t end_ns = Profiler::instance().nowNs();
+    // A clock swap mid-scope (test-only) can move time backward;
+    // clamp rather than wrap.
+    const std::uint64_t dur_ns =
+        end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+    Profiler::instance().record(std::move(name_), start_ns_, dur_ns);
+}
+
+} // namespace fetchsim

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Host-side scoped-timer profiler for the simulator's own hot paths.
+ *
+ * The MetricRegistry/TraceSink layer (src/stats) observes the
+ * *simulated* machine; this profiler observes the *simulator*: how
+ * long workload preparation, the cycle loop, each fetch mechanism's
+ * group formation, checkpoint I/O and sweep-cell dispatch take on the
+ * host.  It is the measurement substrate every later host-performance
+ * optimization must prove itself against.
+ *
+ * Design constraints and how they are met:
+ *
+ *  - **Zero cost when disabled.**  Profiling is off by default;
+ *    PERF_SCOPE compiles to one relaxed atomic load per entry.  No
+ *    allocation, no clock read, no buffer touch happens until the
+ *    profiler is enabled at runtime (CLI `--trace-out`, bench).
+ *    test_perf asserts the no-buffer guarantee.
+ *
+ *  - **Low overhead when enabled.**  Each thread appends events to
+ *    its own buffer; the only synchronization on the record path is
+ *    an uncontended per-buffer mutex taken for a push_back (the
+ *    collector contends with it only during drain, which in practice
+ *    happens after the thread pool has been joined).  Per-cycle
+ *    paths use PerfSampledScope, which times one call in N, keeping
+ *    the enabled-mode overhead of the cycle loop inside the <2%
+ *    budget (DESIGN.md section 11).
+ *
+ *  - **Deterministic merge.**  drain() interleaves the per-thread
+ *    buffers into a single list ordered by (startNs, tid, per-thread
+ *    sequence), so the same set of recorded events always merges to
+ *    the same order regardless of thread scheduling -- this is what
+ *    makes trace-export tests exact rather than fuzzy.
+ *
+ * The profiler reads time through the injectable Clock (perf/clock.h)
+ * so tests drive it with a ManualClock and assert exact timestamps.
+ */
+
+#ifndef FETCHSIM_PERF_PROFILER_H_
+#define FETCHSIM_PERF_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "perf/clock.h"
+
+namespace fetchsim
+{
+
+/** One completed scope: a slice on the host-time axis. */
+struct PerfEvent
+{
+    std::string name;       //!< scope label ("proc.run", "cell 12 ...")
+    std::uint64_t startNs;  //!< clock time at scope entry
+    std::uint64_t durNs;    //!< scope duration
+    std::uint32_t tid;      //!< profiler thread id (registration order)
+    std::uint64_t seq;      //!< per-thread record sequence number
+};
+
+/**
+ * Process-wide profiler registry.  All access goes through
+ * Profiler::instance(); the enabled flag is a separate static so the
+ * disabled fast path never touches the singleton.
+ */
+class Profiler
+{
+  public:
+    static Profiler &instance();
+
+    /** True when scopes record events (one relaxed load). */
+    static bool
+    enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Turn recording on or off.  Scopes already open keep their
+     * entry decision: a scope that started disabled records nothing.
+     */
+    static void setEnabled(bool on);
+
+    /** Current profiler clock time (nanoseconds). */
+    std::uint64_t nowNs();
+
+    /**
+     * Append one event to the calling thread's buffer, creating the
+     * buffer on first use.  Called by PerfScope; safe from any
+     * thread.
+     */
+    void record(std::string name, std::uint64_t start_ns,
+                std::uint64_t dur_ns);
+
+    /**
+     * Remove and return all recorded events, merged across threads
+     * in deterministic (startNs, tid, seq) order.  Call after worker
+     * threads are joined (concurrent record() during a drain is safe
+     * but the racing events may land in either batch).
+     */
+    std::vector<PerfEvent> drain();
+
+    /** Thread buffers ever created (no-allocation test hook). */
+    std::size_t threadBuffers() const;
+
+    /**
+     * Replace the time source (nullptr restores systemClock()).
+     * Test-only; not synchronized against concurrent scopes.
+     */
+    void setClock(Clock *clock);
+
+  private:
+    Profiler() = default;
+
+    struct ThreadBuffer
+    {
+        std::mutex mutex;        //!< uncontended except during drain
+        std::uint32_t tid = 0;
+        std::uint64_t next_seq = 0;
+        std::vector<PerfEvent> events;
+    };
+
+    ThreadBuffer &localBuffer();
+
+    static std::atomic<bool> enabled_;
+
+    std::atomic<Clock *> clock_{nullptr}; //!< null = systemClock()
+    mutable std::mutex registry_mutex_;   //!< guards buffers_ list
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/**
+ * RAII scope timer.  Construct with the label; the destructor records
+ * a PerfEvent covering the scope's lifetime.  When the profiler is
+ * disabled at entry the scope is inert (no clock read, no string
+ * copy, no allocation).
+ *
+ * Prefer the PERF_SCOPE macro for static labels; construct PerfScope
+ * directly when the label is dynamic (guard the label construction
+ * with Profiler::enabled() to keep the disabled path allocation-free).
+ */
+class PerfScope
+{
+  public:
+    /** Inert scope; call open() to start timing later. */
+    PerfScope() = default;
+
+    explicit PerfScope(const char *name)
+    {
+        if (Profiler::enabled())
+            arm(name);
+    }
+
+    explicit PerfScope(std::string name)
+    {
+        if (Profiler::enabled())
+            arm(std::move(name));
+    }
+
+    ~PerfScope()
+    {
+        if (armed_)
+            close();
+    }
+
+    PerfScope(const PerfScope &) = delete;
+    PerfScope &operator=(const PerfScope &) = delete;
+
+    /** Start timing an inert scope (no-op if already armed). */
+    void
+    open(const char *name)
+    {
+        if (!armed_ && Profiler::enabled())
+            arm(name);
+    }
+
+  private:
+    void arm(std::string name);
+    void close();
+
+    bool armed_ = false;
+    std::string name_;
+    std::uint64_t start_ns_ = 0;
+};
+
+/**
+ * Sampling scope for per-cycle paths: times one invocation in
+ * @p every (a power of two), identified by a caller-owned counter.
+ * Costs one enabled() load plus one increment when disabled or
+ * off-sample.
+ *
+ * @code
+ *   std::uint64_t sample_counter_ = 0;  // member, one per call site
+ *   ...
+ *   PerfSampledScope scope("fetch.step", 64, sample_counter_);
+ * @endcode
+ */
+class PerfSampledScope
+{
+  public:
+    PerfSampledScope(const char *name, std::uint64_t every,
+                     std::uint64_t &counter)
+    {
+        if (Profiler::enabled() && (counter++ % every) == 0)
+            scope_.open(name);
+    }
+
+  private:
+    PerfScope scope_;
+};
+
+// Two-level expansion so __LINE__ pastes into a unique identifier.
+#define FETCHSIM_PERF_CONCAT2(a, b) a##b
+#define FETCHSIM_PERF_CONCAT(a, b) FETCHSIM_PERF_CONCAT2(a, b)
+
+/** Time the enclosing scope under a static label. */
+#define PERF_SCOPE(name)                                               \
+    ::fetchsim::PerfScope FETCHSIM_PERF_CONCAT(perf_scope_,           \
+                                               __LINE__)(name)
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_PERF_PROFILER_H_

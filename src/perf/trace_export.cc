@@ -1,0 +1,89 @@
+#include "perf/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "core/error.h"
+#include "stats/json.h"
+
+namespace fetchsim
+{
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<PerfEvent> &events,
+                 const std::string &process_name)
+{
+    std::uint64_t epoch_ns =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint32_t max_tid = 0;
+    for (const PerfEvent &event : events) {
+        epoch_ns = std::min(epoch_ns, event.startNs);
+        max_tid = std::max(max_tid, event.tid);
+    }
+    if (events.empty())
+        epoch_ns = 0;
+
+    JsonWriter json(os, 0);
+    json.beginObject();
+    json.key("traceEvents").beginArray();
+
+    // Metadata: name the process and one track per profiler thread.
+    json.beginObject();
+    json.key("name").value("process_name");
+    json.key("ph").value("M");
+    json.key("pid").value(1);
+    json.key("tid").value(0);
+    json.key("args").beginObject();
+    json.key("name").value(process_name);
+    json.endObject().endObject();
+    if (!events.empty()) {
+        for (std::uint32_t tid = 0; tid <= max_tid; ++tid) {
+            json.beginObject();
+            json.key("name").value("thread_name");
+            json.key("ph").value("M");
+            json.key("pid").value(1);
+            json.key("tid").value(static_cast<int>(tid));
+            json.key("args").beginObject();
+            json.key("name").value("worker-" + std::to_string(tid));
+            json.endObject().endObject();
+        }
+    }
+
+    for (const PerfEvent &event : events) {
+        json.beginObject();
+        json.key("name").value(event.name);
+        json.key("cat").value("host");
+        json.key("ph").value("X");
+        json.key("pid").value(1);
+        json.key("tid").value(static_cast<int>(event.tid));
+        // Microseconds with nanosecond granularity preserved.
+        json.key("ts").value(
+            static_cast<double>(event.startNs - epoch_ns) / 1e3);
+        json.key("dur").value(static_cast<double>(event.durNs) / 1e3);
+        json.endObject();
+    }
+
+    json.endArray();
+    json.key("displayTimeUnit").value("ms");
+    json.endObject();
+    os << "\n";
+}
+
+std::size_t
+exportChromeTrace(const std::string &path,
+                  const std::string &process_name)
+{
+    const std::vector<PerfEvent> events =
+        Profiler::instance().drain();
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw SimException(ErrorKind::Io, "cannot open " + path);
+    writeChromeTrace(os, events, process_name);
+    if (!os)
+        throw SimException(ErrorKind::Io, "error writing " + path);
+    return events.size();
+}
+
+} // namespace fetchsim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Chrome trace-event JSON export of profiler events.
+ *
+ * writeChromeTrace() renders a drained PerfEvent list as the Trace
+ * Event Format's "JSON object" flavour -- a `traceEvents` array of
+ * complete ("ph":"X") duration events plus process/thread metadata
+ * ("ph":"M") -- which loads directly in chrome://tracing and Perfetto.
+ * Every profiler thread becomes one track (pid 1 = "sweep", tid =
+ * profiler thread id, named "worker-N"), so a parallel sweep renders
+ * as one lane per worker with the per-cell slices and their nested
+ * session/cycle/fetch phases stacked inside.
+ *
+ * Timestamps are microseconds (the format's unit), rebased to the
+ * earliest event so traces start at t=0 and ManualClock-driven tests
+ * can assert exact output.
+ */
+
+#ifndef FETCHSIM_PERF_TRACE_EXPORT_H_
+#define FETCHSIM_PERF_TRACE_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "perf/profiler.h"
+
+namespace fetchsim
+{
+
+/** Serialize @p events as a Chrome trace-event JSON document. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<PerfEvent> &events,
+                      const std::string &process_name = "sweep");
+
+/**
+ * Drain the process profiler and write the trace to @p path.
+ * Throws SimException(ErrorKind::Io) when the file cannot be
+ * written.  Returns the number of events exported.
+ */
+std::size_t exportChromeTrace(const std::string &path,
+                              const std::string &process_name = "sweep");
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_PERF_TRACE_EXPORT_H_

@@ -1,0 +1,261 @@
+#include "sim/bench.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "perf/host_stats.h"
+#include "stats/json.h"
+
+namespace fetchsim
+{
+
+std::string
+benchCellId(const RunConfig &config)
+{
+    std::string id = config.benchmark;
+    id += '/';
+    id += machineName(config.machine);
+    id += '/';
+    id += schemeName(config.scheme);
+    id += '/';
+    id += layoutName(config.layout);
+    return id;
+}
+
+std::vector<RunConfig>
+benchGrid(std::uint64_t dyn_insts)
+{
+    const std::vector<std::string> benchmarks = {"eqntott",
+                                                 "compress", "gcc"};
+    const std::vector<MachineModel> machines = {MachineModel::P14,
+                                                MachineModel::P112};
+    const std::vector<SchemeKind> schemes = {
+        SchemeKind::Sequential, SchemeKind::CollapsingBuffer,
+        SchemeKind::Perfect};
+
+    std::vector<RunConfig> grid;
+    grid.reserve(benchmarks.size() * machines.size() *
+                 schemes.size());
+    for (const std::string &benchmark : benchmarks) {
+        for (MachineModel machine : machines) {
+            for (SchemeKind scheme : schemes) {
+                RunConfig config;
+                config.benchmark = benchmark;
+                config.machine = machine;
+                config.scheme = scheme;
+                config.layout = LayoutKind::Unordered;
+                config.maxRetired = dyn_insts;
+                grid.push_back(config);
+            }
+        }
+    }
+    return grid;
+}
+
+double
+medianOf(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t mid = values.size() / 2;
+    if (values.size() % 2 == 1)
+        return values[mid];
+    return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+double
+madOf(const std::vector<double> &values, double median)
+{
+    std::vector<double> deviations;
+    deviations.reserve(values.size());
+    for (double value : values)
+        deviations.push_back(std::fabs(value - median));
+    return medianOf(std::move(deviations));
+}
+
+BenchReport
+runBench(Session &session, const BenchOptions &options)
+{
+    Clock &clock = options.clock ? *options.clock : systemClock();
+    const std::uint64_t start_ns = clock.nowNs();
+
+    BenchReport report;
+    report.iterations = options.smoke
+                            ? 1
+                            : std::max(1, options.iterations);
+    report.threads = std::max(1, options.threads);
+    const std::uint64_t budget =
+        options.smoke ? kBenchSmokeInsts
+                      : (options.dynInsts ? options.dynInsts
+                                          : defaultDynInsts());
+    report.dynInsts = budget;
+
+    const std::vector<RunConfig> grid = benchGrid(budget);
+    report.cells.resize(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        report.cells[i].config = grid[i];
+        report.cells[i].id = benchCellId(grid[i]);
+    }
+
+    // Prepare every workload up front: the measured iterations then
+    // time simulation throughput, not one-off generation cost.
+    for (const RunConfig &config : grid)
+        session.workload(config.benchmark, config.layout);
+
+    for (int iteration = 0; iteration < report.iterations;
+         ++iteration) {
+        SweepOptions sweep_options;
+        sweep_options.threads = report.threads;
+        sweep_options.clock = options.clock;
+        SweepEngine engine(session, sweep_options);
+        const SweepResult sweep = engine.run(grid);
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            report.cells[i].samplesCyclesPerSec.push_back(
+                sweep.host[i].cyclesPerSec());
+        }
+        // Wall times are summarized from the final iteration (any
+        // one would do; the last avoids first-iteration cache
+        // warmup skew on single-iteration runs).
+        if (iteration == report.iterations - 1) {
+            for (std::size_t i = 0; i < grid.size(); ++i) {
+                BenchCellStats &cell = report.cells[i];
+                cell.medianWallNs = sweep.host[i].wallNs;
+                cell.medianInstsPerSec =
+                    sweep.host[i].instsPerSec();
+            }
+        }
+        if (options.progress)
+            options.progress(iteration + 1, report.iterations);
+    }
+
+    for (BenchCellStats &cell : report.cells) {
+        cell.medianCyclesPerSec =
+            medianOf(cell.samplesCyclesPerSec);
+        cell.madCyclesPerSec =
+            madOf(cell.samplesCyclesPerSec, cell.medianCyclesPerSec);
+    }
+
+    report.totalWallNs = clock.nowNs() - start_ns;
+    report.peakRssBytes = processPeakRssBytes();
+    return report;
+}
+
+void
+writeBenchJson(std::ostream &os, const BenchReport &report)
+{
+    JsonWriter json(os, 2);
+    json.beginObject();
+    json.key("schema").value("fetchsim-bench-v1");
+    json.key("iterations").value(report.iterations);
+    json.key("threads").value(report.threads);
+    json.key("dyn_insts").value(report.dynInsts);
+    json.key("total_wall_ns").value(report.totalWallNs);
+    json.key("peak_rss_bytes").value(report.peakRssBytes);
+    json.key("cells").beginArray();
+    for (const BenchCellStats &cell : report.cells) {
+        json.beginObject();
+        json.key("id").value(cell.id);
+        json.key("benchmark").value(cell.config.benchmark);
+        json.key("machine").value(machineName(cell.config.machine));
+        json.key("scheme").value(schemeName(cell.config.scheme));
+        json.key("layout").value(layoutName(cell.config.layout));
+        json.key("median_cycles_per_sec")
+            .value(cell.medianCyclesPerSec);
+        json.key("mad_cycles_per_sec").value(cell.madCyclesPerSec);
+        json.key("median_insts_per_sec")
+            .value(cell.medianInstsPerSec);
+        json.key("median_wall_ns").value(cell.medianWallNs);
+        json.key("samples_cycles_per_sec").beginArray();
+        for (double sample : cell.samplesCyclesPerSec)
+            json.value(sample);
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << "\n";
+}
+
+Expected<std::map<std::string, double>>
+loadBenchBaseline(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        return SimError{ErrorKind::Io,
+                        "cannot read bench baseline: " + path, ""};
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const std::string text = buffer.str();
+
+    // Schema-specific scan over writeBenchJson() output: each cell
+    // object holds an `"id": "..."` key followed (within the same
+    // object) by `"median_cycles_per_sec": <number>`.
+    std::map<std::string, double> medians;
+    const std::string id_key = "\"id\":";
+    const std::string median_key = "\"median_cycles_per_sec\":";
+    std::string::size_type pos = 0;
+    while ((pos = text.find(id_key, pos)) != std::string::npos) {
+        pos += id_key.size();
+        const std::string::size_type open =
+            text.find('"', pos);
+        if (open == std::string::npos)
+            break;
+        const std::string::size_type close =
+            text.find('"', open + 1);
+        if (close == std::string::npos)
+            break;
+        const std::string id =
+            text.substr(open + 1, close - open - 1);
+        const std::string::size_type mpos =
+            text.find(median_key, close);
+        if (mpos == std::string::npos)
+            break;
+        const char *number = text.c_str() + mpos + median_key.size();
+        char *end = nullptr;
+        const double value = std::strtod(number, &end);
+        if (end == number) {
+            return SimError{ErrorKind::Io,
+                            "bench baseline " + path +
+                                ": unparseable median for cell '" +
+                                id + "'",
+                            ""};
+        }
+        medians[id] = value;
+        pos = close;
+    }
+    if (medians.empty()) {
+        return SimError{ErrorKind::Io,
+                        "bench baseline " + path +
+                            ": no cell entries found",
+                        ""};
+    }
+    return medians;
+}
+
+std::vector<BenchRegression>
+findBenchRegressions(const BenchReport &report,
+                     const std::map<std::string, double> &baseline,
+                     double max_slowdown_pct)
+{
+    std::vector<BenchRegression> regressions;
+    for (const BenchCellStats &cell : report.cells) {
+        auto it = baseline.find(cell.id);
+        if (it == baseline.end() || it->second <= 0.0)
+            continue;
+        const double slowdown_pct =
+            100.0 * (1.0 - cell.medianCyclesPerSec / it->second);
+        if (slowdown_pct > max_slowdown_pct) {
+            regressions.push_back(BenchRegression{
+                cell.id, it->second, cell.medianCyclesPerSec,
+                slowdown_pct});
+        }
+    }
+    return regressions;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Perf-regression bench harness: pinned grid, repeated runs,
+ * median±MAD statistics, machine-readable BENCH output and baseline
+ * comparison.
+ *
+ * The harness answers one question reproducibly: "did the simulator
+ * get slower?"  It runs a pinned benchmark grid (every fetch scheme
+ * over representative workloads and machines) N times through the
+ * ordinary Session/SweepEngine path, summarizes each cell's host
+ * throughput as median and median-absolute-deviation of simulated
+ * cycles per second (robust against scheduler noise, unlike mean and
+ * stddev), and writes a BENCH_sweep.json document.  A committed
+ * baseline of the same schema can then gate changes:
+ * findBenchRegressions() flags every cell whose current median
+ * throughput dropped more than a threshold below the baseline, and
+ * `fetchsim_cli bench --baseline` / `scripts/run_bench.sh --check`
+ * exit non-zero when any cell regressed.
+ *
+ * Baselines are machine-specific (they record absolute host
+ * throughput); regenerate them on the machine that checks them.
+ */
+
+#ifndef FETCHSIM_SIM_BENCH_H_
+#define FETCHSIM_SIM_BENCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "sim/sweep.h"
+
+namespace fetchsim
+{
+
+/** Options for runBench(). */
+struct BenchOptions
+{
+    /** Measured repetitions of the whole grid (median over these). */
+    int iterations = 5;
+
+    /**
+     * Sweep worker threads per iteration.  1 (the default) measures
+     * single-worker throughput, which is the stable quantity for
+     * regression gating; raise it to measure scaling instead.
+     */
+    int threads = 1;
+
+    /** Retired-instruction budget per run; 0 = defaultDynInsts(). */
+    std::uint64_t dynInsts = 0;
+
+    /**
+     * Schema-validation mode: one iteration at a small fixed budget
+     * (kBenchSmokeInsts).  Numbers are meaningless; the output file
+     * is structurally complete.  Used by CI on every PR.
+     */
+    bool smoke = false;
+
+    /** Time source (null = systemClock()). */
+    Clock *clock = nullptr;
+
+    /** Called after each completed iteration (1-based, total). */
+    std::function<void(int iteration, int total)> progress;
+};
+
+/** The smoke-mode retirement budget. */
+constexpr std::uint64_t kBenchSmokeInsts = 20000;
+
+/** Per-cell bench summary. */
+struct BenchCellStats
+{
+    RunConfig config;
+    std::string id; //!< "benchmark/machine/scheme/layout"
+
+    /** Per-iteration samples, in iteration order. */
+    std::vector<double> samplesCyclesPerSec;
+
+    double medianCyclesPerSec = 0.0;
+    double madCyclesPerSec = 0.0; //!< median absolute deviation
+    double medianInstsPerSec = 0.0;
+    std::uint64_t medianWallNs = 0;
+};
+
+/** One full bench run (the BENCH_sweep.json document). */
+struct BenchReport
+{
+    std::vector<BenchCellStats> cells;
+    int iterations = 0;
+    int threads = 0;
+    std::uint64_t dynInsts = 0;    //!< resolved per-run budget
+    std::uint64_t totalWallNs = 0; //!< whole harness wall time
+    std::uint64_t peakRssBytes = 0;
+};
+
+/** Stable cell identifier used to match baseline entries. */
+std::string benchCellId(const RunConfig &config);
+
+/**
+ * The pinned regression grid: {eqntott, compress, gcc} x {P14, P112}
+ * x {sequential, collapsing, perfect}, unordered layout, at
+ * @p dyn_insts retired instructions per run (0 = defaultDynInsts()).
+ * Pinned so BENCH documents from different commits are comparable
+ * cell by cell.
+ */
+std::vector<RunConfig> benchGrid(std::uint64_t dyn_insts);
+
+/** Median of @p values (0 when empty); the argument is consumed. */
+double medianOf(std::vector<double> values);
+
+/** Median absolute deviation of @p values around @p median. */
+double madOf(const std::vector<double> &values, double median);
+
+/**
+ * Run the pinned grid @p options.iterations times against
+ * @p session and summarize.  Workloads are prepared before the
+ * first measured iteration so generation cost never pollutes the
+ * simulation-throughput samples.  A failing cell throws (fail-fast):
+ * a bench over a broken simulator must not produce numbers.
+ */
+BenchReport runBench(Session &session, const BenchOptions &options = {});
+
+/** Serialize @p report as the BENCH_sweep.json document. */
+void writeBenchJson(std::ostream &os, const BenchReport &report);
+
+/**
+ * Load the per-cell median throughput map (id ->
+ * median_cycles_per_sec) from a BENCH JSON file written by
+ * writeBenchJson().  This is a schema-specific reader, not a general
+ * JSON parser; an unreadable file or a file without any cell entries
+ * is an Io error.
+ */
+Expected<std::map<std::string, double>>
+loadBenchBaseline(const std::string &path);
+
+/** One cell slower than the baseline allows. */
+struct BenchRegression
+{
+    std::string id;
+    double baselineCyclesPerSec = 0.0;
+    double currentCyclesPerSec = 0.0;
+    double slowdownPct = 0.0; //!< 100 * (1 - current/baseline)
+};
+
+/**
+ * Cells of @p report whose median throughput is more than
+ * @p max_slowdown_pct percent below the baseline median.  Cells
+ * missing from the baseline are ignored (new cells are not
+ * regressions); baseline entries missing from the report are
+ * ignored likewise.
+ */
+std::vector<BenchRegression>
+findBenchRegressions(const BenchReport &report,
+                     const std::map<std::string, double> &baseline,
+                     double max_slowdown_pct);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_BENCH_H_

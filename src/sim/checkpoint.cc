@@ -9,6 +9,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "perf/profiler.h"
 #include "stats/log.h"
 #include "workload/benchmark_suite.h"
 
@@ -215,6 +216,7 @@ parseCheckpointLine(const std::string &line)
 Expected<std::map<std::uint64_t, RunCounters>>
 loadCheckpoint(const std::string &path)
 {
+    PERF_SCOPE("checkpoint.load");
     std::map<std::uint64_t, RunCounters> entries;
     std::ifstream is(path);
     if (!is) {
@@ -269,6 +271,7 @@ void
 CheckpointJournal::record(std::uint64_t key,
                           const RunCounters &counters)
 {
+    PERF_SCOPE("checkpoint.record");
     const std::string line = checkpointLine(key, counters) + "\n";
     std::lock_guard<std::mutex> lock(mutex_);
     if (!healthy_)

@@ -4,6 +4,7 @@
 #include "compiler/function_layout.h"
 #include "compiler/nop_padding.h"
 #include "core/error.h"
+#include "perf/profiler.h"
 #include "stats/log.h"
 #include "workload/benchmark_suite.h"
 #include "workload/branch_behavior.h"
@@ -19,6 +20,7 @@ std::unique_ptr<Workload>
 prepare(const std::string &benchmark, LayoutKind layout,
         std::uint64_t block_bytes)
 {
+    PERF_SCOPE("session.prepare");
     if (!hasBenchmark(benchmark))
         throw SimException(ErrorKind::Config,
                            "unknown benchmark '" + benchmark + "'");
@@ -163,6 +165,7 @@ RunResult
 Session::run(const RunConfig &config, const RunInstrumentation &inst,
              std::uint64_t watchdog_cycles)
 {
+    PERF_SCOPE("session.run");
     const std::vector<SimError> errors = validateRunConfig(config);
     if (!errors.empty())
         throw SimException(SimError{ErrorKind::Config,

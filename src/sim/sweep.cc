@@ -1,7 +1,6 @@
 #include "sim/sweep.h"
 
 #include <atomic>
-#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <exception>
@@ -9,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "perf/profiler.h"
 #include "sim/checkpoint.h"
 #include "stats/log.h"
 #include "stats/summary.h"
@@ -197,6 +197,7 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
     SweepResult sweep;
     sweep.runs.resize(configs.size());
     sweep.statuses.resize(configs.size());
+    sweep.host.resize(configs.size());
     // Every cell carries its config even when it never runs, so
     // failure tables can name the cell.
     for (std::size_t i = 0; i < configs.size(); ++i)
@@ -207,6 +208,8 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
     const std::size_t total = configs.size();
     const FailurePolicy &policy = options_.failure;
     const FaultPlan &faults = options_.faults;
+    Clock &clock = options_.clock ? *options_.clock : systemClock();
+    const std::uint64_t sweep_start_ns = clock.nowNs();
 
     // ---------------- checkpoint/resume -------------------------
     std::unique_ptr<CheckpointJournal> journal;
@@ -237,6 +240,7 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
     // ---------------- parallel execution ------------------------
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{resumed};
+    std::atomic<std::uint64_t> retries{0};
     std::atomic<bool> draining{false};
     std::mutex progress_mutex;
     std::exception_ptr first_error;
@@ -248,18 +252,41 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
     // execute, retry.  Returns true when the cell ended Ok.
     auto runCell = [&](std::size_t i) {
         RunStatus &status = sweep.statuses[i];
+        // Host-profiler slice for the whole cell (attempts included).
+        // The label is only built when profiling is on, so disabled
+        // sweeps stay allocation-free here.
+        std::string cell_label;
+        if (Profiler::enabled()) {
+            const RunConfig &config = configs[i];
+            cell_label = "cell " + std::to_string(i) + " " +
+                         config.benchmark + "/" +
+                         machineName(config.machine) + "/" +
+                         schemeName(config.scheme);
+        }
+        PerfScope cell_scope(std::move(cell_label));
         for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-            if (attempt > 1 && policy.backoffMs > 0) {
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(policy.backoffMs
-                                              << (attempt - 2)));
+            if (attempt > 1) {
+                retries.fetch_add(1, std::memory_order_relaxed);
+                if (policy.backoffMs > 0) {
+                    clock.sleepNs(
+                        (static_cast<std::uint64_t>(policy.backoffMs)
+                         << (attempt - 2)) *
+                        1000000ull);
+                }
             }
             status.attempts = attempt;
             try {
                 faults.checkThrow(i, attempt);
+                const std::uint64_t wall_start = clock.nowNs();
+                const std::uint64_t cpu_start = threadCpuNowNs();
                 sweep.runs[i] = session_.run(
                     configs[i], RunInstrumentation{},
                     faults.watchdogCycles);
+                HostStats &host = sweep.host[i];
+                host.wallNs = clock.nowNs() - wall_start;
+                host.cpuNs = threadCpuNowNs() - cpu_start;
+                host.simCycles = sweep.runs[i].counters.cycles;
+                host.retired = sweep.runs[i].counters.retired;
                 status.outcome = RunOutcome::Ok;
                 status.error = SimError{};
                 return true;
@@ -311,10 +338,21 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
                                     sweep.runs[i].counters);
                 const std::size_t finished =
                     done.fetch_add(1, std::memory_order_relaxed) + 1;
-                if (options_.progress) {
+                if (options_.progress || options_.tick) {
                     std::lock_guard<std::mutex> lock(progress_mutex);
-                    options_.progress(finished, total,
-                                      sweep.runs[i]);
+                    if (options_.progress)
+                        options_.progress(finished, total,
+                                          sweep.runs[i]);
+                    if (options_.tick) {
+                        SweepTick tick;
+                        tick.done = finished;
+                        tick.total = total;
+                        tick.elapsedNs =
+                            clock.nowNs() - sweep_start_ns;
+                        tick.retries =
+                            retries.load(std::memory_order_relaxed);
+                        options_.tick(tick);
+                    }
                 }
             } else if (policy.mode == FailureMode::FailFast) {
                 // Stop claiming; peers drain their in-flight cells.
@@ -337,6 +375,8 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
             thread.join();
     }
 
+    sweep.wallNs = clock.nowNs() - sweep_start_ns;
+    sweep.peakRssBytes = processPeakRssBytes();
     sweep.stopped = sweepStopRequested() &&
                     sweep.countWith(RunOutcome::Skipped) > 0;
 

@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "core/error.h"
+#include "perf/clock.h"
+#include "perf/host_stats.h"
 #include "sim/fault_injection.h"
 #include "sim/plan.h"
 #include "sim/session.h"
@@ -91,9 +93,25 @@ struct FailurePolicy
 
     /**
      * Sleep before retry attempt k of a cell: backoffMs * 2^(k-1)
-     * milliseconds.  0 disables sleeping (the right value in tests).
+     * milliseconds, slept through SweepOptions::clock.  0 disables
+     * sleeping; tests that want a nonzero schedule inject a
+     * ManualClock and assert the recorded sleeps instead of waiting.
      */
     int backoffMs = 0;
+};
+
+/**
+ * Live-progress snapshot passed to SweepOptions::tick after each
+ * completed cell.  Unlike the plain progress callback it carries
+ * enough to render an ETA line: elapsed host time and the retry
+ * count so far.
+ */
+struct SweepTick
+{
+    std::size_t done = 0;       //!< cells finished (checkpoint incl.)
+    std::size_t total = 0;      //!< cells in the sweep
+    std::uint64_t elapsedNs = 0; //!< wall time since run() started
+    std::uint64_t retries = 0;  //!< retry attempts made so far
 };
 
 /** Options controlling a SweepEngine. */
@@ -116,8 +134,24 @@ struct SweepOptions
                        const RunResult &result)>
         progress;
 
+    /**
+     * Richer progress callback for live status lines: called after
+     * each completed cell (serialized with `progress`, same thread)
+     * with done/total, elapsed wall time and the cumulative retry
+     * count.  Independent of `progress`; either may be unset.
+     */
+    std::function<void(const SweepTick &)> tick;
+
     /** Failure handling (isolation, retries). */
     FailurePolicy failure;
+
+    /**
+     * Time source for retry backoff sleeps and host-stat wall clocks
+     * (perf/clock.h).  Null = systemClock().  Tests inject a
+     * ManualClock so backoff schedules are asserted without real
+     * sleeping.
+     */
+    Clock *clock = nullptr;
 
     /**
      * Fault-injection schedule.  Defaults to FaultPlan::fromEnv(),
@@ -153,6 +187,20 @@ struct SweepResult
      * when statuses[i].outcome == Ok.
      */
     std::vector<RunStatus> statuses;
+
+    /**
+     * Host-side cost of each cell, parallel to `runs` (empty for
+     * hand-assembled results).  Cells resumed from a checkpoint or
+     * never run report zeroed stats.  Nondeterministic by nature;
+     * never serialized into the deterministic report outputs.
+     */
+    std::vector<HostStats> host;
+
+    /** Wall time of the whole sweep (run() entry to exit). */
+    std::uint64_t wallNs = 0;
+
+    /** Process peak RSS sampled when the sweep finished (bytes). */
+    std::uint64_t peakRssBytes = 0;
 
     /** True when a stop request drained the sweep early. */
     bool stopped = false;

@@ -1,8 +1,8 @@
 #include "stats/csv.h"
 
 #include <cmath>
-#include <cstdio>
 
+#include "stats/json.h"
 #include "stats/log.h"
 
 namespace fetchsim
@@ -103,9 +103,10 @@ CsvWriter::field(double number)
 {
     if (!std::isfinite(number))
         panic("CsvWriter: non-finite value");
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", number);
-    rawField(buf);
+    // Shortest round-trippable rendering, shared with the JSON
+    // writer so BENCH/report numbers survive a parse->emit cycle
+    // identically in both formats.
+    rawField(jsonNumber(number));
     return *this;
 }
 

@@ -1,5 +1,6 @@
 #include "stats/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -42,10 +43,16 @@ jsonNumber(double value)
     // panic, since a non-finite statistic is always a simulator bug.
     if (!std::isfinite(value))
         panic("jsonNumber: non-finite value");
+    // std::to_chars emits the shortest decimal string that parses
+    // back to exactly this double (round-trippable, unlike default
+    // operator<< precision, and minimal, unlike %.17g's
+    // 0.10000000000000001-style noise).
     char buf[32];
-    // %.17g round-trips every IEEE-754 double.
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    return buf;
+    const auto result =
+        std::to_chars(buf, buf + sizeof(buf), value);
+    if (result.ec != std::errc())
+        panic("jsonNumber: to_chars failed");
+    return std::string(buf, result.ptr);
 }
 
 JsonWriter::JsonWriter(std::ostream &os, int indent)

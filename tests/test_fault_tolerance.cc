@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "perf/clock.h"
 #include "sim/fault_injection.h"
 #include "sim/plan.h"
 #include "sim/session.h"
@@ -208,6 +209,31 @@ TEST(FaultTolerance, RetryRecoversTransientFault)
     EXPECT_EQ(sweep.statuses[0].outcome, RunOutcome::Ok);
     EXPECT_EQ(sweep.statuses[0].attempts, 3);
     EXPECT_GT(sweep.runs[0].counters.retired, 0u);
+}
+
+TEST(FaultTolerance, RetryBackoffUsesInjectedClockWithoutSleeping)
+{
+    ManualClock clock;
+    SweepOptions options;
+    options.threads = 1;
+    options.failure.mode = FailureMode::KeepGoing;
+    options.failure.maxRetries = 2;
+    options.failure.backoffMs = 100;
+    options.clock = &clock;
+    options.faults.failCell = 0;
+    options.faults.failTimes = 2; // attempts 1 and 2 fail, 3 succeeds
+    options.faults.failKind = ErrorKind::Io;
+
+    SweepEngine engine(testSession(), options);
+    SweepResult sweep = engine.run(smallPlan());
+
+    EXPECT_TRUE(sweep.allOk());
+    EXPECT_EQ(sweep.statuses[0].attempts, 3);
+    // Exponential backoff against the virtual clock: 100ms before
+    // attempt 2, 200ms before attempt 3 -- and no real waiting.
+    const std::vector<std::uint64_t> expected = {100000000ull,
+                                                 200000000ull};
+    EXPECT_EQ(clock.sleeps(), expected);
 }
 
 TEST(FaultTolerance, RetriesExhaustOnPermanentFault)

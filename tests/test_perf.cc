@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Host-telemetry tests: the injectable clock, the scoped profiler
+ * (disabled-mode no-op, nested scopes, sampling, deterministic
+ * thread merge), the Chrome trace-event exporter's schema, the bench
+ * harness statistics and baseline gating, and the round-trippable
+ * double formatting shared by the JSON/CSV emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perf/clock.h"
+#include "perf/host_stats.h"
+#include "perf/profiler.h"
+#include "perf/trace_export.h"
+#include "sim/bench.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
+#include "stats/csv.h"
+#include "stats/json.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+/**
+ * Structural JSON well-formedness: braces and brackets balance
+ * outside string literals, and no string literal is left open.
+ * Enough to catch emitter bugs without a full parser.
+ */
+bool
+balancedJson(const std::string &text)
+{
+    int depth = 0;
+    bool in_string = false;
+    bool escape = false;
+    for (char ch : text) {
+        if (escape) {
+            escape = false;
+            continue;
+        }
+        if (in_string) {
+            if (ch == '\\')
+                escape = true;
+            else if (ch == '"')
+                in_string = false;
+            continue;
+        }
+        if (ch == '"') {
+            in_string = true;
+        } else if (ch == '{' || ch == '[') {
+            ++depth;
+        } else if (ch == '}' || ch == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+/** Profiler state is process-wide; every test leaves it clean. */
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Profiler::setEnabled(false);
+        Profiler::instance().setClock(nullptr);
+        Profiler::instance().drain();
+    }
+
+    void
+    TearDown() override
+    {
+        Profiler::setEnabled(false);
+        Profiler::instance().setClock(nullptr);
+        Profiler::instance().drain();
+    }
+};
+
+// --------------------------------------------------------- Clock
+
+TEST(ManualClockTest, AdvanceMovesTimeWithoutRecordingSleeps)
+{
+    ManualClock clock(1000);
+    EXPECT_EQ(clock.nowNs(), 1000u);
+    clock.advance(500);
+    EXPECT_EQ(clock.nowNs(), 1500u);
+    EXPECT_EQ(clock.sleepCount(), 0u);
+}
+
+TEST(ManualClockTest, SleepAdvancesTimeAndRecords)
+{
+    ManualClock clock;
+    clock.sleepNs(100);
+    clock.sleepNs(200);
+    EXPECT_EQ(clock.nowNs(), 300u);
+    EXPECT_EQ(clock.sleepCount(), 2u);
+    const std::vector<std::uint64_t> expected = {100, 200};
+    EXPECT_EQ(clock.sleeps(), expected);
+}
+
+TEST(ManualClockTest, SystemClockIsMonotonic)
+{
+    Clock &clock = systemClock();
+    const std::uint64_t first = clock.nowNs();
+    const std::uint64_t second = clock.nowNs();
+    EXPECT_GE(second, first);
+}
+
+// ------------------------------------------------------ Profiler
+
+TEST_F(ProfilerTest, DisabledScopesTouchNoBuffers)
+{
+    const std::size_t buffers_before =
+        Profiler::instance().threadBuffers();
+
+    // A fresh thread would have to create a new buffer to record
+    // anything; with the profiler disabled it must not.
+    std::thread worker([] {
+        PERF_SCOPE("disabled.outer");
+        {
+            PERF_SCOPE("disabled.inner");
+        }
+        std::uint64_t counter = 0;
+        PerfSampledScope sampled("disabled.sampled", 2, counter);
+    });
+    worker.join();
+
+    EXPECT_EQ(Profiler::instance().threadBuffers(), buffers_before);
+    EXPECT_TRUE(Profiler::instance().drain().empty());
+}
+
+TEST_F(ProfilerTest, NestedScopesRecordExactTimesUnderManualClock)
+{
+    ManualClock clock(1000);
+    Profiler::instance().setClock(&clock);
+    Profiler::setEnabled(true);
+    {
+        PerfScope outer("outer");
+        clock.advance(100);
+        {
+            PerfScope inner("inner");
+            clock.advance(50);
+        }
+        clock.advance(25);
+    }
+    Profiler::setEnabled(false);
+
+    const std::vector<PerfEvent> events =
+        Profiler::instance().drain();
+    ASSERT_EQ(events.size(), 2u);
+    // drain() orders by startNs: outer (1000) before inner (1100).
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].startNs, 1000u);
+    EXPECT_EQ(events[0].durNs, 175u);
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[1].startNs, 1100u);
+    EXPECT_EQ(events[1].durNs, 50u);
+}
+
+TEST_F(ProfilerTest, ScopeThatStartedDisabledRecordsNothing)
+{
+    ManualClock clock;
+    Profiler::instance().setClock(&clock);
+    {
+        PerfScope scope("late");
+        Profiler::setEnabled(true);
+        clock.advance(10);
+    }
+    Profiler::setEnabled(false);
+    EXPECT_TRUE(Profiler::instance().drain().empty());
+}
+
+TEST_F(ProfilerTest, SampledScopeRecordsOneInEvery)
+{
+    ManualClock clock;
+    Profiler::instance().setClock(&clock);
+    Profiler::setEnabled(true);
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 4; ++i) {
+        PerfSampledScope scope("sampled", 2, counter);
+        clock.advance(5);
+    }
+    Profiler::setEnabled(false);
+
+    const std::vector<PerfEvent> events =
+        Profiler::instance().drain();
+    ASSERT_EQ(events.size(), 2u); // iterations 0 and 2
+    EXPECT_EQ(events[0].startNs, 0u);
+    EXPECT_EQ(events[1].startNs, 10u);
+}
+
+TEST_F(ProfilerTest, DrainMergesThreadsDeterministically)
+{
+    ManualClock clock;
+    Profiler::instance().setClock(&clock);
+    Profiler::setEnabled(true);
+
+    // Sequential threads (join before start) make buffer
+    // registration order -- and therefore tids -- deterministic.
+    std::thread first([&] {
+        Profiler::instance().record("a0", 100, 10);
+        Profiler::instance().record("a1", 300, 10);
+    });
+    first.join();
+    std::thread second([&] {
+        Profiler::instance().record("b0", 200, 10);
+        // Same start as a1: tid breaks the tie.
+        Profiler::instance().record("b1", 300, 10);
+    });
+    second.join();
+    Profiler::setEnabled(false);
+
+    const std::vector<PerfEvent> events =
+        Profiler::instance().drain();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].name, "a0");
+    EXPECT_EQ(events[1].name, "b0");
+    EXPECT_EQ(events[2].name, "a1");
+    EXPECT_EQ(events[3].name, "b1");
+    EXPECT_LT(events[2].tid, events[3].tid);
+
+    // A second drain has nothing left.
+    EXPECT_TRUE(Profiler::instance().drain().empty());
+}
+
+// -------------------------------------------------- Chrome trace
+
+TEST(ChromeTrace, EmitsSchemaWithRebasedMicroseconds)
+{
+    const std::vector<PerfEvent> events = {
+        {"cell 0", 2000, 500, 0, 0},
+        {"fetch.sequential", 2100, 100, 0, 1},
+        {"cell 1", 3000, 400, 1, 0},
+    };
+    std::ostringstream os;
+    writeChromeTrace(os, events, "sweep");
+    const std::string text = os.str();
+
+    EXPECT_TRUE(balancedJson(text));
+    EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+
+    // Process metadata plus one named track per thread.
+    EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"sweep\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"worker-0\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"worker-1\""), std::string::npos);
+
+    // Complete events, timestamps rebased to the earliest (2000ns)
+    // and converted to microseconds.
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ts\":0,\"dur\":0.5"), std::string::npos);
+    EXPECT_NE(text.find("\"ts\":0.1,\"dur\":0.1"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"ts\":1,\"dur\":0.4"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyEventListIsStillValid)
+{
+    std::ostringstream os;
+    writeChromeTrace(os, {});
+    EXPECT_TRUE(balancedJson(os.str()));
+    EXPECT_NE(os.str().find("\"traceEvents\":["), std::string::npos);
+}
+
+// ------------------------------------------------- bench harness
+
+TEST(BenchStats, MedianOfOddEvenAndEmpty)
+{
+    EXPECT_DOUBLE_EQ(medianOf({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(medianOf({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(medianOf({}), 0.0);
+}
+
+TEST(BenchStats, MadIsRobustToOutliers)
+{
+    const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 900.0};
+    const double median = medianOf(values);
+    EXPECT_DOUBLE_EQ(median, 3.0);
+    // Deviations {2, 1, 0, 1, 897} -> median 1: the outlier does
+    // not blow up the spread estimate.
+    EXPECT_DOUBLE_EQ(madOf(values, median), 1.0);
+}
+
+TEST(BenchGrid, IsPinnedTo18UnorderedCells)
+{
+    const std::vector<RunConfig> grid = benchGrid(1234);
+    ASSERT_EQ(grid.size(), 18u);
+    for (const RunConfig &config : grid) {
+        EXPECT_EQ(config.layout, LayoutKind::Unordered);
+        EXPECT_EQ(config.maxRetired, 1234u);
+    }
+    EXPECT_EQ(benchCellId(grid[0]),
+              "eqntott/P14/sequential/unordered");
+    EXPECT_EQ(benchCellId(grid.back()),
+              "gcc/P112/perfect/unordered");
+}
+
+TEST(BenchRegressions, FlagsCellsSlowerThanThreshold)
+{
+    BenchReport report;
+    report.cells.resize(2);
+    report.cells[0].id = "a";
+    report.cells[0].medianCyclesPerSec = 100.0;
+    report.cells[1].id = "b";
+    report.cells[1].medianCyclesPerSec = 100.0;
+
+    // Baseline 25% faster on "a" (a 20% slowdown), matching on "b".
+    const std::map<std::string, double> baseline = {{"a", 125.0},
+                                                    {"b", 100.0}};
+
+    const std::vector<BenchRegression> flagged =
+        findBenchRegressions(report, baseline, 10.0);
+    ASSERT_EQ(flagged.size(), 1u);
+    EXPECT_EQ(flagged[0].id, "a");
+    EXPECT_NEAR(flagged[0].slowdownPct, 20.0, 1e-9);
+
+    // A generous threshold lets the same report pass.
+    EXPECT_TRUE(
+        findBenchRegressions(report, baseline, 25.0).empty());
+}
+
+TEST(BenchRegressions, UnknownCellsAreIgnored)
+{
+    BenchReport report;
+    report.cells.resize(1);
+    report.cells[0].id = "new-cell";
+    report.cells[0].medianCyclesPerSec = 1.0;
+    const std::map<std::string, double> baseline = {
+        {"old-cell", 1000.0}};
+    EXPECT_TRUE(
+        findBenchRegressions(report, baseline, 0.0).empty());
+}
+
+TEST(BenchJson, BaselineRoundTripsThroughTheFile)
+{
+    BenchReport report;
+    report.iterations = 3;
+    report.threads = 1;
+    report.dynInsts = 1000;
+    report.cells.resize(2);
+    report.cells[0].config = benchGrid(1000)[0];
+    report.cells[0].id = "a/b/c/d";
+    report.cells[0].medianCyclesPerSec = 12345678.90123456;
+    report.cells[0].samplesCyclesPerSec = {12345678.90123456};
+    report.cells[1].config = benchGrid(1000)[1];
+    report.cells[1].id = "e/f/g/h";
+    report.cells[1].medianCyclesPerSec = 0.1;
+    report.cells[1].samplesCyclesPerSec = {0.1};
+
+    const std::string path =
+        ::testing::TempDir() + "fetchsim_bench_roundtrip.json";
+    {
+        std::ofstream os(path, std::ios::binary);
+        ASSERT_TRUE(os.is_open());
+        writeBenchJson(os, report);
+    }
+    std::ifstream is(path);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    EXPECT_TRUE(balancedJson(buffer.str()));
+    EXPECT_NE(buffer.str().find("\"schema\": \"fetchsim-bench-v1\""),
+              std::string::npos);
+
+    auto baseline = loadBenchBaseline(path);
+    ASSERT_TRUE(baseline.ok());
+    ASSERT_EQ(baseline.value().size(), 2u);
+    EXPECT_DOUBLE_EQ(baseline.value().at("a/b/c/d"),
+                     12345678.90123456);
+    EXPECT_DOUBLE_EQ(baseline.value().at("e/f/g/h"), 0.1);
+    std::remove(path.c_str());
+}
+
+TEST(BenchJson, MissingBaselineIsAnIoError)
+{
+    auto baseline =
+        loadBenchBaseline("/nonexistent/BENCH_baseline.json");
+    ASSERT_FALSE(baseline.ok());
+    EXPECT_EQ(baseline.error().kind, ErrorKind::Io);
+}
+
+TEST(BenchRun, SmokeModeProducesAStructurallyCompleteReport)
+{
+    Session session;
+    BenchOptions options;
+    options.smoke = true;
+    options.iterations = 7; // ignored in smoke mode
+    std::vector<std::pair<int, int>> progress;
+    options.progress = [&](int iteration, int total) {
+        progress.emplace_back(iteration, total);
+    };
+
+    const BenchReport report = runBench(session, options);
+    EXPECT_EQ(report.iterations, 1);
+    EXPECT_EQ(report.dynInsts, kBenchSmokeInsts);
+    ASSERT_EQ(report.cells.size(), 18u);
+    for (const BenchCellStats &cell : report.cells) {
+        EXPECT_EQ(cell.id, benchCellId(cell.config));
+        ASSERT_EQ(cell.samplesCyclesPerSec.size(), 1u);
+        EXPECT_GT(cell.medianCyclesPerSec, 0.0) << cell.id;
+        EXPECT_GT(cell.medianWallNs, 0u) << cell.id;
+    }
+    ASSERT_EQ(progress.size(), 1u);
+    EXPECT_EQ(progress[0], std::make_pair(1, 1));
+    EXPECT_GT(report.totalWallNs, 0u);
+    EXPECT_GT(report.peakRssBytes, 0u);
+}
+
+// ------------------------------------------- sweep host telemetry
+
+TEST(SweepHostStats, CellsCarryHostCountersAndTicksFire)
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"eqntott", "compress"})
+        .machine(MachineModel::P14)
+        .schemes({SchemeKind::Sequential})
+        .maxRetired(2000);
+
+    std::vector<SweepTick> ticks;
+    SweepOptions options;
+    options.threads = 1;
+    options.tick = [&](const SweepTick &tick) {
+        ticks.push_back(tick);
+    };
+
+    Session session;
+    SweepEngine engine(session, options);
+    const SweepResult sweep = engine.run(plan);
+
+    ASSERT_TRUE(sweep.allOk());
+    ASSERT_EQ(sweep.host.size(), sweep.runs.size());
+    for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
+        EXPECT_GT(sweep.host[i].wallNs, 0u) << i;
+        EXPECT_EQ(sweep.host[i].simCycles,
+                  sweep.runs[i].counters.cycles)
+            << i;
+        EXPECT_EQ(sweep.host[i].retired,
+                  sweep.runs[i].counters.retired)
+            << i;
+        EXPECT_GT(sweep.host[i].cyclesPerSec(), 0.0) << i;
+    }
+    EXPECT_GT(sweep.wallNs, 0u);
+    EXPECT_GT(sweep.peakRssBytes, 0u);
+
+    ASSERT_EQ(ticks.size(), sweep.runs.size());
+    for (std::size_t i = 0; i < ticks.size(); ++i) {
+        EXPECT_EQ(ticks[i].done, i + 1);
+        EXPECT_EQ(ticks[i].total, sweep.runs.size());
+        EXPECT_EQ(ticks[i].retries, 0u);
+    }
+}
+
+TEST(SweepHostStats, ZeroWallTimeYieldsZeroRates)
+{
+    HostStats host;
+    host.simCycles = 1000;
+    host.retired = 1000;
+    EXPECT_DOUBLE_EQ(host.cyclesPerSec(), 0.0);
+    EXPECT_DOUBLE_EQ(host.instsPerSec(), 0.0);
+}
+
+// --------------------------------- round-trippable double output
+
+TEST(NumberFormat, JsonNumberIsShortestRoundTrip)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(0.1), "0.1");
+    EXPECT_EQ(jsonNumber(2.5), "2.5");
+    for (const double value :
+         {1.0 / 3.0, 12345678.90123456, 1e-300, 0.875}) {
+        const std::string text = jsonNumber(value);
+        EXPECT_EQ(std::strtod(text.c_str(), nullptr), value)
+            << text;
+    }
+}
+
+TEST(NumberFormat, CsvDoublesMatchTheJsonRendering)
+{
+    std::ostringstream os;
+    {
+        CsvWriter csv(os);
+        csv.header({"a", "b"});
+        csv.field(0.1).field(1.0 / 3.0).endRow();
+    }
+    EXPECT_EQ(os.str(), "a,b\n0.1," + jsonNumber(1.0 / 3.0) + "\n");
+}
+
+} // namespace
+} // namespace fetchsim
