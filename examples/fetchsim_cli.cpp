@@ -15,6 +15,7 @@
  *   fetchsim_cli report [--out docs/RESULTS.md] [--insts N]
  *                       [--threads N] [--fail-fast|--keep-going]
  *                       [--retry N] [--checkpoint FILE] [--resume]
+ *                       [--replay off|mem|disk]
  *                       [--trace-out trace.json]
  *   fetchsim_cli sweep  [--benchmarks gcc,compress|int|fp|all]
  *                       [--machines P14,P112|all]
@@ -23,17 +24,30 @@
  *                       [--insts N] [--threads N]
  *                       [--fail-fast|--keep-going] [--retry N]
  *                       [--checkpoint FILE] [--resume]
+ *                       [--replay off|mem|disk]
  *                       [--json out.json] [--csv out.csv]
  *                       [--trace-out trace.json]
  *   fetchsim_cli bench  [--iterations N] [--threads N] [--insts N]
  *                       [--out BENCH_sweep.json] [--smoke]
  *                       [--baseline FILE] [--max-regress PCT]
+ *                       [--replay off|mem|disk]
  *                       [--trace-out trace.json]
  *   fetchsim_cli record --benchmark gcc --out gcc.trace [--insts N]
  *                       [--layout reordered]
  *   fetchsim_cli replay --trace gcc.trace --machine P112
  *                       --scheme banked [--insts N]
  *   fetchsim_cli list
+ *   fetchsim_cli help
+ *
+ * `--replay` selects the shared dynamic-trace replay cache
+ * (docs/TRACES.md): under `mem` or `disk` the first run for each
+ * (benchmark, layout, block, input, budget) key records the dynamic
+ * stream once and every other cell replays the recording instead of
+ * re-executing the CFG.  Results are bit-identical in every mode;
+ * only host throughput changes.  `--replay-budget-mb` caps the cache
+ * size (over-budget keys fall back to live execution) and
+ * `--replay-dir` picks the spill directory for `disk` (default: a
+ * private temp directory, cleaned up on exit).
  *
  * Host telemetry (src/perf): `--trace-out FILE` profiles the
  * simulator itself during a sweep/report/bench and writes a Chrome
@@ -273,6 +287,49 @@ parseFailurePolicy(const std::map<std::string, std::string> &args)
 }
 
 /**
+ * The replay-cache request from --replay / --replay-budget-mb /
+ * --replay-dir (off by default).
+ */
+ReplayOptions
+parseReplayOptions(const std::map<std::string, std::string> &args)
+{
+    ReplayOptions replay;
+    replay.policy =
+        parseReplayPolicy(getOr(args, "replay", "off")).value();
+    const std::string budget_mb =
+        getOr(args, "replay-budget-mb", "0");
+    const double mb = std::strtod(budget_mb.c_str(), nullptr);
+    if (mb < 0)
+        throw UsageError(
+            "--replay-budget-mb wants a non-negative size, got " +
+            budget_mb);
+    replay.budgetBytes =
+        static_cast<std::uint64_t>(mb * 1024.0 * 1024.0);
+    replay.spillDir = getOr(args, "replay-dir", "");
+    return replay;
+}
+
+/** One-line replay-cache summary on stderr (non-Off policies only). */
+void
+printReplayStats(const Session &session, const ReplayOptions &replay)
+{
+    if (replay.policy == ReplayPolicy::Off)
+        return;
+    const ReplayStats stats = session.replayStats();
+    std::fprintf(stderr,
+                 "replay(%s): %llu hits, %llu misses, %llu live "
+                 "fallbacks, %llu insts recorded, %.1f MB cached\n",
+                 replayPolicyName(replay.policy),
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses),
+                 static_cast<unsigned long long>(stats.fallbacks),
+                 static_cast<unsigned long long>(stats.recordedInsts),
+                 static_cast<double>(stats.bytesInMemory +
+                                     stats.bytesSpilled) /
+                     (1024.0 * 1024.0));
+}
+
+/**
  * Turn host profiling on when --trace-out FILE was requested and
  * return the file path ("" when the flag is absent).
  */
@@ -473,6 +530,7 @@ cmdReport(const std::map<std::string, std::string> &args)
     options.resume = args.count("resume") > 0;
     if (options.resume && options.checkpointPath.empty())
         throw UsageError("--resume requires --checkpoint FILE");
+    options.replay = parseReplayOptions(args);
     if (isatty(STDERR_FILENO)) {
         options.progress = [](std::size_t done, std::size_t total) {
             std::fprintf(stderr, "\r  [%zu/%zu runs]%s", done, total,
@@ -487,6 +545,7 @@ cmdReport(const std::map<std::string, std::string> &args)
     const std::string report =
         generateReproReport(session, options, &grid);
     endHostTrace(host_trace);
+    printReplayStats(session, options.replay);
     const int failure_exit = reportSweepFailures(grid);
 
     const std::string out = getOr(args, "out", "");
@@ -555,6 +614,7 @@ cmdSweep(const std::map<std::string, std::string> &args)
     options.resume = args.count("resume") > 0;
     if (options.resume && options.checkpointPath.empty())
         throw UsageError("--resume requires --checkpoint FILE");
+    options.replay = parseReplayOptions(args);
     attachSweepProgress(options);
 
     const std::string host_trace = beginHostTrace(args);
@@ -567,6 +627,7 @@ cmdSweep(const std::map<std::string, std::string> &args)
     endHostTrace(host_trace);
     std::cerr << "sweep wall " << sweep.wallNs / 1e9 << " s, peak RSS "
               << sweep.peakRssBytes / (1024.0 * 1024.0) << " MB\n";
+    printReplayStats(session, options.replay);
     const int failure_exit = reportSweepFailures(sweep);
 
     bool wrote = false;
@@ -637,6 +698,7 @@ cmdBench(const std::map<std::string, std::string> &args)
     options.dynInsts = std::strtoull(
         getOr(args, "insts", "0").c_str(), nullptr, 10);
     options.smoke = args.count("smoke") > 0;
+    options.replay = parseReplayOptions(args);
     if (isatty(STDERR_FILENO)) {
         options.progress = [](int iteration, int total) {
             std::fprintf(stderr, "\r  [%d/%d iterations]%s", iteration,
@@ -650,6 +712,7 @@ cmdBench(const std::map<std::string, std::string> &args)
     Session session;
     const BenchReport report = runBench(session, options);
     endHostTrace(host_trace);
+    printReplayStats(session, options.replay);
 
     const std::string out = getOr(args, "out", "BENCH_sweep.json");
     std::ofstream os(out, std::ios::binary);
@@ -721,9 +784,106 @@ cmdRecord(const std::map<std::string, std::string> &args)
     const Workload &workload = session.workload(name, layout, 16);
     Executor exec(workload, kEvalInput);
     const std::uint64_t written = recordTrace(exec, out, insts);
+    TraceReader reader(out);
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(reader.contentHash()));
     std::cout << "recorded " << written << " instructions of " << name
               << " (" << layoutName(layout) << " layout) to " << out
-              << "\n";
+              << "\n"
+              << "FSTR v" << reader.version() << ", content hash "
+              << hash << "\n";
+    return 0;
+}
+
+int
+cmdHelp()
+{
+    // The single authoritative flag reference.  The docs-freshness
+    // check (scripts/check_docs_fresh.sh) extracts every --flag token
+    // printed here and fails when one is missing from README.md, so
+    // adding a flag without documenting it breaks CI.
+    std::cout <<
+        "fetchsim_cli -- trace-driven fetch-mechanism simulator\n"
+        "\n"
+        "commands:\n"
+        "  list    print benchmarks, machines, schemes, layouts\n"
+        "  run     simulate one configuration\n"
+        "  sweep   run a configuration grid in parallel\n"
+        "  report  regenerate docs/RESULTS.md from the paper grid\n"
+        "  bench   host-performance regression harness\n"
+        "  record  write a dynamic trace to an FSTR file\n"
+        "  replay  run a processor from a recorded FSTR file\n"
+        "  help    this flag reference\n"
+        "\n"
+        "run:\n"
+        "  --benchmark NAME    workload (default eqntott)\n"
+        "  --machine M         P14|P18|P112 (default P112)\n"
+        "  --scheme S          sequential|collapsing|perfect|...\n"
+        "  --layout L          unordered|dfs|pad_trace|pad_all\n"
+        "  --predictor P       btb|always|never|perfect\n"
+        "  --ras               enable the return-address stack\n"
+        "  --insts N           retired-instruction budget\n"
+        "  --spec-depth N      speculative-fetch depth override\n"
+        "  --btb N             BTB entry-count override\n"
+        "  --metrics           dump the metric registry\n"
+        "  --trace FILE        write a per-cycle pipeline trace\n"
+        "  --json [FILE]       machine-readable run output\n"
+        "\n"
+        "sweep (also accepts the shared flags below):\n"
+        "  --benchmarks LIST   e.g. int|fp|all|eqntott,gcc\n"
+        "  --machines LIST     e.g. all|P14,P112\n"
+        "  --schemes LIST      e.g. all|sequential,collapsing\n"
+        "  --layouts LIST      e.g. unordered,pad_all\n"
+        "  --insts N           per-run budget override\n"
+        "  --json [FILE]       per-run JSON (stdout when no FILE)\n"
+        "  --csv FILE          per-run CSV\n"
+        "\n"
+        "report:\n"
+        "  --out FILE          write the Markdown report here\n"
+        "  --insts N           per-run budget (0 = default)\n"
+        "\n"
+        "bench:\n"
+        "  --iterations N      measured grid repetitions (default 5)\n"
+        "  --insts N           per-run budget (0 = default)\n"
+        "  --out FILE          BENCH JSON path (default "
+        "BENCH_sweep.json)\n"
+        "  --smoke             one tiny schema-validation iteration\n"
+        "  --baseline FILE     compare against a committed BENCH "
+        "JSON\n"
+        "  --max-regress PCT   allowed slowdown vs baseline "
+        "(default 10)\n"
+        "\n"
+        "record:\n"
+        "  --benchmark NAME    workload to execute (default eqntott)\n"
+        "  --layout L          code layout (default unordered)\n"
+        "  --insts N           instructions to record\n"
+        "  --out FILE          FSTR output path\n"
+        "\n"
+        "replay:\n"
+        "  --trace FILE        FSTR file to replay (required)\n"
+        "  --machine M         machine model (default P112)\n"
+        "  --scheme S          fetch scheme (default collapsing)\n"
+        "  --insts N           instructions to replay (0 = all)\n"
+        "\n"
+        "shared by sweep, report and bench:\n"
+        "  --threads N         worker threads (0 = auto)\n"
+        "  --fail-fast         stop the sweep at the first failure\n"
+        "  --keep-going        record failures, keep sweeping\n"
+        "  --retry N           per-cell retry attempts\n"
+        "  --retry-backoff-ms MS  base backoff between retries\n"
+        "  --checkpoint FILE   JSONL cell journal\n"
+        "  --resume            reload journaled cells (needs "
+        "--checkpoint)\n"
+        "  --replay MODE       off|mem|disk dynamic-trace replay "
+        "cache\n"
+        "  --replay-budget-mb MB  cap on cached trace bytes (0 = "
+        "unlimited)\n"
+        "  --replay-dir DIR    spill directory for --replay disk\n"
+        "  --trace-out FILE    host-side Chrome trace of the sweep\n"
+        "\n"
+        "See docs/TRACES.md for the record/replay workflow and\n"
+        "EXPERIMENTS.md for the paper-figure invocations.\n";
     return 0;
 }
 
@@ -778,8 +938,9 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cout << "usage: fetchsim_cli {run|sweep|report|bench|"
-                     "record|replay|list} [--option value ...]\n"
-                     "(see the file header for full usage)\n";
+                     "record|replay|list|help} [--option value ...]\n"
+                     "(run `fetchsim_cli help` for the flag "
+                     "reference)\n";
         return kExitUsage;
     }
     const std::string command = argv[1];
@@ -787,6 +948,8 @@ main(int argc, char **argv)
         auto args = parseArgs(argc, argv, 2);
         if (command == "list")
             return cmdList();
+        if (command == "help")
+            return cmdHelp();
         if (command == "run")
             return cmdRun(args);
         if (command == "sweep")

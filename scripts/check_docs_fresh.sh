@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Regenerate docs/RESULTS.md into a temp directory and diff it against
-# the checked-in copy.  Fails (exit 1) when the document is stale,
-# i.e. when simulator behaviour changed without `fetchsim_cli report`
-# being re-run.  Wired into ctest as `docs_fresh`.
+# Two freshness gates, wired into ctest as `docs_fresh`:
+#
+#  1. Regenerate docs/RESULTS.md into a temp directory and diff it
+#     against the checked-in copy.  Fails (exit 1) when the document
+#     is stale, i.e. when simulator behaviour changed without
+#     `fetchsim_cli report` being re-run.
+#
+#  2. Extract every --flag token from `fetchsim_cli help` and fail
+#     when any is missing from README.md's flag documentation -- a
+#     flag added to the CLI without being documented breaks the test.
 #
 # Usage: check_docs_fresh.sh <fetchsim_cli> <repo_root>
 set -euo pipefail
@@ -42,3 +48,27 @@ EOF
     exit 1
 fi
 echo "docs/RESULTS.md is fresh"
+
+# Gate 2: CLI flags vs README.  `fetchsim_cli help` is the single
+# authoritative flag reference; every flag it prints must appear in
+# README.md so the documentation can never silently lag the binary.
+readme="$repo/README.md"
+[ -f "$readme" ] || { echo "missing: $readme" >&2; exit 2; }
+"$cli" help > "$tmpdir/help.txt"
+missing=0
+while IFS= read -r flag; do
+    if ! grep -qF -- "$flag" "$readme"; then
+        echo "README.md does not document CLI flag: $flag" >&2
+        missing=1
+    fi
+done < <(grep -oE -- '--[a-z][a-z-]*' "$tmpdir/help.txt" | sort -u)
+if [ "$missing" -ne 0 ]; then
+    cat >&2 <<EOF
+
+\`fetchsim_cli help\` advertises flags that README.md does not
+mention.  Add them to the flag table in README.md (and to
+docs/TRACES.md when replay-related) alongside your change.
+EOF
+    exit 1
+fi
+echo "README.md documents every CLI flag"

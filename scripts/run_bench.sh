@@ -16,6 +16,8 @@
 #                      the repo root)
 #   --smoke            one iteration at a tiny budget -- schema/CI
 #                      validation only, numbers are meaningless
+#   --replay MODE      dynamic-trace replay cache: off|mem|disk
+#                      (default off; see docs/TRACES.md)
 #   --rebaseline       copy this run's output over the baseline file
 #
 # The CLI binary is taken from $FETCHSIM_CLI when set, else
@@ -35,6 +37,7 @@ baseline="$repo/bench/BENCH_baseline.json"
 threshold=10
 iterations=5
 out="$repo/BENCH_sweep.json"
+replay=off
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -44,6 +47,7 @@ while [ $# -gt 0 ]; do
       --iterations) iterations=${2:?--iterations wants a count}; shift ;;
       --out) out=${2:?--out wants a file}; shift ;;
       --smoke) smoke=1 ;;
+      --replay) replay=${2:?--replay wants off|mem|disk}; shift ;;
       --rebaseline) rebaseline=1 ;;
       *) echo "run_bench.sh: unknown option: $1" >&2; exit 2 ;;
     esac
@@ -56,7 +60,7 @@ done
     exit 2
 }
 
-args=(bench --out "$out" --iterations "$iterations")
+args=(bench --out "$out" --iterations "$iterations" --replay "$replay")
 [ "$smoke" -eq 1 ] && args+=(--smoke)
 # --rebaseline replaces the baseline, so comparing against the old
 # one would be meaningless; it wins over --check.

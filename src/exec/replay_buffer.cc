@@ -1,0 +1,72 @@
+#include "exec/replay_buffer.h"
+
+namespace fetchsim
+{
+
+void
+DynTrace::reserve(std::size_t n)
+{
+    pc_.reserve(n);
+    target_.reserve(n);
+    imm_.reserve(n);
+    op_.reserve(n);
+    dest_.reserve(n);
+    src1_.reserve(n);
+    src2_.reserve(n);
+    taken_.reserve(n);
+}
+
+void
+DynTrace::append(const DynInst &di)
+{
+    pc_.push_back(di.pc);
+    target_.push_back(di.actualTarget);
+    imm_.push_back(di.si.imm);
+    op_.push_back(static_cast<std::uint8_t>(di.si.op));
+    dest_.push_back(di.si.dest);
+    src1_.push_back(di.si.src1);
+    src2_.push_back(di.si.src2);
+    taken_.push_back(di.taken ? 1 : 0);
+    hash_ = traceRecordHash(hash_, di);
+}
+
+void
+DynTrace::get(std::size_t i, DynInst &out) const
+{
+    out = DynInst{};
+    out.pc = pc_[i];
+    out.seq = i;
+    out.si.op = static_cast<OpClass>(op_[i]);
+    out.si.dest = dest_[i];
+    out.si.src1 = src1_[i];
+    out.si.src2 = src2_[i];
+    out.si.imm = imm_[i];
+    out.taken = taken_[i] != 0;
+    out.actualTarget = target_[i];
+}
+
+bool
+TraceReplaySource::next(DynInst &out)
+{
+    if (consumed_ >= trace_->size())
+        return false;
+    trace_->get(consumed_, out);
+    ++consumed_;
+    return true;
+}
+
+DynTrace
+recordStream(InstSource &source, std::uint64_t num_insts)
+{
+    DynTrace trace;
+    trace.reserve(num_insts);
+    DynInst di;
+    for (std::uint64_t i = 0; i < num_insts; ++i) {
+        if (!source.next(di))
+            break;
+        trace.append(di);
+    }
+    return trace;
+}
+
+} // namespace fetchsim

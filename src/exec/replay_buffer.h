@@ -1,0 +1,116 @@
+/**
+ * @file
+ * In-memory dynamic-trace replay: a compact structure-of-arrays
+ * recording of an instruction stream plus an InstSource that replays
+ * it.
+ *
+ * This is the RAM twin of the FSTR trace file (exec/trace_file.h): a
+ * stream recorded once -- typically by the Session replay cache --
+ * can be replayed through any number of Processor instances, on any
+ * number of threads, without re-walking the CFG through the Executor.
+ * The buffer stores 25 bytes per instruction (vs 32 on disk and ~56
+ * for a vector<DynInst>), and its content hash uses the same
+ * canonical record hash as FSTR v2, so an in-memory trace and its
+ * spilled file twin hash identically.
+ *
+ * Thread safety: a DynTrace is immutable once recorded; any number of
+ * TraceReplaySource instances (one per concurrent run) may read it
+ * simultaneously.  BlockIds are not preserved (replayed DynInsts
+ * carry kNoBlock, exactly like file traces) -- the processor and
+ * fetch layers never read them, which is what makes replayed runs
+ * counter-identical to live ones (asserted by test_replay).
+ */
+
+#ifndef FETCHSIM_EXEC_REPLAY_BUFFER_H_
+#define FETCHSIM_EXEC_REPLAY_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/inst_source.h"
+#include "exec/trace_file.h"
+
+namespace fetchsim
+{
+
+/**
+ * A recorded dynamic instruction stream in structure-of-arrays form.
+ */
+class DynTrace
+{
+  public:
+    /** Logical bytes per recorded instruction (the SoA row width). */
+    static constexpr std::uint64_t kBytesPerInst = 25;
+
+    /** Pre-size the arrays for @p n instructions. */
+    void reserve(std::size_t n);
+
+    /** Append one instruction (recording side; not thread-safe). */
+    void append(const DynInst &di);
+
+    /** Recorded instruction count. */
+    std::size_t size() const { return pc_.size(); }
+
+    /** Approximate heap footprint of the recording. */
+    std::uint64_t bytes() const { return size() * kBytesPerInst; }
+
+    /**
+     * FNV-1a content hash over the canonical record bytes -- equal to
+     * the FSTR v2 header hash of the same stream.
+     */
+    std::uint64_t contentHash() const { return hash_; }
+
+    /** Materialize instruction @p i (seq = i, block = kNoBlock). */
+    void get(std::size_t i, DynInst &out) const;
+
+  private:
+    std::vector<std::uint64_t> pc_;
+    std::vector<std::uint64_t> target_;
+    std::vector<std::int32_t> imm_;
+    std::vector<std::uint8_t> op_;
+    std::vector<std::uint8_t> dest_;
+    std::vector<std::uint8_t> src1_;
+    std::vector<std::uint8_t> src2_;
+    std::vector<std::uint8_t> taken_;
+    std::uint64_t hash_ = kTraceHashOffset;
+};
+
+/**
+ * Replays a DynTrace as a bounded InstSource.  Each concurrent run
+ * gets its own source (the cursor is the only mutable state); the
+ * shared trace is read-only.
+ */
+class TraceReplaySource : public InstSource
+{
+  public:
+    /** @param trace recording to replay (must outlive this source) */
+    explicit TraceReplaySource(const DynTrace &trace)
+        : trace_(&trace)
+    {
+    }
+
+    bool next(DynInst &out) override;
+
+    /** Total instructions in the backing trace. */
+    std::uint64_t count() const { return trace_->size(); }
+
+    /** Instructions consumed so far. */
+    std::uint64_t consumed() const { return consumed_; }
+
+    /** Rewind to the first instruction. */
+    void rewind() { consumed_ = 0; }
+
+  private:
+    const DynTrace *trace_;
+    std::uint64_t consumed_ = 0;
+};
+
+/**
+ * Record @p num_insts instructions of @p source into a fresh
+ * DynTrace (fewer if the source ends early).
+ */
+DynTrace recordStream(InstSource &source, std::uint64_t num_insts);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_EXEC_REPLAY_BUFFER_H_

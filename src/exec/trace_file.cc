@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/error.h"
 #include "stats/log.h"
 
 namespace fetchsim
@@ -25,29 +26,73 @@ struct TraceRecord
 };
 static_assert(sizeof(TraceRecord) == 32, "stable trace record size");
 
-struct TraceHeader
+/** The version-1 header (no content hash). */
+struct TraceHeaderV1
 {
     std::uint32_t magic;
     std::uint32_t version;
     std::uint64_t count;
 };
-static_assert(sizeof(TraceHeader) == 16, "stable trace header size");
+static_assert(sizeof(TraceHeaderV1) == 16, "stable v1 header size");
+
+/** The version-2 header: v1 plus the FNV-1a content hash. */
+struct TraceHeaderV2
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+    std::uint64_t contentHash;
+};
+static_assert(sizeof(TraceHeaderV2) == 24, "stable v2 header size");
+
+[[noreturn]] void
+throwIo(const std::string &message, const std::string &path)
+{
+    throw SimException(ErrorKind::Io, message, "trace=" + path);
+}
 
 } // anonymous namespace
 
-TraceWriter::TraceWriter(const std::string &path)
+std::uint64_t
+traceRecordHash(std::uint64_t hash, const DynInst &di)
+{
+    const std::uint64_t pc = di.pc;
+    const std::uint64_t target = di.actualTarget;
+    const std::uint8_t small[4] = {
+        static_cast<std::uint8_t>(di.si.op), di.si.dest, di.si.src1,
+        di.si.src2};
+    const std::int32_t imm = di.si.imm;
+    const std::uint8_t taken = di.taken ? 1 : 0;
+    hash = traceHashBytes(hash, &pc, sizeof(pc));
+    hash = traceHashBytes(hash, &target, sizeof(target));
+    hash = traceHashBytes(hash, small, sizeof(small));
+    hash = traceHashBytes(hash, &imm, sizeof(imm));
+    hash = traceHashBytes(hash, &taken, sizeof(taken));
+    return hash;
+}
+
+TraceWriter::TraceWriter(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
-        fatal("TraceWriter: cannot open " + path);
-    TraceHeader header{kTraceMagic, kTraceVersion, 0};
-    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
-        fatal("TraceWriter: header write failed");
+        throwIo("TraceWriter: cannot open " + path, path);
+    TraceHeaderV2 header{kTraceMagic, kTraceVersion, 0, 0};
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throwIo("TraceWriter: header write failed", path);
+    }
 }
 
 TraceWriter::~TraceWriter()
 {
-    close();
+    // Destruction must not throw; a close() failure here leaves a
+    // file whose header still says count 0, which readers reject.
+    try {
+        close();
+    } catch (const SimException &e) {
+        warn(std::string("TraceWriter: ") + e.what());
+    }
 }
 
 void
@@ -64,7 +109,8 @@ TraceWriter::append(const DynInst &di)
     record.imm = di.si.imm;
     record.taken = di.taken ? 1 : 0;
     if (std::fwrite(&record, sizeof(record), 1, file_) != 1)
-        fatal("TraceWriter: record write failed");
+        throwIo("TraceWriter: record write failed", path_);
+    hash_ = traceRecordHash(hash_, di);
     ++count_;
 }
 
@@ -73,28 +119,51 @@ TraceWriter::close()
 {
     if (!file_)
         return;
-    // Patch the record count into the header.
-    TraceHeader header{kTraceMagic, kTraceVersion, count_};
-    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
-        std::fwrite(&header, sizeof(header), 1, file_) != 1)
-        fatal("TraceWriter: header finalize failed");
+    // Patch the record count and content hash into the header.
+    TraceHeaderV2 header{kTraceMagic, kTraceVersion, count_, hash_};
+    const bool ok = std::fseek(file_, 0, SEEK_SET) == 0 &&
+                    std::fwrite(&header, sizeof(header), 1, file_) == 1;
     std::fclose(file_);
     file_ = nullptr;
+    if (!ok)
+        throwIo("TraceWriter: header finalize failed", path_);
 }
 
-TraceReader::TraceReader(const std::string &path)
+TraceReader::TraceReader(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "rb");
     if (!file_)
-        fatal("TraceReader: cannot open " + path);
-    TraceHeader header{};
-    if (std::fread(&header, sizeof(header), 1, file_) != 1)
-        fatal("TraceReader: header read failed");
-    if (header.magic != kTraceMagic)
-        fatal("TraceReader: not a fetchsim trace: " + path);
-    if (header.version != kTraceVersion)
-        fatal("TraceReader: unsupported trace version");
-    count_ = header.count;
+        throwIo("TraceReader: cannot open " + path, path);
+    TraceHeaderV1 head{};
+    if (std::fread(&head, sizeof(head), 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throwIo("TraceReader: header read failed", path);
+    }
+    if (head.magic != kTraceMagic) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throwIo("TraceReader: not a fetchsim trace: " + path, path);
+    }
+    version_ = head.version;
+    count_ = head.count;
+    if (version_ == 1) {
+        data_offset_ = sizeof(TraceHeaderV1);
+    } else if (version_ == kTraceVersion) {
+        if (std::fread(&header_hash_, sizeof(header_hash_), 1,
+                       file_) != 1) {
+            std::fclose(file_);
+            file_ = nullptr;
+            throwIo("TraceReader: truncated v2 header", path);
+        }
+        data_offset_ = sizeof(TraceHeaderV2);
+    } else {
+        std::fclose(file_);
+        file_ = nullptr;
+        throwIo("TraceReader: unsupported trace version " +
+                    std::to_string(head.version),
+                path);
+    }
 }
 
 TraceReader::~TraceReader()
@@ -110,9 +179,9 @@ TraceReader::next(DynInst &out)
         return false;
     TraceRecord record{};
     if (std::fread(&record, sizeof(record), 1, file_) != 1)
-        fatal("TraceReader: truncated trace");
+        throwIo("TraceReader: truncated trace", path_);
     if (record.op >= static_cast<std::uint8_t>(OpClass::NumOpClasses))
-        fatal("TraceReader: corrupt record (bad op class)");
+        throwIo("TraceReader: corrupt record (bad op class)", path_);
     out = DynInst{};
     out.pc = record.pc;
     out.seq = consumed_;
@@ -124,6 +193,11 @@ TraceReader::next(DynInst &out)
     out.taken = record.taken != 0;
     out.actualTarget = record.target;
     ++consumed_;
+    running_hash_ = traceRecordHash(running_hash_, out);
+    if (consumed_ == count_ && version_ >= 2 &&
+        running_hash_ != header_hash_)
+        throwIo("TraceReader: content hash mismatch (corrupt trace)",
+                path_);
     return true;
 }
 
@@ -131,9 +205,10 @@ void
 TraceReader::rewind()
 {
     simAssert(file_ != nullptr, "reader open");
-    if (std::fseek(file_, sizeof(TraceHeader), SEEK_SET) != 0)
-        fatal("TraceReader: rewind failed");
+    if (std::fseek(file_, data_offset_, SEEK_SET) != 0)
+        throwIo("TraceReader: rewind failed", path_);
     consumed_ = 0;
+    running_hash_ = kTraceHashOffset;
 }
 
 std::uint64_t

@@ -8,13 +8,24 @@
  * and replay it through the Processor later (or on another machine),
  * with no dependence on the workload generator.
  *
- * Format (little-endian, fixed-width):
- *   header : magic "FSTR" | u32 version | u64 record count
+ * Format v2 (little-endian, fixed-width; see docs/TRACES.md for the
+ * full layout tables):
+ *   header : magic "FSTR" | u32 version | u64 record count |
+ *            u64 content hash                         (24 bytes)
  *   record : u64 pc | u64 actualTarget | u8 op | u8 dest | u8 src1 |
- *            u8 src2 | i32 imm | u8 taken | u8[3] pad   (32 bytes)
+ *            u8 src2 | i32 imm | u8 taken | u8[7] pad (32 bytes)
+ *
+ * The content hash is FNV-1a over the canonical field bytes of every
+ * record (traceRecordHash), so a truncated or bit-flipped file is
+ * detected when the last record is consumed.  Version-1 files (the
+ * 16-byte header without the hash) are still readable; writing always
+ * produces v2.
  *
  * Sequence numbers are implicit (record order); BlockIds are not
  * preserved (traces are program-agnostic, exactly like spike's).
+ *
+ * All I/O failures throw SimException(ErrorKind::Io) so a sweep's
+ * isolation boundary can record them per cell instead of dying.
  */
 
 #ifndef FETCHSIM_EXEC_TRACE_FILE_H_
@@ -29,24 +40,50 @@
 namespace fetchsim
 {
 
-/** Trace-file magic and version. */
+/** Trace-file magic and current (written) version. */
 constexpr std::uint32_t kTraceMagic = 0x52545346; // "FSTR"
-constexpr std::uint32_t kTraceVersion = 1;
+constexpr std::uint32_t kTraceVersion = 2;
+
+/** FNV-1a 64-bit parameters (shared with the in-memory DynTrace). */
+constexpr std::uint64_t kTraceHashOffset = 1469598103934665603ull;
+constexpr std::uint64_t kTraceHashPrime = 1099511628211ull;
+
+/** Fold @p len raw bytes into an FNV-1a running hash. */
+inline std::uint64_t
+traceHashBytes(std::uint64_t hash, const void *data, std::size_t len)
+{
+    const unsigned char *bytes =
+        static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= kTraceHashPrime;
+    }
+    return hash;
+}
 
 /**
- * Streams dynamic instructions into a trace file.
+ * Fold one dynamic instruction into a running content hash.  The
+ * canonical field order (pc, target, op, dest, src1, src2, imm,
+ * taken) is shared by the on-disk TraceWriter and the in-memory
+ * DynTrace, so a spilled trace and its in-memory twin hash
+ * identically.
+ */
+std::uint64_t traceRecordHash(std::uint64_t hash, const DynInst &di);
+
+/**
+ * Streams dynamic instructions into a trace file (format v2).
  */
 class TraceWriter
 {
   public:
-    /** Open @p path for writing; fatal() on failure. */
+    /** Open @p path for writing; throws SimException(Io) on failure. */
     explicit TraceWriter(const std::string &path);
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
-    /** Append one instruction. */
+    /** Append one instruction; throws SimException(Io) on failure. */
     void append(const DynInst &di);
 
     /** Finalize the header and close.  Implied by destruction. */
@@ -55,18 +92,26 @@ class TraceWriter
     /** Records written so far. */
     std::uint64_t count() const { return count_; }
 
+    /** Running content hash of the records written so far. */
+    std::uint64_t contentHash() const { return hash_; }
+
   private:
     std::FILE *file_ = nullptr;
+    std::string path_;
     std::uint64_t count_ = 0;
+    std::uint64_t hash_ = kTraceHashOffset;
 };
 
 /**
- * Replays a trace file as an InstSource.
+ * Replays a trace file as an InstSource.  Reads v2 (verifying the
+ * content hash as the last record is consumed) and legacy v1 files
+ * (no hash to verify).  All failures throw SimException(Io).
  */
 class TraceReader : public InstSource
 {
   public:
-    /** Open and validate @p path; fatal() on failure or bad header. */
+    /** Open and validate @p path; throws SimException(Io) on failure
+     *  or a bad header. */
     explicit TraceReader(const std::string &path);
     ~TraceReader() override;
 
@@ -81,13 +126,24 @@ class TraceReader : public InstSource
     /** Records consumed so far. */
     std::uint64_t consumed() const { return consumed_; }
 
+    /** Header format version (1 or 2). */
+    std::uint32_t version() const { return version_; }
+
+    /** Header content hash (0 for v1 files). */
+    std::uint64_t contentHash() const { return header_hash_; }
+
     /** Rewind to the first record. */
     void rewind();
 
   private:
     std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint32_t version_ = kTraceVersion;
     std::uint64_t count_ = 0;
     std::uint64_t consumed_ = 0;
+    std::uint64_t header_hash_ = 0;
+    std::uint64_t running_hash_ = kTraceHashOffset;
+    long data_offset_ = 0;
 };
 
 /**

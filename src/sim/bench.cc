@@ -101,16 +101,22 @@ runBench(Session &session, const BenchOptions &options)
         report.cells[i].id = benchCellId(grid[i]);
     }
 
-    // Prepare every workload up front: the measured iterations then
-    // time simulation throughput, not one-off generation cost.
-    for (const RunConfig &config : grid)
+    // Prepare every workload -- and, under a replay policy, every
+    // trace recording -- up front: the measured iterations then time
+    // simulation throughput, not one-off generation or recording
+    // cost.
+    report.replay = options.replay.policy;
+    for (const RunConfig &config : grid) {
         session.workload(config.benchmark, config.layout);
+        session.prepareReplay(config, options.replay);
+    }
 
     for (int iteration = 0; iteration < report.iterations;
          ++iteration) {
         SweepOptions sweep_options;
         sweep_options.threads = report.threads;
         sweep_options.clock = options.clock;
+        sweep_options.replay = options.replay;
         SweepEngine engine(session, sweep_options);
         const SweepResult sweep = engine.run(grid);
         for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -153,6 +159,7 @@ writeBenchJson(std::ostream &os, const BenchReport &report)
     json.key("iterations").value(report.iterations);
     json.key("threads").value(report.threads);
     json.key("dyn_insts").value(report.dynInsts);
+    json.key("replay").value(replayPolicyName(report.replay));
     json.key("total_wall_ns").value(report.totalWallNs);
     json.key("peak_rss_bytes").value(report.peakRssBytes);
     json.key("cells").beginArray();

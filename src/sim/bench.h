@@ -65,6 +65,15 @@ struct BenchOptions
 
     /** Called after each completed iteration (1-based, total). */
     std::function<void(int iteration, int total)> progress;
+
+    /**
+     * Replay-cache policy for the measured sweeps (sim/session.h).
+     * Traces are recorded during the preparation phase -- alongside
+     * workload generation -- so recording cost never pollutes the
+     * measured samples; the policy is echoed in the BENCH JSON so
+     * replay-on and replay-off documents are distinguishable.
+     */
+    ReplayOptions replay;
 };
 
 /** The smoke-mode retirement budget. */
@@ -94,6 +103,7 @@ struct BenchReport
     std::uint64_t dynInsts = 0;    //!< resolved per-run budget
     std::uint64_t totalWallNs = 0; //!< whole harness wall time
     std::uint64_t peakRssBytes = 0;
+    ReplayPolicy replay = ReplayPolicy::Off; //!< stream source used
 };
 
 /** Stable cell identifier used to match baseline entries. */

@@ -288,6 +288,7 @@ generateReproReport(Session &session,
     sweep_options.failure = options.failure;
     sweep_options.checkpointPath = options.checkpointPath;
     sweep_options.resume = options.resume;
+    sweep_options.replay = options.replay;
     if (options.progress) {
         sweep_options.progress = [&](std::size_t done,
                                      std::size_t total,

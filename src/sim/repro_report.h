@@ -75,6 +75,14 @@ struct ReproReportOptions
      */
     std::string checkpointPath;
     bool resume = false;
+
+    /**
+     * Replay-cache policy for the grid sweep (sim/session.h).  The
+     * rendered document is byte-identical with replay on or off --
+     * replayed runs are bit-identical to live ones -- so this is
+     * purely a generation-speed knob; enforced by test_replay.
+     */
+    ReplayOptions replay;
 };
 
 /**

@@ -1,9 +1,15 @@
 #include "sim/session.h"
 
+#include <filesystem>
+
+#include <unistd.h>
+
 #include "compiler/code_layout.h"
 #include "compiler/function_layout.h"
 #include "compiler/nop_padding.h"
 #include "core/error.h"
+#include "exec/executor.h"
+#include "exec/trace_file.h"
 #include "perf/profiler.h"
 #include "stats/log.h"
 #include "workload/benchmark_suite.h"
@@ -64,7 +70,54 @@ prepare(const std::string &benchmark, LayoutKind layout,
     return workload;
 }
 
+/** The block-size component of a workload/replay cache key. */
+std::uint64_t
+layoutKeyBlock(LayoutKind layout, std::uint64_t block_bytes)
+{
+    // Padded layouts depend on the block size; the others do not.
+    return (layout == LayoutKind::PadAll ||
+            layout == LayoutKind::PadTrace)
+               ? block_bytes
+               : 0;
+}
+
+/** On-disk bytes of an FSTR v2 trace of @p n records. */
+constexpr std::uint64_t
+spillFileBytes(std::uint64_t n)
+{
+    return 24 + n * 32;
+}
+
 } // anonymous namespace
+
+const char *
+replayPolicyName(ReplayPolicy policy)
+{
+    switch (policy) {
+      case ReplayPolicy::Off:
+        return "off";
+      case ReplayPolicy::InMemory:
+        return "mem";
+      case ReplayPolicy::SpillToDisk:
+        return "disk";
+    }
+    return "off";
+}
+
+Expected<ReplayPolicy>
+parseReplayPolicy(const std::string &name)
+{
+    if (name == "off")
+        return ReplayPolicy::Off;
+    if (name == "mem")
+        return ReplayPolicy::InMemory;
+    if (name == "disk")
+        return ReplayPolicy::SpillToDisk;
+    return SimError{ErrorKind::Config,
+                    "unknown replay policy: " + name +
+                        " (off|mem|disk)",
+                    ""};
+}
 
 std::vector<SimError>
 validateRunConfig(const RunConfig &config)
@@ -117,16 +170,25 @@ validateRunConfig(const RunConfig &config)
     return errors;
 }
 
+Session::~Session()
+{
+    // Spill-directory hygiene: remove every trace file this Session
+    // wrote, and the private root when we created it.  Best-effort --
+    // a vanished file is not worth a throwing destructor.
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    std::error_code ec;
+    for (const std::string &file : spill_files_)
+        std::filesystem::remove(file, ec);
+    if (own_spill_root_ && !spill_root_.empty())
+        std::filesystem::remove(spill_root_, ec);
+}
+
 const Workload &
 Session::workload(const std::string &benchmark, LayoutKind layout,
                   std::uint64_t block_bytes)
 {
-    // Padded layouts depend on the block size; the others do not.
-    const std::uint64_t key_block =
-        (layout == LayoutKind::PadAll || layout == LayoutKind::PadTrace)
-            ? block_bytes
-            : 0;
-    const Key key{benchmark, layout, key_block};
+    const Key key{benchmark, layout,
+                  layoutKeyBlock(layout, block_bytes)};
 
     Entry *entry = nullptr;
     {
@@ -148,11 +210,178 @@ Session::workload(const std::string &benchmark, LayoutKind layout,
     // concurrent requests for the same key each get the one prepared
     // object.
     std::call_once(entry->once, [&] {
-        entry->workload = prepare(benchmark, layout, key_block);
+        entry->workload =
+            prepare(benchmark, layout, std::get<2>(key));
     });
     simAssert(entry->workload != nullptr,
               "Session workload populated");
     return *entry->workload;
+}
+
+std::string
+Session::nextSpillPath(const ReplayOptions &replay)
+{
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    if (spill_root_.empty()) {
+        std::error_code ec;
+        if (!replay.spillDir.empty()) {
+            spill_root_ = replay.spillDir;
+            own_spill_root_ = false;
+        } else {
+            // One private directory per Session instance, so
+            // concurrent processes (and concurrent Sessions) never
+            // collide.
+            static std::atomic<std::uint64_t> g_root_seq{0};
+            spill_root_ =
+                (std::filesystem::temp_directory_path(ec) /
+                 ("fetchsim-replay-" + std::to_string(::getpid()) +
+                  "-" +
+                  std::to_string(g_root_seq.fetch_add(
+                      1, std::memory_order_relaxed))))
+                    .string();
+            own_spill_root_ = true;
+        }
+        std::filesystem::create_directories(spill_root_, ec);
+        if (ec) {
+            const std::string dir = spill_root_;
+            spill_root_.clear();
+            throw SimException(ErrorKind::Io,
+                               "replay: cannot create spill dir " +
+                                   dir + ": " + ec.message());
+        }
+    }
+    std::string path =
+        spill_root_ + "/trace-" +
+        std::to_string(
+            spill_seq_.fetch_add(1, std::memory_order_relaxed)) +
+        ".fstr";
+    spill_files_.push_back(path);
+    return path;
+}
+
+void
+Session::recordReplay(ReplayEntry &entry, const ReplayOptions &replay,
+                      const Workload &wl, int input,
+                      std::uint64_t length)
+{
+    PERF_SCOPE("replay.record");
+    std::atomic<std::uint64_t> &held =
+        replay.policy == ReplayPolicy::InMemory
+            ? replay_bytes_mem_
+            : replay_bytes_spilled_;
+    const std::uint64_t estimate =
+        replay.policy == ReplayPolicy::InMemory
+            ? length * DynTrace::kBytesPerInst
+            : spillFileBytes(length);
+
+    // Reserve the estimate against the size budget before recording,
+    // so concurrent recordings of different keys cannot jointly
+    // overshoot; trim to the actual size afterwards (the stream can
+    // end early, never late).
+    if (replay.budgetBytes != 0) {
+        const std::uint64_t before =
+            held.fetch_add(estimate, std::memory_order_relaxed);
+        if (before + estimate > replay.budgetBytes) {
+            held.fetch_sub(estimate, std::memory_order_relaxed);
+            return; // over budget: entry stays !ready, runs go live
+        }
+    }
+
+    try {
+        if (replay.policy == ReplayPolicy::InMemory) {
+            Executor exec(wl, input);
+            entry.trace = recordStream(exec, length);
+            const std::uint64_t actual = entry.trace.bytes();
+            if (replay.budgetBytes != 0)
+                held.fetch_sub(estimate - actual,
+                               std::memory_order_relaxed);
+            else
+                held.fetch_add(actual, std::memory_order_relaxed);
+            replay_recorded_insts_.fetch_add(
+                entry.trace.size(), std::memory_order_relaxed);
+            entry.ready = true;
+        } else {
+            const std::string path = nextSpillPath(replay);
+            Executor exec(wl, input);
+            const std::uint64_t written =
+                recordTrace(exec, path, length);
+            const std::uint64_t actual = spillFileBytes(written);
+            if (replay.budgetBytes != 0)
+                held.fetch_sub(estimate - actual,
+                               std::memory_order_relaxed);
+            else
+                held.fetch_add(actual, std::memory_order_relaxed);
+            replay_recorded_insts_.fetch_add(
+                written, std::memory_order_relaxed);
+            entry.spillPath = path;
+            entry.ready = true;
+        }
+    } catch (const SimException &e) {
+        // Recording is an optimization; a spill failure (full disk,
+        // unwritable dir) must cost throughput, not the sweep.
+        if (replay.budgetBytes != 0)
+            held.fetch_sub(estimate, std::memory_order_relaxed);
+        warn("replay: recording failed, falling back to live "
+             "execution: " +
+             std::string(e.what()));
+    }
+}
+
+Session::ReplayEntry &
+Session::replayEntry(const RunConfig &config,
+                     const ReplayOptions &replay, const Workload &wl,
+                     std::uint64_t key_block, std::uint64_t budget,
+                     bool *recorded_here)
+{
+    const std::uint64_t length = budget + kReplayStreamSlack;
+    const ReplayKey key{config.benchmark, config.layout, key_block,
+                        config.input, length};
+
+    ReplayEntry *entry = nullptr;
+    {
+        std::shared_lock<std::shared_mutex> read(replay_mutex_);
+        auto it = replay_cache_.find(key);
+        if (it != replay_cache_.end())
+            entry = it->second.get();
+    }
+    if (!entry) {
+        std::unique_lock<std::shared_mutex> write(replay_mutex_);
+        auto &slot = replay_cache_[key];
+        if (!slot)
+            slot = std::make_unique<ReplayEntry>();
+        entry = slot.get();
+    }
+
+    bool first = false;
+    std::call_once(entry->once, [&] {
+        first = true;
+        recordReplay(*entry, replay, wl, config.input, length);
+    });
+    if (first)
+        replay_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (recorded_here)
+        *recorded_here = first;
+    return *entry;
+}
+
+void
+Session::prepareReplay(const RunConfig &config,
+                       const ReplayOptions &replay)
+{
+    if (replay.policy == ReplayPolicy::Off)
+        return;
+    const std::vector<SimError> errors = validateRunConfig(config);
+    if (!errors.empty())
+        throw SimException(SimError{ErrorKind::Config,
+                                    formatErrors(errors), ""});
+    const MachineConfig cfg = makeMachine(config.machine);
+    const Workload &wl =
+        workload(config.benchmark, config.layout, cfg.blockBytes);
+    const std::uint64_t budget =
+        config.maxRetired ? config.maxRetired : defaultDynInsts();
+    replayEntry(config, replay, wl,
+                layoutKeyBlock(config.layout, cfg.blockBytes),
+                budget);
 }
 
 RunResult
@@ -163,7 +392,8 @@ Session::run(const RunConfig &config)
 
 RunResult
 Session::run(const RunConfig &config, const RunInstrumentation &inst,
-             std::uint64_t watchdog_cycles)
+             std::uint64_t watchdog_cycles,
+             const ReplayOptions &replay)
 {
     PERF_SCOPE("session.run");
     const std::vector<SimError> errors = validateRunConfig(config);
@@ -196,20 +426,58 @@ Session::run(const RunConfig &config, const RunInstrumentation &inst,
         mechanism = makeFetchMechanism(config.scheme, cfg);
     }
 
-    Processor proc(wl, config.input, cfg, std::move(mechanism));
-    if (inst.metrics)
-        proc.attachMetrics(*inst.metrics);
-    if (inst.trace)
-        proc.attachTrace(*inst.trace);
-    if (watchdog_cycles != 0)
-        proc.setCycleLimit(watchdog_cycles);
     const std::uint64_t budget =
         config.maxRetired ? config.maxRetired : defaultDynInsts();
-    proc.run(budget);
+
+    // Stream source: a cached recording when the replay policy allows
+    // it, the live Executor otherwise.  The replayed stream is the
+    // exact stream the Executor would produce (with slack beyond the
+    // budget so the fetch lookahead never starves), which keeps
+    // replayed counters bit-identical to live ones.
+    std::unique_ptr<TraceReplaySource> replay_source;
+    std::unique_ptr<TraceReader> spill_reader;
+    std::unique_ptr<Processor> proc;
+    if (replay.policy != ReplayPolicy::Off) {
+        bool recorded_here = false;
+        const ReplayEntry &entry = replayEntry(
+            config, replay, wl,
+            layoutKeyBlock(config.layout, cfg.blockBytes), budget,
+            &recorded_here);
+        if (!entry.ready)
+            replay_fallbacks_.fetch_add(1,
+                                        std::memory_order_relaxed);
+        else if (!recorded_here)
+            replay_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (entry.ready) {
+            PERF_SCOPE("replay.attach");
+            if (replay.policy == ReplayPolicy::InMemory) {
+                replay_source =
+                    std::make_unique<TraceReplaySource>(entry.trace);
+                proc = std::make_unique<Processor>(
+                    *replay_source, cfg, std::move(mechanism));
+            } else {
+                spill_reader =
+                    std::make_unique<TraceReader>(entry.spillPath);
+                proc = std::make_unique<Processor>(
+                    *spill_reader, cfg, std::move(mechanism));
+            }
+        }
+    }
+    if (!proc) {
+        proc = std::make_unique<Processor>(wl, config.input, cfg,
+                                           std::move(mechanism));
+    }
+    if (inst.metrics)
+        proc->attachMetrics(*inst.metrics);
+    if (inst.trace)
+        proc->attachTrace(*inst.trace);
+    if (watchdog_cycles != 0)
+        proc->setCycleLimit(watchdog_cycles);
+    proc->run(budget);
 
     RunResult result;
     result.config = config;
-    result.counters = proc.counters();
+    result.counters = proc->counters();
     return result;
 }
 
@@ -221,6 +489,63 @@ Session::cachedWorkloads() const
     for (const auto &[key, entry] : cache_)
         prepared += entry && entry->workload ? 1 : 0;
     return prepared;
+}
+
+std::size_t
+Session::cachedReplayTraces() const
+{
+    std::shared_lock<std::shared_mutex> read(replay_mutex_);
+    std::size_t ready = 0;
+    for (const auto &[key, entry] : replay_cache_)
+        ready += entry && entry->ready ? 1 : 0;
+    return ready;
+}
+
+ReplayStats
+Session::replayStats() const
+{
+    ReplayStats stats;
+    stats.hits = replay_hits_.load(std::memory_order_relaxed);
+    stats.misses = replay_misses_.load(std::memory_order_relaxed);
+    stats.fallbacks =
+        replay_fallbacks_.load(std::memory_order_relaxed);
+    stats.recordedInsts =
+        replay_recorded_insts_.load(std::memory_order_relaxed);
+    stats.bytesInMemory =
+        replay_bytes_mem_.load(std::memory_order_relaxed);
+    stats.bytesSpilled =
+        replay_bytes_spilled_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void
+Session::exportReplayMetrics(MetricRegistry &registry) const
+{
+    const ReplayStats stats = replayStats();
+    registry
+        .counter("replay.hits",
+                 "runs served from a cached trace recording")
+        .inc(stats.hits);
+    registry
+        .counter("replay.misses",
+                 "runs that recorded a trace (first per key)")
+        .inc(stats.misses);
+    registry
+        .counter("replay.fallbacks",
+                 "runs forced live under a non-off replay policy")
+        .inc(stats.fallbacks);
+    registry
+        .counter("replay.recorded_insts",
+                 "dynamic instructions recorded into the cache")
+        .inc(stats.recordedInsts);
+    registry
+        .counter("replay.bytes_in_memory",
+                 "DynTrace bytes held by the cache")
+        .inc(stats.bytesInMemory);
+    registry
+        .counter("replay.bytes_spilled",
+                 "FSTR spill-file bytes written by the cache")
+        .inc(stats.bytesSpilled);
 }
 
 Session &

@@ -10,27 +10,44 @@
  * stable references that remain valid -- including across concurrent
  * use from many threads -- for the lifetime of the Session.
  *
+ * It also owns the **replay-trace cache** (docs/TRACES.md): with a
+ * ReplayPolicy other than Off, the first run for a given (benchmark,
+ * layout, block, input, length) key records the dynamic instruction
+ * stream once -- to a compact in-memory DynTrace or an FSTR v2 spill
+ * file -- and every later run sharing the key replays the recording
+ * through a TraceReplaySource/TraceReader instead of re-executing
+ * the CFG.  Because the dynamic stream depends only on that key
+ * (never on the machine model, fetch scheme or predictor), one
+ * recording serves every cell of a sweep, and because replayed runs
+ * are counter-identical to live ones, results are byte-identical
+ * with replay on or off (asserted by test_replay).
+ *
  * Concurrency contract:
  *  - workload() and run() may be called from any number of threads
  *    concurrently on the same Session.
  *  - Each distinct (benchmark, layout, block) key is prepared exactly
  *    once (per-entry std::call_once); other threads requesting the
- *    same key block until preparation finishes.
+ *    same key block until preparation finishes.  Replay recordings
+ *    follow the same exactly-once discipline.
  *  - Returned Workload references are never invalidated or mutated:
  *    entries are heap-owned, the cache only grows, and simulation
  *    reads workloads through const references only.  This is asserted
  *    (not just documented): debug-checked in tests and guarded by a
- *    simAssert in workload().
+ *    simAssert in workload().  Recorded traces are likewise immutable
+ *    once published; each concurrent run replays through its own
+ *    cursor (TraceReplaySource) or its own file handle (TraceReader).
  *  - run() is deterministic: the same RunConfig produces bit-identical
  *    RunCounters on every call, on any thread, regardless of what else
- *    runs concurrently.  All per-run state (processor, caches,
- *    predictors, behaviour RNG streams seeded from the workload seed
- *    and input id) is private to the call.
+ *    runs concurrently -- and regardless of the replay policy.  All
+ *    per-run state (processor, caches, predictors, behaviour RNG
+ *    streams seeded from the workload seed and input id) is private
+ *    to the call.
  */
 
 #ifndef FETCHSIM_SIM_SESSION_H_
 #define FETCHSIM_SIM_SESSION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,6 +58,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "exec/replay_buffer.h"
 #include "sim/experiment.h"
 #include "stats/metrics.h"
 #include "stats/trace_sink.h"
@@ -73,6 +91,67 @@ struct RunInstrumentation
     TraceSink *trace = nullptr;
 };
 
+/** How Session::run() sources the dynamic instruction stream. */
+enum class ReplayPolicy : std::uint8_t
+{
+    Off = 0,     //!< always execute the CFG live (the historical path)
+    InMemory,    //!< record once per key into a DynTrace, replay after
+    SpillToDisk, //!< record once per key into an FSTR v2 spill file
+};
+
+/** Display name of a replay policy ("off", "mem", "disk"). */
+const char *replayPolicyName(ReplayPolicy policy);
+
+/** Parse a `--replay` value ("off" | "mem" | "disk"). */
+Expected<ReplayPolicy> parseReplayPolicy(const std::string &name);
+
+/** Replay-cache configuration for a run, sweep or bench. */
+struct ReplayOptions
+{
+    /** Stream source selection (`--replay off|mem|disk`). */
+    ReplayPolicy policy = ReplayPolicy::Off;
+
+    /**
+     * Size budget for the cache in bytes (0 = unlimited).  InMemory
+     * counts DynTrace heap bytes; SpillToDisk counts spill-file
+     * bytes.  A recording that would exceed the budget is skipped and
+     * its runs fall back to live execution -- never an error.
+     */
+    std::uint64_t budgetBytes = 0;
+
+    /**
+     * Directory for SpillToDisk trace files.  Empty = a private
+     * directory under the system temp dir, created on first spill.
+     * Spill files are removed in ~Session (docs/TRACES.md covers the
+     * hygiene rules).
+     */
+    std::string spillDir;
+};
+
+/**
+ * Extra dynamic instructions recorded beyond a run's retirement
+ * budget.  The processor fetches ahead of retirement (up to
+ * issueRate*4 plus the reorder window), so a trace of exactly
+ * `budget` instructions would shrink the fetch lookahead near the end
+ * of the run and change cycle counts vs live execution.  The slack
+ * covers the deepest machine's lookahead with two orders of margin
+ * (~100 KB per trace) and keeps one recording valid for every
+ * machine model.
+ */
+constexpr std::uint64_t kReplayStreamSlack = 4096;
+
+/** Counters describing what the replay cache did so far. */
+struct ReplayStats
+{
+    std::uint64_t hits = 0;   //!< runs served from a cached recording
+    std::uint64_t misses = 0; //!< runs that recorded (first per key)
+    std::uint64_t fallbacks = 0; //!< runs forced live (budget/record
+                                 //!< failure) under a non-Off policy
+    std::uint64_t recordedInsts = 0; //!< instructions recorded
+    std::uint64_t bytesInMemory = 0; //!< DynTrace bytes held
+    std::uint64_t bytesSpilled = 0;  //!< spill-file bytes written
+};
+
 /**
  * Owner of prepared-workload state for a family of experiments.
  *
@@ -83,8 +162,11 @@ struct RunInstrumentation
 class Session
 {
   public:
+    /** An empty cache; workloads and traces populate on demand. */
     Session() = default;
-    ~Session() = default;
+
+    /** Removes every replay spill file this Session wrote. */
+    ~Session();
 
     Session(const Session &) = delete;
     Session &operator=(const Session &) = delete;
@@ -125,13 +207,42 @@ class Session
      * throws SimException(Workload) instead of spinning (0 = off).
      * The watchdog never affects counters when it does not trip, so
      * it is deliberately excluded from checkpoint content keys.
+     *
+     * @p replay selects the instruction-stream source (see
+     * ReplayPolicy).  Replay never affects counters either -- a
+     * replayed run is bit-identical to a live one -- so it is also
+     * excluded from checkpoint content keys.
      */
     RunResult run(const RunConfig &config,
                   const RunInstrumentation &inst,
-                  std::uint64_t watchdog_cycles = 0);
+                  std::uint64_t watchdog_cycles = 0,
+                  const ReplayOptions &replay = ReplayOptions{});
+
+    /**
+     * Record the replay trace for @p config up front (no-op when
+     * @p replay is Off or the key is already recorded).  The bench
+     * harness calls this in its preparation phase so recording cost
+     * never pollutes measured iterations.
+     */
+    void prepareReplay(const RunConfig &config,
+                       const ReplayOptions &replay);
 
     /** Number of prepared workloads currently cached. */
     std::size_t cachedWorkloads() const;
+
+    /** Number of recorded replay traces currently cached. */
+    std::size_t cachedReplayTraces() const;
+
+    /** Snapshot of the replay cache counters. */
+    ReplayStats replayStats() const;
+
+    /**
+     * Register the replay counters into @p registry under the
+     * `replay.` namespace (replay.hits, replay.misses,
+     * replay.fallbacks, replay.recorded_insts, replay.bytes_in_memory,
+     * replay.bytes_spilled) at their current values.
+     */
+    void exportReplayMetrics(MetricRegistry &registry) const;
 
   private:
     using Key = std::tuple<std::string, LayoutKind, std::uint64_t>;
@@ -148,8 +259,68 @@ class Session
         std::unique_ptr<Workload> workload;
     };
 
+    /**
+     * Replay-cache key: everything the dynamic stream depends on.
+     * The block size matters only for the padded layouts (identical
+     * rule to the workload cache); machine, scheme and predictor are
+     * deliberately absent -- the stream is the same for all of them,
+     * which is what lets one recording serve a whole sweep.
+     */
+    using ReplayKey = std::tuple<std::string, LayoutKind,
+                                 std::uint64_t, int, std::uint64_t>;
+
+    /**
+     * One recorded trace.  Exactly-once recording through the
+     * once_flag; `ready` stays false when the recording was skipped
+     * (size budget) or failed (spill I/O), in which case runs for
+     * this key fall back to live execution.
+     */
+    struct ReplayEntry
+    {
+        std::once_flag once;
+        bool ready = false;
+        DynTrace trace;        //!< InMemory recording
+        std::string spillPath; //!< SpillToDisk recording
+    };
+
+    /**
+     * Locate-or-create the entry and record on first use.
+     * @p recorded_here (optional) reports whether this call did the
+     * recording (the cache miss).
+     */
+    ReplayEntry &replayEntry(const RunConfig &config,
+                             const ReplayOptions &replay,
+                             const Workload &wl,
+                             std::uint64_t key_block,
+                             std::uint64_t budget,
+                             bool *recorded_here = nullptr);
+
+    /** Record the stream for @p entry (runs once per key). */
+    void recordReplay(ReplayEntry &entry, const ReplayOptions &replay,
+                      const Workload &wl, int input,
+                      std::uint64_t length);
+
+    /** The spill file path for one new recording. */
+    std::string nextSpillPath(const ReplayOptions &replay);
+
     mutable std::shared_mutex mutex_; //!< guards cache_ map structure
     std::map<Key, std::unique_ptr<Entry>> cache_;
+
+    mutable std::shared_mutex replay_mutex_; //!< guards replay map
+    std::map<ReplayKey, std::unique_ptr<ReplayEntry>> replay_cache_;
+
+    std::mutex spill_mutex_; //!< guards spill_root_/spill_files_
+    std::string spill_root_; //!< created lazily on first spill
+    bool own_spill_root_ = false;
+    std::vector<std::string> spill_files_;
+    std::atomic<std::uint64_t> spill_seq_{0};
+
+    std::atomic<std::uint64_t> replay_hits_{0};
+    std::atomic<std::uint64_t> replay_misses_{0};
+    std::atomic<std::uint64_t> replay_fallbacks_{0};
+    std::atomic<std::uint64_t> replay_recorded_insts_{0};
+    std::atomic<std::uint64_t> replay_bytes_mem_{0};
+    std::atomic<std::uint64_t> replay_bytes_spilled_{0};
 };
 
 /**

@@ -281,7 +281,7 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
                 const std::uint64_t cpu_start = threadCpuNowNs();
                 sweep.runs[i] = session_.run(
                     configs[i], RunInstrumentation{},
-                    faults.watchdogCycles);
+                    faults.watchdogCycles, options_.replay);
                 HostStats &host = sweep.host[i];
                 host.wallNs = clock.nowNs() - wall_start;
                 host.cpuNs = threadCpuNowNs() - cpu_start;

@@ -146,6 +146,17 @@ struct SweepOptions
     FailurePolicy failure;
 
     /**
+     * Replay-cache policy for every cell (sim/session.h).  With a
+     * non-Off policy the first cell for each (benchmark, layout,
+     * block, input, budget) key records the dynamic stream and every
+     * other cell sharing the key replays the immutable recording
+     * concurrently instead of re-executing the CFG.  Counters are
+     * bit-identical either way, so this is purely a host-throughput
+     * knob (docs/TRACES.md quantifies it).
+     */
+    ReplayOptions replay;
+
+    /**
      * Time source for retry backoff sleeps and host-stat wall clocks
      * (perf/clock.h).  Null = systemClock().  Tests inject a
      * ManualClock so backoff schedules are asserted without real

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * The replay-cache contract (sim/session.h, exec/replay_buffer.h):
+ * a sweep run from a recorded dynamic trace must be bit-identical to
+ * the live-executor run -- counters, per-cycle trace events and
+ * metric registry alike -- at any thread count and under every
+ * ReplayPolicy, while the cache records each (benchmark, layout,
+ * input, length) key exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/replay_buffer.h"
+#include "exec/trace_file.h"
+#include "sim/plan.h"
+#include "sim/report.h"
+#include "sim/repro_report.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
+#include "stats/metrics.h"
+#include "stats/trace_sink.h"
+#include "test_util.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+/** A heterogeneous plan whose 12 cells share 2 replay keys. */
+ExperimentPlan
+testPlan(std::uint64_t budget = 8000)
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"compress", "eqntott"})
+        .machines({MachineModel::P14, MachineModel::P112})
+        .schemes({SchemeKind::Sequential, SchemeKind::CollapsingBuffer,
+                  SchemeKind::Perfect})
+        .layouts({LayoutKind::Unordered})
+        .maxRetired(budget);
+    return plan;
+}
+
+std::string
+sweepJson(const ReplayOptions &replay, int threads,
+          ReplayStats *stats = nullptr)
+{
+    Session session;
+    SweepOptions options;
+    options.threads = threads;
+    options.replay = replay;
+    SweepEngine engine(session, options);
+    const SweepResult sweep = engine.run(testPlan());
+    if (stats)
+        *stats = session.replayStats();
+    std::ostringstream os;
+    writeRunsJson(os, sweep.runs);
+    return os.str();
+}
+
+TEST(ReplayPolicyNames, RoundTripThroughTheParser)
+{
+    for (ReplayPolicy policy :
+         {ReplayPolicy::Off, ReplayPolicy::InMemory,
+          ReplayPolicy::SpillToDisk}) {
+        const Expected<ReplayPolicy> parsed =
+            parseReplayPolicy(replayPolicyName(policy));
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(parsed.value(), policy);
+    }
+    EXPECT_FALSE(parseReplayPolicy("sometimes").ok());
+    EXPECT_EQ(parseReplayPolicy("sometimes").error().kind,
+              ErrorKind::Config);
+}
+
+TEST(DynTrace, ReplaysTheRecordedStreamVerbatim)
+{
+    Workload wl = test::hammockWorkload(2, 3, 0.6);
+    Executor record_exec(wl, kEvalInput);
+    const DynTrace trace = recordStream(record_exec, 2000);
+    ASSERT_EQ(trace.size(), 2000u);
+    EXPECT_EQ(trace.bytes(), 2000u * DynTrace::kBytesPerInst);
+
+    Executor live(wl, kEvalInput);
+    TraceReplaySource replay(trace);
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        DynInst expect;
+        DynInst got;
+        ASSERT_TRUE(live.next(expect));
+        ASSERT_TRUE(replay.next(got));
+        ASSERT_EQ(got.pc, expect.pc) << "inst " << i;
+        ASSERT_EQ(got.si.op, expect.si.op);
+        ASSERT_EQ(got.si.dest, expect.si.dest);
+        ASSERT_EQ(got.si.src1, expect.si.src1);
+        ASSERT_EQ(got.si.src2, expect.si.src2);
+        ASSERT_EQ(got.si.imm, expect.si.imm);
+        ASSERT_EQ(got.taken, expect.taken);
+        ASSERT_EQ(got.actualTarget, expect.actualTarget);
+        ASSERT_EQ(got.seq, expect.seq);
+    }
+    DynInst spare;
+    EXPECT_FALSE(replay.next(spare)); // bounded
+    replay.rewind();
+    EXPECT_TRUE(replay.next(spare));
+    EXPECT_EQ(spare.seq, 0u);
+}
+
+TEST(DynTrace, HashMatchesTheOnDiskTwin)
+{
+    // The in-memory and spill-file recorders hash the same canonical
+    // bytes, so the same stream yields the same content hash in
+    // either representation.
+    const std::string path = "/tmp/fetchsim_test_replay_twin.trace";
+    Workload wl = test::hammockWorkload(3, 2, 0.4);
+
+    Executor mem_exec(wl, kEvalInput);
+    const DynTrace trace = recordStream(mem_exec, 1500);
+
+    Executor disk_exec(wl, kEvalInput);
+    recordTrace(disk_exec, path, 1500);
+    TraceReader reader(path);
+    EXPECT_EQ(trace.contentHash(), reader.contentHash());
+    std::remove(path.c_str());
+}
+
+TEST(ReplaySweep, CountersAreIdenticalUnderEveryPolicy)
+{
+    const std::string live = sweepJson(ReplayOptions{}, 4);
+
+    ReplayOptions mem;
+    mem.policy = ReplayPolicy::InMemory;
+    ReplayStats mem_stats;
+    EXPECT_EQ(sweepJson(mem, 4, &mem_stats), live);
+    // 12 cells over {compress, eqntott} x unordered = 2 keys.
+    EXPECT_EQ(mem_stats.misses, 2u);
+    EXPECT_EQ(mem_stats.hits, 10u);
+    EXPECT_EQ(mem_stats.fallbacks, 0u);
+    EXPECT_GT(mem_stats.bytesInMemory, 0u);
+    EXPECT_EQ(mem_stats.bytesSpilled, 0u);
+
+    ReplayOptions disk;
+    disk.policy = ReplayPolicy::SpillToDisk;
+    ReplayStats disk_stats;
+    EXPECT_EQ(sweepJson(disk, 4, &disk_stats), live);
+    EXPECT_EQ(disk_stats.misses, 2u);
+    EXPECT_EQ(disk_stats.hits, 10u);
+    EXPECT_GT(disk_stats.bytesSpilled, 0u);
+    EXPECT_EQ(disk_stats.bytesInMemory, 0u);
+}
+
+TEST(ReplaySweep, ThreadCountNeverChangesTheBytes)
+{
+    ReplayOptions mem;
+    mem.policy = ReplayPolicy::InMemory;
+    const std::string one = sweepJson(mem, 1);
+    EXPECT_EQ(sweepJson(mem, 8), one);
+}
+
+TEST(ReplayRun, TraceEventsAndMetricsMatchLiveExecution)
+{
+    RunConfig config;
+    config.benchmark = "compress";
+    config.machine = MachineModel::P18;
+    config.scheme = SchemeKind::CollapsingBuffer;
+    config.maxRetired = 6000;
+
+    auto instrumented = [](Session &session, const RunConfig &cfg,
+                           const ReplayOptions &replay,
+                           std::string *events) {
+        MetricRegistry metrics;
+        std::ostringstream trace;
+        TraceSink sink(trace);
+        RunInstrumentation inst;
+        inst.metrics = &metrics;
+        inst.trace = &sink;
+        const RunResult result =
+            session.run(cfg, inst, 0, replay);
+        *events = trace.str();
+        return std::make_pair(result.toJson(), metrics.formatText());
+    };
+
+    Session session;
+    std::string live_events;
+    const auto live =
+        instrumented(session, config, ReplayOptions{}, &live_events);
+
+    ReplayOptions mem;
+    mem.policy = ReplayPolicy::InMemory;
+    std::string replay_events;
+    // Run twice: the first records (miss), the second replays (hit);
+    // both must match live bit for bit.
+    for (int round = 0; round < 2; ++round) {
+        const auto replayed =
+            instrumented(session, config, mem, &replay_events);
+        EXPECT_EQ(replayed.first, live.first) << "round " << round;
+        EXPECT_EQ(replayed.second, live.second) << "round " << round;
+        EXPECT_EQ(replay_events, live_events) << "round " << round;
+    }
+    EXPECT_FALSE(live_events.empty());
+    const ReplayStats stats = session.replayStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ReplayRun, ExportedMetricsMirrorTheStats)
+{
+    Session session;
+    RunConfig config;
+    config.benchmark = "eqntott";
+    config.maxRetired = 4000;
+
+    ReplayOptions mem;
+    mem.policy = ReplayPolicy::InMemory;
+    session.run(config, RunInstrumentation{}, 0, mem);
+    session.run(config, RunInstrumentation{}, 0, mem);
+
+    MetricRegistry registry;
+    session.exportReplayMetrics(registry);
+    const std::string text = registry.formatText();
+    EXPECT_NE(text.find("replay.hits"), std::string::npos);
+    EXPECT_NE(text.find("replay.misses"), std::string::npos);
+    const ReplayStats stats = session.replayStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.fallbacks, 0u);
+    EXPECT_GT(stats.recordedInsts, 4000u); // budget + slack
+}
+
+TEST(ReplayRun, BudgetOverflowFallsBackToLiveExecution)
+{
+    RunConfig config;
+    config.benchmark = "compress";
+    config.maxRetired = 5000;
+
+    Session off_session;
+    const RunResult live =
+        off_session.run(config, RunInstrumentation{});
+
+    Session session;
+    ReplayOptions tiny;
+    tiny.policy = ReplayPolicy::InMemory;
+    tiny.budgetBytes = 64; // far below one trace
+    const RunResult first =
+        session.run(config, RunInstrumentation{}, 0, tiny);
+    const RunResult second =
+        session.run(config, RunInstrumentation{}, 0, tiny);
+    EXPECT_EQ(first.toJson(), live.toJson());
+    EXPECT_EQ(second.toJson(), live.toJson());
+
+    const ReplayStats stats = session.replayStats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.fallbacks, 2u);
+    EXPECT_EQ(stats.recordedInsts, 0u);
+    EXPECT_EQ(stats.bytesInMemory, 0u);
+    EXPECT_EQ(session.cachedReplayTraces(), 0u);
+}
+
+TEST(ReplayRun, SpillFilesAreRemovedWithTheSession)
+{
+    const std::string dir = "/tmp/fetchsim_test_replay_spill";
+    std::filesystem::remove_all(dir);
+
+    RunConfig config;
+    config.benchmark = "eqntott";
+    config.maxRetired = 3000;
+    ReplayOptions disk;
+    disk.policy = ReplayPolicy::SpillToDisk;
+    disk.spillDir = dir;
+
+    {
+        Session session;
+        session.run(config, RunInstrumentation{}, 0, disk);
+        EXPECT_EQ(session.cachedReplayTraces(), 1u);
+        std::size_t files = 0;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(dir))
+            files += entry.is_regular_file() ? 1 : 0;
+        EXPECT_EQ(files, 1u);
+    }
+    // Destructor hygiene: the trace files are gone (a user-provided
+    // directory itself survives).
+    std::size_t files = 0;
+    if (std::filesystem::exists(dir)) {
+        for (const auto &entry :
+             std::filesystem::directory_iterator(dir))
+            files += entry.is_regular_file() ? 1 : 0;
+    }
+    EXPECT_EQ(files, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ReplayPrepare, RecordsWithoutCountingHitsOrFallbacks)
+{
+    Session session;
+    ReplayOptions mem;
+    mem.policy = ReplayPolicy::InMemory;
+    RunConfig config;
+    config.benchmark = "compress";
+    config.maxRetired = 3000;
+
+    session.prepareReplay(config, mem);
+    session.prepareReplay(config, mem); // idempotent
+    EXPECT_EQ(session.cachedReplayTraces(), 1u);
+
+    ReplayStats stats = session.replayStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.fallbacks, 0u);
+
+    session.run(config, RunInstrumentation{}, 0, mem);
+    stats = session.replayStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ReplayReport, DocumentIsByteIdenticalWithReplayOn)
+{
+    ReproReportOptions options;
+    options.dynInsts = 2000; // small budget: keep the test quick
+    options.threads = 2;
+
+    Session off_session;
+    const std::string off =
+        generateReproReport(off_session, options);
+
+    options.replay.policy = ReplayPolicy::InMemory;
+    Session mem_session;
+    const std::string mem =
+        generateReproReport(mem_session, options);
+    EXPECT_EQ(mem, off);
+    EXPECT_GT(mem_session.replayStats().hits, 0u);
+}
+
+} // anonymous namespace
+} // namespace fetchsim

@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "core/error.h"
 #include "core/processor.h"
 #include "exec/trace_file.h"
 #include "test_util.h"
@@ -110,14 +113,133 @@ TEST_F(TraceFileTest, RejectsGarbageFiles)
     std::FILE *f = std::fopen(path_.c_str(), "wb");
     std::fputs("definitely not a trace file, sorry", f);
     std::fclose(f);
-    EXPECT_EXIT(TraceReader reader(path_),
-                ::testing::ExitedWithCode(1), "not a fetchsim trace");
+    try {
+        TraceReader reader(path_);
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+        EXPECT_NE(std::string(e.what()).find("not a fetchsim trace"),
+                  std::string::npos);
+    }
 }
 
-TEST_F(TraceFileTest, MissingFileIsFatal)
+TEST_F(TraceFileTest, MissingFileIsAnIoError)
 {
-    EXPECT_EXIT(TraceReader reader("/nonexistent/nope.trace"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    try {
+        TraceReader reader("/nonexistent/nope.trace");
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+        EXPECT_NE(std::string(e.what()).find("cannot open"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(TraceFileTest, HeaderCarriesTheContentHash)
+{
+    path_ = tempTracePath("hash");
+    Workload wl = test::hammockWorkload(2, 3, 0.6);
+    Executor exec(wl, kEvalInput);
+
+    std::uint64_t written_hash = 0;
+    {
+        TraceWriter writer(path_);
+        DynInst di;
+        for (int i = 0; i < 300; ++i) {
+            exec.next(di);
+            writer.append(di);
+        }
+        writer.close();
+        written_hash = writer.contentHash();
+    }
+    EXPECT_NE(written_hash, kTraceHashOffset); // 300 records hashed
+
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.version(), kTraceVersion);
+    EXPECT_EQ(reader.contentHash(), written_hash);
+
+    // Draining the whole stream revalidates the hash (no throw).
+    DynInst di;
+    while (reader.next(di)) {
+    }
+    EXPECT_EQ(reader.consumed(), 300u);
+}
+
+TEST_F(TraceFileTest, DetectsCorruptedRecords)
+{
+    path_ = tempTracePath("corrupt");
+    Workload wl = test::straightLineWorkload(5);
+    Executor exec(wl, 0);
+    recordTrace(exec, path_, 50);
+
+    // Flip one byte in the middle of the record payload.
+    std::FILE *f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 24 + 25 * 32 + 3, SEEK_SET);
+    std::fputc(0x5a, f);
+    std::fclose(f);
+
+    TraceReader reader(path_);
+    DynInst di;
+    EXPECT_THROW(
+        {
+            while (reader.next(di)) {
+            }
+        },
+        SimException);
+}
+
+TEST_F(TraceFileTest, TruncatedFileIsAnIoError)
+{
+    path_ = tempTracePath("truncated");
+    std::FILE *f = std::fopen(path_.c_str(), "wb");
+    std::fputs("FSTR", f); // valid magic, then nothing
+    std::fclose(f);
+    try {
+        TraceReader reader(path_);
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+    }
+}
+
+TEST_F(TraceFileTest, ReadsVersion1Traces)
+{
+    // v1 files (16-byte header, no content hash) predate the replay
+    // cache; the reader must still consume them, skipping hash
+    // verification.
+    path_ = tempTracePath("v1");
+    Workload wl = test::straightLineWorkload(5);
+    Executor exec(wl, 0);
+    recordTrace(exec, path_, 40);
+
+    // Demote the v2 file to v1: drop the hash word from the header
+    // and shift the records up by 8 bytes.
+    std::FILE *in = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(in, nullptr);
+    std::fseek(in, 0, SEEK_END);
+    const long size = std::ftell(in);
+    std::fseek(in, 0, SEEK_SET);
+    std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), in),
+              bytes.size());
+    std::fclose(in);
+    const std::uint32_t v1 = 1;
+    std::memcpy(bytes.data() + 4, &v1, sizeof(v1));
+    std::FILE *out = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(bytes.data(), 1, 16, out);             // v1 header
+    std::fwrite(bytes.data() + 24, 1, bytes.size() - 24, out);
+    std::fclose(out);
+
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.version(), 1u);
+    EXPECT_EQ(reader.count(), 40u);
+    DynInst di;
+    std::uint64_t read = 0;
+    while (reader.next(di))
+        ++read;
+    EXPECT_EQ(read, 40u);
 }
 
 TEST_F(TraceFileTest, TraceDrivenRunMatchesLiveRun)
