@@ -93,6 +93,7 @@
 #include "core/error.h"
 #include "core/processor.h"
 #include "exec/trace_file.h"
+#include "fetch/scheme_registry.h"
 #include "perf/profiler.h"
 #include "perf/trace_export.h"
 #include "sim/bench.h"
@@ -197,20 +198,12 @@ parseMachine(const std::string &name)
 SchemeKind
 parseScheme(const std::string &name)
 {
-    if (name == "sequential")
-        return SchemeKind::Sequential;
-    if (name == "interleaved")
-        return SchemeKind::InterleavedSequential;
-    if (name == "banked")
-        return SchemeKind::BankedSequential;
-    if (name == "collapsing")
-        return SchemeKind::CollapsingBuffer;
-    if (name == "perfect")
-        return SchemeKind::Perfect;
-    throw SimException(
-        ErrorKind::Config,
-        "unknown scheme: " + name +
-            " (sequential|interleaved|banked|collapsing|perfect)");
+    const auto &registry = FetchSchemeRegistry::instance();
+    if (const SchemeInfo *info = registry.find(name))
+        return info->kind;
+    throw SimException(ErrorKind::Config,
+                       "unknown scheme: " + name + " (" +
+                           registry.keyList() + ")");
 }
 
 LayoutKind
@@ -450,9 +443,16 @@ cmdList()
                   << (spec.isFp ? "  (fp)" : "  (int)") << "\n";
     }
     std::cout << "machines:   P14 P18 P112\n"
-              << "schemes:    sequential interleaved banked "
-                 "collapsing perfect\n"
-              << "layouts:    unordered reordered pad-all pad-trace\n"
+              << "schemes:\n";
+    for (const SchemeInfo &scheme :
+         FetchSchemeRegistry::instance().schemes()) {
+        std::cout << "  " << scheme.key;
+        for (std::size_t pad = std::strlen(scheme.key); pad < 14;
+             ++pad)
+            std::cout << ' ';
+        std::cout << scheme.summary << "\n";
+    }
+    std::cout << "layouts:    unordered reordered pad-all pad-trace\n"
               << "predictors: btb gshare two-level oracle\n";
     return 0;
 }
@@ -582,11 +582,9 @@ cmdSweep(const std::map<std::string, std::string> &args)
 
     const std::string schemes = getOr(args, "schemes", "all");
     if (schemes == "all") {
-        plan.schemes({SchemeKind::Sequential,
-                      SchemeKind::InterleavedSequential,
-                      SchemeKind::BankedSequential,
-                      SchemeKind::CollapsingBuffer,
-                      SchemeKind::Perfect});
+        // "all" = the paper's evaluation grid; the related-work and
+        // beyond-paper schemes are requested by name.
+        plan.schemes(FetchSchemeRegistry::instance().paperSchemes());
     } else {
         std::vector<SchemeKind> axis;
         for (const std::string &name : splitList(schemes))
@@ -802,7 +800,11 @@ cmdHelp()
     // The single authoritative flag reference.  The docs-freshness
     // check (scripts/check_docs_fresh.sh) extracts every --flag token
     // printed here and fails when one is missing from README.md, so
-    // adding a flag without documenting it breaks CI.
+    // adding a flag without documenting it breaks CI.  The scheme
+    // value list comes from the registry, so new schemes appear here
+    // (and in `list`) automatically.
+    const std::string scheme_keys =
+        FetchSchemeRegistry::instance().keyList();
     std::cout <<
         "fetchsim_cli -- trace-driven fetch-mechanism simulator\n"
         "\n"
@@ -819,9 +821,9 @@ cmdHelp()
         "run:\n"
         "  --benchmark NAME    workload (default eqntott)\n"
         "  --machine M         P14|P18|P112 (default P112)\n"
-        "  --scheme S          sequential|collapsing|perfect|...\n"
-        "  --layout L          unordered|dfs|pad_trace|pad_all\n"
-        "  --predictor P       btb|always|never|perfect\n"
+        "  --scheme S          " << scheme_keys << "\n"
+        "  --layout L          unordered|reordered|pad-all|pad-trace\n"
+        "  --predictor P       btb|gshare|two-level|oracle\n"
         "  --ras               enable the return-address stack\n"
         "  --insts N           retired-instruction budget\n"
         "  --spec-depth N      speculative-fetch depth override\n"

@@ -72,3 +72,30 @@ EOF
     exit 1
 fi
 echo "README.md documents every CLI flag"
+
+# Gate 3: scheme keys vs README.  The scheme registry is the single
+# authority on fetch schemes; `fetchsim_cli help` prints its key list
+# on the --scheme line, and every key must appear in README.md so a
+# newly registered scheme cannot ship undocumented.
+scheme_line=$(grep -- '--scheme' "$tmpdir/help.txt" | head -n 1)
+[ -n "$scheme_line" ] || {
+    echo "help output no longer documents --scheme" >&2; exit 1;
+}
+missing=0
+for key in $(printf '%s\n' "$scheme_line" \
+        | grep -oE '[a-z][a-z-]*(\|[a-z][a-z-]*)+' | tr '|' ' '); do
+    if ! grep -qF -- "$key" "$readme"; then
+        echo "README.md does not document fetch scheme: $key" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    cat >&2 <<EOF
+
+The scheme registry advertises fetch schemes that README.md does not
+mention.  Add them to the scheme table in README.md alongside your
+change.
+EOF
+    exit 1
+fi
+echo "README.md documents every registered fetch scheme"

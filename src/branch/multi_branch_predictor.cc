@@ -1,0 +1,67 @@
+#include "branch/multi_branch_predictor.h"
+
+#include <algorithm>
+
+#include "isa/opcode.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+MultiBranchPredictor::MultiBranchPredictor(int entries,
+                                           int max_branches)
+    : table_(static_cast<std::size_t>(entries), 1), // weakly not-taken
+      max_branches_(max_branches)
+{
+    simAssert(entries > 0 && (entries & (entries - 1)) == 0,
+              "mbp entries power of two");
+    simAssert(max_branches > 0 && max_branches <= 32,
+              "mbp vector width fits a word");
+}
+
+std::size_t
+MultiBranchPredictor::indexOf(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(
+        (pc / kInstBytes) &
+        static_cast<std::uint64_t>(table_.size() - 1));
+}
+
+bool
+MultiBranchPredictor::predictTaken(std::uint64_t pc) const
+{
+    return table_[indexOf(pc)] >= 2;
+}
+
+BranchVector
+MultiBranchPredictor::predict(const DynInst *stream, int len,
+                              int window) const
+{
+    BranchVector vec;
+    const int scan = std::min(len, window);
+    for (int i = 0; i < scan && vec.count < max_branches_; ++i) {
+        const DynInst &di = stream[i];
+        if (!di.isCondBranch())
+            continue;
+        if (predictTaken(di.pc))
+            vec.bits |= 1u << vec.count;
+        ++vec.count;
+    }
+    return vec;
+}
+
+void
+MultiBranchPredictor::train(const DynInst &di)
+{
+    simAssert(di.isCondBranch(), "mbp trains conditional branches");
+    std::uint8_t &counter = table_[indexOf(di.pc)];
+    ++trained_;
+    if ((counter >= 2) != di.taken)
+        ++trained_wrong_;
+    if (di.taken)
+        counter = static_cast<std::uint8_t>(std::min(3, counter + 1));
+    else
+        counter = static_cast<std::uint8_t>(std::max(0, counter - 1));
+}
+
+} // namespace fetchsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-branch predictor: up to N conditional-branch outcomes per
+ * cycle, packed into a bit vector.
+ *
+ * A trace cache is indexed by (start PC, branch-outcome vector), so
+ * the frontend must produce several conditional outcomes in one cycle
+ * -- one per branch the candidate trace may span -- before any of
+ * those branches has even been fetched (Rotenberg et al., MICRO-29).
+ * This implementation keeps a table of 2-bit saturating counters
+ * indexed by branch PC and, each cycle, scans the upcoming
+ * correct-path stream for the next conditional branches, predicting
+ * bit k of the vector from the k-th branch's counter.  Scanning the
+ * stream for branch *addresses* is the trace-driven analogue of the
+ * hardware's path-based vector lookup; the *outcomes* are genuinely
+ * predicted (counters train only on branches already delivered to
+ * decode), so vector mispredictions occur and are charged exactly
+ * like BTB direction mispredictions.
+ */
+
+#ifndef FETCHSIM_BRANCH_MULTI_BRANCH_PREDICTOR_H_
+#define FETCHSIM_BRANCH_MULTI_BRANCH_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/dyn_inst.h"
+
+namespace fetchsim
+{
+
+/** Predicted outcomes of the next conditional branches. */
+struct BranchVector
+{
+    std::uint32_t bits = 0; //!< bit k = k-th cond branch predicted taken
+    int count = 0;          //!< branches covered by the vector
+
+    /** Predicted direction of the k-th conditional branch. */
+    bool
+    taken(int k) const
+    {
+        return (bits >> k) & 1u;
+    }
+};
+
+/**
+ * Table of per-address 2-bit counters producing one BranchVector per
+ * cycle.  All state is owned by the instance, so a fresh predictor
+ * per run keeps simulations deterministic.
+ */
+class MultiBranchPredictor
+{
+  public:
+    /**
+     * @param entries      counter-table entries (power of two)
+     * @param max_branches outcomes predicted per cycle (vector width,
+     *                     at most 32)
+     */
+    MultiBranchPredictor(int entries, int max_branches);
+
+    /**
+     * Predict the outcomes of the conditional branches among the next
+     * @p window instructions of @p stream (at most @p len visible),
+     * stopping after maxBranches() of them.
+     */
+    BranchVector predict(const DynInst *stream, int len,
+                         int window) const;
+
+    /** Predicted direction for one branch PC (counter >= 2). */
+    bool predictTaken(std::uint64_t pc) const;
+
+    /**
+     * Train the counter of a delivered conditional branch with its
+     * actual outcome.  Call exactly once per dynamic branch, in
+     * delivery order.
+     */
+    void train(const DynInst &di);
+
+    /** Vector width (outcomes per cycle). */
+    int maxBranches() const { return max_branches_; }
+
+    /** @name Accuracy counters (observability + tests) */
+    ///@{
+    std::uint64_t trained() const { return trained_; }
+    std::uint64_t trainedWrong() const { return trained_wrong_; }
+    ///@}
+
+  private:
+    std::size_t indexOf(std::uint64_t pc) const;
+
+    std::vector<std::uint8_t> table_; //!< 2-bit saturating counters
+    int max_branches_;
+    std::uint64_t trained_ = 0;
+    std::uint64_t trained_wrong_ = 0;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_BRANCH_MULTI_BRANCH_PREDICTOR_H_

@@ -67,6 +67,26 @@ struct MachineConfig
     bool useRas = false;        //!< return-address stack
     int rasDepth = 16;          //!< RAS entries when enabled
 
+    // Trace-cache geometry (SchemeKind::TraceCache only; the other
+    // schemes ignore these).  One line holds up to traceLineInsts
+    // instructions (0 = one fetch width, i.e. issueRate) spanning at
+    // most traceMaxBranches conditional branches; the multi-branch
+    // predictor supplies that many outcomes per cycle from a table of
+    // mbpEntries 2-bit counters.
+    int traceSets = 128;        //!< trace-cache sets
+    int traceWays = 4;          //!< trace-cache associativity
+    int traceLineInsts = 0;     //!< insts per trace line (0 = issueRate)
+    int traceMaxBranches = 4;   //!< cond branches per line / predicted
+                                //!< outcomes per cycle
+    int mbpEntries = 4096;      //!< multi-branch predictor counters
+
+    /** Resolved trace-line length (traceLineInsts or the fetch width). */
+    int
+    traceLineLength() const
+    {
+        return traceLineInsts > 0 ? traceLineInsts : issueRate;
+    }
+
     /** Instructions per I-cache block (= BTB interleave factor). */
     int
     instsPerBlock() const

@@ -93,6 +93,7 @@ Processor::attachMetrics(MetricRegistry &registry)
         "|target - pc| of retired taken control transfers");
     icache_.attachMetrics(registry);
     predictor_.attachMetrics(registry);
+    fetch_->attachMetrics(registry);
 }
 
 void

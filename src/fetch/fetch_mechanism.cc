@@ -1,5 +1,6 @@
 #include "fetch/fetch_mechanism.h"
 
+#include "fetch/scheme_registry.h"
 #include "stats/log.h"
 
 namespace fetchsim
@@ -87,22 +88,7 @@ PerfectFetch::formGroup(FetchContext &ctx)
 std::unique_ptr<FetchMechanism>
 makeFetchMechanism(SchemeKind kind, const MachineConfig &cfg)
 {
-    switch (kind) {
-      case SchemeKind::Sequential:
-        return std::make_unique<SequentialFetch>(cfg);
-      case SchemeKind::InterleavedSequential:
-        return std::make_unique<InterleavedSequentialFetch>(cfg);
-      case SchemeKind::BankedSequential:
-        return std::make_unique<BankedSequentialFetch>(cfg);
-      case SchemeKind::CollapsingBuffer:
-        return std::make_unique<CollapsingBufferFetch>(cfg);
-      case SchemeKind::Perfect:
-        return std::make_unique<PerfectFetch>(cfg);
-      case SchemeKind::MultiBanked:
-        return std::make_unique<MultiBankedFetch>(cfg);
-      default:
-        fatal("makeFetchMechanism: bad scheme kind");
-    }
+    return FetchSchemeRegistry::instance().make(kind, cfg);
 }
 
 std::unique_ptr<FetchMechanism>

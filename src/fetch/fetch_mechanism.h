@@ -1,14 +1,18 @@
 /**
  * @file
- * Abstract fetch mechanism plus the five concrete schemes.
+ * Abstract fetch mechanism plus the walk-based concrete schemes.
  *
- * Each scheme corresponds to one of the paper's designs (Sections
- * 3-3.3) and is exercised by the Processor once per cycle.  The
- * classes are deliberately thin: the per-cycle walk is shared
- * (fetch/walker.h) and parameterized by each scheme's WalkRules; the
- * class carries the scheme identity, its fetch-misprediction penalty
- * and, for the collapsing buffer, the implementation choice (crossbar
- * vs shifter) that determines that penalty.
+ * Each scheme here corresponds to one of the paper's designs
+ * (Sections 3-3.3) or its related-work comparator and is exercised by
+ * the Processor once per cycle.  The classes are deliberately thin:
+ * the per-cycle walk is shared (fetch/walker.h) and parameterized by
+ * each scheme's WalkRules; the class carries the scheme identity, its
+ * fetch-misprediction penalty and, for the collapsing buffer, the
+ * implementation choice (crossbar vs shifter) that determines that
+ * penalty.  Stateful mechanisms live in their own headers (the trace
+ * cache in fetch/trace_cache.h); construction goes through
+ * fetch/scheme_registry.h, which maps SchemeKind and CLI names to
+ * factories and metadata.
  */
 
 #ifndef FETCHSIM_FETCH_FETCH_MECHANISM_H_
@@ -20,6 +24,8 @@
 
 namespace fetchsim
 {
+
+class MetricRegistry;
 
 /**
  * Base class of all fetch mechanisms.
@@ -49,6 +55,17 @@ class FetchMechanism
      * collapsing buffer pays three (paper Section 3.3 / Figure 11).
      */
     virtual int mispredictPenalty() const { return cfg_.fetchPenalty; }
+
+    /**
+     * Register mechanism-internal observability counters (trace-cache
+     * hit/fill statistics and the like).  The stateless walk-based
+     * schemes have nothing beyond the processor's fetch.* metrics, so
+     * the default is a no-op.
+     */
+    virtual void attachMetrics(MetricRegistry &registry)
+    {
+        (void)registry;
+    }
 
   protected:
     /** Private copy: mechanisms never dangle on a caller's config. */
@@ -171,11 +188,10 @@ class PerfectFetch : public FetchMechanism
 };
 
 /**
- * Factory.  @p penalty_override, when positive, replaces the scheme's
- * fetch-misprediction penalty (used by the Figure 11 sensitivity
- * study); it is honoured by selecting the shifter implementation for
- * the collapsing buffer and by adjusting cfg-independent penalties
- * otherwise.
+ * Convenience factory with default construction parameters;
+ * equivalent to FetchSchemeRegistry::instance().make(kind, cfg).
+ * Callers that need the collapsing buffer's implementation choice or
+ * backward-collapse switch pass SchemeParams through the registry.
  */
 std::unique_ptr<FetchMechanism> makeFetchMechanism(
     SchemeKind kind, const MachineConfig &cfg);

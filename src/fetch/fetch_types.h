@@ -27,6 +27,10 @@ enum class SchemeKind : std::uint8_t
     Perfect,               //!< unlimited alignment (upper bound)
     MultiBanked,           //!< POWER2-style 8-bank fetch (related
                            //!< work the paper compares against)
+    TraceCache,            //!< Rotenberg-style trace cache with a
+                           //!< multi-branch predictor (beyond-paper
+                           //!< study; append-only: the numeric value
+                           //!< feeds checkpoint content hashes)
     NumSchemes
 };
 

@@ -1,6 +1,6 @@
 #include "fetch/fetch_types.h"
 
-#include "stats/log.h"
+#include "fetch/scheme_registry.h"
 
 namespace fetchsim
 {
@@ -8,22 +8,9 @@ namespace fetchsim
 const char *
 schemeName(SchemeKind kind)
 {
-    switch (kind) {
-      case SchemeKind::Sequential:
-        return "sequential";
-      case SchemeKind::InterleavedSequential:
-        return "interleaved-sequential";
-      case SchemeKind::BankedSequential:
-        return "banked-sequential";
-      case SchemeKind::CollapsingBuffer:
-        return "collapsing-buffer";
-      case SchemeKind::Perfect:
-        return "perfect";
-      case SchemeKind::MultiBanked:
-        return "multi-banked";
-      default:
+    if (static_cast<int>(kind) >= kNumSchemes)
         return "???";
-    }
+    return FetchSchemeRegistry::instance().info(kind).display;
 }
 
 } // namespace fetchsim

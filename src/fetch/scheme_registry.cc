@@ -1,0 +1,148 @@
+#include "fetch/scheme_registry.h"
+
+#include "fetch/trace_cache.h"
+#include "stats/log.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+std::unique_ptr<FetchMechanism>
+makeSequential(const MachineConfig &cfg, const SchemeParams &)
+{
+    return std::make_unique<SequentialFetch>(cfg);
+}
+
+std::unique_ptr<FetchMechanism>
+makeInterleaved(const MachineConfig &cfg, const SchemeParams &)
+{
+    return std::make_unique<InterleavedSequentialFetch>(cfg);
+}
+
+std::unique_ptr<FetchMechanism>
+makeBanked(const MachineConfig &cfg, const SchemeParams &)
+{
+    return std::make_unique<BankedSequentialFetch>(cfg);
+}
+
+std::unique_ptr<FetchMechanism>
+makeCollapsing(const MachineConfig &cfg, const SchemeParams &params)
+{
+    return std::make_unique<CollapsingBufferFetch>(
+        cfg, params.cbImpl, params.cbAllowBackward);
+}
+
+std::unique_ptr<FetchMechanism>
+makePerfect(const MachineConfig &cfg, const SchemeParams &)
+{
+    return std::make_unique<PerfectFetch>(cfg);
+}
+
+std::unique_ptr<FetchMechanism>
+makeMultiBanked(const MachineConfig &cfg, const SchemeParams &)
+{
+    return std::make_unique<MultiBankedFetch>(cfg);
+}
+
+std::unique_ptr<FetchMechanism>
+makeTraceCache(const MachineConfig &cfg, const SchemeParams &)
+{
+    return std::make_unique<TraceCacheFetch>(cfg);
+}
+
+} // anonymous namespace
+
+FetchSchemeRegistry::FetchSchemeRegistry()
+{
+    // Ordered by SchemeKind value; the paper's five-scheme grid
+    // first, then the related-work and beyond-paper schemes.
+    schemes_ = {
+        {SchemeKind::Sequential, "sequential", "sequential",
+         "single-block masked fetch (paper Section 3, lower bound)",
+         true, false, PredictorKind::BtbCounter, &makeSequential},
+        {SchemeKind::InterleavedSequential, "interleaved",
+         "interleaved-sequential",
+         "two-bank sequential prefetch (paper Section 3.1)",
+         true, false, PredictorKind::BtbCounter, &makeInterleaved},
+        {SchemeKind::BankedSequential, "banked", "banked-sequential",
+         "fetch block + BTB-predicted successor (paper Section 3.2)",
+         true, false, PredictorKind::BtbCounter, &makeBanked},
+        {SchemeKind::CollapsingBuffer, "collapsing",
+         "collapsing-buffer",
+         "banked fetch + intra-block collapsing (paper Section 3.3)",
+         true, true, PredictorKind::BtbCounter, &makeCollapsing},
+        {SchemeKind::Perfect, "perfect", "perfect",
+         "unlimited alignment (paper upper bound)",
+         true, false, PredictorKind::BtbCounter, &makePerfect},
+        {SchemeKind::MultiBanked, "multi-banked", "multi-banked",
+         "POWER2-style 8-bank fetch (related work, paper Section 1)",
+         false, false, PredictorKind::StaticBtfnt, &makeMultiBanked},
+        {SchemeKind::TraceCache, "trace-cache", "trace-cache",
+         "trace cache + multi-branch predictor (beyond-paper study)",
+         false, false, PredictorKind::BtbCounter, &makeTraceCache},
+    };
+    simAssert(static_cast<int>(schemes_.size()) == kNumSchemes,
+              "every SchemeKind registered");
+    for (std::size_t i = 0; i < schemes_.size(); ++i)
+        simAssert(static_cast<std::size_t>(schemes_[i].kind) == i,
+                  "registry ordered by SchemeKind value");
+}
+
+const FetchSchemeRegistry &
+FetchSchemeRegistry::instance()
+{
+    static const FetchSchemeRegistry registry;
+    return registry;
+}
+
+const SchemeInfo &
+FetchSchemeRegistry::info(SchemeKind kind) const
+{
+    const auto index = static_cast<std::size_t>(kind);
+    simAssert(index < schemes_.size(), "registered scheme");
+    return schemes_[index];
+}
+
+const SchemeInfo *
+FetchSchemeRegistry::find(std::string_view key_or_name) const
+{
+    for (const SchemeInfo &scheme : schemes_) {
+        if (key_or_name == scheme.key ||
+            key_or_name == scheme.display)
+            return &scheme;
+    }
+    return nullptr;
+}
+
+std::vector<SchemeKind>
+FetchSchemeRegistry::paperSchemes() const
+{
+    std::vector<SchemeKind> kinds;
+    for (const SchemeInfo &scheme : schemes_)
+        if (scheme.paperScheme)
+            kinds.push_back(scheme.kind);
+    return kinds;
+}
+
+std::string
+FetchSchemeRegistry::keyList(const char *sep) const
+{
+    std::string joined;
+    for (const SchemeInfo &scheme : schemes_) {
+        if (!joined.empty())
+            joined += sep;
+        joined += scheme.key;
+    }
+    return joined;
+}
+
+std::unique_ptr<FetchMechanism>
+FetchSchemeRegistry::make(SchemeKind kind, const MachineConfig &cfg,
+                          const SchemeParams &params) const
+{
+    return info(kind).factory(cfg, params);
+}
+
+} // namespace fetchsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * FetchSchemeRegistry: the single authority on fetch schemes.
+ *
+ * Before this registry existed, adding a scheme meant editing switch
+ * statements scattered across the fetch factory, the CLI parser and
+ * help text, the plan validator and the report tables.  Now each
+ * scheme registers once, carrying everything the rest of the system
+ * asks about it:
+ *
+ *  - a stable CLI key ("collapsing") and the display name used in
+ *    reports ("collapsing-buffer");
+ *  - a one-line summary (CLI `list`/`help` output);
+ *  - metadata: membership in the paper's five-scheme grid, whether
+ *    the collapsing-buffer implementation axis applies, and the
+ *    direction predictor the scheme assumes by default;
+ *  - a factory constructing the mechanism (absorbing what used to be
+ *    a special case for the collapsing buffer's extra parameters).
+ *
+ * SchemeKind itself stays an interned id: its numeric values feed
+ * checkpoint content hashes and existing configs, so the enum is
+ * append-only and the registry is ordered by it.
+ */
+
+#ifndef FETCHSIM_FETCH_SCHEME_REGISTRY_H_
+#define FETCHSIM_FETCH_SCHEME_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fetch/fetch_mechanism.h"
+
+namespace fetchsim
+{
+
+/**
+ * Construction parameters a scheme factory may consume beyond the
+ * machine configuration.  Schemes ignore fields that do not apply to
+ * them (the registry's cbImplApplies metadata says which do).
+ */
+struct SchemeParams
+{
+    CollapsingBufferFetch::Impl cbImpl =
+        CollapsingBufferFetch::Impl::Crossbar;
+    bool cbAllowBackward = false;
+};
+
+/** Everything the system knows about one fetch scheme. */
+struct SchemeInfo
+{
+    SchemeKind kind;       //!< interned id (append-only enum)
+    const char *key;       //!< stable CLI key, e.g. "collapsing"
+    const char *display;   //!< report/display name, e.g.
+                           //!< "collapsing-buffer" (paper terminology)
+    const char *summary;   //!< one-line description for `list`/`help`
+    bool paperScheme;      //!< member of the paper's 5-scheme grid
+    bool cbImplApplies;    //!< crossbar/shifter implementation axis
+                           //!< meaningful for this scheme
+    PredictorKind defaultPredictor; //!< direction predictor the
+                                    //!< scheme assumes by default
+    std::unique_ptr<FetchMechanism> (*factory)(
+        const MachineConfig &cfg, const SchemeParams &params);
+};
+
+/**
+ * Immutable, process-wide table of registered schemes, ordered by
+ * SchemeKind value.
+ */
+class FetchSchemeRegistry
+{
+  public:
+    /** The registry (constructed on first use, immutable after). */
+    static const FetchSchemeRegistry &instance();
+
+    /** All registered schemes, in SchemeKind order. */
+    const std::vector<SchemeInfo> &schemes() const { return schemes_; }
+
+    /** Metadata of one scheme (fatal on an unregistered kind). */
+    const SchemeInfo &info(SchemeKind kind) const;
+
+    /**
+     * Look up a scheme by CLI key or display name; nullptr when the
+     * string matches neither.
+     */
+    const SchemeInfo *find(std::string_view key_or_name) const;
+
+    /** The paper's evaluation grid, in SchemeKind order. */
+    std::vector<SchemeKind> paperSchemes() const;
+
+    /** All CLI keys joined by @p sep (error messages, help text). */
+    std::string keyList(const char *sep = "|") const;
+
+    /** Construct the mechanism for @p kind. */
+    std::unique_ptr<FetchMechanism>
+    make(SchemeKind kind, const MachineConfig &cfg,
+         const SchemeParams &params = {}) const;
+
+  private:
+    FetchSchemeRegistry();
+
+    std::vector<SchemeInfo> schemes_;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_FETCH_SCHEME_REGISTRY_H_

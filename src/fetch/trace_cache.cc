@@ -1,0 +1,252 @@
+#include "fetch/trace_cache.h"
+
+#include <algorithm>
+
+#include "stats/log.h"
+#include "stats/metrics.h"
+
+namespace fetchsim
+{
+
+TraceCacheFetch::TraceCacheFetch(const MachineConfig &cfg)
+    : FetchMechanism(cfg),
+      miss_rules_(rulesFor(SchemeKind::Sequential)),
+      mbp_(cfg.mbpEntries, cfg.traceMaxBranches),
+      lines_(static_cast<std::size_t>(cfg.traceSets) *
+             static_cast<std::size_t>(cfg.traceWays)),
+      sets_(cfg.traceSets), ways_(cfg.traceWays),
+      line_insts_(cfg.traceLineLength())
+{
+    simAssert(sets_ > 0 && (sets_ & (sets_ - 1)) == 0,
+              "trace sets power of two");
+    simAssert(ways_ > 0, "trace ways positive");
+    simAssert(line_insts_ > 0, "trace line length positive");
+}
+
+std::size_t
+TraceCacheFetch::setOf(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(
+        (pc / kInstBytes) & static_cast<std::uint64_t>(sets_ - 1));
+}
+
+TraceLine *
+TraceCacheFetch::lookup(std::uint64_t pc, const BranchVector &vec)
+{
+    const std::size_t base = setOf(pc) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+        TraceLine &line = lines_[base + static_cast<std::size_t>(w)];
+        if (!line.valid || line.startPc != pc)
+            continue;
+        // The vector must cover and agree with every branch the line
+        // spans; fewer predicted branches means the upcoming path
+        // cannot follow this line to its end.
+        if (line.branches > vec.count)
+            continue;
+        const std::uint32_t mask =
+            line.branches >= 32 ? ~0u : (1u << line.branches) - 1u;
+        if (((line.outcomes ^ vec.bits) & mask) != 0)
+            continue;
+        return &line;
+    }
+    return nullptr;
+}
+
+TraceLine *
+TraceCacheFetch::lookupExact(std::uint64_t pc, std::uint32_t outcomes,
+                             int branches)
+{
+    const std::size_t base = setOf(pc) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+        TraceLine &line = lines_[base + static_cast<std::size_t>(w)];
+        if (line.valid && line.startPc == pc &&
+            line.branches == branches && line.outcomes == outcomes)
+            return &line;
+    }
+    return nullptr;
+}
+
+TraceLine &
+TraceCacheFetch::victimIn(std::uint64_t pc)
+{
+    const std::size_t base = setOf(pc) * static_cast<std::size_t>(ways_);
+    TraceLine *victim = &lines_[base];
+    for (int w = 0; w < ways_; ++w) {
+        TraceLine &line = lines_[base + static_cast<std::size_t>(w)];
+        if (!line.valid)
+            return line;
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    return *victim;
+}
+
+FetchOutcome
+TraceCacheFetch::deliverFromTrace(FetchContext &ctx,
+                                  const BranchVector &vec,
+                                  const TraceLine &line)
+{
+    FetchOutcome out;
+    const MachineConfig &cfg = *ctx.cfg;
+    const int cap = std::min({cfg.issueRate, ctx.windowSpace,
+                              ctx.streamLen, line.length});
+    int new_cond = 0;
+    int branch_index = 0;
+    for (int i = 0; i < cap; ++i) {
+        const DynInst &di = ctx.stream[i];
+        simAssert(line.pcs[static_cast<std::size_t>(i)] == di.pc,
+                  "trace line matches the correct path");
+        if (di.isCondBranch() && new_cond >= ctx.specHeadroom) {
+            out.stop = FetchStop::SpecDepth;
+            return out;
+        }
+        out.delivered = i + 1;
+        // The suite is still consulted once per delivered instruction
+        // so BTB/RAS speculative state and statistics stay coherent;
+        // its direction/target verdicts are overridden by the trace
+        // contents (the line embeds all targets) and by the
+        // multi-branch predictor's outcome bits.
+        const InstPrediction pred = ctx.predictor->predict(di);
+        if (pred.cond)
+            ++new_cond;
+        if (di.isCondBranch()) {
+            const bool predicted_taken = vec.taken(branch_index);
+            ++branch_index;
+            if (predicted_taken != di.taken) {
+                if (m_mbp_wrong_)
+                    m_mbp_wrong_->inc();
+                out.stop = FetchStop::Mispredict;
+                out.mispredict = true;
+                return out;
+            }
+        }
+    }
+    if (out.delivered >= cfg.issueRate)
+        out.stop = FetchStop::IssueLimit;
+    else if (out.delivered >= ctx.windowSpace)
+        out.stop = FetchStop::WindowFull;
+    else if (out.delivered >= ctx.streamLen)
+        out.stop = FetchStop::StreamEnd;
+    else
+        out.stop = FetchStop::BlockEnd; // trace line exhausted
+    return out;
+}
+
+void
+TraceCacheFetch::fillFromStream(const DynInst *stream, int len)
+{
+    const int scan = std::min(line_insts_, len);
+    std::uint32_t outcomes = 0;
+    int branches = 0;
+    int length = 0;
+    for (int i = 0; i < scan; ++i) {
+        const DynInst &di = stream[i];
+        // Returns end a trace: their targets depend on the call site,
+        // so embedding one would make the line path-ambiguous.
+        if (di.si.op == OpClass::Return)
+            break;
+        if (di.isCondBranch()) {
+            if (branches >= mbp_.maxBranches())
+                break;
+            if (di.taken)
+                outcomes |= 1u << branches;
+            ++branches;
+        }
+        ++length;
+    }
+    if (length == 0)
+        return;
+
+    if (TraceLine *existing =
+            lookupExact(stream[0].pc, outcomes, branches)) {
+        existing->lastUse = ++tick_;
+        return;
+    }
+    TraceLine &line = victimIn(stream[0].pc);
+    line.valid = true;
+    line.startPc = stream[0].pc;
+    line.outcomes = outcomes;
+    line.branches = branches;
+    line.length = length;
+    line.pcs.assign(static_cast<std::size_t>(length), 0);
+    for (int i = 0; i < length; ++i)
+        line.pcs[static_cast<std::size_t>(i)] = stream[i].pc;
+    line.lastUse = ++tick_;
+    ++fills_;
+    if (m_fills_)
+        m_fills_->inc();
+}
+
+FetchOutcome
+TraceCacheFetch::formGroup(FetchContext &ctx)
+{
+    simAssert(ctx.cfg && ctx.predictor && ctx.icache,
+              "context wired");
+    if (ctx.streamLen == 0) {
+        FetchOutcome out;
+        out.stop = FetchStop::StreamEnd;
+        return out;
+    }
+    if (ctx.windowSpace <= 0) {
+        FetchOutcome out;
+        out.stop = FetchStop::WindowFull;
+        return out;
+    }
+
+    const BranchVector vec =
+        mbp_.predict(ctx.stream, ctx.streamLen, line_insts_);
+
+    FetchOutcome out;
+    if (TraceLine *line = lookup(ctx.stream[0].pc, vec)) {
+        line->lastUse = ++tick_;
+        ++hits_;
+        if (m_hits_)
+            m_hits_->inc();
+        out = deliverFromTrace(ctx, vec, *line);
+        if (out.delivered < line->length) {
+            ++partial_hits_;
+            if (m_partial_hits_)
+                m_partial_hits_->inc();
+        }
+    } else {
+        ++misses_;
+        if (m_misses_)
+            m_misses_->inc();
+        out = runWalk(miss_rules_, ctx);
+        // Fill unit: in this trace-driven model the upcoming stream
+        // *is* the retired correct path, so a missing line can be
+        // built immediately, keyed by the actual outcomes.
+        fillFromStream(ctx.stream, ctx.streamLen);
+    }
+
+    // Train the multi-branch predictor on every delivered conditional
+    // branch -- each dynamic branch is delivered exactly once, so the
+    // counters see the same update stream a retirement-fed table
+    // would.
+    for (int i = 0; i < out.delivered; ++i)
+        if (ctx.stream[i].isCondBranch())
+            mbp_.train(ctx.stream[i]);
+    return out;
+}
+
+void
+TraceCacheFetch::attachMetrics(MetricRegistry &registry)
+{
+    m_hits_ = &registry.counter(
+        "fetch.trace_cache.hits",
+        "group formations served from a trace line");
+    m_misses_ = &registry.counter(
+        "fetch.trace_cache.misses",
+        "group formations that fell back to sequential fetch");
+    m_fills_ = &registry.counter(
+        "fetch.trace_cache.fills",
+        "trace lines built by the fill unit");
+    m_partial_hits_ = &registry.counter(
+        "fetch.trace_cache.partial_hits",
+        "trace hits delivering fewer instructions than the line holds");
+    m_mbp_wrong_ = &registry.counter(
+        "fetch.trace_cache.mbp_mispredicts",
+        "trace hits ended by a wrong multi-branch outcome bit");
+}
+
+} // namespace fetchsim

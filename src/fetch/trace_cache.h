@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Trace-cache fetch mechanism (beyond-paper study).
+ *
+ * The paper's collapsing buffer fetches past taken branches by
+ * merging at most two cache blocks; the natural successor (Rotenberg
+ * et al., MICRO-29) stores dynamic instruction sequences -- traces --
+ * so a single access supplies up to one fetch width of instructions
+ * spanning arbitrarily many basic blocks.  A trace line is indexed by
+ * (start PC, branch-outcome vector); a multi-branch predictor
+ * (branch/multi_branch_predictor.h) supplies the vector each cycle.
+ *
+ * On a vector-match hit the line's instructions are delivered with no
+ * alignment or bank constraints; the group still respects the issue
+ * rate, window space and speculation-depth gates, and each delivered
+ * conditional branch checks its predicted bit against the actual
+ * outcome -- a wrong bit ends the group exactly like a BTB direction
+ * mispredict (FetchStop::Mispredict, fetch resumes at resolution plus
+ * the fetch penalty).  On a miss the mechanism falls back to the
+ * paper's single-block sequential fetch (the conventional I-cache
+ * path that backs every real trace cache) and the fill unit builds a
+ * new line from the correct-path stream -- the trace-driven analogue
+ * of filling from retirement -- keyed by the *actual* outcomes.
+ */
+
+#ifndef FETCHSIM_FETCH_TRACE_CACHE_H_
+#define FETCHSIM_FETCH_TRACE_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/multi_branch_predictor.h"
+#include "fetch/fetch_mechanism.h"
+#include "stats/metrics.h"
+
+namespace fetchsim
+{
+
+/** One trace line: a dynamic instruction sequence plus its index. */
+struct TraceLine
+{
+    bool valid = false;
+    std::uint64_t startPc = 0;  //!< PC of the first instruction
+    std::uint32_t outcomes = 0; //!< bit k = k-th cond branch taken
+    int branches = 0;           //!< conditional branches in the line
+    int length = 0;             //!< instructions in the line
+    std::vector<std::uint64_t> pcs; //!< the stored instruction PCs
+    std::uint64_t lastUse = 0;  //!< LRU tick
+};
+
+/**
+ * SchemeKind::TraceCache: trace cache + multi-branch predictor with a
+ * sequential-fetch miss path.  Geometry comes from MachineConfig
+ * (traceSets/traceWays/traceLineInsts/traceMaxBranches/mbpEntries);
+ * all mutable state is owned by the instance, so a fresh mechanism
+ * per run keeps simulations deterministic.
+ */
+class TraceCacheFetch final : public FetchMechanism
+{
+  public:
+    explicit TraceCacheFetch(const MachineConfig &cfg);
+
+    FetchOutcome formGroup(FetchContext &ctx) override;
+    SchemeKind kind() const override { return SchemeKind::TraceCache; }
+    void attachMetrics(MetricRegistry &registry) override;
+
+    /** @name Introspection (tests + metrics) */
+    ///@{
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t fills() const { return fills_; }
+    std::uint64_t partialHits() const { return partial_hits_; }
+    const MultiBranchPredictor &mbp() const { return mbp_; }
+    int sets() const { return sets_; }
+    int ways() const { return ways_; }
+    int lineInsts() const { return line_insts_; }
+    ///@}
+
+  private:
+    /** Deliver instructions out of a matching trace line. */
+    FetchOutcome deliverFromTrace(FetchContext &ctx,
+                                  const BranchVector &vec,
+                                  const TraceLine &line);
+
+    /** Fill unit: build a line from the correct-path stream. */
+    void fillFromStream(const DynInst *stream, int len);
+
+    TraceLine *lookup(std::uint64_t pc, const BranchVector &vec);
+    TraceLine *lookupExact(std::uint64_t pc, std::uint32_t outcomes,
+                           int branches);
+    TraceLine &victimIn(std::uint64_t pc);
+
+    std::size_t setOf(std::uint64_t pc) const;
+
+    WalkRules miss_rules_;      //!< sequential core fetch on a miss
+    MultiBranchPredictor mbp_;
+    std::vector<TraceLine> lines_; //!< sets_ x ways_, set-major
+    int sets_;
+    int ways_;
+    int line_insts_;
+    std::uint64_t tick_ = 0;    //!< LRU clock
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t fills_ = 0;
+    std::uint64_t partial_hits_ = 0;
+
+    Counter *m_hits_ = nullptr;
+    Counter *m_misses_ = nullptr;
+    Counter *m_fills_ = nullptr;
+    Counter *m_partial_hits_ = nullptr;
+    Counter *m_mbp_wrong_ = nullptr;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_FETCH_TRACE_CACHE_H_

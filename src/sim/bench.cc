@@ -34,7 +34,7 @@ benchGrid(std::uint64_t dyn_insts)
                                                 MachineModel::P112};
     const std::vector<SchemeKind> schemes = {
         SchemeKind::Sequential, SchemeKind::CollapsingBuffer,
-        SchemeKind::Perfect};
+        SchemeKind::Perfect, SchemeKind::TraceCache};
 
     std::vector<RunConfig> grid;
     grid.reserve(benchmarks.size() * machines.size() *

@@ -111,10 +111,10 @@ std::string benchCellId(const RunConfig &config);
 
 /**
  * The pinned regression grid: {eqntott, compress, gcc} x {P14, P112}
- * x {sequential, collapsing, perfect}, unordered layout, at
- * @p dyn_insts retired instructions per run (0 = defaultDynInsts()).
- * Pinned so BENCH documents from different commits are comparable
- * cell by cell.
+ * x {sequential, collapsing, perfect, trace-cache}, unordered
+ * layout, at @p dyn_insts retired instructions per run (0 =
+ * defaultDynInsts()).  Pinned so BENCH documents from different
+ * commits are comparable cell by cell.
  */
 std::vector<RunConfig> benchGrid(std::uint64_t dyn_insts);
 

@@ -2,9 +2,6 @@
 
 #include <cstdlib>
 
-#include "sim/plan.h"
-#include "sim/session.h"
-#include "sim/sweep.h"
 #include "stats/log.h"
 #include "workload/benchmark_suite.h"
 
@@ -56,55 +53,6 @@ fpNames()
     for (const auto &spec : fpSuite())
         names.push_back(spec.name);
     return names;
-}
-
-// --------------------------------------------------------------------
-// Deprecated wrappers.  Each delegates to the process-wide Session;
-// the serial runSuite forms run their grid through a single-threaded
-// SweepEngine so old and new API share one execution path.
-// --------------------------------------------------------------------
-
-RunResult
-runExperiment(const RunConfig &config)
-{
-    return defaultSession().run(config);
-}
-
-const Workload &
-preparedWorkload(const std::string &benchmark, LayoutKind layout,
-                 std::uint64_t block_bytes)
-{
-    return defaultSession().workload(benchmark, layout, block_bytes);
-}
-
-SuiteResult
-runSuite(const std::vector<std::string> &names, MachineModel machine,
-         SchemeKind scheme, LayoutKind layout,
-         std::uint64_t max_retired,
-         CollapsingBufferFetch::Impl cb_impl)
-{
-    ExperimentPlan plan;
-    plan.benchmarks(names)
-        .machine(machine)
-        .scheme(scheme)
-        .layout(layout)
-        .cbImpl(cb_impl)
-        .maxRetired(max_retired);
-    SweepOptions options;
-    options.threads = 1;
-    SweepEngine engine(defaultSession(), options);
-    return makeSuite(engine.run(plan).runs);
-}
-
-SuiteResult
-runSuite(const std::vector<std::string> &names, const RunConfig &proto)
-{
-    ExperimentPlan plan;
-    plan.proto(proto).benchmarks(names);
-    SweepOptions options;
-    options.threads = 1;
-    SweepEngine engine(defaultSession(), options);
-    return makeSuite(engine.run(plan).runs);
 }
 
 } // namespace fetchsim

@@ -13,11 +13,10 @@
  *                                      deterministically
  *  - report helpers (sim/report.h)  -- JSON/CSV result output
  *
- * The free functions at the bottom (runExperiment, runSuite,
- * preparedWorkload) are the pre-Session API.  They are deprecated
- * thin wrappers over a hidden process-wide Session kept so existing
- * callers keep compiling; they remain safe to call from multiple
- * threads but offer no control over cache lifetime or parallelism.
+ * (The pre-Session free functions -- runExperiment, runSuite,
+ * preparedWorkload -- went through a deprecation cycle and have been
+ * removed; create a Session, or an ExperimentPlan plus a SweepEngine,
+ * instead.)
  */
 
 #ifndef FETCHSIM_SIM_EXPERIMENT_H_
@@ -104,55 +103,6 @@ struct SuiteResult
 /** Benchmark-name list helpers for the benches. */
 std::vector<std::string> integerNames();
 std::vector<std::string> fpNames();
-
-// --------------------------------------------------------------------
-// Deprecated pre-Session API.  Thin wrappers over an internal
-// process-wide Session (defaultSession() in sim/session.h).
-// --------------------------------------------------------------------
-
-/**
- * Run one experiment against the process-wide Session.
- * @deprecated Create a Session and call Session::run() instead.
- */
-[[deprecated("use Session::run (sim/session.h)")]]
-RunResult runExperiment(const RunConfig &config);
-
-/**
- * Prepared-workload access against the process-wide Session.  The
- * returned reference is owned by that Session and remains valid --
- * including under concurrent callers -- for the process lifetime.
- * @p block_bytes is only meaningful for the padded layouts (pass the
- * machine's block size); use 0 otherwise.
- * @deprecated Create a Session and call Session::workload() instead.
- */
-[[deprecated("use Session::workload (sim/session.h)")]]
-const Workload &preparedWorkload(const std::string &benchmark,
-                                 LayoutKind layout,
-                                 std::uint64_t block_bytes = 0);
-
-/**
- * Run every benchmark in @p names under one (machine, scheme,
- * layout) point and compute harmonic means, serially.
- * @deprecated Build an ExperimentPlan and run it through a
- *             SweepEngine (sim/sweep.h) instead.
- */
-[[deprecated("use ExperimentPlan + SweepEngine (sim/sweep.h)")]]
-SuiteResult runSuite(const std::vector<std::string> &names,
-                     MachineModel machine, SchemeKind scheme,
-                     LayoutKind layout = LayoutKind::Unordered,
-                     std::uint64_t max_retired = 0,
-                     CollapsingBufferFetch::Impl cb_impl =
-                         CollapsingBufferFetch::Impl::Crossbar);
-
-/**
- * Run every benchmark in @p names under @p proto (its `benchmark`
- * field is overwritten per run), serially.
- * @deprecated Build an ExperimentPlan and run it through a
- *             SweepEngine (sim/sweep.h) instead.
- */
-[[deprecated("use ExperimentPlan + SweepEngine (sim/sweep.h)")]]
-SuiteResult runSuite(const std::vector<std::string> &names,
-                     const RunConfig &proto);
 
 } // namespace fetchsim
 

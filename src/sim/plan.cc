@@ -1,5 +1,6 @@
 #include "sim/plan.h"
 
+#include "fetch/scheme_registry.h"
 #include "workload/benchmark_suite.h"
 #include "workload/branch_behavior.h"
 
@@ -148,6 +149,36 @@ ExperimentPlan::validate() const
                 " out of range [0, " + std::to_string(kEvalInput) +
                 "]",
             "ExperimentPlan"});
+    }
+    // Scheme/CB-impl compatibility comes from registry metadata: a
+    // non-default collapsing-buffer implementation is meaningless on
+    // schemes without that axis, so sweeping it across them would
+    // silently duplicate cells.  The ubiquitous Crossbar default is
+    // always accepted.  Every bad pairing is reported.
+    const auto &registry = FetchSchemeRegistry::instance();
+    const std::vector<SchemeKind> scheme_axis =
+        schemes_.empty() ? std::vector<SchemeKind>{proto_.scheme}
+                         : schemes_;
+    const std::vector<CollapsingBufferFetch::Impl> impl_axis =
+        cb_impls_.empty()
+            ? std::vector<CollapsingBufferFetch::Impl>{proto_.cbImpl}
+            : cb_impls_;
+    for (SchemeKind scheme : scheme_axis) {
+        const SchemeInfo &info = registry.info(scheme);
+        if (info.cbImplApplies)
+            continue;
+        for (CollapsingBufferFetch::Impl impl : impl_axis) {
+            if (impl == CollapsingBufferFetch::Impl::Crossbar)
+                continue;
+            errors.push_back(SimError{
+                ErrorKind::Config,
+                std::string("scheme '") + info.display +
+                    "' does not take a collapsing-buffer "
+                    "implementation (the shifter/crossbar axis "
+                    "applies only to schemes with cbImplApplies "
+                    "metadata)",
+                "ExperimentPlan"});
+        }
     }
     return errors;
 }

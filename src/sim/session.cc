@@ -10,6 +10,7 @@
 #include "core/error.h"
 #include "exec/executor.h"
 #include "exec/trace_file.h"
+#include "fetch/scheme_registry.h"
 #include "perf/profiler.h"
 #include "stats/log.h"
 #include "workload/benchmark_suite.h"
@@ -418,13 +419,10 @@ Session::run(const RunConfig &config, const RunInstrumentation &inst,
     const Workload &wl =
         workload(config.benchmark, config.layout, cfg.blockBytes);
 
-    std::unique_ptr<FetchMechanism> mechanism;
-    if (config.scheme == SchemeKind::CollapsingBuffer) {
-        mechanism = std::make_unique<CollapsingBufferFetch>(
-            cfg, config.cbImpl, config.cbAllowBackward);
-    } else {
-        mechanism = makeFetchMechanism(config.scheme, cfg);
-    }
+    std::unique_ptr<FetchMechanism> mechanism =
+        FetchSchemeRegistry::instance().make(
+            config.scheme, cfg,
+            {config.cbImpl, config.cbAllowBackward});
 
     const std::uint64_t budget =
         config.maxRetired ? config.maxRetired : defaultDynInsts();
@@ -546,13 +544,6 @@ Session::exportReplayMetrics(MetricRegistry &registry) const
         .counter("replay.bytes_spilled",
                  "FSTR spill-file bytes written by the cache")
         .inc(stats.bytesSpilled);
-}
-
-Session &
-defaultSession()
-{
-    static Session session;
-    return session;
 }
 
 } // namespace fetchsim

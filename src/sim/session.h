@@ -323,13 +323,6 @@ class Session
     std::atomic<std::uint64_t> replay_bytes_spilled_{0};
 };
 
-/**
- * The process-wide Session behind the deprecated free functions
- * (runExperiment / runSuite / preparedWorkload).  New code should
- * create its own Session instead.
- */
-Session &defaultSession();
-
 } // namespace fetchsim
 
 #endif // FETCHSIM_SIM_SESSION_H_

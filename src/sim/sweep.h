@@ -314,8 +314,8 @@ class SweepEngine
 };
 
 /**
- * Harmonic-mean aggregation of a run list (the SuiteResult the
- * deprecated runSuite() returned, computed from any run set).
+ * Harmonic-mean aggregation of a run list into a SuiteResult
+ * (computed from any run set, however it was produced).
  */
 SuiteResult makeSuite(std::vector<RunResult> runs);
 

@@ -1,9 +1,8 @@
 /**
  * @file
- * Tests for the experiment driver: the Session workload cache,
- * run determinism, configuration plumbing, and the deprecated
- * free-function wrappers (which must behave exactly like the Session
- * API they delegate to).
+ * Tests for the experiment driver: the Session workload cache, run
+ * determinism, configuration plumbing, and the plan/engine execution
+ * path that replaced the pre-Session free functions.
  */
 
 #include <gtest/gtest.h>
@@ -172,46 +171,14 @@ TEST(SessionDeath, UnknownBenchmarkIsFatal)
 }
 
 // --------------------------------------------------------------------
-// Deprecated wrapper coverage.  The old free functions must keep
-// working (they delegate to a process-wide Session) and agree with
-// the Session API bit for bit.
+// Plan + engine execution path.  This is the API the removed
+// pre-Session free functions migrated to; these tests pin down the
+// equivalences the old wrapper tests asserted.
 // --------------------------------------------------------------------
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedApi, RunExperimentMatchesSessionRun)
-{
-    RunConfig config =
-        smallConfig("compress", MachineModel::P14,
-                    SchemeKind::CollapsingBuffer);
-    RunResult wrapped = runExperiment(config);
-    Session session;
-    RunResult direct = session.run(config);
-    EXPECT_EQ(wrapped.counters.cycles, direct.counters.cycles);
-    EXPECT_EQ(wrapped.counters.retired, direct.counters.retired);
-    EXPECT_EQ(wrapped.counters.mispredicts,
-              direct.counters.mispredicts);
-    EXPECT_EQ(wrapped.counters.icacheMisses,
-              direct.counters.icacheMisses);
-}
-
-TEST(DeprecatedApi, PreparedWorkloadIsCached)
-{
-    const Workload &a =
-        preparedWorkload("compress", LayoutKind::Unordered);
-    const Workload &b =
-        preparedWorkload("compress", LayoutKind::Unordered);
-    EXPECT_EQ(&a, &b);
-}
-
-TEST(DeprecatedApi, RunSuiteMatchesPlanAndEngine)
+TEST(PlanEngine, EngineRunMatchesSessionRuns)
 {
     const std::vector<std::string> names = {"compress", "eqntott"};
-    SuiteResult wrapped =
-        runSuite(names, MachineModel::P14, SchemeKind::Perfect,
-                 LayoutKind::Unordered, 8000);
-
     Session session;
     ExperimentPlan plan;
     plan.benchmarks(names)
@@ -219,35 +186,41 @@ TEST(DeprecatedApi, RunSuiteMatchesPlanAndEngine)
         .scheme(SchemeKind::Perfect)
         .layout(LayoutKind::Unordered)
         .maxRetired(8000);
-    SweepEngine engine(session);
-    SuiteResult direct = makeSuite(engine.run(plan).runs);
+    SweepOptions options;
+    options.threads = 1;
+    SweepEngine engine(session, options);
+    SuiteResult suite = makeSuite(engine.run(plan).runs);
 
-    ASSERT_EQ(wrapped.runs.size(), direct.runs.size());
-    for (std::size_t i = 0; i < wrapped.runs.size(); ++i) {
-        EXPECT_EQ(wrapped.runs[i].config.benchmark,
-                  direct.runs[i].config.benchmark);
-        EXPECT_EQ(wrapped.runs[i].counters.cycles,
-                  direct.runs[i].counters.cycles);
-        EXPECT_EQ(wrapped.runs[i].counters.retired,
-                  direct.runs[i].counters.retired);
+    ASSERT_EQ(suite.runs.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        Session fresh;
+        RunResult direct =
+            fresh.run(smallConfig(names[i].c_str(),
+                                  MachineModel::P14,
+                                  SchemeKind::Perfect));
+        EXPECT_EQ(suite.runs[i].config.benchmark, names[i]);
+        EXPECT_EQ(suite.runs[i].counters.cycles,
+                  direct.counters.cycles);
+        EXPECT_EQ(suite.runs[i].counters.retired,
+                  direct.counters.retired);
     }
-    EXPECT_DOUBLE_EQ(wrapped.hmeanIpc, direct.hmeanIpc);
-    EXPECT_DOUBLE_EQ(wrapped.hmeanEir, direct.hmeanEir);
 }
 
-TEST(DeprecatedApi, SuiteAggregatesHarmonicMean)
+TEST(PlanEngine, MakeSuiteAggregatesHarmonicMean)
 {
-    std::vector<std::string> names = {"compress", "eqntott"};
-    SuiteResult suite =
-        runSuite(names, MachineModel::P14, SchemeKind::Perfect,
-                 LayoutKind::Unordered, 8000);
+    Session session;
+    ExperimentPlan plan;
+    plan.benchmarks({"compress", "eqntott"})
+        .machine(MachineModel::P14)
+        .scheme(SchemeKind::Perfect)
+        .maxRetired(8000);
+    SweepEngine engine(session);
+    SuiteResult suite = makeSuite(engine.run(plan).runs);
     ASSERT_EQ(suite.runs.size(), 2u);
     std::vector<double> ipcs = {suite.runs[0].ipc(),
                                 suite.runs[1].ipc()};
     EXPECT_NEAR(suite.hmeanIpc, harmonicMean(ipcs), 1e-12);
 }
-
-#pragma GCC diagnostic pop
 
 } // anonymous namespace
 } // namespace fetchsim

@@ -294,10 +294,10 @@ TEST(BenchStats, MadIsRobustToOutliers)
     EXPECT_DOUBLE_EQ(madOf(values, median), 1.0);
 }
 
-TEST(BenchGrid, IsPinnedTo18UnorderedCells)
+TEST(BenchGrid, IsPinnedTo24UnorderedCells)
 {
     const std::vector<RunConfig> grid = benchGrid(1234);
-    ASSERT_EQ(grid.size(), 18u);
+    ASSERT_EQ(grid.size(), 24u);
     for (const RunConfig &config : grid) {
         EXPECT_EQ(config.layout, LayoutKind::Unordered);
         EXPECT_EQ(config.maxRetired, 1234u);
@@ -305,7 +305,7 @@ TEST(BenchGrid, IsPinnedTo18UnorderedCells)
     EXPECT_EQ(benchCellId(grid[0]),
               "eqntott/P14/sequential/unordered");
     EXPECT_EQ(benchCellId(grid.back()),
-              "gcc/P112/perfect/unordered");
+              "gcc/P112/trace-cache/unordered");
 }
 
 TEST(BenchRegressions, FlagsCellsSlowerThanThreshold)
@@ -405,7 +405,7 @@ TEST(BenchRun, SmokeModeProducesAStructurallyCompleteReport)
     const BenchReport report = runBench(session, options);
     EXPECT_EQ(report.iterations, 1);
     EXPECT_EQ(report.dynInsts, kBenchSmokeInsts);
-    ASSERT_EQ(report.cells.size(), 18u);
+    ASSERT_EQ(report.cells.size(), 24u);
     for (const BenchCellStats &cell : report.cells) {
         EXPECT_EQ(cell.id, benchCellId(cell.config));
         ASSERT_EQ(cell.samplesCyclesPerSec.size(), 1u);

@@ -190,5 +190,46 @@ TEST(PlanValidate, CollectsAllViolations)
         EXPECT_EQ(error.kind, ErrorKind::Config);
 }
 
+TEST(PlanValidate, RejectsImplAxisOnSchemesWithoutIt)
+{
+    // The shifter/crossbar axis only exists for the collapsing
+    // buffer (registry metadata); sweeping it across other schemes
+    // would silently duplicate cells.
+    ExperimentPlan plan;
+    plan.benchmarks({"gcc"})
+        .schemes({SchemeKind::Sequential,
+                  SchemeKind::CollapsingBuffer})
+        .cbImpl(CollapsingBufferFetch::Impl::Shifter);
+    const std::vector<SimError> errors = plan.validate();
+    ASSERT_EQ(errors.size(), 1u); // only the sequential pairing
+    EXPECT_EQ(errors[0].kind, ErrorKind::Config);
+    EXPECT_NE(errors[0].message.find("sequential"),
+              std::string::npos);
+    EXPECT_THROW(plan.expand(), SimException);
+}
+
+TEST(PlanValidate, CrossbarDefaultIsAcceptedEverywhere)
+{
+    // Crossbar is RunConfig's default cbImpl, so every existing
+    // config carries it; only a non-default impl is a violation.
+    ExperimentPlan plan;
+    plan.benchmarks({"gcc"})
+        .schemes({SchemeKind::Sequential, SchemeKind::Perfect,
+                  SchemeKind::TraceCache})
+        .cbImpl(CollapsingBufferFetch::Impl::Crossbar);
+    EXPECT_TRUE(plan.validate().empty());
+}
+
+TEST(PlanValidate, ReportsEveryBadSchemeImplPairing)
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"gcc"})
+        .schemes({SchemeKind::Sequential, SchemeKind::Perfect,
+                  SchemeKind::TraceCache})
+        .cbImpl(CollapsingBufferFetch::Impl::Shifter);
+    const std::vector<SimError> errors = plan.validate();
+    ASSERT_EQ(errors.size(), 3u); // one per scheme, all at once
+}
+
 } // anonymous namespace
 } // namespace fetchsim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the fetch-scheme registry: the single authority mapping
+ * scheme ids to CLI keys, display names, metadata and factories.
+ * Round-trips every registered scheme through parse/print/construct,
+ * and pins sweep invariance across thread counts and replay policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fetch/scheme_registry.h"
+#include "sim/session.h"
+#include "sim/sweep.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(SchemeRegistry, CoversEveryKindInOrder)
+{
+    const auto &registry = FetchSchemeRegistry::instance();
+    ASSERT_EQ(static_cast<int>(registry.schemes().size()),
+              kNumSchemes);
+    for (int i = 0; i < kNumSchemes; ++i) {
+        const SchemeKind kind = static_cast<SchemeKind>(i);
+        EXPECT_EQ(registry.info(kind).kind, kind);
+        EXPECT_EQ(registry.schemes()[static_cast<std::size_t>(i)].kind,
+                  kind);
+    }
+}
+
+TEST(SchemeRegistry, FindRoundTripsKeysAndDisplayNames)
+{
+    const auto &registry = FetchSchemeRegistry::instance();
+    for (const SchemeInfo &scheme : registry.schemes()) {
+        const SchemeInfo *by_key = registry.find(scheme.key);
+        ASSERT_NE(by_key, nullptr) << scheme.key;
+        EXPECT_EQ(by_key->kind, scheme.kind);
+        const SchemeInfo *by_display = registry.find(scheme.display);
+        ASSERT_NE(by_display, nullptr) << scheme.display;
+        EXPECT_EQ(by_display->kind, scheme.kind);
+    }
+    EXPECT_EQ(registry.find("not-a-scheme"), nullptr);
+    EXPECT_EQ(registry.find(""), nullptr);
+}
+
+TEST(SchemeRegistry, DisplayNameMatchesSchemeName)
+{
+    // schemeName() is the long-standing print API (reports, bench
+    // ids, checkpoint journals); it must stay byte-identical to the
+    // registry's display names.
+    const auto &registry = FetchSchemeRegistry::instance();
+    for (const SchemeInfo &scheme : registry.schemes())
+        EXPECT_STREQ(schemeName(scheme.kind), scheme.display);
+}
+
+TEST(SchemeRegistry, PaperSchemesAreTheFiveSchemeGrid)
+{
+    const std::vector<SchemeKind> expected = {
+        SchemeKind::Sequential, SchemeKind::InterleavedSequential,
+        SchemeKind::BankedSequential, SchemeKind::CollapsingBuffer,
+        SchemeKind::Perfect};
+    EXPECT_EQ(FetchSchemeRegistry::instance().paperSchemes(),
+              expected);
+}
+
+TEST(SchemeRegistry, OnlyTheCollapsingBufferTakesAnImplAxis)
+{
+    const auto &registry = FetchSchemeRegistry::instance();
+    for (const SchemeInfo &scheme : registry.schemes())
+        EXPECT_EQ(scheme.cbImplApplies,
+                  scheme.kind == SchemeKind::CollapsingBuffer);
+}
+
+TEST(SchemeRegistry, KeyListJoinsEveryKey)
+{
+    const std::string joined =
+        FetchSchemeRegistry::instance().keyList();
+    EXPECT_NE(joined.find("sequential"), std::string::npos);
+    EXPECT_NE(joined.find("collapsing"), std::string::npos);
+    EXPECT_NE(joined.find("trace-cache"), std::string::npos);
+    int separators = 0;
+    for (char c : joined)
+        if (c == '|')
+            ++separators;
+    EXPECT_EQ(separators, kNumSchemes - 1);
+}
+
+TEST(SchemeRegistry, FactoryConstructsMatchingMechanism)
+{
+    const auto &registry = FetchSchemeRegistry::instance();
+    const MachineConfig cfg = makeP14();
+    for (const SchemeInfo &scheme : registry.schemes()) {
+        auto mechanism = registry.make(scheme.kind, cfg);
+        ASSERT_NE(mechanism, nullptr) << scheme.key;
+        EXPECT_EQ(mechanism->kind(), scheme.kind) << scheme.key;
+    }
+}
+
+RunConfig
+tinyConfig(SchemeKind scheme)
+{
+    RunConfig config;
+    config.benchmark = "compress";
+    config.machine = MachineModel::P14;
+    config.scheme = scheme;
+    config.maxRetired = 4000;
+    return config;
+}
+
+std::vector<RunConfig>
+everySchemeGrid()
+{
+    std::vector<RunConfig> grid;
+    for (const SchemeInfo &scheme :
+         FetchSchemeRegistry::instance().schemes())
+        grid.push_back(tinyConfig(scheme.kind));
+    return grid;
+}
+
+void
+expectSameRuns(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        EXPECT_EQ(a.runs[i].config.scheme, b.runs[i].config.scheme);
+        EXPECT_EQ(a.runs[i].counters.cycles,
+                  b.runs[i].counters.cycles)
+            << schemeName(a.runs[i].config.scheme);
+        EXPECT_EQ(a.runs[i].counters.retired,
+                  b.runs[i].counters.retired);
+        EXPECT_EQ(a.runs[i].counters.delivered,
+                  b.runs[i].counters.delivered);
+        EXPECT_EQ(a.runs[i].counters.mispredicts,
+                  b.runs[i].counters.mispredicts);
+    }
+}
+
+TEST(SchemeRegistry, SweepIsThreadCountInvariant)
+{
+    // Every registered scheme produces bit-identical counters at 1
+    // and 8 worker threads: mechanism state is per-run, so worker
+    // scheduling must not leak into results.
+    const std::vector<RunConfig> grid = everySchemeGrid();
+    Session session;
+    SweepOptions one;
+    one.threads = 1;
+    const SweepResult serial =
+        SweepEngine(session, one).run(grid);
+    SweepOptions eight;
+    eight.threads = 8;
+    const SweepResult parallel =
+        SweepEngine(session, eight).run(grid);
+    expectSameRuns(serial, parallel);
+}
+
+TEST(SchemeRegistry, SweepIsReplayPolicyInvariant)
+{
+    // Replayed streams are the recorded live streams: counters must
+    // not depend on the stream source for any scheme.
+    const std::vector<RunConfig> grid = everySchemeGrid();
+    Session session;
+    SweepOptions live;
+    live.threads = 1;
+    const SweepResult off = SweepEngine(session, live).run(grid);
+    SweepOptions replayed;
+    replayed.threads = 1;
+    replayed.replay.policy = ReplayPolicy::InMemory;
+    const SweepResult mem =
+        SweepEngine(session, replayed).run(grid);
+    expectSameRuns(off, mem);
+}
+
+} // anonymous namespace
+} // namespace fetchsim
