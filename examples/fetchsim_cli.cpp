@@ -36,8 +36,24 @@
  *                       [--layout reordered]
  *   fetchsim_cli replay --trace gcc.trace --machine P112
  *                       --scheme banked [--insts N]
+ *   fetchsim_cli serve  --socket PATH [--threads N]
+ *                       [--queue-cells N] [--result-cache FILE]
+ *                       [--cache-max-entries N]
+ *                       [--replay off|mem|disk]
+ *   fetchsim_cli submit --socket PATH [plan flags as in sweep]
+ *                       [--priority N] [--no-wait] [--json FILE]
+ *                       | --status JOB | --cancel JOB
+ *                       | --metrics | --shutdown
  *   fetchsim_cli list
  *   fetchsim_cli help
+ *
+ * `serve` runs the long-lived sweep service (sim/service.h,
+ * docs/SERVICE.md): jobs from any number of `submit` clients share
+ * one Session, one replay cache and one content-addressed result
+ * cache, so a cell simulated once is served from cache forever.
+ * SIGTERM drains gracefully: in-flight cells finish and are
+ * journaled, the rest are skipped, and a service restarted on the
+ * same --result-cache journal resumes warm.
  *
  * `--replay` selects the shared dynamic-trace replay cache
  * (docs/TRACES.md): under `mem` or `disk` the first run for each
@@ -67,16 +83,21 @@
  *   65  configuration rejected (unknown benchmark/machine/..., plan
  *       validation failure)
  *   70  simulation failure (watchdog trip, internal error)
- *   74  I/O failure (unwritable output, unreadable checkpoint)
+ *   74  I/O failure (unwritable output, unreadable checkpoint,
+ *       unreachable service socket, service backpressure)
+ *   76  protocol error (malformed service request/response --
+ *       sysexits EX_PROTOCOL)
  *   130 interrupted (SIGINT drained the sweep; completed cells are
  *       checkpointed when --checkpoint is given -- rerun with
- *       --resume to finish)
+ *       --resume to finish; also: submit's job ended cancelled or
+ *       drained)
  *
  * `bench --baseline` additionally exits 1 (generic failure) when the
  * run regressed against the baseline; the run itself succeeded, so
  * none of the sysexits classes apply.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,6 +107,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -100,6 +122,7 @@
 #include "sim/plan.h"
 #include "sim/report.h"
 #include "sim/repro_report.h"
+#include "sim/service.h"
 #include "sim/session.h"
 #include "sim/sweep.h"
 #include "stats/table.h"
@@ -115,6 +138,7 @@ constexpr int kExitUsage = 64;
 constexpr int kExitConfig = 65;
 constexpr int kExitSimulation = 70;
 constexpr int kExitIo = 74;
+constexpr int kExitProtocol = 76; // sysexits EX_PROTOCOL
 constexpr int kExitInterrupted = 130;
 
 /** Bad command-line syntax (exit 64, distinct from config errors). */
@@ -139,7 +163,8 @@ parseArgs(int argc, char **argv, int first)
         // Flags without values.
         if (key == "ras" || key == "metrics" || key == "json" ||
             key == "fail-fast" || key == "keep-going" ||
-            key == "resume" || key == "smoke") {
+            key == "resume" || key == "smoke" || key == "no-wait" ||
+            key == "shutdown") {
             // --json doubles as a valued option (sweep output file);
             // treat it as a flag only when no value follows.
             if (key == "json" && i + 1 < argc &&
@@ -424,6 +449,9 @@ reportSweepFailures(const SweepResult &sweep)
           case ErrorKind::Workload:
           case ErrorKind::Internal:
             exit_code = kExitSimulation;
+            break;
+          case ErrorKind::Protocol:
+            exit_code = kExitProtocol;
             break;
           case ErrorKind::Io:
             if (exit_code == 0)
@@ -795,6 +823,217 @@ cmdRecord(const std::map<std::string, std::string> &args)
 }
 
 int
+cmdServe(const std::map<std::string, std::string> &args)
+{
+    ServiceOptions options;
+    options.socketPath = getOr(args, "socket", "");
+    if (options.socketPath.empty())
+        throw UsageError("serve requires --socket PATH");
+    options.threads = std::atoi(getOr(args, "threads", "0").c_str());
+    const long queue_cells =
+        std::atol(getOr(args, "queue-cells", "4096").c_str());
+    if (queue_cells <= 0)
+        throw UsageError("--queue-cells wants a positive count");
+    options.maxQueuedCells = static_cast<std::size_t>(queue_cells);
+    options.resultCache.journalPath = getOr(args, "result-cache", "");
+    options.resultCache.maxEntries = std::strtoull(
+        getOr(args, "cache-max-entries", "0").c_str(), nullptr, 10);
+    options.replay = parseReplayOptions(args);
+
+    SweepService service(options);
+    installServiceSignalHandlers();
+    clearServiceStop();
+    service.start();
+    std::cerr << "serving on " << service.socketPath() << " with "
+              << service.threads() << " workers";
+    if (!options.resultCache.journalPath.empty()) {
+        std::cerr << ", result cache "
+                  << options.resultCache.journalPath << " ("
+                  << service.resultCache().stats().loaded
+                  << " entries loaded)";
+    }
+    std::cerr << "\n";
+
+    // Sleep until SIGTERM/SIGINT or a client's POST /v1/shutdown,
+    // then drain: the drain must run on this thread, never on a
+    // connection thread (it joins them).
+    while (!serviceStopRequested() && !service.shutdownRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::cerr << "draining...\n";
+    service.drain();
+
+    const ServiceStats stats = service.stats();
+    std::cerr << "served " << stats.jobsSubmitted << " jobs, "
+              << stats.requests << " requests: "
+              << stats.cellsSimulated << " cells simulated, "
+              << stats.cellsCacheServed << " cache-served, "
+              << stats.cellsSkipped << " skipped\n";
+    printReplayStats(service.session(), options.replay);
+    return 0;
+}
+
+/**
+ * Turn an error response from the service into the structured
+ * exception the exit-code mapping understands (the body carries the
+ * SimError kind, docs/SERVICE.md).
+ */
+[[noreturn]] void
+raiseServiceError(const ServiceResponse &response)
+{
+    auto parsed = parseJson(response.body);
+    if (parsed.ok()) {
+        if (const JsonValue *error = parsed.value().find("error")) {
+            ErrorKind kind = ErrorKind::Protocol;
+            if (const JsonValue *kind_field = error->find("kind")) {
+                const std::string &name = kind_field->asString();
+                if (name == "config")
+                    kind = ErrorKind::Config;
+                else if (name == "workload")
+                    kind = ErrorKind::Workload;
+                else if (name == "io")
+                    kind = ErrorKind::Io;
+                else if (name == "internal")
+                    kind = ErrorKind::Internal;
+            }
+            std::string message = "service error";
+            if (const JsonValue *msg = error->find("message"))
+                message = msg->asString();
+            throw SimException(kind, message);
+        }
+    }
+    throw SimException(ErrorKind::Protocol,
+                       "service returned HTTP " +
+                           std::to_string(response.status) + ": " +
+                           response.body);
+}
+
+int
+cmdSubmit(const std::map<std::string, std::string> &args)
+{
+    const std::string socket = getOr(args, "socket", "");
+    if (socket.empty())
+        throw UsageError("submit requires --socket PATH");
+
+    // Service management modes: one request, print the response.
+    if (args.count("shutdown")) {
+        const ServiceResponse response =
+            serviceRequest(socket, "POST", "/v1/shutdown");
+        if (response.status != 200)
+            raiseServiceError(response);
+        std::cout << response.body << "\n";
+        return 0;
+    }
+    if (args.count("metrics")) {
+        const ServiceResponse response =
+            serviceRequest(socket, "GET", "/metrics");
+        if (response.status != 200)
+            raiseServiceError(response);
+        std::cout << response.body;
+        return 0;
+    }
+    if (args.count("cancel")) {
+        const ServiceResponse response = serviceRequest(
+            socket, "POST", "/v1/jobs/" + args.at("cancel") +
+                                "/cancel");
+        if (response.status != 200)
+            raiseServiceError(response);
+        std::cout << response.body << "\n";
+        return 0;
+    }
+    if (args.count("status")) {
+        const ServiceResponse response = serviceRequest(
+            socket, "GET", "/v1/jobs/" + args.at("status"));
+        if (response.status != 200)
+            raiseServiceError(response);
+        std::cout << response.body << "\n";
+        return 0;
+    }
+
+    // Plan submission.  The "int"/"fp"/"all" conveniences expand
+    // client-side exactly like `sweep`; empty lists select the
+    // service-side defaults (all machines, the paper schemes).
+    std::vector<std::string> machines;
+    const std::string machines_arg = getOr(args, "machines", "all");
+    if (machines_arg != "all")
+        machines = splitList(machines_arg);
+    std::vector<std::string> schemes;
+    const std::string schemes_arg = getOr(args, "schemes", "all");
+    if (schemes_arg != "all")
+        schemes = splitList(schemes_arg);
+    const std::vector<std::string> layouts =
+        splitList(getOr(args, "layouts", "unordered"));
+    const std::uint64_t insts = std::strtoull(
+        getOr(args, "insts", "0").c_str(), nullptr, 10);
+    const int priority =
+        std::atoi(getOr(args, "priority", "0").c_str());
+
+    const std::string body = planRequestJson(
+        parseBenchmarks(getOr(args, "benchmarks", "int")), machines,
+        schemes, layouts, insts, priority);
+    const ServiceResponse submitted =
+        serviceRequest(socket, "POST", "/v1/jobs", body);
+    if (submitted.status != 202)
+        raiseServiceError(submitted);
+
+    auto accepted = parseJson(submitted.body);
+    const JsonValue *id =
+        accepted.ok() ? accepted.value().find("job") : nullptr;
+    if (!id)
+        throw SimException(ErrorKind::Protocol,
+                           "malformed submission response: " +
+                               submitted.body);
+    const std::uint64_t job = id->asU64();
+    std::cerr << "job " << job << " queued\n";
+
+    if (args.count("no-wait")) {
+        std::cout << submitted.body << "\n";
+        return 0;
+    }
+
+    // Long-poll until the job is terminal, then fetch the result
+    // document (the exact bytes `sweep --json` would write).
+    const std::string base = "/v1/jobs/" + std::to_string(job);
+    const ServiceResponse status =
+        serviceRequest(socket, "GET", base + "?wait=1");
+    if (status.status != 200)
+        raiseServiceError(status);
+    auto final_status = parseJson(status.body);
+    std::string state = "done";
+    std::uint64_t failed = 0;
+    if (final_status.ok()) {
+        if (const JsonValue *s = final_status.value().find("state"))
+            state = s->asString();
+        if (const JsonValue *f = final_status.value().find("failed"))
+            failed = f->asU64();
+    }
+    std::cerr << "job " << job << " " << state << ": " << status.body
+              << "\n";
+
+    const ServiceResponse result =
+        serviceRequest(socket, "GET", base + "/result");
+    if (result.status != 200)
+        raiseServiceError(result);
+    auto it = args.find("json");
+    if (it != args.end() && !it->second.empty()) {
+        std::ofstream os(it->second);
+        if (!os)
+            throw SimException(ErrorKind::Io,
+                               "cannot open " + it->second);
+        os << result.body;
+        if (!os)
+            throw SimException(ErrorKind::Io,
+                               "error writing " + it->second);
+        std::cerr << "wrote " << it->second << "\n";
+    } else {
+        std::cout << result.body;
+    }
+
+    if (state == "cancelled" || state == "drained")
+        return kExitInterrupted;
+    return failed ? kExitSimulation : 0;
+}
+
+int
 cmdHelp()
 {
     // The single authoritative flag reference.  The docs-freshness
@@ -816,6 +1055,8 @@ cmdHelp()
         "  bench   host-performance regression harness\n"
         "  record  write a dynamic trace to an FSTR file\n"
         "  replay  run a processor from a recorded FSTR file\n"
+        "  serve   long-lived sweep service on a unix socket\n"
+        "  submit  send a plan to a running serve, fetch results\n"
         "  help    this flag reference\n"
         "\n"
         "run:\n"
@@ -868,6 +1109,29 @@ cmdHelp()
         "  --scheme S          fetch scheme (default collapsing)\n"
         "  --insts N           instructions to replay (0 = all)\n"
         "\n"
+        "serve (also accepts --threads and the --replay* flags):\n"
+        "  --socket PATH       unix socket to listen on (required)\n"
+        "  --queue-cells N     queued-cell backpressure bound "
+        "(default 4096)\n"
+        "  --result-cache FILE JSONL journal backing the "
+        "content-addressed\n"
+        "                      result cache (resumable across "
+        "restarts)\n"
+        "  --cache-max-entries N  result-cache entry budget (0 = "
+        "unlimited)\n"
+        "\n"
+        "submit (plan flags as in sweep; --json [FILE] for the "
+        "result):\n"
+        "  --socket PATH       socket of a running serve (required)\n"
+        "  --priority N        scheduling priority (higher runs "
+        "first)\n"
+        "  --no-wait           print the accepted job status and "
+        "return\n"
+        "  --status JOB        print one job's status JSON\n"
+        "  --cancel JOB        cancel a job's unclaimed cells\n"
+        "  --metrics           print the service /metrics document\n"
+        "  --shutdown          ask the service to drain and exit\n"
+        "\n"
         "shared by sweep, report and bench:\n"
         "  --threads N         worker threads (0 = auto)\n"
         "  --fail-fast         stop the sweep at the first failure\n"
@@ -884,7 +1148,8 @@ cmdHelp()
         "  --replay-dir DIR    spill directory for --replay disk\n"
         "  --trace-out FILE    host-side Chrome trace of the sweep\n"
         "\n"
-        "See docs/TRACES.md for the record/replay workflow and\n"
+        "See docs/TRACES.md for the record/replay workflow,\n"
+        "docs/SERVICE.md for the serve/submit protocol and\n"
         "EXPERIMENTS.md for the paper-figure invocations.\n";
     return 0;
 }
@@ -929,6 +1194,8 @@ exitCodeFor(const SimException &e)
         return kExitSimulation;
       case ErrorKind::Io:
         return kExitIo;
+      case ErrorKind::Protocol:
+        return kExitProtocol;
     }
     return kExitSimulation;
 }
@@ -940,7 +1207,8 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cout << "usage: fetchsim_cli {run|sweep|report|bench|"
-                     "record|replay|list|help} [--option value ...]\n"
+                     "record|replay|serve|submit|list|help} "
+                     "[--option value ...]\n"
                      "(run `fetchsim_cli help` for the flag "
                      "reference)\n";
         return kExitUsage;
@@ -964,6 +1232,10 @@ main(int argc, char **argv)
             return cmdRecord(args);
         if (command == "replay")
             return cmdReplay(args);
+        if (command == "serve")
+            return cmdServe(args);
+        if (command == "submit")
+            return cmdSubmit(args);
         throw UsageError("unknown command: " + command);
     } catch (const UsageError &e) {
         std::cerr << "fetchsim_cli: " << e.what() << "\n";

@@ -99,3 +99,28 @@ EOF
     exit 1
 fi
 echo "README.md documents every registered fetch scheme"
+
+# Gate 4: CLI commands vs README.  Every subcommand `fetchsim_cli
+# help` lists in its `commands:` block must appear in README.md in
+# backticks (as `cmd` or `fetchsim_cli cmd`), so a new subcommand
+# (e.g. serve/submit) can never ship undocumented.
+missing=0
+while IFS= read -r cmd; do
+    [ -n "$cmd" ] || continue
+    if ! grep -qE "\`([a-z_]+ )?$cmd\`" "$readme"; then
+        echo "README.md does not document CLI command: $cmd" >&2
+        missing=1
+    fi
+done < <(awk '/^commands:$/{inblock=1; next}
+              /^$/{inblock=0}
+              inblock{print $1}' "$tmpdir/help.txt")
+if [ "$missing" -ne 0 ]; then
+    cat >&2 <<EOF
+
+\`fetchsim_cli help\` advertises subcommands that README.md does not
+mention.  Add them to the command/flag tables in README.md (and to
+docs/SERVICE.md when service-related) alongside your change.
+EOF
+    exit 1
+fi
+echo "README.md documents every CLI subcommand"

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the sweep service (docs/SERVICE.md),
+# wired into CI as the serve-smoke job:
+#
+#  1. start `fetchsim_cli serve` with a result-cache journal,
+#  2. submit a small plan and fetch its sweep-identical JSON,
+#  3. submit the identical plan again and assert it was served 100%
+#     from the content-addressed result cache (zero cells simulated,
+#     byte-identical result document),
+#  4. ask the service to drain and assert it exits 0.
+#
+# Usage: serve_smoke.sh <fetchsim_cli> [workdir]
+set -euo pipefail
+
+cli=${1:?usage: serve_smoke.sh <fetchsim_cli> [workdir]}
+workdir=${2:-$(mktemp -d)}
+[ -x "$cli" ] || { echo "not executable: $cli" >&2; exit 2; }
+mkdir -p "$workdir"
+
+sock="$workdir/serve.sock"
+journal="$workdir/results.jsonl"
+serve_log="$workdir/serve.log"
+
+"$cli" serve --socket "$sock" --result-cache "$journal" \
+    >"$serve_log" 2>&1 &
+serve_pid=$!
+cleanup() { kill "$serve_pid" 2>/dev/null || true; }
+trap cleanup EXIT INT TERM
+
+# Wait for the listener (the socket file appears once bound).
+for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || {
+        echo "serve died during startup:" >&2
+        cat "$serve_log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -S "$sock" ] || { echo "serve never bound $sock" >&2; exit 1; }
+
+plan=(--benchmarks eqntott,compress --machines P14
+      --schemes sequential,collapsing --insts 20000)
+
+# First submission simulates the 4-cell plan.
+"$cli" submit --socket "$sock" "${plan[@]}" --json "$workdir/first.json"
+
+# The identical plan again: every cell must come from the cache and
+# the result document must be byte-identical.
+"$cli" submit --socket "$sock" "${plan[@]}" --json "$workdir/second.json"
+cmp "$workdir/first.json" "$workdir/second.json"
+echo "resubmitted plan is byte-identical"
+
+status=$("$cli" submit --socket "$sock" --status 2)
+echo "job 2: $status"
+case $status in
+  *'"cache_hits":4'*'"simulated":0'*) ;;
+  *)
+    echo "second submission was not fully cache-served" >&2
+    exit 1
+    ;;
+esac
+echo "second submission served 100% from the result cache"
+
+"$cli" submit --socket "$sock" --metrics > "$workdir/metrics.txt"
+grep -q '^result_cache.hits = 4' "$workdir/metrics.txt"
+grep -q '^service.cells_simulated = 4' "$workdir/metrics.txt"
+
+# The journal holds one line per distinct simulated cell.
+lines=$(grep -c . "$journal")
+[ "$lines" -eq 4 ] || {
+    echo "expected 4 journal lines, found $lines" >&2
+    exit 1
+}
+
+# Graceful shutdown: the drain request must end the daemon with 0.
+"$cli" submit --socket "$sock" --shutdown
+if ! wait "$serve_pid"; then
+    echo "serve exited nonzero after drain:" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+trap - EXIT INT TERM
+echo "serve drained cleanly"
+echo "serve smoke OK"

@@ -17,6 +17,14 @@
  *                     Io       = the outside world failed (files,
  *                                streams, checkpoints) -- the only
  *                                kind presumed transient/retryable,
+ *                     Protocol = a service peer spoke the wire
+ *                                protocol wrong (malformed HTTP
+ *                                framing or JSON, unknown endpoint,
+ *                                bad request schema) -- introduced
+ *                                with the sweep service
+ *                                (sim/service.h); the offending
+ *                                request is rejected, never the
+ *                                process,
  *                     Internal = a simulator bug surfaced as an
  *                                exception rather than a panic().
  *  - SimError      -- one violation: kind + message + optional
@@ -50,6 +58,7 @@ enum class ErrorKind : std::uint8_t
     Config,   //!< invalid request (bad RunConfig, unknown name)
     Workload, //!< simulated program misbehaved (watchdog, invariants)
     Io,       //!< file/stream/checkpoint failure (maybe transient)
+    Protocol, //!< malformed service request/response (sim/service.h)
     Internal, //!< simulator bug escaping as an exception
 };
 
@@ -64,6 +73,8 @@ errorKindName(ErrorKind kind)
         return "workload";
       case ErrorKind::Io:
         return "io";
+      case ErrorKind::Protocol:
+        return "protocol";
       case ErrorKind::Internal:
         return "internal";
     }

@@ -4,6 +4,8 @@
 
 #include <sys/resource.h>
 
+#include "stats/metrics.h"
+
 namespace fetchsim
 {
 
@@ -60,6 +62,25 @@ processPeakRssBytes()
         return 0;
     // Linux reports ru_maxrss in kilobytes.
     return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024ull;
+}
+
+void
+exportProcessMetrics(MetricRegistry &registry, std::uint64_t uptime_ns)
+{
+    registry
+        .counter("host.cpu_ns",
+                 "process CPU time consumed, nanoseconds")
+        .inc(processCpuNowNs());
+    registry
+        .counter("host.peak_rss_bytes",
+                 "peak resident set size of the process")
+        .inc(processPeakRssBytes());
+    if (uptime_ns) {
+        registry
+            .counter("host.uptime_ns",
+                     "wall time since the service started")
+            .inc(uptime_ns);
+    }
 }
 
 } // namespace fetchsim

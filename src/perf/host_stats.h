@@ -24,6 +24,8 @@
 namespace fetchsim
 {
 
+class MetricRegistry;
+
 /** Host-side cost of one completed simulation run. */
 struct HostStats
 {
@@ -47,6 +49,17 @@ std::uint64_t processCpuNowNs();
 
 /** Peak resident set size of the process, in bytes (0 if unknown). */
 std::uint64_t processPeakRssBytes();
+
+/**
+ * Register a snapshot of process-wide host stats into @p registry
+ * under the `host.` namespace: host.cpu_ns (process CPU time),
+ * host.peak_rss_bytes, and -- when @p uptime_ns is nonzero --
+ * host.uptime_ns.  The sweep service's `/metrics` endpoint is the
+ * consumer; the snapshot is taken at call time, so build a fresh
+ * registry per scrape.
+ */
+void exportProcessMetrics(MetricRegistry &registry,
+                          std::uint64_t uptime_ns = 0);
 
 } // namespace fetchsim
 

@@ -1,0 +1,137 @@
+#include "sim/result_cache.h"
+
+#include "perf/profiler.h"
+#include "stats/metrics.h"
+
+namespace fetchsim
+{
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(std::move(options))
+{
+    if (options_.journalPath.empty())
+        return;
+    auto loaded = loadCheckpoint(options_.journalPath);
+    if (!loaded.ok())
+        throw SimException(loaded.error());
+    for (auto &[key, counters] : loaded.value()) {
+        if (options_.maxEntries &&
+            entries_.size() >= options_.maxEntries)
+            break;
+        Entry &entry = entries_[key];
+        entry.ready = true;
+        entry.counters = counters;
+    }
+    stats_.loaded = entries_.size();
+    stats_.entries = entries_.size();
+    // Append below the records just loaded; records fulfilled by this
+    // process extend the same journal.
+    journal_ = std::make_unique<CheckpointJournal>(
+        options_.journalPath, /*append=*/true);
+}
+
+ResultCache::Outcome
+ResultCache::acquire(std::uint64_t key, RunCounters &out)
+{
+    PERF_SCOPE("result_cache.acquire");
+    std::unique_lock<std::mutex> lock(mutex_);
+    bool waited = false;
+    for (;;) {
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            // Claim ownership: a pending (not ready) entry blocks
+            // every other requester until fulfill/abandon.
+            entries_.emplace(key, Entry{});
+            ++stats_.misses;
+            return Outcome::Miss;
+        }
+        if (it->second.ready) {
+            out = it->second.counters;
+            ++stats_.hits;
+            stats_.waits += waited ? 1 : 0;
+            return Outcome::Hit;
+        }
+        // Another thread owns the key; wait for its verdict.  An
+        // abandon erases the entry, so the loop re-runs the race for
+        // ownership.
+        waited = true;
+        cv_.wait(lock);
+    }
+}
+
+void
+ResultCache::fulfill(std::uint64_t key, const RunCounters &counters)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.ready)
+        return; // tolerated misuse: fulfill without a pending claim
+    // maxEntries counts *ready* entries; a pending claim always has
+    // its slot, so the budget can only refuse publication.
+    const std::uint64_t ready = stats_.entries;
+    if (options_.maxEntries && ready >= options_.maxEntries) {
+        entries_.erase(it);
+        ++stats_.rejected;
+    } else {
+        it->second.ready = true;
+        it->second.counters = counters;
+        ++stats_.inserted;
+        ++stats_.entries;
+        if (journal_)
+            journal_->record(key, counters);
+    }
+    cv_.notify_all();
+}
+
+void
+ResultCache::abandon(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.ready)
+        return;
+    entries_.erase(it);
+    cv_.notify_all();
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ResultCache::exportMetrics(MetricRegistry &registry) const
+{
+    const ResultCacheStats snapshot = stats();
+    registry
+        .counter("result_cache.hits",
+                 "cells served from the content-addressed cache")
+        .inc(snapshot.hits);
+    registry
+        .counter("result_cache.misses",
+                 "cells that had to simulate (first per content key)")
+        .inc(snapshot.misses);
+    registry
+        .counter("result_cache.waits",
+                 "hits that blocked on a concurrent in-flight owner")
+        .inc(snapshot.waits);
+    registry
+        .counter("result_cache.inserted",
+                 "entries published into the cache")
+        .inc(snapshot.inserted);
+    registry
+        .counter("result_cache.rejected",
+                 "publications dropped by the entry budget")
+        .inc(snapshot.rejected);
+    registry
+        .counter("result_cache.loaded",
+                 "entries loaded from the journal at startup")
+        .inc(snapshot.loaded);
+    registry
+        .counter("result_cache.entries", "content keys currently cached")
+        .inc(snapshot.entries);
+}
+
+} // namespace fetchsim

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * ResultCache: a content-addressed, single-flight cache of completed
+ * run results.
+ *
+ * The checkpoint journal (sim/checkpoint.h) already gives every sweep
+ * cell a collision-resistant identity: runKey(), a 64-bit FNV-1a
+ * content hash over the workload seed and every counter-affecting
+ * RunConfig field.  A journal, however, only serves one sweep
+ * resuming *itself*.  The ResultCache promotes the same keyed JSONL
+ * records into a cache shared by *every* job a long-lived sweep
+ * service (sim/service.h) executes: the first job to need a cell
+ * simulates it and publishes the counters under its content key;
+ * every later request for the same key -- from any job, any client,
+ * any day -- is served from the cache and never re-simulated.  This
+ * is sound for exactly the reason checkpoint resume is sound:
+ * Session::run is bit-deterministic for a fixed RunConfig, so cached
+ * counters are indistinguishable from freshly simulated ones.
+ *
+ * Single-flight: two jobs racing on the same key must not *both*
+ * simulate it.  acquire() returns Hit (counters filled from the
+ * cache, possibly after blocking on a concurrent owner) or Miss (the
+ * caller became the key's owner and must either fulfill() the entry
+ * with counters or abandon() it).  An abandoned key wakes the
+ * waiters; one of them becomes the new owner and retries, so a
+ * transiently failing cell never wedges its waiters or poisons the
+ * cache.
+ *
+ * Persistence: with a journal path the cache loads existing JSONL
+ * records on construction (the resumable-journal contract: a drained
+ * or killed service resumes warm) and appends every fulfilled entry
+ * through the same torn-line-safe CheckpointJournal writer the sweep
+ * checkpoint uses, so the file formats are one and the same --
+ * docs/SERVICE.md documents the key derivation, docs/TRACES.md the
+ * hygiene and budget rules.
+ */
+
+#ifndef FETCHSIM_SIM_RESULT_CACHE_H_
+#define FETCHSIM_SIM_RESULT_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sim/checkpoint.h"
+
+namespace fetchsim
+{
+
+class MetricRegistry;
+
+/** Configuration of one ResultCache. */
+struct ResultCacheOptions
+{
+    /**
+     * JSONL journal backing the cache; empty = in-memory only.
+     * Existing records are loaded on construction and new entries
+     * appended, so a service restarted on the same journal is warm
+     * from the start.
+     */
+    std::string journalPath;
+
+    /**
+     * Entry budget (0 = unbounded).  At the cap, fulfill() still
+     * returns results to the requesting job but stops inserting (and
+     * journaling) new keys -- the cache degrades to a plain
+     * pass-through instead of evicting, because evicting a
+     * content-addressed entry can only force a bit-identical
+     * re-simulation later (docs/TRACES.md states the rule).  Counted
+     * against loaded + inserted entries.
+     */
+    std::uint64_t maxEntries = 0;
+};
+
+/** Counters describing what a ResultCache did so far. */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;     //!< acquire() served from the cache
+    std::uint64_t misses = 0;   //!< acquire() made the caller owner
+    std::uint64_t waits = 0;    //!< hits that blocked on an in-flight
+                                //!< owner first (single-flight saves)
+    std::uint64_t inserted = 0; //!< entries fulfilled into the cache
+    std::uint64_t rejected = 0; //!< fulfills dropped by maxEntries
+    std::uint64_t loaded = 0;   //!< entries loaded from the journal
+    std::uint64_t entries = 0;  //!< keys currently cached
+};
+
+/**
+ * Thread-safe content-addressed run-result cache with single-flight
+ * admission and optional JSONL persistence.
+ */
+class ResultCache
+{
+  public:
+    /** What acquire() decided for one key. */
+    enum class Outcome : std::uint8_t
+    {
+        Hit,  //!< counters were filled from the cache
+        Miss, //!< caller owns the key: fulfill() or abandon() it
+    };
+
+    /**
+     * Open the cache.  When @p options names a journal, existing
+     * records are loaded (unparseable lines are skipped with a
+     * warning, exactly like checkpoint resume) and the file is opened
+     * for appending.  Throws SimException(ErrorKind::Io) when the
+     * journal exists but cannot be read, or cannot be opened for
+     * appending.
+     */
+    explicit ResultCache(ResultCacheOptions options = {});
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Look up @p key, blocking while another thread owns it.
+     * Returns Hit with @p out filled from the cache, or Miss with
+     * the caller registered as the key's owner -- the caller MUST
+     * then call fulfill() or abandon() exactly once, or every later
+     * acquire() of the key blocks forever.
+     */
+    Outcome acquire(std::uint64_t key, RunCounters &out);
+
+    /**
+     * Publish the counters for a key acquired as Miss: waiters wake
+     * with Hit, the entry is journaled (when persistent and under
+     * budget), and later acquires are cache hits.
+     */
+    void fulfill(std::uint64_t key, const RunCounters &counters);
+
+    /**
+     * Give up ownership of a key acquired as Miss (the simulation
+     * threw or was cancelled).  Waiters wake and race to become the
+     * new owner; nothing is cached or journaled.
+     */
+    void abandon(std::uint64_t key);
+
+    /** Snapshot of the cache counters. */
+    ResultCacheStats stats() const;
+
+    /**
+     * Register the cache counters into @p registry under the
+     * `result_cache.` namespace (result_cache.hits,
+     * result_cache.misses, result_cache.waits, result_cache.inserted,
+     * result_cache.rejected, result_cache.loaded,
+     * result_cache.entries) at their current values.
+     */
+    void exportMetrics(MetricRegistry &registry) const;
+
+    /** The journal path ("" when in-memory only). */
+    const std::string &journalPath() const
+    {
+        return options_.journalPath;
+    }
+
+  private:
+    /** One key's slot: pending (owned, being simulated) or ready. */
+    struct Entry
+    {
+        bool ready = false;
+        RunCounters counters;
+    };
+
+    ResultCacheOptions options_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_; //!< signaled on fulfill/abandon
+    std::map<std::uint64_t, Entry> entries_;
+    std::unique_ptr<CheckpointJournal> journal_;
+    ResultCacheStats stats_;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_RESULT_CACHE_H_

@@ -1,0 +1,1361 @@
+#include "sim/service.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/machine_config.h"
+#include "fetch/scheme_registry.h"
+#include "perf/host_stats.h"
+#include "perf/profiler.h"
+#include "sim/report.h"
+#include "stats/json.h"
+#include "stats/log.h"
+#include "stats/metrics.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+// Mirrors the sweep engine's resolution rule so `serve --threads 0`
+// and `sweep --threads 0` pick the same worker count.
+int
+resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const char *env = std::getenv("FETCHSIM_THREADS");
+    if (env) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0)
+            return parsed;
+        warn("ignoring bad FETCHSIM_THREADS");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+// Process-wide cooperative stop flag, written from signal handlers.
+std::atomic<bool> g_service_stop{false};
+
+extern "C" void
+serviceSignalHandler(int)
+{
+    g_service_stop.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t
+monotonicNowNs()
+{
+    timespec ts{};
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+bool
+terminalState(JobState state)
+{
+    return state == JobState::Done || state == JobState::Cancelled ||
+           state == JobState::Drained;
+}
+
+// ------------------------- HTTP plumbing -------------------------
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+
+struct HttpRequest
+{
+    std::string method;
+    std::string path;
+    std::map<std::string, std::string> query;
+    std::string body;
+};
+
+const char *
+reasonPhrase(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 202:
+        return "Accepted";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 409:
+        return "Conflict";
+      case 422:
+        return "Unprocessable Entity";
+      case 503:
+        return "Service Unavailable";
+      default:
+        return "Internal Server Error";
+    }
+}
+
+std::string
+httpResponse(int status, const std::string &content_type,
+             const std::string &body)
+{
+    std::ostringstream os;
+    os << "HTTP/1.1 " << status << " " << reasonPhrase(status)
+       << "\r\nContent-Type: " << content_type
+       << "\r\nContent-Length: " << body.size()
+       << "\r\nConnection: close\r\n\r\n"
+       << body;
+    return os.str();
+}
+
+std::string
+errorJson(const SimError &error)
+{
+    std::ostringstream os;
+    {
+        JsonWriter json(os, 0);
+        json.beginObject();
+        json.key("error").beginObject();
+        json.key("kind").value(errorKindName(error.kind));
+        json.key("message").value(error.message);
+        if (!error.context.empty())
+            json.key("context").value(error.context);
+        json.endObject();
+        json.endObject();
+    }
+    return os.str();
+}
+
+// HTTP status for a structured error escaping a request handler:
+// the peer spoke the protocol wrong (400), asked for an invalid
+// experiment (422), or the service itself failed (500).
+int
+statusForError(const SimError &error)
+{
+    switch (error.kind) {
+      case ErrorKind::Protocol:
+        return 400;
+      case ErrorKind::Config:
+        return 422;
+      default:
+        return 500;
+    }
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                 MSG_NOSIGNAL
+#else
+                 0
+#endif
+            );
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+trimmed(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && (text[begin] == ' ' || text[begin] == '\t'))
+        ++begin;
+    while (end > begin &&
+           (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+            text[end - 1] == '\r'))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string
+lowered(std::string text)
+{
+    for (char &c : text)
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+    return text;
+}
+
+SimError
+protocolError(const std::string &message)
+{
+    return SimError{ErrorKind::Protocol, message, ""};
+}
+
+// Read one request off @p fd: request line, headers, Content-Length
+// body.  I/O failures (peer vanished, read timeout) come back as Io
+// errors the caller answers with silence; malformed framing comes
+// back as Protocol errors the caller answers with a 400.
+Expected<HttpRequest>
+readHttpRequest(int fd)
+{
+    std::string data;
+    std::size_t header_end = std::string::npos;
+    char buf[4096];
+    for (;;) {
+        header_end = data.find("\r\n\r\n");
+        if (header_end != std::string::npos)
+            break;
+        if (data.size() > kMaxHeaderBytes)
+            return protocolError("request header too large");
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return SimError{ErrorKind::Io,
+                            "connection closed mid-request", ""};
+        data.append(buf, static_cast<std::size_t>(n));
+    }
+
+    HttpRequest request;
+    const std::string head = data.substr(0, header_end);
+    std::istringstream lines(head);
+    std::string line;
+    if (!std::getline(lines, line))
+        return protocolError("empty request");
+    line = trimmed(line);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos)
+        return protocolError("malformed request line: " + line);
+    request.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = line.substr(sp2 + 1);
+    if (version.rfind("HTTP/1.", 0) != 0)
+        return protocolError("unsupported protocol version: " +
+                             version);
+
+    // Split the query string off the path and parse k=v pairs.
+    const std::size_t qmark = target.find('?');
+    if (qmark != std::string::npos) {
+        std::string query = target.substr(qmark + 1);
+        request.path = target.substr(0, qmark);
+        std::size_t pos = 0;
+        while (pos <= query.size()) {
+            std::size_t amp = query.find('&', pos);
+            if (amp == std::string::npos)
+                amp = query.size();
+            const std::string pair = query.substr(pos, amp - pos);
+            const std::size_t eq = pair.find('=');
+            if (eq == std::string::npos)
+                request.query[pair] = "";
+            else
+                request.query[pair.substr(0, eq)] =
+                    pair.substr(eq + 1);
+            pos = amp + 1;
+        }
+    } else {
+        request.path = target;
+    }
+
+    std::size_t content_length = 0;
+    while (std::getline(lines, line)) {
+        line = trimmed(line);
+        if (line.empty())
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            return protocolError("malformed header: " + line);
+        const std::string key = lowered(trimmed(line.substr(0, colon)));
+        const std::string value = trimmed(line.substr(colon + 1));
+        if (key == "content-length") {
+            char *end = nullptr;
+            content_length = std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                return protocolError("bad Content-Length: " + value);
+        }
+    }
+    if (content_length > kMaxBodyBytes)
+        return protocolError("request body too large");
+
+    const std::size_t body_start = header_end + 4;
+    while (data.size() - body_start < content_length) {
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return SimError{ErrorKind::Io,
+                            "connection closed mid-body", ""};
+        data.append(buf, static_cast<std::size_t>(n));
+    }
+    request.body = data.substr(body_start, content_length);
+    return request;
+}
+
+// -------------------- plan request vocabulary --------------------
+
+MachineModel
+machineFromName(const std::string &name)
+{
+    if (name == "P14")
+        return MachineModel::P14;
+    if (name == "P18")
+        return MachineModel::P18;
+    if (name == "P112")
+        return MachineModel::P112;
+    throw SimException(ErrorKind::Config,
+                       "unknown machine: " + name + " (P14|P18|P112)");
+}
+
+SchemeKind
+schemeFromName(const std::string &name)
+{
+    const auto &registry = FetchSchemeRegistry::instance();
+    if (const SchemeInfo *info = registry.find(name))
+        return info->kind;
+    throw SimException(ErrorKind::Config,
+                       "unknown scheme: " + name + " (" +
+                           registry.keyList() + ")");
+}
+
+LayoutKind
+layoutFromName(const std::string &name)
+{
+    if (name == "unordered")
+        return LayoutKind::Unordered;
+    if (name == "reordered")
+        return LayoutKind::Reordered;
+    if (name == "pad-all")
+        return LayoutKind::PadAll;
+    if (name == "pad-trace")
+        return LayoutKind::PadTrace;
+    throw SimException(ErrorKind::Config,
+                       "unknown layout: " + name +
+                           " (unordered|reordered|pad-all|pad-trace)");
+}
+
+std::vector<std::string>
+stringList(const JsonValue &value, const std::string &field)
+{
+    if (!value.isArray())
+        throw SimException(ErrorKind::Protocol,
+                           "field '" + field +
+                               "' must be an array of strings");
+    std::vector<std::string> names;
+    for (const JsonValue &element : value.elements()) {
+        if (!element.isString())
+            throw SimException(ErrorKind::Protocol,
+                               "field '" + field +
+                                   "' must be an array of strings");
+        names.push_back(element.asString());
+    }
+    if (names.empty())
+        throw SimException(ErrorKind::Protocol,
+                           "field '" + field + "' must not be empty");
+    return names;
+}
+
+void
+writeStringArray(JsonWriter &json, const std::string &key,
+                 const std::vector<std::string> &values)
+{
+    json.key(key).beginArray();
+    for (const std::string &value : values)
+        json.value(value);
+    json.endArray();
+}
+
+void
+writeSnapshotJson(JsonWriter &json, const JobSnapshot &snap)
+{
+    json.beginObject();
+    json.key("job").value(snap.id);
+    json.key("state").value(jobStateName(snap.state));
+    json.key("priority").value(snap.priority);
+    json.key("cells").value(static_cast<std::uint64_t>(snap.cells));
+    json.key("done").value(static_cast<std::uint64_t>(snap.done));
+    json.key("cache_hits")
+        .value(static_cast<std::uint64_t>(snap.cacheHits));
+    json.key("simulated")
+        .value(static_cast<std::uint64_t>(snap.simulated));
+    json.key("failed").value(static_cast<std::uint64_t>(snap.failed));
+    json.key("skipped")
+        .value(static_cast<std::uint64_t>(snap.skipped));
+    json.key("cancel_requested").value(snap.cancelRequested);
+    json.endObject();
+}
+
+std::string
+snapshotJson(const JobSnapshot &snap)
+{
+    std::ostringstream os;
+    {
+        JsonWriter json(os, 0);
+        writeSnapshotJson(json, snap);
+    }
+    return os.str();
+}
+
+// Defined after the SweepService members it drives (it only needs
+// the public API, so it lives outside the class).
+std::string routeRequest(SweepService &service,
+                         const HttpRequest &request);
+
+} // anonymous namespace
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Cancelled:
+        return "cancelled";
+      case JobState::Drained:
+        return "drained";
+    }
+    return "unknown";
+}
+
+void
+installServiceSignalHandlers()
+{
+    std::signal(SIGTERM, serviceSignalHandler);
+    std::signal(SIGINT, serviceSignalHandler);
+}
+
+bool
+serviceStopRequested()
+{
+    return g_service_stop.load(std::memory_order_relaxed);
+}
+
+void
+clearServiceStop()
+{
+    g_service_stop.store(false, std::memory_order_relaxed);
+}
+
+Expected<std::vector<RunConfig>>
+planConfigsFromJson(const JsonValue &request)
+{
+    try {
+        if (!request.isObject())
+            throw SimException(ErrorKind::Protocol,
+                               "request body must be a JSON object");
+        for (const std::string &key : request.keys()) {
+            if (key != "benchmarks" && key != "machines" &&
+                key != "schemes" && key != "layouts" &&
+                key != "insts" && key != "priority") {
+                throw SimException(ErrorKind::Protocol,
+                                   "unknown field: " + key);
+            }
+        }
+
+        ExperimentPlan plan;
+        const JsonValue *benchmarks = request.find("benchmarks");
+        if (!benchmarks)
+            throw SimException(ErrorKind::Protocol,
+                               "missing required field: benchmarks");
+        plan.benchmarks(stringList(*benchmarks, "benchmarks"));
+
+        if (const JsonValue *machines = request.find("machines")) {
+            std::vector<MachineModel> axis;
+            for (const std::string &name :
+                 stringList(*machines, "machines"))
+                axis.push_back(machineFromName(name));
+            plan.machines(std::move(axis));
+        } else {
+            plan.machines({MachineModel::P14, MachineModel::P18,
+                           MachineModel::P112});
+        }
+
+        if (const JsonValue *schemes = request.find("schemes")) {
+            std::vector<SchemeKind> axis;
+            for (const std::string &name :
+                 stringList(*schemes, "schemes"))
+                axis.push_back(schemeFromName(name));
+            plan.schemes(std::move(axis));
+        } else {
+            plan.schemes(FetchSchemeRegistry::instance().paperSchemes());
+        }
+
+        if (const JsonValue *layouts = request.find("layouts")) {
+            std::vector<LayoutKind> axis;
+            for (const std::string &name :
+                 stringList(*layouts, "layouts"))
+                axis.push_back(layoutFromName(name));
+            plan.layouts(std::move(axis));
+        } else {
+            plan.layouts({LayoutKind::Unordered});
+        }
+
+        if (const JsonValue *insts = request.find("insts")) {
+            const std::uint64_t budget = insts->asU64();
+            if (budget)
+                plan.maxRetired(budget);
+        }
+
+        return plan.expand();
+    } catch (const SimException &e) {
+        return e.error();
+    }
+}
+
+std::string
+planRequestJson(const std::vector<std::string> &benchmarks,
+                const std::vector<std::string> &machines,
+                const std::vector<std::string> &schemes,
+                const std::vector<std::string> &layouts,
+                std::uint64_t insts, int priority)
+{
+    std::ostringstream os;
+    {
+        JsonWriter json(os, 0);
+        json.beginObject();
+        writeStringArray(json, "benchmarks", benchmarks);
+        if (!machines.empty())
+            writeStringArray(json, "machines", machines);
+        if (!schemes.empty())
+            writeStringArray(json, "schemes", schemes);
+        if (!layouts.empty())
+            writeStringArray(json, "layouts", layouts);
+        if (insts)
+            json.key("insts").value(insts);
+        if (priority)
+            json.key("priority").value(priority);
+        json.endObject();
+    }
+    return os.str();
+}
+
+// --------------------------- SweepService ------------------------
+
+SweepService::SweepService(ServiceOptions options)
+    : options_(std::move(options)),
+      threads_(resolveThreads(options_.threads)),
+      cache_(options_.resultCache)
+{
+}
+
+SweepService::~SweepService()
+{
+    try {
+        drain();
+    } catch (...) {
+        // Destructors must not throw; drain() failing here means the
+        // process is on its way down anyway.
+    }
+}
+
+void
+SweepService::start()
+{
+    std::lock_guard<std::mutex> dg(drain_mutex_);
+    if (started_)
+        return;
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socketPath.empty() ||
+        options_.socketPath.size() >= sizeof(addr.sun_path))
+        throw SimException(ErrorKind::Io,
+                           "bad socket path: " + options_.socketPath);
+    std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0)
+        throw SimException(ErrorKind::Io,
+                           std::string("socket: ") +
+                               std::strerror(errno));
+    if (bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0) {
+        if (errno != EADDRINUSE) {
+            const int err = errno;
+            close(listen_fd_);
+            listen_fd_ = -1;
+            throw SimException(ErrorKind::Io,
+                               "bind " + options_.socketPath + ": " +
+                                   std::strerror(err));
+        }
+        // The path exists.  Probe it: a live listener means another
+        // service owns the path; a dead one left a stale file we may
+        // replace.
+        const int probe = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        const bool live =
+            probe >= 0 &&
+            connect(probe, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) == 0;
+        if (probe >= 0)
+            close(probe);
+        if (live) {
+            close(listen_fd_);
+            listen_fd_ = -1;
+            throw SimException(ErrorKind::Io,
+                               "another service is listening on " +
+                                   options_.socketPath);
+        }
+        unlink(options_.socketPath.c_str());
+        if (bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                 sizeof(addr)) != 0) {
+            const int err = errno;
+            close(listen_fd_);
+            listen_fd_ = -1;
+            throw SimException(ErrorKind::Io,
+                               "bind " + options_.socketPath + ": " +
+                                   std::strerror(err));
+        }
+    }
+    if (listen(listen_fd_, 64) != 0) {
+        const int err = errno;
+        close(listen_fd_);
+        listen_fd_ = -1;
+        unlink(options_.socketPath.c_str());
+        throw SimException(ErrorKind::Io,
+                           std::string("listen: ") +
+                               std::strerror(err));
+    }
+
+    start_ns_ = monotonicNowNs();
+    started_ = true;
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+SweepService::drain()
+{
+    std::lock_guard<std::mutex> dg(drain_mutex_);
+    if (drained_ || !started_) {
+        drained_ = true;
+        return;
+    }
+    draining_.store(true, std::memory_order_relaxed);
+
+    // 1. Stop accepting: the acceptor's poll loop notices within its
+    //    timeout; close the listener only after it exits.
+    if (acceptor_.joinable())
+        acceptor_.join();
+    if (listen_fd_ >= 0) {
+        close(listen_fd_);
+        listen_fd_ = -1;
+    }
+
+    // 2. Let the workers drain the queue (every unclaimed cell is
+    //    accounted Skipped; in-flight cells finish and journal) and
+    //    wait until every job is terminal.
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.notify_all();
+        job_cv_.wait(lock, [this] {
+            return queue_.empty() && allTerminalLocked();
+        });
+    }
+
+    // 3. Stop and join the workers.
+    stopping_.store(true, std::memory_order_relaxed);
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+
+    // 4. Wait for in-flight connections: drained jobs are terminal,
+    //    so long-poll waiters have already been woken.
+    {
+        std::unique_lock<std::mutex> cg(conn_mutex_);
+        conn_cv_.wait(cg, [this] {
+            return active_connections_.load(
+                       std::memory_order_acquire) == 0;
+        });
+    }
+
+    unlink(options_.socketPath.c_str());
+    drained_ = true;
+}
+
+bool
+SweepService::draining() const
+{
+    return draining_.load(std::memory_order_relaxed);
+}
+
+void
+SweepService::requestShutdown()
+{
+    shutdown_requested_.store(true, std::memory_order_relaxed);
+}
+
+bool
+SweepService::shutdownRequested() const
+{
+    return shutdown_requested_.load(std::memory_order_relaxed);
+}
+
+Expected<std::uint64_t>
+SweepService::submit(std::vector<RunConfig> configs, int priority)
+{
+    if (configs.empty())
+        return SimError{ErrorKind::Config, "empty plan", ""};
+
+    std::vector<std::uint64_t> keys;
+    keys.reserve(configs.size());
+    for (const RunConfig &config : configs)
+        keys.push_back(runKey(config));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_.load(std::memory_order_relaxed)) {
+        ++stats_.jobsRejected;
+        return SimError{ErrorKind::Io, "service is draining", ""};
+    }
+    if (stats_.queuedCells + configs.size() >
+        options_.maxQueuedCells) {
+        ++stats_.jobsRejected;
+        return SimError{
+            ErrorKind::Io,
+            "queue full: " + std::to_string(configs.size()) +
+                " cells over capacity " +
+                std::to_string(options_.maxQueuedCells) + " (" +
+                std::to_string(stats_.queuedCells) + " queued)",
+            ""};
+    }
+
+    auto job = std::make_unique<Job>();
+    job->id = next_job_id_++;
+    job->priority = priority;
+    job->configs = std::move(configs);
+    job->keys = std::move(keys);
+    const std::size_t cells = job->configs.size();
+    job->runs.resize(cells);
+    for (std::size_t i = 0; i < cells; ++i)
+        job->runs[i].config = job->configs[i];
+    job->statuses.resize(cells);
+    for (std::size_t i = 0; i < cells; ++i)
+        queue_.push(Unit{priority, job->id, i});
+    stats_.queuedCells += cells;
+    ++stats_.jobsSubmitted;
+
+    const std::uint64_t id = job->id;
+    jobs_.emplace(id, std::move(job));
+    work_cv_.notify_all();
+    return id;
+}
+
+bool
+SweepService::cancel(std::uint64_t job_id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end())
+        return false;
+    Job &job = *it->second;
+    if (terminalState(job.state))
+        return false;
+    job.cancelRequested = true;
+    return true;
+}
+
+Expected<JobSnapshot>
+SweepService::jobSnapshot(std::uint64_t job_id, bool wait) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end())
+        return SimError{ErrorKind::Config,
+                        "unknown job: " + std::to_string(job_id), ""};
+    if (wait) {
+        const Job *job = it->second.get();
+        job_cv_.wait(lock,
+                     [job] { return terminalState(job->state); });
+    }
+    return snapshotLocked(*it->second);
+}
+
+std::vector<JobSnapshot>
+SweepService::jobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<JobSnapshot> snapshots;
+    snapshots.reserve(jobs_.size());
+    for (const auto &[id, job] : jobs_)
+        snapshots.push_back(snapshotLocked(*job));
+    return snapshots;
+}
+
+Expected<std::string>
+SweepService::jobResult(std::uint64_t job_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end())
+        return SimError{ErrorKind::Config,
+                        "unknown job: " + std::to_string(job_id), ""};
+    const Job &job = *it->second;
+    if (!terminalState(job.state))
+        return SimError{ErrorKind::Io,
+                        "job not finished: " + std::to_string(job_id),
+                        std::string("state=") +
+                            jobStateName(job.state)};
+    return job.resultJson;
+}
+
+ServiceStats
+SweepService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::string
+SweepService::metricsText() const
+{
+    ServiceStats snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot = stats_;
+    }
+    MetricRegistry registry;
+    registry.counter("service.jobs_submitted", "jobs accepted")
+        .inc(snapshot.jobsSubmitted);
+    registry
+        .counter("service.jobs_rejected",
+                 "submissions refused by backpressure or drain")
+        .inc(snapshot.jobsRejected);
+    registry.counter("service.jobs_completed", "jobs reaching done")
+        .inc(snapshot.jobsCompleted);
+    registry.counter("service.jobs_cancelled", "jobs cancelled")
+        .inc(snapshot.jobsCancelled);
+    registry
+        .counter("service.cells_simulated",
+                 "cells executed on the shared session")
+        .inc(snapshot.cellsSimulated);
+    registry
+        .counter("service.cells_cache_served",
+                 "cells served from the result cache")
+        .inc(snapshot.cellsCacheServed);
+    registry.counter("service.cells_failed", "cells whose run threw")
+        .inc(snapshot.cellsFailed);
+    registry
+        .counter("service.cells_skipped",
+                 "cells skipped by cancellation or drain")
+        .inc(snapshot.cellsSkipped);
+    registry
+        .counter("service.queue_depth",
+                 "cells queued and not yet claimed")
+        .inc(snapshot.queuedCells);
+    registry.counter("service.requests", "HTTP requests handled")
+        .inc(snapshot.requests);
+    cache_.exportMetrics(registry);
+    session_.exportReplayMetrics(registry);
+    exportProcessMetrics(registry,
+                         start_ns_ ? monotonicNowNs() - start_ns_ : 0);
+    return registry.formatText();
+}
+
+JobSnapshot
+SweepService::snapshotLocked(const Job &job) const
+{
+    JobSnapshot snap;
+    snap.id = job.id;
+    snap.state = job.state;
+    snap.priority = job.priority;
+    snap.cells = job.configs.size();
+    snap.done = job.done;
+    snap.cacheHits = job.cacheHits;
+    snap.simulated = job.simulated;
+    snap.failed = job.failed;
+    snap.skipped = job.skipped;
+    snap.cancelRequested = job.cancelRequested;
+    return snap;
+}
+
+bool
+SweepService::allTerminalLocked() const
+{
+    for (const auto &[id, job] : jobs_)
+        if (!terminalState(job->state))
+            return false;
+    return true;
+}
+
+void
+SweepService::finalizeJobLocked(Job &job)
+{
+    if (job.skipped == 0) {
+        job.state = JobState::Done;
+        ++stats_.jobsCompleted;
+    } else if (job.cancelRequested) {
+        job.state = JobState::Cancelled;
+        ++stats_.jobsCancelled;
+    } else {
+        job.state = JobState::Drained;
+    }
+    // The exact bytes `sweep --json` writes for this run list; cached
+    // and simulated cells are indistinguishable here because runs are
+    // bit-deterministic.
+    std::ostringstream os;
+    writeRunsJson(os, job.runs);
+    job.resultJson = os.str();
+}
+
+void
+SweepService::accountCell(Job &job, std::size_t cell,
+                          RunOutcome outcome, const SimError &error,
+                          bool cache_hit)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    RunStatus &status = job.statuses[cell];
+    status.outcome = outcome;
+    status.error = error;
+    status.attempts = outcome == RunOutcome::Skipped ? 0 : 1;
+    status.fromCheckpoint = cache_hit;
+    switch (outcome) {
+      case RunOutcome::Ok:
+        if (cache_hit) {
+            ++job.cacheHits;
+            ++stats_.cellsCacheServed;
+        } else {
+            ++job.simulated;
+            ++stats_.cellsSimulated;
+        }
+        break;
+      case RunOutcome::Failed:
+        ++job.failed;
+        ++stats_.cellsFailed;
+        break;
+      case RunOutcome::Skipped:
+        ++job.skipped;
+        ++stats_.cellsSkipped;
+        break;
+    }
+    ++job.done;
+    if (job.done == job.configs.size())
+        finalizeJobLocked(job);
+    job_cv_.notify_all();
+}
+
+void
+SweepService::runCell(Job &job, std::size_t cell)
+{
+    PERF_SCOPE("service.cell");
+    const RunConfig &config = job.configs[cell];
+    const std::uint64_t key = job.keys[cell];
+
+    RunCounters cached;
+    if (cache_.acquire(key, cached) == ResultCache::Outcome::Hit) {
+        job.runs[cell].counters = cached;
+        accountCell(job, cell, RunOutcome::Ok, SimError{}, true);
+        return;
+    }
+    try {
+        job.runs[cell] = session_.run(config, RunInstrumentation{}, 0,
+                                      options_.replay);
+        cache_.fulfill(key, job.runs[cell].counters);
+        accountCell(job, cell, RunOutcome::Ok, SimError{}, false);
+    } catch (const SimException &e) {
+        cache_.abandon(key);
+        accountCell(job, cell, RunOutcome::Failed, e.error(), false);
+    } catch (const std::exception &e) {
+        cache_.abandon(key);
+        accountCell(job, cell, RunOutcome::Failed,
+                    SimError{ErrorKind::Internal, e.what(), ""},
+                    false);
+    }
+}
+
+void
+SweepService::workerLoop()
+{
+    for (;;) {
+        Unit unit;
+        Job *job = nullptr;
+        bool skip = false;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] {
+                return stopping_.load(std::memory_order_relaxed) ||
+                       !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping, queue drained
+            unit = queue_.top();
+            queue_.pop();
+            --stats_.queuedCells;
+            job = jobs_.at(unit.job).get();
+            skip = draining_.load(std::memory_order_relaxed) ||
+                   job->cancelRequested;
+            if (!skip && job->state == JobState::Queued)
+                job->state = JobState::Running;
+        }
+        if (skip)
+            accountCell(*job, unit.cell, RunOutcome::Skipped,
+                        SimError{}, false);
+        else
+            runCell(*job, unit.cell);
+    }
+}
+
+void
+SweepService::acceptLoop()
+{
+    for (;;) {
+        if (draining_.load(std::memory_order_relaxed))
+            return;
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = poll(&pfd, 1, 100);
+        if (draining_.load(std::memory_order_relaxed))
+            return;
+        if (ready <= 0)
+            continue;
+        const int fd = accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_CLOEXEC);
+        if (fd < 0)
+            continue;
+        active_connections_.fetch_add(1, std::memory_order_acq_rel);
+        try {
+            std::thread([this, fd] {
+                handleConnection(fd);
+                // Notify while holding the lock: drain()'s waiter may
+                // destroy this object (and conn_cv_) as soon as it can
+                // observe the count at zero, which notifying under the
+                // mutex defers until notify_all has returned.
+                std::lock_guard<std::mutex> cg(conn_mutex_);
+                active_connections_.fetch_sub(
+                    1, std::memory_order_acq_rel);
+                conn_cv_.notify_all();
+            }).detach();
+        } catch (...) {
+            active_connections_.fetch_sub(1,
+                                          std::memory_order_acq_rel);
+            close(fd);
+        }
+    }
+}
+
+void
+SweepService::handleConnection(int fd)
+{
+    // Bound reads so an idle peer cannot stall drain() forever; the
+    // long-poll wait happens on the job condition variable, after the
+    // request has been fully read, so it is unaffected.
+    timeval timeout{};
+    timeout.tv_sec = 10;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+               sizeof(timeout));
+
+    auto parsed = readHttpRequest(fd);
+    if (!parsed.ok()) {
+        if (parsed.error().kind == ErrorKind::Protocol)
+            sendAll(fd, httpResponse(400, "application/json",
+                                     errorJson(parsed.error())));
+        close(fd);
+        return;
+    }
+    const HttpRequest &request = parsed.value();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.requests;
+    }
+
+    std::string response;
+    try {
+        response = routeRequest(*this, request);
+    } catch (const SimException &e) {
+        response = httpResponse(statusForError(e.error()),
+                                "application/json",
+                                errorJson(e.error()));
+    } catch (const std::exception &e) {
+        response = httpResponse(
+            500, "application/json",
+            errorJson(SimError{ErrorKind::Internal, e.what(), ""}));
+    }
+    sendAll(fd, response);
+    close(fd);
+}
+
+namespace
+{
+
+std::string
+routeRequest(SweepService &service, const HttpRequest &request)
+{
+    const std::string &method = request.method;
+    const std::string &path = request.path;
+
+    if (path == "/healthz") {
+        if (method != "GET")
+            return httpResponse(
+                405, "application/json",
+                errorJson(protocolError("use GET " + path)));
+        std::ostringstream os;
+        {
+            JsonWriter json(os, 0);
+            json.beginObject();
+            json.key("status").value("ok");
+            json.key("draining").value(service.draining());
+            json.endObject();
+        }
+        return httpResponse(200, "application/json", os.str());
+    }
+
+    if (path == "/metrics") {
+        if (method != "GET")
+            return httpResponse(
+                405, "application/json",
+                errorJson(protocolError("use GET " + path)));
+        return httpResponse(200, "text/plain; charset=utf-8",
+                            service.metricsText());
+    }
+
+    if (path == "/v1/shutdown") {
+        if (method != "POST")
+            return httpResponse(
+                405, "application/json",
+                errorJson(protocolError("use POST " + path)));
+        service.requestShutdown();
+        return httpResponse(200, "application/json",
+                            "{\"status\":\"draining\"}");
+    }
+
+    if (path == "/v1/jobs") {
+        if (method == "POST") {
+            auto body = parseJson(request.body);
+            if (!body.ok())
+                return httpResponse(400, "application/json",
+                                    errorJson(body.error()));
+            auto configs = planConfigsFromJson(body.value());
+            if (!configs.ok())
+                return httpResponse(statusForError(configs.error()),
+                                    "application/json",
+                                    errorJson(configs.error()));
+            int priority = 0;
+            if (const JsonValue *p = body.value().find("priority"))
+                priority = static_cast<int>(p->asNumber());
+            auto job =
+                service.submit(std::move(configs.value()), priority);
+            if (!job.ok()) {
+                // Admission failures are backpressure/drain (503),
+                // never the client's fault.
+                return httpResponse(
+                    job.error().kind == ErrorKind::Io ? 503 : 422,
+                    "application/json", errorJson(job.error()));
+            }
+            return httpResponse(
+                202, "application/json",
+                snapshotJson(
+                    service.jobSnapshot(job.value()).value()));
+        }
+        if (method == "GET") {
+            std::ostringstream os;
+            {
+                JsonWriter json(os, 0);
+                json.beginObject();
+                json.key("jobs").beginArray();
+                for (const JobSnapshot &snap : service.jobs())
+                    writeSnapshotJson(json, snap);
+                json.endArray();
+                json.endObject();
+            }
+            return httpResponse(200, "application/json", os.str());
+        }
+        return httpResponse(
+            405, "application/json",
+            errorJson(protocolError("use GET or POST " + path)));
+    }
+
+    const std::string prefix = "/v1/jobs/";
+    if (path.rfind(prefix, 0) == 0) {
+        std::string rest = path.substr(prefix.size());
+        std::string tail;
+        const std::size_t slash = rest.find('/');
+        if (slash != std::string::npos) {
+            tail = rest.substr(slash + 1);
+            rest = rest.substr(0, slash);
+        }
+        char *end = nullptr;
+        const std::uint64_t id =
+            std::strtoull(rest.c_str(), &end, 10);
+        if (rest.empty() || end == rest.c_str() || *end != '\0')
+            return httpResponse(
+                404, "application/json",
+                errorJson(protocolError("bad job id: " + rest)));
+
+        if (tail.empty()) {
+            if (method != "GET")
+                return httpResponse(
+                    405, "application/json",
+                    errorJson(protocolError("use GET " + path)));
+            const bool wait = request.query.count("wait") &&
+                              request.query.at("wait") != "0";
+            auto snap = service.jobSnapshot(id, wait);
+            if (!snap.ok())
+                return httpResponse(404, "application/json",
+                                    errorJson(snap.error()));
+            return httpResponse(200, "application/json",
+                                snapshotJson(snap.value()));
+        }
+        if (tail == "result") {
+            if (method != "GET")
+                return httpResponse(
+                    405, "application/json",
+                    errorJson(protocolError("use GET " + path)));
+            auto result = service.jobResult(id);
+            if (!result.ok()) {
+                const int status =
+                    result.error().kind == ErrorKind::Config ? 404
+                                                             : 409;
+                return httpResponse(status, "application/json",
+                                    errorJson(result.error()));
+            }
+            return httpResponse(200, "application/json",
+                                result.value());
+        }
+        if (tail == "cancel") {
+            if (method != "POST")
+                return httpResponse(
+                    405, "application/json",
+                    errorJson(protocolError("use POST " + path)));
+            auto snap = service.jobSnapshot(id);
+            if (!snap.ok())
+                return httpResponse(404, "application/json",
+                                    errorJson(snap.error()));
+            if (!service.cancel(id))
+                return httpResponse(
+                    409, "application/json",
+                    errorJson(SimError{
+                        ErrorKind::Config,
+                        "job already terminal: " + std::to_string(id),
+                        std::string("state=") +
+                            jobStateName(snap.value().state)}));
+            return httpResponse(
+                200, "application/json",
+                snapshotJson(service.jobSnapshot(id).value()));
+        }
+        return httpResponse(
+            404, "application/json",
+            errorJson(protocolError("no such endpoint: " + path)));
+    }
+
+    return httpResponse(
+        404, "application/json",
+        errorJson(protocolError("no such endpoint: " + path)));
+}
+
+} // anonymous namespace
+
+// ----------------------------- client ----------------------------
+
+ServiceResponse
+serviceRequest(const std::string &socket_path,
+               const std::string &method, const std::string &target,
+               const std::string &body)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path))
+        throw SimException(ErrorKind::Io,
+                           "bad socket path: " + socket_path);
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throw SimException(ErrorKind::Io,
+                           std::string("socket: ") +
+                               std::strerror(errno));
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        const int err = errno;
+        close(fd);
+        throw SimException(ErrorKind::Io,
+                           "cannot connect to " + socket_path + ": " +
+                               std::strerror(err));
+    }
+
+    std::ostringstream req;
+    req << method << " " << target << " HTTP/1.1\r\n"
+        << "Host: fetchsim\r\n";
+    if (!body.empty() || method == "POST")
+        req << "Content-Type: application/json\r\n"
+            << "Content-Length: " << body.size() << "\r\n";
+    req << "Connection: close\r\n\r\n"
+        << body;
+    if (!sendAll(fd, req.str())) {
+        close(fd);
+        throw SimException(ErrorKind::Io,
+                           "cannot send request to " + socket_path);
+    }
+    shutdown(fd, SHUT_WR);
+
+    std::string data;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+            close(fd);
+            throw SimException(ErrorKind::Io,
+                               "cannot read response from " +
+                                   socket_path);
+        }
+        if (n == 0)
+            break;
+        data.append(buf, static_cast<std::size_t>(n));
+    }
+    close(fd);
+
+    const std::size_t header_end = data.find("\r\n\r\n");
+    if (header_end == std::string::npos)
+        throw SimException(ErrorKind::Protocol,
+                           "truncated response from " + socket_path);
+    const std::string head = data.substr(0, header_end);
+    std::istringstream lines(head);
+    std::string line;
+    if (!std::getline(lines, line))
+        throw SimException(ErrorKind::Protocol, "empty response");
+    line = trimmed(line);
+    if (line.rfind("HTTP/1.", 0) != 0)
+        throw SimException(ErrorKind::Protocol,
+                           "malformed status line: " + line);
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos)
+        throw SimException(ErrorKind::Protocol,
+                           "malformed status line: " + line);
+    ServiceResponse response;
+    response.status =
+        std::atoi(line.c_str() + static_cast<std::ptrdiff_t>(sp) + 1);
+    if (response.status < 100 || response.status > 599)
+        throw SimException(ErrorKind::Protocol,
+                           "malformed status line: " + line);
+    while (std::getline(lines, line)) {
+        line = trimmed(line);
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        if (lowered(trimmed(line.substr(0, colon))) == "content-type")
+            response.contentType = trimmed(line.substr(colon + 1));
+    }
+    response.body = data.substr(header_end + 4);
+    return response;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * SweepService: a long-lived daemon serving experiment-plan jobs over
+ * a local socket, with a shared Session and a content-addressed
+ * result cache.
+ *
+ * One-shot `fetchsim_cli sweep` pays the whole cost of its grid every
+ * invocation.  The service amortizes that cost across *clients*: a
+ * persistent process owns one Session (so workloads are prepared once
+ * and the dynamic-trace replay cache is shared by every job, see
+ * docs/TRACES.md) and one ResultCache (sim/result_cache.h, so a cell
+ * simulated for any job is never simulated again -- not in this job,
+ * not in a job submitted tomorrow).  Clients talk HTTP/1.1 + JSON
+ * over an AF_UNIX stream socket; docs/SERVICE.md is the full protocol
+ * reference.
+ *
+ * Execution model:
+ *  - Submitted plans expand to cells exactly like `sweep` (same
+ *    ExperimentPlan, same row-major order), so a job's result
+ *    document is byte-identical to the one-shot `sweep --json`
+ *    output for the same plan.
+ *  - Cells from all jobs feed one priority queue drained by an
+ *    N-worker pool; higher `priority` first, FIFO within a priority,
+ *    plan order within a job.  Queue admission is bounded
+ *    (ServiceOptions::maxQueuedCells): a submission that would
+ *    overflow is rejected with 503 -- backpressure, not buffering.
+ *  - Each cell resolves through the ResultCache first (single-flight:
+ *    concurrent jobs racing on one key simulate it once); misses run
+ *    on the shared Session and publish under the cell's runKey()
+ *    content hash.
+ *  - Jobs are cancellable (POST .../cancel): cells not yet claimed
+ *    are skipped; the in-flight cell finishes (and is cached -- work
+ *    done is never thrown away).
+ *  - drain() -- wired to SIGTERM by the CLI -- stops accepting
+ *    connections, skips every unclaimed cell, finishes and journals
+ *    in-flight cells, wakes every long-poll waiter with a terminal
+ *    state, and leaves the result-cache journal resumable: a service
+ *    restarted on the same journal serves the drained cells from
+ *    cache.
+ *
+ * Threading: one acceptor thread, one short-lived thread per
+ * connection (requests are single-shot, `Connection: close`), N
+ * simulation workers.  All shared state is guarded by one service
+ * mutex; simulation itself runs outside it.
+ */
+
+#ifndef FETCHSIM_SIM_SERVICE_H_
+#define FETCHSIM_SIM_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "sim/result_cache.h"
+#include "sim/sweep.h"
+#include "stats/json_parse.h"
+
+namespace fetchsim
+{
+
+/** Lifecycle states of one submitted job (docs/SERVICE.md). */
+enum class JobState : std::uint8_t
+{
+    Queued,    //!< accepted; no cell claimed yet
+    Running,   //!< at least one cell claimed by a worker
+    Done,      //!< every cell accounted (failures included)
+    Cancelled, //!< cancel requested; unclaimed cells were skipped
+    Drained,   //!< service drained before the job finished
+};
+
+/** Display name of a job state ("queued", "running", ...). */
+const char *jobStateName(JobState state);
+
+/** Options controlling one SweepService. */
+struct ServiceOptions
+{
+    /**
+     * Filesystem path of the AF_UNIX listening socket.  A stale
+     * socket file with no listener behind it is replaced; a live one
+     * makes start() throw (one service per path).
+     */
+    std::string socketPath;
+
+    /**
+     * Simulation worker threads.  0 = automatic, resolved exactly
+     * like SweepOptions::threads (FETCHSIM_THREADS, else hardware
+     * concurrency).
+     */
+    int threads = 0;
+
+    /**
+     * Backpressure bound: the maximum number of cells queued (not
+     * yet claimed by a worker) across all jobs.  A submission whose
+     * cells would not fit is rejected outright with 503 rather than
+     * queued -- bounded memory, and the client knows immediately.
+     */
+    std::size_t maxQueuedCells = 4096;
+
+    /**
+     * Result-cache configuration (journal path, entry budget).  The
+     * journal makes the service resumable across restarts.
+     */
+    ResultCacheOptions resultCache;
+
+    /**
+     * Replay-cache policy shared by every job (sim/session.h); the
+     * same stream recorded for one job replays for all of them.
+     */
+    ReplayOptions replay;
+};
+
+/** Aggregate counters for one service (see also ResultCacheStats). */
+struct ServiceStats
+{
+    std::uint64_t jobsSubmitted = 0; //!< accepted submissions
+    std::uint64_t jobsRejected = 0;  //!< submissions refused (503)
+    std::uint64_t jobsCompleted = 0; //!< jobs reaching Done
+    std::uint64_t jobsCancelled = 0; //!< jobs reaching Cancelled
+    std::uint64_t cellsSimulated = 0;   //!< cells run on the Session
+    std::uint64_t cellsCacheServed = 0; //!< cells served by the cache
+    std::uint64_t cellsFailed = 0;      //!< cells whose run threw
+    std::uint64_t cellsSkipped = 0; //!< cells skipped (cancel/drain)
+    std::uint64_t queuedCells = 0;  //!< cells currently queued
+    std::uint64_t requests = 0;     //!< HTTP requests handled
+};
+
+/** One job's externally visible progress snapshot. */
+struct JobSnapshot
+{
+    std::uint64_t id = 0;     //!< job id (assigned at submission)
+    JobState state = JobState::Queued; //!< lifecycle state
+    int priority = 0;         //!< scheduling priority (higher first)
+    std::size_t cells = 0;    //!< cells in the job's plan
+    std::size_t done = 0;     //!< cells accounted so far
+    std::size_t cacheHits = 0;  //!< cells served from the cache
+    std::size_t simulated = 0;  //!< cells simulated for this job
+    std::size_t failed = 0;     //!< cells whose run threw
+    std::size_t skipped = 0;    //!< cells skipped (cancel/drain)
+    bool cancelRequested = false; //!< cancel() was called on the job
+};
+
+/**
+ * The sweep service: socket server, priority job queue, worker pool,
+ * shared Session + ResultCache.
+ *
+ * Typical use (the CLI's `serve` command):
+ * @code
+ *   SweepService service(options);
+ *   service.start();
+ *   while (!serviceStopRequested() && !service.shutdownRequested())
+ *       ...sleep...
+ *   service.drain();
+ * @endcode
+ * Tests drive the same object through the in-process API (submit(),
+ * jobSnapshot(), cancel()) and through real socket clients
+ * (serviceRequest()).
+ */
+class SweepService
+{
+  public:
+    /**
+     * Configure the service and open the result cache.  Throws
+     * SimException(ErrorKind::Io) when the result-cache journal
+     * exists but cannot be read or opened for appending.  No threads
+     * or sockets exist until start().
+     */
+    explicit SweepService(ServiceOptions options);
+
+    /** Drains (if still running) and removes the socket file. */
+    ~SweepService();
+
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /**
+     * Bind the socket and spawn the acceptor and worker threads.
+     * A stale socket file (no listener answering) is replaced.
+     * Throws SimException(ErrorKind::Io) when the socket cannot be
+     * bound, including when another live service owns the path.
+     */
+    void start();
+
+    /**
+     * Graceful shutdown: close the listener, skip every unclaimed
+     * cell, let in-flight cells finish (and journal), finalize every
+     * job, wake all waiters, join all threads.  Idempotent; called
+     * by the destructor if the CLI did not.
+     */
+    void drain();
+
+    /** True once drain() has begun. */
+    bool draining() const;
+
+    /**
+     * Ask the owning loop to drain (used by the `/v1/shutdown`
+     * endpoint, which must not join the connection thread it runs
+     * on).  The CLI's serve loop polls shutdownRequested().
+     */
+    void requestShutdown();
+
+    /** True once requestShutdown() was called. */
+    bool shutdownRequested() const;
+
+    /**
+     * Submit a job: expand and validate nothing here -- @p configs
+     * is the already expanded plan (use planConfigsFromJson() or
+     * ExperimentPlan::expand()).  Returns the job id, or a
+     * structured error when admission fails: Config for an empty
+     * plan, Io ("queue full", the 503 backpressure signal) when the
+     * cells would overflow ServiceOptions::maxQueuedCells or the
+     * service is draining.
+     */
+    Expected<std::uint64_t> submit(std::vector<RunConfig> configs,
+                                   int priority = 0);
+
+    /**
+     * Request cancellation of @p job: unclaimed cells are skipped
+     * (the in-flight cell finishes).  Returns false when the job id
+     * is unknown or the job is already terminal.
+     */
+    bool cancel(std::uint64_t job);
+
+    /**
+     * Snapshot @p job's progress.  Returns a Config error for an
+     * unknown id.  With @p wait true, blocks until the job reaches a
+     * terminal state (Done/Cancelled/Drained).
+     */
+    Expected<JobSnapshot> jobSnapshot(std::uint64_t job,
+                                      bool wait = false) const;
+
+    /** Snapshots of every job, in submission order. */
+    std::vector<JobSnapshot> jobs() const;
+
+    /**
+     * The completed job's result document -- the exact bytes
+     * `fetchsim_cli sweep --json` would emit for the same plan
+     * (sim/report.h writeRunsJson).  Returns a Config error for an
+     * unknown id and an Io error ("job not finished") for a
+     * non-terminal job.
+     */
+    Expected<std::string> jobResult(std::uint64_t job) const;
+
+    /** Aggregate service counters. */
+    ServiceStats stats() const;
+
+    /**
+     * The `/metrics` document: a MetricRegistry text dump combining
+     * service.* counters, result_cache.* (ResultCache::exportMetrics),
+     * replay.* (Session::exportReplayMetrics) and host.*
+     * (exportProcessMetrics).
+     */
+    std::string metricsText() const;
+
+    /** The resolved worker-thread count. */
+    int threads() const { return threads_; }
+
+    /** The listening socket path. */
+    const std::string &socketPath() const
+    {
+        return options_.socketPath;
+    }
+
+    /** The shared session (testing hook). */
+    Session &session() { return session_; }
+
+    /** The shared result cache (testing hook). */
+    ResultCache &resultCache() { return cache_; }
+
+  private:
+    /** One queued unit of work: one cell of one job. */
+    struct Unit
+    {
+        int priority = 0;        //!< job priority (higher first)
+        std::uint64_t job = 0;   //!< job id (lower = earlier, FIFO)
+        std::size_t cell = 0;    //!< plan index within the job
+    };
+
+    /** Priority order: priority desc, job asc, cell asc. */
+    struct UnitOrder
+    {
+        bool operator()(const Unit &a, const Unit &b) const
+        {
+            if (a.priority != b.priority)
+                return a.priority < b.priority;
+            if (a.job != b.job)
+                return a.job > b.job;
+            return a.cell > b.cell;
+        }
+    };
+
+    /** Everything the service knows about one job. */
+    struct Job
+    {
+        std::uint64_t id = 0;
+        int priority = 0;
+        JobState state = JobState::Queued;
+        bool cancelRequested = false;
+        std::vector<RunConfig> configs;
+        std::vector<std::uint64_t> keys;
+        std::vector<RunResult> runs;
+        std::vector<RunStatus> statuses;
+        std::size_t done = 0;
+        std::size_t cacheHits = 0;
+        std::size_t simulated = 0;
+        std::size_t failed = 0;
+        std::size_t skipped = 0;
+        std::string resultJson; //!< built once at completion
+    };
+
+    void workerLoop();
+    void acceptLoop();
+    void handleConnection(int fd);
+    void runCell(Job &job, std::size_t cell);
+    void accountCell(Job &job, std::size_t cell, RunOutcome outcome,
+                     const SimError &error, bool cache_hit);
+    void finalizeJobLocked(Job &job);
+    JobSnapshot snapshotLocked(const Job &job) const;
+    bool allTerminalLocked() const;
+
+    ServiceOptions options_;
+    int threads_;
+    Session session_;
+    ResultCache cache_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_;  //!< queue/push, drain, stop
+    mutable std::condition_variable job_cv_; //!< job state changes
+    std::priority_queue<Unit, std::vector<Unit>, UnitOrder> queue_;
+    std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+    std::uint64_t next_job_id_ = 1;
+    ServiceStats stats_;
+
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdown_requested_{false};
+    std::mutex drain_mutex_; //!< serializes drain() callers
+    bool started_ = false;
+    bool drained_ = false;   //!< guarded by drain_mutex_
+    int listen_fd_ = -1;
+    std::uint64_t start_ns_ = 0;
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+    std::atomic<int> active_connections_{0};
+    mutable std::mutex conn_mutex_;
+    std::condition_variable conn_cv_; //!< active_connections_ -> 0
+};
+
+/**
+ * @name Service process signals
+ * installServiceSignalHandlers() routes SIGTERM and SIGINT to a
+ * cooperative stop flag the serve loop polls, which is how
+ * `fetchsim_cli serve` turns SIGTERM into a graceful drain.
+ */
+///@{
+void installServiceSignalHandlers();
+bool serviceStopRequested();
+void clearServiceStop();
+///@}
+
+/**
+ * Expand a submission request object into the plan's RunConfig list.
+ *
+ * Request schema (docs/SERVICE.md): `benchmarks` (array of strings,
+ * required), `machines` / `schemes` / `layouts` (arrays of strings;
+ * defaults: all machines, the paper schemes, unordered), `insts`
+ * (number, 0 = default budget).  Unknown names and malformed shapes
+ * return Protocol errors; plan validation failures return Config
+ * errors -- the HTTP layer maps them to 400 and 422.
+ */
+Expected<std::vector<RunConfig>>
+planConfigsFromJson(const JsonValue &request);
+
+/**
+ * Serialize a submission request body for POST /v1/jobs from
+ * name lists (the `submit` client's half of planConfigsFromJson()).
+ * Empty vectors omit the field, selecting the server-side default.
+ */
+std::string planRequestJson(const std::vector<std::string> &benchmarks,
+                            const std::vector<std::string> &machines,
+                            const std::vector<std::string> &schemes,
+                            const std::vector<std::string> &layouts,
+                            std::uint64_t insts, int priority);
+
+/** One parsed HTTP response from serviceRequest(). */
+struct ServiceResponse
+{
+    int status = 0;          //!< HTTP status code
+    std::string contentType; //!< Content-Type header value
+    std::string body;        //!< response body, verbatim
+};
+
+/**
+ * Single-shot HTTP client for the service socket: connect to
+ * @p socket_path, send one @p method @p target request with @p body,
+ * and return the parsed response.  Throws SimException(Io) when the
+ * socket cannot be reached and SimException(Protocol) when the
+ * response cannot be parsed.  This is the transport behind
+ * `fetchsim_cli submit` and the end-to-end tests.
+ */
+ServiceResponse serviceRequest(const std::string &socket_path,
+                               const std::string &method,
+                               const std::string &target,
+                               const std::string &body = "");
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_SERVICE_H_

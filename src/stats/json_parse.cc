@@ -1,0 +1,462 @@
+#include "stats/json_parse.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** Deepest container nesting parseJson() accepts. */
+constexpr int kMaxDepth = 64;
+
+SimError
+protocolError(const std::string &what, std::size_t offset)
+{
+    return SimError{ErrorKind::Protocol,
+                    "invalid JSON: " + what,
+                    "offset=" + std::to_string(offset)};
+}
+
+/** Recursive-descent parser over one in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Expected<JsonValue> parse()
+    {
+        JsonValue value;
+        if (SimError *error = parseValue(value, 0))
+            return *error;
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return protocolError("trailing garbage after document",
+                                 pos_);
+        return value;
+    }
+
+  private:
+    // Each parse step returns nullptr on success or a pointer to
+    // error_ -- keeping the recursion exception-free so malformed
+    // input is an ordinary result, never control flow.
+    SimError *fail(const std::string &what)
+    {
+        error_ = protocolError(what, pos_);
+        return &error_;
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char want)
+    {
+        if (pos_ < text_.size() && text_[pos_] == want) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool consumeLiteral(const char *word)
+    {
+        std::size_t len = 0;
+        while (word[len])
+            ++len;
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    SimError *parseValue(JsonValue &out, int depth)
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char ch = text_[pos_];
+        if (ch == '{')
+            return parseObject(out, depth);
+        if (ch == '[')
+            return parseArray(out, depth);
+        if (ch == '"')
+            return parseString(out);
+        if (ch == '-' || (ch >= '0' && ch <= '9'))
+            return parseNumber(out);
+        if (consumeLiteral("true")) {
+            out = JsonValue::boolean(true);
+            return nullptr;
+        }
+        if (consumeLiteral("false")) {
+            out = JsonValue::boolean(false);
+            return nullptr;
+        }
+        if (consumeLiteral("null")) {
+            out = JsonValue::null();
+            return nullptr;
+        }
+        return fail("unexpected character");
+    }
+
+    SimError *parseObject(JsonValue &out, int depth)
+    {
+        if (depth >= kMaxDepth)
+            return fail("nesting too deep");
+        ++pos_; // '{'
+        out = JsonValue::object();
+        skipWhitespace();
+        if (consume('}'))
+            return nullptr;
+        for (;;) {
+            skipWhitespace();
+            JsonValue key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key string");
+            if (SimError *error = parseString(key))
+                return error;
+            skipWhitespace();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            JsonValue value;
+            if (SimError *error = parseValue(value, depth + 1))
+                return error;
+            out.set(key.asString(), std::move(value));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return nullptr;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    SimError *parseArray(JsonValue &out, int depth)
+    {
+        if (depth >= kMaxDepth)
+            return fail("nesting too deep");
+        ++pos_; // '['
+        std::vector<JsonValue> elements;
+        skipWhitespace();
+        if (consume(']')) {
+            out = JsonValue::array(std::move(elements));
+            return nullptr;
+        }
+        for (;;) {
+            JsonValue value;
+            if (SimError *error = parseValue(value, depth + 1))
+                return error;
+            elements.push_back(std::move(value));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume(']')) {
+                out = JsonValue::array(std::move(elements));
+                return nullptr;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    SimError *parseString(JsonValue &out)
+    {
+        ++pos_; // '"'
+        std::string text;
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_];
+            if (ch == '"') {
+                ++pos_;
+                out = JsonValue::string(std::move(text));
+                return nullptr;
+            }
+            if (static_cast<unsigned char>(ch) < 0x20)
+                return fail("unescaped control character in string");
+            if (ch != '\\') {
+                text += ch;
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size())
+                return fail("truncated escape sequence");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                text += '"';
+                break;
+              case '\\':
+                text += '\\';
+                break;
+              case '/':
+                text += '/';
+                break;
+              case 'b':
+                text += '\b';
+                break;
+              case 'f':
+                text += '\f';
+                break;
+              case 'n':
+                text += '\n';
+                break;
+              case 'r':
+                text += '\r';
+                break;
+              case 't':
+                text += '\t';
+                break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (pos_ >= text_.size())
+                        return fail("truncated \\u escape");
+                    const char hex = text_[pos_++];
+                    code <<= 4;
+                    if (hex >= '0' && hex <= '9')
+                        code |= static_cast<unsigned>(hex - '0');
+                    else if (hex >= 'a' && hex <= 'f')
+                        code |= static_cast<unsigned>(hex - 'a' + 10);
+                    else if (hex >= 'A' && hex <= 'F')
+                        code |= static_cast<unsigned>(hex - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // Encode the code point as UTF-8.  Surrogate pairs
+                // are passed through unpaired (the service protocol
+                // is ASCII in practice).
+                if (code < 0x80) {
+                    text += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    text += static_cast<char>(0xc0 | (code >> 6));
+                    text += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    text += static_cast<char>(0xe0 | (code >> 12));
+                    text += static_cast<char>(0x80 |
+                                              ((code >> 6) & 0x3f));
+                    text += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    SimError *parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        consume('-');
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return fail("malformed number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (consume('.')) {
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed number fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed number exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        out = JsonValue::number(std::strtod(token.c_str(), nullptr));
+        return nullptr;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    SimError error_;
+};
+
+[[noreturn]] void
+throwTypeMismatch(const char *wanted, JsonValue::Type got)
+{
+    throw SimException(ErrorKind::Protocol,
+                       std::string("expected JSON ") + wanted +
+                           ", got " + JsonValue::typeName(got));
+}
+
+} // anonymous namespace
+
+const char *
+JsonValue::typeName(Type type)
+{
+    switch (type) {
+      case Type::Null:
+        return "null";
+      case Type::Bool:
+        return "bool";
+      case Type::Number:
+        return "number";
+      case Type::String:
+        return "string";
+      case Type::Array:
+        return "array";
+      case Type::Object:
+        return "object";
+    }
+    return "null";
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (!isBool())
+        throwTypeMismatch("bool", type_);
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (!isNumber())
+        throwTypeMismatch("number", type_);
+    return number_;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    const double value = asNumber();
+    if (value < 0 || value != std::floor(value) ||
+        value >= 9007199254740992.0) { // 2^53
+        throw SimException(ErrorKind::Protocol,
+                           "expected a non-negative JSON integer");
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (!isString())
+        throwTypeMismatch("string", type_);
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::elements() const
+{
+    if (!isArray() && !isObject())
+        throwTypeMismatch("array", type_);
+    return elements_;
+}
+
+const std::vector<std::string> &
+JsonValue::keys() const
+{
+    if (!isObject())
+        throwTypeMismatch("object", type_);
+    return keys_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    // Last occurrence wins for duplicate keys.
+    for (std::size_t i = keys_.size(); i > 0; --i)
+        if (keys_[i - 1] == key)
+            return &elements_[i - 1];
+    return nullptr;
+}
+
+JsonValue
+JsonValue::null()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::boolean(bool flag)
+{
+    JsonValue value;
+    value.type_ = Type::Bool;
+    value.bool_ = flag;
+    return value;
+}
+
+JsonValue
+JsonValue::number(double number)
+{
+    JsonValue value;
+    value.type_ = Type::Number;
+    value.number_ = number;
+    return value;
+}
+
+JsonValue
+JsonValue::string(std::string text)
+{
+    JsonValue value;
+    value.type_ = Type::String;
+    value.string_ = std::move(text);
+    return value;
+}
+
+JsonValue
+JsonValue::array(std::vector<JsonValue> elements)
+{
+    JsonValue value;
+    value.type_ = Type::Array;
+    value.elements_ = std::move(elements);
+    return value;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue value;
+    value.type_ = Type::Object;
+    return value;
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    if (!isObject())
+        throwTypeMismatch("object", type_);
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == key) {
+            elements_[i] = std::move(value);
+            return;
+        }
+    }
+    keys_.push_back(key);
+    elements_.push_back(std::move(value));
+}
+
+Expected<JsonValue>
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace fetchsim

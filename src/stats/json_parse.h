@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Minimal JSON parser for the sweep-service wire protocol.
+ *
+ * stats/json.h deliberately only *emits* JSON; the sweep service
+ * (sim/service.h) is the first component that must also *read* it --
+ * experiment-plan requests arrive as JSON bodies over a local socket.
+ * This parser is the matching minimal consumer: the full JSON value
+ * grammar (object, array, string, number, bool, null) parsed
+ * recursively into an immutable JsonValue tree, with structured
+ * Protocol errors instead of exceptions on malformed input, a
+ * nesting-depth cap against adversarial payloads, and nothing else --
+ * no streaming, no comments, no schema layer.
+ *
+ * Accessors come in two flavors: typed getters (asString(),
+ * asNumber(), ...) that throw SimException(ErrorKind::Protocol) on a
+ * type mismatch -- the service's request handlers let that propagate
+ * into a 400 response -- and null-returning lookups (find()) for
+ * optional fields.
+ */
+
+#ifndef FETCHSIM_STATS_JSON_PARSE_H_
+#define FETCHSIM_STATS_JSON_PARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace fetchsim
+{
+
+/**
+ * An immutable parsed JSON value.
+ *
+ * Values form a tree of plain value members (object children are two
+ * parallel vectors, key[i] naming element[i]), so copying, moving and
+ * destroying are the compiler-generated operations.  Object members
+ * keep document order; duplicate keys keep the *last* occurrence
+ * visible through find() (matching common parser behaviour).
+ */
+class JsonValue
+{
+  public:
+    /** The JSON value kinds. */
+    enum class Type : std::uint8_t
+    {
+        Null,   //!< `null`
+        Bool,   //!< `true` / `false`
+        Number, //!< any JSON number, held as double
+        String, //!< a string (unescaped)
+        Array,  //!< `[ ... ]`
+        Object, //!< `{ ... }`
+    };
+
+    /** A `null` value. */
+    JsonValue() = default;
+
+    /** This value's kind. */
+    Type type() const { return type_; }
+
+    /** Display name of a value kind ("object", "number", ...). */
+    static const char *typeName(Type type);
+
+    ///@{
+    /** Kind predicate. */
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+    ///@}
+
+    /**
+     * The boolean payload.  Throws SimException(Protocol) unless
+     * isBool().
+     */
+    bool asBool() const;
+
+    /**
+     * The numeric payload.  Throws SimException(Protocol) unless
+     * isNumber().
+     */
+    double asNumber() const;
+
+    /**
+     * The numeric payload as an unsigned integer.  Throws
+     * SimException(Protocol) unless isNumber() and the value is a
+     * non-negative integer that a double represents exactly
+     * (< 2^53).
+     */
+    std::uint64_t asU64() const;
+
+    /**
+     * The string payload.  Throws SimException(Protocol) unless
+     * isString().
+     */
+    const std::string &asString() const;
+
+    /**
+     * The elements of an array -- or, for an object, its member
+     * values in document order (parallel to keys()).  Throws
+     * SimException(Protocol) unless isArray() or isObject().
+     */
+    const std::vector<JsonValue> &elements() const;
+
+    /**
+     * The member names of an object, in document order (parallel to
+     * elements()).  Throws SimException(Protocol) unless isObject().
+     */
+    const std::vector<std::string> &keys() const;
+
+    /**
+     * The value of object member @p key, or nullptr when this is not
+     * an object or has no such member.  Duplicate keys resolve to the
+     * last occurrence.
+     */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * @name Construction (used by the parser, tests and request
+     * builders)
+     * Factories produce each kind explicitly rather than via
+     * overloaded constructors, so `JsonValue::string("true")` can
+     * never silently become a boolean.
+     */
+    ///@{
+    /** A `null` value (same as default construction). */
+    static JsonValue null();
+    /** A boolean value. */
+    static JsonValue boolean(bool flag);
+    /** A numeric value. */
+    static JsonValue number(double value);
+    /** A string value. */
+    static JsonValue string(std::string text);
+    /** An array of @p elements. */
+    static JsonValue array(std::vector<JsonValue> elements);
+    /** An empty object; populate with set(). */
+    static JsonValue object();
+    ///@}
+
+    /**
+     * Append object member @p key with @p value, replacing an
+     * existing member of the same name.  Throws
+     * SimException(Protocol) unless isObject().
+     */
+    void set(const std::string &key, JsonValue value);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> elements_;
+    std::vector<std::string> keys_; //!< parallel to elements_
+};
+
+/**
+ * Parse @p text as exactly one JSON document (leading/trailing
+ * whitespace allowed, trailing garbage is an error).  Returns the
+ * parsed tree or a structured Protocol error naming the byte offset
+ * and what went wrong.  Nesting deeper than 64 containers is
+ * rejected.
+ */
+Expected<JsonValue> parseJson(const std::string &text);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_STATS_JSON_PARSE_H_

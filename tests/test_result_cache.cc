@@ -1,0 +1,225 @@
+/**
+ * @file
+ * ResultCache tests: single-flight admission (one owner per key,
+ * waiters blocked until fulfill, abandon hands ownership over),
+ * journal persistence across instances, the pass-through entry
+ * budget, and metric export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "sim/result_cache.h"
+#include "stats/metrics.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+/** Unique scratch path per test (tests may run concurrently). */
+std::string
+scratchPath(const char *tag)
+{
+    return ::testing::TempDir() + "fetchsim_rc_" + tag + "_" +
+           std::to_string(::getpid()) + ".jsonl";
+}
+
+RunCounters
+countersWith(std::uint64_t cycles)
+{
+    RunCounters counters;
+    counters.cycles = cycles;
+    counters.retired = cycles * 2;
+    return counters;
+}
+
+TEST(ResultCache, MissThenFulfillServesHits)
+{
+    ResultCache cache;
+    RunCounters out;
+    ASSERT_EQ(cache.acquire(7, out), ResultCache::Outcome::Miss);
+    cache.fulfill(7, countersWith(123));
+
+    ASSERT_EQ(cache.acquire(7, out), ResultCache::Outcome::Hit);
+    EXPECT_EQ(out.cycles, 123u);
+    EXPECT_EQ(out.retired, 246u);
+
+    const ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.inserted, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCache, SingleFlightAdmitsExactlyOneOwner)
+{
+    ResultCache cache;
+    constexpr int kThreads = 8;
+    std::atomic<int> misses{0};
+    std::atomic<int> hits{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            RunCounters out;
+            if (cache.acquire(42, out) ==
+                ResultCache::Outcome::Miss) {
+                misses.fetch_add(1);
+                // Hold ownership briefly so the waiters really wait.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                cache.fulfill(42, countersWith(999));
+            } else {
+                EXPECT_EQ(out.cycles, 999u);
+                hits.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(misses.load(), 1);
+    EXPECT_EQ(hits.load(), kThreads - 1);
+}
+
+TEST(ResultCache, AbandonHandsOwnershipToAWaiter)
+{
+    ResultCache cache;
+    RunCounters first;
+    ASSERT_EQ(cache.acquire(5, first), ResultCache::Outcome::Miss);
+
+    std::atomic<bool> waiter_owned{false};
+    std::thread waiter([&] {
+        RunCounters out;
+        // Blocks until the owner abandons, then becomes the new
+        // owner and fulfills.
+        if (cache.acquire(5, out) == ResultCache::Outcome::Miss) {
+            waiter_owned.store(true);
+            cache.fulfill(5, countersWith(7));
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cache.abandon(5);
+    waiter.join();
+    EXPECT_TRUE(waiter_owned.load());
+
+    RunCounters out;
+    EXPECT_EQ(cache.acquire(5, out), ResultCache::Outcome::Hit);
+    EXPECT_EQ(out.cycles, 7u);
+}
+
+TEST(ResultCache, JournalPersistsAcrossInstances)
+{
+    const std::string path = scratchPath("persist");
+    std::remove(path.c_str());
+    {
+        ResultCacheOptions options;
+        options.journalPath = path;
+        ResultCache cache(options);
+        RunCounters out;
+        ASSERT_EQ(cache.acquire(1, out),
+                  ResultCache::Outcome::Miss);
+        cache.fulfill(1, countersWith(11));
+        ASSERT_EQ(cache.acquire(2, out),
+                  ResultCache::Outcome::Miss);
+        cache.fulfill(2, countersWith(22));
+    }
+    {
+        ResultCacheOptions options;
+        options.journalPath = path;
+        ResultCache cache(options);
+        const ResultCacheStats stats = cache.stats();
+        EXPECT_EQ(stats.loaded, 2u);
+        EXPECT_EQ(stats.entries, 2u);
+        RunCounters out;
+        EXPECT_EQ(cache.acquire(1, out),
+                  ResultCache::Outcome::Hit);
+        EXPECT_EQ(out.cycles, 11u);
+        EXPECT_EQ(cache.acquire(2, out),
+                  ResultCache::Outcome::Hit);
+        EXPECT_EQ(out.cycles, 22u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, BudgetDegradesToPassThroughNotEviction)
+{
+    ResultCacheOptions options;
+    options.maxEntries = 1;
+    ResultCache cache(options);
+    RunCounters out;
+    ASSERT_EQ(cache.acquire(1, out), ResultCache::Outcome::Miss);
+    cache.fulfill(1, countersWith(1));
+    // At the cap: the second key's publication is dropped, the first
+    // entry is NOT evicted, and the key misses again next time.
+    ASSERT_EQ(cache.acquire(2, out), ResultCache::Outcome::Miss);
+    cache.fulfill(2, countersWith(2));
+
+    EXPECT_EQ(cache.acquire(1, out), ResultCache::Outcome::Hit);
+    EXPECT_EQ(cache.acquire(2, out), ResultCache::Outcome::Miss);
+    cache.abandon(2);
+
+    const ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCache, BudgetCountsLoadedEntries)
+{
+    const std::string path = scratchPath("budget");
+    std::remove(path.c_str());
+    {
+        ResultCacheOptions options;
+        options.journalPath = path;
+        ResultCache cache(options);
+        RunCounters out;
+        for (std::uint64_t key = 1; key <= 3; ++key) {
+            ASSERT_EQ(cache.acquire(key, out),
+                      ResultCache::Outcome::Miss);
+            cache.fulfill(key, countersWith(key));
+        }
+    }
+    ResultCacheOptions options;
+    options.journalPath = path;
+    options.maxEntries = 2;
+    ResultCache cache(options);
+    EXPECT_EQ(cache.stats().loaded, 2u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, ExportMetricsRegistersNamespace)
+{
+    ResultCache cache;
+    RunCounters out;
+    ASSERT_EQ(cache.acquire(9, out), ResultCache::Outcome::Miss);
+    cache.fulfill(9, countersWith(9));
+    ASSERT_EQ(cache.acquire(9, out), ResultCache::Outcome::Hit);
+
+    MetricRegistry registry;
+    cache.exportMetrics(registry);
+    const std::string text = registry.formatText();
+    EXPECT_NE(text.find("result_cache.hits = 1"), std::string::npos);
+    EXPECT_NE(text.find("result_cache.misses = 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("result_cache.inserted = 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("result_cache.entries = 1"),
+              std::string::npos);
+}
+
+TEST(ResultCache, UnreadableJournalDirectoryThrows)
+{
+    ResultCacheOptions options;
+    options.journalPath = "/nonexistent-dir-xyz/cache.jsonl";
+    EXPECT_THROW(ResultCache cache(options), SimException);
+}
+
+} // anonymous namespace
+} // namespace fetchsim

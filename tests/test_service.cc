@@ -1,0 +1,503 @@
+/**
+ * @file
+ * SweepService end-to-end tests: the in-process API (submit /
+ * cancel / drain / jobResult) and real AF_UNIX socket clients
+ * (serviceRequest) against the HTTP surface.  The load-bearing
+ * claims under test:
+ *
+ *  - a job's result document is byte-identical to one-shot
+ *    `sweep --json` output for the same plan, at 1 and 8 workers;
+ *  - resubmitting an identical plan re-simulates zero cells;
+ *  - cancellation skips unclaimed cells and reaches `cancelled`;
+ *  - drain leaves a journal a restarted service resumes from;
+ *  - oversize submissions are rejected (backpressure), not queued.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "fetch/scheme_registry.h"
+#include "sim/plan.h"
+#include "sim/report.h"
+#include "sim/service.h"
+#include "sim/sweep.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+/** Unique scratch path per tag (sockets, journals). */
+std::string
+scratchPath(const char *tag, const char *suffix)
+{
+    return ::testing::TempDir() + "fetchsim_svc_" + tag + "_" +
+           std::to_string(::getpid()) + suffix;
+}
+
+/** A small 4-cell plan: 2 benchmarks x 1 machine x 2 schemes. */
+std::vector<RunConfig>
+smallConfigs()
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"eqntott", "compress"})
+        .machine(MachineModel::P14)
+        .schemes({SchemeKind::Sequential,
+                  SchemeKind::CollapsingBuffer})
+        .maxRetired(2000);
+    return plan.expand();
+}
+
+/** An 8-cell plan for the byte-identity comparisons. */
+std::vector<RunConfig>
+mediumConfigs()
+{
+    ExperimentPlan plan;
+    plan.benchmarks({"eqntott", "compress"})
+        .machines({MachineModel::P14, MachineModel::P18})
+        .schemes({SchemeKind::Sequential,
+                  SchemeKind::CollapsingBuffer})
+        .maxRetired(3000);
+    return plan.expand();
+}
+
+/** A wide plan (dozens of cells) for cancel/drain races. */
+std::vector<RunConfig>
+wideConfigs()
+{
+    ExperimentPlan plan;
+    plan.benchmarks(integerNames())
+        .machines({MachineModel::P14, MachineModel::P18,
+                   MachineModel::P112})
+        .schemes({SchemeKind::Sequential,
+                  SchemeKind::CollapsingBuffer})
+        .maxRetired(2000);
+    return plan.expand();
+}
+
+ServiceOptions
+baseOptions(const char *tag, int threads)
+{
+    ServiceOptions options;
+    options.socketPath = scratchPath(tag, ".sock");
+    options.threads = threads;
+    return options;
+}
+
+/** Submit, wait for a terminal state, and return the snapshot. */
+JobSnapshot
+runJob(SweepService &service, std::vector<RunConfig> configs,
+       int priority = 0)
+{
+    auto job = service.submit(std::move(configs), priority);
+    EXPECT_TRUE(job.ok()) << job.error().message;
+    auto snap = service.jobSnapshot(job.value(), /*wait=*/true);
+    EXPECT_TRUE(snap.ok()) << snap.error().message;
+    return snap.value();
+}
+
+/** One-shot SweepEngine reference bytes for the same config list. */
+std::string
+oneShotJson(const std::vector<RunConfig> &configs)
+{
+    Session session;
+    SweepOptions options;
+    options.threads = 1;
+    SweepEngine engine(session, options);
+    SweepResult sweep = engine.run(configs);
+    std::ostringstream os;
+    writeRunsJson(os, sweep.runs);
+    return os.str();
+}
+
+TEST(SweepService, ResubmittedPlanIsServedEntirelyFromCache)
+{
+    SweepService service(baseOptions("resubmit", 4));
+    service.start();
+    const std::vector<RunConfig> configs = smallConfigs();
+
+    const JobSnapshot first = runJob(service, configs);
+    EXPECT_EQ(first.state, JobState::Done);
+    EXPECT_EQ(first.cells, configs.size());
+    EXPECT_EQ(first.done, configs.size());
+    EXPECT_EQ(first.simulated, configs.size());
+    EXPECT_EQ(first.failed, 0u);
+
+    const JobSnapshot second = runJob(service, configs);
+    EXPECT_EQ(second.state, JobState::Done);
+    EXPECT_EQ(second.simulated, 0u) << "identical plan re-simulated";
+    EXPECT_EQ(second.cacheHits, configs.size());
+
+    auto result1 = service.jobResult(first.id);
+    auto result2 = service.jobResult(second.id);
+    ASSERT_TRUE(result1.ok());
+    ASSERT_TRUE(result2.ok());
+    EXPECT_EQ(result1.value(), result2.value());
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.jobsSubmitted, 2u);
+    EXPECT_EQ(stats.jobsCompleted, 2u);
+    EXPECT_EQ(stats.cellsSimulated, configs.size());
+    EXPECT_EQ(stats.cellsCacheServed, configs.size());
+    service.drain();
+}
+
+TEST(SweepService, ConcurrentSubmissionsSimulateEachCellOnce)
+{
+    SweepService service(baseOptions("concurrent", 4));
+    service.start();
+    const std::vector<RunConfig> configs = smallConfigs();
+
+    // Four clients race to submit the identical plan.  Single-flight
+    // admission must make the cells simulate exactly once in total;
+    // every other (job, cell) resolves as a cache hit or wait.
+    constexpr int kClients = 4;
+    std::vector<std::thread> clients;
+    std::vector<JobSnapshot> snaps(kClients);
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            snaps[i] = runJob(service, configs);
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+
+    std::size_t simulated = 0;
+    for (const JobSnapshot &snap : snaps) {
+        EXPECT_EQ(snap.state, JobState::Done);
+        EXPECT_EQ(snap.done, configs.size());
+        EXPECT_EQ(snap.failed, 0u);
+        EXPECT_EQ(snap.simulated + snap.cacheHits, configs.size());
+        simulated += snap.simulated;
+    }
+    EXPECT_EQ(simulated, configs.size())
+        << "cells simulated more than once across concurrent jobs";
+
+    // Every job serves the same bytes.
+    auto first = service.jobResult(snaps[0].id);
+    ASSERT_TRUE(first.ok());
+    for (const JobSnapshot &snap : snaps) {
+        auto result = service.jobResult(snap.id);
+        ASSERT_TRUE(result.ok());
+        EXPECT_EQ(result.value(), first.value());
+    }
+    service.drain();
+}
+
+TEST(SweepService, SigtermSetsTheCooperativeStopFlag)
+{
+    // The CLI's serve loop polls serviceStopRequested() and calls
+    // drain(); this covers the signal half of that wiring.
+    installServiceSignalHandlers();
+    clearServiceStop();
+    EXPECT_FALSE(serviceStopRequested());
+    ASSERT_EQ(std::raise(SIGTERM), 0);
+    EXPECT_TRUE(serviceStopRequested());
+    clearServiceStop();
+    EXPECT_FALSE(serviceStopRequested());
+}
+
+TEST(SweepService, ResultBytesMatchOneShotSweepAt1And8Workers)
+{
+    const std::vector<RunConfig> configs = mediumConfigs();
+    const std::string reference = oneShotJson(configs);
+
+    for (const int threads : {1, 8}) {
+        SweepService service(baseOptions("ident", threads));
+        service.start();
+        const JobSnapshot snap = runJob(service, configs);
+        EXPECT_EQ(snap.state, JobState::Done);
+        auto result = service.jobResult(snap.id);
+        ASSERT_TRUE(result.ok()) << result.error().message;
+        EXPECT_EQ(result.value(), reference)
+            << "served result diverged from one-shot sweep at "
+            << threads << " worker(s)";
+        service.drain();
+    }
+}
+
+TEST(SweepService, CancelSkipsUnclaimedCellsMidSweep)
+{
+    SweepService service(baseOptions("cancel", 1));
+    service.start();
+    const std::vector<RunConfig> configs = wideConfigs();
+    ASSERT_GT(configs.size(), 8u);
+
+    auto job = service.submit(configs);
+    ASSERT_TRUE(job.ok());
+    EXPECT_TRUE(service.cancel(job.value()));
+    // Cancelling twice (or a terminal job) reports false.
+    auto snap = service.jobSnapshot(job.value(), /*wait=*/true);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_FALSE(service.cancel(job.value()));
+
+    EXPECT_EQ(snap.value().state, JobState::Cancelled);
+    EXPECT_TRUE(snap.value().cancelRequested);
+    EXPECT_GT(snap.value().skipped, 0u);
+    EXPECT_EQ(snap.value().done, configs.size());
+    EXPECT_LT(snap.value().simulated, configs.size());
+
+    // A cancelled job still serves its (partial) result document.
+    EXPECT_TRUE(service.jobResult(job.value()).ok());
+    EXPECT_EQ(service.stats().jobsCancelled, 1u);
+    service.drain();
+}
+
+TEST(SweepService, DrainLeavesAResumableJournal)
+{
+    const std::string journal = scratchPath("drainj", ".jsonl");
+    std::remove(journal.c_str());
+    const std::vector<RunConfig> configs = wideConfigs();
+    std::size_t simulated_before_drain = 0;
+
+    {
+        ServiceOptions options = baseOptions("drain1", 1);
+        options.resultCache.journalPath = journal;
+        SweepService service(options);
+        service.start();
+        auto job = service.submit(configs);
+        ASSERT_TRUE(job.ok());
+        service.drain();
+
+        auto snap = service.jobSnapshot(job.value());
+        ASSERT_TRUE(snap.ok());
+        EXPECT_EQ(snap.value().state, JobState::Drained);
+        EXPECT_FALSE(snap.value().cancelRequested);
+        EXPECT_GT(snap.value().skipped, 0u);
+        EXPECT_EQ(snap.value().done, configs.size());
+        simulated_before_drain = snap.value().simulated;
+
+        // A draining service refuses new work.
+        auto late = service.submit(configs);
+        ASSERT_FALSE(late.ok());
+        EXPECT_EQ(late.error().kind, ErrorKind::Io);
+    }
+
+    // The journal holds exactly the cells that finished.
+    std::ifstream in(journal);
+    std::size_t lines = 0;
+    for (std::string line; std::getline(in, line);)
+        if (!line.empty())
+            ++lines;
+    EXPECT_EQ(lines, simulated_before_drain);
+
+    // A service restarted on the same journal is warm: only the
+    // drained-away cells simulate.
+    ServiceOptions options = baseOptions("drain2", 1);
+    options.resultCache.journalPath = journal;
+    SweepService service(options);
+    EXPECT_EQ(service.resultCache().stats().loaded,
+              simulated_before_drain);
+    service.start();
+    const JobSnapshot snap = runJob(service, configs);
+    EXPECT_EQ(snap.state, JobState::Done);
+    EXPECT_EQ(snap.cacheHits, simulated_before_drain);
+    EXPECT_EQ(snap.simulated,
+              configs.size() - simulated_before_drain);
+    service.drain();
+    std::remove(journal.c_str());
+}
+
+TEST(SweepService, OversizeSubmissionIsRejectedNotQueued)
+{
+    ServiceOptions options = baseOptions("backpressure", 1);
+    options.maxQueuedCells = 4;
+    SweepService service(options);
+    service.start();
+
+    auto job = service.submit(mediumConfigs()); // 8 cells > 4
+    ASSERT_FALSE(job.ok());
+    EXPECT_EQ(job.error().kind, ErrorKind::Io);
+    EXPECT_EQ(service.stats().jobsRejected, 1u);
+
+    // The same rejection over the socket is a 503.
+    const ServiceResponse response = serviceRequest(
+        service.socketPath(), "POST", "/v1/jobs",
+        planRequestJson({"eqntott", "compress"}, {"P14", "P18"},
+                        {"sequential", "collapsing"}, {}, 3000, 0));
+    EXPECT_EQ(response.status, 503);
+    EXPECT_NE(response.body.find("queue full"), std::string::npos);
+
+    auto empty = service.submit({});
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.error().kind, ErrorKind::Config);
+    service.drain();
+}
+
+TEST(SweepService, SocketLifecycleSubmitWaitResultMatchesApi)
+{
+    SweepService service(baseOptions("socket", 2));
+    service.start();
+    const std::string &socket = service.socketPath();
+
+    const ServiceResponse health =
+        serviceRequest(socket, "GET", "/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("\"status\":\"ok\""),
+              std::string::npos);
+    EXPECT_NE(health.body.find("\"draining\":false"),
+              std::string::npos);
+
+    const ServiceResponse accepted = serviceRequest(
+        socket, "POST", "/v1/jobs",
+        planRequestJson({"eqntott", "compress"}, {"P14"},
+                        {"sequential", "collapsing"}, {}, 2000, 0));
+    ASSERT_EQ(accepted.status, 202) << accepted.body;
+    EXPECT_NE(accepted.body.find("\"job\":1"), std::string::npos);
+
+    // Long-poll until terminal, then fetch the result document.
+    const ServiceResponse done =
+        serviceRequest(socket, "GET", "/v1/jobs/1?wait=1");
+    EXPECT_EQ(done.status, 200);
+    EXPECT_NE(done.body.find("\"state\":\"done\""),
+              std::string::npos);
+
+    const ServiceResponse result =
+        serviceRequest(socket, "GET", "/v1/jobs/1/result");
+    EXPECT_EQ(result.status, 200);
+    auto api_result = service.jobResult(1);
+    ASSERT_TRUE(api_result.ok());
+    EXPECT_EQ(result.body, api_result.value())
+        << "socket result bytes diverged from the in-process API";
+
+    // The job listing shows the one job.
+    const ServiceResponse listing =
+        serviceRequest(socket, "GET", "/v1/jobs");
+    EXPECT_EQ(listing.status, 200);
+    EXPECT_NE(listing.body.find("\"jobs\":["), std::string::npos);
+
+    const ServiceResponse metrics =
+        serviceRequest(socket, "GET", "/metrics");
+    EXPECT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.contentType.find("text/plain"),
+              std::string::npos);
+    for (const char *name :
+         {"service.jobs_submitted", "service.cells_simulated",
+          "result_cache.hits", "replay.", "host."}) {
+        EXPECT_NE(metrics.body.find(name), std::string::npos)
+            << "missing metric namespace: " << name;
+    }
+    service.drain();
+}
+
+TEST(SweepService, SocketErrorsMapToProtocolStatuses)
+{
+    SweepService service(baseOptions("errors", 1));
+    service.start();
+    const std::string &socket = service.socketPath();
+
+    struct Case
+    {
+        const char *method;
+        const char *target;
+        const char *body;
+        int status;
+    };
+    const Case cases[] = {
+        // Malformed JSON body.
+        {"POST", "/v1/jobs", "{not json", 400},
+        // Unknown request field.
+        {"POST", "/v1/jobs", "{\"benchmarks\":[\"eqntott\"],\"x\":1}",
+         400},
+        // Missing required field.
+        {"POST", "/v1/jobs", "{}", 400},
+        // Unknown scheme name: a plan vocabulary (422) problem.
+        {"POST", "/v1/jobs",
+         "{\"benchmarks\":[\"eqntott\"],\"schemes\":[\"warp\"]}", 422},
+        // Unknown benchmark name: plan validation (422).
+        {"POST", "/v1/jobs", "{\"benchmarks\":[\"nonesuch\"]}", 422},
+        // Unknown job / endpoint / id shapes.
+        {"GET", "/v1/jobs/999", "", 404},
+        {"GET", "/v1/jobs/999/result", "", 404},
+        {"POST", "/v1/jobs/999/cancel", "", 404},
+        {"GET", "/v1/jobs/abc", "", 404},
+        {"GET", "/nope", "", 404},
+        // Wrong method.
+        {"POST", "/healthz", "", 405},
+        {"DELETE", "/v1/jobs", "", 405},
+        {"GET", "/v1/shutdown", "", 405},
+    };
+    for (const Case &c : cases) {
+        const ServiceResponse response =
+            serviceRequest(socket, c.method, c.target, c.body);
+        EXPECT_EQ(response.status, c.status)
+            << c.method << " " << c.target << " -> "
+            << response.body;
+        EXPECT_NE(response.body.find("\"error\""), std::string::npos);
+    }
+
+    // Result of a job that exists but is not finished: 409.
+    auto job = service.submit(wideConfigs());
+    ASSERT_TRUE(job.ok());
+    const std::string target =
+        "/v1/jobs/" + std::to_string(job.value()) + "/result";
+    const ServiceResponse early =
+        serviceRequest(socket, "GET", target);
+    if (early.status != 200) { // may legitimately finish first
+        EXPECT_EQ(early.status, 409);
+    }
+    service.cancel(job.value());
+
+    // Cancelling a terminal job: 409.
+    (void)service.jobSnapshot(job.value(), /*wait=*/true);
+    const ServiceResponse recancel = serviceRequest(
+        socket, "POST",
+        "/v1/jobs/" + std::to_string(job.value()) + "/cancel");
+    EXPECT_EQ(recancel.status, 409);
+    service.drain();
+}
+
+TEST(SweepService, ShutdownEndpointRequestsDrainWithoutBlocking)
+{
+    SweepService service(baseOptions("shutdown", 1));
+    service.start();
+    EXPECT_FALSE(service.shutdownRequested());
+
+    const ServiceResponse response =
+        serviceRequest(service.socketPath(), "POST", "/v1/shutdown");
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("draining"), std::string::npos);
+    // The endpoint only flags the owning loop; the service still
+    // answers until that loop calls drain() (the serve loop's job).
+    EXPECT_TRUE(service.shutdownRequested());
+    EXPECT_FALSE(service.draining());
+    service.drain();
+    EXPECT_TRUE(service.draining());
+}
+
+TEST(SweepService, PlanRequestJsonRoundTripsThroughParser)
+{
+    auto parsed = parseJson(planRequestJson(
+        {"eqntott"}, {"P14"}, {"sequential"}, {"unordered"}, 2000,
+        3));
+    ASSERT_TRUE(parsed.ok());
+    auto configs = planConfigsFromJson(parsed.value());
+    ASSERT_TRUE(configs.ok()) << configs.error().message;
+    ASSERT_EQ(configs.value().size(), 1u);
+    EXPECT_EQ(configs.value()[0].benchmark, "eqntott");
+    EXPECT_EQ(configs.value()[0].machine, MachineModel::P14);
+    EXPECT_EQ(configs.value()[0].scheme, SchemeKind::Sequential);
+    EXPECT_EQ(configs.value()[0].maxRetired, 2000u);
+
+    // Omitted axes select the server defaults: all machines x the
+    // paper schemes x the unordered layout.
+    auto defaults = parseJson(planRequestJson(
+        {"eqntott"}, {}, {}, {}, 0, 0));
+    ASSERT_TRUE(defaults.ok());
+    auto expanded = planConfigsFromJson(defaults.value());
+    ASSERT_TRUE(expanded.ok());
+    const std::size_t paper_schemes =
+        FetchSchemeRegistry::instance().paperSchemes().size();
+    EXPECT_EQ(expanded.value().size(), 3u * paper_schemes);
+}
+
+} // anonymous namespace
+} // namespace fetchsim
