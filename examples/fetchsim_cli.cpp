@@ -44,8 +44,28 @@
  *                       [--priority N] [--no-wait] [--json FILE]
  *                       | --status JOB | --cancel JOB
  *                       | --metrics | --shutdown
+ *   fetchsim_cli import --in trace.champsim --out gcc.trace
+ *                       [--format champsim] [--lenient]
+ *                       [--max-insts N] [--manifest FILE]
+ *   fetchsim_cli fuzz   [--runs N] [--seed N] [--threads N]
+ *                       [--max-failures N]
+ *                       | --fuzz-seed HEX [--shrink-level N]
  *   fetchsim_cli list
  *   fetchsim_cli help
+ *
+ * `import` converts an external (ChampSim-format) trace into an FSTR
+ * v2 file with defensive parsing -- structured errors on truncated or
+ * impossible inputs, `--lenient` to repair-and-count instead -- and
+ * writes a JSON manifest carrying the content hash.  The imported
+ * file becomes a first-class benchmark via `--external NAME=PATH`
+ * (accepted by run and sweep), referenced as `external:NAME`.
+ *
+ * `fuzz` runs the property-based sweep-invariant fuzzer (sim/fuzz.h):
+ * each scenario randomizes a workload and plan, runs a mini-sweep,
+ * and checks determinism invariants (thread-count byte-identity,
+ * replay on/off identity, checkpoint/resume identity, result-cache
+ * round-trip, perfect-scheme dominance).  Failures shrink to a
+ * minimal reproducer replayable with --fuzz-seed.
  *
  * `serve` runs the long-lived sweep service (sim/service.h,
  * docs/SERVICE.md): jobs from any number of `submit` clients share
@@ -116,9 +136,13 @@
 #include "core/processor.h"
 #include "exec/trace_file.h"
 #include "fetch/scheme_registry.h"
+#include "ingest/champsim.h"
+#include "ingest/trace_registry.h"
 #include "perf/profiler.h"
 #include "perf/trace_export.h"
 #include "sim/bench.h"
+#include "sim/checkpoint.h"
+#include "sim/fuzz.h"
 #include "sim/plan.h"
 #include "sim/report.h"
 #include "sim/repro_report.h"
@@ -164,7 +188,7 @@ parseArgs(int argc, char **argv, int first)
         if (key == "ras" || key == "metrics" || key == "json" ||
             key == "fail-fast" || key == "keep-going" ||
             key == "resume" || key == "smoke" || key == "no-wait" ||
-            key == "shutdown") {
+            key == "shutdown" || key == "lenient") {
             // --json doubles as a valued option (sweep output file);
             // treat it as a flag only when no value follows.
             if (key == "json" && i + 1 < argc &&
@@ -462,6 +486,28 @@ reportSweepFailures(const SweepResult &sweep)
     return exit_code;
 }
 
+/**
+ * Register the NAME=PATH pairs of a `--external` flag so that
+ * `external:NAME` benchmarks resolve; each file is validated (header,
+ * version, count vs size) at registration, never mid-sweep.
+ */
+void
+applyExternalFlag(const std::map<std::string, std::string> &args)
+{
+    const std::string pairs = getOr(args, "external", "");
+    if (pairs.empty())
+        return;
+    // Keep the Expected alive past the loop: value() returns a
+    // reference into it, so iterating the temporary would dangle.
+    const auto registered = registerExternalTraces(pairs);
+    for (const ExternalTraceInfo &info : registered.value()) {
+        std::cerr << "registered " << info.benchmark() << " ("
+                  << info.records << " records, FSTR v"
+                  << info.version << ", hash "
+                  << runKeyHex(info.contentHash) << ")\n";
+    }
+}
+
 int
 cmdList()
 {
@@ -488,6 +534,7 @@ cmdList()
 int
 cmdRun(const std::map<std::string, std::string> &args)
 {
+    applyExternalFlag(args);
     RunConfig config;
     config.benchmark = getOr(args, "benchmark", "eqntott");
     config.machine = parseMachine(getOr(args, "machine", "P112"));
@@ -594,6 +641,7 @@ cmdReport(const std::map<std::string, std::string> &args)
 int
 cmdSweep(const std::map<std::string, std::string> &args)
 {
+    applyExternalFlag(args);
     ExperimentPlan plan;
     plan.benchmarks(parseBenchmarks(getOr(args, "benchmarks", "int")));
 
@@ -1034,6 +1082,115 @@ cmdSubmit(const std::map<std::string, std::string> &args)
 }
 
 int
+cmdImport(const std::map<std::string, std::string> &args)
+{
+    const std::string input = getOr(args, "in", "");
+    const std::string output = getOr(args, "out", "");
+    if (input.empty() || output.empty())
+        throw UsageError("import requires --in FILE and --out FILE");
+
+    ImportOptions options;
+    options.format =
+        parseImportFormat(getOr(args, "format", "champsim")).value();
+    options.repair = args.count("lenient") ? RepairPolicy::Lenient
+                                           : RepairPolicy::Strict;
+    const std::string max_insts = getOr(args, "max-insts", "");
+    if (!max_insts.empty()) {
+        options.maxRecords =
+            std::strtoull(max_insts.c_str(), nullptr, 10);
+        if (options.maxRecords == 0)
+            throw UsageError("--max-insts wants a positive count");
+    }
+    options.manifestPath = getOr(args, "manifest", "");
+
+    const ImportStats stats = importTrace(input, output, options);
+    std::cout << "imported " << stats.recordsOut << " of "
+              << stats.recordsIn << " records from " << input
+              << " to " << stats.outputPath << "\n"
+              << "FSTR v2, content hash "
+              << runKeyHex(stats.contentHash) << "\n"
+              << "manifest " << stats.manifestPath << "\n";
+    if (stats.repairs.total() != 0) {
+        std::cout << "repairs: " << stats.repairs.total()
+                  << " (flag-bytes " << stats.repairs.flagBytes
+                  << ", null-ip " << stats.repairs.nullIp
+                  << ", taken-flags " << stats.repairs.takenFlags
+                  << ", discontinuities "
+                  << stats.repairs.discontinuities
+                  << ", reclassified " << stats.repairs.reclassified
+                  << ", truncated-input "
+                  << stats.repairs.truncatedInput << ", partial-tail "
+                  << stats.repairs.partialTail << ", dropped-tail "
+                  << stats.repairs.droppedTail << ")\n";
+    }
+    std::cout << "run it with: fetchsim_cli run --external name="
+              << stats.outputPath << " --benchmark external:name\n";
+    return 0;
+}
+
+int
+cmdFuzz(const std::map<std::string, std::string> &args)
+{
+    const int threads =
+        std::atoi(getOr(args, "threads", "4").c_str());
+    if (threads < 1)
+        throw UsageError("--threads wants a positive count");
+
+    // Replay mode: one scenario, chosen by its exact seed.
+    const std::string replay_seed = getOr(args, "fuzz-seed", "");
+    if (!replay_seed.empty()) {
+        const std::uint64_t seed =
+            std::strtoull(replay_seed.c_str(), nullptr, 0);
+        const int level =
+            std::atoi(getOr(args, "shrink-level", "0").c_str());
+        if (level < 0 || level > kMaxShrinkLevel)
+            throw UsageError("--shrink-level wants 0.." +
+                             std::to_string(kMaxShrinkLevel));
+        std::uint64_t cells = 0;
+        const std::vector<FuzzFailure> failures =
+            checkFuzzScenario(seed, level, threads, &cells);
+        if (failures.empty()) {
+            std::cout << "fuzz: scenario 0x" << runKeyHex(seed)
+                      << " level " << level << " ok (" << cells
+                      << " cells)\n";
+            return 0;
+        }
+        for (const FuzzFailure &failure : failures) {
+            std::cout << "fuzz: FAIL " << failure.property << " ("
+                      << failure.detail << ")\n";
+        }
+        return kExitSimulation;
+    }
+
+    FuzzOptions options;
+    options.runs = std::strtoull(getOr(args, "runs", "100").c_str(),
+                                 nullptr, 10);
+    if (options.runs == 0)
+        throw UsageError("--runs wants a positive count");
+    options.seed = std::strtoull(getOr(args, "seed", "1").c_str(),
+                                 nullptr, 0);
+    options.threads = threads;
+    options.maxFailures = std::strtoull(
+        getOr(args, "max-failures", "5").c_str(), nullptr, 10);
+    options.log = &std::cerr;
+
+    const FuzzReport report = runFuzz(options);
+    std::cout << "fuzz: " << report.scenarios << " scenarios, "
+              << report.cells << " cells, " << report.failures.size()
+              << " failures (seed " << options.seed << ")\n";
+    if (report.ok())
+        return 0;
+    for (const FuzzFailure &failure : report.failures) {
+        std::cout << "fuzz: FAIL " << failure.property << " at seed 0x"
+                  << runKeyHex(failure.seed) << " level "
+                  << failure.shrinkLevel << ": " << failure.detail
+                  << "\n"
+                  << "fuzz: reproduce: " << failure.reproducer << "\n";
+    }
+    return kExitSimulation;
+}
+
+int
 cmdHelp()
 {
     // The single authoritative flag reference.  The docs-freshness
@@ -1055,6 +1212,8 @@ cmdHelp()
         "  bench   host-performance regression harness\n"
         "  record  write a dynamic trace to an FSTR file\n"
         "  replay  run a processor from a recorded FSTR file\n"
+        "  import  convert an external trace to an FSTR file\n"
+        "  fuzz    property-based sweep-invariant fuzzer\n"
         "  serve   long-lived sweep service on a unix socket\n"
         "  submit  send a plan to a running serve, fetch results\n"
         "  help    this flag reference\n"
@@ -1109,6 +1268,23 @@ cmdHelp()
         "  --scheme S          fetch scheme (default collapsing)\n"
         "  --insts N           instructions to replay (0 = all)\n"
         "\n"
+        "import:\n"
+        "  --in FILE           external trace to convert (required)\n"
+        "  --out FILE          FSTR v2 output path (required)\n"
+        "  --format F          source format (champsim)\n"
+        "  --lenient           repair and count malformed records\n"
+        "                      instead of rejecting the trace\n"
+        "  --max-insts N       imported-record budget (default 5M)\n"
+        "  --manifest FILE     manifest path (default "
+        "OUT.manifest.json)\n"
+        "\n"
+        "fuzz:\n"
+        "  --runs N            scenarios per campaign (default 100)\n"
+        "  --seed N            campaign seed (default 1)\n"
+        "  --max-failures N    stop after N failures (default 5)\n"
+        "  --fuzz-seed HEX     replay one scenario by its seed\n"
+        "  --shrink-level N    shrink rung for --fuzz-seed (0-4)\n"
+        "\n"
         "serve (also accepts --threads and the --replay* flags):\n"
         "  --socket PATH       unix socket to listen on (required)\n"
         "  --queue-cells N     queued-cell backpressure bound "
@@ -1132,7 +1308,11 @@ cmdHelp()
         "  --metrics           print the service /metrics document\n"
         "  --shutdown          ask the service to drain and exit\n"
         "\n"
-        "shared by sweep, report and bench:\n"
+        "shared by run and sweep:\n"
+        "  --external LIST     register NAME=PATH external traces;\n"
+        "                      reference them as external:NAME\n"
+        "\n"
+        "shared by sweep, report and bench (fuzz: --threads only):\n"
         "  --threads N         worker threads (0 = auto)\n"
         "  --fail-fast         stop the sweep at the first failure\n"
         "  --keep-going        record failures, keep sweeping\n"
@@ -1207,7 +1387,8 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cout << "usage: fetchsim_cli {run|sweep|report|bench|"
-                     "record|replay|serve|submit|list|help} "
+                     "record|replay|import|fuzz|serve|submit|list|"
+                     "help} "
                      "[--option value ...]\n"
                      "(run `fetchsim_cli help` for the flag "
                      "reference)\n";
@@ -1232,6 +1413,10 @@ main(int argc, char **argv)
             return cmdRecord(args);
         if (command == "replay")
             return cmdReplay(args);
+        if (command == "import")
+            return cmdImport(args);
+        if (command == "fuzz")
+            return cmdFuzz(args);
         if (command == "serve")
             return cmdServe(args);
         if (command == "submit")

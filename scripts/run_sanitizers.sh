@@ -13,11 +13,32 @@
 #
 # With no arguments all three sanitizers run.  Exit code is nonzero
 # when any build or any test fails.
+#
+# Fuzzing under sanitizers (the CI fuzz-smoke job):
+#
+#     ./scripts/run_sanitizers.sh --fuzz=500 address undefined
+#     ./scripts/run_sanitizers.sh --fuzz=500 --skip-tests address
+#
+# --fuzz[=N] additionally runs the property-based sweep fuzzer
+# (`fetchsim_cli fuzz --runs N --seed 1`, default N=500) in each
+# sanitized tree, so any invariant violation or memory bug a
+# randomized scenario can reach trips a sanitizer report.
+# --skip-tests drops the ctest pass, leaving build + fuzz only.
 set -euo pipefail
 
 repo=$(cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 2)
-sanitizers=("$@")
+fuzz_runs=0
+skip_tests=0
+sanitizers=()
+for arg in "$@"; do
+    case "$arg" in
+      --fuzz)       fuzz_runs=500 ;;
+      --fuzz=*)     fuzz_runs="${arg#--fuzz=}" ;;
+      --skip-tests) skip_tests=1 ;;
+      *)            sanitizers+=("$arg") ;;
+    esac
+done
 [ ${#sanitizers[@]} -gt 0 ] || sanitizers=(address undefined thread)
 
 # TSan needs the test binaries to start threads the way the suite
@@ -37,10 +58,21 @@ for san in "${sanitizers[@]}"; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
     echo "=== $san sanitizer: building ==="
     cmake --build "$dir" -j "$jobs"
-    echo "=== $san sanitizer: testing ==="
-    if ! ctest --test-dir "$dir" --output-on-failure -E docs_fresh; then
-        echo "*** $san sanitizer run FAILED ***" >&2
-        failures=$((failures + 1))
+    if [ "$skip_tests" -eq 0 ]; then
+        echo "=== $san sanitizer: testing ==="
+        if ! ctest --test-dir "$dir" --output-on-failure -E docs_fresh
+        then
+            echo "*** $san sanitizer run FAILED ***" >&2
+            failures=$((failures + 1))
+        fi
+    fi
+    if [ "$fuzz_runs" -gt 0 ]; then
+        echo "=== $san sanitizer: fuzzing ($fuzz_runs scenarios) ==="
+        if ! "$dir/examples/fetchsim_cli" fuzz --runs "$fuzz_runs" \
+            --seed 1; then
+            echo "*** $san sanitizer fuzz FAILED ***" >&2
+            failures=$((failures + 1))
+        fi
     fi
 done
 

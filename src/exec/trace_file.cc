@@ -1,6 +1,8 @@
 #include "exec/trace_file.h"
 
+#include <cstdio>
 #include <cstring>
+#include <exception>
 
 #include "core/error.h"
 #include "stats/log.h"
@@ -71,27 +73,48 @@ traceRecordHash(std::uint64_t hash, const DynInst &di)
     return hash;
 }
 
-TraceWriter::TraceWriter(const std::string &path) : path_(path)
+TraceWriter::TraceWriter(const std::string &path)
+    : path_(path), tmp_path_(path + ".tmp"),
+      exceptions_at_ctor_(std::uncaught_exceptions())
 {
-    file_ = std::fopen(path.c_str(), "wb");
+    file_ = std::fopen(tmp_path_.c_str(), "wb");
     if (!file_)
-        throwIo("TraceWriter: cannot open " + path, path);
+        throwIo("TraceWriter: cannot open " + tmp_path_, path);
     TraceHeaderV2 header{kTraceMagic, kTraceVersion, 0, 0};
     if (std::fwrite(&header, sizeof(header), 1, file_) != 1) {
-        std::fclose(file_);
-        file_ = nullptr;
+        discard();
         throwIo("TraceWriter: header write failed", path);
     }
 }
 
 TraceWriter::~TraceWriter()
 {
-    // Destruction must not throw; a close() failure here leaves a
-    // file whose header still says count 0, which readers reject.
+    // Publishing from a destructor is only safe on a normal path; if
+    // we are unwinding, the producer died mid-stream and the half
+    // trace must never appear at the destination.
+    if (std::uncaught_exceptions() > exceptions_at_ctor_) {
+        discard();
+        return;
+    }
+    // Destruction must not throw; a failed finalize discards the
+    // temporary, so the destination path is never left corrupt.
     try {
         close();
     } catch (const SimException &e) {
         warn(std::string("TraceWriter: ") + e.what());
+    }
+}
+
+void
+TraceWriter::discard()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    if (!tmp_path_.empty()) {
+        std::remove(tmp_path_.c_str());
+        tmp_path_.clear();
     }
 }
 
@@ -119,14 +142,25 @@ TraceWriter::close()
 {
     if (!file_)
         return;
-    // Patch the record count and content hash into the header.
+    // Patch the record count and content hash into the header, then
+    // publish atomically; a failure at any step discards the
+    // temporary so no partial file ever lands at the destination.
     TraceHeaderV2 header{kTraceMagic, kTraceVersion, count_, hash_};
     const bool ok = std::fseek(file_, 0, SEEK_SET) == 0 &&
-                    std::fwrite(&header, sizeof(header), 1, file_) == 1;
+                    std::fwrite(&header, sizeof(header), 1, file_) == 1 &&
+                    std::fflush(file_) == 0;
     std::fclose(file_);
     file_ = nullptr;
-    if (!ok)
+    if (!ok) {
+        discard();
         throwIo("TraceWriter: header finalize failed", path_);
+    }
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+        discard();
+        throwIo("TraceWriter: cannot publish trace at " + path_,
+                path_);
+    }
+    tmp_path_.clear();
 }
 
 TraceReader::TraceReader(const std::string &path) : path_(path)
@@ -162,6 +196,30 @@ TraceReader::TraceReader(const std::string &path) : path_(path)
         file_ = nullptr;
         throwIo("TraceReader: unsupported trace version " +
                     std::to_string(head.version),
+                path);
+    }
+
+    // Bound the header's record count by what the file can actually
+    // hold: an absurd length field (or a truncated payload) is
+    // rejected here, before any caller sizes work from count().
+    const bool sized = std::fseek(file_, 0, SEEK_END) == 0;
+    const long file_size = sized ? std::ftell(file_) : -1;
+    if (file_size < 0 ||
+        std::fseek(file_, data_offset_, SEEK_SET) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throwIo("TraceReader: cannot size " + path, path);
+    }
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(file_size) -
+        static_cast<std::uint64_t>(data_offset_);
+    if (count_ > payload / sizeof(TraceRecord)) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throwIo("TraceReader: record count " +
+                    std::to_string(count_) +
+                    " exceeds file size (truncated or corrupt "
+                    "header)",
                 path);
     }
 }

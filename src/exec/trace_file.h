@@ -72,6 +72,14 @@ std::uint64_t traceRecordHash(std::uint64_t hash, const DynInst &di);
 
 /**
  * Streams dynamic instructions into a trace file (format v2).
+ *
+ * Writes go to a private `<path>.tmp` file; close() finalizes the
+ * header and atomically renames it into place, so readers can never
+ * observe a half-written trace at @p path -- an interrupted or
+ * failed write leaves the destination untouched.  Destruction on a
+ * normal path implies close(); destruction during exception unwind
+ * (or after discard()) removes the temporary instead, so an aborted
+ * producer never publishes a partial file.
  */
 class TraceWriter
 {
@@ -86,8 +94,17 @@ class TraceWriter
     /** Append one instruction; throws SimException(Io) on failure. */
     void append(const DynInst &di);
 
-    /** Finalize the header and close.  Implied by destruction. */
+    /**
+     * Finalize the header and publish the file at the destination
+     * path.  Implied by destruction on a non-exception path.
+     */
     void close();
+
+    /**
+     * Abandon the recording: delete the temporary file without ever
+     * publishing the destination path.  Never throws.
+     */
+    void discard();
 
     /** Records written so far. */
     std::uint64_t count() const { return count_; }
@@ -98,14 +115,21 @@ class TraceWriter
   private:
     std::FILE *file_ = nullptr;
     std::string path_;
+    std::string tmp_path_;
     std::uint64_t count_ = 0;
     std::uint64_t hash_ = kTraceHashOffset;
+    int exceptions_at_ctor_ = 0;
 };
 
 /**
  * Replays a trace file as an InstSource.  Reads v2 (verifying the
  * content hash as the last record is consumed) and legacy v1 files
  * (no hash to verify).  All failures throw SimException(Io).
+ *
+ * The header's record count is validated against the file size at
+ * open, so a truncated payload or an absurd length field is rejected
+ * before any record is consumed (and before a caller sizes buffers
+ * from count()).
  */
 class TraceReader : public InstSource
 {

@@ -1,0 +1,452 @@
+#include "ingest/champsim.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "exec/dyn_inst.h"
+#include "exec/trace_file.h"
+#include "isa/opcode.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** ChampSim's architectural register numbers (x86, PIN encoding). */
+constexpr std::uint8_t kChampSimRegSp = 6;    // REG_STACK_POINTER
+constexpr std::uint8_t kChampSimRegFlags = 25; // REG_FLAGS
+constexpr std::uint8_t kChampSimRegIp = 26;   // REG_INSTRUCTION_POINTER
+
+constexpr int kChampSimNumDestRegs = 2;
+constexpr int kChampSimNumSrcRegs = 4;
+constexpr int kChampSimNumDestMem = 2;
+constexpr int kChampSimNumSrcMem = 4;
+
+/** ChampSim's on-disk input_instr record (64 bytes, little-endian). */
+struct ChampSimRecord
+{
+    std::uint64_t ip;
+    std::uint8_t isBranch;
+    std::uint8_t branchTaken;
+    std::uint8_t destRegs[kChampSimNumDestRegs];
+    std::uint8_t srcRegs[kChampSimNumSrcRegs];
+    std::uint64_t destMem[kChampSimNumDestMem];
+    std::uint64_t srcMem[kChampSimNumSrcMem];
+};
+static_assert(sizeof(ChampSimRecord) == 64,
+              "stable ChampSim record size");
+
+/** Canonical pc of the rank-0 imported instruction. */
+constexpr std::uint64_t kImportPcBase = 0x1000;
+
+[[noreturn]] void
+throwIo(const std::string &message, const std::string &path)
+{
+    throw SimException(ErrorKind::Io, message, "trace=" + path);
+}
+
+[[noreturn]] void
+throwRecord(const std::string &message, const std::string &path,
+            std::uint64_t index)
+{
+    throw SimException(ErrorKind::Workload, message,
+                       "trace=" + path +
+                           " record=" + std::to_string(index));
+}
+
+/** fopen with guaranteed fclose on every exit path. */
+class FileGuard
+{
+  public:
+    FileGuard(const std::string &path, const char *mode)
+        : file_(std::fopen(path.c_str(), mode))
+    {
+    }
+    ~FileGuard()
+    {
+        if (file_)
+            std::fclose(file_);
+    }
+    FileGuard(const FileGuard &) = delete;
+    FileGuard &operator=(const FileGuard &) = delete;
+
+    std::FILE *get() const { return file_; }
+
+  private:
+    std::FILE *file_;
+};
+
+bool
+regListHas(const std::uint8_t *regs, int n, std::uint8_t want)
+{
+    for (int i = 0; i < n; ++i)
+        if (regs[i] == want)
+            return true;
+    return false;
+}
+
+bool
+memListNonZero(const std::uint64_t *mem, int n)
+{
+    for (int i = 0; i < n; ++i)
+        if (mem[i] != 0)
+            return true;
+    return false;
+}
+
+/** Map a ChampSim register number into fetchsim's integer file. */
+std::uint8_t
+mapRegister(std::uint8_t reg)
+{
+    if (reg == 0)
+        return 0; // r0 is the hardwired zero in both worlds
+    return static_cast<std::uint8_t>(1 + (reg - 1) % (kNumIntRegs - 1));
+}
+
+/**
+ * Classify a branch record from the registers it touches, following
+ * ChampSim's own consumer-side rules (SNIPPETS-documented): flags in
+ * the sources = conditional; stack-pointer read+write = call when the
+ * instruction pointer is also read, return when not; anything else is
+ * an unconditional jump.
+ */
+OpClass
+classifyBranch(const ChampSimRecord &record)
+{
+    const bool reads_sp =
+        regListHas(record.srcRegs, kChampSimNumSrcRegs,
+                   kChampSimRegSp);
+    const bool reads_ip =
+        regListHas(record.srcRegs, kChampSimNumSrcRegs,
+                   kChampSimRegIp);
+    const bool reads_flags =
+        regListHas(record.srcRegs, kChampSimNumSrcRegs,
+                   kChampSimRegFlags);
+    const bool writes_sp =
+        regListHas(record.destRegs, kChampSimNumDestRegs,
+                   kChampSimRegSp);
+    if (reads_flags)
+        return OpClass::CondBranch;
+    if (reads_sp && writes_sp)
+        return reads_ip ? OpClass::Call : OpClass::Return;
+    return OpClass::Jump;
+}
+
+OpClass
+classifyPlain(const ChampSimRecord &record)
+{
+    if (memListNonZero(record.srcMem, kChampSimNumSrcMem))
+        return OpClass::Load;
+    if (memListNonZero(record.destMem, kChampSimNumDestMem))
+        return OpClass::Store;
+    return OpClass::IntAlu;
+}
+
+/**
+ * Read, bound and sanitize the raw records.  File-level problems are
+ * Io; per-record impossibilities are Workload in strict mode and
+ * repaired-and-counted in lenient mode.
+ */
+std::vector<ChampSimRecord>
+readChampSimRecords(const std::string &input,
+                    const ImportOptions &options, ImportStats &stats)
+{
+    const bool lenient = options.repair == RepairPolicy::Lenient;
+
+    FileGuard file(input, "rb");
+    if (!file.get())
+        throwIo("import: cannot open " + input, input);
+    if (std::fseek(file.get(), 0, SEEK_END) != 0)
+        throwIo("import: cannot size " + input, input);
+    const long file_size = std::ftell(file.get());
+    if (file_size < 0 || std::fseek(file.get(), 0, SEEK_SET) != 0)
+        throwIo("import: cannot size " + input, input);
+    if (file_size == 0)
+        throwIo("import: empty trace file", input);
+
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(file_size) / sizeof(ChampSimRecord);
+    const std::uint64_t tail_bytes =
+        static_cast<std::uint64_t>(file_size) % sizeof(ChampSimRecord);
+    if (total == 0)
+        throwIo("import: no complete record (file shorter than one "
+                "64-byte ChampSim record)",
+                input);
+    if (tail_bytes != 0) {
+        if (!lenient)
+            throwIo("import: file size is not a multiple of the "
+                    "64-byte record (truncated mid-record; --lenient "
+                    "drops the tail)",
+                    input);
+        stats.repairs.partialTail = tail_bytes;
+    }
+    std::uint64_t want = total;
+    if (want > options.maxRecords) {
+        if (!lenient)
+            throwIo("import: trace holds " + std::to_string(total) +
+                        " records, over the --max-insts bound of " +
+                        std::to_string(options.maxRecords) +
+                        " (--lenient truncates)",
+                    input);
+        stats.repairs.truncatedInput = total - options.maxRecords;
+        want = options.maxRecords;
+    }
+
+    std::vector<ChampSimRecord> records;
+    records.reserve(want);
+    for (std::uint64_t i = 0; i < want; ++i) {
+        ChampSimRecord record{};
+        if (std::fread(&record, sizeof(record), 1, file.get()) != 1)
+            throwIo("import: short read at record " +
+                        std::to_string(i),
+                    input);
+        ++stats.recordsIn;
+
+        // Flag bytes must be 0 or 1; anything else is bit damage.
+        if (record.isBranch > 1 || record.branchTaken > 1) {
+            if (!lenient)
+                throwRecord("import: impossible flag byte (is_branch="
+                                + std::to_string(record.isBranch) +
+                                " taken=" +
+                                std::to_string(record.branchTaken) +
+                                ")",
+                            input, i);
+            record.isBranch = record.isBranch ? 1 : 0;
+            record.branchTaken = record.branchTaken ? 1 : 0;
+            ++stats.repairs.flagBytes;
+        }
+        // A taken flag on a non-branch contradicts itself.
+        if (!record.isBranch && record.branchTaken) {
+            if (!lenient)
+                throwRecord("import: taken flag set on a non-branch",
+                            input, i);
+            record.branchTaken = 0;
+            ++stats.repairs.flagBytes;
+        }
+        // ip 0 is not a fetchable address.
+        if (record.ip == 0) {
+            if (!lenient)
+                throwRecord("import: record with null instruction "
+                            "pointer",
+                            input, i);
+            ++stats.repairs.nullIp;
+            continue;
+        }
+        records.push_back(record);
+    }
+    return records;
+}
+
+/**
+ * Canonical pc per distinct source ip: sort the distinct ips and
+ * place rank k at kImportPcBase + k * kInstBytes.  Order-preserving,
+ * so "the next sequential x86 instruction" maps to "pc + 4" for
+ * straight-line code and every control transfer stays a transfer.
+ */
+std::vector<std::uint64_t>
+canonicalPcs(const std::vector<ChampSimRecord> &records)
+{
+    std::vector<std::uint64_t> ips;
+    ips.reserve(records.size());
+    for (const ChampSimRecord &record : records)
+        ips.push_back(record.ip);
+    std::sort(ips.begin(), ips.end());
+    ips.erase(std::unique(ips.begin(), ips.end()), ips.end());
+
+    std::vector<std::uint64_t> pcs;
+    pcs.reserve(records.size());
+    for (const ChampSimRecord &record : records) {
+        const std::uint64_t rank = static_cast<std::uint64_t>(
+            std::lower_bound(ips.begin(), ips.end(), record.ip) -
+            ips.begin());
+        pcs.push_back(kImportPcBase + rank * kInstBytes);
+    }
+    return pcs;
+}
+
+} // anonymous namespace
+
+Expected<ImportFormat>
+parseImportFormat(const std::string &name)
+{
+    if (name == "champsim")
+        return ImportFormat::ChampSim;
+    return SimError{ErrorKind::Config,
+                    "unknown import format: " + name + " (champsim)",
+                    ""};
+}
+
+std::string
+importManifestJson(const std::string &input,
+                   const ImportOptions &options,
+                   const ImportStats &stats)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"fetchsim-import-v1\""
+       << ",\"source\":\"" << input << "\""
+       << ",\"format\":\"champsim\""
+       << ",\"policy\":\""
+       << (options.repair == RepairPolicy::Lenient ? "lenient"
+                                                   : "strict")
+       << "\""
+       << ",\"records_in\":" << stats.recordsIn
+       << ",\"records_out\":" << stats.recordsOut
+       << ",\"fstr_version\":" << kTraceVersion
+       << ",\"content_hash\":\"";
+    // Hash in the 16-hex-digit form runKeyHex/reports use.
+    static const char *digits = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        os << digits[(stats.contentHash >> shift) & 0xf];
+    os << "\""
+       << ",\"repairs\":{"
+       << "\"flag_bytes\":" << stats.repairs.flagBytes
+       << ",\"null_ip\":" << stats.repairs.nullIp
+       << ",\"taken_flags\":" << stats.repairs.takenFlags
+       << ",\"discontinuities\":" << stats.repairs.discontinuities
+       << ",\"reclassified\":" << stats.repairs.reclassified
+       << ",\"truncated_input\":" << stats.repairs.truncatedInput
+       << ",\"partial_tail_bytes\":" << stats.repairs.partialTail
+       << ",\"dropped_tail\":" << stats.repairs.droppedTail
+       << ",\"total\":" << stats.repairs.total() << "}}";
+    return os.str();
+}
+
+ImportStats
+importTrace(const std::string &input, const std::string &output,
+            const ImportOptions &options)
+{
+    const bool lenient = options.repair == RepairPolicy::Lenient;
+    ImportStats stats;
+    stats.outputPath = output;
+    stats.manifestPath = options.manifestPath.empty()
+                             ? output + ".manifest.json"
+                             : options.manifestPath;
+
+    const std::vector<ChampSimRecord> records =
+        readChampSimRecords(input, options, stats);
+    if (records.empty())
+        throwIo("import: no usable records after repair", input);
+    const std::vector<std::uint64_t> pcs = canonicalPcs(records);
+
+    // Convert and write.  The TraceWriter publishes atomically on
+    // close() and discards its temporary if we throw, so a failed
+    // import never leaves output (partial or otherwise) behind.
+    TraceWriter writer(output);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const ChampSimRecord &record = records[i];
+        const std::uint64_t pc = pcs[i];
+        const bool have_next = i + 1 < records.size();
+        const std::uint64_t next_pc = have_next ? pcs[i + 1] : 0;
+
+        DynInst di;
+        di.pc = pc;
+        di.seq = writer.count();
+        di.si.dest = mapRegister(record.destRegs[0]);
+        di.si.src1 = mapRegister(record.srcRegs[0]);
+        di.si.src2 = mapRegister(record.srcRegs[1]);
+
+        if (!record.isBranch) {
+            di.si.op = classifyPlain(record);
+            // The one thing a non-branch cannot do is move control:
+            // a flow break here means a branch lost its annotation.
+            if (have_next && next_pc != pc + kInstBytes) {
+                if (!lenient)
+                    throwRecord(
+                        "import: control-flow discontinuity on a "
+                        "non-branch record (--lenient converts it "
+                        "to a jump)",
+                        input, i);
+                di.si.op = OpClass::Jump;
+                di.taken = true;
+                di.actualTarget = next_pc;
+                ++stats.repairs.discontinuities;
+            }
+            writer.append(di);
+            continue;
+        }
+
+        OpClass op = classifyBranch(record);
+        const bool flagged_taken = record.branchTaken != 0;
+        if (op == OpClass::CondBranch) {
+            if (!have_next) {
+                if (flagged_taken) {
+                    // Target unknowable: the successor record that
+                    // would name it was never captured.
+                    ++stats.repairs.droppedTail;
+                    continue;
+                }
+                di.si.op = op;
+                writer.append(di);
+                continue;
+            }
+            const bool flow_taken = next_pc != pc + kInstBytes;
+            if (flow_taken != flagged_taken) {
+                if (!lenient)
+                    throwRecord("import: taken flag contradicts the "
+                                "actual control flow",
+                                input, i);
+                ++stats.repairs.takenFlags;
+            }
+            // The flow is ground truth -- it is what the simulator
+            // will predict against.
+            di.si.op = op;
+            di.taken = flow_taken;
+            di.actualTarget = flow_taken ? next_pc : 0;
+            writer.append(di);
+            continue;
+        }
+
+        // Unconditional (jump/call/return): always taken, target is
+        // wherever execution actually went next.
+        if (!have_next) {
+            ++stats.repairs.droppedTail;
+            continue;
+        }
+        if (!flagged_taken) {
+            // An untaken "unconditional" means the register-based
+            // classification was wrong; a conditional that fell
+            // through explains the record completely.
+            if (!lenient)
+                throwRecord("import: unconditional branch flagged "
+                            "not-taken",
+                            input, i);
+            ++stats.repairs.reclassified;
+            di.si.op = OpClass::CondBranch;
+            di.taken = next_pc != pc + kInstBytes;
+            di.actualTarget = di.taken ? next_pc : 0;
+            writer.append(di);
+            continue;
+        }
+        di.si.op = op;
+        di.taken = true;
+        di.actualTarget = next_pc;
+        writer.append(di);
+    }
+
+    if (writer.count() == 0)
+        throwIo("import: no records survived conversion", input);
+    stats.recordsOut = writer.count();
+    stats.contentHash = writer.contentHash();
+    writer.close();
+
+    // Manifest: written only after the trace published; a manifest
+    // failure removes the trace again so the pair is all-or-nothing.
+    const std::string manifest =
+        importManifestJson(input, options, stats) + "\n";
+    FileGuard mf(stats.manifestPath, "wb");
+    if (!mf.get() ||
+        std::fwrite(manifest.data(), 1, manifest.size(), mf.get()) !=
+            manifest.size()) {
+        std::remove(output.c_str());
+        std::remove(stats.manifestPath.c_str());
+        throwIo("import: cannot write manifest " + stats.manifestPath,
+                input);
+    }
+    return stats;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ChampSim trace importer: external traces -> FSTR v2 files.
+ *
+ * ChampSim's PIN tracer emits fixed 64-byte `input_instr` records
+ * (ip, branch flags, register lists, memory operand lists).  The
+ * importer converts such a trace into the FSTR v2 format the
+ * TraceReader/TraceReplaySource substrate already replays
+ * bit-deterministically, so an imported trace becomes a first-class
+ * benchmark (`external:<name>`, ingest/trace_registry.h) next to the
+ * synthetic suite.
+ *
+ * Parsing is fully defensive -- the input is untrusted:
+ *  - every read is bounded by the fixed record size and a total
+ *    record budget (ImportOptions::maxRecords);
+ *  - file-level damage (missing, empty, truncated mid-record,
+ *    over-budget in strict mode) throws SimException(Io);
+ *  - record-level impossibilities (flag bytes outside {0,1}, a null
+ *    instruction pointer, control flow contradicting the branch
+ *    flags) throw SimException(Workload) in strict mode and are
+ *    repaired-and-counted in lenient mode;
+ *  - output goes through the hardened TraceWriter (tmp file + atomic
+ *    rename), so a failed import never leaves a partial FSTR file.
+ *
+ * Field mapping (docs/TRACES.md has the full table): x86 byte-granular
+ * ips are canonicalized to fetchsim's pc = base + rank * kInstBytes by
+ * the rank of each distinct ip; branches are classified from the
+ * architectural registers they touch (stack pointer, instruction
+ * pointer, flags -- exactly ChampSim's own consumer-side rules);
+ * taken/target come from the actual next record's ip, which is the
+ * ground truth the simulator predicts against.
+ *
+ * Every import writes a JSON manifest next to the output carrying the
+ * FNV-1a content hash, record counts and the per-category repair
+ * tally, so a trace's provenance survives the file changing hands.
+ */
+
+#ifndef FETCHSIM_INGEST_CHAMPSIM_H_
+#define FETCHSIM_INGEST_CHAMPSIM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/error.h"
+
+namespace fetchsim
+{
+
+/** Source formats the importer understands. */
+enum class ImportFormat : std::uint8_t
+{
+    ChampSim = 0, //!< 64-byte input_instr records (PIN tracer)
+};
+
+/** Parse an `--format` value ("champsim"). */
+Expected<ImportFormat> parseImportFormat(const std::string &name);
+
+/** What to do with a malformed-but-repairable record. */
+enum class RepairPolicy : std::uint8_t
+{
+    Strict = 0, //!< reject: throw SimException(Workload)
+    Lenient,    //!< repair, count it, continue
+};
+
+/** Options for one import. */
+struct ImportOptions
+{
+    ImportFormat format = ImportFormat::ChampSim;
+    RepairPolicy repair = RepairPolicy::Strict;
+
+    /**
+     * Upper bound on imported records.  A longer trace is an error in
+     * strict mode and truncated (counted) in lenient mode, so a
+     * hostile length can never balloon memory.
+     */
+    std::uint64_t maxRecords = 5'000'000;
+
+    /** Manifest path; empty = `<output>.manifest.json`. */
+    std::string manifestPath;
+};
+
+/** Per-category repair tally (all zero under a clean strict import). */
+struct ImportRepairs
+{
+    std::uint64_t flagBytes = 0;  //!< flag byte outside {0,1}
+    std::uint64_t nullIp = 0;     //!< record with ip == 0 dropped
+    std::uint64_t takenFlags = 0; //!< taken flag contradicted flow
+    std::uint64_t discontinuities = 0; //!< unannotated flow break
+                                       //!< converted to a jump
+    std::uint64_t reclassified = 0; //!< "unconditional" that fell
+                                    //!< through, demoted to CondBranch
+    std::uint64_t truncatedInput = 0; //!< input records past
+                                      //!< maxRecords, not imported
+    std::uint64_t partialTail = 0; //!< trailing bytes short of one
+                                   //!< record, ignored
+    std::uint64_t droppedTail = 0; //!< final taken branch with no
+                                   //!< successor to name its target
+
+    std::uint64_t total() const
+    {
+        return flagBytes + nullIp + takenFlags + discontinuities +
+               reclassified + truncatedInput + partialTail +
+               droppedTail;
+    }
+};
+
+/** What one import did. */
+struct ImportStats
+{
+    std::uint64_t recordsIn = 0;  //!< source records parsed
+    std::uint64_t recordsOut = 0; //!< FSTR records written
+    std::uint64_t contentHash = 0; //!< FNV-1a hash of the output
+    ImportRepairs repairs;
+    std::string outputPath;
+    std::string manifestPath;
+};
+
+/**
+ * Import @p input into an FSTR v2 trace at @p output and write the
+ * manifest.  Throws SimException(Io) on file-level damage and
+ * SimException(Workload) on record-level damage under
+ * RepairPolicy::Strict; on any throw, neither the output file nor
+ * its temporary exists.
+ */
+ImportStats importTrace(const std::string &input,
+                        const std::string &output,
+                        const ImportOptions &options);
+
+/** Render @p stats as the manifest JSON document (single line). */
+std::string importManifestJson(const std::string &input,
+                               const ImportOptions &options,
+                               const ImportStats &stats);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_INGEST_CHAMPSIM_H_

@@ -1,0 +1,167 @@
+#include "ingest/trace_registry.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "exec/trace_file.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+constexpr std::size_t kPrefixLen = sizeof(kExternalPrefix) - 1;
+
+/** A registry name: non-empty, and safe inside benchmark strings,
+ *  CLI lists and JSON (no separators or whitespace). */
+Expected<bool>
+validateName(const std::string &name)
+{
+    if (name.empty())
+        return SimError{ErrorKind::Config,
+                        "external trace name must not be empty", ""};
+    for (char ch : name) {
+        const bool ok = (ch >= 'a' && ch <= 'z') ||
+                        (ch >= 'A' && ch <= 'Z') ||
+                        (ch >= '0' && ch <= '9') || ch == '_' ||
+                        ch == '-' || ch == '.';
+        if (!ok)
+            return SimError{
+                ErrorKind::Config,
+                "external trace name '" + name +
+                    "' has forbidden characters (use [A-Za-z0-9._-])",
+                ""};
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+isExternalBenchmark(const std::string &benchmark)
+{
+    return benchmark.compare(0, kPrefixLen, kExternalPrefix) == 0;
+}
+
+std::string
+externalTraceName(const std::string &benchmark)
+{
+    return isExternalBenchmark(benchmark)
+               ? benchmark.substr(kPrefixLen)
+               : benchmark;
+}
+
+ExternalTraceRegistry &
+ExternalTraceRegistry::instance()
+{
+    static ExternalTraceRegistry registry;
+    return registry;
+}
+
+ExternalTraceInfo
+ExternalTraceRegistry::registerTrace(const std::string &name,
+                                     const std::string &path)
+{
+    validateName(name).value();
+
+    // Open the file once up front: the TraceReader constructor
+    // validates magic, version, and the record count against the file
+    // size, so a bad file fails registration with a structured Io
+    // error instead of failing N sweep cells later.
+    TraceReader reader(path);
+
+    ExternalTraceInfo info;
+    info.name = name;
+    info.path = path;
+    info.records = reader.count();
+    info.contentHash = reader.contentHash();
+    info.version = reader.version();
+
+    std::unique_lock<std::shared_mutex> write(mutex_);
+    traces_[name] = info;
+    return info;
+}
+
+bool
+ExternalTraceRegistry::has(const std::string &name) const
+{
+    std::shared_lock<std::shared_mutex> read(mutex_);
+    return traces_.count(name) != 0;
+}
+
+Expected<ExternalTraceInfo>
+ExternalTraceRegistry::find(const std::string &name) const
+{
+    std::shared_lock<std::shared_mutex> read(mutex_);
+    auto it = traces_.find(name);
+    if (it == traces_.end())
+        return SimError{ErrorKind::Config,
+                        "external trace '" + name +
+                            "' is not registered (use --external "
+                            "NAME=PATH)",
+                        ""};
+    return it->second;
+}
+
+std::vector<ExternalTraceInfo>
+ExternalTraceRegistry::list() const
+{
+    std::shared_lock<std::shared_mutex> read(mutex_);
+    std::vector<ExternalTraceInfo> out;
+    out.reserve(traces_.size());
+    for (const auto &[name, info] : traces_)
+        out.push_back(info);
+    return out;
+}
+
+bool
+ExternalTraceRegistry::unregister(const std::string &name)
+{
+    std::unique_lock<std::shared_mutex> write(mutex_);
+    return traces_.erase(name) != 0;
+}
+
+void
+ExternalTraceRegistry::clear()
+{
+    std::unique_lock<std::shared_mutex> write(mutex_);
+    traces_.clear();
+}
+
+Expected<std::vector<ExternalTraceInfo>>
+registerExternalTraces(const std::string &pairs)
+{
+    std::vector<ExternalTraceInfo> registered;
+    std::size_t pos = 0;
+    while (pos <= pairs.size()) {
+        std::size_t comma = pairs.find(',', pos);
+        if (comma == std::string::npos)
+            comma = pairs.size();
+        const std::string pair = pairs.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty())
+            continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == pair.size()) {
+            return SimError{ErrorKind::Config,
+                            "bad --external entry '" + pair +
+                                "' (expected NAME=PATH)",
+                            ""};
+        }
+        try {
+            registered.push_back(
+                ExternalTraceRegistry::instance().registerTrace(
+                    pair.substr(0, eq), pair.substr(eq + 1)));
+        } catch (const SimException &e) {
+            return e.error();
+        }
+    }
+    if (registered.empty())
+        return SimError{ErrorKind::Config,
+                        "--external lists no NAME=PATH pairs", ""};
+    return registered;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Registry of external traces usable as first-class benchmarks.
+ *
+ * An imported FSTR trace (ingest/champsim.h) has no WorkloadSpec --
+ * its instruction stream is fixed on disk -- yet the driver layer
+ * (Session, ExperimentPlan, checkpoints) keys everything by benchmark
+ * name.  The registry bridges the two: registering a trace file under
+ * a name makes the benchmark `external:<name>` valid everywhere a
+ * suite benchmark is, with Session::run replaying the file through
+ * the Processor instead of generating a CFG.
+ *
+ * Registration validates the file up front (header, version, record
+ * count vs file size) through a TraceReader, so a corrupt file is
+ * rejected with a structured SimException(Io) at registration time,
+ * never mid-sweep.  The checkpoint content key for an external
+ * benchmark uses the trace's FNV-1a content hash where a suite
+ * benchmark contributes its workload seed, so a journal never
+ * survives swapping the file behind a name.
+ *
+ * The registry is process-wide (the CLI registers `--external`
+ * name=path pairs once, then plans reference them by name) and
+ * thread-safe: lookups may race with sweeps, registration is
+ * serialized.
+ */
+
+#ifndef FETCHSIM_INGEST_TRACE_REGISTRY_H_
+#define FETCHSIM_INGEST_TRACE_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace fetchsim
+{
+
+/** The benchmark-name prefix selecting the external-trace namespace. */
+constexpr const char kExternalPrefix[] = "external:";
+
+/** True when @p benchmark names an external trace ("external:..."). */
+bool isExternalBenchmark(const std::string &benchmark);
+
+/** The registry name inside an "external:<name>" benchmark string. */
+std::string externalTraceName(const std::string &benchmark);
+
+/** One registered external trace. */
+struct ExternalTraceInfo
+{
+    std::string name;          //!< registry name (no prefix)
+    std::string path;          //!< FSTR file on disk
+    std::uint64_t records = 0; //!< header record count
+    std::uint64_t contentHash = 0; //!< header FNV-1a content hash
+    std::uint32_t version = 0; //!< trace format version (1 or 2)
+
+    /** The benchmark string referencing this trace. */
+    std::string benchmark() const
+    {
+        return kExternalPrefix + name;
+    }
+};
+
+/** Process-wide name -> trace-file map. */
+class ExternalTraceRegistry
+{
+  public:
+    /** The process-wide instance. */
+    static ExternalTraceRegistry &instance();
+
+    /**
+     * Validate @p path and register it under @p name (replacing any
+     * previous registration of that name).  Throws
+     * SimException(Config) on a malformed name and SimException(Io)
+     * when the file is missing, truncated or corrupt.
+     */
+    ExternalTraceInfo registerTrace(const std::string &name,
+                                    const std::string &path);
+
+    /** True when @p name is registered. */
+    bool has(const std::string &name) const;
+
+    /** The registration for @p name, or a Config error. */
+    Expected<ExternalTraceInfo> find(const std::string &name) const;
+
+    /** Every registration, in name order. */
+    std::vector<ExternalTraceInfo> list() const;
+
+    /** Drop one registration (tests); true when it existed. */
+    bool unregister(const std::string &name);
+
+    /** Drop every registration (tests). */
+    void clear();
+
+  private:
+    ExternalTraceRegistry() = default;
+
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, ExternalTraceInfo> traces_;
+};
+
+/**
+ * Parse and register one `--external` CLI value: a comma-separated
+ * list of NAME=PATH pairs.  Returns the registrations or the first
+ * structured error.
+ */
+Expected<std::vector<ExternalTraceInfo>>
+registerExternalTraces(const std::string &pairs);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_INGEST_TRACE_REGISTRY_H_

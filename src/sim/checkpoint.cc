@@ -9,6 +9,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "ingest/trace_registry.h"
 #include "perf/profiler.h"
 #include "stats/log.h"
 #include "workload/benchmark_suite.h"
@@ -107,10 +108,17 @@ runKey(const RunConfig &config)
     std::uint64_t hash = 14695981039346656037ull;
 
     // The workload's root seed: the journal must not survive a
-    // recalibration of the benchmark specs.
-    const std::uint64_t seed = hasBenchmark(config.benchmark)
-                                   ? benchmarkByName(config.benchmark).seed
-                                   : 0;
+    // recalibration of the benchmark specs.  An external trace has
+    // no spec; its FNV-1a content hash plays the same role, so the
+    // journal never survives swapping the file behind the name.
+    std::uint64_t seed = 0;
+    if (isExternalBenchmark(config.benchmark)) {
+        const auto info = ExternalTraceRegistry::instance().find(
+            externalTraceName(config.benchmark));
+        seed = info.ok() ? info.value().contentHash : 0;
+    } else if (hasBenchmark(config.benchmark)) {
+        seed = benchmarkByName(config.benchmark).seed;
+    }
     hash = fnv1aU64(hash, seed);
     hash = fnv1a(hash, config.benchmark.data(),
                  config.benchmark.size());

@@ -1,0 +1,604 @@
+#include "sim/fuzz.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "sim/checkpoint.h"
+#include "sim/result_cache.h"
+#include "sim/sweep.h"
+#include "workload/benchmark_suite.h"
+#include "workload/branch_behavior.h"
+#include "workload/rng.h"
+
+namespace fetchsim
+{
+
+namespace
+{
+
+/** Real (non-perfect) schemes the scenario pool draws from. */
+const SchemeKind kRealSchemes[] = {
+    SchemeKind::Sequential,    SchemeKind::InterleavedSequential,
+    SchemeKind::BankedSequential, SchemeKind::CollapsingBuffer,
+    SchemeKind::MultiBanked,   SchemeKind::TraceCache,
+};
+constexpr int kNumRealSchemes =
+    static_cast<int>(sizeof(kRealSchemes) / sizeof(kRealSchemes[0]));
+
+/** Layouts a scenario may draw (all of them are stream-valid). */
+const LayoutKind kFuzzLayouts[] = {
+    LayoutKind::Unordered, LayoutKind::Reordered, LayoutKind::PadAll,
+    LayoutKind::PadTrace,  LayoutKind::ReorderedPlaced,
+};
+constexpr int kNumFuzzLayouts =
+    static_cast<int>(sizeof(kFuzzLayouts) / sizeof(kFuzzLayouts[0]));
+
+std::string
+hexSeed(std::uint64_t seed)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        hex[static_cast<std::size_t>(i)] = digits[seed & 0xf];
+        seed >>= 4;
+    }
+    return hex;
+}
+
+/**
+ * Cycle watchdog for every fuzz sweep: generous enough that no
+ * legitimate configuration (deep miss penalties, tiny windows) can
+ * trip it, tight enough that a hang surfaces as a structured
+ * Workload error instead of wedging the campaign.
+ */
+std::uint64_t
+fuzzWatchdog(const FuzzScenario &scenario)
+{
+    return (scenario.maxRetired + kReplayStreamSlack) * 1000;
+}
+
+/** Registers the scenario's spec for the duration of the checks. */
+class DynamicBenchmarkGuard
+{
+  public:
+    explicit DynamicBenchmarkGuard(const WorkloadSpec &spec)
+        : name_(spec.name)
+    {
+        registerDynamicBenchmark(spec);
+    }
+    ~DynamicBenchmarkGuard() { unregisterDynamicBenchmark(name_); }
+
+    DynamicBenchmarkGuard(const DynamicBenchmarkGuard &) = delete;
+    DynamicBenchmarkGuard &
+    operator=(const DynamicBenchmarkGuard &) = delete;
+
+  private:
+    std::string name_;
+};
+
+/** A temp file removed on scope exit (checkpoint/journal props). */
+class TempFileGuard
+{
+  public:
+    explicit TempFileGuard(const std::string &tag)
+    {
+        std::error_code ec;
+        path_ = (std::filesystem::temp_directory_path(ec) /
+                 ("fetchsim-fuzz-" + std::to_string(::getpid()) +
+                  "-" + tag))
+                    .string();
+        std::remove(path_.c_str());
+    }
+    ~TempFileGuard() { std::remove(path_.c_str()); }
+
+    TempFileGuard(const TempFileGuard &) = delete;
+    TempFileGuard &operator=(const TempFileGuard &) = delete;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Canonical byte-exact rendering of one sweep's counters. */
+std::string
+sweepFingerprint(const std::vector<RunConfig> &configs,
+                 const SweepResult &result)
+{
+    std::string out;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        out += checkpointLine(runKey(configs[i]),
+                              result.runs[i].counters);
+        out += "\n";
+    }
+    return out;
+}
+
+/** First cell where two fingerprints differ (diagnostics). */
+std::string
+firstDivergence(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a);
+    std::istringstream sb(b);
+    std::string la;
+    std::string lb;
+    std::size_t cell = 0;
+    while (true) {
+        const bool ga = static_cast<bool>(std::getline(sa, la));
+        const bool gb = static_cast<bool>(std::getline(sb, lb));
+        if (!ga && !gb)
+            return "identical";
+        if (ga != gb || la != lb)
+            return "cell " + std::to_string(cell);
+        ++cell;
+    }
+}
+
+/** Sweep options shared by every property sweep of one scenario. */
+SweepOptions
+fuzzSweepOptions(const FuzzScenario &scenario, int threads)
+{
+    SweepOptions options;
+    options.threads = threads;
+    options.failure.mode = FailureMode::KeepGoing;
+    options.faults = FaultPlan{};
+    options.faults.watchdogCycles = fuzzWatchdog(scenario);
+    return options;
+}
+
+/** Run the scenario's plan; *first_error = "" when every cell Ok. */
+SweepResult
+runSweep(Session &session, const FuzzScenario &scenario,
+         const SweepOptions &options, std::string *first_error)
+{
+    SweepEngine engine(session, options);
+    SweepResult result = engine.run(scenario.plan());
+    if (first_error) {
+        first_error->clear();
+        for (std::size_t i = 0; i < result.statuses.size(); ++i) {
+            if (result.statuses[i].outcome == RunOutcome::Ok)
+                continue;
+            *first_error =
+                "cell " + std::to_string(i) + ": " +
+                (result.statuses[i].outcome == RunOutcome::Failed
+                     ? result.statuses[i].error.format()
+                     : std::string("skipped"));
+            break;
+        }
+    }
+    return result;
+}
+
+} // anonymous namespace
+
+std::string
+fuzzReproducer(std::uint64_t seed, int shrink_level)
+{
+    std::string line = "fetchsim_cli fuzz --fuzz-seed 0x" +
+                       hexSeed(seed);
+    if (shrink_level != 0)
+        line += " --shrink-level " + std::to_string(shrink_level);
+    return line;
+}
+
+ExperimentPlan
+FuzzScenario::plan() const
+{
+    RunConfig proto = base;
+    proto.benchmark = spec.name;
+    proto.input = input;
+    ExperimentPlan plan;
+    plan.proto(proto)
+        .machine(machine)
+        .schemes(schemes)
+        .layout(layout)
+        .maxRetired(maxRetired);
+    return plan;
+}
+
+FuzzScenario
+makeFuzzScenario(std::uint64_t seed, int shrink_level)
+{
+    // Every random draw happens unconditionally and in a fixed order,
+    // so scenario (seed, L) is scenario (seed, 0) with the first L
+    // shrinking transforms applied -- never a different scenario.
+    Rng rng(splitMix64(seed));
+    FuzzScenario scenario;
+    scenario.seed = seed;
+    scenario.shrinkLevel = shrink_level;
+
+    WorkloadSpec &spec = scenario.spec;
+    spec.numFunctions = static_cast<int>(rng.range(2, 16));
+    spec.minStmtsPerFunc = static_cast<int>(rng.range(2, 6));
+    spec.maxStmtsPerFunc =
+        spec.minStmtsPerFunc + static_cast<int>(rng.range(0, 8));
+    spec.minBlockLen = static_cast<int>(rng.range(1, 6));
+    spec.maxBlockLen =
+        spec.minBlockLen + static_cast<int>(rng.range(0, 10));
+    const bool fp = rng.bernoulli(0.3);
+    const double fp_draw = rng.real() * 0.5;
+    spec.fpFraction = fp ? fp_draw : 0.0;
+    spec.isFp = fp;
+    spec.loadFraction = rng.real() * 0.35;
+    spec.storeFraction = rng.real() * 0.15;
+    spec.hammockProb = rng.real() * 0.30;
+    spec.ifElseProb = rng.real() * 0.20;
+    spec.loopProb = rng.real() * 0.30;
+    spec.callProb = rng.real() * 0.15;
+    spec.hammockLenMin = static_cast<int>(rng.range(1, 4));
+    spec.hammockLenMax =
+        spec.hammockLenMin + static_cast<int>(rng.range(0, 8));
+    spec.hammockTakenProb = 0.50 + rng.real() * 0.45;
+    const bool loop_hammocks = rng.bernoulli(0.4);
+    const double loop_hammock_draw = rng.real();
+    spec.loopHammockProb = loop_hammocks ? loop_hammock_draw : -1.0;
+    spec.condBias = 0.50 + rng.real() * 0.45;
+    spec.loopBodyStmtsMax = static_cast<int>(rng.range(1, 4));
+    spec.loopTripMin = static_cast<int>(rng.range(2, 10));
+    spec.loopTripMax =
+        spec.loopTripMin + static_cast<int>(rng.range(0, 50));
+    spec.maxLoopNest = static_cast<int>(rng.range(1, 3));
+    spec.alternatingProb = rng.real() * 0.15;
+    spec.seed = rng.next();
+
+    scenario.machine = static_cast<MachineModel>(rng.uniform(
+        static_cast<std::uint64_t>(MachineModel::NumMachineModels)));
+
+    // Perfect first, then two distinct real schemes.
+    const int first = static_cast<int>(rng.uniform(kNumRealSchemes));
+    const int second_offset =
+        static_cast<int>(rng.uniform(kNumRealSchemes - 1));
+    const int second = (first + 1 + second_offset) % kNumRealSchemes;
+    scenario.schemes = {SchemeKind::Perfect, kRealSchemes[first],
+                        kRealSchemes[second]};
+
+    scenario.layout = kFuzzLayouts[rng.uniform(kNumFuzzLayouts)];
+    scenario.maxRetired =
+        static_cast<std::uint64_t>(rng.range(600, 3000));
+    scenario.input = static_cast<int>(rng.range(0, kEvalInput));
+
+    // Machine-override envelope (applied to half the scenarios).
+    RunConfig &base = scenario.base;
+    const bool overrides = rng.bernoulli(0.5);
+    const bool use_ras = rng.bernoulli(0.3);
+    const int spec_depth = static_cast<int>(rng.range(1, 4));
+    const int btb = 16 << rng.range(0, 5);
+    const int window = static_cast<int>(rng.range(8, 64));
+    const int penalty = static_cast<int>(rng.range(0, 12));
+    const int ways = 1 << rng.range(0, 2);
+    if (overrides) {
+        base.useRas = use_ras;
+        if (rng.bernoulli(0.4))
+            base.specDepthOverride = spec_depth;
+        if (rng.bernoulli(0.4))
+            base.btbEntriesOverride = btb;
+        if (rng.bernoulli(0.4))
+            base.windowSizeOverride = window;
+        if (rng.bernoulli(0.4))
+            base.missPenaltyOverride = penalty;
+        if (rng.bernoulli(0.4))
+            base.icacheWaysOverride = ways;
+    } else {
+        // Burn the same number of draws so the spec above is
+        // identical whether or not overrides apply.
+        rng.bernoulli(0.4);
+        rng.bernoulli(0.4);
+        rng.bernoulli(0.4);
+        rng.bernoulli(0.4);
+        rng.bernoulli(0.4);
+    }
+
+    // The shrinking ladder: cumulative simplifications.
+    if (shrink_level >= 1)
+        scenario.schemes = {SchemeKind::Perfect, scenario.schemes[1]};
+    if (shrink_level >= 2) {
+        scenario.layout = LayoutKind::Unordered;
+        scenario.base = RunConfig{};
+    }
+    if (shrink_level >= 3) {
+        scenario.maxRetired =
+            std::max<std::uint64_t>(300, scenario.maxRetired / 4);
+    }
+    if (shrink_level >= 4) {
+        WorkloadSpec simple;
+        simple.seed = spec.seed;
+        simple.numFunctions = 3;
+        simple.minStmtsPerFunc = 2;
+        simple.maxStmtsPerFunc = 6;
+        simple.minBlockLen = 2;
+        simple.maxBlockLen = 6;
+        simple.hammockProb = 0.10;
+        simple.ifElseProb = 0.10;
+        simple.loopProb = 0.10;
+        simple.callProb = 0.05;
+        simple.hammockLenMin = 1;
+        simple.hammockLenMax = 3;
+        simple.loopTripMin = 2;
+        simple.loopTripMax = 8;
+        simple.maxLoopNest = 1;
+        simple.alternatingProb = 0.0;
+        scenario.spec = simple;
+    }
+
+    scenario.spec.name =
+        "fuzz-" + hexSeed(seed) + "-l" + std::to_string(shrink_level);
+    return scenario;
+}
+
+std::vector<FuzzFailure>
+checkFuzzScenario(std::uint64_t seed, int shrink_level, int threads,
+                  std::uint64_t *cells)
+{
+    const FuzzScenario scenario =
+        makeFuzzScenario(seed, shrink_level);
+    const int wide = threads > 1 ? threads : 4;
+
+    std::vector<FuzzFailure> failures;
+    auto fail = [&](const std::string &property,
+                    const std::string &detail) {
+        failures.push_back(FuzzFailure{
+            seed, shrink_level, property, detail,
+            fuzzReproducer(seed, shrink_level)});
+    };
+
+    try {
+        DynamicBenchmarkGuard bench(scenario.spec);
+        const std::vector<RunConfig> configs =
+            scenario.plan().expand();
+        auto count = [&] {
+            if (cells)
+                *cells += configs.size();
+        };
+
+        // Baseline: one thread, replay off.
+        Session base_session;
+        std::string base_error;
+        const SweepResult baseline =
+            runSweep(base_session, scenario,
+                     fuzzSweepOptions(scenario, 1), &base_error);
+        count();
+        if (!base_error.empty()) {
+            fail("all-cells-ok", base_error);
+            return failures;
+        }
+        const std::string base_print =
+            sweepFingerprint(configs, baseline);
+
+        // Invariant: byte-identity across thread counts (and across
+        // Sessions -- generation itself must be deterministic).
+        {
+            Session session;
+            std::string error;
+            const SweepResult wide_result =
+                runSweep(session, scenario,
+                         fuzzSweepOptions(scenario, wide), &error);
+            count();
+            if (!error.empty()) {
+                fail("thread-identity", "parallel sweep failed: " +
+                                            error);
+            } else {
+                const std::string print =
+                    sweepFingerprint(configs, wide_result);
+                if (print != base_print)
+                    fail("thread-identity",
+                         "1-thread and " + std::to_string(wide) +
+                             "-thread sweeps diverge at " +
+                             firstDivergence(base_print, print));
+            }
+        }
+
+        // Invariant: replay on/off identity.
+        {
+            Session session;
+            SweepOptions options = fuzzSweepOptions(scenario, wide);
+            options.replay.policy = ReplayPolicy::InMemory;
+            std::string error;
+            const SweepResult replayed =
+                runSweep(session, scenario, options, &error);
+            count();
+            if (!error.empty()) {
+                fail("replay-identity",
+                     "replayed sweep failed: " + error);
+            } else {
+                const std::string print =
+                    sweepFingerprint(configs, replayed);
+                if (print != base_print)
+                    fail("replay-identity",
+                         "replay off/mem diverge at " +
+                             firstDivergence(base_print, print));
+            }
+        }
+
+        // Invariant: checkpoint/resume identity.
+        {
+            TempFileGuard journal(hexSeed(seed) + "-l" +
+                                  std::to_string(shrink_level) +
+                                  ".ckpt");
+            {
+                Session session;
+                SweepOptions options =
+                    fuzzSweepOptions(scenario, 1);
+                options.checkpointPath = journal.path();
+                std::string error;
+                runSweep(session, scenario, options, &error);
+                count();
+                if (!error.empty())
+                    fail("resume-identity",
+                         "checkpointed sweep failed: " + error);
+            }
+            {
+                Session session;
+                SweepOptions options =
+                    fuzzSweepOptions(scenario, 1);
+                options.checkpointPath = journal.path();
+                options.resume = true;
+                std::string error;
+                const SweepResult resumed =
+                    runSweep(session, scenario, options, &error);
+                if (!error.empty()) {
+                    fail("resume-identity",
+                         "resumed sweep failed: " + error);
+                } else {
+                    const std::string print =
+                        sweepFingerprint(configs, resumed);
+                    if (print != base_print)
+                        fail("resume-identity",
+                             "resumed sweep diverges at " +
+                                 firstDivergence(base_print, print));
+                    for (std::size_t i = 0;
+                         i < resumed.statuses.size(); ++i) {
+                        if (!resumed.statuses[i].fromCheckpoint) {
+                            fail("resume-identity",
+                                 "cell " + std::to_string(i) +
+                                     " re-simulated on resume "
+                                     "(journal miss)");
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Invariant: a result-cache hit returns the journaled bytes.
+        {
+            TempFileGuard journal(hexSeed(seed) + "-l" +
+                                  std::to_string(shrink_level) +
+                                  ".rcache");
+            {
+                ResultCache cache(
+                    ResultCacheOptions{journal.path(), 0});
+                for (std::size_t i = 0; i < configs.size(); ++i) {
+                    RunCounters out;
+                    if (cache.acquire(runKey(configs[i]), out) ==
+                        ResultCache::Outcome::Miss)
+                        cache.fulfill(runKey(configs[i]),
+                                      baseline.runs[i].counters);
+                }
+            }
+            ResultCache warmed(
+                ResultCacheOptions{journal.path(), 0});
+            for (std::size_t i = 0; i < configs.size(); ++i) {
+                RunCounters out;
+                const std::uint64_t key = runKey(configs[i]);
+                if (warmed.acquire(key, out) !=
+                    ResultCache::Outcome::Hit) {
+                    warmed.abandon(key);
+                    fail("result-cache-identity",
+                         "cell " + std::to_string(i) +
+                             " missed after journal reload");
+                    break;
+                }
+                if (checkpointLine(key, out) !=
+                    checkpointLine(key,
+                                   baseline.runs[i].counters)) {
+                    fail("result-cache-identity",
+                         "cell " + std::to_string(i) +
+                             " returned different bytes from the "
+                             "journal round-trip");
+                    break;
+                }
+            }
+        }
+
+        // Invariant: the perfect scheme dominates the paper's real
+        // schemes (within the shared 2% predictor-training envelope;
+        // the beyond-paper trace cache is exempt -- its multi-branch
+        // predictor is a different state machine, so dominance over
+        // it is not a claim the paper or this repo makes).
+        {
+            const RunResult *perfect = nullptr;
+            for (std::size_t i = 0; i < configs.size(); ++i) {
+                if (configs[i].scheme == SchemeKind::Perfect)
+                    perfect = &baseline.runs[i];
+            }
+            for (std::size_t i = 0;
+                 perfect && i < configs.size(); ++i) {
+                if (configs[i].scheme == SchemeKind::Perfect ||
+                    configs[i].scheme == SchemeKind::TraceCache)
+                    continue;
+                const double real_ipc = baseline.runs[i].ipc();
+                const double bound =
+                    perfect->ipc() *
+                    (1.0 + kFuzzDominanceTolerance);
+                if (real_ipc > bound) {
+                    std::ostringstream os;
+                    os << "scheme "
+                       << static_cast<int>(configs[i].scheme)
+                       << " ipc " << real_ipc
+                       << " exceeds perfect ipc "
+                       << perfect->ipc() << " by more than "
+                       << kFuzzDominanceTolerance * 100 << "%";
+                    fail("perfect-dominance", os.str());
+                }
+            }
+        }
+    } catch (const SimException &e) {
+        fail("exception", e.error().format());
+    } catch (const std::exception &e) {
+        fail("exception", e.what());
+    }
+    return failures;
+}
+
+FuzzReport
+runFuzz(const FuzzOptions &options)
+{
+    FuzzReport report;
+    for (std::uint64_t i = 0; i < options.runs; ++i) {
+        const std::uint64_t seed = hashCombine(options.seed, i);
+        std::vector<FuzzFailure> failures =
+            checkFuzzScenario(seed, 0, options.threads,
+                              &report.cells);
+        ++report.scenarios;
+
+        if (!failures.empty()) {
+            // Shrink: walk down the ladder while it still fails;
+            // report the deepest failing rung.
+            for (int level = 1; level <= kMaxShrinkLevel; ++level) {
+                std::vector<FuzzFailure> shrunk =
+                    checkFuzzScenario(seed, level, options.threads,
+                                      &report.cells);
+                if (shrunk.empty())
+                    break;
+                failures = std::move(shrunk);
+            }
+            for (const FuzzFailure &failure : failures)
+                report.failures.push_back(failure);
+            if (options.log) {
+                for (const FuzzFailure &failure : failures) {
+                    *options.log
+                        << "fuzz: FAIL " << failure.property << " ("
+                        << failure.detail << ")\n"
+                        << "fuzz: reproduce: " << failure.reproducer
+                        << "\n";
+                }
+            }
+            if (options.maxFailures != 0 &&
+                report.failures.size() >= options.maxFailures) {
+                if (options.log)
+                    *options.log << "fuzz: stopping after "
+                                 << report.failures.size()
+                                 << " failures\n";
+                break;
+            }
+        }
+
+        if (options.log && (i + 1) % 50 == 0) {
+            *options.log << "fuzz: " << (i + 1) << "/"
+                         << options.runs << " scenarios, "
+                         << report.failures.size() << " failures, "
+                         << report.cells << " cells\n";
+        }
+    }
+    if (options.log) {
+        *options.log << "fuzz: done: " << report.scenarios
+                     << " scenarios, " << report.cells << " cells, "
+                     << report.failures.size() << " failures\n";
+    }
+    return report;
+}
+
+} // namespace fetchsim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Property-based workload fuzzer for the sweep invariants.
+ *
+ * The determinism and soundness claims this repository leans on --
+ * byte-identical sweeps at any thread count, replay on/off identity,
+ * checkpoint/resume identity, result-cache hit identity, and the
+ * paper's perfect-scheme dominance -- are asserted by the test suite
+ * at hand-picked points.  The fuzzer asserts them over the input
+ * space: each scenario draws a random WorkloadSpec and machine/plan
+ * configuration from documented envelopes, runs a mini-sweep, and
+ * checks every invariant; a violation is shrunk to a minimal
+ * reproducer and printed as a replayable `--fuzz-seed` line.
+ *
+ * Randomization envelopes (all inside the generator's documented
+ * preconditions, see makeFuzzScenario):
+ *  - program shape: 2-16 functions, 2-14 statements/function,
+ *    block lengths 1-16;
+ *  - instruction mix: fp <= 0.5, loads <= 0.35, stores <= 0.15;
+ *  - statement mix: hammocks <= 0.3, if/else <= 0.2, loops <= 0.3,
+ *    calls <= 0.15; hammock clauses 1-12 instructions; loop trips
+ *    2-60, nesting <= 3;
+ *  - plan: one machine model, the perfect scheme plus 1-2 real
+ *    schemes, one layout, 600-3000 retired instructions, eval or
+ *    training input;
+ *  - machine overrides (half of the scenarios): speculation depth
+ *    1-4, BTB 16-512 entries, window 8-64, miss penalty 0-12 cycles,
+ *    I-cache 1/2/4 ways, RAS on/off.  (Depth 0 is rejected by config
+ *    validation: it describes a machine that can never fetch a
+ *    conditional branch -- the fuzzer found the hang that motivated
+ *    that check.)
+ *
+ * Scenarios derive deterministically from (campaign seed, index), so
+ * a campaign is reproducible end-to-end and any single failure is
+ * replayable in isolation: `fetchsim_cli fuzz --fuzz-seed <seed>
+ * --shrink-level <level>`.  Shrinking is a fixed ladder of
+ * simplifying transforms (drop schemes, drop layout/overrides,
+ * quarter the budget, simplify the program shape); the reported
+ * reproducer is the deepest level that still fails, so the replay is
+ * the smallest scenario the ladder can reach.
+ */
+
+#ifndef FETCHSIM_SIM_FUZZ_H_
+#define FETCHSIM_SIM_FUZZ_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/plan.h"
+#include "workload/spec.h"
+
+namespace fetchsim
+{
+
+/** Deepest rung of the shrinking ladder. */
+constexpr int kMaxShrinkLevel = 4;
+
+/**
+ * Tolerance on the perfect-dominance property.  The perfect scheme
+ * removes every alignment constraint but still shares the BTB and
+ * branch-history state machines with the real schemes, whose
+ * different fetch-group boundaries can perturb predictor training by
+ * a hair; the paper-shape tests use the same 2% envelope.
+ */
+constexpr double kFuzzDominanceTolerance = 0.02;
+
+/** One mini-sweep scenario, fully derived from (seed, shrink level). */
+struct FuzzScenario
+{
+    std::uint64_t seed = 0;    //!< scenario seed (reproducer)
+    int shrinkLevel = 0;       //!< ladder rung this was built at
+    WorkloadSpec spec;         //!< randomized generator parameters
+    MachineModel machine = MachineModel::P14;
+    std::vector<SchemeKind> schemes; //!< perfect first, then real
+    LayoutKind layout = LayoutKind::Unordered;
+    std::uint64_t maxRetired = 0;
+    int input = 0;
+
+    /**
+     * Proto config carrying the randomized machine overrides (RAS,
+     * speculation depth, BTB/window/miss-penalty/ways); benchmark,
+     * machine, scheme, layout, budget and input are filled by plan().
+     */
+    RunConfig base;
+
+    /** The expanded mini-sweep grid for this scenario. */
+    ExperimentPlan plan() const;
+};
+
+/** One invariant violation, shrunk and replayable. */
+struct FuzzFailure
+{
+    std::uint64_t seed = 0;   //!< scenario seed
+    int shrinkLevel = 0;      //!< deepest still-failing rung
+    std::string property;     //!< which invariant broke
+    std::string detail;       //!< what was observed
+    std::string reproducer;   //!< fetchsim_cli fuzz ... line
+};
+
+/** Options for one fuzzing campaign. */
+struct FuzzOptions
+{
+    std::uint64_t runs = 100; //!< scenarios to generate
+    std::uint64_t seed = 1;   //!< campaign seed
+    int threads = 4;          //!< width of the parallel-identity sweep
+    std::ostream *log = nullptr; //!< progress lines (null = silent)
+
+    /** Stop the campaign after this many failures (0 = unbounded). */
+    std::uint64_t maxFailures = 5;
+};
+
+/** Outcome of a campaign (or of one replayed scenario). */
+struct FuzzReport
+{
+    std::uint64_t scenarios = 0; //!< scenarios executed
+    std::uint64_t cells = 0;     //!< sweep cells simulated
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Build the scenario for @p seed at @p shrink_level (0 = the full
+ * randomized scenario; deeper levels are progressively simpler).
+ * Pure: no simulation, no registration.
+ */
+FuzzScenario makeFuzzScenario(std::uint64_t seed, int shrink_level);
+
+/**
+ * Run every invariant check for one scenario.  Registers the
+ * scenario's spec as a dynamic benchmark for the duration.  Returns
+ * the violations (empty = all invariants held); @p cells, when
+ * non-null, accumulates the number of sweep cells simulated.
+ */
+std::vector<FuzzFailure> checkFuzzScenario(std::uint64_t seed,
+                                           int shrink_level,
+                                           int threads,
+                                           std::uint64_t *cells =
+                                               nullptr);
+
+/** Run a campaign of FuzzOptions::runs scenarios with shrinking. */
+FuzzReport runFuzz(const FuzzOptions &options);
+
+/** The replayable reproducer line for (seed, level). */
+std::string fuzzReproducer(std::uint64_t seed, int shrink_level);
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_SIM_FUZZ_H_

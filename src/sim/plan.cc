@@ -1,11 +1,28 @@
 #include "sim/plan.h"
 
 #include "fetch/scheme_registry.h"
+#include "ingest/trace_registry.h"
 #include "workload/benchmark_suite.h"
 #include "workload/branch_behavior.h"
 
 namespace fetchsim
 {
+
+namespace
+{
+
+/** A name the plan may expand: suite, dynamic, or registered
+ *  external trace. */
+bool
+knownBenchmark(const std::string &name)
+{
+    if (isExternalBenchmark(name))
+        return ExternalTraceRegistry::instance().has(
+            externalTraceName(name));
+    return hasBenchmark(name);
+}
+
+} // anonymous namespace
 
 ExperimentPlan &
 ExperimentPlan::proto(const RunConfig &base)
@@ -129,14 +146,14 @@ ExperimentPlan::validate() const
     // when set, the proto's single name otherwise.
     if (!benchmarks_.empty()) {
         for (const std::string &name : benchmarks_) {
-            if (!hasBenchmark(name))
+            if (!knownBenchmark(name))
                 errors.push_back(SimError{
                     ErrorKind::Config,
                     "unknown benchmark '" + name + "'",
                     "ExperimentPlan"});
         }
     } else if (!proto_.benchmark.empty() &&
-               !hasBenchmark(proto_.benchmark)) {
+               !knownBenchmark(proto_.benchmark)) {
         errors.push_back(SimError{
             ErrorKind::Config,
             "unknown benchmark '" + proto_.benchmark + "'",

@@ -78,6 +78,13 @@ terminalState(JobState state)
 constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
 constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
 
+/**
+ * SimError context marking a Protocol error that must be answered
+ * with 413 (declared body over kMaxBodyBytes) instead of the generic
+ * 400 every other framing error gets.
+ */
+constexpr const char kHttp413Context[] = "http-status-413";
+
 struct HttpRequest
 {
     std::string method;
@@ -102,6 +109,8 @@ reasonPhrase(int status)
         return "Method Not Allowed";
       case 409:
         return "Conflict";
+      case 413:
+        return "Payload Too Large";
       case 422:
         return "Unprocessable Entity";
       case 503:
@@ -274,6 +283,7 @@ readHttpRequest(int fd)
     }
 
     std::size_t content_length = 0;
+    bool have_length = false;
     while (std::getline(lines, line)) {
         line = trimmed(line);
         if (line.empty())
@@ -288,10 +298,25 @@ readHttpRequest(int fd)
             content_length = std::strtoull(value.c_str(), &end, 10);
             if (end == value.c_str() || *end != '\0')
                 return protocolError("bad Content-Length: " + value);
+            have_length = true;
         }
     }
-    if (content_length > kMaxBodyBytes)
-        return protocolError("request body too large");
+    // Body bounds, checked before a single body byte is read: an
+    // oversized declaration is refused as 413 without draining it,
+    // and a POST without a length at all is refused as 400 -- the
+    // alternative (treating it as an empty body) would silently turn
+    // a framing mistake into a confusing plan-validation error.
+    if (content_length > kMaxBodyBytes) {
+        return SimError{ErrorKind::Protocol,
+                        "request body of " +
+                            std::to_string(content_length) +
+                            " bytes exceeds the " +
+                            std::to_string(kMaxBodyBytes) +
+                            "-byte limit",
+                        kHttp413Context};
+    }
+    if (request.method == "POST" && !have_length)
+        return protocolError("POST requires a Content-Length header");
 
     const std::size_t body_start = header_end + 4;
     while (data.size() - body_start < content_length) {
@@ -1064,9 +1089,12 @@ SweepService::handleConnection(int fd)
 
     auto parsed = readHttpRequest(fd);
     if (!parsed.ok()) {
-        if (parsed.error().kind == ErrorKind::Protocol)
-            sendAll(fd, httpResponse(400, "application/json",
+        if (parsed.error().kind == ErrorKind::Protocol) {
+            const int status =
+                parsed.error().context == kHttp413Context ? 413 : 400;
+            sendAll(fd, httpResponse(status, "application/json",
                                      errorJson(parsed.error())));
+        }
         close(fd);
         return;
     }

@@ -11,6 +11,7 @@
 #include "exec/executor.h"
 #include "exec/trace_file.h"
 #include "fetch/scheme_registry.h"
+#include "ingest/trace_registry.h"
 #include "perf/profiler.h"
 #include "stats/log.h"
 #include "workload/benchmark_suite.h"
@@ -130,6 +131,25 @@ validateRunConfig(const RunConfig &config)
     if (config.benchmark.empty()) {
         errors.push_back(SimError{ErrorKind::Config,
                                   "no benchmark set", context});
+    } else if (isExternalBenchmark(config.benchmark)) {
+        // External traces are fixed dynamic streams: there is no CFG
+        // for the layout transforms to act on.
+        if (!ExternalTraceRegistry::instance().has(
+                externalTraceName(config.benchmark))) {
+            errors.push_back(SimError{
+                ErrorKind::Config,
+                "external trace '" +
+                    externalTraceName(config.benchmark) +
+                    "' is not registered (use --external NAME=PATH)",
+                context});
+        }
+        if (config.layout != LayoutKind::Unordered) {
+            errors.push_back(SimError{
+                ErrorKind::Config,
+                "external traces only support the unordered layout "
+                "(the recorded stream cannot be re-laid-out)",
+                context});
+        }
     } else if (!hasBenchmark(config.benchmark)) {
         errors.push_back(SimError{
             ErrorKind::Config,
@@ -149,6 +169,19 @@ validateRunConfig(const RunConfig &config)
                 " out of range [0, " + std::to_string(kEvalInput) +
                 "]",
             context});
+    }
+    if (config.specDepthOverride == 0) {
+        // Found by the sweep fuzzer: with zero speculation depth no
+        // conditional branch can ever be delivered (headroom is
+        // always exhausted), so the machine wedges at the first one
+        // and trips the no-progress panic instead of simulating.
+        errors.push_back(SimError{ErrorKind::Config,
+                                  "specDepthOverride must be "
+                                  "positive (or negative = default): "
+                                  "a machine with zero speculation "
+                                  "depth can never fetch a "
+                                  "conditional branch",
+                                  context});
     }
     if (config.btbEntriesOverride == 0) {
         errors.push_back(SimError{ErrorKind::Config,
@@ -369,7 +402,10 @@ void
 Session::prepareReplay(const RunConfig &config,
                        const ReplayOptions &replay)
 {
-    if (replay.policy == ReplayPolicy::Off)
+    // An external trace already lives on disk in replayable form;
+    // there is nothing to record.
+    if (replay.policy == ReplayPolicy::Off ||
+        isExternalBenchmark(config.benchmark))
         return;
     const std::vector<SimError> errors = validateRunConfig(config);
     if (!errors.empty())
@@ -415,6 +451,39 @@ Session::run(const RunConfig &config, const RunInstrumentation &inst,
         cfg.icacheMissPenalty = config.missPenaltyOverride;
     if (config.icacheWaysOverride > 0)
         cfg.icacheWays = config.icacheWaysOverride;
+
+    // External benchmark: replay the registered FSTR file directly.
+    // Each run opens its own reader (runs must not share cursors),
+    // and the retirement budget is clamped to the trace length so a
+    // short trace ends the run instead of starving the fetch unit.
+    // The replay cache is bypassed -- the file is the recording.
+    if (isExternalBenchmark(config.benchmark)) {
+        const ExternalTraceInfo info =
+            ExternalTraceRegistry::instance()
+                .find(externalTraceName(config.benchmark))
+                .value();
+        std::unique_ptr<FetchMechanism> ext_mechanism =
+            FetchSchemeRegistry::instance().make(
+                config.scheme, cfg,
+                {config.cbImpl, config.cbAllowBackward});
+        TraceReader reader(info.path);
+        std::uint64_t budget =
+            config.maxRetired ? config.maxRetired : defaultDynInsts();
+        if (budget > reader.count())
+            budget = reader.count();
+        Processor proc(reader, cfg, std::move(ext_mechanism));
+        if (inst.metrics)
+            proc.attachMetrics(*inst.metrics);
+        if (inst.trace)
+            proc.attachTrace(*inst.trace);
+        if (watchdog_cycles != 0)
+            proc.setCycleLimit(watchdog_cycles);
+        proc.run(budget);
+        RunResult result;
+        result.config = config;
+        result.counters = proc.counters();
+        return result;
+    }
 
     const Workload &wl =
         workload(config.benchmark, config.layout, cfg.blockBytes);

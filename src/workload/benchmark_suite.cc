@@ -1,5 +1,11 @@
 #include "workload/benchmark_suite.h"
 
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "core/error.h"
 #include "stats/log.h"
 
 namespace fetchsim
@@ -7,6 +13,25 @@ namespace fetchsim
 
 namespace
 {
+
+/**
+ * Runtime-registered specs.  Heap-owned so benchmarkByName() hands
+ * out references that survive map rebalancing; the mutex serializes
+ * registration against concurrent sweep lookups.
+ */
+std::shared_mutex &
+dynamicMutex()
+{
+    static std::shared_mutex mutex;
+    return mutex;
+}
+
+std::map<std::string, std::unique_ptr<WorkloadSpec>> &
+dynamicSuite()
+{
+    static std::map<std::string, std::unique_ptr<WorkloadSpec>> suite;
+    return suite;
+}
 
 /** Baseline integer-benchmark spec; per-benchmark fields override. */
 WorkloadSpec
@@ -318,7 +343,8 @@ hasBenchmark(const std::string &name)
     for (const auto &spec : fullSuite())
         if (spec.name == name)
             return true;
-    return false;
+    std::shared_lock<std::shared_mutex> read(dynamicMutex());
+    return dynamicSuite().count(name) != 0;
 }
 
 const WorkloadSpec &
@@ -327,7 +353,38 @@ benchmarkByName(const std::string &name)
     for (const auto &spec : fullSuite())
         if (spec.name == name)
             return spec;
+    {
+        std::shared_lock<std::shared_mutex> read(dynamicMutex());
+        auto it = dynamicSuite().find(name);
+        if (it != dynamicSuite().end())
+            return *it->second;
+    }
     fatal("unknown benchmark: " + name);
+}
+
+void
+registerDynamicBenchmark(const WorkloadSpec &spec)
+{
+    if (spec.name.empty())
+        throw SimException(ErrorKind::Config,
+                           "dynamic benchmark needs a name");
+    for (const auto &fixed : fullSuite()) {
+        if (fixed.name == spec.name)
+            throw SimException(ErrorKind::Config,
+                               "dynamic benchmark '" + spec.name +
+                                   "' would shadow a suite "
+                                   "benchmark");
+    }
+    std::unique_lock<std::shared_mutex> write(dynamicMutex());
+    dynamicSuite()[spec.name] =
+        std::make_unique<WorkloadSpec>(spec);
+}
+
+bool
+unregisterDynamicBenchmark(const std::string &name)
+{
+    std::unique_lock<std::shared_mutex> write(dynamicMutex());
+    return dynamicSuite().erase(name) != 0;
 }
 
 } // namespace fetchsim

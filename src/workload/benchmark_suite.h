@@ -36,6 +36,28 @@ const WorkloadSpec &benchmarkByName(const std::string &name);
 /** True if a benchmark with this name exists. */
 bool hasBenchmark(const std::string &name);
 
+/**
+ * @name Dynamic benchmarks
+ * The static 15-benchmark suite can be extended at runtime with
+ * generated specs -- the workload fuzzer (sim/fuzz.h) registers one
+ * randomized spec per scenario so the whole driver stack (Session,
+ * plans, checkpoints) treats it exactly like a suite benchmark.
+ * Registration is thread-safe and may not shadow a static suite
+ * name (SimException(Config)); re-registering a dynamic name
+ * replaces it, and references returned by benchmarkByName() stay
+ * valid until that name is re-registered or unregistered.
+ */
+///@{
+
+/** Register (or replace) a runtime benchmark spec keyed by its
+ *  spec.name. */
+void registerDynamicBenchmark(const WorkloadSpec &spec);
+
+/** Drop a runtime benchmark; true when it existed. */
+bool unregisterDynamicBenchmark(const std::string &name);
+
+///@}
+
 } // namespace fetchsim
 
 #endif // FETCHSIM_WORKLOAD_BENCHMARK_SUITE_H_

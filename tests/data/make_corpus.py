@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Regenerate the corrupt-trace corpus under tests/data/.
+
+Every ``corrupt_*.fstr`` file is a deliberately damaged FSTR trace
+(src/exec/trace_file.h documents the format) that the reader must
+reject with a structured SimException(Io) -- never an abort, a hang,
+or a partial read that leaks a descriptor.  tests/test_ingest.cc walks
+the corpus table-driven; this script records exactly how each file was
+forged so the corpus can be audited or extended.
+
+``mini_truncated.champsim.bin`` is the ChampSim fixture
+(mini.champsim.bin) cut mid-record: strict imports must reject it,
+lenient imports must count the partial tail and import the rest.
+
+The script is deterministic -- re-running it reproduces every file
+byte for byte.
+"""
+
+import pathlib
+import struct
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+# FSTR constants (src/exec/trace_file.h).
+MAGIC = 0x52545346  # "FSTR"
+VERSION = 2
+FNV_OFFSET = 1469598103934665603
+FNV_PRIME = 1099511628211
+MASK = (1 << 64) - 1
+
+# OpClass values (src/isa/opcode.h).
+INT_ALU, COND_BRANCH = 0, 4
+
+
+def fnv(hash_, data):
+    for byte in data:
+        hash_ = ((hash_ ^ byte) * FNV_PRIME) & MASK
+    return hash_
+
+
+def record(pc, target=0, op=INT_ALU, dest=1, src1=2, src2=3, imm=0,
+           taken=0):
+    """One 32-byte trace record plus its canonical hash bytes."""
+    packed = struct.pack("<QQ4BiB7x", pc, target, op, dest, src1,
+                         src2, imm, taken)
+    hashed = struct.pack("<QQ4BiB", pc, target, op, dest, src1, src2,
+                         imm, taken)
+    return packed, hashed
+
+
+def build_trace(records):
+    """A complete, valid FSTR v2 file for the given records."""
+    hash_ = FNV_OFFSET
+    payload = b""
+    for packed, hashed in records:
+        payload += packed
+        hash_ = fnv(hash_, hashed)
+    header = struct.pack("<IIQQ", MAGIC, VERSION, len(records), hash_)
+    return header + payload
+
+
+def base_records():
+    """Eight records: a short basic block ending in a taken branch,
+    run twice."""
+    out = []
+    for rep in range(2):
+        base = 0x1000 + rep * 0x40
+        out.append(record(base))
+        out.append(record(base + 4, imm=7))
+        out.append(record(base + 8, dest=4, src1=1))
+        out.append(record(base + 12, target=0x1000, op=COND_BRANCH,
+                          taken=1 if rep == 0 else 0))
+    return out
+
+
+def emit(name, data):
+    (HERE / name).write_bytes(data)
+    print(f"{name}: {len(data)} bytes")
+
+
+def main():
+    valid = build_trace(base_records())
+
+    # Header cut off before the v1-sized prefix is even complete.
+    emit("corrupt_truncated_header.fstr", valid[:8])
+
+    # Version field says v2 (24-byte header) but the file ends after
+    # the 16 v1-header bytes: the hash field is missing.
+    emit("corrupt_v2_header_truncated.fstr", valid[:16])
+
+    # Header promises 8 records but the payload holds only 3: the
+    # count-vs-file-size check must reject it at open, before any
+    # caller sizes buffers from count().
+    emit("corrupt_short_payload.fstr", valid[: 24 + 3 * 32])
+
+    # Absurd length field (2**60 records); same open-time check.
+    absurd = struct.pack("<IIQQ", MAGIC, VERSION, 1 << 60,
+                         FNV_OFFSET) + valid[24:]
+    emit("corrupt_absurd_count.fstr", absurd)
+
+    # One bit flipped in the first record's pc: every record still
+    # parses, but the running content hash cannot match the header
+    # hash when the final record is consumed.
+    flipped = bytearray(valid)
+    flipped[24] ^= 0x01
+    emit("corrupt_flipped_hash.fstr", bytes(flipped))
+
+    # Not a trace at all (magic mismatch).
+    emit("corrupt_bad_magic.fstr", b"JUNK" + valid[4:])
+
+    # Unknown format version (7 is neither v1 nor v2).
+    bad_version = struct.pack("<IIQQ", MAGIC, 7, 8,
+                              FNV_OFFSET) + valid[24:]
+    emit("corrupt_bad_version.fstr", bad_version)
+
+    # Record with an op class past NumOpClasses; the header hash is
+    # recomputed so only the impossible op byte is wrong.
+    bad_records = base_records()
+    bad_records[2] = record(0x1008, op=200)
+    emit("corrupt_bad_op.fstr", build_trace(bad_records))
+
+    # ChampSim fixture cut 30 bytes into nowhere: a partial 64-byte
+    # input_instr tail.
+    mini = (HERE / "mini.champsim.bin").read_bytes()
+    assert len(mini) % 64 == 0 and len(mini) >= 128
+    emit("mini_truncated.champsim.bin", mini[: len(mini) - 30])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The property-based sweep fuzzer's own guarantees: scenario
+ * derivation is deterministic and stays inside the documented
+ * envelopes, the shrink ladder simplifies monotonically, reproducer
+ * lines are replayable, and a small campaign runs clean and
+ * reproducibly.  (The invariants the fuzzer asserts about the
+ * simulator are its job; these tests assert the fuzzer itself.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "sim/fuzz.h"
+#include "sim/session.h"
+#include "workload/benchmark_suite.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+TEST(FuzzScenarioGen, SameSeedSameScenario)
+{
+    for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+        const FuzzScenario a = makeFuzzScenario(seed, 0);
+        const FuzzScenario b = makeFuzzScenario(seed, 0);
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_EQ(a.machine, b.machine);
+        EXPECT_EQ(a.schemes, b.schemes);
+        EXPECT_EQ(a.layout, b.layout);
+        EXPECT_EQ(a.maxRetired, b.maxRetired);
+        EXPECT_EQ(a.input, b.input);
+        EXPECT_EQ(a.spec.seed, b.spec.seed);
+        EXPECT_EQ(a.spec.numFunctions, b.spec.numFunctions);
+        EXPECT_EQ(a.spec.loopTripMax, b.spec.loopTripMax);
+        EXPECT_EQ(a.base.specDepthOverride, b.base.specDepthOverride);
+        EXPECT_EQ(a.base.btbEntriesOverride, b.base.btbEntriesOverride);
+    }
+}
+
+TEST(FuzzScenarioGen, DifferentSeedsActuallyVary)
+{
+    std::set<std::uint64_t> budgets;
+    std::set<int> machines;
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        const FuzzScenario s = makeFuzzScenario(seed, 0);
+        budgets.insert(s.maxRetired);
+        machines.insert(static_cast<int>(s.machine));
+    }
+    EXPECT_GT(budgets.size(), 10u);
+    EXPECT_GT(machines.size(), 1u);
+}
+
+TEST(FuzzScenarioGen, EnvelopesHoldAcrossManySeeds)
+{
+    for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+        const FuzzScenario s = makeFuzzScenario(seed, 0);
+        SCOPED_TRACE("seed " + std::to_string(seed));
+
+        // Program shape inside the generator's preconditions.
+        EXPECT_GE(s.spec.numFunctions, 2);
+        EXPECT_LE(s.spec.numFunctions, 16);
+        EXPECT_GE(s.spec.minStmtsPerFunc, 2);
+        EXPECT_LE(s.spec.maxStmtsPerFunc, 14);
+        EXPECT_LE(s.spec.minStmtsPerFunc, s.spec.maxStmtsPerFunc);
+        EXPECT_GE(s.spec.minBlockLen, 1);
+        EXPECT_LE(s.spec.minBlockLen, s.spec.maxBlockLen);
+        EXPECT_LE(s.spec.maxBlockLen, 16);
+        EXPECT_LE(s.spec.fpFraction + s.spec.loadFraction +
+                      s.spec.storeFraction,
+                  1.0);
+        EXPECT_LE(s.spec.hammockProb + s.spec.ifElseProb +
+                      s.spec.loopProb + s.spec.callProb,
+                  1.0);
+        EXPECT_GE(s.spec.loopTripMin, 2);
+        EXPECT_LE(s.spec.loopTripMax, 60);
+        EXPECT_LE(s.spec.maxLoopNest, 3);
+
+        // Plan envelope.
+        EXPECT_GE(s.maxRetired, 600u);
+        EXPECT_LE(s.maxRetired, 3000u);
+        EXPECT_GE(s.input, 0);
+        EXPECT_LE(s.input, kEvalInput);
+
+        // Perfect leads, followed by distinct real schemes.
+        ASSERT_GE(s.schemes.size(), 2u);
+        EXPECT_EQ(s.schemes.front(), SchemeKind::Perfect);
+        std::set<SchemeKind> uniq(s.schemes.begin(),
+                                  s.schemes.end());
+        EXPECT_EQ(uniq.size(), s.schemes.size());
+
+        // Machine overrides: either defaults or inside the envelope.
+        // Speculation depth 0 in particular must never be drawn --
+        // config validation rejects it (the machine could never
+        // fetch a conditional branch).
+        EXPECT_NE(s.base.specDepthOverride, 0);
+        if (s.base.specDepthOverride > 0) {
+            EXPECT_LE(s.base.specDepthOverride, 4);
+        }
+        if (s.base.btbEntriesOverride >= 0) {
+            EXPECT_GE(s.base.btbEntriesOverride, 16);
+            EXPECT_LE(s.base.btbEntriesOverride, 512);
+        }
+        if (s.base.windowSizeOverride >= 0) {
+            EXPECT_GE(s.base.windowSizeOverride, 8);
+            EXPECT_LE(s.base.windowSizeOverride, 64);
+        }
+        if (s.base.missPenaltyOverride >= 0) {
+            EXPECT_LE(s.base.missPenaltyOverride, 12);
+        }
+
+        // The scenario expands to a runnable plan with one cell per
+        // scheme (the spec must be registered for expansion to
+        // validate the benchmark name, as checkFuzzScenario does).
+        registerDynamicBenchmark(s.spec);
+        const std::vector<RunConfig> cells = s.plan().expand();
+        EXPECT_EQ(cells.size(), s.schemes.size());
+        for (const RunConfig &cell : cells) {
+            const auto errors = validateRunConfig(cell);
+            EXPECT_TRUE(errors.empty())
+                << (errors.empty() ? "" : errors.front().format());
+        }
+        unregisterDynamicBenchmark(s.spec.name);
+    }
+}
+
+TEST(FuzzScenarioGen, ShrinkLadderSimplifiesMonotonically)
+{
+    for (std::uint64_t seed : {7ull, 99ull, 12345ull}) {
+        const FuzzScenario l0 = makeFuzzScenario(seed, 0);
+        const FuzzScenario l1 = makeFuzzScenario(seed, 1);
+        const FuzzScenario l2 = makeFuzzScenario(seed, 2);
+        const FuzzScenario l3 = makeFuzzScenario(seed, 3);
+        const FuzzScenario l4 =
+            makeFuzzScenario(seed, kMaxShrinkLevel);
+
+        // Level 1 drops to one real scheme next to perfect.
+        EXPECT_EQ(l1.schemes.size(), 2u);
+        EXPECT_LE(l1.schemes.size(), l0.schemes.size());
+        // Level 2 clears layout and machine overrides.
+        EXPECT_EQ(l2.layout, LayoutKind::Unordered);
+        EXPECT_EQ(l2.base.specDepthOverride, -1);
+        EXPECT_EQ(l2.base.btbEntriesOverride, -1);
+        // Level 3 cuts the budget.
+        EXPECT_LT(l3.maxRetired, std::max<std::uint64_t>(
+                                     l2.maxRetired, 301));
+        // Level 4 fixes the program shape but keeps the drawn seed.
+        EXPECT_EQ(l4.spec.seed, l0.spec.seed);
+        EXPECT_LE(l4.spec.numFunctions, l0.spec.numFunctions + 14);
+        // Each level still derives deterministically.
+        EXPECT_EQ(makeFuzzScenario(seed, 3).maxRetired,
+                  l3.maxRetired);
+    }
+}
+
+TEST(FuzzReproducerLine, IsReplayable)
+{
+    const std::string line = fuzzReproducer(0xabcdef0123456789ull, 0);
+    EXPECT_NE(line.find("fetchsim_cli fuzz"), std::string::npos);
+    EXPECT_NE(line.find("--fuzz-seed 0xabcdef0123456789"),
+              std::string::npos);
+    EXPECT_EQ(line.find("--shrink-level"), std::string::npos);
+
+    const std::string shrunk = fuzzReproducer(0x10ull, 3);
+    EXPECT_NE(shrunk.find("--shrink-level 3"), std::string::npos);
+}
+
+TEST(FuzzCampaign, SingleScenarioCheckRunsAllInvariantsClean)
+{
+    std::uint64_t cells = 0;
+    const std::vector<FuzzFailure> failures =
+        checkFuzzScenario(/*seed=*/3, /*shrink_level=*/0,
+                          /*threads=*/2, &cells);
+    for (const FuzzFailure &f : failures)
+        ADD_FAILURE() << f.property << ": " << f.detail;
+    // Baseline + thread-identity + replay-identity + resume-identity
+    // + cache-identity all execute the grid.
+    EXPECT_GT(cells, 0u);
+}
+
+TEST(FuzzCampaign, SmallCampaignIsCleanAndReproducible)
+{
+    FuzzOptions options;
+    options.runs = 6;
+    options.seed = 1;
+    options.threads = 2;
+    const FuzzReport a = runFuzz(options);
+    EXPECT_TRUE(a.ok()) << (a.failures.empty()
+                                ? ""
+                                : a.failures.front().detail);
+    EXPECT_EQ(a.scenarios, 6u);
+    EXPECT_GT(a.cells, 0u);
+
+    const FuzzReport b = runFuzz(options);
+    EXPECT_EQ(a.cells, b.cells)
+        << "campaign cell count varied for a fixed seed";
+    EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(FuzzCampaign, ProgressLogMentionsSeedAndSummary)
+{
+    std::ostringstream log;
+    FuzzOptions options;
+    options.runs = 1;
+    options.seed = 5;
+    options.threads = 2;
+    options.log = &log;
+    const FuzzReport report = runFuzz(options);
+    EXPECT_TRUE(report.ok());
+    EXPECT_NE(log.str().find("fuzz:"), std::string::npos);
+}
+
+} // namespace
+} // namespace fetchsim

@@ -16,12 +16,16 @@
 #include <gtest/gtest.h>
 
 #include <csignal>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
-#include <unistd.h>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "fetch/scheme_registry.h"
 #include "sim/plan.h"
@@ -304,6 +308,76 @@ TEST(SweepService, DrainLeavesAResumableJournal)
               configs.size() - simulated_before_drain);
     service.drain();
     std::remove(journal.c_str());
+}
+
+/**
+ * Send raw bytes to the service socket and return the full response.
+ * The normal client (serviceRequest) always frames its requests
+ * correctly, so the framing-abuse tests below speak to the socket
+ * directly.
+ */
+std::string
+rawRequest(const std::string &socket_path, const std::string &text)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    EXPECT_EQ(::send(fd, text.data(), text.size(), 0),
+              static_cast<ssize_t>(text.size()));
+    ::shutdown(fd, SHUT_WR);
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        response.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return response;
+}
+
+TEST(SweepService, OversizedBodyDeclarationIsRefusedWith413)
+{
+    SweepService service(baseOptions("body413", 1));
+    service.start();
+
+    // 8 MiB + 1 declared: refused from the declaration alone -- no
+    // body bytes are sent, yet the response arrives, proving the
+    // service did not wait to drain a body it already rejected.
+    const std::string response = rawRequest(
+        service.socketPath(),
+        "POST /v1/jobs HTTP/1.1\r\n"
+        "Content-Length: 8388609\r\n"
+        "\r\n");
+    EXPECT_NE(response.find("HTTP/1.1 413 Payload Too Large"),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("exceeds"), std::string::npos);
+    service.drain();
+}
+
+TEST(SweepService, PostWithoutContentLengthIsRefusedWith400)
+{
+    SweepService service(baseOptions("body400", 1));
+    service.start();
+
+    const std::string response =
+        rawRequest(service.socketPath(),
+                   "POST /v1/jobs HTTP/1.1\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("Content-Length"), std::string::npos);
+
+    // GETs carry no body, so the length header stays optional there.
+    const std::string ok = rawRequest(
+        service.socketPath(), "GET /healthz HTTP/1.1\r\n\r\n");
+    EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos) << ok;
+    service.drain();
 }
 
 TEST(SweepService, OversizeSubmissionIsRejectedNotQueued)
