@@ -43,7 +43,9 @@
  *   fetchsim_cli submit --socket PATH [plan flags as in sweep]
  *                       [--priority N] [--no-wait] [--json FILE]
  *                       | --status JOB | --cancel JOB
- *                       | --metrics | --shutdown
+ *                       | --trace JOB
+ *                       | --metrics [--format prometheus]
+ *                       | --shutdown
  *   fetchsim_cli import --in trace.champsim --out gcc.trace
  *                       [--format champsim] [--lenient]
  *                       [--max-insts N] [--manifest FILE]
@@ -149,6 +151,7 @@
 #include "sim/service.h"
 #include "sim/session.h"
 #include "sim/sweep.h"
+#include "stats/log.h"
 #include "stats/table.h"
 #include "workload/benchmark_suite.h"
 
@@ -212,6 +215,25 @@ getOr(const std::map<std::string, std::string> &args,
 {
     auto it = args.find(key);
     return it == args.end() ? fallback : it->second;
+}
+
+/**
+ * Configure the process-wide structured logger from --log-level,
+ * --log-format and --log-file.  Touching Logger::instance() first
+ * applies the FETCHSIM_LOG environment spec, so explicit flags always
+ * win over the environment.  Every command accepts the flags; the
+ * long-running `serve` is where they matter most.
+ */
+void
+applyLogFlags(const std::map<std::string, std::string> &args)
+{
+    Logger &logger = Logger::instance();
+    if (auto it = args.find("log-level"); it != args.end())
+        logger.setLevel(parseLogLevel(it->second).value());
+    if (auto it = args.find("log-format"); it != args.end())
+        logger.setFormat(parseLogFormat(it->second).value());
+    if (auto it = args.find("log-file"); it != args.end())
+        logger.openFile(it->second); // SimException(Io) on failure
 }
 
 /** Split "a,b,c" into its fields. */
@@ -972,8 +994,21 @@ cmdSubmit(const std::map<std::string, std::string> &args)
         return 0;
     }
     if (args.count("metrics")) {
+        // --format prometheus selects the exposition-format document;
+        // the service validates the value (400 on unknown formats).
+        std::string target = "/metrics";
+        if (auto it = args.find("format"); it != args.end())
+            target += "?format=" + it->second;
         const ServiceResponse response =
-            serviceRequest(socket, "GET", "/metrics");
+            serviceRequest(socket, "GET", target);
+        if (response.status != 200)
+            raiseServiceError(response);
+        std::cout << response.body;
+        return 0;
+    }
+    if (args.count("trace")) {
+        const ServiceResponse response = serviceRequest(
+            socket, "GET", "/v1/jobs/" + args.at("trace") + "/trace");
         if (response.status != 200)
             raiseServiceError(response);
         std::cout << response.body;
@@ -1306,11 +1341,23 @@ cmdHelp()
         "  --status JOB        print one job's status JSON\n"
         "  --cancel JOB        cancel a job's unclaimed cells\n"
         "  --metrics           print the service /metrics document\n"
+        "                      (--format text|prometheus selects the\n"
+        "                      exposition format)\n"
+        "  --trace JOB         print a job's Chrome/Perfetto trace "
+        "JSON\n"
         "  --shutdown          ask the service to drain and exit\n"
         "\n"
         "shared by run and sweep:\n"
         "  --external LIST     register NAME=PATH external traces;\n"
         "                      reference them as external:NAME\n"
+        "\n"
+        "structured logging (every command; FETCHSIM_LOG=\n"
+        "level[:format[:path]] sets defaults, flags win):\n"
+        "  --log-level L       debug|info|warn|error|off (default "
+        "info)\n"
+        "  --log-format F      text|json log-line format\n"
+        "  --log-file FILE     append log lines to FILE instead of "
+        "stderr\n"
         "\n"
         "shared by sweep, report and bench (fuzz: --threads only):\n"
         "  --threads N         worker threads (0 = auto)\n"
@@ -1397,6 +1444,7 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     try {
         auto args = parseArgs(argc, argv, 2);
+        applyLogFlags(args);
         if (command == "list")
             return cmdList();
         if (command == "help")

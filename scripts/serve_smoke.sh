@@ -2,12 +2,17 @@
 # End-to-end smoke test of the sweep service (docs/SERVICE.md),
 # wired into CI as the serve-smoke job:
 #
-#  1. start `fetchsim_cli serve` with a result-cache journal,
+#  1. start `fetchsim_cli serve` with a result-cache journal and a
+#     structured JSON log file,
 #  2. submit a small plan and fetch its sweep-identical JSON,
 #  3. submit the identical plan again and assert it was served 100%
 #     from the content-addressed result cache (zero cells simulated,
 #     byte-identical result document),
-#  4. ask the service to drain and assert it exits 0.
+#  4. scrape /metrics?format=prometheus and validate the exposition
+#     document with scripts/validate_prometheus.sh, fetch the job's
+#     Chrome trace, and assert the access log carries one http.access
+#     line per request the service reports having answered,
+#  5. ask the service to drain and assert it exits 0.
 #
 # Usage: serve_smoke.sh <fetchsim_cli> [workdir]
 set -euo pipefail
@@ -20,8 +25,10 @@ mkdir -p "$workdir"
 sock="$workdir/serve.sock"
 journal="$workdir/results.jsonl"
 serve_log="$workdir/serve.log"
+access_log="$workdir/access.jsonl"
 
 "$cli" serve --socket "$sock" --result-cache "$journal" \
+    --log-level info --log-format json --log-file "$access_log" \
     >"$serve_log" 2>&1 &
 serve_pid=$!
 cleanup() { kill "$serve_pid" 2>/dev/null || true; }
@@ -66,6 +73,23 @@ echo "second submission served 100% from the result cache"
 grep -q '^result_cache.hits = 4' "$workdir/metrics.txt"
 grep -q '^service.cells_simulated = 4' "$workdir/metrics.txt"
 
+# The Prometheus rendering of the same registry must pass the
+# dependency-free exposition-format validator.
+"$cli" submit --socket "$sock" --metrics --format prometheus \
+    > "$workdir/metrics.prom"
+"$(dirname "$0")/validate_prometheus.sh" "$workdir/metrics.prom"
+grep -q '^# TYPE service_queue_depth gauge' "$workdir/metrics.prom"
+grep -q '^service_request_latency_us_bucket{le="+Inf"}' \
+    "$workdir/metrics.prom"
+echo "prometheus exposition validated"
+
+# The per-job trace is JSON with Chrome trace events for the queue
+# wait and the per-cell work.
+"$cli" submit --socket "$sock" --trace 1 > "$workdir/job1.trace.json"
+grep -q '"traceEvents"' "$workdir/job1.trace.json"
+grep -q '"queue-wait cell' "$workdir/job1.trace.json"
+echo "job trace fetched"
+
 # The journal holds one line per distinct simulated cell.
 lines=$(grep -c . "$journal")
 [ "$lines" -eq 4 ] || {
@@ -82,4 +106,31 @@ if ! wait "$serve_pid"; then
 fi
 trap - EXIT INT TERM
 echo "serve drained cleanly"
+
+# One structured http.access line per request the service reports in
+# its exit summary ("served N jobs, M requests: ...").
+requests=$(sed -n 's/.*served [0-9]* jobs, \([0-9]*\) requests.*/\1/p' \
+    "$serve_log" | tail -1)
+[ -n "$requests" ] || {
+    echo "serve exit summary missing from $serve_log:" >&2
+    cat "$serve_log" >&2
+    exit 1
+}
+access_lines=$(grep -c '"msg":"http.access"' "$access_log" || true)
+[ "$access_lines" -eq "$requests" ] || {
+    echo "access log has $access_lines http.access lines," \
+         "service answered $requests requests" >&2
+    exit 1
+}
+# Every access line is one JSON object with the schema fields.
+! grep -v '^{.*}$' "$access_log" >/dev/null || {
+    echo "non-JSON line in $access_log" >&2
+    exit 1
+}
+grep '"msg":"http.access"' "$access_log" | head -1 | \
+    grep -q '"request_id":.*"method":.*"path":.*"status":.*"latency_us":' || {
+    echo "http.access line missing schema fields" >&2
+    exit 1
+}
+echo "access log: $access_lines lines for $requests requests"
 echo "serve smoke OK"

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Dependency-free validator for the Prometheus text exposition format
+# (version 0.0.4) as produced by `GET /metrics?format=prometheus`.
+#
+# Checks, per line:
+#   - comments are exactly `# HELP <name> ...` or `# TYPE <name>
+#     <counter|gauge|histogram|summary|untyped>`;
+#   - samples are `name[{labels}] value` with a legal metric name
+#     ([a-zA-Z_:][a-zA-Z0-9_:]*) and a numeric value;
+#   - every sample's base name was declared by a preceding # TYPE;
+#   - histogram `<name>_bucket` series end with an le="+Inf" bucket
+#     whose count equals `<name>_count`.
+#
+# Usage: validate_prometheus.sh <file>   (or `-` / no arg for stdin)
+set -euo pipefail
+
+input=${1:--}
+
+awk '
+function fail(msg) {
+    printf "validate_prometheus: line %d: %s: %s\n", NR, msg, $0 \
+        > "/dev/stderr"
+    bad = 1
+}
+BEGIN { bad = 0 }
+/^$/ { fail("blank line"); next }
+/^#/ {
+    if ($0 ~ /^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* /) next
+    if ($0 ~ /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$/) {
+        typed[$3] = $4
+        next
+    }
+    fail("malformed comment")
+    next
+}
+{
+    # name{labels} value  |  name value
+    if (match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) {
+        fail("bad metric name")
+        next
+    }
+    name = substr($0, 1, RLENGTH)
+    rest = substr($0, RLENGTH + 1)
+    labels = ""
+    if (rest ~ /^\{/) {
+        close_at = index(rest, "}")
+        if (close_at == 0) { fail("unterminated label set"); next }
+        labels = substr(rest, 2, close_at - 2)
+        rest = substr(rest, close_at + 1)
+    }
+    if (rest !~ /^ [^ ]+$/) { fail("malformed value"); next }
+    value = substr(rest, 2)
+    if (value !~ /^[+-]?([0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|Inf|NaN)$/) {
+        fail("non-numeric value")
+        next
+    }
+
+    # Resolve the declared base name: histogram series append
+    # _bucket/_sum/_count to the # TYPE name.
+    base = name
+    if (!(base in typed)) {
+        sub(/_(bucket|sum|count)$/, "", base)
+    }
+    if (!(base in typed)) {
+        fail("sample without a # TYPE declaration")
+        next
+    }
+    samples[name]++
+    if (typed[base] == "histogram") {
+        if (name == base "_bucket" && labels ~ /le="\+Inf"/)
+            inf_count[base] = value
+        if (name == base "_count")
+            total_count[base] = value
+    }
+}
+END {
+    for (base in typed) {
+        if (typed[base] != "histogram") continue
+        if (!(base in inf_count)) {
+            printf "validate_prometheus: histogram %s has no " \
+                   "le=\"+Inf\" bucket\n", base > "/dev/stderr"
+            bad = 1
+        } else if (inf_count[base] != total_count[base]) {
+            printf "validate_prometheus: histogram %s: +Inf bucket " \
+                   "%s != count %s\n", base, inf_count[base], \
+                   total_count[base] > "/dev/stderr"
+            bad = 1
+        }
+    }
+    if (bad) exit 1
+    n = 0
+    for (name in samples) n += samples[name]
+    printf "validate_prometheus: OK (%d samples)\n", n
+}
+' "$input"

@@ -44,6 +44,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -182,6 +183,36 @@ class Expected
 
   private:
     std::variant<T, SimError> state_;
+};
+
+/**
+ * Expected<void>: success carries no value, so the state is just
+ * "ok" or the SimError.  value() keeps the throw-on-error contract
+ * so `result.value();` works as an assert-or-propagate statement.
+ */
+template <>
+class Expected<void>
+{
+  public:
+    Expected() = default;
+    Expected(SimError error) : error_(std::move(error)) {}
+
+    bool ok() const { return !error_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** Throws the held error when !ok(); no-op otherwise. */
+    void
+    value() const
+    {
+        if (!ok())
+            throw SimException(*error_);
+    }
+
+    /** The held error (must not be called when ok()). */
+    const SimError &error() const { return *error_; }
+
+  private:
+    std::optional<SimError> error_;
 };
 
 } // namespace fetchsim

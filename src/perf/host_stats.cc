@@ -67,19 +67,21 @@ processPeakRssBytes()
 void
 exportProcessMetrics(MetricRegistry &registry, std::uint64_t uptime_ns)
 {
+    // cpu_ns only ever grows, so it is a true counter; the other two
+    // are point-in-time readings and export as gauges.
     registry
         .counter("host.cpu_ns",
                  "process CPU time consumed, nanoseconds")
         .inc(processCpuNowNs());
     registry
-        .counter("host.peak_rss_bytes",
-                 "peak resident set size of the process")
-        .inc(processPeakRssBytes());
+        .gauge("host.peak_rss_bytes",
+               "peak resident set size of the process")
+        .set(static_cast<std::int64_t>(processPeakRssBytes()));
     if (uptime_ns) {
         registry
-            .counter("host.uptime_ns",
-                     "wall time since the service started")
-            .inc(uptime_ns);
+            .gauge("host.uptime_ns",
+                   "wall time since the service started")
+            .set(static_cast<std::int64_t>(uptime_ns));
     }
 }
 

@@ -129,9 +129,11 @@ ResultCache::exportMetrics(MetricRegistry &registry) const
         .counter("result_cache.loaded",
                  "entries loaded from the journal at startup")
         .inc(snapshot.loaded);
+    // Entry count is point-in-time (entries can be evicted by the
+    // budget), so it exports as a gauge, not a counter.
     registry
-        .counter("result_cache.entries", "content keys currently cached")
-        .inc(snapshot.entries);
+        .gauge("result_cache.entries", "content keys currently cached")
+        .set(static_cast<std::int64_t>(snapshot.entries));
 }
 
 } // namespace fetchsim

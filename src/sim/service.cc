@@ -1,5 +1,6 @@
 #include "sim/service.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
@@ -18,6 +19,7 @@
 #include "fetch/scheme_registry.h"
 #include "perf/host_stats.h"
 #include "perf/profiler.h"
+#include "perf/trace_export.h"
 #include "sim/report.h"
 #include "stats/json.h"
 #include "stats/log.h"
@@ -71,6 +73,51 @@ terminalState(JobState state)
 {
     return state == JobState::Done || state == JobState::Cancelled ||
            state == JobState::Drained;
+}
+
+// 16-hex-digit trace id: FNV-1a over (job id, submission time).
+// Unique enough to grep one job's lines out of a long-running
+// service's log, and stable for the job's whole lifetime.
+std::string
+traceIdFor(std::uint64_t job, std::uint64_t submit_ns)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    const auto mix = [&hash](std::uint64_t word) {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (word >> (i * 8)) & 0xff;
+            hash *= 1099511628211ull;
+        }
+    };
+    mix(job);
+    mix(submit_ns);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+// Nearest-rank percentile summary of an (unsorted) sample set.
+LatencySummary
+summarizeLatency(std::vector<std::uint64_t> samples)
+{
+    LatencySummary summary;
+    if (samples.empty())
+        return summary;
+    std::sort(samples.begin(), samples.end());
+    const auto rank = [&samples](double p) {
+        std::size_t r = static_cast<std::size_t>(
+            p * static_cast<double>(samples.size()) + 0.999999);
+        if (r == 0)
+            r = 1;
+        if (r > samples.size())
+            r = samples.size();
+        return samples[r - 1];
+    };
+    summary.count = samples.size();
+    summary.p50Us = rank(0.50);
+    summary.p95Us = rank(0.95);
+    summary.maxUs = samples.back();
+    return summary;
 }
 
 // ------------------------- HTTP plumbing -------------------------
@@ -131,6 +178,18 @@ httpResponse(int status, const std::string &content_type,
        << "\r\nConnection: close\r\n\r\n"
        << body;
     return os.str();
+}
+
+// The status code of a response built by httpResponse(), for the
+// access log ("HTTP/1.1 404 ..." -> 404).
+int
+responseStatus(const std::string &response)
+{
+    const std::size_t sp = response.find(' ');
+    if (sp == std::string::npos)
+        return 0;
+    return std::atoi(response.c_str() +
+                     static_cast<std::ptrdiff_t>(sp) + 1);
 }
 
 std::string
@@ -420,6 +479,20 @@ writeSnapshotJson(JsonWriter &json, const JobSnapshot &snap)
     json.key("skipped")
         .value(static_cast<std::uint64_t>(snap.skipped));
     json.key("cancel_requested").value(snap.cancelRequested);
+    json.key("trace_id").value(snap.traceId);
+    const auto writeSummary = [&json](const char *key,
+                                      const LatencySummary &summary) {
+        json.key(key).beginObject();
+        json.key("count").value(summary.count);
+        json.key("p50").value(summary.p50Us);
+        json.key("p95").value(summary.p95Us);
+        json.key("max").value(summary.maxUs);
+        json.endObject();
+    };
+    json.key("latency").beginObject();
+    writeSummary("queue_wait_us", snap.queueWait);
+    writeSummary("cell_us", snap.cell);
+    json.endObject();
     json.endObject();
 }
 
@@ -578,6 +651,18 @@ SweepService::SweepService(ServiceOptions options)
       threads_(resolveThreads(options_.threads)),
       cache_(options_.resultCache)
 {
+    // Registered up front so an early /metrics scrape sees the full
+    // (empty) histogram set, not a shape that changes with traffic.
+    latency_metrics_.histogram(
+        "service.request_latency_us", latencyBucketBoundsUs(),
+        "HTTP request handling latency, microseconds");
+    latency_metrics_.histogram(
+        "service.queue_wait_us", latencyBucketBoundsUs(),
+        "cell latency from enqueue to worker claim, microseconds");
+    latency_metrics_.histogram(
+        "service.simulate_us", latencyBucketBoundsUs(),
+        "per-cell simulation time on the shared session, "
+        "microseconds");
 }
 
 SweepService::~SweepService()
@@ -662,9 +747,16 @@ SweepService::start()
     start_ns_ = monotonicNowNs();
     started_ = true;
     workers_.reserve(static_cast<std::size_t>(threads_));
-    for (int i = 0; i < threads_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (int i = 0; i < threads_; ++i) {
+        const auto worker = static_cast<std::uint32_t>(i);
+        workers_.emplace_back([this, worker] { workerLoop(worker); });
+    }
     acceptor_ = std::thread([this] { acceptLoop(); });
+    LOG_INFO("service.start",
+             {{"socket", options_.socketPath},
+              {"workers", threads_},
+              {"max_queued_cells",
+               static_cast<std::uint64_t>(options_.maxQueuedCells)}});
 }
 
 void
@@ -769,19 +861,30 @@ SweepService::submit(std::vector<RunConfig> configs, int priority)
     job->priority = priority;
     job->configs = std::move(configs);
     job->keys = std::move(keys);
+    const std::uint64_t submit_ns = monotonicNowNs();
+    job->traceId = traceIdFor(job->id, submit_ns);
     const std::size_t cells = job->configs.size();
     job->runs.resize(cells);
     for (std::size_t i = 0; i < cells; ++i)
         job->runs[i].config = job->configs[i];
     job->statuses.resize(cells);
+    job->spans.reserve(cells * 3 + 1);
+    job->queueWaitUs.reserve(cells);
+    job->cellUs.reserve(cells);
     for (std::size_t i = 0; i < cells; ++i)
-        queue_.push(Unit{priority, job->id, i});
+        queue_.push(Unit{priority, job->id, i, submit_ns});
     stats_.queuedCells += cells;
     ++stats_.jobsSubmitted;
 
     const std::uint64_t id = job->id;
+    const std::string trace_id = job->traceId;
     jobs_.emplace(id, std::move(job));
     work_cv_.notify_all();
+    LOG_INFO("job.submitted",
+             {{"job", id},
+              {"trace_id", trace_id},
+              {"cells", static_cast<std::uint64_t>(cells)},
+              {"priority", priority}});
     return id;
 }
 
@@ -850,15 +953,15 @@ SweepService::stats() const
     return stats_;
 }
 
-std::string
-SweepService::metricsText() const
+void
+SweepService::exportMetrics(MetricRegistry &registry) const
 {
     ServiceStats snapshot;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         snapshot = stats_;
+        registry.merge(latency_metrics_);
     }
-    MetricRegistry registry;
     registry.counter("service.jobs_submitted", "jobs accepted")
         .inc(snapshot.jobsSubmitted);
     registry
@@ -883,17 +986,67 @@ SweepService::metricsText() const
         .counter("service.cells_skipped",
                  "cells skipped by cancellation or drain")
         .inc(snapshot.cellsSkipped);
+    // Point-in-time values are gauges: a scraper rate()ing a shrinking
+    // queue exported as a counter would see nonsense.
     registry
-        .counter("service.queue_depth",
-                 "cells queued and not yet claimed")
-        .inc(snapshot.queuedCells);
+        .gauge("service.queue_depth",
+               "cells queued and not yet claimed")
+        .set(static_cast<std::int64_t>(snapshot.queuedCells));
+    registry
+        .gauge("service.active_connections",
+               "HTTP connections currently open")
+        .set(active_connections_.load(std::memory_order_relaxed));
     registry.counter("service.requests", "HTTP requests handled")
         .inc(snapshot.requests);
     cache_.exportMetrics(registry);
     session_.exportReplayMetrics(registry);
     exportProcessMetrics(registry,
                          start_ns_ ? monotonicNowNs() - start_ns_ : 0);
+}
+
+std::string
+SweepService::metricsText() const
+{
+    MetricRegistry registry;
+    exportMetrics(registry);
     return registry.formatText();
+}
+
+std::string
+SweepService::metricsPrometheus() const
+{
+    MetricRegistry registry;
+    exportMetrics(registry);
+    return registry.formatPrometheus();
+}
+
+Expected<std::string>
+SweepService::jobTrace(std::uint64_t job_id) const
+{
+    std::vector<PerfEvent> spans;
+    std::string process_name;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = jobs_.find(job_id);
+        if (it == jobs_.end())
+            return SimError{ErrorKind::Config,
+                            "unknown job: " + std::to_string(job_id),
+                            ""};
+        spans = it->second->spans;
+        process_name = "fetchsim job " + std::to_string(job_id) +
+                       " trace " + it->second->traceId;
+    }
+    std::sort(spans.begin(), spans.end(),
+              [](const PerfEvent &a, const PerfEvent &b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.seq < b.seq;
+              });
+    std::ostringstream os;
+    writeChromeTrace(os, spans, process_name);
+    return os.str();
 }
 
 JobSnapshot
@@ -910,6 +1063,9 @@ SweepService::snapshotLocked(const Job &job) const
     snap.failed = job.failed;
     snap.skipped = job.skipped;
     snap.cancelRequested = job.cancelRequested;
+    snap.traceId = job.traceId;
+    snap.queueWait = summarizeLatency(job.queueWaitUs);
+    snap.cell = summarizeLatency(job.cellUs);
     return snap;
 }
 
@@ -923,7 +1079,7 @@ SweepService::allTerminalLocked() const
 }
 
 void
-SweepService::finalizeJobLocked(Job &job)
+SweepService::finalizeJobLocked(Job &job, std::uint32_t worker)
 {
     if (job.skipped == 0) {
         job.state = JobState::Done;
@@ -937,15 +1093,31 @@ SweepService::finalizeJobLocked(Job &job)
     // The exact bytes `sweep --json` writes for this run list; cached
     // and simulated cells are indistinguishable here because runs are
     // bit-deterministic.
+    const std::uint64_t t0 = monotonicNowNs();
     std::ostringstream os;
     writeRunsJson(os, job.runs);
     job.resultJson = os.str();
+    job.spans.push_back(PerfEvent{"result-render", t0,
+                                  monotonicNowNs() - t0, worker,
+                                  job.spanSeq++});
+    LOG_INFO("job.done",
+             {{"job", job.id},
+              {"trace_id", job.traceId},
+              {"state", jobStateName(job.state)},
+              {"cache_hits",
+               static_cast<std::uint64_t>(job.cacheHits)},
+              {"simulated",
+               static_cast<std::uint64_t>(job.simulated)},
+              {"failed", static_cast<std::uint64_t>(job.failed)},
+              {"skipped", static_cast<std::uint64_t>(job.skipped)}});
 }
 
 void
 SweepService::accountCell(Job &job, std::size_t cell,
                           RunOutcome outcome, const SimError &error,
-                          bool cache_hit)
+                          bool cache_hit, std::uint32_t worker,
+                          std::uint64_t claim_ns,
+                          std::vector<PerfEvent> spans)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     RunStatus &status = job.statuses[cell];
@@ -972,48 +1144,102 @@ SweepService::accountCell(Job &job, std::size_t cell,
         ++stats_.cellsSkipped;
         break;
     }
+    // Claimed (non-skipped) cells close their cell-claim span and
+    // contribute a latency sample; the nested simulate/cache-serve
+    // spans recorded by runCell ride along.
+    if (outcome != RunOutcome::Skipped) {
+        const std::uint64_t now = monotonicNowNs();
+        const std::uint64_t cell_ns =
+            now > claim_ns ? now - claim_ns : 0;
+        job.spans.push_back(
+            PerfEvent{"cell-claim cell " + std::to_string(cell),
+                      claim_ns, cell_ns, worker, job.spanSeq++});
+        for (PerfEvent &span : spans) {
+            span.seq = job.spanSeq++;
+            job.spans.push_back(std::move(span));
+        }
+        job.cellUs.push_back(cell_ns / 1000);
+    }
     ++job.done;
     if (job.done == job.configs.size())
-        finalizeJobLocked(job);
+        finalizeJobLocked(job, worker);
     job_cv_.notify_all();
 }
 
 void
-SweepService::runCell(Job &job, std::size_t cell)
+SweepService::runCell(Job &job, std::size_t cell,
+                      std::uint32_t worker)
 {
     PERF_SCOPE("service.cell");
     const RunConfig &config = job.configs[cell];
     const std::uint64_t key = job.keys[cell];
+    const std::uint64_t claim_ns = monotonicNowNs();
+    const std::string cell_tag = " cell " + std::to_string(cell);
+
+    // Spans built outside mutex_ and appended by accountCell, which
+    // already serializes on it.
+    std::vector<PerfEvent> spans;
 
     RunCounters cached;
-    if (cache_.acquire(key, cached) == ResultCache::Outcome::Hit) {
-        job.runs[cell].counters = cached;
-        accountCell(job, cell, RunOutcome::Ok, SimError{}, true);
+    bool cache_hit = false;
+    {
+        PERF_SCOPE("service.cache_serve");
+        const std::uint64_t t0 = monotonicNowNs();
+        cache_hit =
+            cache_.acquire(key, cached) == ResultCache::Outcome::Hit;
+        if (cache_hit) {
+            job.runs[cell].counters = cached;
+            spans.push_back(PerfEvent{"cache-serve" + cell_tag, t0,
+                                      monotonicNowNs() - t0, worker,
+                                      0});
+        }
+    }
+    if (cache_hit) {
+        accountCell(job, cell, RunOutcome::Ok, SimError{}, true,
+                    worker, claim_ns, std::move(spans));
         return;
     }
     try {
-        job.runs[cell] = session_.run(config, RunInstrumentation{}, 0,
-                                      options_.replay);
+        const std::uint64_t t0 = monotonicNowNs();
+        {
+            PERF_SCOPE("service.simulate");
+            job.runs[cell] = session_.run(config,
+                                          RunInstrumentation{}, 0,
+                                          options_.replay);
+        }
+        const std::uint64_t sim_ns = monotonicNowNs() - t0;
+        spans.push_back(PerfEvent{"simulate" + cell_tag, t0, sim_ns,
+                                  worker, 0});
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            latency_metrics_
+                .histogram("service.simulate_us",
+                           latencyBucketBoundsUs())
+                .record(sim_ns / 1000);
+        }
         cache_.fulfill(key, job.runs[cell].counters);
-        accountCell(job, cell, RunOutcome::Ok, SimError{}, false);
+        accountCell(job, cell, RunOutcome::Ok, SimError{}, false,
+                    worker, claim_ns, std::move(spans));
     } catch (const SimException &e) {
         cache_.abandon(key);
-        accountCell(job, cell, RunOutcome::Failed, e.error(), false);
+        accountCell(job, cell, RunOutcome::Failed, e.error(), false,
+                    worker, claim_ns, std::move(spans));
     } catch (const std::exception &e) {
         cache_.abandon(key);
         accountCell(job, cell, RunOutcome::Failed,
                     SimError{ErrorKind::Internal, e.what(), ""},
-                    false);
+                    false, worker, claim_ns, std::move(spans));
     }
 }
 
 void
-SweepService::workerLoop()
+SweepService::workerLoop(std::uint32_t worker)
 {
     for (;;) {
         Unit unit;
         Job *job = nullptr;
         bool skip = false;
+        std::uint64_t claim_ns = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [this] {
@@ -1030,12 +1256,36 @@ SweepService::workerLoop()
                    job->cancelRequested;
             if (!skip && job->state == JobState::Queued)
                 job->state = JobState::Running;
+
+            // The queue-wait span ends the moment this worker claims
+            // the cell; recorded here because the job's span list and
+            // the latency histograms live under mutex_ anyway.
+            claim_ns = monotonicNowNs();
+            const std::uint64_t wait_ns =
+                claim_ns > unit.enqueueNs ? claim_ns - unit.enqueueNs
+                                          : 0;
+            job->spans.push_back(
+                PerfEvent{"queue-wait cell " +
+                              std::to_string(unit.cell),
+                          unit.enqueueNs, wait_ns, worker,
+                          job->spanSeq++});
+            job->queueWaitUs.push_back(wait_ns / 1000);
+            latency_metrics_
+                .histogram("service.queue_wait_us",
+                           latencyBucketBoundsUs())
+                .record(wait_ns / 1000);
         }
+        LOG_DEBUG("cell.claim",
+                  {{"job", unit.job},
+                   {"trace_id", job->traceId},
+                   {"cell", static_cast<std::uint64_t>(unit.cell)},
+                   {"worker", worker},
+                   {"skip", skip}});
         if (skip)
             accountCell(*job, unit.cell, RunOutcome::Skipped,
-                        SimError{}, false);
+                        SimError{}, false, worker, claim_ns, {});
         else
-            runCell(*job, unit.cell);
+            runCell(*job, unit.cell, worker);
     }
 }
 
@@ -1087,6 +1337,32 @@ SweepService::handleConnection(int fd)
     setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
                sizeof(timeout));
 
+    const std::uint64_t request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t start_ns = monotonicNowNs();
+
+    // One access-log line per request that gets a response, with the
+    // request's wall-clock latency fed into the service histogram.
+    const auto finish = [&](const std::string &method,
+                            const std::string &path, int status) {
+        const std::uint64_t now = monotonicNowNs();
+        const std::uint64_t latency_us =
+            now > start_ns ? (now - start_ns) / 1000 : 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            latency_metrics_
+                .histogram("service.request_latency_us",
+                           latencyBucketBoundsUs())
+                .record(latency_us);
+        }
+        LOG_INFO("http.access",
+                 {{"request_id", request_id},
+                  {"method", method},
+                  {"path", path},
+                  {"status", status},
+                  {"latency_us", latency_us}});
+    };
+
     auto parsed = readHttpRequest(fd);
     if (!parsed.ok()) {
         if (parsed.error().kind == ErrorKind::Protocol) {
@@ -1094,6 +1370,13 @@ SweepService::handleConnection(int fd)
                 parsed.error().context == kHttp413Context ? 413 : 400;
             sendAll(fd, httpResponse(status, "application/json",
                                      errorJson(parsed.error())));
+            finish("-", "-", status);
+        } else {
+            // The peer vanished before framing a request; nothing was
+            // answered, so no access-log line either.
+            LOG_DEBUG("http.drop",
+                      {{"request_id", request_id},
+                       {"reason", parsed.error().message}});
         }
         close(fd);
         return;
@@ -1117,6 +1400,7 @@ SweepService::handleConnection(int fd)
             errorJson(SimError{ErrorKind::Internal, e.what(), ""}));
     }
     sendAll(fd, response);
+    finish(request.method, request.path, responseStatus(response));
     close(fd);
 }
 
@@ -1150,6 +1434,20 @@ routeRequest(SweepService &service, const HttpRequest &request)
             return httpResponse(
                 405, "application/json",
                 errorJson(protocolError("use GET " + path)));
+        std::string format = "text";
+        if (request.query.count("format"))
+            format = request.query.at("format");
+        if (format == "prometheus") {
+            return httpResponse(
+                200, "text/plain; version=0.0.4; charset=utf-8",
+                service.metricsPrometheus());
+        }
+        if (format != "text")
+            return httpResponse(
+                400, "application/json",
+                errorJson(protocolError(
+                    "unknown metrics format '" + format +
+                    "' (text|prometheus)")));
         return httpResponse(200, "text/plain; charset=utf-8",
                             service.metricsText());
     }
@@ -1256,6 +1554,18 @@ routeRequest(SweepService &service, const HttpRequest &request)
             }
             return httpResponse(200, "application/json",
                                 result.value());
+        }
+        if (tail == "trace") {
+            if (method != "GET")
+                return httpResponse(
+                    405, "application/json",
+                    errorJson(protocolError("use GET " + path)));
+            auto trace = service.jobTrace(id);
+            if (!trace.ok())
+                return httpResponse(404, "application/json",
+                                    errorJson(trace.error()));
+            return httpResponse(200, "application/json",
+                                trace.value());
         }
         if (tail == "cancel") {
             if (method != "POST")

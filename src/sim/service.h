@@ -59,9 +59,11 @@
 #include <vector>
 
 #include "core/error.h"
+#include "perf/profiler.h"
 #include "sim/result_cache.h"
 #include "sim/sweep.h"
 #include "stats/json_parse.h"
+#include "stats/metrics.h"
 
 namespace fetchsim
 {
@@ -132,6 +134,18 @@ struct ServiceStats
     std::uint64_t requests = 0;     //!< HTTP requests handled
 };
 
+/**
+ * Nearest-rank percentile summary of one latency sample set, in
+ * microseconds.  All zeros when no samples were recorded yet.
+ */
+struct LatencySummary
+{
+    std::uint64_t count = 0; //!< samples summarized
+    std::uint64_t p50Us = 0; //!< median (nearest-rank)
+    std::uint64_t p95Us = 0; //!< 95th percentile (nearest-rank)
+    std::uint64_t maxUs = 0; //!< largest sample
+};
+
 /** One job's externally visible progress snapshot. */
 struct JobSnapshot
 {
@@ -145,6 +159,9 @@ struct JobSnapshot
     std::size_t failed = 0;     //!< cells whose run threw
     std::size_t skipped = 0;    //!< cells skipped (cancel/drain)
     bool cancelRequested = false; //!< cancel() was called on the job
+    std::string traceId;      //!< hex trace id (assigned at submission)
+    LatencySummary queueWait; //!< enqueue -> worker-claim latency
+    LatencySummary cell;      //!< worker-claim -> accounted latency
 };
 
 /**
@@ -253,11 +270,30 @@ class SweepService
 
     /**
      * The `/metrics` document: a MetricRegistry text dump combining
-     * service.* counters, result_cache.* (ResultCache::exportMetrics),
-     * replay.* (Session::exportReplayMetrics) and host.*
+     * service.* counters and gauges, the request/queue/simulation
+     * latency histograms, result_cache.*
+     * (ResultCache::exportMetrics), replay.*
+     * (Session::exportReplayMetrics) and host.*
      * (exportProcessMetrics).
      */
     std::string metricsText() const;
+
+    /**
+     * The same registry as metricsText() in Prometheus text
+     * exposition format (MetricRegistry::formatPrometheus), served
+     * from `/metrics?format=prometheus`.
+     */
+    std::string metricsPrometheus() const;
+
+    /**
+     * The completed or in-flight job's span timeline as
+     * Chrome-trace/Perfetto JSON (perf/trace_export.h): one
+     * queue-wait and one cell-claim span per claimed cell, with
+     * nested simulate / cache-serve phases and the final
+     * result-render, on one track per worker.  Returns a Config
+     * error for an unknown id.  Served from `GET /v1/jobs/ID/trace`.
+     */
+    Expected<std::string> jobTrace(std::uint64_t job) const;
 
     /** The resolved worker-thread count. */
     int threads() const { return threads_; }
@@ -281,6 +317,7 @@ class SweepService
         int priority = 0;        //!< job priority (higher first)
         std::uint64_t job = 0;   //!< job id (lower = earlier, FIFO)
         std::size_t cell = 0;    //!< plan index within the job
+        std::uint64_t enqueueNs = 0; //!< queue-wait span start
     };
 
     /** Priority order: priority desc, job asc, cell asc. */
@@ -313,15 +350,23 @@ class SweepService
         std::size_t failed = 0;
         std::size_t skipped = 0;
         std::string resultJson; //!< built once at completion
+        std::string traceId;    //!< hex trace id (submission time)
+        std::vector<PerfEvent> spans; //!< per-job span timeline
+        std::uint64_t spanSeq = 0;    //!< next span sequence number
+        std::vector<std::uint64_t> queueWaitUs; //!< per-cell samples
+        std::vector<std::uint64_t> cellUs;      //!< per-cell samples
     };
 
-    void workerLoop();
+    void workerLoop(std::uint32_t worker);
     void acceptLoop();
     void handleConnection(int fd);
-    void runCell(Job &job, std::size_t cell);
+    void runCell(Job &job, std::size_t cell, std::uint32_t worker);
     void accountCell(Job &job, std::size_t cell, RunOutcome outcome,
-                     const SimError &error, bool cache_hit);
-    void finalizeJobLocked(Job &job);
+                     const SimError &error, bool cache_hit,
+                     std::uint32_t worker, std::uint64_t claim_ns,
+                     std::vector<PerfEvent> spans);
+    void finalizeJobLocked(Job &job, std::uint32_t worker);
+    void exportMetrics(MetricRegistry &registry) const;
     JobSnapshot snapshotLocked(const Job &job) const;
     bool allTerminalLocked() const;
 
@@ -337,6 +382,14 @@ class SweepService
     std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
     std::uint64_t next_job_id_ = 1;
     ServiceStats stats_;
+    /**
+     * Service-side latency histograms (request latency, queue wait,
+     * per-cell simulation), guarded by mutex_ and merged into each
+     * /metrics scrape's registry.  Shared latencyBucketBoundsUs()
+     * buckets, so shards of a future multi-process deployment merge.
+     */
+    MetricRegistry latency_metrics_;
+    std::atomic<std::uint64_t> next_request_id_{0};
 
     std::atomic<bool> draining_{false};
     std::atomic<bool> stopping_{false};

@@ -605,14 +605,16 @@ Session::exportReplayMetrics(MetricRegistry &registry) const
         .counter("replay.recorded_insts",
                  "dynamic instructions recorded into the cache")
         .inc(stats.recordedInsts);
+    // Byte occupancy is point-in-time (entries can be dropped), so
+    // both export as gauges.
     registry
-        .counter("replay.bytes_in_memory",
-                 "DynTrace bytes held by the cache")
-        .inc(stats.bytesInMemory);
+        .gauge("replay.bytes_in_memory",
+               "DynTrace bytes held by the cache")
+        .set(static_cast<std::int64_t>(stats.bytesInMemory));
     registry
-        .counter("replay.bytes_spilled",
-                 "FSTR spill-file bytes written by the cache")
-        .inc(stats.bytesSpilled);
+        .gauge("replay.bytes_spilled",
+               "FSTR spill-file bytes written by the cache")
+        .set(static_cast<std::int64_t>(stats.bytesSpilled));
 }
 
 } // namespace fetchsim

@@ -289,6 +289,15 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
                 host.retired = sweep.runs[i].counters.retired;
                 status.outcome = RunOutcome::Ok;
                 status.error = SimError{};
+                // Routed through the serialized logger sink, so
+                // parallel workers never interleave lines.
+                LOG_DEBUG("sweep.cell",
+                          {{"cell", i},
+                           {"benchmark", configs[i].benchmark},
+                           {"machine", machineName(configs[i].machine)},
+                           {"scheme", schemeName(configs[i].scheme)},
+                           {"attempt", attempt},
+                           {"wall_us", host.wallNs / 1000}});
                 return true;
             } catch (const SimException &e) {
                 status.outcome = RunOutcome::Failed;

@@ -1,40 +1,394 @@
 #include "stats/log.h"
 
-#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+#include "stats/json.h"
 
 namespace fetchsim
 {
 
-void
-logMessage(const char *label, const std::string &msg)
+Expected<void> applyLogSpecTo(Logger &logger, const std::string &spec);
+
+std::atomic<std::uint8_t> Logger::threshold_{
+    static_cast<std::uint8_t>(LogLevel::Info)};
+
+const char *
+logLevelName(LogLevel level)
 {
-    std::fprintf(stderr, "%s: %s\n", label, msg.c_str());
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Off:
+        return "off";
+    }
+    return "info";
+}
+
+const char *
+logFormatName(LogFormat format)
+{
+    return format == LogFormat::Jsonl ? "json" : "text";
+}
+
+Expected<LogLevel>
+parseLogLevel(const std::string &text)
+{
+    if (text == "debug")
+        return LogLevel::Debug;
+    if (text == "info")
+        return LogLevel::Info;
+    if (text == "warn" || text == "warning")
+        return LogLevel::Warn;
+    if (text == "error")
+        return LogLevel::Error;
+    if (text == "off" || text == "none")
+        return LogLevel::Off;
+    return SimError{ErrorKind::Config,
+                    "unknown log level '" + text +
+                        "' (expected debug|info|warn|error|off)"};
+}
+
+Expected<LogFormat>
+parseLogFormat(const std::string &text)
+{
+    if (text == "text" || text == "logfmt")
+        return LogFormat::Text;
+    if (text == "json" || text == "jsonl")
+        return LogFormat::Jsonl;
+    return SimError{ErrorKind::Config,
+                    "unknown log format '" + text +
+                        "' (expected text|json)"};
+}
+
+struct Logger::Impl
+{
+    std::mutex mutex;
+    std::FILE *file = nullptr;       //!< nullptr = stderr
+    std::string *capture = nullptr;  //!< test hook
+    LogFormat format = LogFormat::Text;
+    bool timestamps = true;
+};
+
+Logger::Logger() : impl_(new Impl) {}
+
+// The Logger is never destroyed (instance() leaks it deliberately so
+// logging works during static destruction), but keep the destructor
+// well-formed for completeness.
+Logger::~Logger()
+{
+    if (impl_->file)
+        std::fclose(impl_->file);
+    delete impl_;
+}
+
+Logger &
+Logger::instance()
+{
+    static Logger *logger = [] {
+        Logger *made = new Logger();
+        // Environment config is best-effort: a malformed field keeps
+        // the default rather than killing the process before main().
+        if (const char *env = std::getenv("FETCHSIM_LOG")) {
+            if (*env) {
+                try {
+                    (void)applyLogSpecTo(*made, env);
+                } catch (...) {
+                }
+            }
+        }
+        return made;
+    }();
+    return *logger;
+}
+
+void
+Logger::setLevel(LogLevel level)
+{
+    threshold_.store(static_cast<std::uint8_t>(level),
+                     std::memory_order_relaxed);
+}
+
+void
+Logger::setFormat(LogFormat format)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->format = format;
+}
+
+LogFormat
+Logger::format() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->format;
+}
+
+void
+Logger::openFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "a");
+    if (!file)
+        throw SimException(ErrorKind::Io,
+                           "cannot open log file '" + path + "'");
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->file)
+        std::fclose(impl_->file);
+    impl_->file = file;
+}
+
+void
+Logger::setCapture(std::string *capture)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->capture = capture;
+}
+
+void
+Logger::setTimestamps(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->timestamps = enabled;
+}
+
+namespace
+{
+
+/** "2026-08-08T12:34:56.123456Z" (UTC, microsecond precision). */
+std::string
+formatTimestamp()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_REALTIME, &ts);
+    std::tm tm{};
+    gmtime_r(&ts.tv_sec, &tm);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%06ldZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  ts.tv_nsec / 1000);
+    return buf;
+}
+
+/** logfmt value: raw when it needs no quoting, "quoted" otherwise. */
+void
+appendTextValue(std::string &out, const std::string &value, bool quoted)
+{
+    bool needs_quotes = quoted || value.empty();
+    for (char c : value) {
+        if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+            c == '\n' || c == '\t') {
+            needs_quotes = true;
+            break;
+        }
+    }
+    if (!needs_quotes) {
+        out += value;
+        return;
+    }
+    out += '"';
+    for (char c : value) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+void
+appendJsonValue(std::string &out, const std::string &value, bool quoted)
+{
+    if (!quoted) {
+        // Numbers and booleans go out raw; an empty rendering would
+        // produce invalid JSON, so guard with null.
+        out += value.empty() ? "null" : value;
+        return;
+    }
+    out += '"';
+    out += jsonEscape(value);
+    out += '"';
+}
+
+} // namespace
+
+std::string
+Logger::formatLine(LogLevel level, const std::string &msg,
+                   const LogField *fields, std::size_t count) const
+{
+    // Caller holds impl_->mutex.
+    std::string out;
+    out.reserve(64 + msg.size() + count * 24);
+    if (impl_->format == LogFormat::Jsonl) {
+        out += '{';
+        if (impl_->timestamps) {
+            out += "\"ts\":\"";
+            out += formatTimestamp();
+            out += "\",";
+        }
+        out += "\"level\":\"";
+        out += logLevelName(level);
+        out += "\",\"msg\":\"";
+        out += jsonEscape(msg);
+        out += '"';
+        for (std::size_t i = 0; i < count; ++i) {
+            out += ",\"";
+            out += jsonEscape(fields[i].key);
+            out += "\":";
+            appendJsonValue(out, fields[i].value, fields[i].quoted);
+        }
+        out += '}';
+    } else {
+        if (impl_->timestamps) {
+            out += "ts=";
+            out += formatTimestamp();
+            out += ' ';
+        }
+        out += "level=";
+        out += logLevelName(level);
+        out += " msg=";
+        appendTextValue(out, msg, true);
+        for (std::size_t i = 0; i < count; ++i) {
+            out += ' ';
+            out += fields[i].key;
+            out += '=';
+            appendTextValue(out, fields[i].value, fields[i].quoted);
+        }
+    }
+    return out;
+}
+
+void
+Logger::writeLine(const std::string &line)
+{
+    // Caller holds impl_->mutex: one line, one write, no interleave.
+    if (impl_->capture) {
+        impl_->capture->append(line);
+        impl_->capture->push_back('\n');
+        return;
+    }
+    std::FILE *sink = impl_->file ? impl_->file : stderr;
+    std::fprintf(sink, "%s\n", line.c_str());
+    std::fflush(sink);
+}
+
+void
+Logger::log(LogLevel level, const std::string &msg,
+            std::initializer_list<LogField> fields)
+{
+    if (!enabledFor(level))
+        return;
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    writeLine(formatLine(level, msg, fields.begin(), fields.size()));
+}
+
+void
+Logger::log(LogLevel level, const std::string &msg,
+            const std::vector<LogField> &fields)
+{
+    if (!enabledFor(level))
+        return;
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    writeLine(formatLine(level, msg, fields.data(), fields.size()));
+}
+
+void
+Logger::logAlways(LogLevel level, const std::string &msg,
+                  std::initializer_list<LogField> fields)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    writeLine(formatLine(level, msg, fields.begin(), fields.size()));
+}
+
+Expected<void>
+applyLogSpecTo(Logger &logger, const std::string &spec)
+{
+    // "level[:format[:path]]"; empty fields keep the current setting.
+    // The path is everything after the second ':' so absolute paths
+    // containing ':' survive (rare, but cheap to honor).
+    std::string level_text, format_text, path;
+    const std::size_t first = spec.find(':');
+    if (first == std::string::npos) {
+        level_text = spec;
+    } else {
+        level_text = spec.substr(0, first);
+        const std::size_t second = spec.find(':', first + 1);
+        if (second == std::string::npos) {
+            format_text = spec.substr(first + 1);
+        } else {
+            format_text = spec.substr(first + 1, second - first - 1);
+            path = spec.substr(second + 1);
+        }
+    }
+    if (!level_text.empty()) {
+        Expected<LogLevel> level = parseLogLevel(level_text);
+        if (!level.ok())
+            return level.error();
+        logger.setLevel(level.value());
+    }
+    if (!format_text.empty()) {
+        Expected<LogFormat> format = parseLogFormat(format_text);
+        if (!format.ok())
+            return format.error();
+        logger.setFormat(format.value());
+    }
+    if (!path.empty())
+        logger.openFile(path); // throws SimException(Io) on failure
+    return {};
+}
+
+Expected<void>
+applyLogSpec(const std::string &spec)
+{
+    return applyLogSpecTo(Logger::instance(), spec);
 }
 
 void
 fatal(const std::string &msg)
 {
-    logMessage("fatal", msg);
+    // Dead-end diagnostics bypass the threshold: a process that is
+    // about to exit(1) must say why even at --log-level off.
+    Logger::instance().logAlways(LogLevel::Error, msg,
+                                 {{"fatal", true}});
     std::exit(1);
 }
 
 void
 panic(const std::string &msg)
 {
-    logMessage("panic", msg);
+    Logger::instance().logAlways(LogLevel::Error, msg,
+                                 {{"panic", true}});
     std::abort();
 }
 
 void
 warn(const std::string &msg)
 {
-    logMessage("warn", msg);
+    LOG_WARN(msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    logMessage("info", msg);
+    LOG_INFO(msg);
 }
 
 } // namespace fetchsim

@@ -118,9 +118,35 @@ MetricRegistry::counter(const std::string &path,
         throw SimException(ErrorKind::Config,
                            "MetricRegistry: " + path +
                                " already registered as a histogram");
+    if (gauges_.count(path) != 0)
+        throw SimException(ErrorKind::Config,
+                           "MetricRegistry: " + path +
+                               " already registered as a gauge");
     auto &slot = counters_[path];
     if (!slot)
         slot.reset(new Counter(path, description));
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &path,
+                      const std::string &description)
+{
+    if (!validPath(path))
+        throw SimException(ErrorKind::Config,
+                           "MetricRegistry: invalid metric path: '" +
+                               path + "'");
+    if (counters_.count(path) != 0)
+        throw SimException(ErrorKind::Config,
+                           "MetricRegistry: " + path +
+                               " already registered as a counter");
+    if (histograms_.count(path) != 0)
+        throw SimException(ErrorKind::Config,
+                           "MetricRegistry: " + path +
+                               " already registered as a histogram");
+    auto &slot = gauges_[path];
+    if (!slot)
+        slot.reset(new Gauge(path, description));
     return *slot;
 }
 
@@ -137,6 +163,10 @@ MetricRegistry::histogram(const std::string &path,
         throw SimException(ErrorKind::Config,
                            "MetricRegistry: " + path +
                                " already registered as a counter");
+    if (gauges_.count(path) != 0)
+        throw SimException(ErrorKind::Config,
+                           "MetricRegistry: " + path +
+                               " already registered as a gauge");
     auto &slot = histograms_[path];
     if (!slot) {
         slot.reset(new Histogram(path, description, bounds));
@@ -156,6 +186,13 @@ MetricRegistry::findCounter(const std::string &path) const
     return it == counters_.end() ? nullptr : it->second.get();
 }
 
+const Gauge *
+MetricRegistry::findGauge(const std::string &path) const
+{
+    auto it = gauges_.find(path);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
 const Histogram *
 MetricRegistry::findHistogram(const std::string &path) const
 {
@@ -170,6 +207,16 @@ MetricRegistry::counters() const
     out.reserve(counters_.size());
     for (const auto &[path, ctr] : counters_)
         out.push_back(ctr.get());
+    return out;
+}
+
+std::vector<const Gauge *>
+MetricRegistry::gauges() const
+{
+    std::vector<const Gauge *> out;
+    out.reserve(gauges_.size());
+    for (const auto &[path, gauge] : gauges_)
+        out.push_back(gauge.get());
     return out;
 }
 
@@ -198,6 +245,8 @@ MetricRegistry::children(const std::string &prefix) const
     };
     for (const auto &[path, ctr] : counters_)
         visit(path);
+    for (const auto &[path, gauge] : gauges_)
+        visit(path);
     for (const auto &[path, hist] : histograms_)
         visit(path);
     return {kids.begin(), kids.end()};
@@ -208,6 +257,8 @@ MetricRegistry::merge(const MetricRegistry &other)
 {
     for (const auto &[path, ctr] : other.counters_)
         counter(path, ctr->description()).inc(ctr->value());
+    for (const auto &[path, g] : other.gauges_)
+        gauge(path, g->description()).add(g->value());
     for (const auto &[path, hist] : other.histograms_) {
         Histogram &mine =
             histogram(path, hist->bounds(), hist->description());
@@ -229,6 +280,8 @@ MetricRegistry::reset()
 {
     for (auto &[path, ctr] : counters_)
         ctr->value_ = 0;
+    for (auto &[path, gauge] : gauges_)
+        gauge->value_ = 0;
     for (auto &[path, hist] : histograms_) {
         std::fill(hist->counts_.begin(), hist->counts_.end(), 0);
         hist->count_ = hist->sum_ = hist->min_ = hist->max_ = 0;
@@ -242,6 +295,10 @@ MetricRegistry::writeJson(JsonWriter &json) const
     json.key("counters").beginObject();
     for (const auto &[path, ctr] : counters_)
         json.key(path).value(ctr->value());
+    json.endObject();
+    json.key("gauges").beginObject();
+    for (const auto &[path, gauge] : gauges_)
+        json.key(path).value(gauge->value());
     json.endObject();
     json.key("histograms").beginObject();
     for (const auto &[path, hist] : histograms_) {
@@ -277,6 +334,12 @@ MetricRegistry::formatText() const
             os << "  # " << ctr->description();
         os << "\n";
     }
+    for (const auto &[path, gauge] : gauges_) {
+        os << path << " = " << gauge->value() << " (gauge)";
+        if (!gauge->description().empty())
+            os << "  # " << gauge->description();
+        os << "\n";
+    }
     for (const auto &[path, hist] : histograms_) {
         os << path << " (histogram) count=" << hist->count()
            << " mean=" << hist->mean() << " min=" << hist->min()
@@ -290,6 +353,96 @@ MetricRegistry::formatText() const
         }
     }
     return os.str();
+}
+
+namespace
+{
+
+/** "service.queue_depth" -> "service_queue_depth". */
+std::string
+promName(const std::string &path)
+{
+    std::string name = path;
+    for (char &c : name) {
+        if (c == '.')
+            c = '_';
+    }
+    return name;
+}
+
+/** HELP text escaping: backslash and newline per the exposition spec. */
+std::string
+promHelpEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+promHeader(std::ostringstream &os, const std::string &name,
+           const std::string &description, const char *type)
+{
+    if (!description.empty())
+        os << "# HELP " << name << " " << promHelpEscape(description)
+           << "\n";
+    os << "# TYPE " << name << " " << type << "\n";
+}
+
+} // namespace
+
+std::string
+MetricRegistry::formatPrometheus() const
+{
+    std::ostringstream os;
+    for (const auto &[path, ctr] : counters_) {
+        const std::string name = promName(path);
+        promHeader(os, name, ctr->description(), "counter");
+        os << name << " " << ctr->value() << "\n";
+    }
+    for (const auto &[path, gauge] : gauges_) {
+        const std::string name = promName(path);
+        promHeader(os, name, gauge->description(), "gauge");
+        os << name << " " << gauge->value() << "\n";
+    }
+    for (const auto &[path, hist] : histograms_) {
+        const std::string name = promName(path);
+        promHeader(os, name, hist->description(), "histogram");
+        // Prometheus buckets are cumulative: each le sample counts
+        // everything at or below that bound, and le="+Inf" equals
+        // the total sample count.
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < hist->bounds().size(); ++b) {
+            cumulative += hist->bucketCount(b);
+            os << name << "_bucket{le=\"" << hist->bounds()[b]
+               << "\"} " << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << hist->count()
+           << "\n";
+        os << name << "_sum " << hist->sum() << "\n";
+        os << name << "_count " << hist->count() << "\n";
+    }
+    return os.str();
+}
+
+const std::vector<std::uint64_t> &
+latencyBucketBoundsUs()
+{
+    // 1-2-5 ladder, 1us .. 10s.  22 bounds + overflow = 23 buckets.
+    static const std::vector<std::uint64_t> bounds = {
+        1,      2,      5,      10,      20,      50,      100,    200,
+        500,    1000,   2000,   5000,    10000,   20000,   50000,
+        100000, 200000, 500000, 1000000, 2000000, 5000000, 10000000,
+    };
+    return bounds;
 }
 
 } // namespace fetchsim

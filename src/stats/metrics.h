@@ -73,6 +73,52 @@ class Counter
 };
 
 /**
+ * A point-in-time 64-bit signed value owned by a MetricRegistry.
+ *
+ * Counters only ever go up (events observed); gauges report the
+ * current magnitude of something that rises and falls -- queue
+ * depth, cache entries, resident bytes.  The distinction matters to
+ * downstream consumers: Prometheus-style scrapers apply rate() to
+ * counters and would misread a shrinking queue exported as one.
+ *
+ * merge() sums gauges, which treats each per-shard registry's gauge
+ * as that shard's contribution to the whole (total queued cells
+ * across workers); it keeps merge commutative/associative like every
+ * other metric kind.
+ */
+class Gauge
+{
+  public:
+    /** Replace the value (the common operation for snapshots). */
+    void set(std::int64_t value) { value_ = value; }
+
+    /** Adjust up or down. */
+    void add(std::int64_t delta) { value_ += delta; }
+    void inc() { value_ += 1; }
+    void dec() { value_ -= 1; }
+
+    /** Current value. */
+    std::int64_t value() const { return value_; }
+
+    /** Full dot-separated registration path. */
+    const std::string &path() const { return path_; }
+
+    /** One-line human description (may be empty). */
+    const std::string &description() const { return desc_; }
+
+  private:
+    friend class MetricRegistry;
+    Gauge(std::string path, std::string desc)
+        : path_(std::move(path)), desc_(std::move(desc))
+    {
+    }
+
+    std::string path_;
+    std::string desc_;
+    std::int64_t value_ = 0;
+};
+
+/**
  * A fixed-bucket histogram of unsigned samples owned by a
  * MetricRegistry.
  *
@@ -171,6 +217,14 @@ class MetricRegistry
                      const std::string &description = "");
 
     /**
+     * The gauge registered at @p path, creating it on first use.
+     * Same path rules and idempotence as counter(); a path may not
+     * be registered as more than one metric kind.
+     */
+    Gauge &gauge(const std::string &path,
+                 const std::string &description = "");
+
+    /**
      * The histogram registered at @p path, creating it on first use.
      * @param path   dot-separated hierarchical name (fatal if invalid)
      * @param bounds strictly increasing inclusive bucket upper
@@ -186,11 +240,17 @@ class MetricRegistry
     /** The counter at @p path, or nullptr if never registered. */
     const Counter *findCounter(const std::string &path) const;
 
+    /** The gauge at @p path, or nullptr if never registered. */
+    const Gauge *findGauge(const std::string &path) const;
+
     /** The histogram at @p path, or nullptr if never registered. */
     const Histogram *findHistogram(const std::string &path) const;
 
     /** All counters, sorted by path. */
     std::vector<const Counter *> counters() const;
+
+    /** All gauges, sorted by path. */
+    std::vector<const Gauge *> gauges() const;
 
     /** All histograms, sorted by path. */
     std::vector<const Histogram *> histograms() const;
@@ -208,7 +268,8 @@ class MetricRegistry
     /** Total number of registered metrics. */
     std::size_t size() const
     {
-        return counters_.size() + histograms_.size();
+        return counters_.size() + gauges_.size() +
+               histograms_.size();
     }
 
     /**
@@ -226,6 +287,7 @@ class MetricRegistry
      * Serialize as one JSON object:
      * @code
      *   { "counters":   { "path": value, ... },
+     *     "gauges":     { "path": value, ... },
      *     "histograms": { "path": { "count":..., "sum":..., "min":...,
      *                               "max":..., "buckets":
      *                               [ {"le":..., "count":...}, ...,
@@ -238,13 +300,35 @@ class MetricRegistry
     /** Multi-line human-readable dump, sorted by path. */
     std::string formatText() const;
 
+    /**
+     * Prometheus text exposition format (version 0.0.4): for each
+     * metric a `# HELP` line (when a description was registered), a
+     * `# TYPE` line, and sample lines.  Dot-separated paths become
+     * underscore-separated names ("service.queue_depth" ->
+     * "service_queue_depth").  Histograms follow the Prometheus
+     * convention: *cumulative* `name_bucket{le="B"}` samples ending
+     * in `le="+Inf"`, plus `name_sum` and `name_count`.  Output is
+     * in sorted path order within each kind (deterministic).
+     */
+    std::string formatPrometheus() const;
+
     /** True when @p path is a valid hierarchical metric name. */
     static bool validPath(const std::string &path);
 
   private:
     std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/**
+ * The shared log-scaled bucket bounds for latency histograms, in
+ * microseconds: a 1-2-5 decade ladder from 1us to 10s.  Fixed across
+ * the codebase so latency histograms from different shards merge
+ * (merge() requires identical bounds) and dashboards can overlay
+ * them.
+ */
+const std::vector<std::uint64_t> &latencyBucketBoundsUs();
 
 } // namespace fetchsim
 

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Unit tests for the structured logger (stats/log.h): level/format
+ * parsing, logfmt and JSONL line schemas, threshold gating, the
+ * warn()/inform() compatibility shims, FETCHSIM_LOG-style spec
+ * application, and the no-interleaving guarantee that motivated the
+ * rewrite (parallel sweep workers corrupting stderr).
+ *
+ * The tests drive the process-wide Logger through its test hooks
+ * (setCapture / setTimestamps) and restore every global setting they
+ * touch, so ordering between tests -- and with the rest of the suite,
+ * which may warn() -- does not matter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stats/log.h"
+
+namespace fetchsim
+{
+namespace
+{
+
+/**
+ * RAII harness: capture logger output into a string with timestamps
+ * suppressed, restoring the previous level/format/sink on exit.
+ */
+class LogCapture
+{
+  public:
+    explicit LogCapture(LogLevel level = LogLevel::Debug,
+                        LogFormat format = LogFormat::Text)
+        : saved_level_(Logger::level()),
+          saved_format_(Logger::instance().format())
+    {
+        Logger &logger = Logger::instance();
+        logger.setLevel(level);
+        logger.setFormat(format);
+        logger.setTimestamps(false);
+        logger.setCapture(&text_);
+    }
+
+    ~LogCapture()
+    {
+        Logger &logger = Logger::instance();
+        logger.setCapture(nullptr);
+        logger.setTimestamps(true);
+        logger.setFormat(saved_format_);
+        logger.setLevel(saved_level_);
+    }
+
+    const std::string &text() const { return text_; }
+
+    std::vector<std::string> lines() const
+    {
+        std::vector<std::string> out;
+        std::istringstream is(text_);
+        std::string line;
+        while (std::getline(is, line))
+            out.push_back(line);
+        return out;
+    }
+
+  private:
+    std::string text_;
+    LogLevel saved_level_;
+    LogFormat saved_format_;
+};
+
+// -------------------------------------------------------------- parsing
+
+TEST(LogParse, LevelNamesRoundTrip)
+{
+    EXPECT_EQ(parseLogLevel("debug").value(), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("info").value(), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("warn").value(), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("warning").value(), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("error").value(), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("off").value(), LogLevel::Off);
+    EXPECT_EQ(parseLogLevel("none").value(), LogLevel::Off);
+    for (LogLevel level : {LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warn, LogLevel::Error,
+                           LogLevel::Off})
+        EXPECT_EQ(parseLogLevel(logLevelName(level)).value(), level);
+}
+
+TEST(LogParse, BadLevelIsConfigError)
+{
+    Expected<LogLevel> bad = parseLogLevel("verbose");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().kind, ErrorKind::Config);
+    EXPECT_NE(bad.error().message.find("verbose"), std::string::npos);
+}
+
+TEST(LogParse, FormatNamesRoundTrip)
+{
+    EXPECT_EQ(parseLogFormat("text").value(), LogFormat::Text);
+    EXPECT_EQ(parseLogFormat("logfmt").value(), LogFormat::Text);
+    EXPECT_EQ(parseLogFormat("json").value(), LogFormat::Jsonl);
+    EXPECT_EQ(parseLogFormat("jsonl").value(), LogFormat::Jsonl);
+    EXPECT_FALSE(parseLogFormat("xml").ok());
+    EXPECT_EQ(parseLogFormat("xml").error().kind, ErrorKind::Config);
+}
+
+// ------------------------------------------------------------ LogField
+
+TEST(LogField, ConstructorFamilyPicksRepresentation)
+{
+    LogField s("k", std::string("v"));
+    EXPECT_TRUE(s.quoted);
+    LogField c("k", "literal");
+    EXPECT_TRUE(c.quoted);
+    EXPECT_EQ(c.value, "literal");
+    LogField i("k", 42);
+    EXPECT_FALSE(i.quoted);
+    EXPECT_EQ(i.value, "42");
+    LogField u("k", std::uint64_t{18446744073709551615ull});
+    EXPECT_EQ(u.value, "18446744073709551615");
+    LogField b("k", true);
+    EXPECT_FALSE(b.quoted);
+    EXPECT_EQ(b.value, "true");
+    LogField f("k", 2.5);
+    EXPECT_FALSE(f.quoted);
+    EXPECT_EQ(f.value, "2.5");
+}
+
+// ------------------------------------------------------------- schemas
+
+TEST(LogLine, TextSchemaExactBytes)
+{
+    LogCapture capture(LogLevel::Debug, LogFormat::Text);
+    LOG_INFO("job.submitted",
+             {{"job", 7}, {"state", "queued"}, {"ok", true}});
+    EXPECT_EQ(capture.text(),
+              "level=info msg=\"job.submitted\" job=7 "
+              "state=\"queued\" ok=true\n");
+}
+
+TEST(LogLine, TextQuotesAndEscapesWhenNeeded)
+{
+    LogCapture capture(LogLevel::Debug, LogFormat::Text);
+    LOG_WARN("disk full", {{"path", "/tmp/a b"}, {"note", "x=\"1\""}});
+    EXPECT_EQ(capture.text(),
+              "level=warn msg=\"disk full\" path=\"/tmp/a b\" "
+              "note=\"x=\\\"1\\\"\"\n");
+}
+
+TEST(LogLine, JsonlSchemaExactBytes)
+{
+    LogCapture capture(LogLevel::Debug, LogFormat::Jsonl);
+    LOG_ERROR("cell.failed",
+              {{"cell", 3}, {"error", "watchdog \"trip\""}});
+    EXPECT_EQ(capture.text(),
+              "{\"level\":\"error\",\"msg\":\"cell.failed\","
+              "\"cell\":3,\"error\":\"watchdog \\\"trip\\\"\"}\n");
+}
+
+TEST(LogLine, JsonlLinesParseAsJsonObjects)
+{
+    LogCapture capture(LogLevel::Debug, LogFormat::Jsonl);
+    LOG_INFO("newline\nmessage", {{"tab", "a\tb"}});
+    LOG_DEBUG("plain");
+    const std::vector<std::string> lines = capture.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    for (const std::string &line : lines) {
+        // Structural sanity: braces balance, no raw control bytes.
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        for (char c : line)
+            EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    }
+    EXPECT_NE(lines[0].find("\"msg\":\"newline\\nmessage\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"tab\":\"a\\tb\""), std::string::npos);
+}
+
+TEST(LogLine, TimestampsOnByDefaultAndWellFormed)
+{
+    LogCapture capture;
+    Logger::instance().setTimestamps(true);
+    LOG_INFO("stamped");
+    Logger::instance().setTimestamps(false);
+    const std::vector<std::string> lines = capture.lines();
+    ASSERT_EQ(lines.size(), 1u);
+    // ts=YYYY-MM-DDTHH:MM:SS.UUUUUUZ level=...
+    ASSERT_EQ(lines[0].rfind("ts=", 0), 0u);
+    EXPECT_EQ(lines[0][7], '-');
+    EXPECT_EQ(lines[0][13], 'T');
+    EXPECT_NE(lines[0].find("Z level=info msg=\"stamped\""),
+              std::string::npos);
+}
+
+// --------------------------------------------------------------- gating
+
+TEST(LogGate, ThresholdSuppressesLowerLevels)
+{
+    LogCapture capture(LogLevel::Warn);
+    EXPECT_FALSE(Logger::enabledFor(LogLevel::Debug));
+    EXPECT_FALSE(Logger::enabledFor(LogLevel::Info));
+    EXPECT_TRUE(Logger::enabledFor(LogLevel::Warn));
+    EXPECT_TRUE(Logger::enabledFor(LogLevel::Error));
+    LOG_DEBUG("hidden");
+    LOG_INFO("hidden");
+    LOG_WARN("shown");
+    LOG_ERROR("shown too");
+    const std::vector<std::string> lines = capture.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("level=warn"), std::string::npos);
+    EXPECT_NE(lines[1].find("level=error"), std::string::npos);
+}
+
+TEST(LogGate, OffSilencesEverythingButLogAlways)
+{
+    LogCapture capture(LogLevel::Off);
+    LOG_ERROR("hidden");
+    EXPECT_TRUE(capture.text().empty());
+    // fatal()/panic() use this path: dead-end diagnostics must land
+    // even at --log-level off.
+    Logger::instance().logAlways(LogLevel::Error, "dying",
+                                 {{"fatal", true}});
+    EXPECT_EQ(capture.text(),
+              "level=error msg=\"dying\" fatal=true\n");
+}
+
+TEST(LogGate, DisabledLevelDoesNotEvaluateFields)
+{
+    LogCapture capture(LogLevel::Error);
+    int evaluations = 0;
+    auto expensive = [&evaluations] {
+        ++evaluations;
+        return std::string("built");
+    };
+    LOG_DEBUG("skipped", {{"value", expensive()}});
+    EXPECT_EQ(evaluations, 0);
+    LOG_ERROR("taken", {{"value", expensive()}});
+    EXPECT_EQ(evaluations, 1);
+}
+
+// ------------------------------------------------------- compat shims
+
+TEST(LogCompat, WarnAndInformRouteThroughLogger)
+{
+    LogCapture capture(LogLevel::Debug);
+    warn("questionable but survivable");
+    inform("status update");
+    const std::vector<std::string> lines = capture.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0],
+              "level=warn msg=\"questionable but survivable\"");
+    EXPECT_EQ(lines[1], "level=info msg=\"status update\"");
+}
+
+// ------------------------------------------------------- spec parsing
+
+TEST(LogSpec, AppliesLevelFormatAndEmptyFieldsKeepSettings)
+{
+    LogCapture capture; // saves/restores level+format
+    Logger &logger = Logger::instance();
+
+    EXPECT_TRUE(applyLogSpec("error").ok());
+    EXPECT_EQ(Logger::level(), LogLevel::Error);
+    EXPECT_EQ(logger.format(), LogFormat::Text);
+
+    EXPECT_TRUE(applyLogSpec("debug:json").ok());
+    EXPECT_EQ(Logger::level(), LogLevel::Debug);
+    EXPECT_EQ(logger.format(), LogFormat::Jsonl);
+
+    // Empty level keeps debug; only the format changes back.
+    EXPECT_TRUE(applyLogSpec(":text").ok());
+    EXPECT_EQ(Logger::level(), LogLevel::Debug);
+    EXPECT_EQ(logger.format(), LogFormat::Text);
+}
+
+TEST(LogSpec, MalformedFieldsReportConfigErrors)
+{
+    LogCapture capture;
+    Expected<void> bad_level = applyLogSpec("loud");
+    ASSERT_FALSE(bad_level.ok());
+    EXPECT_EQ(bad_level.error().kind, ErrorKind::Config);
+
+    Expected<void> bad_format = applyLogSpec("info:yaml");
+    ASSERT_FALSE(bad_format.ok());
+    EXPECT_EQ(bad_format.error().kind, ErrorKind::Config);
+    // The valid level field was applied before the format failed.
+    EXPECT_EQ(Logger::level(), LogLevel::Info);
+}
+
+TEST(LogSpec, RedirectsToFileAndRejectsBadPaths)
+{
+    LogCapture capture;
+    const std::string path =
+        ::testing::TempDir() + "fetchsim_log_spec_test.log";
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(applyLogSpec("info:text:" + path).ok());
+    // The capture hook still intercepts lines, so nothing lands in
+    // the file from this test; what matters is that the sink opened.
+    std::FILE *file = std::fopen(path.c_str(), "r");
+    ASSERT_NE(file, nullptr);
+    std::fclose(file);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(
+        (void)applyLogSpec("info:text:/nonexistent-dir-xyz/f.log"),
+        SimException);
+}
+
+TEST(LogFile, OpenFileWritesLinesToDisk)
+{
+    // No capture here: exercise the real file sink end-to-end, then
+    // restore stderr by pointing the logger at a throwaway file...
+    // there is no "close" API by design (the service never needs it),
+    // so route through a capture for the duration instead.
+    const std::string path =
+        ::testing::TempDir() + "fetchsim_log_file_test.log";
+    std::remove(path.c_str());
+
+    const LogLevel saved = Logger::level();
+    Logger &logger = Logger::instance();
+    logger.setLevel(LogLevel::Info);
+    logger.setTimestamps(false);
+    logger.openFile(path);
+    LOG_INFO("to.disk", {{"n", 1}});
+
+    std::string capture_after;
+    logger.setCapture(&capture_after); // stop writing to the file
+    logger.setTimestamps(true);
+    logger.setLevel(saved);
+
+    std::FILE *file = std::fopen(path.c_str(), "r");
+    ASSERT_NE(file, nullptr);
+    char buf[256] = {0};
+    ASSERT_NE(std::fgets(buf, sizeof(buf), file), nullptr);
+    std::fclose(file);
+    EXPECT_EQ(std::string(buf), "level=info msg=\"to.disk\" n=1\n");
+    std::remove(path.c_str());
+    logger.setCapture(nullptr);
+}
+
+// ------------------------------------------------------- interleaving
+
+TEST(LogConcurrency, ParallelWritersNeverInterleaveLines)
+{
+    // The regression this PR fixes: parallel sweep workers calling
+    // warn() used to interleave fragments on stderr.  Hammer the
+    // logger from many threads and require every captured line to be
+    // exactly one writer's intact payload.
+    LogCapture capture(LogLevel::Debug);
+    constexpr int kThreads = 8;
+    constexpr int kLines = 200;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            const std::string payload(16 + 8 * (t % 3),
+                                      static_cast<char>('a' + t));
+            for (int i = 0; i < kLines; ++i)
+                LOG_INFO("spam",
+                         {{"writer", t}, {"payload", payload}});
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const std::vector<std::string> lines = capture.lines();
+    ASSERT_EQ(lines.size(),
+              static_cast<std::size_t>(kThreads) * kLines);
+    for (const std::string &line : lines) {
+        // Each line names its writer and carries that writer's
+        // single-character payload, unbroken.
+        const std::size_t writer_at = line.find("writer=");
+        ASSERT_NE(writer_at, std::string::npos) << line;
+        const int writer = line[writer_at + 7] - '0';
+        ASSERT_GE(writer, 0);
+        ASSERT_LT(writer, kThreads);
+        const std::string expected(16 + 8 * (writer % 3),
+                                   static_cast<char>('a' + writer));
+        EXPECT_NE(line.find("payload=\"" + expected + "\""),
+                  std::string::npos)
+            << line;
+        EXPECT_EQ(line.rfind("level=info", 0), 0u) << line;
+    }
+}
+
+} // namespace
+} // namespace fetchsim

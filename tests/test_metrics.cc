@@ -306,6 +306,212 @@ TEST(Metrics, FormatTextListsEveryMetric)
     EXPECT_NE(text.find("fetch.group_size"), std::string::npos);
 }
 
+// --------------------------------------------------------------- gauges
+
+TEST(Metrics, GaugeSetAddAndDec)
+{
+    MetricRegistry reg;
+    Gauge &g = reg.gauge("service.queue_depth", "queued cells");
+    EXPECT_EQ(g.value(), 0);
+    g.set(7);
+    g.inc();
+    g.add(4);
+    g.dec();
+    EXPECT_EQ(g.value(), 11);
+    g.add(-20);
+    EXPECT_EQ(g.value(), -9); // gauges go negative; counters cannot
+    EXPECT_EQ(g.path(), "service.queue_depth");
+    EXPECT_EQ(g.description(), "queued cells");
+}
+
+TEST(Metrics, GaugeRegistrationIsIdempotentAndCollisionChecked)
+{
+    MetricRegistry reg;
+    Gauge &a = reg.gauge("replay.bytes_in_memory", "first");
+    Gauge &b = reg.gauge("replay.bytes_in_memory", "ignored");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.description(), "first");
+    EXPECT_EQ(reg.size(), 1u);
+
+    reg.counter("some.counter");
+    reg.histogram("some.histogram", {1});
+    EXPECT_THROW(reg.gauge("some.counter"), SimException);
+    EXPECT_THROW(reg.gauge("some.histogram"), SimException);
+    EXPECT_THROW(reg.counter("replay.bytes_in_memory"), SimException);
+    EXPECT_THROW(reg.histogram("replay.bytes_in_memory", {1}),
+                 SimException);
+}
+
+TEST(Metrics, GaugeMergeSumsShardsAndResetZeroes)
+{
+    MetricRegistry a, b;
+    a.gauge("replay.bytes_in_memory").set(100);
+    b.gauge("replay.bytes_in_memory").set(28);
+    b.gauge("replay.bytes_spilled").set(5);
+    a.merge(b);
+    EXPECT_EQ(a.findGauge("replay.bytes_in_memory")->value(), 128);
+    EXPECT_EQ(a.findGauge("replay.bytes_spilled")->value(), 5);
+    EXPECT_EQ(a.findGauge("missing"), nullptr);
+
+    a.reset();
+    EXPECT_EQ(a.findGauge("replay.bytes_in_memory")->value(), 0);
+    EXPECT_EQ(a.size(), 2u); // registrations survive reset
+}
+
+TEST(Metrics, GaugeAppearsInJsonTextAndChildren)
+{
+    MetricRegistry reg;
+    reg.gauge("service.queue_depth", "queued cells").set(3);
+    reg.counter("service.requests").inc(9);
+
+    std::string json = jsonOf(reg);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"service.queue_depth\":3"),
+              std::string::npos);
+
+    std::string text = reg.formatText();
+    EXPECT_NE(text.find("service.queue_depth = 3 (gauge)"),
+              std::string::npos);
+
+    std::vector<std::string> kids = reg.children("service");
+    EXPECT_EQ(kids, (std::vector<std::string>{"queue_depth",
+                                              "requests"}));
+}
+
+// ----------------------------------------------------------- prometheus
+
+TEST(Metrics, LatencyBucketBoundsAreStrictlyIncreasing)
+{
+    const std::vector<std::uint64_t> &bounds = latencyBucketBoundsUs();
+    ASSERT_GE(bounds.size(), 8u);
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]) << "at index " << i;
+    // Spans microseconds to multi-second requests.
+    EXPECT_EQ(bounds.front(), 1u);
+    EXPECT_GE(bounds.back(), 1000000u);
+}
+
+/**
+ * Minimal exposition-format line parser: every non-comment line must
+ * be `name{labels} value` or `name value`, names restricted to the
+ * Prometheus charset.  Returns false (with a diagnostic) otherwise.
+ */
+bool validPrometheusLine(const std::string &line, std::string *why)
+{
+    if (line.empty()) {
+        *why = "empty line";
+        return false;
+    }
+    if (line[0] == '#') {
+        if (line.rfind("# HELP ", 0) == 0 ||
+            line.rfind("# TYPE ", 0) == 0)
+            return true;
+        *why = "malformed comment: " + line;
+        return false;
+    }
+    std::size_t i = 0;
+    auto nameChar = [](char c, bool first) {
+        const bool alpha = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') || c == '_' ||
+                           c == ':';
+        return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+    };
+    while (i < line.size() && nameChar(line[i], i == 0))
+        ++i;
+    if (i == 0) {
+        *why = "missing metric name: " + line;
+        return false;
+    }
+    if (i < line.size() && line[i] == '{') {
+        std::size_t close = line.find('}', i);
+        if (close == std::string::npos) {
+            *why = "unterminated label set: " + line;
+            return false;
+        }
+        i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+        *why = "missing value separator: " + line;
+        return false;
+    }
+    const std::string value = line.substr(i + 1);
+    if (value.empty() || value.find(' ') != std::string::npos) {
+        *why = "malformed value: " + line;
+        return false;
+    }
+    char *end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+        *why = "non-numeric value: " + line;
+        return false;
+    }
+    return true;
+}
+
+TEST(Metrics, FormatPrometheusEveryLineParses)
+{
+    MetricRegistry reg;
+    reg.counter("service.requests", "HTTP requests accepted").inc(12);
+    reg.gauge("service.queue_depth", "queued cells").set(3);
+    Histogram &h = reg.histogram("service.request_latency_us",
+                                 {10, 100, 1000},
+                                 "request latency, microseconds");
+    for (std::uint64_t s : {5u, 50u, 500u, 5000u})
+        h.record(s);
+
+    const std::string doc = reg.formatPrometheus();
+    ASSERT_FALSE(doc.empty());
+    ASSERT_EQ(doc.back(), '\n');
+
+    std::istringstream lines(doc);
+    std::string line, why;
+    std::size_t samples = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_TRUE(validPrometheusLine(line, &why)) << why;
+        if (!line.empty() && line[0] != '#')
+            ++samples;
+    }
+    // counter + gauge + (4 finite-bound? no: 3 bounds + inf) buckets
+    // + sum + count = 1 + 1 + 4 + 2
+    EXPECT_EQ(samples, 8u);
+}
+
+TEST(Metrics, FormatPrometheusShapesAndCumulativeBuckets)
+{
+    MetricRegistry reg;
+    reg.counter("service.requests", "HTTP requests").inc(12);
+    reg.gauge("service.queue_depth", "queued cells").set(3);
+    Histogram &h =
+        reg.histogram("service.queue_wait_us", {10, 100}, "wait");
+    for (std::uint64_t s : {5u, 50u, 500u, 7u})
+        h.record(s);
+
+    const std::string doc = reg.formatPrometheus();
+    // Dots become underscores; TYPE lines carry the metric kind.
+    EXPECT_NE(doc.find("# TYPE service_requests counter"),
+              std::string::npos);
+    EXPECT_NE(doc.find("service_requests 12"), std::string::npos);
+    EXPECT_NE(doc.find("# TYPE service_queue_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(doc.find("service_queue_depth 3"), std::string::npos);
+    EXPECT_NE(doc.find("# TYPE service_queue_wait_us histogram"),
+              std::string::npos);
+    // Buckets are cumulative: le=10 -> 2, le=100 -> 3, +Inf -> 4.
+    EXPECT_NE(doc.find("service_queue_wait_us_bucket{le=\"10\"} 2"),
+              std::string::npos);
+    EXPECT_NE(doc.find("service_queue_wait_us_bucket{le=\"100\"} 3"),
+              std::string::npos);
+    EXPECT_NE(doc.find("service_queue_wait_us_bucket{le=\"+Inf\"} 4"),
+              std::string::npos);
+    EXPECT_NE(doc.find("service_queue_wait_us_sum 562"),
+              std::string::npos);
+    EXPECT_NE(doc.find("service_queue_wait_us_count 4"),
+              std::string::npos);
+    // HELP text is carried for described metrics.
+    EXPECT_NE(doc.find("# HELP service_requests HTTP requests"),
+              std::string::npos);
+}
+
 // ------------------------------------------------------------ TraceSink
 
 TEST(TraceSink, DisabledSinkIsInertAndCountsNothing)

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -32,6 +33,8 @@
 #include "sim/report.h"
 #include "sim/service.h"
 #include "sim/sweep.h"
+#include "stats/json_parse.h"
+#include "stats/log.h"
 
 namespace fetchsim
 {
@@ -545,6 +548,315 @@ TEST(SweepService, ShutdownEndpointRequestsDrainWithoutBlocking)
     EXPECT_FALSE(service.draining());
     service.drain();
     EXPECT_TRUE(service.draining());
+}
+
+// ------------------------------------------------------- observability
+
+/** Capture logger output with timestamps off; restores on exit. */
+class ServiceLogCapture
+{
+  public:
+    explicit ServiceLogCapture(LogLevel level)
+        : saved_(Logger::level())
+    {
+        Logger &logger = Logger::instance();
+        logger.setLevel(level);
+        logger.setTimestamps(false);
+        logger.setCapture(&text_);
+    }
+
+    ~ServiceLogCapture()
+    {
+        Logger &logger = Logger::instance();
+        logger.setCapture(nullptr);
+        logger.setTimestamps(true);
+        logger.setLevel(saved_);
+    }
+
+    std::vector<std::string> linesWith(const std::string &needle) const
+    {
+        std::vector<std::string> out;
+        std::istringstream is(text_);
+        std::string line;
+        while (std::getline(is, line))
+            if (line.find(needle) != std::string::npos)
+                out.push_back(line);
+        return out;
+    }
+
+  private:
+    std::string text_;
+    LogLevel saved_;
+};
+
+TEST(SweepService, JobStatusCarriesTraceIdAndLatencySummaries)
+{
+    SweepService service(baseOptions("tracesum", 2));
+    service.start();
+    const std::vector<RunConfig> configs = smallConfigs();
+    const JobSnapshot snap = runJob(service, configs);
+    EXPECT_EQ(snap.state, JobState::Done);
+
+    // The trace id is 16 lowercase hex digits, stable per job.
+    ASSERT_EQ(snap.traceId.size(), 16u);
+    for (char c : snap.traceId)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << snap.traceId;
+
+    // One queue-wait and one cell-latency sample per cell, with
+    // ordered percentiles.
+    EXPECT_EQ(snap.queueWait.count, configs.size());
+    EXPECT_LE(snap.queueWait.p50Us, snap.queueWait.p95Us);
+    EXPECT_LE(snap.queueWait.p95Us, snap.queueWait.maxUs);
+    EXPECT_EQ(snap.cell.count, configs.size());
+    EXPECT_LE(snap.cell.p50Us, snap.cell.p95Us);
+    EXPECT_LE(snap.cell.p95Us, snap.cell.maxUs);
+
+    // The HTTP status document carries both.
+    const ServiceResponse status = serviceRequest(
+        service.socketPath(), "GET",
+        "/v1/jobs/" + std::to_string(snap.id));
+    EXPECT_EQ(status.status, 200);
+    EXPECT_NE(status.body.find("\"trace_id\":\"" + snap.traceId +
+                               "\""),
+              std::string::npos)
+        << status.body;
+    EXPECT_NE(status.body.find("\"latency\":{\"queue_wait_us\":"),
+              std::string::npos);
+    EXPECT_NE(status.body.find("\"cell_us\":"), std::string::npos);
+    service.drain();
+}
+
+TEST(SweepService, TraceEndpointServesChromeTraceEvents)
+{
+    SweepService service(baseOptions("trace", 2));
+    service.start();
+    const std::vector<RunConfig> configs = smallConfigs();
+    const JobSnapshot snap = runJob(service, configs);
+
+    const std::string target =
+        "/v1/jobs/" + std::to_string(snap.id) + "/trace";
+    const ServiceResponse response =
+        serviceRequest(service.socketPath(), "GET", target);
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_NE(response.contentType.find("application/json"),
+              std::string::npos);
+
+    // The socket serves the same bytes as the in-process API.
+    auto api = service.jobTrace(snap.id);
+    ASSERT_TRUE(api.ok());
+    EXPECT_EQ(response.body, api.value());
+
+    // The document is valid JSON in the Chrome/Perfetto trace-event
+    // shape: {"traceEvents":[{"name":...,"ph":"X","ts":...,...}]}.
+    auto parsed = parseJson(response.body);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const JsonValue *events = parsed.value().find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    // Per cell: queue-wait + cell-claim + simulate/cache-serve, plus
+    // result-render and metadata events.
+    EXPECT_GE(events->elements().size(), configs.size() * 3);
+
+    bool saw_queue_wait = false, saw_work = false, saw_render = false;
+    for (const JsonValue &event : events->elements()) {
+        ASSERT_TRUE(event.isObject());
+        const JsonValue *name = event.find("name");
+        const JsonValue *ph = event.find("ph");
+        ASSERT_NE(name, nullptr);
+        ASSERT_NE(ph, nullptr);
+        const std::string &phase = ph->asString();
+        ASSERT_TRUE(phase == "X" || phase == "M") << phase;
+        if (phase == "X") {
+            ASSERT_NE(event.find("ts"), nullptr);
+            ASSERT_NE(event.find("dur"), nullptr);
+            (void)event.find("ts")->asNumber();
+            (void)event.find("dur")->asNumber();
+        }
+        const std::string &label = name->asString();
+        saw_queue_wait |= label.rfind("queue-wait cell", 0) == 0;
+        saw_work |= label.rfind("simulate cell", 0) == 0 ||
+                    label.rfind("cache-serve cell", 0) == 0;
+        saw_render |= label == "result-render";
+    }
+    EXPECT_TRUE(saw_queue_wait);
+    EXPECT_TRUE(saw_work);
+    EXPECT_TRUE(saw_render);
+
+    // Unknown job: 404; wrong method: 405.
+    EXPECT_EQ(serviceRequest(service.socketPath(), "GET",
+                             "/v1/jobs/999/trace")
+                  .status,
+              404);
+    EXPECT_EQ(serviceRequest(service.socketPath(), "POST", target)
+                  .status,
+              405);
+    service.drain();
+}
+
+TEST(SweepService, PrometheusMetricsEndpoint)
+{
+    SweepService service(baseOptions("prom", 2));
+    service.start();
+    (void)runJob(service, smallConfigs());
+
+    const ServiceResponse prom = serviceRequest(
+        service.socketPath(), "GET", "/metrics?format=prometheus");
+    ASSERT_EQ(prom.status, 200) << prom.body;
+    EXPECT_NE(prom.contentType.find("version=0.0.4"),
+              std::string::npos)
+        << prom.contentType;
+
+    // Every line is a comment or `name[{labels}] value`.
+    std::istringstream lines(prom.body);
+    std::string line;
+    std::size_t samples = 0;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        if (line[0] == '#') {
+            EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                        line.rfind("# TYPE ", 0) == 0)
+                << line;
+            continue;
+        }
+        ++samples;
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        const std::string value = line.substr(space + 1);
+        char *end = nullptr;
+        std::strtod(value.c_str(), &end);
+        EXPECT_TRUE(end != value.c_str() && *end == '\0') << line;
+        EXPECT_EQ(line.find('.'), std::string::npos)
+            << "dotted name leaked into exposition: " << line;
+    }
+    EXPECT_GT(samples, 10u);
+
+    // Point-in-time values are typed as gauges, counters as counters,
+    // latency distributions as cumulative histograms.
+    EXPECT_NE(prom.body.find("# TYPE service_queue_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(prom.body.find("# TYPE service_jobs_submitted counter"),
+              std::string::npos);
+    EXPECT_NE(prom.body.find(
+                  "# TYPE service_request_latency_us histogram"),
+              std::string::npos);
+    EXPECT_NE(prom.body.find(
+                  "service_request_latency_us_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.body.find("service_queue_wait_us_sum"),
+              std::string::npos);
+    EXPECT_NE(prom.body.find("service_simulate_us_count"),
+              std::string::npos);
+
+    // The text rendering stays the default; unknown formats are 400.
+    const ServiceResponse text = serviceRequest(
+        service.socketPath(), "GET", "/metrics?format=text");
+    EXPECT_EQ(text.status, 200);
+    EXPECT_NE(text.body.find("service.jobs_submitted"),
+              std::string::npos);
+    const ServiceResponse bad = serviceRequest(
+        service.socketPath(), "GET", "/metrics?format=xml");
+    EXPECT_EQ(bad.status, 400);
+    EXPECT_NE(bad.body.find("unknown metrics format"),
+              std::string::npos);
+    service.drain();
+}
+
+TEST(SweepService, AccessLogEmitsOneLinePerRequest)
+{
+    ServiceLogCapture capture(LogLevel::Info);
+    SweepService service(baseOptions("accesslog", 1));
+    service.start();
+
+    const char *paths[] = {"/healthz", "/metrics", "/v1/jobs",
+                           "/nope"};
+    for (const char *path : paths)
+        (void)serviceRequest(service.socketPath(), "GET", path);
+
+    // Drain first: handler threads log http.access after answering,
+    // and the capture buffer may only be read once they are gone.
+    service.drain();
+
+    const std::vector<std::string> access =
+        capture.linesWith("http.access");
+    ASSERT_EQ(access.size(), 4u);
+    EXPECT_NE(access[0].find("method=\"GET\""), std::string::npos)
+        << access[0];
+    EXPECT_NE(access[0].find("path=\"/healthz\""), std::string::npos);
+    EXPECT_NE(access[0].find("status=200"), std::string::npos);
+    EXPECT_NE(access[0].find("latency_us="), std::string::npos);
+    EXPECT_NE(access[0].find("request_id="), std::string::npos);
+    EXPECT_NE(access[3].find("status=404"), std::string::npos)
+        << access[3];
+}
+
+TEST(SweepService, ResultBytesUnchangedByLogVerbosity)
+{
+    const std::vector<RunConfig> configs = smallConfigs();
+    const std::string reference = oneShotJson(configs);
+
+    std::string with_debug, with_off;
+    {
+        ServiceLogCapture capture(LogLevel::Debug);
+        SweepService service(baseOptions("logdbg", 2));
+        service.start();
+        const JobSnapshot snap = runJob(service, configs);
+        with_debug = service.jobResult(snap.id).value();
+        service.drain();
+        // Debug level actually produced job/cell lines (read only
+        // after drain joins every logging thread).
+        EXPECT_FALSE(capture.linesWith("job.done").empty());
+        EXPECT_FALSE(capture.linesWith("cell.claim").empty());
+    }
+    {
+        ServiceLogCapture capture(LogLevel::Off);
+        SweepService service(baseOptions("logoff", 2));
+        service.start();
+        const JobSnapshot snap = runJob(service, configs);
+        with_off = service.jobResult(snap.id).value();
+        service.drain();
+        EXPECT_TRUE(capture.linesWith("job.done").empty());
+    }
+    EXPECT_EQ(with_debug, reference)
+        << "debug logging perturbed the result document";
+    EXPECT_EQ(with_off, reference)
+        << "disabling logs perturbed the result document";
+}
+
+TEST(SweepService, ConcurrentSubmitScrapeAndLogAreRaceFree)
+{
+    // TSan target: three client roles hammer one service -- submits,
+    // Prometheus scrapes and trace fetches, debug logging -- while
+    // the worker pool simulates.  The assertions are deliberately
+    // light; the value is the interleaving under the sanitizer.
+    ServiceLogCapture capture(LogLevel::Debug);
+    SweepService service(baseOptions("obsrace", 4));
+    service.start();
+
+    std::thread submitter([&] {
+        for (int i = 0; i < 3; ++i)
+            (void)runJob(service, smallConfigs(), i);
+    });
+    std::thread scraper([&] {
+        for (int i = 0; i < 20; ++i) {
+            const std::string prom = service.metricsPrometheus();
+            EXPECT_NE(prom.find("service_queue_depth"),
+                      std::string::npos);
+            (void)service.jobTrace(1); // may be 404-early; both fine
+            (void)service.metricsText();
+        }
+    });
+    std::thread logger([&] {
+        for (int i = 0; i < 200; ++i)
+            LOG_DEBUG("obs.race", {{"i", i}});
+    });
+    submitter.join();
+    scraper.join();
+    logger.join();
+    service.drain(); // joins workers before the capture is read
+
+    EXPECT_EQ(capture.linesWith("obs.race").size(), 200u);
+    EXPECT_EQ(service.stats().jobsCompleted, 3u);
 }
 
 TEST(SweepService, PlanRequestJsonRoundTripsThroughParser)
