@@ -1282,6 +1282,7 @@ cmdHelp()
         "\n"
         "bench:\n"
         "  --iterations N      measured grid repetitions (default 5)\n"
+        "  --threads N         sweep worker threads (default 1)\n"
         "  --insts N           per-run budget (0 = default)\n"
         "  --out FILE          BENCH JSON path (default "
         "BENCH_sweep.json)\n"
@@ -1290,6 +1291,8 @@ cmdHelp()
         "JSON\n"
         "  --max-regress PCT   allowed slowdown vs baseline "
         "(default 10)\n"
+        "  --replay MODE       off|mem|disk stream replay cache\n"
+        "  --trace-out FILE    host-side Chrome trace of the bench\n"
         "\n"
         "record:\n"
         "  --benchmark NAME    workload to execute (default eqntott)\n"

@@ -124,3 +124,46 @@ EOF
     exit 1
 fi
 echo "README.md documents every CLI subcommand"
+
+# Gate 5: PERFORMANCE.md vs run_bench.sh.  docs/PERFORMANCE.md is the
+# bench/rebaseline playbook; its invocation lines must track the
+# harness.  Every option the script's argument parser accepts must
+# appear in PERFORMANCE.md, and every `run_bench.sh ...` invocation
+# line quoted in the document must use only options the script
+# actually accepts -- so neither side can drift.
+perf_doc="$repo/docs/PERFORMANCE.md"
+bench_sh="$repo/scripts/run_bench.sh"
+[ -f "$perf_doc" ] || { echo "missing: $perf_doc" >&2; exit 2; }
+[ -f "$bench_sh" ] || { echo "missing: $bench_sh" >&2; exit 2; }
+
+# The script's option set, from the `--flag)` labels of its parser.
+bench_opts=$(grep -oE '^\s+--[a-z-]+\)' "$bench_sh" \
+    | grep -oE -- '--[a-z-]+' | sort -u)
+missing=0
+for opt in $bench_opts; do
+    if ! grep -qF -- "$opt" "$perf_doc"; then
+        echo "docs/PERFORMANCE.md does not document run_bench.sh" \
+             "option: $opt" >&2
+        missing=1
+    fi
+done
+# Options used on the document's run_bench.sh lines must be real.
+while IFS= read -r opt; do
+    if ! printf '%s\n' "$bench_opts" | grep -qxF -- "$opt"; then
+        echo "docs/PERFORMANCE.md invokes run_bench.sh with an" \
+             "option the script does not accept: $opt" >&2
+        missing=1
+    fi
+done < <(grep -E 'run_bench\.sh' "$perf_doc" \
+    | grep -oE -- '--[a-z-]+' | sort -u)
+if [ "$missing" -ne 0 ]; then
+    cat >&2 <<EOM
+
+docs/PERFORMANCE.md and scripts/run_bench.sh disagree about the
+bench harness's options.  Update the invocation lines in
+docs/PERFORMANCE.md (the bench/rebaseline workflow section)
+alongside any run_bench.sh change.
+EOM
+    exit 1
+fi
+echo "docs/PERFORMANCE.md matches run_bench.sh usage"

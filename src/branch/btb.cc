@@ -1,88 +1,34 @@
 #include "branch/btb.h"
 
-#include "isa/opcode.h"
 #include "stats/log.h"
 
 namespace fetchsim
 {
 
-Btb::Btb(int entries, int interleave)
-    : entries_(entries), interleave_(interleave)
+Btb::Btb(int entries, int interleave,
+         std::pmr::memory_resource *mem)
+    : entries_(entries), interleave_(interleave), tag_(mem),
+      target_(mem), meta_(mem)
 {
     if (entries < 1 || (entries & (entries - 1)) != 0)
         fatal("Btb: entry count must be a power of two");
     if (interleave < 1)
         fatal("Btb: interleave factor must be positive");
-    table_.resize(static_cast<std::size_t>(entries));
-}
-
-std::uint64_t
-Btb::indexOf(std::uint64_t pc) const
-{
-    return (pc / kInstBytes) &
-           static_cast<std::uint64_t>(entries_ - 1);
-}
-
-std::uint64_t
-Btb::tagOf(std::uint64_t pc) const
-{
-    return (pc / kInstBytes) / static_cast<std::uint64_t>(entries_);
-}
-
-BtbPrediction
-Btb::lookup(std::uint64_t pc)
-{
-    ++lookups_;
-    BtbPrediction pred = probe(pc);
-    if (pred.hit)
-        ++hits_;
-    return pred;
-}
-
-BtbPrediction
-Btb::probe(std::uint64_t pc) const
-{
-    const Entry &entry = table_[indexOf(pc)];
-    BtbPrediction pred;
-    if (entry.valid && entry.tag == tagOf(pc)) {
-        pred.hit = true;
-        pred.predictTaken = entry.counter.predictTaken();
-        pred.target = entry.target;
-    }
-    return pred;
-}
-
-void
-Btb::update(std::uint64_t pc, bool taken, std::uint64_t target)
-{
-    Entry &entry = table_[indexOf(pc)];
-    const bool present = entry.valid && entry.tag == tagOf(pc);
-    if (present) {
-        entry.counter.update(taken);
-        if (taken)
-            entry.target = target;
-        return;
-    }
-    if (!taken)
-        return; // allocate on taken branches only
-    entry.valid = true;
-    entry.tag = tagOf(pc);
-    entry.target = target;
-    entry.counter = TwoBitCounter(2); // weakly taken
-}
-
-int
-Btb::bankOf(std::uint64_t pc) const
-{
-    return static_cast<int>((pc / kInstBytes) %
-                            static_cast<std::uint64_t>(interleave_));
+    index_mask_ = static_cast<std::uint64_t>(entries - 1);
+    unsigned log2_entries = 0;
+    while ((1 << log2_entries) < entries)
+        ++log2_entries;
+    tag_shift_ = 2 + log2_entries; // pc / kInstBytes / entries
+    tag_.resize(static_cast<std::size_t>(entries));
+    target_.resize(static_cast<std::size_t>(entries));
+    meta_.assign(static_cast<std::size_t>(entries), 0);
 }
 
 void
 Btb::flush()
 {
-    for (auto &entry : table_)
-        entry.valid = false;
+    for (std::uint8_t &meta : meta_)
+        meta &= static_cast<std::uint8_t>(~kValidBit);
 }
 
 } // namespace fetchsim

@@ -10,15 +10,24 @@
  * consecutive instruction addresses map to consecutive banks, those
  * per-slot queries never conflict, and the model exposes a per-PC
  * lookup plus the block-level valid-bit computation in the fetch unit.
+ *
+ * Storage is structure-of-arrays: tags, targets, and packed
+ * valid+counter bytes live in three contiguous flat arrays with
+ * precomputed index mask and tag shift, so the per-slot queries the
+ * fetch walk issues every cycle touch one byte plus one tag word
+ * instead of a padded 32-byte record.  Tags keep the full remaining
+ * PC bits (external traces carry arbitrary 64-bit addresses).
  */
 
 #ifndef FETCHSIM_BRANCH_BTB_H_
 #define FETCHSIM_BRANCH_BTB_H_
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "branch/two_bit_counter.h"
+#include "isa/opcode.h"
 
 namespace fetchsim
 {
@@ -40,14 +49,38 @@ class Btb
     /**
      * @param entries    total entry count (power of two)
      * @param interleave bank count = instructions per cache block
+     * @param mem        memory resource for the three flat arrays
+     *                   (must outlive the BTB; defaults to the heap)
      */
-    explicit Btb(int entries = 1024, int interleave = 4);
+    explicit Btb(int entries = 1024, int interleave = 4,
+                 std::pmr::memory_resource *mem =
+                     std::pmr::get_default_resource());
 
     /** Query the prediction for the instruction at @p pc. */
-    BtbPrediction lookup(std::uint64_t pc);
+    BtbPrediction
+    lookup(std::uint64_t pc)
+    {
+        ++lookups_;
+        BtbPrediction pred = probe(pc);
+        if (pred.hit)
+            ++hits_;
+        return pred;
+    }
 
     /** Query without statistics side effects (debug/testing). */
-    BtbPrediction probe(std::uint64_t pc) const;
+    BtbPrediction
+    probe(std::uint64_t pc) const
+    {
+        const std::uint64_t slot = indexOf(pc);
+        BtbPrediction pred;
+        if ((meta_[slot] & kValidBit) != 0 &&
+            tag_[slot] == tagOf(pc)) {
+            pred.hit = true;
+            pred.predictTaken = (meta_[slot] & kCounterMask) >= 2;
+            pred.target = target_[slot];
+        }
+        return pred;
+    }
 
     /**
      * Train with a resolved control instruction.
@@ -61,10 +94,38 @@ class Btb
      * @param taken  actual outcome
      * @param target actual target (when taken)
      */
-    void update(std::uint64_t pc, bool taken, std::uint64_t target);
+    void
+    update(std::uint64_t pc, bool taken, std::uint64_t target)
+    {
+        const std::uint64_t slot = indexOf(pc);
+        std::uint8_t meta = meta_[slot];
+        const bool present =
+            (meta & kValidBit) != 0 && tag_[slot] == tagOf(pc);
+        if (present) {
+            const std::uint8_t counter = meta & kCounterMask;
+            if (taken) {
+                if (counter < 3)
+                    meta_[slot] = meta + 1;
+                target_[slot] = target;
+            } else if (counter > 0) {
+                meta_[slot] = meta - 1;
+            }
+            return;
+        }
+        if (!taken)
+            return; // allocate on taken branches only
+        tag_[slot] = tagOf(pc);
+        target_[slot] = target;
+        meta_[slot] = kValidBit | 2; // weakly taken
+    }
 
     /** Bank that the instruction at @p pc maps to. */
-    int bankOf(std::uint64_t pc) const;
+    int
+    bankOf(std::uint64_t pc) const
+    {
+        return static_cast<int>((pc / kInstBytes) %
+                                static_cast<std::uint64_t>(interleave_));
+    }
 
     int numEntries() const { return entries_; }
     int interleave() const { return interleave_; }
@@ -76,20 +137,31 @@ class Btb
     void flush();
 
   private:
-    struct Entry
-    {
-        bool valid = false;
-        std::uint64_t tag = 0;
-        std::uint64_t target = 0;
-        TwoBitCounter counter;
-    };
+    static constexpr std::uint8_t kCounterMask = 0x03;
+    static constexpr std::uint8_t kValidBit = 0x80;
 
-    std::uint64_t indexOf(std::uint64_t pc) const;
-    std::uint64_t tagOf(std::uint64_t pc) const;
+    std::uint64_t
+    indexOf(std::uint64_t pc) const
+    {
+        return (pc / kInstBytes) & index_mask_;
+    }
+
+    std::uint64_t
+    tagOf(std::uint64_t pc) const
+    {
+        return pc >> tag_shift_;
+    }
 
     int entries_;
     int interleave_;
-    std::vector<Entry> table_;
+    std::uint64_t index_mask_;
+    unsigned tag_shift_;
+
+    // Flat SoA entry storage; meta_ packs the valid bit with the
+    // saturating 2-bit counter.
+    std::pmr::vector<std::uint64_t> tag_;
+    std::pmr::vector<std::uint64_t> target_;
+    std::pmr::vector<std::uint8_t> meta_;
 
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;

@@ -19,22 +19,17 @@ predictorName(PredictorKind kind)
     }
 }
 
-GsharePredictor::GsharePredictor(int table_bits, int history_bits)
+GsharePredictor::GsharePredictor(int table_bits, int history_bits,
+                                 std::pmr::memory_resource *mem)
     : table_bits_(table_bits), history_bits_(history_bits),
-      table_(1ull << table_bits)
+      table_mask_((1ull << table_bits) - 1),
+      history_mask_((1ull << history_bits) - 1),
+      table_(1ull << table_bits, TwoBitCounter{}, mem)
 {
     if (table_bits < 1 || table_bits > 24)
         fatal("GsharePredictor: table bits out of range");
     if (history_bits < 0 || history_bits > table_bits)
         fatal("GsharePredictor: history bits exceed table bits");
-}
-
-std::size_t
-GsharePredictor::indexOf(std::uint64_t pc) const
-{
-    const std::uint64_t mask = (1ull << table_bits_) - 1;
-    return static_cast<std::size_t>(
-        ((pc / kInstBytes) ^ history_) & mask);
 }
 
 bool
@@ -47,26 +42,21 @@ void
 GsharePredictor::update(std::uint64_t pc, bool taken)
 {
     table_[indexOf(pc)].update(taken);
-    const std::uint64_t mask = (1ull << history_bits_) - 1;
-    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
 }
 
-TwoLevelPredictor::TwoLevelPredictor(int bht_bits, int history_bits)
+TwoLevelPredictor::TwoLevelPredictor(int bht_bits, int history_bits,
+                                     std::pmr::memory_resource *mem)
     : bht_bits_(bht_bits), history_bits_(history_bits),
-      bht_(1ull << bht_bits, 0),
-      pattern_(1ull << history_bits)
+      bht_mask_((1ull << bht_bits) - 1),
+      hist_mask_((1ull << history_bits) - 1),
+      bht_(1ull << bht_bits, 0, mem),
+      pattern_(1ull << history_bits, TwoBitCounter{}, mem)
 {
     if (bht_bits < 1 || bht_bits > 20)
         fatal("TwoLevelPredictor: BHT bits out of range");
     if (history_bits < 1 || history_bits > 20)
         fatal("TwoLevelPredictor: history bits out of range");
-}
-
-std::uint64_t
-TwoLevelPredictor::historyOf(std::uint64_t pc) const
-{
-    const std::uint64_t mask = (1ull << bht_bits_) - 1;
-    return bht_[static_cast<std::size_t>((pc / kInstBytes) & mask)];
 }
 
 bool
@@ -79,23 +69,23 @@ TwoLevelPredictor::predict(std::uint64_t pc) const
 void
 TwoLevelPredictor::update(std::uint64_t pc, bool taken)
 {
-    const std::uint64_t bht_mask = (1ull << bht_bits_) - 1;
-    const std::uint64_t hist_mask = (1ull << history_bits_) - 1;
-    auto slot = static_cast<std::size_t>((pc / kInstBytes) & bht_mask);
+    auto slot =
+        static_cast<std::size_t>((pc / kInstBytes) & bht_mask_);
     pattern_[static_cast<std::size_t>(bht_[slot])].update(taken);
-    bht_[slot] = ((bht_[slot] << 1) | (taken ? 1 : 0)) & hist_mask;
+    bht_[slot] = ((bht_[slot] << 1) | (taken ? 1 : 0)) & hist_mask_;
 }
 
 std::unique_ptr<DirectionPredictor>
-makeDirectionPredictor(PredictorKind kind)
+makeDirectionPredictor(PredictorKind kind,
+                       std::pmr::memory_resource *mem)
 {
     switch (kind) {
       case PredictorKind::BtbCounter:
         return nullptr; // embedded in the BTB
       case PredictorKind::Gshare:
-        return std::make_unique<GsharePredictor>();
+        return std::make_unique<GsharePredictor>(12, 12, mem);
       case PredictorKind::TwoLevel:
-        return std::make_unique<TwoLevelPredictor>();
+        return std::make_unique<TwoLevelPredictor>(10, 10, mem);
       case PredictorKind::OracleDirection:
       case PredictorKind::StaticBtfnt:
         return nullptr; // handled inside PredictorSuite

@@ -18,9 +18,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "branch/two_bit_counter.h"
+#include "isa/opcode.h"
 
 namespace fetchsim
 {
@@ -71,9 +73,12 @@ class GsharePredictor : public DirectionPredictor
     /**
      * @param table_bits   log2 of the counter-table size
      * @param history_bits global history length (<= table_bits)
+     * @param mem          memory resource for the counter table
      */
     explicit GsharePredictor(int table_bits = 12,
-                             int history_bits = 12);
+                             int history_bits = 12,
+                             std::pmr::memory_resource *mem =
+                                 std::pmr::get_default_resource());
 
     bool predict(std::uint64_t pc) const override;
     void update(std::uint64_t pc, bool taken) override;
@@ -83,12 +88,21 @@ class GsharePredictor : public DirectionPredictor
     std::uint64_t history() const { return history_; }
 
   private:
-    std::size_t indexOf(std::uint64_t pc) const;
+    std::size_t
+    indexOf(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>(
+            ((pc / kInstBytes) ^ history_) & table_mask_);
+    }
 
     int table_bits_;
     int history_bits_;
+    // Index masks precomputed at construction: the fetch walk
+    // queries the predictor per delivered branch every cycle.
+    std::uint64_t table_mask_;
+    std::uint64_t history_mask_;
     std::uint64_t history_ = 0;
-    std::vector<TwoBitCounter> table_;
+    std::pmr::vector<TwoBitCounter> table_; //!< flat 1-byte counters
 };
 
 /**
@@ -101,9 +115,12 @@ class TwoLevelPredictor : public DirectionPredictor
     /**
      * @param bht_bits     log2 of the per-address history table
      * @param history_bits per-branch history length
+     * @param mem          memory resource for the two tables
      */
     explicit TwoLevelPredictor(int bht_bits = 10,
-                               int history_bits = 10);
+                               int history_bits = 10,
+                               std::pmr::memory_resource *mem =
+                                   std::pmr::get_default_resource());
 
     bool predict(std::uint64_t pc) const override;
     void update(std::uint64_t pc, bool taken) override;
@@ -114,17 +131,31 @@ class TwoLevelPredictor : public DirectionPredictor
     }
 
   private:
-    std::uint64_t historyOf(std::uint64_t pc) const;
+    std::uint64_t
+    historyOf(std::uint64_t pc) const
+    {
+        return bht_[static_cast<std::size_t>((pc / kInstBytes) &
+                                             bht_mask_)];
+    }
 
     int bht_bits_;
     int history_bits_;
-    std::vector<std::uint64_t> bht_;
-    std::vector<TwoBitCounter> pattern_;
+    std::uint64_t bht_mask_;  //!< precomputed at construction
+    std::uint64_t hist_mask_; //!< precomputed at construction
+    std::pmr::vector<std::uint64_t> bht_;
+    std::pmr::vector<TwoBitCounter> pattern_; //!< flat 1-byte
+                                              //!< counters
 };
 
-/** Factory for the standalone predictors (nullptr for BtbCounter). */
+/**
+ * Factory for the standalone predictors (nullptr for BtbCounter).
+ * @param mem memory resource for the predictor's tables; the
+ *            predictor object itself stays on the heap (it is tiny
+ *            and owned by unique_ptr).
+ */
 std::unique_ptr<DirectionPredictor> makeDirectionPredictor(
-    PredictorKind kind);
+    PredictorKind kind, std::pmr::memory_resource *mem =
+                            std::pmr::get_default_resource());
 
 } // namespace fetchsim
 

@@ -8,23 +8,17 @@
 namespace fetchsim
 {
 
-MultiBranchPredictor::MultiBranchPredictor(int entries,
-                                           int max_branches)
-    : table_(static_cast<std::size_t>(entries), 1), // weakly not-taken
+MultiBranchPredictor::MultiBranchPredictor(
+    int entries, int max_branches, std::pmr::memory_resource *mem)
+    // counters start weakly not-taken
+    : table_(static_cast<std::size_t>(entries), 1, mem),
+      index_mask_(static_cast<std::uint64_t>(entries - 1)),
       max_branches_(max_branches)
 {
     simAssert(entries > 0 && (entries & (entries - 1)) == 0,
               "mbp entries power of two");
     simAssert(max_branches > 0 && max_branches <= 32,
               "mbp vector width fits a word");
-}
-
-std::size_t
-MultiBranchPredictor::indexOf(std::uint64_t pc) const
-{
-    return static_cast<std::size_t>(
-        (pc / kInstBytes) &
-        static_cast<std::uint64_t>(table_.size() - 1));
 }
 
 bool

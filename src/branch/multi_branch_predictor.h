@@ -22,9 +22,11 @@
 #define FETCHSIM_BRANCH_MULTI_BRANCH_PREDICTOR_H_
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "exec/dyn_inst.h"
+#include "isa/opcode.h"
 
 namespace fetchsim
 {
@@ -55,8 +57,11 @@ class MultiBranchPredictor
      * @param entries      counter-table entries (power of two)
      * @param max_branches outcomes predicted per cycle (vector width,
      *                     at most 32)
+     * @param mem          memory resource for the counter table
      */
-    MultiBranchPredictor(int entries, int max_branches);
+    MultiBranchPredictor(int entries, int max_branches,
+                         std::pmr::memory_resource *mem =
+                             std::pmr::get_default_resource());
 
     /**
      * Predict the outcomes of the conditional branches among the next
@@ -86,9 +91,15 @@ class MultiBranchPredictor
     ///@}
 
   private:
-    std::size_t indexOf(std::uint64_t pc) const;
+    std::size_t
+    indexOf(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>((pc / kInstBytes) &
+                                        index_mask_);
+    }
 
-    std::vector<std::uint8_t> table_; //!< 2-bit saturating counters
+    std::pmr::vector<std::uint8_t> table_; //!< flat 2-bit counters
+    std::uint64_t index_mask_;        //!< precomputed: entries - 1
     int max_branches_;
     std::uint64_t trained_ = 0;
     std::uint64_t trained_wrong_ = 0;

@@ -65,18 +65,17 @@ predictInst(Btb &btb, const DynInst &di)
 }
 
 PredictorSuite::PredictorSuite(int btb_entries, int interleave,
-                               const PredictorConfig &config)
-    : config_(config), btb_(btb_entries, interleave),
-      dir_(makeDirectionPredictor(config.kind)),
-      ras_(config.rasDepth)
+                               const PredictorConfig &config,
+                               std::pmr::memory_resource *mem)
+    : config_(config), btb_(btb_entries, interleave, mem),
+      dir_(makeDirectionPredictor(config.kind, mem)),
+      ras_(config.rasDepth, mem)
 {
 }
 
 InstPrediction
-PredictorSuite::predict(const DynInst &di)
+PredictorSuite::predictControl(const DynInst &di)
 {
-    if (!di.isControl())
-        return InstPrediction{};
     InstPrediction pred = predictImpl(di);
     if (m_predictions_)
         noteVerdict(pred);
@@ -176,33 +175,6 @@ PredictorSuite::noteVerdict(const InstPrediction &pred)
         m_mispredicts_->inc();
     if (pred.decodeRedirect)
         m_redirects_->inc();
-}
-
-void
-PredictorSuite::onDecode(const DynInst &di)
-{
-    if (di.si.op == OpClass::Jump || di.si.op == OpClass::Call)
-        btb_.update(di.pc, true, di.actualTarget);
-}
-
-void
-PredictorSuite::onResolve(const DynInst &di)
-{
-    switch (di.si.op) {
-      case OpClass::CondBranch:
-        btb_.update(di.pc, di.taken, di.actualTarget);
-        if (dir_)
-            dir_->update(di.pc, di.taken);
-        break;
-      case OpClass::Return:
-        // With a RAS the BTB entry is not used for returns; keep it
-        // trained anyway so disabling the RAS mid-experiment (never
-        // done in practice) would not start cold.
-        btb_.update(di.pc, di.taken, di.actualTarget);
-        break;
-      default:
-        break;
-    }
 }
 
 } // namespace fetchsim

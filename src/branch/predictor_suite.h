@@ -13,6 +13,7 @@
 #define FETCHSIM_BRANCH_PREDICTOR_SUITE_H_
 
 #include <memory>
+#include <memory_resource>
 
 #include "branch/btb.h"
 #include "branch/direction_predictor.h"
@@ -69,9 +70,13 @@ class PredictorSuite
      * @param btb_entries BTB entry count (power of two)
      * @param interleave  BTB banks = instructions per cache block
      * @param config      direction/RAS configuration
+     * @param mem         memory resource for the BTB, direction and
+     *                    RAS tables (must outlive the suite)
      */
     PredictorSuite(int btb_entries, int interleave,
-                   const PredictorConfig &config = {});
+                   const PredictorConfig &config = {},
+                   std::pmr::memory_resource *mem =
+                       std::pmr::get_default_resource());
 
     PredictorSuite(const PredictorSuite &) = delete;
     PredictorSuite &operator=(const PredictorSuite &) = delete;
@@ -81,21 +86,53 @@ class PredictorSuite
      * control instructions mutate speculative state (RAS push/pop),
      * so the caller must invoke this exactly once per delivered
      * instruction, in order -- which is what the fetch walk does.
+     *
+     * Inline so the (dominant) non-control case costs one opcode
+     * compare in the fetch walk's per-slot loop.
      */
-    InstPrediction predict(const DynInst &di);
+    InstPrediction
+    predict(const DynInst &di)
+    {
+        if (!di.isControl())
+            return InstPrediction{};
+        return predictControl(di);
+    }
 
     /**
      * Decode-time training: direct unconditional transfers (jumps
      * and calls) always reveal their target at decode.
      */
-    void onDecode(const DynInst &di);
+    void
+    onDecode(const DynInst &di)
+    {
+        if (di.si.op == OpClass::Jump || di.si.op == OpClass::Call)
+            btb_.update(di.pc, true, di.actualTarget);
+    }
 
     /**
      * Resolution-time training: conditional branches and returns
      * train the BTB (and the direction predictor) when the branch
      * unit resolves them.
      */
-    void onResolve(const DynInst &di);
+    void
+    onResolve(const DynInst &di)
+    {
+        switch (di.si.op) {
+          case OpClass::CondBranch:
+            btb_.update(di.pc, di.taken, di.actualTarget);
+            if (dir_)
+                dir_->update(di.pc, di.taken);
+            break;
+          case OpClass::Return:
+            // With a RAS the BTB entry is not used for returns; keep
+            // it trained anyway so disabling the RAS mid-experiment
+            // (never done in practice) would not start cold.
+            btb_.update(di.pc, di.taken, di.actualTarget);
+            break;
+          default:
+            break;
+        }
+    }
 
     /** The underlying BTB (tests train through this). */
     Btb &btb() { return btb_; }
@@ -131,6 +168,7 @@ class PredictorSuite
     Counter *m_redirects_ = nullptr;
     Counter *m_ras_pops_ = nullptr;
 
+    InstPrediction predictControl(const DynInst &di);
     InstPrediction predictImpl(const DynInst &di);
     void noteVerdict(const InstPrediction &pred);
 };

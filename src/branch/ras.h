@@ -13,6 +13,7 @@
 #define FETCHSIM_BRANCH_RAS_H_
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 namespace fetchsim
@@ -26,8 +27,11 @@ namespace fetchsim
 class ReturnAddressStack
 {
   public:
-    explicit ReturnAddressStack(int depth = 16)
-        : entries_(static_cast<std::size_t>(depth > 0 ? depth : 1))
+    explicit ReturnAddressStack(int depth = 16,
+                                std::pmr::memory_resource *mem =
+                                    std::pmr::get_default_resource())
+        : entries_(static_cast<std::size_t>(depth > 0 ? depth : 1),
+                   0, mem)
     {
     }
 
@@ -70,7 +74,7 @@ class ReturnAddressStack
     std::size_t depth() const { return entries_.size(); }
 
   private:
-    std::vector<std::uint64_t> entries_;
+    std::pmr::vector<std::uint64_t> entries_;
     std::size_t top_ = 0;
     std::size_t count_ = 0;
 };

@@ -27,9 +27,9 @@ log2u(std::uint64_t x)
 } // anonymous namespace
 
 ICache::ICache(std::uint64_t size_bytes, std::uint64_t block_bytes,
-               int banks, int ways)
+               int banks, int ways, std::pmr::memory_resource *mem)
     : size_bytes_(size_bytes), block_bytes_(block_bytes),
-      banks_(banks), ways_(ways)
+      banks_(banks), ways_(ways), lines_(mem)
 {
     if (!isPow2(size_bytes) || !isPow2(block_bytes) ||
         block_bytes > size_bytes)
@@ -44,6 +44,7 @@ ICache::ICache(std::uint64_t size_bytes, std::uint64_t block_bytes,
     block_shift_ = log2u(block_bytes_);
     num_sets_ = size_bytes_ / block_bytes_ /
                 static_cast<std::uint64_t>(ways_);
+    set_shift_ = log2u(num_sets_);
     lines_.resize(num_sets_ * static_cast<std::uint64_t>(ways_));
 }
 
@@ -56,7 +57,7 @@ ICache::access(std::uint64_t addr)
         m_accesses_->inc();
     const std::uint64_t block = blockNumber(addr);
     const std::uint64_t set = block & (num_sets_ - 1);
-    const std::uint64_t tag = block >> log2u(num_sets_);
+    const std::uint64_t tag = block >> set_shift_;
     Line *base = &lines_[set * static_cast<std::uint64_t>(ways_)];
     Line *victim = base;
     for (int w = 0; w < ways_; ++w) {
@@ -87,7 +88,7 @@ ICache::probe(std::uint64_t addr) const
 {
     const std::uint64_t block = blockNumber(addr);
     const std::uint64_t set = block & (num_sets_ - 1);
-    const std::uint64_t tag = block >> log2u(num_sets_);
+    const std::uint64_t tag = block >> set_shift_;
     const Line *base =
         &lines_[set * static_cast<std::uint64_t>(ways_)];
     for (int w = 0; w < ways_; ++w)

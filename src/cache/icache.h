@@ -13,6 +13,7 @@
 #define FETCHSIM_CACHE_ICACHE_H_
 
 #include <cstdint>
+#include <memory_resource>
 #include <string>
 #include <vector>
 
@@ -35,9 +36,13 @@ class ICache
      *                    consecutive blocks map to consecutive banks
      * @param ways        associativity (power of two; 1 = the
      *                    paper's direct-mapped caches; >1 uses LRU)
+     * @param mem         memory resource for the line array (must
+     *                    outlive the cache; defaults to the heap)
      */
     ICache(std::uint64_t size_bytes, std::uint64_t block_bytes,
-           int banks = 2, int ways = 1);
+           int banks = 2, int ways = 1,
+           std::pmr::memory_resource *mem =
+               std::pmr::get_default_resource());
 
     /**
      * Probe-and-fill: returns true on hit; on miss, fills the block
@@ -97,10 +102,12 @@ class ICache
     std::uint64_t size_bytes_;
     std::uint64_t block_bytes_;
     int block_shift_;
+    int set_shift_; //!< log2(num_sets_), precomputed for the tag
     int banks_;
     int ways_;
     std::uint64_t num_sets_;
-    std::vector<Line> lines_; //!< set-major: lines_[set*ways + way]
+    std::pmr::vector<Line> lines_; //!< set-major:
+                                   //!< lines_[set*ways + way]
     std::uint64_t use_clock_ = 0;
 
     std::uint64_t accesses_ = 0;

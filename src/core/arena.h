@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Arena: a resettable monotonic allocation region for per-run state.
+ *
+ * A sweep runs thousands of cells, and each cell builds the same
+ * family of objects -- a Processor with its flat ROB/stream/completion
+ * slabs, an I-cache, predictor tables, a fetch mechanism -- then
+ * throws them away.  Allocating those from the global heap makes every
+ * cell pay malloc/free traffic and scatters hot tables across the
+ * address space; worse, under a multi-threaded sweep all workers
+ * contend on the same allocator.
+ *
+ * The Arena replaces that with one private slab per sweep worker:
+ * per-run containers draw from a std::pmr::monotonic_buffer_resource
+ * carving the slab, deallocation is a no-op, and reset() recycles the
+ * whole region between cells.  The slab grows to the high-water mark
+ * of the largest cell seen, so a steady-state sweep performs zero
+ * heap allocations per cell: every table lands in the same warm,
+ * contiguous memory the previous cell just vacated (lifetime rules in
+ * docs/PERFORMANCE.md).
+ *
+ * Thread safety: none -- one Arena per thread.  The SweepEngine gives
+ * each worker its own.
+ */
+
+#ifndef FETCHSIM_CORE_ARENA_H_
+#define FETCHSIM_CORE_ARENA_H_
+
+#include <cstddef>
+#include <memory_resource>
+#include <optional>
+#include <vector>
+
+namespace fetchsim
+{
+
+/**
+ * Resettable monotonic allocation region.
+ *
+ * Lifetime rules:
+ *  1. Everything allocated from resource() must be destroyed before
+ *     reset() or the Arena's destruction (containers only return
+ *     memory on destruction; the arena reclaims it wholesale).
+ *  2. reset() invalidates all memory handed out since the last reset.
+ *  3. The Arena must outlive every object using its resource().
+ */
+class Arena
+{
+  public:
+    /** @param initial_bytes starting slab size */
+    explicit Arena(std::size_t initial_bytes = kDefaultSlabBytes)
+        : slab_(initial_bytes)
+    {
+        rebuild();
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** The memory resource per-run containers allocate from. */
+    std::pmr::memory_resource *resource() { return &*mono_; }
+
+    /**
+     * Reclaim every allocation at once.  If the region overflowed
+     * the slab (the monotonic resource fell back to its upstream),
+     * the slab grows to cover the high-water mark so subsequent
+     * rounds stay allocation-free.
+     */
+    void
+    reset()
+    {
+        mono_.reset(); // release any upstream overflow chunks
+        if (upstream_.highWater() > 0) {
+            // Grow geometrically past the observed overflow so a
+            // slightly-larger next cell does not overflow again.
+            const std::size_t need =
+                slab_.size() + upstream_.highWater();
+            std::size_t grown = slab_.size() * 2;
+            while (grown < need)
+                grown *= 2;
+            slab_.clear();
+            slab_.shrink_to_fit();
+            slab_.resize(grown);
+            upstream_.resetHighWater();
+        }
+        rebuild();
+    }
+
+    /** Current slab capacity in bytes. */
+    std::size_t slabBytes() const { return slab_.size(); }
+
+    /** Bytes the last round allocated beyond the slab (0 = fit). */
+    std::size_t overflowBytes() const { return upstream_.highWater(); }
+
+    static constexpr std::size_t kDefaultSlabBytes = 1u << 20;
+
+  private:
+    /**
+     * Upstream of the monotonic resource: serves overflow from the
+     * global heap while recording how much was needed, so reset()
+     * can size the slab to make the next round self-contained.
+     */
+    class TrackingUpstream : public std::pmr::memory_resource
+    {
+      public:
+        std::size_t highWater() const { return high_water_; }
+        void resetHighWater() { high_water_ = 0; }
+
+      private:
+        void *
+        do_allocate(std::size_t bytes, std::size_t align) override
+        {
+            high_water_ += bytes;
+            return std::pmr::new_delete_resource()->allocate(bytes,
+                                                             align);
+        }
+
+        void
+        do_deallocate(void *p, std::size_t bytes,
+                      std::size_t align) override
+        {
+            std::pmr::new_delete_resource()->deallocate(p, bytes,
+                                                        align);
+        }
+
+        bool
+        do_is_equal(const std::pmr::memory_resource &other)
+            const noexcept override
+        {
+            return this == &other;
+        }
+
+        std::size_t high_water_ = 0;
+    };
+
+    void
+    rebuild()
+    {
+        mono_.emplace(slab_.data(), slab_.size(), &upstream_);
+    }
+
+    std::vector<std::byte> slab_;
+    TrackingUpstream upstream_;
+    std::optional<std::pmr::monotonic_buffer_resource> mono_;
+};
+
+} // namespace fetchsim
+
+#endif // FETCHSIM_CORE_ARENA_H_

@@ -1,8 +1,10 @@
 #include "core/processor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <optional>
+#include <type_traits>
 
 #include "core/error.h"
 #include "perf/profiler.h"
@@ -10,6 +12,9 @@
 
 namespace fetchsim
 {
+
+static_assert(std::is_trivially_copyable_v<DynInst>,
+              "stream compaction memmoves DynInsts");
 
 namespace
 {
@@ -32,31 +37,57 @@ metricSegment(const char *name)
 
 Processor::Processor(const Workload &workload, int input,
                      const MachineConfig &cfg,
-                     std::unique_ptr<FetchMechanism> fetch)
+                     std::unique_ptr<FetchMechanism> fetch,
+                     std::pmr::memory_resource *mem)
     : cfg_(cfg),
-      own_exec_(std::make_unique<Executor>(workload, input)),
+      own_exec_(std::make_unique<Executor>(workload, input, mem)),
       source_(own_exec_.get()), fetch_(std::move(fetch)),
       predictor_(cfg.btbEntries, cfg.instsPerBlock(),
                  PredictorConfig{cfg.predictorKind, cfg.useRas,
-                                 cfg.rasDepth}),
+                                 cfg.rasDepth},
+                 mem),
       icache_(cfg.icacheBytes, cfg.blockBytes, cfg.icacheBanks,
-              cfg.icacheWays)
+              cfg.icacheWays, mem),
+      stream_(mem), rob_ring_(mem), ring_slots_(mem)
 {
     simAssert(fetch_ != nullptr, "fetch mechanism supplied");
-    stream_.reserve(static_cast<std::size_t>(cfg_.issueRate) * 8);
+    initBuffers();
 }
 
 Processor::Processor(InstSource &source, const MachineConfig &cfg,
-                     std::unique_ptr<FetchMechanism> fetch)
+                     std::unique_ptr<FetchMechanism> fetch,
+                     std::pmr::memory_resource *mem)
     : cfg_(cfg), source_(&source), fetch_(std::move(fetch)),
       predictor_(cfg.btbEntries, cfg.instsPerBlock(),
                  PredictorConfig{cfg.predictorKind, cfg.useRas,
-                                 cfg.rasDepth}),
+                                 cfg.rasDepth},
+                 mem),
       icache_(cfg.icacheBytes, cfg.blockBytes, cfg.icacheBanks,
-              cfg.icacheWays)
+              cfg.icacheWays, mem),
+      stream_(mem), rob_ring_(mem), ring_slots_(mem)
 {
     simAssert(fetch_ != nullptr, "fetch mechanism supplied");
-    stream_.reserve(static_cast<std::size_t>(cfg_.issueRate) * 8);
+    initBuffers();
+}
+
+void
+Processor::initBuffers()
+{
+    // All hot-loop storage is sized here, once: the cycle loop never
+    // touches the allocator afterwards (asserted by
+    // test_byte_identity's operator-new hook).
+    std::size_t cap = 1;
+    while (cap < static_cast<std::size_t>(cfg_.robSize))
+        cap <<= 1;
+    rob_ring_.resize(cap);
+    rob_mask_ = cap - 1;
+
+    ring_stride_ = static_cast<std::size_t>(cfg_.robSize);
+    ring_slots_.resize(static_cast<std::size_t>(kRingSize) *
+                       ring_stride_);
+
+    stream_want_ = static_cast<std::size_t>(cfg_.issueRate) * 4;
+    stream_.resize(stream_want_ * 2);
 }
 
 void
@@ -105,77 +136,43 @@ Processor::attachTrace(TraceSink &sink)
 void
 Processor::refillStream()
 {
-    const std::size_t want =
-        static_cast<std::size_t>(cfg_.issueRate) * 4;
-    // Compact consumed prefix once it dominates the buffer.
+    const std::size_t want = stream_want_;
+    // Compact consumed prefix once it dominates the buffer: the live
+    // window slides back to the slab's start, so the slab (sized
+    // 2x want in initBuffers) never grows.
     if (stream_head_ > want) {
-        stream_.erase(stream_.begin(),
-                      stream_.begin() +
-                          static_cast<std::ptrdiff_t>(stream_head_));
+        const std::size_t live = stream_len_ - stream_head_;
+        std::memmove(stream_.data(), stream_.data() + stream_head_,
+                     live * sizeof(DynInst));
         stream_head_ = 0;
+        stream_len_ = live;
     }
-    while (stream_.size() - stream_head_ < want) {
-        DynInst di;
-        if (!source_->next(di))
+    // One batch kernel call per refill instead of one virtual next()
+    // per instruction (the replay fast path materializes straight
+    // from the SoA columns).
+    while (stream_len_ - stream_head_ < want) {
+        const std::size_t got = source_->fill(
+            stream_.data() + stream_len_,
+            want - (stream_len_ - stream_head_));
+        if (got == 0)
             break;
-        stream_.push_back(di);
+        stream_len_ += got;
     }
-}
-
-InFlight &
-Processor::entryOf(std::int64_t seq)
-{
-    const auto useq = static_cast<std::uint64_t>(seq);
-    simAssert(useq >= rob_base_seq_ &&
-                  useq < rob_base_seq_ + rob_.size(),
-              "sequence number in flight");
-    return rob_[static_cast<std::size_t>(useq - rob_base_seq_)];
-}
-
-bool
-Processor::sourceReady(std::int64_t tag) const
-{
-    if (tag == RegisterState::kReady)
-        return true;
-    const auto useq = static_cast<std::uint64_t>(tag);
-    if (useq < rob_base_seq_)
-        return true; // producer already retired
-    const InFlight &producer =
-        rob_[static_cast<std::size_t>(useq - rob_base_seq_)];
-    return producer.completed;
-}
-
-std::uint64_t
-Processor::sourceValue(std::int64_t tag, std::uint8_t reg) const
-{
-    if (tag == RegisterState::kReady)
-        return regs_.readMessy(reg);
-    const auto useq = static_cast<std::uint64_t>(tag);
-    if (useq < rob_base_seq_)
-        return regs_.readMessy(reg); // retired into Messy already
-    const InFlight &producer =
-        rob_[static_cast<std::size_t>(useq - rob_base_seq_)];
-    simAssert(producer.completed, "forwarded source completed");
-    return producer.value;
 }
 
 void
 Processor::doComplete()
 {
-    auto &bucket = ring_[cycle_ % kRingSize];
-    if (bucket.empty())
+    const std::size_t slot = cycle_ % kRingSize;
+    const std::uint32_t pending = ring_count_[slot];
+    if (pending == 0)
         return;
 
-    const int buses = cfg_.totalUnits();
-    std::vector<std::uint64_t> deferred;
-    int broadcast = 0;
-    for (std::uint64_t seq : bucket) {
-        if (broadcast >= buses) {
-            // Result-bus contention: retry next cycle.
-            deferred.push_back(seq);
-            continue;
-        }
-        ++broadcast;
+    std::uint64_t *bucket = ring_slots_.data() + slot * ring_stride_;
+    const auto buses = static_cast<std::uint32_t>(cfg_.totalUnits());
+    const std::uint32_t broadcast = std::min(pending, buses);
+    for (std::uint32_t i = 0; i < broadcast; ++i) {
+        const std::uint64_t seq = bucket[i];
         InFlight &entry = entryOf(static_cast<std::int64_t>(seq));
         entry.completed = true;
         entry.completeCycle = cycle_;
@@ -201,10 +198,22 @@ Processor::doComplete()
             }
         }
     }
-    bucket.clear();
-    if (!deferred.empty()) {
-        auto &next = ring_[(cycle_ + 1) % kRingSize];
-        next.insert(next.begin(), deferred.begin(), deferred.end());
+    ring_count_[slot] = 0;
+    if (pending > broadcast) {
+        // Result-bus contention: the overflow retries next cycle,
+        // ahead of (and in order before) anything already scheduled
+        // there.
+        const std::uint32_t deferred = pending - broadcast;
+        const std::size_t next_slot = (cycle_ + 1) % kRingSize;
+        std::uint64_t *next =
+            ring_slots_.data() + next_slot * ring_stride_;
+        simAssert(ring_count_[next_slot] + deferred <= ring_stride_,
+                  "completion bucket within stride");
+        std::memmove(next + deferred, next,
+                     ring_count_[next_slot] * sizeof(std::uint64_t));
+        std::memcpy(next, bucket + broadcast,
+                    deferred * sizeof(std::uint64_t));
+        ring_count_[next_slot] += deferred;
     }
 }
 
@@ -212,9 +221,9 @@ void
 Processor::doRetire()
 {
     int retired = 0;
-    while (retired < cfg_.issueRate && !rob_.empty() &&
-           rob_.front().completed) {
-        InFlight &head = rob_.front();
+    while (retired < cfg_.issueRate && rob_count_ > 0 &&
+           rob_ring_[rob_base_seq_ & rob_mask_].completed) {
+        InFlight &head = rob_ring_[rob_base_seq_ & rob_mask_];
         if (head.di.si.writesRegister()) {
             regs_.retire(head.di.si.dest, head.value,
                          static_cast<std::int64_t>(head.di.seq));
@@ -245,8 +254,8 @@ Processor::doRetire()
         }
         ++counters_.retired;
         ++retired;
-        rob_.pop_front();
         ++rob_base_seq_;
+        --rob_count_;
     }
 }
 
@@ -263,9 +272,10 @@ Processor::doFire()
         cfg_.storeBufferSize - store_buffer_occ_;
 
     int window_left = window_occ_;
-    for (auto &entry : rob_) {
-        if (window_left == 0)
-            break;
+    const std::uint64_t end_seq = rob_base_seq_ + rob_count_;
+    for (std::uint64_t seq = rob_base_seq_;
+         seq < end_seq && window_left > 0; ++seq) {
+        InFlight &entry = rob_ring_[seq & rob_mask_];
         if (!entry.inWindow)
             continue;
         --window_left;
@@ -294,9 +304,13 @@ Processor::doFire()
         --window_occ_;
 
         const int latency = latencyOf(entry.di.si.op);
-        ring_[(cycle_ + static_cast<std::uint64_t>(latency)) %
-              kRingSize]
-            .push_back(entry.di.seq);
+        const std::size_t slot =
+            (cycle_ + static_cast<std::uint64_t>(latency)) %
+            kRingSize;
+        simAssert(ring_count_[slot] < ring_stride_,
+                  "completion bucket within stride");
+        ring_slots_[slot * ring_stride_ + ring_count_[slot]++] =
+            entry.di.seq;
     }
 }
 
@@ -314,14 +328,14 @@ Processor::doFetch()
     FetchContext ctx;
     ctx.stream = stream_.data() + stream_head_;
     ctx.streamLen =
-        static_cast<int>(stream_.size() - stream_head_);
+        static_cast<int>(stream_len_ - stream_head_);
     ctx.predictor = &predictor_;
     ctx.icache = &icache_;
     ctx.cfg = &cfg_;
     ctx.specHeadroom = cfg_.specDepth - unresolved_cond_;
     ctx.windowSpace =
         std::min(cfg_.windowSize - window_occ_,
-                 cfg_.robSize - static_cast<int>(rob_.size()));
+                 cfg_.robSize - static_cast<int>(rob_count_));
 
     // Sampled host-profiler slice around the fetch step: timing one
     // call in 64 keeps the enabled-mode overhead of this per-cycle
@@ -364,7 +378,10 @@ Processor::doFetch()
     // Dispatch the delivered group into the window + ROB.
     for (int i = 0; i < outcome.delivered; ++i) {
         const DynInst &di = stream_[stream_head_ + i];
-        InFlight entry;
+        simAssert(di.seq == rob_base_seq_ + rob_count_,
+                  "dispatch in sequence order");
+        InFlight &entry = rob_ring_[di.seq & rob_mask_];
+        entry = InFlight{};
         entry.di = di;
         entry.dispatchCycle = cycle_;
         // Rename sources before binding the destination so an
@@ -385,7 +402,7 @@ Processor::doFetch()
         predictor_.onDecode(di);
         if (outcome.mispredict && i == outcome.delivered - 1)
             entry.flaggedMispredict = true;
-        rob_.push_back(entry);
+        ++rob_count_;
         ++window_occ_;
     }
     stream_head_ += static_cast<std::size_t>(outcome.delivered);
@@ -398,7 +415,7 @@ Processor::doFetch()
     // Fetch-unit stall bookkeeping.
     if (outcome.mispredict) {
         blocked_on_seq_ = static_cast<std::int64_t>(
-            rob_.back().di.seq);
+            rob_base_seq_ + rob_count_ - 1);
         fetch_resume_cycle_ = kNeverResume; // until resolution
     } else if (outcome.decodeRedirect) {
         fetch_resume_cycle_ = cycle_ + 2; // one redirect bubble

@@ -21,8 +21,8 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "branch/predictor_suite.h"
@@ -33,6 +33,7 @@
 #include "exec/trace_file.h"
 #include "fetch/fetch_mechanism.h"
 #include "stats/counters.h"
+#include "stats/log.h"
 #include "stats/metrics.h"
 #include "stats/trace_sink.h"
 
@@ -71,10 +72,19 @@ class Processor
      * @param input    executor input id (usually kEvalInput)
      * @param cfg      machine model parameters
      * @param fetch    the fetch mechanism under study
+     * @param mem      memory resource for all per-run tables and
+     *                 slabs (ROB ring, completion ring, stream slab,
+     *                 I-cache lines, predictor tables).  Sweep
+     *                 workers pass an Arena (core/arena.h) so cell
+     *                 setup recycles one slab; the default heap
+     *                 resource changes nothing for other callers.
+     *                 Must outlive the processor.
      */
     Processor(const Workload &workload, int input,
               const MachineConfig &cfg,
-              std::unique_ptr<FetchMechanism> fetch);
+              std::unique_ptr<FetchMechanism> fetch,
+              std::pmr::memory_resource *mem =
+                  std::pmr::get_default_resource());
 
     /**
      * Trace-driven construction: stream instructions from an
@@ -83,7 +93,9 @@ class Processor
      * @param source must outlive this processor
      */
     Processor(InstSource &source, const MachineConfig &cfg,
-              std::unique_ptr<FetchMechanism> fetch);
+              std::unique_ptr<FetchMechanism> fetch,
+              std::pmr::memory_resource *mem =
+                  std::pmr::get_default_resource());
 
     /**
      * Simulate until @p max_retired instructions retire.
@@ -120,7 +132,7 @@ class Processor
     const RegisterState &registers() const { return regs_; }
 
     /** In-flight instruction count (testing hook). */
-    std::size_t robOccupancy() const { return rob_.size(); }
+    std::size_t robOccupancy() const { return rob_count_; }
 
     /** Scheduling-window occupancy (testing hook). */
     int windowOccupancy() const { return window_occ_; }
@@ -174,15 +186,53 @@ class Processor
   private:
     static constexpr int kRingSize = 32; //!< > max latency + penalty
 
+    void initBuffers();
     void refillStream();
     void doComplete();
     void doRetire();
     void doFire();
     void doFetch();
 
-    InFlight &entryOf(std::int64_t seq);
-    bool sourceReady(std::int64_t tag) const;
-    std::uint64_t sourceValue(std::int64_t tag, std::uint8_t reg) const;
+    /**
+     * ROB entry holding sequence number @p seq.  In-flight
+     * instructions occupy consecutive sequence numbers
+     * [rob_base_seq_, rob_base_seq_ + rob_count_), so the flat
+     * power-of-two ring resolves any seq with one masked index --
+     * no deque segment walk on the complete/fire/retire kernels.
+     */
+    InFlight &
+    entryOf(std::int64_t seq)
+    {
+        const auto useq = static_cast<std::uint64_t>(seq);
+        simAssert(useq >= rob_base_seq_ &&
+                      useq < rob_base_seq_ + rob_count_,
+                  "sequence number in flight");
+        return rob_ring_[useq & rob_mask_];
+    }
+
+    bool
+    sourceReady(std::int64_t tag) const
+    {
+        if (tag == RegisterState::kReady)
+            return true;
+        const auto useq = static_cast<std::uint64_t>(tag);
+        if (useq < rob_base_seq_)
+            return true; // producer already retired
+        return rob_ring_[useq & rob_mask_].completed;
+    }
+
+    std::uint64_t
+    sourceValue(std::int64_t tag, std::uint8_t reg) const
+    {
+        if (tag == RegisterState::kReady)
+            return regs_.readMessy(reg);
+        const auto useq = static_cast<std::uint64_t>(tag);
+        if (useq < rob_base_seq_)
+            return regs_.readMessy(reg); // retired into Messy already
+        const InFlight &producer = rob_ring_[useq & rob_mask_];
+        simAssert(producer.completed, "forwarded source completed");
+        return producer.value;
+    }
 
     MachineConfig cfg_;
     std::unique_ptr<Executor> own_exec_; //!< live-workload mode only
@@ -193,21 +243,38 @@ class Processor
     RegisterState regs_;
     RunCounters counters_;
 
-    // Lookahead buffer of upcoming correct-path instructions.
-    std::vector<DynInst> stream_;
+    // Lookahead buffer of upcoming correct-path instructions: a
+    // fixed 2x(issueRate*4) slab refilled through the batch
+    // InstSource::fill kernel.  Compaction keeps the live window
+    // [stream_head_, stream_len_) inside the slab, so the buffer
+    // never reallocates after construction.
+    std::pmr::vector<DynInst> stream_;
     std::size_t stream_head_ = 0;
+    std::size_t stream_len_ = 0;
+    std::size_t stream_want_ = 0;
 
-    // Reorder buffer: in-flight instructions in dispatch order.
-    // rob_[i] has sequence number rob_base_seq_ + i.
-    std::deque<InFlight> rob_;
+    // Reorder buffer: flat power-of-two ring indexed by sequence
+    // number (entry for seq s lives at rob_ring_[s & rob_mask_]).
+    // Valid because dispatch, completion lookup, and retirement all
+    // address the consecutive in-flight window starting at
+    // rob_base_seq_.
+    std::pmr::vector<InFlight> rob_ring_;
+    std::uint64_t rob_mask_ = 0;
     std::uint64_t rob_base_seq_ = 0;
+    std::size_t rob_count_ = 0;
     int window_occ_ = 0;
     int store_buffer_occ_ = 0;
     int unresolved_cond_ = 0;
 
     // Completion-event ring: seq numbers finishing at cycle c are in
-    // ring_[c % kRingSize]; result buses bound per-cycle drains.
-    std::array<std::vector<std::uint64_t>, kRingSize> ring_;
+    // slot c % kRingSize; result buses bound per-cycle drains, with
+    // the overflow deferred (order-preserving) into the next slot.
+    // Flat slab of kRingSize x robSize slots -- at most robSize
+    // completion events are pending across all slots, so a bucket can
+    // never outgrow its stride.
+    std::pmr::vector<std::uint64_t> ring_slots_;
+    std::array<std::uint32_t, kRingSize> ring_count_{};
+    std::size_t ring_stride_ = 0;
 
     std::uint64_t cycle_ = 0;
     std::uint64_t cycle_limit_ = 0; //!< watchdog; 0 = disarmed

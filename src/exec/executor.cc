@@ -13,15 +13,26 @@ constexpr std::size_t kMaxCallDepth = 512;
 
 } // anonymous namespace
 
-Executor::Executor(const Workload &workload, int input)
+Executor::Executor(const Workload &workload, int input,
+                   std::pmr::memory_resource *mem)
     : workload_(workload), input_(input),
-      states_(workload.behaviors.size())
+      states_(workload.behaviors.size(), BehaviorState{}, mem),
+      call_stack_(mem)
 {
     if (input < 0 || input > kEvalInput)
         fatal("Executor: input id out of range");
+    call_stack_.reserve(kMaxCallDepth);
     const Program &prog = workload_.program;
     cur_block_ = prog.function(prog.mainFunction()).entry;
     cur_idx_ = 0;
+}
+
+std::size_t
+Executor::fill(DynInst *out, std::size_t max)
+{
+    for (std::size_t n = 0; n < max; ++n)
+        next(out[n]);
+    return max;
 }
 
 void

@@ -14,6 +14,7 @@
 #define FETCHSIM_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "exec/dyn_inst.h"
@@ -53,8 +54,12 @@ class Executor : public InstSource
      * @param workload the generated benchmark (must outlive this)
      * @param input    input id: 0..4 are profiling inputs, 5 is the
      *                 evaluation input (kEvalInput)
+     * @param mem      memory resource for the per-input behaviour
+     *                 states and the call stack (must outlive this)
      */
-    Executor(const Workload &workload, int input);
+    Executor(const Workload &workload, int input,
+             std::pmr::memory_resource *mem =
+                 std::pmr::get_default_resource());
 
     /** Attach a profiling observer (may be nullptr to detach). */
     void setObserver(ExecObserver *observer) { observer_ = observer; }
@@ -65,6 +70,13 @@ class Executor : public InstSource
      *         the bounded InstSource).
      */
     bool next(DynInst &out) override;
+
+    /**
+     * Batch kernel: emit exactly @p max instructions (the live
+     * stream never ends) with one virtual dispatch for the whole
+     * refill instead of one per instruction.
+     */
+    std::size_t fill(DynInst *out, std::size_t max) override;
 
     /** Number of instructions emitted so far. */
     std::uint64_t emitted() const { return seq_; }
@@ -80,8 +92,8 @@ class Executor : public InstSource
     int input_;
     ExecObserver *observer_ = nullptr;
 
-    std::vector<BehaviorState> states_;
-    std::vector<BlockId> call_stack_;
+    std::pmr::vector<BehaviorState> states_;
+    std::pmr::vector<BlockId> call_stack_;
     BlockId cur_block_ = kNoBlock;
     int cur_idx_ = 0;
     std::uint64_t seq_ = 0;

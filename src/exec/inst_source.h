@@ -13,6 +13,8 @@
 #ifndef FETCHSIM_EXEC_INST_SOURCE_H_
 #define FETCHSIM_EXEC_INST_SOURCE_H_
 
+#include <cstddef>
+
 #include "exec/dyn_inst.h"
 
 namespace fetchsim
@@ -32,6 +34,27 @@ class InstSource
      *         only; the Executor never exhausts).
      */
     virtual bool next(DynInst &out) = 0;
+
+    /**
+     * Batch kernel: produce up to @p max instructions into @p out.
+     *
+     * The Processor refills its fetch stream through this call -- one
+     * virtual dispatch per refill instead of one per instruction.
+     * Sources with structure-of-arrays backing (TraceReplaySource)
+     * override it with a columnar copy loop; the default simply
+     * chains next().
+     *
+     * @return the number of instructions produced (< @p max only at
+     *         end of stream).
+     */
+    virtual std::size_t
+    fill(DynInst *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 };
 
 } // namespace fetchsim

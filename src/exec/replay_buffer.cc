@@ -1,5 +1,7 @@
 #include "exec/replay_buffer.h"
 
+#include <algorithm>
+
 namespace fetchsim
 {
 
@@ -45,6 +47,30 @@ DynTrace::get(std::size_t i, DynInst &out) const
     out.actualTarget = target_[i];
 }
 
+void
+DynTrace::getBatch(std::size_t first, std::size_t n,
+                   DynInst *out) const
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        out[k] = DynInst{};
+        out[k].seq = first + k;
+    }
+    for (std::size_t k = 0; k < n; ++k)
+        out[k].pc = pc_[first + k];
+    for (std::size_t k = 0; k < n; ++k) {
+        out[k].si.op = static_cast<OpClass>(op_[first + k]);
+        out[k].si.dest = dest_[first + k];
+        out[k].si.src1 = src1_[first + k];
+        out[k].si.src2 = src2_[first + k];
+    }
+    for (std::size_t k = 0; k < n; ++k)
+        out[k].si.imm = imm_[first + k];
+    for (std::size_t k = 0; k < n; ++k) {
+        out[k].taken = taken_[first + k] != 0;
+        out[k].actualTarget = target_[first + k];
+    }
+}
+
 bool
 TraceReplaySource::next(DynInst &out)
 {
@@ -53,6 +79,19 @@ TraceReplaySource::next(DynInst &out)
     trace_->get(consumed_, out);
     ++consumed_;
     return true;
+}
+
+std::size_t
+TraceReplaySource::fill(DynInst *out, std::size_t max)
+{
+    const std::size_t size = trace_->size();
+    if (consumed_ >= size)
+        return 0;
+    const std::size_t n =
+        std::min<std::size_t>(max, size - consumed_);
+    trace_->getBatch(consumed_, n, out);
+    consumed_ += n;
+    return n;
 }
 
 DynTrace

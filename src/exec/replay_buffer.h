@@ -63,6 +63,15 @@ class DynTrace
     /** Materialize instruction @p i (seq = i, block = kNoBlock). */
     void get(std::size_t i, DynInst &out) const;
 
+    /**
+     * Materialize @p n consecutive instructions starting at @p first
+     * into @p out -- the columnar copy behind the replay fast path.
+     * Walks each SoA column in turn so every load streams through one
+     * contiguous array.
+     */
+    void getBatch(std::size_t first, std::size_t n,
+                  DynInst *out) const;
+
   private:
     std::vector<std::uint64_t> pc_;
     std::vector<std::uint64_t> target_;
@@ -90,6 +99,13 @@ class TraceReplaySource : public InstSource
     }
 
     bool next(DynInst &out) override;
+
+    /**
+     * Replay fast path: materialize up to @p max instructions from
+     * the SoA columns in one pass, skipping the per-instruction
+     * virtual dispatch and bounds re-check of next().
+     */
+    std::size_t fill(DynInst *out, std::size_t max) override;
 
     /** Total instructions in the backing trace. */
     std::uint64_t count() const { return trace_->size(); }

@@ -47,9 +47,11 @@ makeMultiBanked(const MachineConfig &cfg, const SchemeParams &)
 }
 
 std::unique_ptr<FetchMechanism>
-makeTraceCache(const MachineConfig &cfg, const SchemeParams &)
+makeTraceCache(const MachineConfig &cfg, const SchemeParams &params)
 {
-    return std::make_unique<TraceCacheFetch>(cfg);
+    return std::make_unique<TraceCacheFetch>(
+        cfg, params.mem ? params.mem
+                        : std::pmr::get_default_resource());
 }
 
 } // anonymous namespace

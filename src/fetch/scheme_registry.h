@@ -26,6 +26,7 @@
 #define FETCHSIM_FETCH_SCHEME_REGISTRY_H_
 
 #include <memory>
+#include <memory_resource>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,6 +46,14 @@ struct SchemeParams
     CollapsingBufferFetch::Impl cbImpl =
         CollapsingBufferFetch::Impl::Crossbar;
     bool cbAllowBackward = false;
+    /**
+     * Memory resource for the mechanism's per-run tables (trace
+     * lines, PC slab, multi-branch counters).  Null means the
+     * default heap resource.  Sweep workers point this at their
+     * per-worker Arena (core/arena.h); the resource must then
+     * outlive the mechanism.
+     */
+    std::pmr::memory_resource *mem = nullptr;
 };
 
 /** Everything the system knows about one fetch scheme. */

@@ -8,12 +8,15 @@
 namespace fetchsim
 {
 
-TraceCacheFetch::TraceCacheFetch(const MachineConfig &cfg)
+TraceCacheFetch::TraceCacheFetch(const MachineConfig &cfg,
+                                 std::pmr::memory_resource *mem)
     : FetchMechanism(cfg),
       miss_rules_(rulesFor(SchemeKind::Sequential)),
-      mbp_(cfg.mbpEntries, cfg.traceMaxBranches),
+      mbp_(cfg.mbpEntries, cfg.traceMaxBranches, mem),
       lines_(static_cast<std::size_t>(cfg.traceSets) *
-             static_cast<std::size_t>(cfg.traceWays)),
+                 static_cast<std::size_t>(cfg.traceWays),
+             TraceLine{}, mem),
+      pcs_store_(mem),
       sets_(cfg.traceSets), ways_(cfg.traceWays),
       line_insts_(cfg.traceLineLength())
 {
@@ -21,6 +24,8 @@ TraceCacheFetch::TraceCacheFetch(const MachineConfig &cfg)
               "trace sets power of two");
     simAssert(ways_ > 0, "trace ways positive");
     simAssert(line_insts_ > 0, "trace line length positive");
+    pcs_store_.resize(lines_.size() *
+                      static_cast<std::size_t>(line_insts_));
 }
 
 std::size_t
@@ -90,11 +95,12 @@ TraceCacheFetch::deliverFromTrace(FetchContext &ctx,
     const MachineConfig &cfg = *ctx.cfg;
     const int cap = std::min({cfg.issueRate, ctx.windowSpace,
                               ctx.streamLen, line.length});
+    const std::uint64_t *pcs = pcsOf(line);
     int new_cond = 0;
     int branch_index = 0;
     for (int i = 0; i < cap; ++i) {
         const DynInst &di = ctx.stream[i];
-        simAssert(line.pcs[static_cast<std::size_t>(i)] == di.pc,
+        simAssert(pcs[i] == di.pc,
                   "trace line matches the correct path");
         if (di.isCondBranch() && new_cond >= ctx.specHeadroom) {
             out.stop = FetchStop::SpecDepth;
@@ -168,9 +174,9 @@ TraceCacheFetch::fillFromStream(const DynInst *stream, int len)
     line.outcomes = outcomes;
     line.branches = branches;
     line.length = length;
-    line.pcs.assign(static_cast<std::size_t>(length), 0);
+    std::uint64_t *pcs = pcsOf(line);
     for (int i = 0; i < length; ++i)
-        line.pcs[static_cast<std::size_t>(i)] = stream[i].pc;
+        pcs[i] = stream[i].pc;
     line.lastUse = ++tick_;
     ++fills_;
     if (m_fills_)

@@ -27,6 +27,7 @@
 #define FETCHSIM_FETCH_TRACE_CACHE_H_
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "branch/multi_branch_predictor.h"
@@ -36,7 +37,12 @@
 namespace fetchsim
 {
 
-/** One trace line: a dynamic instruction sequence plus its index. */
+/**
+ * One trace line: a dynamic instruction sequence plus its index.
+ * The stored instruction PCs live in the cache's flat PC slab
+ * (one line_insts_-sized stripe per line), so refilling a line in
+ * steady state never touches the allocator.
+ */
 struct TraceLine
 {
     bool valid = false;
@@ -44,7 +50,6 @@ struct TraceLine
     std::uint32_t outcomes = 0; //!< bit k = k-th cond branch taken
     int branches = 0;           //!< conditional branches in the line
     int length = 0;             //!< instructions in the line
-    std::vector<std::uint64_t> pcs; //!< the stored instruction PCs
     std::uint64_t lastUse = 0;  //!< LRU tick
 };
 
@@ -58,7 +63,14 @@ struct TraceLine
 class TraceCacheFetch final : public FetchMechanism
 {
   public:
-    explicit TraceCacheFetch(const MachineConfig &cfg);
+    /**
+     * @param cfg machine model (trace-cache geometry knobs)
+     * @param mem memory resource for the line array, the PC slab
+     *            and the multi-branch predictor's counter table
+     */
+    explicit TraceCacheFetch(const MachineConfig &cfg,
+                             std::pmr::memory_resource *mem =
+                                 std::pmr::get_default_resource());
 
     FetchOutcome formGroup(FetchContext &ctx) override;
     SchemeKind kind() const override { return SchemeKind::TraceCache; }
@@ -92,9 +104,21 @@ class TraceCacheFetch final : public FetchMechanism
 
     std::size_t setOf(std::uint64_t pc) const;
 
+    /** Stored-PC stripe of @p line inside the flat slab. */
+    std::uint64_t *
+    pcsOf(const TraceLine &line)
+    {
+        const auto idx =
+            static_cast<std::size_t>(&line - lines_.data());
+        return pcs_store_.data() +
+               idx * static_cast<std::size_t>(line_insts_);
+    }
+
     WalkRules miss_rules_;      //!< sequential core fetch on a miss
     MultiBranchPredictor mbp_;
-    std::vector<TraceLine> lines_; //!< sets_ x ways_, set-major
+    std::pmr::vector<TraceLine> lines_; //!< sets_ x ways_, set-major
+    std::pmr::vector<std::uint64_t> pcs_store_; //!< lines_ x
+                                                //!< line_insts_
     int sets_;
     int ways_;
     int line_insts_;

@@ -1,52 +1,7 @@
 #include "isa/opcode.h"
 
-#include "stats/log.h"
-
 namespace fetchsim
 {
-
-UnitKind
-unitFor(OpClass op)
-{
-    switch (op) {
-      case OpClass::IntAlu:
-      case OpClass::Nop:
-        return UnitKind::Fxu;
-      case OpClass::FpAlu:
-        return UnitKind::Fpu;
-      case OpClass::Load:
-        return UnitKind::LoadUnit;
-      case OpClass::Store:
-        return UnitKind::StorePort;
-      case OpClass::CondBranch:
-      case OpClass::Jump:
-      case OpClass::Call:
-      case OpClass::Return:
-        return UnitKind::BranchUnit;
-      default:
-        panic("unitFor: bad op class");
-    }
-}
-
-int
-latencyOf(OpClass op)
-{
-    switch (op) {
-      case OpClass::IntAlu:
-      case OpClass::Nop:
-      case OpClass::Store:
-      case OpClass::CondBranch:
-      case OpClass::Jump:
-      case OpClass::Call:
-      case OpClass::Return:
-        return 1;
-      case OpClass::FpAlu:
-      case OpClass::Load:
-        return 2;
-      default:
-        panic("latencyOf: bad op class");
-    }
-}
 
 const char *
 mnemonic(OpClass op)

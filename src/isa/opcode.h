@@ -69,11 +69,41 @@ isUnconditionalControl(OpClass op)
            op == OpClass::Return;
 }
 
-/** Functional-unit kind that executes @p op. */
-UnitKind unitFor(OpClass op);
+/**
+ * Functional-unit kind that executes @p op.
+ *
+ * Defined inline: the dispatch and fire kernels call this for every
+ * in-flight instruction every cycle, so the mapping must fold into
+ * the caller rather than cross a translation unit.
+ */
+constexpr UnitKind
+unitFor(OpClass op)
+{
+    switch (op) {
+      case OpClass::FpAlu:
+        return UnitKind::Fpu;
+      case OpClass::Load:
+        return UnitKind::LoadUnit;
+      case OpClass::Store:
+        return UnitKind::StorePort;
+      case OpClass::CondBranch:
+      case OpClass::Jump:
+      case OpClass::Call:
+      case OpClass::Return:
+        return UnitKind::BranchUnit;
+      case OpClass::IntAlu:
+      case OpClass::Nop:
+      default:
+        return UnitKind::Fxu;
+    }
+}
 
 /** Execution latency in cycles of @p op (Table 1 latencies). */
-int latencyOf(OpClass op);
+constexpr int
+latencyOf(OpClass op)
+{
+    return (op == OpClass::FpAlu || op == OpClass::Load) ? 2 : 1;
+}
 
 /** Short mnemonic, e.g. "add", "br", "ld". */
 const char *mnemonic(OpClass op);

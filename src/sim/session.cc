@@ -7,6 +7,7 @@
 #include "compiler/code_layout.h"
 #include "compiler/function_layout.h"
 #include "compiler/nop_padding.h"
+#include "core/arena.h"
 #include "core/error.h"
 #include "exec/executor.h"
 #include "exec/trace_file.h"
@@ -430,9 +431,15 @@ Session::run(const RunConfig &config)
 RunResult
 Session::run(const RunConfig &config, const RunInstrumentation &inst,
              std::uint64_t watchdog_cycles,
-             const ReplayOptions &replay)
+             const ReplayOptions &replay, Arena *arena)
 {
     PERF_SCOPE("session.run");
+    // Per-run transient state (processor slabs, predictor tables,
+    // mechanism storage) draws from the caller's arena when given.
+    // Everything allocated from it dies before this function
+    // returns, which is what makes the caller's reset() safe.
+    std::pmr::memory_resource *mem =
+        arena ? arena->resource() : std::pmr::get_default_resource();
     const std::vector<SimError> errors = validateRunConfig(config);
     if (!errors.empty())
         throw SimException(SimError{ErrorKind::Config,
@@ -465,13 +472,13 @@ Session::run(const RunConfig &config, const RunInstrumentation &inst,
         std::unique_ptr<FetchMechanism> ext_mechanism =
             FetchSchemeRegistry::instance().make(
                 config.scheme, cfg,
-                {config.cbImpl, config.cbAllowBackward});
+                {config.cbImpl, config.cbAllowBackward, mem});
         TraceReader reader(info.path);
         std::uint64_t budget =
             config.maxRetired ? config.maxRetired : defaultDynInsts();
         if (budget > reader.count())
             budget = reader.count();
-        Processor proc(reader, cfg, std::move(ext_mechanism));
+        Processor proc(reader, cfg, std::move(ext_mechanism), mem);
         if (inst.metrics)
             proc.attachMetrics(*inst.metrics);
         if (inst.trace)
@@ -491,7 +498,7 @@ Session::run(const RunConfig &config, const RunInstrumentation &inst,
     std::unique_ptr<FetchMechanism> mechanism =
         FetchSchemeRegistry::instance().make(
             config.scheme, cfg,
-            {config.cbImpl, config.cbAllowBackward});
+            {config.cbImpl, config.cbAllowBackward, mem});
 
     const std::uint64_t budget =
         config.maxRetired ? config.maxRetired : defaultDynInsts();
@@ -521,18 +528,18 @@ Session::run(const RunConfig &config, const RunInstrumentation &inst,
                 replay_source =
                     std::make_unique<TraceReplaySource>(entry.trace);
                 proc = std::make_unique<Processor>(
-                    *replay_source, cfg, std::move(mechanism));
+                    *replay_source, cfg, std::move(mechanism), mem);
             } else {
                 spill_reader =
                     std::make_unique<TraceReader>(entry.spillPath);
                 proc = std::make_unique<Processor>(
-                    *spill_reader, cfg, std::move(mechanism));
+                    *spill_reader, cfg, std::move(mechanism), mem);
             }
         }
     }
     if (!proc) {
-        proc = std::make_unique<Processor>(wl, config.input, cfg,
-                                           std::move(mechanism));
+        proc = std::make_unique<Processor>(
+            wl, config.input, cfg, std::move(mechanism), mem);
     }
     if (inst.metrics)
         proc->attachMetrics(*inst.metrics);

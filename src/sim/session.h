@@ -66,6 +66,8 @@
 namespace fetchsim
 {
 
+class Arena;
+
 /**
  * Every violation in @p config, as structured Config errors (empty =
  * valid).  Collects ALL problems instead of stopping at the first, so
@@ -212,11 +214,21 @@ class Session
      * ReplayPolicy).  Replay never affects counters either -- a
      * replayed run is bit-identical to a live one -- so it is also
      * excluded from checkpoint content keys.
+     *
+     * @p arena optionally supplies the allocation region for the
+     * run's transient simulation state (processor slabs, I-cache
+     * lines, predictor tables, mechanism storage).  Everything drawn
+     * from it is destroyed before run() returns, so the caller may
+     * Arena::reset() between runs; the SweepEngine does exactly that
+     * per worker.  Null (the default) uses the heap.  The replay
+     * cache never allocates from the arena -- recordings outlive
+     * individual runs.
      */
     RunResult run(const RunConfig &config,
                   const RunInstrumentation &inst,
                   std::uint64_t watchdog_cycles = 0,
-                  const ReplayOptions &replay = ReplayOptions{});
+                  const ReplayOptions &replay = ReplayOptions{},
+                  Arena *arena = nullptr);
 
     /**
      * Record the replay trace for @p config up front (no-op when

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/arena.h"
 #include "perf/profiler.h"
 #include "sim/checkpoint.h"
 #include "stats/log.h"
@@ -249,8 +250,11 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
     const int max_attempts = 1 + std::max(0, policy.maxRetries);
 
     // Run one cell inside the isolation boundary: inject, validate,
-    // execute, retry.  Returns true when the cell ended Ok.
-    auto runCell = [&](std::size_t i) {
+    // execute, retry.  Returns true when the cell ended Ok.  The
+    // worker's arena supplies all per-run simulation state; by the
+    // time this returns, session_.run has destroyed everything it
+    // drew from it.
+    auto runCell = [&](std::size_t i, Arena &arena) {
         RunStatus &status = sweep.statuses[i];
         // Host-profiler slice for the whole cell (attempts included).
         // The label is only built when profiling is on, so disabled
@@ -281,7 +285,7 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
                 const std::uint64_t cpu_start = threadCpuNowNs();
                 sweep.runs[i] = session_.run(
                     configs[i], RunInstrumentation{},
-                    faults.watchdogCycles, options_.replay);
+                    faults.watchdogCycles, options_.replay, &arena);
                 HostStats &host = sweep.host[i];
                 host.wallNs = clock.nowNs() - wall_start;
                 host.cpuNs = threadCpuNowNs() - cpu_start;
@@ -331,6 +335,11 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
     };
 
     auto worker = [&] {
+        // One resettable allocation region per worker: after the
+        // first few cells grow the slab to its high-water mark,
+        // every later cell's setup recycles the same warm memory
+        // and performs no heap allocation for simulation state.
+        Arena arena;
         for (;;) {
             if (draining.load(std::memory_order_relaxed) ||
                 sweepStopRequested())
@@ -341,7 +350,12 @@ SweepEngine::run(const std::vector<RunConfig> &configs)
                 return;
             if (sweep.statuses[i].fromCheckpoint)
                 continue;
-            if (runCell(i)) {
+            const bool cell_ok = runCell(i, arena);
+            // All per-run state the cell drew from the arena is
+            // destroyed by now (success or failure), so the slab
+            // can be recycled wholesale.
+            arena.reset();
+            if (cell_ok) {
                 if (journal)
                     journal->record(keys[i],
                                     sweep.runs[i].counters);
